@@ -1,0 +1,35 @@
+//! One Criterion bench per paper figure/table, each running the figure's
+//! quick-mode sweep. `cargo bench` therefore regenerates (scaled-down
+//! versions of) every artifact and tracks regressions in the generators;
+//! the full paper-scale sweeps are produced by the `reproduce` binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hvac_bench::figures;
+
+fn bench_tables(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures_quick");
+    group.sample_size(10);
+
+    group.bench_function("table1_summit_spec", |b| {
+        b.iter(|| figures::table1::run(true))
+    });
+    group.bench_function("fig03_mdtest_32k", |b| b.iter(|| figures::fig3::run(true)));
+    group.bench_function("fig04_mdtest_8m", |b| b.iter(|| figures::fig4::run(true)));
+    group.bench_function("fig08_scaling_sweep", |b| {
+        b.iter(|| figures::fig8::run(true))
+    });
+    group.bench_function("fig09_normalized", |b| b.iter(|| figures::fig9::run(true)));
+    group.bench_function("fig10_epochs", |b| b.iter(|| figures::fig10::run(true)));
+    group.bench_function("fig11_per_epoch", |b| b.iter(|| figures::fig11::run(true)));
+    group.bench_function("fig12_batch_size", |b| b.iter(|| figures::fig12::run(true)));
+    group.bench_function("fig13_locality", |b| b.iter(|| figures::fig13::run(true)));
+    group.bench_function("fig14_accuracy", |b| b.iter(|| figures::fig14::run(true)));
+    group.bench_function("fig15_balance", |b| b.iter(|| figures::fig15::run(true)));
+    group.bench_function("ablation_placement_eviction", |b| {
+        b.iter(|| figures::ablation::run(true))
+    });
+    group.finish();
+}
+
+criterion_group!(figures_bench, bench_tables);
+criterion_main!(figures_bench);

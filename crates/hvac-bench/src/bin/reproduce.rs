@@ -1,0 +1,106 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! reproduce [--quick] [--csv-dir DIR] [all | table1 | fig3 | fig4 | fig8 |
+//!            fig9 | fig10 | fig11 | fig12 | fig13 | fig14 | fig15 | ablation]...
+//! ```
+//!
+//! With no figure arguments, everything runs. `--quick` shrinks node counts
+//! and simulated iterations (seconds instead of minutes). CSVs land in
+//! `results/` (or `--csv-dir`).
+
+use hvac_bench::figures;
+use hvac_bench::report::Table;
+use std::path::PathBuf;
+use std::time::Instant;
+
+const ALL: &[&str] = &[
+    "table1", "fig3", "fig4", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+    "fig14", "fig15", "ablation",
+];
+
+fn main() {
+    let mut quick = false;
+    let mut csv_dir = PathBuf::from("results");
+    let mut selected: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" | "-q" => quick = true,
+            "--csv-dir" => {
+                csv_dir = PathBuf::from(args.next().unwrap_or_else(|| {
+                    eprintln!("--csv-dir needs a path");
+                    std::process::exit(2);
+                }));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: reproduce [--quick] [--csv-dir DIR] [{}]...",
+                    ALL.join(" | ")
+                );
+                return;
+            }
+            "all" => selected.extend(ALL.iter().map(|s| s.to_string())),
+            other if ALL.contains(&other) => selected.push(other.to_string()),
+            other => {
+                eprintln!("unknown figure '{other}'; known: {}", ALL.join(", "));
+                std::process::exit(2);
+            }
+        }
+    }
+    if selected.is_empty() {
+        selected.extend(ALL.iter().map(|s| s.to_string()));
+    }
+    selected.dedup();
+
+    println!(
+        "HVAC reproduction harness — mode: {}, output: {}",
+        if quick { "quick" } else { "full (paper-scale)" },
+        csv_dir.display()
+    );
+    println!(
+        "Calibration: GPFS {} aggregate, {} MDS x {} us/op; NVMe {}/node; see DESIGN.md\n",
+        hvac_types::GpfsConfig::default().aggregate_bandwidth,
+        hvac_types::GpfsConfig::default().mds_count,
+        hvac_types::GpfsConfig::default().mds_op_ns / 1000,
+        hvac_types::NvmeConfig::default().read_bandwidth,
+    );
+
+    // Fig. 8's sweep feeds Fig. 9; compute it once if either is requested.
+    let need_sweep = selected.iter().any(|s| s == "fig8" || s == "fig9");
+    let sweep = if need_sweep {
+        let t0 = Instant::now();
+        let s = figures::fig8::sweep(quick);
+        eprintln!("[sweep] fig8 training sweep done in {:.1}s", t0.elapsed().as_secs_f64());
+        Some(s)
+    } else {
+        None
+    };
+
+    for name in &selected {
+        let t0 = Instant::now();
+        let tables: Vec<Table> = match name.as_str() {
+            "table1" => figures::table1::run(quick),
+            "fig3" => figures::fig3::run(quick),
+            "fig4" => figures::fig4::run(quick),
+            "fig8" => figures::fig8::tables(sweep.as_ref().expect("sweep computed")),
+            "fig9" => figures::fig9::tables(sweep.as_ref().expect("sweep computed")),
+            "fig10" => figures::fig10::run(quick),
+            "fig11" => figures::fig11::run(quick),
+            "fig12" => figures::fig12::run(quick),
+            "fig13" => figures::fig13::run(quick),
+            "fig14" => figures::fig14::run(quick),
+            "fig15" => figures::fig15::run(quick),
+            "ablation" => figures::ablation::run(quick),
+            _ => unreachable!("validated above"),
+        };
+        for table in &tables {
+            println!("{}", table.render());
+            match table.write_csv(&csv_dir) {
+                Ok(path) => println!("   -> {}\n", path.display()),
+                Err(e) => eprintln!("   !! failed to write CSV: {e}"),
+            }
+        }
+        eprintln!("[done] {name} in {:.1}s\n", t0.elapsed().as_secs_f64());
+    }
+}

@@ -1,0 +1,100 @@
+//! Fig. 10 — effect of the number of epochs on training time, ResNet50 and
+//! CosmoFlow at 512 nodes.
+//!
+//! Expected shape: linear in epochs for every system, with HVAC's slope near
+//! XFS's (only epoch 1 pays the PFS) and GPFS's slope far steeper.
+
+use crate::report::{fmt_minutes, Table};
+use crate::systems::{paper_apps, SystemKind};
+use hvac_dl::{simulate_training, TrainingConfig};
+
+/// Epoch counts swept (the paper scales to 80).
+pub fn epoch_scales(quick: bool) -> Vec<u32> {
+    if quick {
+        vec![2, 4, 8]
+    } else {
+        vec![2, 4, 8, 16, 32, 64, 80]
+    }
+}
+
+/// Run the Fig. 10 sweep: one table per application.
+pub fn run(quick: bool) -> Vec<Table> {
+    let nodes = if quick { 32 } else { 512 };
+    let apps = paper_apps();
+    let selected = [
+        (apps[0].clone(), 80u32, "fig10a"), // ResNet50 [BS=80]
+        (apps[2].clone(), 8u32, "fig10b"),  // CosmoFlow
+    ];
+    let max_epochs = *epoch_scales(quick).last().unwrap();
+    let mut out = Vec::new();
+    for (app, bs, id) in selected {
+        let mut t = Table::new(
+            id,
+            format!(
+                "{}: training time (minutes) vs epochs [BS={bs}, nNodes={nodes}]",
+                app.name()
+            ),
+            vec![
+                "epochs",
+                "GPFS",
+                "HVAC(1x1)",
+                "HVAC(2x1)",
+                "HVAC(4x1)",
+                "XFS-on-NVMe",
+            ],
+        );
+        // Simulate once at the maximum epoch count; totals for smaller
+        // counts are prefix sums of the per-epoch times.
+        let mut cfg = TrainingConfig::new(app.dataset.clone(), app.model.clone(), nodes)
+            .batch_size(bs)
+            .epochs(max_epochs);
+        cfg.max_sim_iters = if quick { 2 } else { 6 };
+        let mut per_system: Vec<(String, Vec<f64>)> = Vec::new();
+        for system in SystemKind::all() {
+            let mut backend = system.make_backend(nodes, 0xF10);
+            let result = simulate_training(backend.as_mut(), &cfg);
+            let mut prefix = Vec::with_capacity(result.epoch_times.len());
+            let mut acc = 0.0;
+            for e in &result.epoch_times {
+                acc += e.as_minutes_f64();
+                prefix.push(acc);
+            }
+            per_system.push((system.label(), prefix));
+        }
+        for &epochs in &epoch_scales(quick) {
+            let mut row = vec![epochs.to_string()];
+            for (_, prefix) in &per_system {
+                row.push(fmt_minutes(prefix[epochs as usize - 1]));
+            }
+            t.push_row(row);
+        }
+        out.push(t);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_growth_and_slope_ordering() {
+        let tables = run(true);
+        assert_eq!(tables.len(), 2);
+        for t in &tables {
+            let minutes = |row: usize, col: usize| -> f64 { t.rows[row][col].parse().unwrap() };
+            // Column 1 = GPFS, 4 = HVAC(4x1), 5 = XFS.
+            let rows = t.rows.len();
+            // Monotone in epochs for every system.
+            for col in 1..=5 {
+                for r in 1..rows {
+                    assert!(minutes(r, col) >= minutes(r - 1, col), "{}: col {col}", t.id);
+                }
+            }
+            // GPFS slope >= HVAC(4x1) slope >= XFS slope (between 2 and 8 eps).
+            let slope = |col: usize| (minutes(rows - 1, col) - minutes(0, col)).max(1e-9);
+            assert!(slope(1) >= slope(4) * 0.999, "{}", t.id);
+            assert!(slope(4) >= slope(5) * 0.999, "{}", t.id);
+        }
+    }
+}

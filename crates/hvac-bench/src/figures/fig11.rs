@@ -1,0 +1,78 @@
+//! Fig. 11 — per-epoch analysis at 512 nodes [BS=4, Eps=10]: the first
+//! training epoch, the best non-first ("random") epoch, and the average
+//! epoch, for every system.
+//!
+//! Expected shape: HVAC's epoch-1 ≈ GPFS's epoch (every server still
+//! touches the PFS once per file), while its cached epochs approach XFS —
+//! the paper reports ~3× per-epoch gain for HVAC(4×1) over GPFS once the
+//! dataset is resident.
+
+use crate::report::{fmt_minutes, Table};
+use crate::systems::{paper_apps, SystemKind};
+use hvac_dl::{simulate_training, TrainingConfig};
+
+/// Run the per-epoch breakdown.
+pub fn run(quick: bool) -> Vec<Table> {
+    let nodes = if quick { 32 } else { 512 };
+    let app = &paper_apps()[0]; // ResNet50 on ImageNet-21K
+    let mut cfg = TrainingConfig::new(app.dataset.clone(), app.model.clone(), nodes)
+        .batch_size(4)
+        .epochs(10);
+    cfg.max_sim_iters = if quick { 2 } else { 6 };
+    cfg.distinct_warm_epochs = 3;
+
+    let mut t = Table::new(
+        "fig11",
+        format!(
+            "Per-epoch training time (minutes) [BS=4, Eps=10, nNodes={nodes}]"
+        ),
+        vec!["system", "epoch_1", "R_epoch", "avg_epoch"],
+    );
+    for system in SystemKind::all() {
+        let mut backend = system.make_backend(nodes, 0xF11);
+        let r = simulate_training(backend.as_mut(), &cfg);
+        t.push_row(vec![
+            system.label(),
+            fmt_minutes(r.first_epoch().as_minutes_f64()),
+            fmt_minutes(r.best_random_epoch().as_minutes_f64()),
+            fmt_minutes(r.avg_epoch().as_minutes_f64()),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(t: &Table, system: &str, col: usize) -> f64 {
+        t.rows
+            .iter()
+            .find(|r| r[0] == system)
+            .unwrap_or_else(|| panic!("missing {system}"))[col]
+            .parse()
+            .unwrap()
+    }
+
+    #[test]
+    fn epoch1_vs_cached_epoch_shapes() {
+        let t = &run(true)[0];
+        // Epoch 1: HVAC is not faster than GPFS (both hit the PFS).
+        let gpfs_e1 = cell(t, "GPFS", 1);
+        for v in ["HVAC(1x1)", "HVAC(2x1)", "HVAC(4x1)"] {
+            assert!(cell(t, v, 1) >= gpfs_e1 * 0.9, "{v} epoch-1 too fast");
+        }
+        // Cached epoch: HVAC at or below GPFS; XFS lower-bounds everyone.
+        let gpfs_r = cell(t, "GPFS", 2);
+        let xfs_r = cell(t, "XFS-on-NVMe", 2);
+        for v in ["HVAC(1x1)", "HVAC(2x1)", "HVAC(4x1)"] {
+            let r = cell(t, v, 2);
+            assert!(r <= gpfs_r * 1.001, "{v} cached epoch {r} vs GPFS {gpfs_r}");
+            assert!(r >= xfs_r * 0.999, "{v} cached epoch {r} below XFS {xfs_r}");
+        }
+        // avg epoch sits between R_epoch and epoch_1 for HVAC.
+        let avg = cell(t, "HVAC(4x1)", 3);
+        assert!(avg >= cell(t, "HVAC(4x1)", 2) * 0.999);
+        assert!(avg <= cell(t, "HVAC(4x1)", 1) * 1.001);
+    }
+}

@@ -1,0 +1,101 @@
+//! Fig. 12 — impact of batch size on training time (TResNet_M with 80
+//! epochs, DeepCAM), at 512 nodes.
+//!
+//! Expected shape (paper §IV-D): increasing batch size from 4 to 128 only
+//! improves training time by ~2–4 % — for *every* system — because batching
+//! amortizes per-iteration overhead but the bytes moved stay the same. The
+//! paper's conclusion: batch size does not change the GPFS-vs-HVAC story.
+
+use crate::report::{fmt_minutes, Table};
+use crate::systems::{paper_apps, SystemKind};
+use hvac_dl::{simulate_training, TrainingConfig};
+
+/// Batch sizes swept.
+pub fn batch_scales(quick: bool, deepcam: bool) -> Vec<u32> {
+    match (quick, deepcam) {
+        (true, false) => vec![4, 32, 128],
+        (false, false) => vec![4, 8, 16, 32, 64, 128],
+        (true, true) => vec![2, 8],
+        (false, true) => vec![2, 4, 8, 16, 32],
+    }
+}
+
+/// Run the batch-size sweep: TResNet_M and DeepCAM tables.
+pub fn run(quick: bool) -> Vec<Table> {
+    let nodes = if quick { 32 } else { 512 };
+    let apps = paper_apps();
+    let selected = [
+        (apps[1].clone(), false, 80u32, "fig12a"), // TResNet_M [Eps=80]
+        (apps[3].clone(), true, 10u32, "fig12b"),  // DeepCAM
+    ];
+    let mut out = Vec::new();
+    for (app, is_deepcam, epochs, id) in selected {
+        let mut t = Table::new(
+            id,
+            format!(
+                "{}: training time (minutes) vs batch size [Eps={epochs}, nNodes={nodes}]",
+                app.name()
+            ),
+            vec![
+                "batch",
+                "GPFS",
+                "HVAC(1x1)",
+                "HVAC(2x1)",
+                "HVAC(4x1)",
+                "XFS-on-NVMe",
+            ],
+        );
+        for bs in batch_scales(quick, is_deepcam) {
+            let mut cfg = TrainingConfig::new(app.dataset.clone(), app.model.clone(), nodes)
+                .batch_size(bs)
+                .epochs(if quick { 4 } else { epochs });
+            cfg.max_sim_iters = if quick { 2 } else { 4 };
+            let mut row = vec![bs.to_string()];
+            for system in SystemKind::all() {
+                let mut backend = system.make_backend(nodes, 0xF12);
+                let r = simulate_training(backend.as_mut(), &cfg);
+                row.push(fmt_minutes(r.total_minutes()));
+            }
+            t.push_row(row);
+        }
+        out.push(t);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_size_has_modest_effect() {
+        let tables = run(true);
+        assert_eq!(tables.len(), 2);
+        let t = &tables[0]; // TResNet_M
+        let first: f64 = t.rows.first().unwrap()[1].parse().unwrap();
+        let last: f64 = t.rows.last().unwrap()[1].parse().unwrap();
+        // Bigger batches help, and never by an order of magnitude. (At the
+        // quick 32-node scale the job is compute/allreduce-bound so the
+        // amortization effect is larger than the paper's 2–4 %; the full
+        // 512-node run is I/O-bound and lands in the paper's band — see
+        // EXPERIMENTS.md.)
+        let gain = 1.0 - last / first;
+        assert!(gain > -0.05 && gain < 0.6, "GPFS batch gain {gain}");
+    }
+
+    #[test]
+    fn system_ordering_holds_at_every_batch_size() {
+        for t in run(true) {
+            for row in &t.rows {
+                let gpfs: f64 = row[1].parse().unwrap();
+                let h4: f64 = row[4].parse().unwrap();
+                let xfs: f64 = row[5].parse().unwrap();
+                assert!(xfs <= h4 * 1.001, "{}: {row:?}", t.id);
+                // Quick mode runs at 32 nodes where DeepCAM's huge samples
+                // make HVAC ~tie with GPFS; allow 25 % headroom (the full
+                // 512-node sweep shows HVAC winning cleanly).
+                assert!(h4 <= gpfs * 1.25, "{}: {row:?}", t.id);
+            }
+        }
+    }
+}

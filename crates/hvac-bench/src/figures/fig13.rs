@@ -1,0 +1,68 @@
+//! Fig. 13 — impact of cache locality on HVAC(1×1): what fraction of the
+//! dataset is resident on the training node itself (L%) vs on remote nodes
+//! (R%), at 512 nodes [BS=80].
+//!
+//! Expected shape (paper §IV-E): *negligible* differences — Mercury-style
+//! bulk transfers over the fat InfiniBand NIC make remote NVMe nearly as
+//! close as local NVMe, which is what justifies hash placement ignoring
+//! topology.
+
+use crate::report::{fmt_minutes, Table};
+use crate::systems::paper_apps;
+use hvac_dl::{simulate_training, TrainingConfig};
+use hvac_sim::iostack::HvacBackend;
+use hvac_types::ClusterConfig;
+
+/// The L/R splits of the figure.
+pub fn splits() -> Vec<(u32, u32)> {
+    vec![(100, 0), (75, 25), (50, 50), (25, 75), (0, 100)]
+}
+
+/// Run the locality sweep on HVAC(1×1).
+pub fn run(quick: bool) -> Vec<Table> {
+    let nodes = if quick { 16 } else { 512 };
+    let app = &paper_apps()[0]; // ResNet50 on ImageNet-21K
+    let mut cfg = TrainingConfig::new(app.dataset.clone(), app.model.clone(), nodes)
+        .batch_size(80)
+        .epochs(if quick { 3 } else { 10 });
+    cfg.max_sim_iters = if quick { 2 } else { 6 };
+
+    let mut t = Table::new(
+        "fig13",
+        format!("HVAC(1x1): training time (minutes) vs local/remote cache split [BS=80, nNodes={nodes}]"),
+        vec!["L%/R%", "total_minutes", "warm_epoch_minutes"],
+    );
+    for (l, r) in splits() {
+        let cluster = ClusterConfig::with_nodes(nodes);
+        let mut backend =
+            HvacBackend::new(&cluster, 0xF13).with_locality_split(l as f64 / 100.0);
+        let res = simulate_training(&mut backend, &cfg);
+        t.push_row(vec![
+            format!("{l}/{r}"),
+            fmt_minutes(res.total_minutes()),
+            fmt_minutes(res.best_random_epoch().as_minutes_f64()),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn locality_differences_are_negligible() {
+        let t = &run(true)[0];
+        assert_eq!(t.rows.len(), 5);
+        let totals: Vec<f64> = t.rows.iter().map(|r| r[1].parse().unwrap()).collect();
+        let min = totals.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = totals.iter().cloned().fold(0.0, f64::max);
+        // The paper reports a negligible spread; allow 15 % in the model.
+        assert!(
+            max / min < 1.15,
+            "locality split should barely matter: min {min}, max {max}"
+        );
+        // All-local is never slower than all-remote.
+        assert!(totals[0] <= totals[4] * 1.001);
+    }
+}

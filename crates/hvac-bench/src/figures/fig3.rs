@@ -1,0 +1,77 @@
+//! Fig. 3 — MDTest: 32 KiB random `<open-read-close>` transactions per
+//! second, GPFS vs XFS-on-NVMe, as the node count scales.
+//!
+//! Expected shape: GPFS saturates at the MDS pool's aggregate op rate while
+//! XFS scales linearly with nodes, opening the gap that motivates HVAC.
+
+use crate::report::Table;
+use hvac_sim::gpfs::GpfsModel;
+use hvac_sim::iostack::{GpfsBackend, XfsLocalBackend};
+use hvac_sim::mdtest::{run_mdtest, MdtestConfig};
+use hvac_types::ByteSize;
+
+/// Node counts swept (the paper goes to 4,096).
+pub fn node_scales(quick: bool) -> Vec<u32> {
+    if quick {
+        vec![8, 512, 4096]
+    } else {
+        vec![2, 8, 32, 128, 512, 1024, 2048, 4096]
+    }
+}
+
+pub(crate) fn mdtest_table(id: &str, title: &str, size: ByteSize, quick: bool) -> Table {
+    let mut t = Table::new(
+        id,
+        title,
+        vec!["nodes", "GPFS_tps", "XFS_tps", "XFS/GPFS"],
+    );
+    for nodes in node_scales(quick) {
+        let cfg = MdtestConfig {
+            nodes,
+            procs_per_node: 2,
+            txns_per_proc: if quick { 16 } else { 64 },
+            file_size: size,
+        };
+        let mut gpfs_model = GpfsModel::summit();
+        gpfs_model.set_client_count(nodes * cfg.procs_per_node);
+        let gpfs = run_mdtest(GpfsBackend::new(gpfs_model), cfg.clone());
+        let xfs = run_mdtest(XfsLocalBackend::summit(nodes), cfg);
+        t.push_row(vec![
+            nodes.to_string(),
+            format!("{:.0}", gpfs.tps),
+            format!("{:.0}", xfs.tps),
+            format!("{:.1}x", xfs.tps / gpfs.tps),
+        ]);
+    }
+    t
+}
+
+/// Run the Fig. 3 sweep.
+pub fn run(quick: bool) -> Vec<Table> {
+    vec![mdtest_table(
+        "fig3",
+        "MDTest 32 KiB open-read-close transactions/s (GPFS vs XFS-on-NVMe)",
+        ByteSize::kib(32),
+        quick,
+    )]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn gpfs_saturates_and_xfs_scales() {
+        let t = &super::run(true)[0];
+        let tps = |row: usize, col: usize| -> f64 { t.rows[row][col].parse().unwrap() };
+        // XFS grows ~linearly 8 -> 4096 nodes (512x).
+        let xfs_growth = tps(2, 2) / tps(0, 2);
+        assert!(xfs_growth > 300.0, "xfs growth {xfs_growth}");
+        // GPFS saturates at the MDS pool's capacity long before 4096 nodes.
+        let gpfs_growth = tps(2, 1) / tps(0, 1);
+        assert!(
+            gpfs_growth < xfs_growth / 2.0,
+            "gpfs {gpfs_growth} vs xfs {xfs_growth}"
+        );
+        // XFS dwarfs GPFS at 4096 nodes.
+        assert!(tps(2, 2) > tps(2, 1) * 5.0);
+    }
+}

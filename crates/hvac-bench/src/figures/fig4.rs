@@ -1,0 +1,51 @@
+//! Fig. 4 — MDTest: 8 MiB random `<open-read-close>` transactions per
+//! second. At this size the bottleneck shifts from metadata to bandwidth:
+//! GPFS caps at ~2.5 TB/s aggregate (~300 K txn/s) while the NVMe aggregate
+//! reaches 22.5 TB/s at 4,096 nodes (§II-C).
+
+use crate::figures::fig3::mdtest_table;
+use crate::report::Table;
+use hvac_types::ByteSize;
+
+/// Run the Fig. 4 sweep.
+pub fn run(quick: bool) -> Vec<Table> {
+    vec![mdtest_table(
+        "fig4",
+        "MDTest 8 MiB open-read-close transactions/s (GPFS vs XFS-on-NVMe)",
+        ByteSize::mib(8),
+        quick,
+    )]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::fig3;
+
+    #[test]
+    fn bandwidth_bound_shape() {
+        // Full sweep is cheap for MDTest; check the 4096-node endpoints.
+        let t = &run(false)[0];
+        let last = t.rows.last().unwrap();
+        let gpfs_tps: f64 = last[1].parse().unwrap();
+        let xfs_tps: f64 = last[2].parse().unwrap();
+        // GPFS ceiling: 2.5 TB/s / 8 MiB ≈ 298 K. Stay within 2x below it.
+        let ceiling = 2.5e12 / (8.0 * 1024.0 * 1024.0);
+        assert!(gpfs_tps <= ceiling * 1.05, "gpfs {gpfs_tps} above ceiling");
+        assert!(gpfs_tps >= ceiling * 0.4, "gpfs {gpfs_tps} far below ceiling");
+        // XFS aggregate: 22.5 TB/s / 8 MiB ≈ 2.68 M txn/s — ~9x GPFS.
+        let ratio = xfs_tps / gpfs_tps;
+        assert!(ratio > 5.0 && ratio < 15.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn large_files_lower_tps_than_small() {
+        let small = &fig3::run(true)[0];
+        let large = &run(true)[0];
+        for (rs, rl) in small.rows.iter().zip(&large.rows) {
+            let s: f64 = rs[2].parse().unwrap();
+            let l: f64 = rl[2].parse().unwrap();
+            assert!(s > l, "XFS 32KiB tps {s} should exceed 8MiB tps {l}");
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Fig. 9 — (a) HVAC training-time improvement normalized to GPFS and
+//! (b) overhead normalized to XFS-on-NVMe, derived from the Fig. 8 sweep.
+//!
+//! Paper targets: 7–25 % improvement up to 256 nodes and >50 % at 512/1,024
+//! (Fig. 9a); overhead vs XFS ordered HVAC(1×1) ≈ 25 % > (2×1) ≈ 14 % >
+//! (4×1) ≈ 9 % (Fig. 9b).
+
+use crate::figures::fig8::SweepPoint;
+use crate::report::{fmt_pct, Table};
+use crate::systems::SystemKind;
+
+fn minutes(points: &[SweepPoint], app: &str, nodes: u32, system: SystemKind) -> f64 {
+    points
+        .iter()
+        .find(|p| p.app == app && p.nodes == nodes && p.system == system)
+        .expect("complete sweep")
+        .result
+        .total_minutes()
+}
+
+fn apps_of(points: &[SweepPoint]) -> Vec<String> {
+    let mut out = Vec::new();
+    for p in points {
+        if !out.contains(&p.app) {
+            out.push(p.app.clone());
+        }
+    }
+    out
+}
+
+fn nodes_of(points: &[SweepPoint]) -> Vec<u32> {
+    let mut out: Vec<u32> = points.iter().map(|p| p.nodes).collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Mean over apps of `1 - hvac/gpfs` for each (variant, node count).
+pub fn improvement_vs_gpfs(points: &[SweepPoint], variant: u32, nodes: u32) -> f64 {
+    let apps = apps_of(points);
+    let mut acc = 0.0;
+    for app in &apps {
+        let gpfs = minutes(points, app, nodes, SystemKind::Gpfs);
+        let hvac = minutes(points, app, nodes, SystemKind::Hvac(variant));
+        acc += 1.0 - hvac / gpfs;
+    }
+    acc / apps.len() as f64
+}
+
+/// Mean over apps of `hvac/xfs - 1` for each (variant, node count).
+pub fn overhead_vs_xfs(points: &[SweepPoint], variant: u32, nodes: u32) -> f64 {
+    let apps = apps_of(points);
+    let mut acc = 0.0;
+    for app in &apps {
+        let xfs = minutes(points, app, nodes, SystemKind::Xfs);
+        let hvac = minutes(points, app, nodes, SystemKind::Hvac(variant));
+        acc += hvac / xfs - 1.0;
+    }
+    acc / apps.len() as f64
+}
+
+/// Render Fig. 9 (a) and (b) from the Fig. 8 sweep.
+pub fn tables(points: &[SweepPoint]) -> Vec<Table> {
+    let nodes_list = nodes_of(points);
+    let variants = [1u32, 2, 4];
+
+    let mut a = Table::new(
+        "fig9a",
+        "Training-time improvement over GPFS (mean of 4 apps)",
+        vec!["nodes", "HVAC(1x1)", "HVAC(2x1)", "HVAC(4x1)"],
+    );
+    for &nodes in &nodes_list {
+        let mut row = vec![nodes.to_string()];
+        for &v in &variants {
+            row.push(fmt_pct(improvement_vs_gpfs(points, v, nodes)));
+        }
+        a.push_row(row);
+    }
+
+    let mut b = Table::new(
+        "fig9b",
+        "Training-time overhead vs XFS-on-NVMe (mean of 4 apps)",
+        vec!["nodes", "HVAC(1x1)", "HVAC(2x1)", "HVAC(4x1)"],
+    );
+    let mut avg = [0.0f64; 3];
+    for &nodes in &nodes_list {
+        let mut row = vec![nodes.to_string()];
+        for (i, &v) in variants.iter().enumerate() {
+            let o = overhead_vs_xfs(points, v, nodes);
+            avg[i] += o / nodes_list.len() as f64;
+            row.push(fmt_pct(o));
+        }
+        b.push_row(row);
+    }
+    b.push_row(vec![
+        "mean".to_string(),
+        fmt_pct(avg[0]),
+        fmt_pct(avg[1]),
+        fmt_pct(avg[2]),
+    ]);
+
+    vec![a, b]
+}
+
+/// Run Fig. 8's sweep and derive Fig. 9.
+pub fn run(quick: bool) -> Vec<Table> {
+    tables(&crate::figures::fig8::sweep(quick))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::fig8;
+
+    #[test]
+    fn overhead_ordering_matches_paper() {
+        let points = fig8::sweep(true);
+        for nodes in fig8::node_scales(true) {
+            let o1 = overhead_vs_xfs(&points, 1, nodes);
+            let o2 = overhead_vs_xfs(&points, 2, nodes);
+            let o4 = overhead_vs_xfs(&points, 4, nodes);
+            // Quick scales are compute-bound; the variant ordering holds up
+            // to ~2 % placement noise (the full sweep shows it cleanly).
+            assert!(
+                o1 >= o2 - 0.02 && o2 >= o4 - 0.02,
+                "{nodes}: {o1} {o2} {o4}"
+            );
+            assert!(o4 >= -0.02, "HVAC cannot beat the upper bound: {o4}");
+        }
+    }
+
+    #[test]
+    fn improvement_is_nonnegative_at_quick_scales() {
+        let points = fig8::sweep(true);
+        for nodes in fig8::node_scales(true) {
+            for v in [1, 2, 4] {
+                let g = improvement_vs_gpfs(&points, v, nodes);
+                assert!(g > -0.05, "variant {v}@{nodes} regressed vs GPFS: {g}");
+            }
+        }
+    }
+
+    #[test]
+    fn tables_have_all_rows() {
+        let points = fig8::sweep(true);
+        let tables = tables(&points);
+        assert_eq!(tables[0].rows.len(), fig8::node_scales(true).len());
+        assert_eq!(tables[1].rows.len(), fig8::node_scales(true).len() + 1); // + mean
+    }
+}

@@ -1,0 +1,20 @@
+//! One module per paper artifact. Every module exposes `run(quick) ->
+//! Vec<Table>` (figures with shared expensive sweeps also expose the raw
+//! sweep so the `reproduce` binary can compute it once).
+//!
+//! `quick = true` shrinks node counts and simulated iterations so the whole
+//! suite runs in seconds (used by Criterion benches and CI); `quick = false`
+//! runs the paper-scale sweeps.
+
+pub mod ablation;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig3;
+pub mod fig4;
+pub mod fig8;
+pub mod fig9;
+pub mod table1;

@@ -1,0 +1,27 @@
+//! Table I — the Summit compute-node specification.
+
+use crate::report::Table;
+
+/// Render Table I from the constants in `hvac_types::summit`.
+pub fn run(_quick: bool) -> Vec<Table> {
+    let mut t = Table::new(
+        "table1",
+        "The compute node specification of Summit",
+        vec!["Attribute", "Description"],
+    );
+    for (k, v) in hvac_types::summit::table1_rows() {
+        t.push_row(vec![k.to_string(), v]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn has_six_attributes() {
+        let tables = super::run(false);
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].rows.len(), 6);
+        assert!(tables[0].render().contains("NVIDIA Tesla Volta"));
+    }
+}

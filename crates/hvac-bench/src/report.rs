@@ -1,0 +1,182 @@
+//! Result tables: aligned terminal printing + CSV output.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// One figure/table worth of results.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// Identifier ("fig8a", "table1", ...): also the CSV file stem.
+    pub id: String,
+    /// Human-readable caption.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Row-major cells, all pre-formatted.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Build with string-ish inputs.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        columns: Vec<impl Into<String>>,
+    ) -> Self {
+        Self {
+            id: id.into(),
+            title: title.into(),
+            columns: columns.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the column count).
+    pub fn push_row(&mut self, row: Vec<impl Into<String>>) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "row width mismatch in table {}",
+            self.id
+        );
+        self.rows.push(row);
+    }
+
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {} ==", self.id, self.title);
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            let mut s = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    s.push_str("  ");
+                }
+                let _ = write!(s, "{:>width$}", cell, width = widths[i]);
+            }
+            s
+        };
+        let _ = writeln!(out, "{}", line(&self.columns, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+
+    /// Render as CSV (header + rows; commas in cells are quoted).
+    pub fn to_csv(&self) -> String {
+        fn field(s: &str) -> String {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.columns.iter().map(|c| field(c)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| field(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+
+    /// Write `<dir>/<id>.csv`, creating the directory.
+    pub fn write_csv(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.csv", self.id));
+        fs::write(&path, self.to_csv())?;
+        Ok(path)
+    }
+}
+
+/// Format minutes with sensible precision.
+pub fn fmt_minutes(m: f64) -> String {
+    if m >= 100.0 {
+        format!("{m:.0}")
+    } else if m >= 1.0 {
+        format!("{m:.2}")
+    } else {
+        format!("{m:.4}")
+    }
+}
+
+/// Format a ratio as a percentage.
+pub fn fmt_pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("t1", "demo", vec!["nodes", "tps"]);
+        t.push_row(vec!["2", "100"]);
+        t.push_row(vec!["1024", "99999"]);
+        t
+    }
+
+    #[test]
+    fn render_aligns_columns() {
+        let s = sample().render();
+        assert!(s.contains("== t1 — demo =="));
+        assert!(s.contains("nodes"));
+        let lines: Vec<&str> = s.lines().collect();
+        // Header and both rows present (title + header + rule + 2 rows).
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("x", "x", vec!["a", "b"]);
+        t.push_row(vec!["only one"]);
+    }
+
+    #[test]
+    fn csv_round_trip_and_quoting() {
+        let mut t = Table::new("q", "quoting", vec!["name", "value"]);
+        t.push_row(vec!["plain", "1"]);
+        t.push_row(vec!["with,comma", "with\"quote"]);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("name,value\n"));
+        assert!(csv.contains("\"with,comma\""));
+        assert!(csv.contains("\"with\"\"quote\""));
+    }
+
+    #[test]
+    fn write_csv_creates_file() {
+        let dir = std::env::temp_dir().join(format!("hvac-report-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let path = sample().write_csv(&dir).unwrap();
+        assert!(path.ends_with("t1.csv"));
+        assert!(fs::read_to_string(&path).unwrap().contains("1024"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_minutes(123.4), "123");
+        assert_eq!(fmt_minutes(12.345), "12.35");
+        assert_eq!(fmt_minutes(0.5), "0.5000");
+        assert_eq!(fmt_pct(0.251), "25.1%");
+    }
+}

@@ -1,0 +1,133 @@
+//! The systems and applications under test, exactly as §IV-A defines them.
+
+use hvac_dl::{DatasetSpec, DnnModel};
+use hvac_sim::gpfs::GpfsModel;
+use hvac_sim::iostack::{GpfsBackend, HvacBackend, IoBackend, XfsLocalBackend};
+use hvac_types::{ClusterConfig, GpfsConfig};
+
+/// A system column of the paper's plots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SystemKind {
+    /// The shared parallel file system baseline.
+    Gpfs,
+    /// HVAC with `i` server instances per node — HVAC (i×1).
+    Hvac(u32),
+    /// The staged node-local upper bound.
+    Xfs,
+}
+
+impl SystemKind {
+    /// The five columns of Fig. 8.
+    pub fn all() -> Vec<SystemKind> {
+        vec![
+            SystemKind::Gpfs,
+            SystemKind::Hvac(1),
+            SystemKind::Hvac(2),
+            SystemKind::Hvac(4),
+            SystemKind::Xfs,
+        ]
+    }
+
+    /// Display label matching the paper's legends.
+    pub fn label(&self) -> String {
+        match self {
+            SystemKind::Gpfs => "GPFS".into(),
+            SystemKind::Hvac(i) => format!("HVAC({i}x1)"),
+            SystemKind::Xfs => "XFS-on-NVMe".into(),
+        }
+    }
+
+    /// Instantiate the simulator backend for a job of `nodes` nodes.
+    pub fn make_backend(&self, nodes: u32, seed: u64) -> Box<dyn IoBackend> {
+        match self {
+            SystemKind::Gpfs => {
+                Box::new(GpfsBackend::new(GpfsModel::new(GpfsConfig::shared_alpine())))
+            }
+            SystemKind::Hvac(instances) => {
+                let mut cfg = ClusterConfig::with_nodes(nodes);
+                cfg.hvac.instances_per_node = *instances;
+                cfg.gpfs = GpfsConfig::shared_alpine();
+                Box::new(HvacBackend::new(&cfg, seed))
+            }
+            SystemKind::Xfs => Box::new(XfsLocalBackend::summit(nodes)),
+        }
+    }
+}
+
+/// One of the four DL applications of §IV-A2.
+#[derive(Debug, Clone)]
+pub struct AppSpec {
+    /// Network model.
+    pub model: DnnModel,
+    /// Dataset.
+    pub dataset: DatasetSpec,
+    /// Per-rank batch size used in the Fig. 8 sweep (the paper's captions
+    /// list BS per app; values chosen to match each app's published configs).
+    pub batch_size: u32,
+}
+
+impl AppSpec {
+    /// Application name.
+    pub fn name(&self) -> &str {
+        &self.model.name
+    }
+}
+
+/// The four (application, dataset) pairs of the evaluation:
+/// ResNet50 and TResNet_M on ImageNet-21K, CosmoFlow on cosmoUniverse,
+/// DeepCAM on the climate tiles.
+pub fn paper_apps() -> Vec<AppSpec> {
+    vec![
+        AppSpec {
+            model: DnnModel::resnet50(),
+            dataset: DatasetSpec::imagenet21k(),
+            batch_size: 32,
+        },
+        AppSpec {
+            model: DnnModel::tresnet_m(),
+            dataset: DatasetSpec::imagenet21k(),
+            batch_size: 32,
+        },
+        AppSpec {
+            model: DnnModel::cosmoflow(),
+            dataset: DatasetSpec::cosmouniverse(),
+            batch_size: 8,
+        },
+        AppSpec {
+            model: DnnModel::deepcam(),
+            dataset: DatasetSpec::deepcam(),
+            batch_size: 2,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_systems_with_paper_labels() {
+        let labels: Vec<String> = SystemKind::all().iter().map(|s| s.label()).collect();
+        assert_eq!(
+            labels,
+            vec!["GPFS", "HVAC(1x1)", "HVAC(2x1)", "HVAC(4x1)", "XFS-on-NVMe"]
+        );
+    }
+
+    #[test]
+    fn backends_instantiate_and_label_consistently() {
+        for sys in SystemKind::all() {
+            let backend = sys.make_backend(4, 1);
+            assert_eq!(backend.label(), sys.label());
+        }
+    }
+
+    #[test]
+    fn four_apps_match_paper() {
+        let apps = paper_apps();
+        assert_eq!(apps.len(), 4);
+        assert_eq!(apps[0].name(), "ResNet50");
+        assert_eq!(apps[2].dataset.name, "cosmoUniverse");
+        assert_eq!(apps[3].batch_size, 2);
+    }
+}

@@ -1,0 +1,582 @@
+//! The HVAC client library (paper §III-D, §III-F).
+//!
+//! The client is what the `LD_PRELOAD` shim (or an embedding application)
+//! talks to. It keeps a descriptor table for intercepted files, computes the
+//! home server of each path by hashing (§III-E), and forwards
+//! `<open, read, close>` as RPCs. With replication enabled it fails over to
+//! the next replica when a server is down (§III-H, implemented here).
+
+use crate::intercept::DatasetMatcher;
+use crate::metrics::ClientMetrics;
+use crate::protocol::{Request, Response};
+use bytes::Bytes;
+use hvac_hash::placement::{make_placement, Placement};
+use hvac_hash::pathhash::{hash_path, mix64};
+use hvac_net::fabric::{Fabric, Reply};
+use hvac_types::{HvacError, PlacementKind, Result, ServerId};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Client configuration.
+#[derive(Debug, Clone)]
+pub struct HvacClientOptions {
+    /// Directory whose files are cached (the `HVAC_DATASET_DIR` contract).
+    pub dataset_dir: PathBuf,
+    /// Placement algorithm — must match the rest of the job.
+    pub placement: PlacementKind,
+    /// Replicas per file (1 = paper's single-home design).
+    pub replication: u32,
+    /// Total HVAC server instances in the allocation.
+    pub n_servers: usize,
+    /// Server instances per node (for address derivation).
+    pub instances_per_node: u32,
+}
+
+impl HvacClientOptions {
+    /// Options for a single-home (no replication) job.
+    pub fn new<P: Into<PathBuf>>(dataset_dir: P, n_servers: usize, instances_per_node: u32) -> Self {
+        Self {
+            dataset_dir: dataset_dir.into(),
+            placement: PlacementKind::Modulo,
+            replication: 1,
+            n_servers,
+            instances_per_node,
+        }
+    }
+}
+
+/// Whence values for [`HvacClient::lseek`], mirroring POSIX.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Whence {
+    /// Absolute position.
+    Set,
+    /// Relative to the current position.
+    Cur,
+    /// Relative to end-of-file.
+    End,
+}
+
+#[derive(Debug)]
+struct OpenFile {
+    path: PathBuf,
+    size: u64,
+    pos: u64,
+}
+
+/// A per-process HVAC client.
+pub struct HvacClient {
+    fabric: Arc<Fabric>,
+    placement: Box<dyn Placement>,
+    matcher: DatasetMatcher,
+    options: HvacClientOptions,
+    fds: Mutex<HashMap<u64, OpenFile>>,
+    next_fd: AtomicU64,
+    metrics: ClientMetrics,
+}
+
+/// The fabric address of a server instance, by global index.
+pub fn server_addr(global_index: usize, instances_per_node: u32) -> String {
+    ServerId::from_global_index(global_index, instances_per_node).to_string()
+}
+
+impl HvacClient {
+    /// Build a client over a fabric.
+    pub fn new(fabric: Arc<Fabric>, options: HvacClientOptions) -> Result<Self> {
+        if options.n_servers == 0 {
+            return Err(HvacError::InvalidConfig("n_servers must be >= 1".into()));
+        }
+        if options.replication == 0 {
+            return Err(HvacError::InvalidConfig("replication must be >= 1".into()));
+        }
+        Ok(Self {
+            placement: make_placement(options.placement),
+            matcher: DatasetMatcher::new(&options.dataset_dir),
+            fabric,
+            options,
+            fds: Mutex::new(HashMap::new()),
+            next_fd: AtomicU64::new(1),
+            metrics: ClientMetrics::default(),
+        })
+    }
+
+    /// Whether HVAC should intercept this path (the shim falls back to the
+    /// real libc call otherwise).
+    pub fn intercepts<P: AsRef<Path>>(&self, path: P) -> bool {
+        self.matcher.matches(path)
+    }
+
+    /// Client metrics.
+    pub fn metrics(&self) -> &ClientMetrics {
+        &self.metrics
+    }
+
+    /// Replica addresses of a path, home first.
+    pub fn replica_addrs(&self, path: &Path) -> Vec<String> {
+        let fid = hash_path(path);
+        self.placement
+            .replicas(fid, self.options.n_servers, self.options.replication as usize)
+            .into_iter()
+            .map(|idx| server_addr(idx, self.options.instances_per_node))
+            .collect()
+    }
+
+    /// Issue an RPC to the first healthy replica of `path`.
+    fn call(&self, path: &Path, req: &Request) -> Result<Reply> {
+        let encoded = req.encode()?;
+        let addrs = self.replica_addrs(path);
+        let mut last = None;
+        for (i, addr) in addrs.iter().enumerate() {
+            match self.fabric.call(addr, encoded.clone()) {
+                Ok(reply) => {
+                    if i > 0 {
+                        self.metrics.failovers.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return Ok(reply);
+                }
+                Err(e @ HvacError::ServerDown(_)) => last = Some(e),
+                Err(other) => return Err(other),
+            }
+        }
+        Err(last.unwrap_or_else(|| HvacError::Rpc("no replicas".into())))
+    }
+
+    /// Open a dataset file; returns an HVAC descriptor.
+    pub fn open(&self, path: &Path) -> Result<u64> {
+        if !self.intercepts(path) {
+            self.metrics
+                .passthrough_opens
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(HvacError::Protocol(format!(
+                "{} is outside the dataset directory {}",
+                path.display(),
+                self.matcher.root().display()
+            )));
+        }
+        let reply = self.call(path, &Request::Stat {
+            path: path.to_path_buf(),
+        })?;
+        let size = match Response::decode(reply.header)?.into_result()? {
+            Response::Stat { size } => size,
+            other => {
+                return Err(HvacError::Protocol(format!(
+                    "unexpected stat reply: {other:?}"
+                )))
+            }
+        };
+        let fd = self.next_fd.fetch_add(1, Ordering::Relaxed);
+        self.fds.lock().insert(
+            fd,
+            OpenFile {
+                path: path.to_path_buf(),
+                size,
+                pos: 0,
+            },
+        );
+        self.metrics.opens.fetch_add(1, Ordering::Relaxed);
+        Ok(fd)
+    }
+
+    fn with_fd<T>(&self, fd: u64, f: impl FnOnce(&mut OpenFile) -> T) -> Result<T> {
+        let mut fds = self.fds.lock();
+        fds.get_mut(&fd)
+            .map(f)
+            .ok_or(HvacError::BadFd(fd as i32))
+    }
+
+    /// Positional read (POSIX `pread`): does not move the file position.
+    pub fn pread(&self, fd: u64, offset: u64, len: usize) -> Result<Bytes> {
+        let path = self.with_fd(fd, |of| of.path.clone())?;
+        self.read_path_at(&path, offset, len)
+    }
+
+    /// Sequential read: reads at the current position and advances it.
+    pub fn read(&self, fd: u64, len: usize) -> Result<Bytes> {
+        let (path, pos) = self.with_fd(fd, |of| (of.path.clone(), of.pos))?;
+        let data = self.read_path_at(&path, pos, len)?;
+        self.with_fd(fd, |of| of.pos = pos + data.len() as u64)?;
+        Ok(data)
+    }
+
+    /// POSIX `lseek`. Returns the new position.
+    pub fn lseek(&self, fd: u64, offset: i64, whence: Whence) -> Result<u64> {
+        self.with_fd(fd, |of| {
+            let base = match whence {
+                Whence::Set => 0i64,
+                Whence::Cur => of.pos as i64,
+                Whence::End => of.size as i64,
+            };
+            let newpos = base.checked_add(offset).filter(|&p| p >= 0).ok_or(
+                HvacError::Protocol(format!("seek to negative offset {offset}")),
+            )?;
+            of.pos = newpos as u64;
+            Ok(of.pos)
+        })?
+    }
+
+    /// Size recorded at open time.
+    pub fn fd_size(&self, fd: u64) -> Result<u64> {
+        self.with_fd(fd, |of| of.size)
+    }
+
+    /// Close a descriptor, sending the out-of-band teardown RPC (§III-D ⑧).
+    pub fn close(&self, fd: u64) -> Result<()> {
+        let path = {
+            let mut fds = self.fds.lock();
+            fds.remove(&fd).ok_or(HvacError::BadFd(fd as i32))?.path
+        };
+        self.metrics.closes.fetch_add(1, Ordering::Relaxed);
+        // Teardown is advisory; a down server must not fail the close.
+        let _ = self.call(&path, &Request::Close { path: path.clone() });
+        Ok(())
+    }
+
+    /// Stat without opening.
+    pub fn stat(&self, path: &Path) -> Result<u64> {
+        let reply = self.call(path, &Request::Stat {
+            path: path.to_path_buf(),
+        })?;
+        match Response::decode(reply.header)?.into_result()? {
+            Response::Stat { size } => Ok(size),
+            other => Err(HvacError::Protocol(format!(
+                "unexpected stat reply: {other:?}"
+            ))),
+        }
+    }
+
+    fn read_path_at(&self, path: &Path, offset: u64, len: usize) -> Result<Bytes> {
+        let reply = self.call(path, &Request::Read {
+            path: path.to_path_buf(),
+            offset,
+            len: len as u64,
+        })?;
+        let resp = Response::decode(reply.header)?.into_result()?;
+        match resp {
+            Response::Data { .. } => {
+                let data = reply.bulk.unwrap_or_default();
+                self.metrics.reads.fetch_add(1, Ordering::Relaxed);
+                self.metrics
+                    .bytes
+                    .fetch_add(data.len() as u64, Ordering::Relaxed);
+                Ok(data)
+            }
+            other => Err(HvacError::Protocol(format!(
+                "unexpected read reply: {other:?}"
+            ))),
+        }
+    }
+
+    /// Read a whole file at **segment granularity** (the §III-E alternative
+    /// to file-granular caching): the file is cut into `segment_size` byte
+    /// segments, each homed on its *own* server (`hash(path, segment)`), so
+    /// a multi-gigabyte file spreads over the allocation instead of landing
+    /// on one NVMe. Returns the reassembled contents.
+    pub fn read_file_segmented(&self, path: &Path, segment_size: u64) -> Result<Bytes> {
+        if segment_size == 0 {
+            return Err(HvacError::InvalidConfig("segment_size must be > 0".into()));
+        }
+        let size = self.stat(path)?;
+        self.metrics.opens.fetch_add(1, Ordering::Relaxed);
+        let mut assembled = bytes::BytesMut::with_capacity(size as usize);
+        let mut offset = 0u64;
+        let mut seg_index = 0u64;
+        while offset < size {
+            let len = segment_size.min(size - offset);
+            let addrs = self.segment_replica_addrs(path, seg_index);
+            let req = Request::ReadSegment {
+                path: path.to_path_buf(),
+                offset,
+                len,
+            };
+            let encoded = req.encode()?;
+            let mut reply = None;
+            let mut last = None;
+            for (i, addr) in addrs.iter().enumerate() {
+                match self.fabric.call(addr, encoded.clone()) {
+                    Ok(r) => {
+                        if i > 0 {
+                            self.metrics.failovers.fetch_add(1, Ordering::Relaxed);
+                        }
+                        reply = Some(r);
+                        break;
+                    }
+                    Err(e @ HvacError::ServerDown(_)) => last = Some(e),
+                    Err(other) => return Err(other),
+                }
+            }
+            let reply = match reply {
+                Some(r) => r,
+                None => return Err(last.unwrap_or_else(|| HvacError::Rpc("no replicas".into()))),
+            };
+            match Response::decode(reply.header)?.into_result()? {
+                Response::Data { .. } => {
+                    let data = reply.bulk.unwrap_or_default();
+                    if data.len() as u64 != len {
+                        return Err(HvacError::Protocol(format!(
+                            "segment {seg_index} of {} returned {} bytes, expected {len}",
+                            path.display(),
+                            data.len()
+                        )));
+                    }
+                    self.metrics.reads.fetch_add(1, Ordering::Relaxed);
+                    self.metrics
+                        .bytes
+                        .fetch_add(data.len() as u64, Ordering::Relaxed);
+                    assembled.extend_from_slice(&data);
+                }
+                other => {
+                    return Err(HvacError::Protocol(format!(
+                        "unexpected segment reply: {other:?}"
+                    )))
+                }
+            }
+            offset += len;
+            seg_index += 1;
+        }
+        self.metrics.closes.fetch_add(1, Ordering::Relaxed);
+        Ok(assembled.freeze())
+    }
+
+    /// Replica addresses of one segment of a path, home first. Each segment
+    /// hashes independently, so segments of one file spread across servers.
+    pub fn segment_replica_addrs(&self, path: &Path, seg_index: u64) -> Vec<String> {
+        let fid = hash_path(path);
+        let seg_fid = hvac_types::FileId(mix64(fid.0 ^ seg_index.wrapping_mul(0x9e37_79b9_7f4a_7c15)));
+        self.placement
+            .replicas(seg_fid, self.options.n_servers, self.options.replication as usize)
+            .into_iter()
+            .map(|idx| server_addr(idx, self.options.instances_per_node))
+            .collect()
+    }
+
+    /// Ask the home server of every path to stage it in the background
+    /// (the paper's §IV-C prefetching future work). Paths are grouped by
+    /// home server and sent as one RPC per server; returns the number of
+    /// paths submitted. Staging is asynchronous — subsequent reads of a
+    /// still-copying file simply piggyback on the in-flight copy.
+    pub fn prefetch<'a, I>(&self, paths: I) -> Result<usize>
+    where
+        I: IntoIterator<Item = &'a Path>,
+    {
+        let mut by_server: HashMap<String, Vec<PathBuf>> = HashMap::new();
+        let mut submitted = 0usize;
+        for path in paths {
+            if !self.intercepts(path) {
+                continue;
+            }
+            let addr = self
+                .replica_addrs(path)
+                .into_iter()
+                .next()
+                .expect("replication >= 1");
+            by_server.entry(addr).or_default().push(path.to_path_buf());
+            submitted += 1;
+        }
+        for (addr, batch) in by_server {
+            let req = Request::Prefetch { paths: batch };
+            let reply = self.fabric.call(&addr, req.encode()?)?;
+            Response::decode(reply.header)?.into_result()?;
+        }
+        Ok(submitted)
+    }
+
+    /// Convenience: `<open, read-entire-file, close>` — the exact transaction
+    /// the paper's DL profile shows per training sample (§III-F).
+    pub fn read_file(&self, path: &Path) -> Result<Bytes> {
+        let fd = self.open(path)?;
+        let size = self.fd_size(fd)?;
+        let result = self.pread(fd, 0, size as usize);
+        self.close(fd)?;
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CacheManager;
+    use crate::eviction::make_policy;
+    use crate::server::{HvacServer, HvacServerOptions};
+    use hvac_pfs::{FileStore, MemStore};
+    use hvac_storage::LocalStore;
+    use hvac_types::{ByteSize, EvictionPolicyKind};
+
+    type ServerSet = Vec<(Arc<HvacServer>, hvac_net::fabric::ServerEndpoint)>;
+
+    /// Three-node mini-allocation on one fabric.
+    fn setup2(replication: u32) -> (Arc<MemStore>, Arc<Fabric>, ServerSet, HvacClient) {
+        let pfs = Arc::new(MemStore::new());
+        pfs.synthesize_dataset(Path::new("/gpfs/set"), 24, |i| 64 + (i as usize % 5) * 16);
+        let fabric = Arc::new(Fabric::new());
+        let mut servers = Vec::new();
+        for node in 0..3u32 {
+            let cache = Arc::new(CacheManager::new(
+                LocalStore::in_memory(ByteSize(1 << 20)),
+                make_policy(EvictionPolicyKind::Random, node as u64),
+            ));
+            let server = HvacServer::new(
+                cache,
+                pfs.clone(),
+                HvacServerOptions::default(),
+                &format!("n{node}"),
+            );
+            let ep = server
+                .serve(&fabric, &server_addr(node as usize, 1))
+                .unwrap();
+            servers.push((server, ep));
+        }
+        let mut opts = HvacClientOptions::new("/gpfs/set", 3, 1);
+        opts.replication = replication;
+        let client = HvacClient::new(fabric.clone(), opts).unwrap();
+        (pfs, fabric, servers, client)
+    }
+
+    fn sample(i: u32) -> PathBuf {
+        PathBuf::from(format!("/gpfs/set/sample_{i:08}.bin"))
+    }
+
+    #[test]
+    fn open_read_close_round_trip() {
+        let (pfs, _fabric, _servers, client) = setup2(1);
+        let p = sample(0);
+        let expected = pfs.read_all(&p).unwrap();
+
+        let fd = client.open(&p).unwrap();
+        assert_eq!(client.fd_size(fd).unwrap(), expected.len() as u64);
+        let data = client.read(fd, expected.len()).unwrap();
+        assert_eq!(data, expected);
+        // Position advanced to EOF; next read is empty.
+        assert_eq!(client.read(fd, 10).unwrap().len(), 0);
+        client.close(fd).unwrap();
+        assert!(matches!(client.read(fd, 1), Err(HvacError::BadFd(_))));
+
+        let (opens, reads, bytes, closes, _, _) = client.metrics().snapshot();
+        assert_eq!(opens, 1);
+        assert_eq!(reads, 2);
+        assert_eq!(bytes, expected.len() as u64);
+        assert_eq!(closes, 1);
+    }
+
+    #[test]
+    fn pread_does_not_move_position() {
+        let (_pfs, _f, _s, client) = setup2(1);
+        let fd = client.open(&sample(1)).unwrap();
+        let a = client.pread(fd, 10, 8).unwrap();
+        let b = client.read(fd, 8).unwrap(); // still at offset 0
+        assert_ne!(a, b);
+        client.close(fd).unwrap();
+    }
+
+    #[test]
+    fn lseek_semantics() {
+        let (_pfs, _f, _s, client) = setup2(1);
+        let fd = client.open(&sample(2)).unwrap();
+        let size = client.fd_size(fd).unwrap();
+        assert_eq!(client.lseek(fd, 5, Whence::Set).unwrap(), 5);
+        assert_eq!(client.lseek(fd, 3, Whence::Cur).unwrap(), 8);
+        assert_eq!(client.lseek(fd, -2, Whence::End).unwrap(), size - 2);
+        assert!(client.lseek(fd, -1000, Whence::Cur).is_err());
+        // Position unchanged after failed seek.
+        let rest = client.read(fd, usize::MAX / 2).unwrap();
+        assert_eq!(rest.len() as u64, 2);
+        client.close(fd).unwrap();
+    }
+
+    #[test]
+    fn non_dataset_path_is_rejected_for_passthrough() {
+        let (_pfs, _f, _s, client) = setup2(1);
+        assert!(!client.intercepts("/etc/passwd"));
+        assert!(client.open(Path::new("/etc/passwd")).is_err());
+        assert_eq!(client.metrics().snapshot().5, 1);
+    }
+
+    #[test]
+    fn missing_file_error_propagates() {
+        let (_pfs, _f, _s, client) = setup2(1);
+        let err = client.open(Path::new("/gpfs/set/absent.bin")).unwrap_err();
+        assert!(matches!(err, HvacError::Rpc(_)));
+        assert!(err.to_string().contains("errno 2"));
+    }
+
+    #[test]
+    fn reads_are_distributed_across_homes() {
+        let (_pfs, _f, servers, client) = setup2(1);
+        for i in 0..24 {
+            client.read_file(&sample(i)).unwrap();
+        }
+        let counts: Vec<u64> = servers
+            .iter()
+            .map(|(s, _)| s.metrics().snapshot().reads)
+            .collect();
+        assert_eq!(counts.iter().sum::<u64>(), 24);
+        assert!(
+            counts.iter().all(|&c| c > 0),
+            "placement left a server idle: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn second_epoch_is_all_cache_hits() {
+        let (pfs, _f, servers, client) = setup2(1);
+        for i in 0..24 {
+            client.read_file(&sample(i)).unwrap();
+        }
+        let pfs_reads_epoch1 = pfs.stats().snapshot().1;
+        assert_eq!(pfs_reads_epoch1, 24);
+        for i in 0..24 {
+            client.read_file(&sample(i)).unwrap();
+        }
+        assert_eq!(pfs.stats().snapshot().1, 24, "epoch 2 never touched the PFS");
+        let total_hits: u64 = servers
+            .iter()
+            .map(|(s, _)| s.metrics().snapshot().cache_hits)
+            .sum();
+        assert_eq!(total_hits, 24);
+    }
+
+    #[test]
+    fn failover_to_replica_when_home_is_down() {
+        let (_pfs, fabric, servers, client) = setup2(2);
+        let p = sample(3);
+        // Find and kill the home server.
+        let addrs = client.replica_addrs(&p);
+        assert_eq!(addrs.len(), 2);
+        assert_ne!(addrs[0], addrs[1]);
+        fabric.set_down(&addrs[0], true);
+
+        let data = client.read_file(&p).unwrap();
+        assert!(!data.is_empty());
+        assert!(client.metrics().snapshot().4 >= 1, "failover counted");
+        // The replica (second address) served it.
+        let served: u64 = servers
+            .iter()
+            .map(|(s, _)| s.metrics().snapshot().reads)
+            .sum();
+        assert!(served >= 1);
+    }
+
+    #[test]
+    fn no_replication_and_home_down_fails() {
+        let (_pfs, fabric, _servers, client) = setup2(1);
+        let p = sample(4);
+        let addrs = client.replica_addrs(&p);
+        assert_eq!(addrs.len(), 1);
+        fabric.set_down(&addrs[0], true);
+        assert!(matches!(
+            client.read_file(&p),
+            Err(HvacError::ServerDown(_))
+        ));
+    }
+
+    #[test]
+    fn invalid_options_rejected() {
+        let fabric = Arc::new(Fabric::new());
+        let mut opts = HvacClientOptions::new("/d", 0, 1);
+        assert!(HvacClient::new(fabric.clone(), opts.clone()).is_err());
+        opts.n_servers = 1;
+        opts.replication = 0;
+        assert!(HvacClient::new(fabric, opts).is_err());
+    }
+}

@@ -1,0 +1,444 @@
+//! An in-process HVAC allocation: the functional stand-in for a Summit job.
+//!
+//! [`Cluster`] wires together everything a batch job's `alloc_flags "hvac"`
+//! would provision on real hardware (§III-C): one node-local cache per node,
+//! `i` server instances per node on a shared fabric, and one client per
+//! training rank. All components are real (threads, RPC, byte movement);
+//! only the hardware is virtual.
+
+use crate::cache::CacheManager;
+use crate::client::{server_addr, HvacClient, HvacClientOptions};
+use crate::eviction::make_policy;
+use crate::metrics::ServerMetricsSnapshot;
+use crate::server::{HvacServer, HvacServerOptions};
+use hvac_net::fabric::{Fabric, ServerEndpoint};
+use hvac_pfs::FileStore;
+use hvac_storage::LocalStore;
+use hvac_types::{
+    ByteSize, EvictionPolicyKind, HvacError, PlacementKind, Result, ServerId,
+};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Builder-style options for a functional cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterOptions {
+    /// Compute nodes in the allocation.
+    pub nodes: u32,
+    /// HVAC server instances per node (the `i` of HVAC (i×1)).
+    pub instances_per_node: u32,
+    /// Training ranks (clients) per node.
+    pub clients_per_node: u32,
+    /// Dataset directory to cache.
+    pub dataset_dir: PathBuf,
+    /// Placement algorithm.
+    pub placement: PlacementKind,
+    /// Eviction policy.
+    pub eviction: EvictionPolicyKind,
+    /// Replicas per file.
+    pub replication: u32,
+    /// Node-local cache capacity per node.
+    pub cache_capacity: ByteSize,
+    /// Data-mover threads per server instance.
+    pub movers_per_instance: usize,
+    /// RPC worker threads per server instance.
+    pub rpc_workers: usize,
+    /// Seed for randomized eviction.
+    pub seed: u64,
+}
+
+impl ClusterOptions {
+    /// Defaults: 1 client/node, modulo placement, random eviction, 1 GiB of
+    /// cache per node, no replication.
+    pub fn new(nodes: u32, instances_per_node: u32) -> Self {
+        Self {
+            nodes,
+            instances_per_node,
+            clients_per_node: 1,
+            dataset_dir: PathBuf::from("/"),
+            placement: PlacementKind::Modulo,
+            eviction: EvictionPolicyKind::Random,
+            replication: 1,
+            cache_capacity: ByteSize::gib(1),
+            movers_per_instance: 1,
+            rpc_workers: 2,
+            seed: 0x4856_4143, // "HVAC"
+        }
+    }
+
+    /// Set the dataset directory.
+    pub fn dataset_dir<P: Into<PathBuf>>(mut self, dir: P) -> Self {
+        self.dataset_dir = dir.into();
+        self
+    }
+
+    /// Set per-node cache capacity.
+    pub fn cache_capacity(mut self, cap: ByteSize) -> Self {
+        self.cache_capacity = cap;
+        self
+    }
+
+    /// Set the eviction policy.
+    pub fn eviction(mut self, kind: EvictionPolicyKind) -> Self {
+        self.eviction = kind;
+        self
+    }
+
+    /// Set the placement algorithm.
+    pub fn placement(mut self, kind: PlacementKind) -> Self {
+        self.placement = kind;
+        self
+    }
+
+    /// Set the replication factor.
+    pub fn replication(mut self, k: u32) -> Self {
+        self.replication = k;
+        self
+    }
+
+    /// Set clients per node.
+    pub fn clients_per_node(mut self, n: u32) -> Self {
+        self.clients_per_node = n;
+        self
+    }
+
+    /// Set data-mover threads per instance.
+    pub fn movers_per_instance(mut self, n: usize) -> Self {
+        self.movers_per_instance = n;
+        self
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.nodes == 0 || self.instances_per_node == 0 || self.clients_per_node == 0 {
+            return Err(HvacError::InvalidConfig(
+                "nodes, instances_per_node and clients_per_node must be >= 1".into(),
+            ));
+        }
+        let n_servers = self.nodes as usize * self.instances_per_node as usize;
+        if self.replication == 0 || self.replication as usize > n_servers {
+            return Err(HvacError::InvalidConfig(format!(
+                "replication {} out of range 1..={n_servers}",
+                self.replication
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// A running in-process allocation.
+pub struct Cluster {
+    fabric: Arc<Fabric>,
+    pfs: Arc<dyn FileStore>,
+    node_caches: Vec<Arc<CacheManager>>,
+    servers: Vec<Arc<HvacServer>>,
+    endpoints: Vec<ServerEndpoint>,
+    clients: Vec<Arc<HvacClient>>,
+    options: ClusterOptions,
+}
+
+impl Cluster {
+    /// Provision the allocation: caches, servers, endpoints, clients.
+    pub fn new(pfs: Arc<dyn FileStore>, options: ClusterOptions) -> Result<Self> {
+        options.validate()?;
+        let fabric = Arc::new(Fabric::new());
+        let mut node_caches = Vec::with_capacity(options.nodes as usize);
+        let mut servers = Vec::new();
+        let mut endpoints = Vec::new();
+        for node in 0..options.nodes {
+            let cache = Arc::new(CacheManager::new(
+                LocalStore::in_memory(options.cache_capacity),
+                make_policy(options.eviction, options.seed ^ node as u64),
+            ));
+            node_caches.push(cache.clone());
+            for instance in 0..options.instances_per_node {
+                let sid = ServerId::new(node, instance);
+                let server = HvacServer::new(
+                    cache.clone(),
+                    pfs.clone(),
+                    HvacServerOptions {
+                        movers: options.movers_per_instance,
+                        rpc_workers: options.rpc_workers,
+                    },
+                    &sid.to_string(),
+                );
+                let ep = server.serve(&fabric, &sid.to_string())?;
+                servers.push(server);
+                endpoints.push(ep);
+            }
+        }
+        let n_servers = servers.len();
+        let mut clients = Vec::new();
+        for _node in 0..options.nodes {
+            for _c in 0..options.clients_per_node {
+                let client = HvacClient::new(
+                    fabric.clone(),
+                    HvacClientOptions {
+                        dataset_dir: options.dataset_dir.clone(),
+                        placement: options.placement,
+                        replication: options.replication,
+                        n_servers,
+                        instances_per_node: options.instances_per_node,
+                    },
+                )?;
+                clients.push(Arc::new(client));
+            }
+        }
+        Ok(Self {
+            fabric,
+            pfs,
+            node_caches,
+            servers,
+            endpoints,
+            clients,
+            options,
+        })
+    }
+
+    /// The shared fabric (for fault injection).
+    pub fn fabric(&self) -> &Arc<Fabric> {
+        &self.fabric
+    }
+
+    /// The PFS backing this allocation.
+    pub fn pfs(&self) -> &Arc<dyn FileStore> {
+        &self.pfs
+    }
+
+    /// The options the cluster was built with.
+    pub fn options(&self) -> &ClusterOptions {
+        &self.options
+    }
+
+    /// Total ranks (clients).
+    pub fn n_clients(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Total server instances.
+    pub fn n_servers(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// The client of training rank `rank` (ranks are node-major).
+    pub fn client(&self, rank: usize) -> &Arc<HvacClient> {
+        &self.clients[rank]
+    }
+
+    /// A server instance by global index.
+    pub fn server(&self, idx: usize) -> &Arc<HvacServer> {
+        &self.servers[idx]
+    }
+
+    /// Per-instance metric snapshots.
+    pub fn server_metrics(&self) -> Vec<ServerMetricsSnapshot> {
+        self.servers.iter().map(|s| s.metrics().snapshot()).collect()
+    }
+
+    /// Cluster-wide aggregated server metrics.
+    pub fn aggregate_metrics(&self) -> ServerMetricsSnapshot {
+        let mut agg = ServerMetricsSnapshot::default();
+        for s in self.server_metrics() {
+            agg.merge(&s);
+        }
+        agg
+    }
+
+    /// Resident file count per node cache (Fig. 15's distribution, measured
+    /// on the real cache rather than predicted from the hash).
+    pub fn per_node_file_counts(&self) -> Vec<u64> {
+        self.node_caches
+            .iter()
+            .map(|c| c.resident_count() as u64)
+            .collect()
+    }
+
+    /// Bytes resident per node cache.
+    pub fn per_node_bytes(&self) -> Vec<u64> {
+        self.node_caches
+            .iter()
+            .map(|c| c.store().used().bytes())
+            .collect()
+    }
+
+    /// Fault-inject every instance on a node (NVMe/node failure, §III-H).
+    pub fn set_node_down(&self, node: u32, down: bool) {
+        for instance in 0..self.options.instances_per_node {
+            let addr = ServerId::new(node, instance).to_string();
+            self.fabric.set_down(&addr, down);
+        }
+    }
+
+    /// Fault-inject one server instance by global index.
+    pub fn set_server_down(&self, idx: usize, down: bool) {
+        self.fabric
+            .set_down(&server_addr(idx, self.options.instances_per_node), down);
+    }
+
+    /// Stage every file under `prefix` into the cache (paper §IV-C) and
+    /// wait for staging to finish. Returns the number of files staged.
+    pub fn prefetch_dataset(&self, prefix: &std::path::Path) -> Result<usize> {
+        let listing = self.pfs.list(prefix)?;
+        let n = self
+            .clients
+            .first()
+            .expect("cluster has clients")
+            .prefetch(listing.iter().map(|p| p.as_path()))?;
+        for server in &self.servers {
+            server.drain_prefetches();
+        }
+        Ok(n)
+    }
+
+    /// Drop all cached data on every node (job teardown, §III-D).
+    pub fn purge(&self) {
+        for cache in &self.node_caches {
+            cache.purge();
+        }
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        // Tear endpoints down before servers so worker threads stop first.
+        self.endpoints.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hvac_pfs::MemStore;
+    use std::path::Path;
+
+    fn dataset_pfs(n: u64, size: usize) -> Arc<MemStore> {
+        let pfs = Arc::new(MemStore::new());
+        pfs.synthesize_dataset(Path::new("/gpfs/train"), n, |_| size);
+        pfs
+    }
+
+    fn sample(i: u64) -> PathBuf {
+        PathBuf::from(format!("/gpfs/train/sample_{i:08}.bin"))
+    }
+
+    #[test]
+    fn builds_expected_topology() {
+        let pfs = dataset_pfs(4, 64);
+        let cluster = Cluster::new(
+            pfs,
+            ClusterOptions::new(4, 2)
+                .dataset_dir("/gpfs/train")
+                .clients_per_node(2),
+        )
+        .unwrap();
+        assert_eq!(cluster.n_servers(), 8);
+        assert_eq!(cluster.n_clients(), 8);
+        assert_eq!(cluster.fabric().endpoint_names().len(), 8);
+        assert_eq!(cluster.per_node_file_counts().len(), 4);
+    }
+
+    #[test]
+    fn multi_rank_epoch_reads_are_correct_and_cached() {
+        let pfs = dataset_pfs(32, 128);
+        let cluster = Cluster::new(
+            pfs.clone(),
+            ClusterOptions::new(4, 1).dataset_dir("/gpfs/train"),
+        )
+        .unwrap();
+        // Epoch 1: each rank reads a shard of 8 files.
+        for rank in 0..4 {
+            let client = cluster.client(rank);
+            for i in 0..8u64 {
+                let idx = rank as u64 * 8 + i;
+                let data = client.read_file(&sample(idx)).unwrap();
+                assert_eq!(data, MemStore::sample_content(idx, 128));
+            }
+        }
+        assert_eq!(pfs.stats().snapshot().1, 32);
+        // Epoch 2: shuffled assignment (rank reads a different shard) — all
+        // cache hits because the cache is allocation-wide, not per-node.
+        for rank in 0..4 {
+            let client = cluster.client(rank);
+            for i in 0..8u64 {
+                let idx = ((rank as u64 + 1) % 4) * 8 + i;
+                let data = client.read_file(&sample(idx)).unwrap();
+                assert_eq!(data, MemStore::sample_content(idx, 128));
+            }
+        }
+        assert_eq!(pfs.stats().snapshot().1, 32, "epoch 2 never touched the PFS");
+        let agg = cluster.aggregate_metrics();
+        assert_eq!(agg.cache_hits, 32);
+        assert_eq!(agg.pfs_copies, 32);
+        // Every file is resident exactly once across the allocation.
+        let resident: u64 = cluster.per_node_file_counts().iter().sum();
+        assert_eq!(resident, 32);
+    }
+
+    #[test]
+    fn instances_share_the_node_cache() {
+        let pfs = dataset_pfs(12, 64);
+        let cluster = Cluster::new(
+            pfs.clone(),
+            ClusterOptions::new(2, 2).dataset_dir("/gpfs/train"),
+        )
+        .unwrap();
+        for i in 0..12u64 {
+            cluster.client(0).read_file(&sample(i)).unwrap();
+        }
+        // 2 nodes hold 12 files between them regardless of instance count.
+        let resident: u64 = cluster.per_node_file_counts().iter().sum();
+        assert_eq!(resident, 12);
+        assert_eq!(pfs.stats().snapshot().1, 12);
+    }
+
+    #[test]
+    fn node_failure_with_replication_keeps_the_job_alive() {
+        let pfs = dataset_pfs(16, 64);
+        let cluster = Cluster::new(
+            pfs,
+            ClusterOptions::new(4, 1)
+                .dataset_dir("/gpfs/train")
+                .replication(2),
+        )
+        .unwrap();
+        // Warm the cache.
+        for i in 0..16u64 {
+            cluster.client(0).read_file(&sample(i)).unwrap();
+        }
+        cluster.set_node_down(1, true);
+        for i in 0..16u64 {
+            assert!(
+                cluster.client(2).read_file(&sample(i)).is_ok(),
+                "file {i} unreadable after node 1 died"
+            );
+        }
+        cluster.set_node_down(1, false);
+    }
+
+    #[test]
+    fn purge_clears_all_nodes() {
+        let pfs = dataset_pfs(8, 64);
+        let cluster = Cluster::new(
+            pfs,
+            ClusterOptions::new(2, 1).dataset_dir("/gpfs/train"),
+        )
+        .unwrap();
+        for i in 0..8u64 {
+            cluster.client(0).read_file(&sample(i)).unwrap();
+        }
+        assert!(cluster.per_node_file_counts().iter().sum::<u64>() > 0);
+        cluster.purge();
+        assert_eq!(cluster.per_node_file_counts().iter().sum::<u64>(), 0);
+        assert_eq!(cluster.per_node_bytes().iter().sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn invalid_topologies_rejected() {
+        let pfs = dataset_pfs(1, 8);
+        assert!(Cluster::new(pfs.clone(), ClusterOptions::new(0, 1)).is_err());
+        assert!(Cluster::new(pfs.clone(), ClusterOptions::new(1, 0)).is_err());
+        assert!(
+            Cluster::new(pfs, ClusterOptions::new(2, 1).replication(5)).is_err(),
+            "replication > server count"
+        );
+    }
+}

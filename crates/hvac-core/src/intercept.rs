@@ -1,0 +1,101 @@
+//! Path classification for interception.
+//!
+//! Both the in-process client and the `LD_PRELOAD` shim must decide, on
+//! every `open`, whether a path belongs to the cached dataset. The paper
+//! drives this with the `HVAC_DATASET_DIR` environment variable (§III-C);
+//! [`DatasetMatcher`] implements the same contract.
+
+use std::path::{Component, Path, PathBuf};
+
+/// Environment variable naming the dataset directory to cache (paper §III-C).
+pub const DATASET_DIR_ENV: &str = "HVAC_DATASET_DIR";
+
+/// Decides whether a path is under the cached dataset directory.
+#[derive(Debug, Clone)]
+pub struct DatasetMatcher {
+    root: PathBuf,
+}
+
+impl DatasetMatcher {
+    /// Match everything under `root` (normalized: `.` and trailing
+    /// separators removed; `..` resolved lexically).
+    pub fn new<P: AsRef<Path>>(root: P) -> Self {
+        Self {
+            root: normalize(root.as_ref()),
+        }
+    }
+
+    /// Build from the `HVAC_DATASET_DIR` environment variable, if set.
+    pub fn from_env() -> Option<Self> {
+        std::env::var_os(DATASET_DIR_ENV).map(|v| Self::new(PathBuf::from(v)))
+    }
+
+    /// The normalized dataset root.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Whether `path` should be routed through HVAC.
+    pub fn matches<P: AsRef<Path>>(&self, path: P) -> bool {
+        normalize(path.as_ref()).starts_with(&self.root)
+    }
+}
+
+/// Lexical normalization: drop `.`, resolve `..` against preceding
+/// components, keep the path absolute if it was.
+pub fn normalize(path: &Path) -> PathBuf {
+    let mut out = PathBuf::new();
+    for comp in path.components() {
+        match comp {
+            Component::CurDir => {}
+            Component::ParentDir => {
+                if !out.pop() {
+                    out.push("..");
+                }
+            }
+            other => out.push(other.as_os_str()),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_inside_not_outside() {
+        let m = DatasetMatcher::new("/gpfs/alpine/imagenet");
+        assert!(m.matches("/gpfs/alpine/imagenet/train/x.jpg"));
+        assert!(m.matches("/gpfs/alpine/imagenet"));
+        assert!(!m.matches("/gpfs/alpine/other/x.jpg"));
+        assert!(!m.matches("/gpfs/alpine/imagenet2/x.jpg")); // no prefix-string match
+        assert!(!m.matches("/etc/passwd"));
+    }
+
+    #[test]
+    fn dot_and_dotdot_are_normalized() {
+        let m = DatasetMatcher::new("/data/./set/");
+        assert_eq!(m.root(), Path::new("/data/set"));
+        assert!(m.matches("/data/set/a/../b.bin"));
+        assert!(!m.matches("/data/set/../escape.bin"));
+    }
+
+    #[test]
+    fn normalize_cases() {
+        assert_eq!(normalize(Path::new("/a/b/../c")), PathBuf::from("/a/c"));
+        assert_eq!(normalize(Path::new("/a/./b")), PathBuf::from("/a/b"));
+        assert_eq!(normalize(Path::new("a/../../b")), PathBuf::from("../b"));
+        assert_eq!(normalize(Path::new("/")), PathBuf::from("/"));
+    }
+
+    #[test]
+    fn from_env_round_trip() {
+        // Serialize access to the process environment.
+        std::env::set_var(DATASET_DIR_ENV, "/env/dataset");
+        let m = DatasetMatcher::from_env().expect("env set");
+        assert!(m.matches("/env/dataset/f"));
+        std::env::remove_var(DATASET_DIR_ENV);
+        assert!(DatasetMatcher::from_env().is_none());
+    }
+}

@@ -1,0 +1,182 @@
+//! Observability counters.
+//!
+//! The whole value proposition of HVAC is *where reads are served from*, so
+//! both sides count it. All counters are relaxed atomics — they are
+//! statistics, not synchronization.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters kept by one HVAC server instance.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    /// Read RPCs answered.
+    pub reads: AtomicU64,
+    /// Reads served from node-local storage.
+    pub cache_hits: AtomicU64,
+    /// Reads that required fetching from the PFS first.
+    pub cache_misses: AtomicU64,
+    /// Files copied PFS → node-local storage by the data mover.
+    pub pfs_copies: AtomicU64,
+    /// Bytes copied from the PFS.
+    pub pfs_bytes: AtomicU64,
+    /// Bytes served to clients.
+    pub served_bytes: AtomicU64,
+    /// Files evicted to make room.
+    pub evictions: AtomicU64,
+    /// Copy requests that piggybacked on an in-flight copy of the same file
+    /// (the mutex-on-shared-queue dedup of §III-D).
+    pub dedup_waits: AtomicU64,
+    /// Stat RPCs answered.
+    pub stats_ops: AtomicU64,
+    /// Close RPCs answered.
+    pub closes: AtomicU64,
+    /// Files accepted for background prefetch.
+    pub prefetches: AtomicU64,
+    /// Reads served straight from the PFS because the cache refused
+    /// admission (file too large, or a pinned MinIO-style cache is full).
+    pub pfs_bypass_reads: AtomicU64,
+}
+
+/// A plain-old-data snapshot of [`ServerMetrics`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerMetricsSnapshot {
+    /// Read RPCs answered.
+    pub reads: u64,
+    /// Reads served from node-local storage.
+    pub cache_hits: u64,
+    /// Reads that required a PFS fetch.
+    pub cache_misses: u64,
+    /// Files copied from the PFS.
+    pub pfs_copies: u64,
+    /// Bytes copied from the PFS.
+    pub pfs_bytes: u64,
+    /// Bytes served to clients.
+    pub served_bytes: u64,
+    /// Evictions performed.
+    pub evictions: u64,
+    /// Deduplicated concurrent copy requests.
+    pub dedup_waits: u64,
+    /// Stat RPCs answered.
+    pub stats_ops: u64,
+    /// Close RPCs answered.
+    pub closes: u64,
+    /// Files accepted for background prefetch.
+    pub prefetches: u64,
+    /// Reads served straight from the PFS (cache bypass).
+    pub pfs_bypass_reads: u64,
+}
+
+impl ServerMetrics {
+    /// Atomic snapshot (per-counter; not globally consistent, which is fine
+    /// for reporting).
+    pub fn snapshot(&self) -> ServerMetricsSnapshot {
+        ServerMetricsSnapshot {
+            reads: self.reads.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            pfs_copies: self.pfs_copies.load(Ordering::Relaxed),
+            pfs_bytes: self.pfs_bytes.load(Ordering::Relaxed),
+            served_bytes: self.served_bytes.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            dedup_waits: self.dedup_waits.load(Ordering::Relaxed),
+            stats_ops: self.stats_ops.load(Ordering::Relaxed),
+            closes: self.closes.load(Ordering::Relaxed),
+            prefetches: self.prefetches.load(Ordering::Relaxed),
+            pfs_bypass_reads: self.pfs_bypass_reads.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl ServerMetricsSnapshot {
+    /// Merge another snapshot into this one (cluster-wide aggregation).
+    pub fn merge(&mut self, other: &ServerMetricsSnapshot) {
+        self.reads += other.reads;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.pfs_copies += other.pfs_copies;
+        self.pfs_bytes += other.pfs_bytes;
+        self.served_bytes += other.served_bytes;
+        self.evictions += other.evictions;
+        self.dedup_waits += other.dedup_waits;
+        self.stats_ops += other.stats_ops;
+        self.closes += other.closes;
+        self.prefetches += other.prefetches;
+        self.pfs_bypass_reads += other.pfs_bypass_reads;
+    }
+
+    /// Fraction of reads served from cache, in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        if self.reads == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.reads as f64
+        }
+    }
+}
+
+/// Counters kept by one HVAC client.
+#[derive(Debug, Default)]
+pub struct ClientMetrics {
+    /// `open` calls intercepted for the dataset directory.
+    pub opens: AtomicU64,
+    /// `read`/`pread` calls forwarded to HVAC servers.
+    pub reads: AtomicU64,
+    /// Bytes delivered to the application.
+    pub bytes: AtomicU64,
+    /// `close` calls.
+    pub closes: AtomicU64,
+    /// Reads answered by a non-primary replica.
+    pub failovers: AtomicU64,
+    /// Opens that bypassed HVAC (outside the dataset directory).
+    pub passthrough_opens: AtomicU64,
+}
+
+impl ClientMetrics {
+    /// Snapshot `(opens, reads, bytes, closes, failovers, passthrough)`.
+    pub fn snapshot(&self) -> (u64, u64, u64, u64, u64, u64) {
+        (
+            self.opens.load(Ordering::Relaxed),
+            self.reads.load(Ordering::Relaxed),
+            self.bytes.load(Ordering::Relaxed),
+            self.closes.load(Ordering::Relaxed),
+            self.failovers.load(Ordering::Relaxed),
+            self.passthrough_opens.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_merge() {
+        let m = ServerMetrics::default();
+        m.reads.fetch_add(10, Ordering::Relaxed);
+        m.cache_hits.fetch_add(7, Ordering::Relaxed);
+        m.cache_misses.fetch_add(3, Ordering::Relaxed);
+        let s1 = m.snapshot();
+        assert_eq!(s1.reads, 10);
+        assert!((s1.hit_rate() - 0.7).abs() < 1e-12);
+
+        let mut agg = ServerMetricsSnapshot::default();
+        agg.merge(&s1);
+        agg.merge(&s1);
+        assert_eq!(agg.reads, 20);
+        assert_eq!(agg.cache_hits, 14);
+    }
+
+    #[test]
+    fn hit_rate_of_idle_server_is_zero() {
+        assert_eq!(ServerMetricsSnapshot::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn client_metrics_snapshot() {
+        let c = ClientMetrics::default();
+        c.opens.fetch_add(2, Ordering::Relaxed);
+        c.bytes.fetch_add(100, Ordering::Relaxed);
+        let (opens, reads, bytes, closes, failovers, passthrough) = c.snapshot();
+        assert_eq!((opens, reads, bytes, closes, failovers, passthrough), (2, 0, 100, 0, 0, 0));
+    }
+}

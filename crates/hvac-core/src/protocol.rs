@@ -1,0 +1,352 @@
+//! The client↔server wire protocol.
+//!
+//! Four operations cover the paper's intercepted I/O profile
+//! (`<open, read, close>` plus the stat that `open` needs):
+//!
+//! * [`Request::Stat`] — size lookup at `open` time,
+//! * [`Request::Read`] — ranged read; the reply carries data as a bulk
+//!   payload (Mercury's RPC/bulk split),
+//! * [`Request::Close`] — the out-of-band teardown RPC of §III-D step ⑧,
+//! * [`Request::Purge`] — job teardown: drop the node's cache contents.
+//!
+//! Messages are encoded with the explicit little-endian codec from
+//! [`hvac_net::wire`]; there is no versioning because client and server ship
+//! in one binary (the cache lives only inside one job allocation).
+
+use bytes::{Bytes, BytesMut};
+use hvac_net::wire;
+use hvac_types::{HvacError, Result};
+use std::path::{Path, PathBuf};
+
+const TAG_STAT: u8 = 1;
+const TAG_READ: u8 = 2;
+const TAG_CLOSE: u8 = 3;
+const TAG_PURGE: u8 = 4;
+const TAG_PREFETCH: u8 = 5;
+const TAG_READ_SEGMENT: u8 = 6;
+
+const STATUS_OK: u8 = 0;
+const STATUS_ERR: u8 = 1;
+
+/// A request from an HVAC client to a server instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Stat `path` (served from cache metadata if resident, else from PFS).
+    Stat {
+        /// Application-space file path.
+        path: PathBuf,
+    },
+    /// Read `len` bytes of `path` at `offset`, caching the file first if
+    /// needed.
+    Read {
+        /// Application-space file path.
+        path: PathBuf,
+        /// Byte offset.
+        offset: u64,
+        /// Maximum bytes to return.
+        len: u64,
+    },
+    /// Signal that a client closed its descriptor for `path`.
+    Close {
+        /// Application-space file path.
+        path: PathBuf,
+    },
+    /// Drop all cached data (job teardown).
+    Purge,
+    /// Stage these files into the cache without waiting (the paper's §IV-C
+    /// prefetching future work). The server copies them in the background;
+    /// the reply only acknowledges the request.
+    Prefetch {
+        /// Application-space paths, all homed on the receiving server.
+        paths: Vec<PathBuf>,
+    },
+    /// Segment-granular read (the §III-E segment-level caching alternative):
+    /// the server caches only the `[offset, offset+len)` slice of `path`,
+    /// not the whole file, so huge files spread across many servers.
+    ReadSegment {
+        /// Application-space file path.
+        path: PathBuf,
+        /// Segment start offset.
+        offset: u64,
+        /// Segment length.
+        len: u64,
+    },
+}
+
+/// A reply header (bulk data travels separately).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Stat result.
+    Stat {
+        /// File size in bytes.
+        size: u64,
+    },
+    /// Read result; `total_size` is the full file size (clients use it to
+    /// maintain EOF), the data itself is the RPC's bulk payload.
+    Data {
+        /// Full size of the file.
+        total_size: u64,
+        /// Whether this read was served from the node-local cache (false =
+        /// the file had to be fetched from the PFS first).
+        cache_hit: bool,
+    },
+    /// Generic success (close/purge).
+    Ok,
+    /// Failure, with an errno-style code and a message.
+    Err {
+        /// errno-equivalent (see [`HvacError::errno`]).
+        code: i32,
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+fn path_to_str(path: &Path) -> Result<&str> {
+    path.to_str().ok_or_else(|| {
+        HvacError::Protocol(format!("non-UTF-8 path not supported: {}", path.display()))
+    })
+}
+
+impl Request {
+    /// Encode to wire bytes.
+    pub fn encode(&self) -> Result<Bytes> {
+        let mut b = BytesMut::with_capacity(64);
+        match self {
+            Request::Stat { path } => {
+                b.extend_from_slice(&[TAG_STAT]);
+                wire::put_str(&mut b, path_to_str(path)?);
+            }
+            Request::Read { path, offset, len } => {
+                b.extend_from_slice(&[TAG_READ]);
+                wire::put_str(&mut b, path_to_str(path)?);
+                b.extend_from_slice(&offset.to_le_bytes());
+                b.extend_from_slice(&len.to_le_bytes());
+            }
+            Request::Close { path } => {
+                b.extend_from_slice(&[TAG_CLOSE]);
+                wire::put_str(&mut b, path_to_str(path)?);
+            }
+            Request::Purge => b.extend_from_slice(&[TAG_PURGE]),
+            Request::Prefetch { paths } => {
+                b.extend_from_slice(&[TAG_PREFETCH]);
+                b.extend_from_slice(&(paths.len() as u32).to_le_bytes());
+                for p in paths {
+                    wire::put_str(&mut b, path_to_str(p)?);
+                }
+            }
+            Request::ReadSegment { path, offset, len } => {
+                b.extend_from_slice(&[TAG_READ_SEGMENT]);
+                wire::put_str(&mut b, path_to_str(path)?);
+                b.extend_from_slice(&offset.to_le_bytes());
+                b.extend_from_slice(&len.to_le_bytes());
+            }
+        }
+        Ok(b.freeze())
+    }
+
+    /// Decode from wire bytes.
+    pub fn decode(mut buf: Bytes) -> Result<Request> {
+        let tag = wire::get_u8(&mut buf)?;
+        match tag {
+            TAG_STAT => Ok(Request::Stat {
+                path: PathBuf::from(wire::get_str(&mut buf)?),
+            }),
+            TAG_READ => {
+                let path = PathBuf::from(wire::get_str(&mut buf)?);
+                let offset = wire::get_u64(&mut buf)?;
+                let len = wire::get_u64(&mut buf)?;
+                Ok(Request::Read { path, offset, len })
+            }
+            TAG_CLOSE => Ok(Request::Close {
+                path: PathBuf::from(wire::get_str(&mut buf)?),
+            }),
+            TAG_PURGE => Ok(Request::Purge),
+            TAG_PREFETCH => {
+                let n = wire::get_u32(&mut buf)? as usize;
+                if n > 1_000_000 {
+                    return Err(HvacError::Protocol(format!(
+                        "implausible prefetch batch of {n} paths"
+                    )));
+                }
+                let mut paths = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    paths.push(PathBuf::from(wire::get_str(&mut buf)?));
+                }
+                Ok(Request::Prefetch { paths })
+            }
+            TAG_READ_SEGMENT => {
+                let path = PathBuf::from(wire::get_str(&mut buf)?);
+                let offset = wire::get_u64(&mut buf)?;
+                let len = wire::get_u64(&mut buf)?;
+                Ok(Request::ReadSegment { path, offset, len })
+            }
+            t => Err(HvacError::Protocol(format!("unknown request tag {t}"))),
+        }
+    }
+}
+
+const RTAG_STAT: u8 = 1;
+const RTAG_DATA: u8 = 2;
+const RTAG_OK: u8 = 3;
+
+impl Response {
+    /// Encode to wire bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(32);
+        match self {
+            Response::Stat { size } => {
+                b.extend_from_slice(&[STATUS_OK, RTAG_STAT]);
+                b.extend_from_slice(&size.to_le_bytes());
+            }
+            Response::Data {
+                total_size,
+                cache_hit,
+            } => {
+                b.extend_from_slice(&[STATUS_OK, RTAG_DATA]);
+                b.extend_from_slice(&total_size.to_le_bytes());
+                b.extend_from_slice(&[u8::from(*cache_hit)]);
+            }
+            Response::Ok => b.extend_from_slice(&[STATUS_OK, RTAG_OK]),
+            Response::Err { code, message } => {
+                b.extend_from_slice(&[STATUS_ERR]);
+                b.extend_from_slice(&(*code as i64).to_le_bytes());
+                wire::put_str(&mut b, message);
+            }
+        }
+        b.freeze()
+    }
+
+    /// Decode from wire bytes.
+    pub fn decode(mut buf: Bytes) -> Result<Response> {
+        let status = wire::get_u8(&mut buf)?;
+        if status == STATUS_ERR {
+            let code = wire::get_i64(&mut buf)? as i32;
+            let message = wire::get_str(&mut buf)?;
+            return Ok(Response::Err { code, message });
+        }
+        let tag = wire::get_u8(&mut buf)?;
+        match tag {
+            RTAG_STAT => Ok(Response::Stat {
+                size: wire::get_u64(&mut buf)?,
+            }),
+            RTAG_DATA => {
+                let total_size = wire::get_u64(&mut buf)?;
+                let cache_hit = wire::get_u8(&mut buf)? != 0;
+                Ok(Response::Data {
+                    total_size,
+                    cache_hit,
+                })
+            }
+            RTAG_OK => Ok(Response::Ok),
+            t => Err(HvacError::Protocol(format!("unknown response tag {t}"))),
+        }
+    }
+
+    /// Build an error response from an [`HvacError`].
+    pub fn from_error(e: &HvacError) -> Response {
+        Response::Err {
+            code: e.errno(),
+            message: e.to_string(),
+        }
+    }
+
+    /// Convert an error response into `Err`, anything else into `Ok(self)`.
+    pub fn into_result(self) -> Result<Response> {
+        match self {
+            Response::Err { code, message } => Err(HvacError::Rpc(format!(
+                "server error (errno {code}): {message}"
+            ))),
+            other => Ok(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips() {
+        let cases = vec![
+            Request::Stat {
+                path: PathBuf::from("/gpfs/train/x.bin"),
+            },
+            Request::Read {
+                path: PathBuf::from("/gpfs/train/y.bin"),
+                offset: 123,
+                len: 4096,
+            },
+            Request::Close {
+                path: PathBuf::from("/z"),
+            },
+            Request::Purge,
+            Request::Prefetch { paths: vec![] },
+            Request::Prefetch {
+                paths: vec![PathBuf::from("/a"), PathBuf::from("/gpfs/b.bin")],
+            },
+            Request::ReadSegment {
+                path: PathBuf::from("/gpfs/huge.h5"),
+                offset: 16 << 20,
+                len: 16 << 20,
+            },
+        ];
+        for req in cases {
+            let enc = req.encode().unwrap();
+            assert_eq!(Request::decode(enc).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn response_round_trips() {
+        let cases = vec![
+            Response::Stat { size: 42 },
+            Response::Data {
+                total_size: 1 << 40,
+                cache_hit: true,
+            },
+            Response::Data {
+                total_size: 0,
+                cache_hit: false,
+            },
+            Response::Ok,
+            Response::Err {
+                code: 2,
+                message: "file not found: /x".into(),
+            },
+        ];
+        for resp in cases {
+            let enc = resp.encode();
+            assert_eq!(Response::decode(enc).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn garbage_decodes_to_protocol_error() {
+        assert!(Request::decode(Bytes::from_static(&[99])).is_err());
+        assert!(Request::decode(Bytes::new()).is_err());
+        assert!(Response::decode(Bytes::from_static(&[0, 99])).is_err());
+        assert!(Response::decode(Bytes::new()).is_err());
+        // Truncated read request
+        assert!(Request::decode(Bytes::from_static(&[TAG_READ, 1, 0, 0, 0, b'x'])).is_err());
+    }
+
+    #[test]
+    fn error_response_round_trips_through_hvac_error() {
+        let e = HvacError::NotFound(PathBuf::from("/missing"));
+        let resp = Response::from_error(&e);
+        let decoded = Response::decode(resp.encode()).unwrap();
+        match decoded.into_result() {
+            Err(HvacError::Rpc(msg)) => {
+                assert!(msg.contains("errno 2"));
+                assert!(msg.contains("/missing"));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn into_result_passes_success_through() {
+        assert!(Response::Ok.into_result().is_ok());
+        assert!(Response::Stat { size: 1 }.into_result().is_ok());
+    }
+}

@@ -1,0 +1,678 @@
+//! The HVAC server instance (paper §III-C, §III-D).
+//!
+//! Each instance owns a **shared FIFO queue** drained by dedicated
+//! **data-mover threads**. RPC handler threads enqueue copy work and wait;
+//! the mover fetches the file from the PFS exactly once even when many
+//! clients race for it (the paper's "mutex lock on shared queue to ...
+//! avoid repeated copying"), inserts it into the node's cache, and wakes all
+//! waiters. Servers never talk to each other — a file's home is computed by
+//! every client independently.
+//!
+//! Multiple instances on one node (HVAC (2×1), (4×1)) share the node's
+//! [`CacheManager`] but have private queues and movers, which is exactly the
+//! parallelism the paper varies in Fig. 9(b).
+
+use crate::cache::CacheManager;
+use crate::metrics::ServerMetrics;
+use crate::protocol::{Request, Response};
+use bytes::Bytes;
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use hvac_net::fabric::{Fabric, Reply, RpcHandler, ServerEndpoint};
+use hvac_pfs::FileStore;
+use hvac_types::{HvacError, Result};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Tuning knobs of one server instance.
+#[derive(Debug, Clone)]
+pub struct HvacServerOptions {
+    /// Data-mover threads draining the FIFO queue (paper default: 1).
+    pub movers: usize,
+    /// RPC handler threads.
+    pub rpc_workers: usize,
+}
+
+impl Default for HvacServerOptions {
+    fn default() -> Self {
+        Self {
+            movers: 1,
+            rpc_workers: 4,
+        }
+    }
+}
+
+type CopyResult = std::result::Result<(), Arc<HvacError>>;
+
+struct CopyJob {
+    /// Application-space source path on the PFS.
+    path: PathBuf,
+    /// Cache key: equals `path` for whole-file caching; a synthetic
+    /// `path#offset+len` key for segment-level caching (§III-E).
+    key: PathBuf,
+    /// `Some((offset, len))` restricts the copy to that byte range.
+    range: Option<(u64, u64)>,
+}
+
+/// The data-mover machinery: FIFO queue + threads + in-flight dedup map.
+struct DataMover {
+    queue_tx: Sender<CopyJob>,
+    inflight: Arc<Mutex<HashMap<PathBuf, Vec<Sender<CopyResult>>>>>,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl DataMover {
+    fn spawn(
+        cache: Arc<CacheManager>,
+        pfs: Arc<dyn FileStore>,
+        metrics: Arc<ServerMetrics>,
+        movers: usize,
+        name: &str,
+    ) -> Self {
+        let (queue_tx, queue_rx) = unbounded::<CopyJob>();
+        let inflight: Arc<Mutex<HashMap<PathBuf, Vec<Sender<CopyResult>>>>> =
+            Arc::new(Mutex::new(HashMap::new()));
+        let mut threads = Vec::with_capacity(movers.max(1));
+        for m in 0..movers.max(1) {
+            let rx: Receiver<CopyJob> = queue_rx.clone();
+            let cache = cache.clone();
+            let pfs = pfs.clone();
+            let metrics = metrics.clone();
+            let inflight = inflight.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("hvac-mover-{name}-{m}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            // Step ⑥ of §III-D: copy PFS -> node-local store.
+                            let result: CopyResult = (|| {
+                                let data = match job.range {
+                                    None => pfs.read_all(&job.path).map_err(Arc::new)?,
+                                    Some((offset, len)) => pfs
+                                        .read_at(&job.path, offset, len as usize)
+                                        .map_err(Arc::new)?,
+                                };
+                                let n = data.len() as u64;
+                                let outcome =
+                                    cache.insert(&job.key, data).map_err(Arc::new)?;
+                                metrics.pfs_copies.fetch_add(1, Ordering::Relaxed);
+                                metrics.pfs_bytes.fetch_add(n, Ordering::Relaxed);
+                                metrics.evictions.fetch_add(
+                                    outcome.evicted.len() as u64,
+                                    Ordering::Relaxed,
+                                );
+                                Ok(())
+                            })();
+                            let waiters = inflight
+                                .lock()
+                                .remove(&job.key)
+                                .unwrap_or_default();
+                            for w in waiters {
+                                let _ = w.send(result.clone());
+                            }
+                        }
+                    })
+                    .expect("spawn data mover"),
+            );
+        }
+        Self {
+            queue_tx,
+            inflight,
+            threads: Mutex::new(threads),
+        }
+    }
+
+    /// Fire-and-forget staging: enqueue a copy of `path` unless it is
+    /// resident or already in flight (used by the §IV-C prefetch extension).
+    /// Returns whether a new copy job was enqueued.
+    fn request_copy(&self, cache: &CacheManager, path: &Path) -> bool {
+        if cache.contains(path) {
+            return false;
+        }
+        let mut inflight = self.inflight.lock();
+        if cache.contains(path) || inflight.contains_key(path) {
+            return false;
+        }
+        inflight.insert(path.to_path_buf(), Vec::new());
+        self.queue_tx
+            .send(CopyJob {
+                path: path.to_path_buf(),
+                key: path.to_path_buf(),
+                range: None,
+            })
+            .is_ok()
+    }
+
+    /// Make sure cache entry `key` (sourced from `path`, optionally a byte
+    /// range of it) is resident, returning `true` if it already was (a cache
+    /// hit) and `false` if this call had to wait for a PFS copy.
+    fn ensure_cached(
+        &self,
+        cache: &CacheManager,
+        metrics: &ServerMetrics,
+        path: &Path,
+        key: &Path,
+        range: Option<(u64, u64)>,
+    ) -> Result<bool> {
+        if cache.contains(key) {
+            return Ok(true);
+        }
+        let (tx, rx) = bounded::<CopyResult>(1);
+        {
+            let mut inflight = self.inflight.lock();
+            // Re-check under the lock: the mover may have just finished.
+            if cache.contains(key) {
+                return Ok(true);
+            }
+            match inflight.get_mut(key) {
+                Some(waiters) => {
+                    // Piggyback on the in-flight copy (§III-D dedup).
+                    waiters.push(tx);
+                    metrics.dedup_waits.fetch_add(1, Ordering::Relaxed);
+                }
+                None => {
+                    inflight.insert(key.to_path_buf(), vec![tx]);
+                    self.queue_tx
+                        .send(CopyJob {
+                            path: path.to_path_buf(),
+                            key: key.to_path_buf(),
+                            range,
+                        })
+                        .map_err(|_| HvacError::Rpc("data mover queue closed".into()))?;
+                }
+            }
+        }
+        match rx.recv() {
+            Ok(Ok(())) => Ok(false),
+            Ok(Err(e)) => Err(clone_error(&e)),
+            Err(_) => Err(HvacError::Rpc("data mover died".into())),
+        }
+    }
+}
+
+/// Cache key of a file segment: `<path>#<offset>+<len>`.
+pub fn segment_key(path: &Path, offset: u64, len: u64) -> PathBuf {
+    let mut s = path.as_os_str().to_os_string();
+    s.push(format!("#{offset}+{len}"));
+    PathBuf::from(s)
+}
+
+/// Rebuild an owned error from a shared one (HvacError is not `Clone`
+/// because it can wrap `io::Error`).
+fn clone_error(e: &HvacError) -> HvacError {
+    match e {
+        HvacError::NotFound(p) => HvacError::NotFound(p.clone()),
+        HvacError::CapacityExhausted {
+            requested,
+            capacity,
+        } => HvacError::CapacityExhausted {
+            requested: *requested,
+            capacity: *capacity,
+        },
+        other => HvacError::Rpc(other.to_string()),
+    }
+}
+
+/// One HVAC server instance.
+pub struct HvacServer {
+    cache: Arc<CacheManager>,
+    pfs: Arc<dyn FileStore>,
+    metrics: Arc<ServerMetrics>,
+    mover: DataMover,
+    options: HvacServerOptions,
+}
+
+impl HvacServer {
+    /// Build a server instance over the node's cache and the shared PFS.
+    pub fn new(
+        cache: Arc<CacheManager>,
+        pfs: Arc<dyn FileStore>,
+        options: HvacServerOptions,
+        name: &str,
+    ) -> Arc<Self> {
+        let metrics = Arc::new(ServerMetrics::default());
+        let mover = DataMover::spawn(
+            cache.clone(),
+            pfs.clone(),
+            metrics.clone(),
+            options.movers,
+            name,
+        );
+        Arc::new(Self {
+            cache,
+            pfs,
+            metrics,
+            mover,
+            options,
+        })
+    }
+
+    /// This instance's metrics.
+    pub fn metrics(&self) -> &Arc<ServerMetrics> {
+        &self.metrics
+    }
+
+    /// The node cache shared with sibling instances.
+    pub fn cache(&self) -> &Arc<CacheManager> {
+        &self.cache
+    }
+
+    /// Register this server on the fabric under `addr`.
+    pub fn serve(self: &Arc<Self>, fabric: &Arc<Fabric>, addr: &str) -> Result<ServerEndpoint> {
+        let this = self.clone();
+        fabric.serve(addr, self.options.rpc_workers, this)
+    }
+
+    /// Handle one decoded request (also callable without a fabric, which the
+    /// unit tests and the LD_PRELOAD single-process mode use).
+    pub fn handle_request(&self, req: Request) -> (Response, Option<Bytes>) {
+        match req {
+            Request::Stat { path } => {
+                self.metrics.stats_ops.fetch_add(1, Ordering::Relaxed);
+                let size = match self.cache.size_of(&path) {
+                    Some(sz) => Ok(sz.bytes()),
+                    None => self.pfs.open_meta(&path).map(|m| m.size),
+                };
+                match size {
+                    Ok(size) => (Response::Stat { size }, None),
+                    Err(e) => (Response::from_error(&e), None),
+                }
+            }
+            Request::Read { path, offset, len } => match self.read(&path, offset, len) {
+                Ok((total_size, cache_hit, data)) => (
+                    Response::Data {
+                        total_size,
+                        cache_hit,
+                    },
+                    Some(data),
+                ),
+                Err(e) => (Response::from_error(&e), None),
+            },
+            Request::Close { path: _ } => {
+                // Out-of-band teardown (§III-D step ⑧). The server keeps no
+                // per-descriptor state, so this is purely an accounting ping.
+                self.metrics.closes.fetch_add(1, Ordering::Relaxed);
+                (Response::Ok, None)
+            }
+            Request::Purge => {
+                self.cache.purge();
+                (Response::Ok, None)
+            }
+            Request::ReadSegment { path, offset, len } => {
+                match self.read_segment(&path, offset, len) {
+                    Ok((cache_hit, data)) => (
+                        Response::Data {
+                            // total_size of the *segment*; the client tracks
+                            // whole-file size from its open-time stat.
+                            total_size: data.len() as u64,
+                            cache_hit,
+                        },
+                        Some(data),
+                    ),
+                    Err(e) => (Response::from_error(&e), None),
+                }
+            }
+            Request::Prefetch { paths } => {
+                for path in &paths {
+                    if self.mover.request_copy(&self.cache, path) {
+                        self.metrics.prefetches.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                (Response::Ok, None)
+            }
+        }
+    }
+
+    /// Block until no prefetch copies are in flight (test/benchmark helper;
+    /// production callers just keep training — demand reads piggyback on
+    /// in-flight copies via the §III-D dedup).
+    pub fn drain_prefetches(&self) {
+        loop {
+            if self.mover.inflight.lock().is_empty() {
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+    }
+
+    /// Segment-granular read (§III-E alternative): cache and serve only the
+    /// requested byte range, keyed separately from whole-file entries.
+    fn read_segment(&self, path: &Path, offset: u64, len: u64) -> Result<(bool, Bytes)> {
+        self.metrics.reads.fetch_add(1, Ordering::Relaxed);
+        let key = segment_key(path, offset, len);
+        for _ in 0..4 {
+            let was_hit = match self.mover.ensure_cached(
+                &self.cache,
+                &self.metrics,
+                path,
+                &key,
+                Some((offset, len)),
+            ) {
+                Ok(hit) => hit,
+                Err(HvacError::CapacityExhausted { .. }) => {
+                    let (_, hit, data) = self.pfs_bypass_read(path, offset, len)?;
+                    return Ok((hit, data));
+                }
+                Err(other) => return Err(other),
+            };
+            match self.cache.read_all(&key) {
+                Some(data) => {
+                    if was_hit {
+                        self.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        self.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+                    }
+                    self.metrics
+                        .served_bytes
+                        .fetch_add(data.len() as u64, Ordering::Relaxed);
+                    return Ok((was_hit, data));
+                }
+                None => continue, // evicted between ensure and read
+            }
+        }
+        Err(HvacError::Rpc(format!(
+            "segment {} kept being evicted (cache thrashing)",
+            key.display()
+        )))
+    }
+
+    /// Serve a read straight from the PFS without caching — the fallback
+    /// when the cache refuses admission (file larger than the device, or a
+    /// pinned MinIO-style cache that is full). CoorDL semantics: un-admitted
+    /// files are still served, just not accelerated.
+    fn pfs_bypass_read(&self, path: &Path, offset: u64, len: u64) -> Result<(u64, bool, Bytes)> {
+        let total_size = self.pfs.open_meta(path)?.size;
+        let data = self.pfs.read_at(path, offset, len as usize)?;
+        self.metrics.pfs_bypass_reads.fetch_add(1, Ordering::Relaxed);
+        self.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+        self.metrics
+            .served_bytes
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
+        Ok((total_size, false, data))
+    }
+
+    fn read(&self, path: &Path, offset: u64, len: u64) -> Result<(u64, bool, Bytes)> {
+        self.metrics.reads.fetch_add(1, Ordering::Relaxed);
+        // A freshly-cached file can in principle be evicted before we read
+        // it back under heavy churn; retry the ensure+read pair a few times.
+        let mut cache_hit = true;
+        for _ in 0..4 {
+            let was_hit = match self
+                .mover
+                .ensure_cached(&self.cache, &self.metrics, path, path, None)
+            {
+                Ok(hit) => hit,
+                Err(HvacError::CapacityExhausted { .. }) => {
+                    return self.pfs_bypass_read(path, offset, len);
+                }
+                Err(other) => return Err(other),
+            };
+            cache_hit &= was_hit;
+            let total_size = match self.cache.size_of(path) {
+                Some(sz) => sz.bytes(),
+                None => continue, // evicted already; refetch
+            };
+            match self.cache.read_at(path, offset, len as usize) {
+                Some(data) => {
+                    if cache_hit {
+                        self.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        self.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+                    }
+                    self.metrics
+                        .served_bytes
+                        .fetch_add(data.len() as u64, Ordering::Relaxed);
+                    return Ok((total_size, cache_hit, data));
+                }
+                None => continue,
+            }
+        }
+        Err(HvacError::Rpc(format!(
+            "file {} kept being evicted during read (cache thrashing)",
+            path.display()
+        )))
+    }
+}
+
+impl RpcHandler for HvacServer {
+    fn handle(&self, request: Bytes) -> Reply {
+        let (response, bulk) = match Request::decode(request) {
+            Ok(req) => self.handle_request(req),
+            Err(e) => (Response::from_error(&e), None),
+        };
+        Reply {
+            header: response.encode(),
+            bulk,
+        }
+    }
+}
+
+impl Drop for DataMover {
+    fn drop(&mut self) {
+        // Closing the queue lets mover threads drain and exit.
+        let (dead_tx, _) = unbounded();
+        self.queue_tx = dead_tx;
+        for t in std::mem::take(&mut *self.threads.lock()) {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eviction::make_policy;
+    use hvac_pfs::MemStore;
+    use hvac_storage::LocalStore;
+    use hvac_types::{ByteSize, EvictionPolicyKind};
+
+    fn setup(cap: u64) -> (Arc<MemStore>, Arc<HvacServer>) {
+        let pfs = Arc::new(MemStore::new());
+        pfs.synthesize_dataset(Path::new("/data"), 16, |_| 100);
+        let cache = Arc::new(CacheManager::new(
+            LocalStore::in_memory(ByteSize(cap)),
+            make_policy(EvictionPolicyKind::Random, 1),
+        ));
+        let server = HvacServer::new(
+            cache,
+            pfs.clone(),
+            HvacServerOptions::default(),
+            "test",
+        );
+        (pfs, server)
+    }
+
+    fn sample(i: u32) -> PathBuf {
+        PathBuf::from(format!("/data/sample_{i:08}.bin"))
+    }
+
+    #[test]
+    fn first_read_misses_then_hits() {
+        let (pfs, server) = setup(10_000);
+        let p = sample(0);
+        let (resp, bulk) = server.handle_request(Request::Read {
+            path: p.clone(),
+            offset: 0,
+            len: 100,
+        });
+        match resp {
+            Response::Data {
+                total_size,
+                cache_hit,
+            } => {
+                assert_eq!(total_size, 100);
+                assert!(!cache_hit);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(bulk.unwrap().len(), 100);
+
+        let (resp, _) = server.handle_request(Request::Read {
+            path: p.clone(),
+            offset: 0,
+            len: 100,
+        });
+        assert!(matches!(resp, Response::Data { cache_hit: true, .. }));
+
+        let snap = server.metrics().snapshot();
+        assert_eq!(snap.reads, 2);
+        assert_eq!(snap.cache_hits, 1);
+        assert_eq!(snap.cache_misses, 1);
+        assert_eq!(snap.pfs_copies, 1);
+        // PFS saw exactly one data read.
+        assert_eq!(pfs.stats().snapshot().1, 1);
+    }
+
+    #[test]
+    fn read_returns_correct_bytes_and_ranges() {
+        let (pfs, server) = setup(10_000);
+        let p = sample(3);
+        let expected = pfs.read_all(&p).unwrap();
+        let (_, bulk) = server.handle_request(Request::Read {
+            path: p.clone(),
+            offset: 10,
+            len: 20,
+        });
+        assert_eq!(bulk.unwrap(), expected.slice(10..30));
+        // Reads past EOF return empty bulk.
+        let (resp, bulk) = server.handle_request(Request::Read {
+            path: p,
+            offset: 100,
+            len: 10,
+        });
+        assert!(matches!(resp, Response::Data { .. }));
+        assert_eq!(bulk.unwrap().len(), 0);
+    }
+
+    #[test]
+    fn stat_prefers_cache_but_falls_back_to_pfs() {
+        let (pfs, server) = setup(10_000);
+        let p = sample(1);
+        let (resp, _) = server.handle_request(Request::Stat { path: p.clone() });
+        assert_eq!(resp, Response::Stat { size: 100 });
+        assert_eq!(pfs.stats().snapshot().0, 1); // PFS open_meta
+
+        // After caching, stat does not touch the PFS again.
+        server.handle_request(Request::Read {
+            path: p.clone(),
+            offset: 0,
+            len: 1,
+        });
+        let (resp, _) = server.handle_request(Request::Stat { path: p });
+        assert_eq!(resp, Response::Stat { size: 100 });
+        assert_eq!(pfs.stats().snapshot().0, 1);
+    }
+
+    #[test]
+    fn missing_file_surfaces_not_found() {
+        let (_pfs, server) = setup(10_000);
+        let (resp, bulk) = server.handle_request(Request::Read {
+            path: PathBuf::from("/data/absent"),
+            offset: 0,
+            len: 1,
+        });
+        match resp {
+            Response::Err { code, .. } => assert_eq!(code, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(bulk.is_none());
+    }
+
+    #[test]
+    fn concurrent_first_reads_copy_once() {
+        let (pfs, server) = setup(100_000);
+        let p = sample(5);
+        let mut joins = Vec::new();
+        for _ in 0..16 {
+            let server = server.clone();
+            let p = p.clone();
+            joins.push(std::thread::spawn(move || {
+                let (resp, bulk) = server.handle_request(Request::Read {
+                    path: p,
+                    offset: 0,
+                    len: 100,
+                });
+                assert!(matches!(resp, Response::Data { .. }));
+                bulk.unwrap().len()
+            }));
+        }
+        for j in joins {
+            assert_eq!(j.join().unwrap(), 100);
+        }
+        let snap = server.metrics().snapshot();
+        assert_eq!(snap.pfs_copies, 1, "exactly one PFS copy under racing");
+        assert_eq!(pfs.stats().snapshot().1, 1);
+        assert!(snap.dedup_waits > 0, "racers piggybacked on the in-flight copy");
+    }
+
+    #[test]
+    fn eviction_under_pressure_keeps_serving() {
+        // Cache fits only 3 of the 16 files; every file must still be
+        // readable (paper §III-G: random replacement when dataset > cache).
+        let (_pfs, server) = setup(350);
+        for round in 0..3 {
+            for i in 0..16 {
+                let (resp, bulk) = server.handle_request(Request::Read {
+                    path: sample(i),
+                    offset: 0,
+                    len: 100,
+                });
+                assert!(
+                    matches!(resp, Response::Data { .. }),
+                    "round {round} file {i}: {resp:?}"
+                );
+                assert_eq!(bulk.unwrap().len(), 100);
+            }
+        }
+        let snap = server.metrics().snapshot();
+        assert!(snap.evictions > 0);
+        assert!(snap.pfs_copies >= 16);
+        assert!(server.cache().store().used().bytes() <= 350);
+    }
+
+    #[test]
+    fn purge_empties_cache_and_close_is_counted() {
+        let (_pfs, server) = setup(10_000);
+        server.handle_request(Request::Read {
+            path: sample(0),
+            offset: 0,
+            len: 1,
+        });
+        assert_eq!(server.cache().resident_count(), 1);
+        let (resp, _) = server.handle_request(Request::Close { path: sample(0) });
+        assert_eq!(resp, Response::Ok);
+        let (resp, _) = server.handle_request(Request::Purge);
+        assert_eq!(resp, Response::Ok);
+        assert_eq!(server.cache().resident_count(), 0);
+        assert_eq!(server.metrics().snapshot().closes, 1);
+    }
+
+    #[test]
+    fn over_fabric_round_trip() {
+        let (_pfs, server) = setup(10_000);
+        let fabric = Arc::new(Fabric::new());
+        let _ep = server.serve(&fabric, "node0/srv0").unwrap();
+        let req = Request::Read {
+            path: sample(2),
+            offset: 0,
+            len: 50,
+        }
+        .encode()
+        .unwrap();
+        let reply = fabric.call("node0/srv0", req).unwrap();
+        let resp = Response::decode(reply.header).unwrap();
+        assert!(matches!(resp, Response::Data { total_size: 100, .. }));
+        assert_eq!(reply.bulk.unwrap().len(), 50);
+    }
+
+    #[test]
+    fn undecodable_request_yields_error_reply() {
+        let (_pfs, server) = setup(1_000);
+        let reply = server.handle(Bytes::from_static(&[250, 1, 2]));
+        let resp = Response::decode(reply.header).unwrap();
+        assert!(matches!(resp, Response::Err { .. }));
+    }
+}

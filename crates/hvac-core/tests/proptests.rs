@@ -1,0 +1,163 @@
+//! Property-based tests for hvac-core: protocol totality, eviction-policy
+//! invariants under arbitrary operation sequences, cache capacity safety.
+
+use bytes::Bytes;
+use hvac_core::cache::CacheManager;
+use hvac_core::eviction::make_policy;
+use hvac_core::intercept::{normalize, DatasetMatcher};
+use hvac_core::protocol::{Request, Response};
+use hvac_storage::LocalStore;
+use hvac_types::{ByteSize, EvictionPolicyKind};
+use proptest::prelude::*;
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+
+fn arb_path() -> impl Strategy<Value = PathBuf> {
+    "[a-zA-Z0-9_./ -]{1,64}".prop_map(|s| PathBuf::from(format!("/{s}")))
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        arb_path().prop_map(|path| Request::Stat { path }),
+        (arb_path(), any::<u64>(), any::<u64>())
+            .prop_map(|(path, offset, len)| Request::Read { path, offset, len }),
+        arb_path().prop_map(|path| Request::Close { path }),
+        Just(Request::Purge),
+    ]
+}
+
+fn arb_response() -> impl Strategy<Value = Response> {
+    prop_oneof![
+        any::<u64>().prop_map(|size| Response::Stat { size }),
+        (any::<u64>(), any::<bool>()).prop_map(|(total_size, cache_hit)| Response::Data {
+            total_size,
+            cache_hit
+        }),
+        Just(Response::Ok),
+        (any::<i32>(), "[ -~]{0,80}").prop_map(|(code, message)| Response::Err {
+            code,
+            message
+        }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn request_codec_round_trips(req in arb_request()) {
+        let encoded = req.encode().unwrap();
+        prop_assert_eq!(Request::decode(encoded).unwrap(), req);
+    }
+
+    #[test]
+    fn response_codec_round_trips(resp in arb_response()) {
+        let encoded = resp.encode();
+        prop_assert_eq!(Response::decode(encoded).unwrap(), resp);
+    }
+
+    #[test]
+    fn request_decode_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Request::decode(Bytes::from(bytes.clone()));
+        let _ = Response::decode(Bytes::from(bytes));
+    }
+
+    /// Drive every policy with an arbitrary op sequence; the policy must
+    /// stay consistent with a reference set of resident paths.
+    #[test]
+    fn eviction_policies_track_residency(
+        ops in proptest::collection::vec((0u8..4, 0u8..32), 1..200),
+        kind in prop_oneof![
+            Just(EvictionPolicyKind::Random),
+            Just(EvictionPolicyKind::Fifo),
+            Just(EvictionPolicyKind::Lru),
+            Just(EvictionPolicyKind::Lfu),
+            Just(EvictionPolicyKind::MinIo),
+        ],
+    ) {
+        let mut policy = make_policy(kind, 42);
+        let mut resident: HashSet<PathBuf> = HashSet::new();
+        for (op, file) in ops {
+            let path = PathBuf::from(format!("/f/{file}"));
+            match op {
+                0 => {
+                    policy.on_insert(&path);
+                    resident.insert(path);
+                }
+                1 => {
+                    policy.on_remove(&path);
+                    resident.remove(&path);
+                }
+                2 => policy.on_access(&path),
+                _ => {
+                    match policy.victim() {
+                        Some(v) => prop_assert!(
+                            resident.contains(&v),
+                            "{} chose non-resident victim {v:?}",
+                            policy.name()
+                        ),
+                        None => prop_assert!(
+                            resident.is_empty() || policy.name() == "minio",
+                            "{} found no victim among {} resident",
+                            policy.name(),
+                            resident.len()
+                        ),
+                    }
+                }
+            }
+            prop_assert_eq!(policy.len(), resident.len(), "{} len drift", policy.name());
+        }
+    }
+
+    /// The cache never exceeds capacity, for any insert sequence.
+    #[test]
+    fn cache_capacity_is_inviolable(
+        sizes in proptest::collection::vec(1usize..400, 1..60),
+        kind in prop_oneof![
+            Just(EvictionPolicyKind::Random),
+            Just(EvictionPolicyKind::Fifo),
+            Just(EvictionPolicyKind::Lru),
+            Just(EvictionPolicyKind::Lfu),
+        ],
+    ) {
+        let capacity = 1_000u64;
+        let mgr = CacheManager::new(
+            LocalStore::in_memory(ByteSize(capacity)),
+            make_policy(kind, 3),
+        );
+        for (i, size) in sizes.iter().enumerate() {
+            let path = PathBuf::from(format!("/p/{i}"));
+            let result = mgr.insert(&path, Bytes::from(vec![0u8; *size]));
+            if *size as u64 <= capacity {
+                prop_assert!(result.is_ok(), "insert of {size} into {capacity} failed");
+            } else {
+                prop_assert!(result.is_err());
+            }
+            prop_assert!(mgr.store().used().bytes() <= capacity);
+        }
+    }
+
+    #[test]
+    fn normalize_is_idempotent(path in arb_path()) {
+        let once = normalize(&path);
+        prop_assert_eq!(normalize(&once), once.clone());
+    }
+
+    #[test]
+    fn matcher_accepts_children_rejects_siblings(
+        root in "[a-z]{1,10}/[a-z]{1,10}",
+        child in "[a-z0-9]{1,12}",
+    ) {
+        let m = DatasetMatcher::new(format!("/{root}"));
+        let inside = format!("/{root}/{child}");
+        let sibling = format!("/{root}sibling/{child}");
+        let elsewhere = format!("/other/{child}");
+        prop_assert!(m.matches(&inside));
+        prop_assert!(!m.matches(&sibling));
+        prop_assert!(!m.matches(&elsewhere));
+    }
+}
+
+#[test]
+fn matcher_handles_exact_root() {
+    let m = DatasetMatcher::new("/data/set");
+    assert!(m.matches(Path::new("/data/set")));
+}

@@ -1,0 +1,217 @@
+//! Dataset descriptors.
+//!
+//! A dataset, from the cache's point of view, is a number of files with a
+//! size distribution. Sizes are a deterministic function of the sample index
+//! so simulation and placement agree without storing anything.
+
+use hvac_hash::pathhash::mix64;
+use hvac_types::{summit, ByteSize};
+use serde::{Deserialize, Serialize};
+
+/// Per-sample file-size distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SizeDistribution {
+    /// Every file has the same size.
+    Fixed,
+    /// Uniform in `[mean*(1-spread), mean*(1+spread)]`.
+    Uniform {
+        /// Relative half-width, in `(0, 1)`.
+        spread: f64,
+    },
+    /// Log-normal with the given sigma (of the underlying normal), rescaled
+    /// to the dataset mean. Heavy tails — what image datasets look like.
+    LogNormal {
+        /// Shape parameter.
+        sigma: f64,
+    },
+}
+
+/// A training dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetSpec {
+    /// Human-readable name.
+    pub name: String,
+    /// Training samples (files).
+    pub train_samples: u64,
+    /// Mean file size.
+    pub mean_size: ByteSize,
+    /// Size distribution around the mean.
+    pub size_dist: SizeDistribution,
+    /// Seed mixed into per-sample draws.
+    pub seed: u64,
+}
+
+impl DatasetSpec {
+    /// ImageNet-21K as used in the paper: 11.8 M samples, ~163 KB mean,
+    /// heavy-tailed JPEG sizes (§IV-A3).
+    pub fn imagenet21k() -> Self {
+        Self {
+            name: "ImageNet21K".into(),
+            train_samples: summit::IMAGENET21K_TRAIN_SAMPLES,
+            mean_size: summit::IMAGENET21K_MEAN_SAMPLE,
+            size_dist: SizeDistribution::LogNormal { sigma: 0.7 },
+            seed: 21_000,
+        }
+    }
+
+    /// cosmoUniverse: 524,288 TFRecord samples, ~2.5 MB each, near-uniform
+    /// (preprocessed records, §IV-A3).
+    pub fn cosmouniverse() -> Self {
+        Self {
+            name: "cosmoUniverse".into(),
+            train_samples: summit::COSMOFLOW_TRAIN_SAMPLES,
+            mean_size: summit::cosmoflow_mean_sample(),
+            size_dist: SizeDistribution::Uniform { spread: 0.05 },
+            seed: 36_000,
+        }
+    }
+
+    /// DeepCAM climate tiles: 768×1152×16 samples, ~27 MB each (§IV-A2).
+    pub fn deepcam() -> Self {
+        Self {
+            name: "DeepCAM-climate".into(),
+            train_samples: 121_266, // the CAM5 segmentation training split
+            mean_size: summit::DEEPCAM_SAMPLE,
+            size_dist: SizeDistribution::Fixed,
+            seed: 18_000,
+        }
+    }
+
+    /// A proportionally scaled-down copy (for tests and benches): divides the
+    /// sample count by `factor`, keeping sizes.
+    pub fn scaled_down(&self, factor: u64) -> Self {
+        Self {
+            name: format!("{}/÷{}", self.name, factor),
+            train_samples: (self.train_samples / factor).max(1),
+            ..self.clone()
+        }
+    }
+
+    /// Deterministic size of sample `index`.
+    pub fn size_of(&self, index: u64) -> ByteSize {
+        let mean = self.mean_size.as_f64();
+        let bytes = match self.size_dist {
+            SizeDistribution::Fixed => mean,
+            SizeDistribution::Uniform { spread } => {
+                let u = unit_draw(self.seed, index);
+                mean * (1.0 + spread * (2.0 * u - 1.0))
+            }
+            SizeDistribution::LogNormal { sigma } => {
+                let z = gaussian_draw(self.seed, index);
+                // E[exp(sigma Z)] = exp(sigma^2/2); divide it out to keep the
+                // configured mean.
+                mean * (sigma * z - sigma * sigma / 2.0).exp()
+            }
+        };
+        ByteSize(bytes.max(1.0) as u64)
+    }
+
+    /// Total dataset size (sum over samples) — O(n); use on scaled-down
+    /// specs or trust `expected_total`.
+    pub fn total_size(&self) -> ByteSize {
+        let mut total = 0u64;
+        for i in 0..self.train_samples {
+            total += self.size_of(i).bytes();
+        }
+        ByteSize(total)
+    }
+
+    /// `mean * samples` — the expected total.
+    pub fn expected_total(&self) -> ByteSize {
+        ByteSize(self.mean_size.bytes() * self.train_samples)
+    }
+
+    /// Synthetic application-space path of a sample (shared convention with
+    /// the functional loader and the examples).
+    pub fn path_of(&self, dir: &str, index: u64) -> String {
+        format!("{dir}/sample_{index:08}.bin")
+    }
+}
+
+/// Uniform draw in [0, 1) from (seed, index).
+fn unit_draw(seed: u64, index: u64) -> f64 {
+    let x = mix64(seed ^ index.wrapping_mul(0x2545_F491_4F6C_DD1D));
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Standard normal draw via Box–Muller from two decorrelated uniforms.
+fn gaussian_draw(seed: u64, index: u64) -> f64 {
+    let u1 = unit_draw(seed, index).max(1e-12);
+    let u2 = unit_draw(seed ^ 0xdead_beef, index);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_scale() {
+        let inet = DatasetSpec::imagenet21k();
+        assert_eq!(inet.train_samples, 11_797_632);
+        let cosmo = DatasetSpec::cosmouniverse();
+        assert_eq!(cosmo.train_samples, 524_288);
+        assert!(cosmo.mean_size.bytes() > 2_000_000);
+        let cam = DatasetSpec::deepcam();
+        assert_eq!(cam.mean_size.bytes(), 27_000_000);
+    }
+
+    #[test]
+    fn sizes_are_deterministic_and_positive() {
+        let d = DatasetSpec::imagenet21k();
+        for i in [0u64, 1, 999, 11_000_000] {
+            assert_eq!(d.size_of(i), d.size_of(i));
+            assert!(d.size_of(i).bytes() >= 1);
+        }
+    }
+
+    #[test]
+    fn fixed_distribution_is_constant() {
+        let d = DatasetSpec::deepcam();
+        assert_eq!(d.size_of(0), d.size_of(123456));
+    }
+
+    #[test]
+    fn lognormal_mean_is_calibrated() {
+        let d = DatasetSpec::imagenet21k().scaled_down(256); // ~46k samples
+        let total = d.total_size().as_f64();
+        let mean = total / d.train_samples as f64;
+        let target = d.mean_size.as_f64();
+        assert!(
+            (mean - target).abs() / target < 0.05,
+            "empirical mean {mean} vs target {target}"
+        );
+        // ...and it has a real spread.
+        let a = d.size_of(1).bytes() as f64;
+        let b = d.size_of(2).bytes() as f64;
+        assert!((a - b).abs() > 1.0);
+    }
+
+    #[test]
+    fn uniform_distribution_respects_bounds() {
+        let d = DatasetSpec::cosmouniverse().scaled_down(64);
+        let mean = d.mean_size.as_f64();
+        for i in 0..5_000 {
+            let s = d.size_of(i).as_f64();
+            assert!(s >= mean * 0.949 && s <= mean * 1.051, "sample {i}: {s}");
+        }
+    }
+
+    #[test]
+    fn scaled_down_keeps_sizes() {
+        let d = DatasetSpec::imagenet21k();
+        let s = d.scaled_down(1000);
+        assert_eq!(s.train_samples, d.train_samples / 1000);
+        assert_eq!(s.size_of(42), d.size_of(42));
+        assert_eq!(DatasetSpec::deepcam().scaled_down(u64::MAX).train_samples, 1);
+    }
+
+    #[test]
+    fn path_convention() {
+        let d = DatasetSpec::imagenet21k();
+        assert_eq!(
+            d.path_of("/gpfs/train", 7),
+            "/gpfs/train/sample_00000007.bin"
+        );
+    }
+}

@@ -1,0 +1,35 @@
+//! The deep-learning workload layer.
+//!
+//! HVAC's evaluation trains four applications (ResNet50, TResNet_M,
+//! CosmoFlow, DeepCAM) over two datasets (ImageNet-21K, cosmoUniverse).
+//! This crate models the *I/O-relevant* behaviour of those jobs — which
+//! files are read, in what order, how big they are, and how long the
+//! accelerator is busy between reads — plus a real (small) SGD training loop
+//! for the accuracy experiment:
+//!
+//! * [`dataset`] — dataset descriptors with deterministic per-sample sizes
+//!   (fixed, uniform or log-normal, matching the "random sizes of file in
+//!   the datasets" remark under Fig. 15),
+//! * [`sampler`] — the distributed shuffled sampler: a seeded Feistel
+//!   permutation gives every epoch a fresh global shuffle in O(1) per lookup
+//!   (no 11.8-million-entry permutation arrays), sharded across ranks like
+//!   PyTorch's `DistributedSampler`,
+//! * [`models`] — per-application compute-time and allreduce models,
+//! * [`training`] — the batch-synchronous training simulator that drives an
+//!   [`hvac_sim::IoBackend`] and produces per-epoch times (Figs. 8–13),
+//! * [`accuracy`] — a real softmax-regression trained on synthetic data to
+//!   show order-equivalence of GPFS and HVAC (Fig. 14),
+//! * [`loader`] — a functional batch loader that really moves bytes through
+//!   an [`hvac_core::HvacClient`].
+
+pub mod accuracy;
+pub mod dataset;
+pub mod loader;
+pub mod models;
+pub mod sampler;
+pub mod training;
+
+pub use dataset::{DatasetSpec, SizeDistribution};
+pub use models::DnnModel;
+pub use sampler::{DistributedSampler, Permutation};
+pub use training::{simulate_training, TrainingConfig, TrainingResult};

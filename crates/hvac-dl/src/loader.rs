@@ -1,0 +1,160 @@
+//! A functional batch loader: really moves bytes.
+//!
+//! The simulator predicts timings; this loader performs the actual
+//! `<open, read, close>` transactions through either the PFS or an HVAC
+//! client, in sampler order — integration tests use it to prove the two
+//! paths deliver identical streams (Fig. 14's premise) and that repeat
+//! epochs stop touching the PFS.
+
+use crate::dataset::DatasetSpec;
+use crate::sampler::DistributedSampler;
+use bytes::Bytes;
+use hvac_core::HvacClient;
+use hvac_pfs::FileStore;
+use hvac_types::Result;
+use std::path::Path;
+
+/// Anything that can fetch one dataset sample by path.
+pub trait SampleReader {
+    /// Read the full contents of a sample file.
+    fn read_sample(&self, path: &Path) -> Result<Bytes>;
+}
+
+/// Read samples through the HVAC cache.
+pub struct HvacReader<'a>(pub &'a HvacClient);
+
+impl SampleReader for HvacReader<'_> {
+    fn read_sample(&self, path: &Path) -> Result<Bytes> {
+        self.0.read_file(path)
+    }
+}
+
+/// Read samples straight from a PFS store (the GPFS baseline).
+pub struct PfsReader<'a>(pub &'a dyn FileStore);
+
+impl SampleReader for PfsReader<'_> {
+    fn read_sample(&self, path: &Path) -> Result<Bytes> {
+        // The same transaction shape: stat (open), read, implicit close.
+        let _ = self.0.open_meta(path)?;
+        self.0.read_all(path)
+    }
+}
+
+/// A rank's view of the dataset: shuffled shards per epoch, read in batches.
+pub struct BatchLoader {
+    dataset_dir: String,
+    dataset: DatasetSpec,
+    sampler: DistributedSampler,
+    batch_size: u32,
+}
+
+impl BatchLoader {
+    /// Build a loader for a world of `ranks` processes.
+    pub fn new(dataset_dir: &str, dataset: DatasetSpec, ranks: u64, batch_size: u32, seed: u64) -> Self {
+        Self {
+            dataset_dir: dataset_dir.to_string(),
+            sampler: DistributedSampler::new(dataset.train_samples, ranks, seed),
+            dataset,
+            batch_size: batch_size.max(1),
+        }
+    }
+
+    /// The shared sampler.
+    pub fn sampler(&self) -> &DistributedSampler {
+        &self.sampler
+    }
+
+    /// Batches (index, bytes) for one rank and epoch, at most `max_batches`.
+    pub fn load_epoch<R: SampleReader>(
+        &self,
+        reader: &R,
+        epoch: u32,
+        rank: u64,
+        max_batches: usize,
+    ) -> Result<Vec<Vec<(u64, Bytes)>>> {
+        let mut batches = Vec::new();
+        let mut current: Vec<(u64, Bytes)> = Vec::with_capacity(self.batch_size as usize);
+        for index in self.sampler.rank_iter(epoch, rank) {
+            let path_string = self.dataset.path_of(&self.dataset_dir, index);
+            let data = reader.read_sample(Path::new(&path_string))?;
+            current.push((index, data));
+            if current.len() == self.batch_size as usize {
+                batches.push(std::mem::take(&mut current));
+                if batches.len() >= max_batches {
+                    return Ok(batches);
+                }
+            }
+        }
+        if !current.is_empty() {
+            batches.push(current);
+        }
+        Ok(batches)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hvac_pfs::MemStore;
+    use std::sync::Arc;
+
+    fn tiny_dataset() -> (Arc<MemStore>, DatasetSpec) {
+        let mut spec = DatasetSpec::imagenet21k().scaled_down(1_000_000); // 11 samples
+        spec.train_samples = 24;
+        let pfs = Arc::new(MemStore::new());
+        for i in 0..spec.train_samples {
+            let size = spec.size_of(i).bytes() as usize % 4096 + 16;
+            pfs.put(
+                spec.path_of("/gpfs/train", i),
+                MemStore::sample_content(i, size),
+            );
+        }
+        (pfs, spec)
+    }
+
+    #[test]
+    fn loads_batches_in_sampler_order() {
+        let (pfs, spec) = tiny_dataset();
+        let loader = BatchLoader::new("/gpfs/train", spec, 2, 4, 9);
+        let reader = PfsReader(pfs.as_ref());
+        let batches = loader.load_epoch(&reader, 0, 0, usize::MAX).unwrap();
+        // 24 samples / 2 ranks = 12 per rank = 3 batches of 4.
+        assert_eq!(batches.len(), 3);
+        assert!(batches.iter().all(|b| b.len() == 4));
+        let order: Vec<u64> = batches.iter().flatten().map(|(i, _)| *i).collect();
+        let expect: Vec<u64> = loader.sampler().rank_iter(0, 0).collect();
+        assert_eq!(order, expect);
+    }
+
+    #[test]
+    fn max_batches_limits_work() {
+        let (pfs, spec) = tiny_dataset();
+        let loader = BatchLoader::new("/gpfs/train", spec, 2, 4, 9);
+        let reader = PfsReader(pfs.as_ref());
+        let batches = loader.load_epoch(&reader, 0, 1, 2).unwrap();
+        assert_eq!(batches.len(), 2);
+    }
+
+    #[test]
+    fn bytes_are_correct() {
+        let (pfs, spec) = tiny_dataset();
+        let loader = BatchLoader::new("/gpfs/train", spec.clone(), 1, 8, 3);
+        let reader = PfsReader(pfs.as_ref());
+        let batches = loader.load_epoch(&reader, 1, 0, usize::MAX).unwrap();
+        for batch in &batches {
+            for (idx, data) in batch {
+                let size = spec.size_of(*idx).bytes() as usize % 4096 + 16;
+                assert_eq!(*data, MemStore::sample_content(*idx, size));
+            }
+        }
+    }
+
+    #[test]
+    fn missing_sample_surfaces_error() {
+        let (pfs, mut spec) = tiny_dataset();
+        spec.train_samples = 100; // more than exist
+        let loader = BatchLoader::new("/gpfs/train", spec, 1, 4, 3);
+        let reader = PfsReader(pfs.as_ref());
+        assert!(loader.load_epoch(&reader, 0, 0, usize::MAX).is_err());
+    }
+}

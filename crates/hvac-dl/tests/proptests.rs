@@ -1,0 +1,104 @@
+//! Property-based tests for the workload layer: the Feistel permutation is
+//! a bijection for every domain, shards partition the dataset, sizes are
+//! deterministic and calibrated.
+
+use hvac_dl::dataset::{DatasetSpec, SizeDistribution};
+use hvac_dl::sampler::{DistributedSampler, Permutation};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+proptest! {
+    #[test]
+    fn permutation_bijective_for_any_domain(n in 1u64..5_000, seed in any::<u64>()) {
+        let p = Permutation::new(n, seed);
+        let mut seen = HashSet::with_capacity(n as usize);
+        for i in 0..n {
+            let x = p.apply(i);
+            prop_assert!(x < n);
+            prop_assert!(seen.insert(x), "duplicate image {x}");
+        }
+    }
+
+    #[test]
+    fn sampler_shards_partition_dataset(
+        n in 1u64..2_000,
+        world in 1u64..16,
+        epoch in 0u32..8,
+        seed in any::<u64>(),
+    ) {
+        let s = DistributedSampler::new(n, world, seed);
+        let mut seen = HashSet::new();
+        for rank in 0..world {
+            for idx in s.rank_iter(epoch, rank) {
+                prop_assert!(idx < n);
+                prop_assert!(seen.insert(idx), "index {idx} appears in two shards");
+            }
+        }
+        prop_assert_eq!(seen.len() as u64, s.samples_per_rank() * world);
+        prop_assert!(seen.len() as u64 <= n);
+        prop_assert!(n - (seen.len() as u64) < world, "drop_last loses < world items");
+    }
+
+    #[test]
+    fn dataset_sizes_deterministic_and_positive(
+        samples in 1u64..100_000,
+        mean_kb in 1u64..10_000,
+        idx in any::<u64>(),
+        sigma in 0.1f64..1.5,
+    ) {
+        let idx = idx % samples;
+        for dist in [
+            SizeDistribution::Fixed,
+            SizeDistribution::Uniform { spread: 0.3 },
+            SizeDistribution::LogNormal { sigma },
+        ] {
+            let spec = DatasetSpec {
+                name: "prop".into(),
+                train_samples: samples,
+                mean_size: hvac_types::ByteSize::kib(mean_kb),
+                size_dist: dist,
+                seed: 7,
+            };
+            let a = spec.size_of(idx);
+            prop_assert_eq!(a, spec.size_of(idx));
+            prop_assert!(a.bytes() >= 1);
+        }
+    }
+
+    #[test]
+    fn uniform_sizes_within_bounds(idx in any::<u64>(), spread in 0.01f64..0.9) {
+        let spec = DatasetSpec {
+            name: "prop".into(),
+            train_samples: u64::MAX,
+            mean_size: hvac_types::ByteSize::kib(100),
+            size_dist: SizeDistribution::Uniform { spread },
+            seed: 3,
+        };
+        let s = spec.size_of(idx).as_f64();
+        let mean = spec.mean_size.as_f64();
+        prop_assert!(s >= mean * (1.0 - spread) - 1.0);
+        prop_assert!(s <= mean * (1.0 + spread) + 1.0);
+    }
+
+    #[test]
+    fn scaled_down_preserves_per_sample_sizes(factor in 1u64..1_000, idx in 0u64..10_000) {
+        let full = DatasetSpec::imagenet21k();
+        let small = full.scaled_down(factor);
+        prop_assert_eq!(full.size_of(idx), small.size_of(idx));
+        prop_assert!(small.train_samples >= 1);
+    }
+
+    #[test]
+    fn epoch_permutations_differ_but_cover_same_set(n in 2u64..500, seed in any::<u64>()) {
+        let s = DistributedSampler::new(n, 1, seed);
+        let e0: Vec<u64> = s.rank_iter(0, 0).collect();
+        let e1: Vec<u64> = s.rank_iter(1, 0).collect();
+        let set0: HashSet<u64> = e0.iter().copied().collect();
+        let set1: HashSet<u64> = e1.iter().copied().collect();
+        prop_assert_eq!(set0, set1, "epochs must cover the same samples");
+        if n > 16 {
+            // With ≥17 elements two independent shuffles virtually never agree.
+            prop_assert_ne!(e0, e1, "epochs must reshuffle");
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Hash-based file placement for HVAC (paper §III-E).
+//!
+//! HVAC never consults a metadata service to locate cached data: the home
+//! server of a file is computed *algorithmically* from the file path and the
+//! job's node allocation. This crate provides:
+//!
+//! * [`pathhash`] — a fast, stable 64-bit path hash (FNV-1a with an avalanche
+//!   finalizer),
+//! * [`placement`] — the [`Placement`] trait plus the paper's modulo scheme
+//!   and four alternatives (jump consistent hash, rendezvous/HRW, a consistent
+//!   hash ring with virtual nodes, and CRUSH-style straw2), all supporting
+//!   replica ranking for the fail-over extension,
+//! * [`stats`] — load-distribution statistics (per-server shares, CDF against
+//!   the ideal, Jain's fairness index) used for Fig. 15,
+//! * [`topology`] — failure-domain-aware replica spreading (the paper's
+//!   §IV-G future work), as a decorator over any base algorithm.
+//!
+//! All algorithms are deterministic pure functions of `(path, server count)`:
+//! every client computes the same home without coordination, which is the
+//! property that removes the metadata bottleneck.
+
+pub mod pathhash;
+pub mod placement;
+pub mod stats;
+pub mod topology;
+
+pub use pathhash::{hash_bytes, hash_path, mix64};
+pub use placement::{
+    make_placement, JumpPlacement, ModuloPlacement, Placement, RendezvousPlacement,
+    RingPlacement, Straw2Placement,
+};
+pub use stats::{DistributionStats, LoadCdf};
+pub use topology::{Topology, TopologyAware};

@@ -1,0 +1,93 @@
+//! Stable 64-bit path hashing.
+//!
+//! The hash must be (a) identical on every client without coordination,
+//! (b) well distributed even for highly regular inputs (dataset paths differ
+//! only in a numeric suffix), and (c) cheap, because it runs on every `open`.
+//! FNV-1a alone fails (b) — sequential filenames produce clustered hashes —
+//! so we pass the FNV state through a SplitMix64-style avalanche finalizer.
+
+use hvac_types::FileId;
+use std::path::Path;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// SplitMix64 avalanche finalizer: every input bit affects every output bit.
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x
+}
+
+/// Hash an arbitrary byte string to a well-distributed 64-bit value.
+#[inline]
+pub fn hash_bytes(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    mix64(h)
+}
+
+/// Hash a file path into the [`FileId`] that drives placement.
+#[inline]
+pub fn hash_path<P: AsRef<Path>>(path: P) -> FileId {
+    FileId(hash_bytes(path.as_ref().as_os_str().as_encoded_bytes()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_path("/gpfs/data/img_000001.jpg"), hash_path("/gpfs/data/img_000001.jpg"));
+        assert_eq!(hash_bytes(b"abc"), hash_bytes(b"abc"));
+    }
+
+    #[test]
+    fn distinct_paths_differ() {
+        assert_ne!(hash_path("/a"), hash_path("/b"));
+        assert_ne!(hash_path("/data/x1"), hash_path("/data/x2"));
+        // order sensitivity
+        assert_ne!(hash_bytes(b"ab"), hash_bytes(b"ba"));
+    }
+
+    #[test]
+    fn empty_input_is_defined() {
+        // The empty path must not panic and must be stable.
+        assert_eq!(hash_bytes(b""), hash_bytes(b""));
+    }
+
+    #[test]
+    fn sequential_names_spread_across_buckets() {
+        // The property that makes modulo placement balanced in Fig. 15:
+        // consecutive dataset filenames should land uniformly over servers.
+        let n_servers = 64u64;
+        let n_files = 64_000;
+        let mut counts = vec![0u32; n_servers as usize];
+        for i in 0..n_files {
+            let h = hash_path(format!("/gpfs/alpine/imagenet21k/train/img_{i:08}.jpg"));
+            counts[(h.0 % n_servers) as usize] += 1;
+        }
+        let ideal = n_files as f64 / n_servers as f64;
+        for (s, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - ideal).abs() / ideal;
+            assert!(dev < 0.15, "server {s} holds {c} files, ideal {ideal}");
+        }
+    }
+
+    #[test]
+    fn avalanche_on_single_bit_flip() {
+        // Flipping one input bit should flip ~half the output bits.
+        let a = hash_bytes(b"/gpfs/data/img_00000001.jpg");
+        let b = hash_bytes(b"/gpfs/data/img_00000000.jpg");
+        let flipped = (a ^ b).count_ones();
+        assert!((16..=48).contains(&flipped), "only {flipped} bits flipped");
+    }
+}

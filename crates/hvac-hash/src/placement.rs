@@ -1,0 +1,491 @@
+//! Placement algorithms: map a [`FileId`] to its home server (and, for the
+//! fail-over extension, to an ordered replica set).
+//!
+//! The paper's scheme (§III-E) is plain modulo hashing: "file cache locations
+//! are determined using the file path and job node allocation". The
+//! alternatives here serve the ablation benches and the replication/fail-over
+//! future work of §III-H: jump consistent hashing and the ring minimize data
+//! movement when the allocation shrinks/grows; rendezvous and straw2 give
+//! statistically independent replica ranks (straw2 additionally supports
+//! weighted servers, as CRUSH does).
+
+use crate::pathhash::mix64;
+use hvac_types::{FileId, PlacementKind};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// A materialized ring: sorted `(point, server)` pairs.
+type Ring = Arc<Vec<(u64, u32)>>;
+
+/// A deterministic mapping from file identity to server index.
+///
+/// Implementations must be pure functions of `(file, n_servers)` (plus
+/// construction-time parameters): every client in the job computes the same
+/// answer with no coordination, which is what removes the metadata service.
+pub trait Placement: Send + Sync {
+    /// Short identifier for reports and benches.
+    fn name(&self) -> &'static str;
+
+    /// Index of the home server in `0..n_servers`.
+    ///
+    /// # Panics
+    /// Implementations may panic if `n_servers == 0`.
+    fn home(&self, file: FileId, n_servers: usize) -> usize;
+
+    /// Ordered, duplicate-free list of `k.min(n_servers)` replica holders.
+    /// The first entry is the home server; later entries are fail-over
+    /// targets in preference order.
+    fn replicas(&self, file: FileId, n_servers: usize, k: usize) -> Vec<usize> {
+        let k = k.min(n_servers);
+        let mut out = Vec::with_capacity(k);
+        let home = self.home(file, n_servers);
+        out.push(home);
+        // Generic fallback: deterministic salted re-draws.
+        let mut salt = 1u64;
+        while out.len() < k {
+            let candidate = self.home(FileId(mix64(file.0 ^ salt)), n_servers);
+            if !out.contains(&candidate) {
+                out.push(candidate);
+            }
+            salt += 1;
+        }
+        out
+    }
+}
+
+/// The paper's scheme: `hash(path) % n_servers`.
+///
+/// Replicas are the cyclically-next servers, which keeps fail-over targets
+/// trivially computable (and, with node-major server enumeration, on
+/// *different nodes* whenever `instances_per_node == 1`).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ModuloPlacement;
+
+impl Placement for ModuloPlacement {
+    fn name(&self) -> &'static str {
+        "modulo"
+    }
+
+    #[inline]
+    fn home(&self, file: FileId, n_servers: usize) -> usize {
+        assert!(n_servers > 0, "placement over zero servers");
+        (file.0 % n_servers as u64) as usize
+    }
+
+    fn replicas(&self, file: FileId, n_servers: usize, k: usize) -> Vec<usize> {
+        let k = k.min(n_servers);
+        let home = self.home(file, n_servers);
+        (0..k).map(|i| (home + i) % n_servers).collect()
+    }
+}
+
+/// Jump consistent hash (Lamping & Veach, 2014).
+///
+/// Moves only `1/(n+1)` of keys when a server is appended — attractive for
+/// elastic allocations.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct JumpPlacement;
+
+/// The jump-consistent-hash kernel.
+#[inline]
+fn jump_hash(mut key: u64, n_buckets: u64) -> u64 {
+    assert!(n_buckets > 0);
+    let mut b: i64 = -1;
+    let mut j: i64 = 0;
+    while j < n_buckets as i64 {
+        b = j;
+        key = key.wrapping_mul(2_862_933_555_777_941_757).wrapping_add(1);
+        let shifted = ((key >> 33) + 1) as f64;
+        j = (((b + 1) as f64) * ((1u64 << 31) as f64 / shifted)) as i64;
+    }
+    b as u64
+}
+
+impl Placement for JumpPlacement {
+    fn name(&self) -> &'static str {
+        "jump"
+    }
+
+    #[inline]
+    fn home(&self, file: FileId, n_servers: usize) -> usize {
+        jump_hash(file.0, n_servers as u64) as usize
+    }
+}
+
+/// Rendezvous (highest-random-weight) hashing: the home is the server with
+/// the largest `hash(file, server)`. Replica ranking falls out naturally as
+/// the top-k weights, giving independent fail-over targets.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RendezvousPlacement;
+
+#[inline]
+fn hrw_weight(file: FileId, server: usize) -> u64 {
+    mix64(file.0 ^ mix64(0x9e37_79b9_7f4a_7c15 ^ server as u64))
+}
+
+impl Placement for RendezvousPlacement {
+    fn name(&self) -> &'static str {
+        "rendezvous"
+    }
+
+    fn home(&self, file: FileId, n_servers: usize) -> usize {
+        assert!(n_servers > 0, "placement over zero servers");
+        (0..n_servers)
+            .max_by_key(|&s| hrw_weight(file, s))
+            .expect("non-empty")
+    }
+
+    fn replicas(&self, file: FileId, n_servers: usize, k: usize) -> Vec<usize> {
+        let k = k.min(n_servers);
+        let mut weighted: Vec<(u64, usize)> =
+            (0..n_servers).map(|s| (hrw_weight(file, s), s)).collect();
+        weighted.sort_unstable_by(|a, b| b.cmp(a));
+        weighted.truncate(k);
+        weighted.into_iter().map(|(_, s)| s).collect()
+    }
+}
+
+/// Consistent-hash ring with virtual nodes.
+///
+/// The ring for a given server count is built once and memoized (placement
+/// runs on every `open`, so rebuilding per call would dominate).
+#[derive(Debug)]
+pub struct RingPlacement {
+    vnodes_per_server: u32,
+    rings: Mutex<HashMap<usize, Ring>>,
+}
+
+impl Clone for RingPlacement {
+    fn clone(&self) -> Self {
+        Self::new(self.vnodes_per_server)
+    }
+}
+
+impl RingPlacement {
+    /// A ring with `vnodes_per_server` virtual nodes per server (64–256 is
+    /// typical; more vnodes = better balance, larger ring).
+    pub fn new(vnodes_per_server: u32) -> Self {
+        Self {
+            vnodes_per_server: vnodes_per_server.max(1),
+            rings: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn ring_for(&self, n_servers: usize) -> Ring {
+        let mut rings = self.rings.lock().expect("ring cache poisoned");
+        rings
+            .entry(n_servers)
+            .or_insert_with(|| {
+                let mut ring =
+                    Vec::with_capacity(n_servers * self.vnodes_per_server as usize);
+                for s in 0..n_servers as u32 {
+                    for v in 0..self.vnodes_per_server {
+                        let point = mix64(((s as u64) << 32) ^ v as u64 ^ 0xabcd_ef01);
+                        ring.push((point, s));
+                    }
+                }
+                ring.sort_unstable();
+                Arc::new(ring)
+            })
+            .clone()
+    }
+}
+
+impl Default for RingPlacement {
+    fn default() -> Self {
+        Self::new(128)
+    }
+}
+
+impl Placement for RingPlacement {
+    fn name(&self) -> &'static str {
+        "ring"
+    }
+
+    fn home(&self, file: FileId, n_servers: usize) -> usize {
+        assert!(n_servers > 0, "placement over zero servers");
+        let ring = self.ring_for(n_servers);
+        let idx = ring.partition_point(|&(p, _)| p < file.0);
+        let idx = if idx == ring.len() { 0 } else { idx };
+        ring[idx].1 as usize
+    }
+
+    fn replicas(&self, file: FileId, n_servers: usize, k: usize) -> Vec<usize> {
+        let k = k.min(n_servers);
+        let ring = self.ring_for(n_servers);
+        let start = ring.partition_point(|&(p, _)| p < file.0);
+        let mut out = Vec::with_capacity(k);
+        for off in 0..ring.len() {
+            let (_, s) = ring[(start + off) % ring.len()];
+            let s = s as usize;
+            if !out.contains(&s) {
+                out.push(s);
+                if out.len() == k {
+                    break;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// CRUSH-style straw2 selection with optional per-server weights.
+///
+/// Each server draws a "straw" of length `ln(u) / weight` with `u` a
+/// deterministic uniform draw from `(0, 1]`; the longest (least negative)
+/// straw wins. With equal weights this is rendezvous hashing; with unequal
+/// weights the win probability is exactly proportional to weight, which is
+/// what CephFS relies on (§III-E cites CRUSH).
+#[derive(Debug, Clone, Default)]
+pub struct Straw2Placement {
+    weights: Option<Vec<f64>>,
+}
+
+impl Straw2Placement {
+    /// Equal-weight straw2.
+    pub fn new() -> Self {
+        Self { weights: None }
+    }
+
+    /// Weighted straw2; `weights[s]` is the relative capacity of server `s`.
+    /// Servers beyond the weight vector default to weight 1.0.
+    pub fn with_weights(weights: Vec<f64>) -> Self {
+        Self {
+            weights: Some(weights),
+        }
+    }
+
+    #[inline]
+    fn weight(&self, server: usize) -> f64 {
+        match &self.weights {
+            Some(w) => *w.get(server).unwrap_or(&1.0),
+            None => 1.0,
+        }
+    }
+
+    #[inline]
+    fn straw(&self, file: FileId, server: usize) -> f64 {
+        let w = self.weight(server);
+        if w <= 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        // u in (0, 1]: map the 64-bit draw into the unit interval, avoiding 0.
+        let draw = hrw_weight(file, server);
+        let u = (draw as f64 + 1.0) / (u64::MAX as f64 + 2.0);
+        u.ln() / w
+    }
+}
+
+impl Placement for Straw2Placement {
+    fn name(&self) -> &'static str {
+        "straw2"
+    }
+
+    fn home(&self, file: FileId, n_servers: usize) -> usize {
+        assert!(n_servers > 0, "placement over zero servers");
+        let mut best = 0usize;
+        let mut best_straw = f64::NEG_INFINITY;
+        for s in 0..n_servers {
+            let st = self.straw(file, s);
+            if st > best_straw {
+                best_straw = st;
+                best = s;
+            }
+        }
+        best
+    }
+
+    fn replicas(&self, file: FileId, n_servers: usize, k: usize) -> Vec<usize> {
+        let k = k.min(n_servers);
+        let mut strs: Vec<(f64, usize)> =
+            (0..n_servers).map(|s| (self.straw(file, s), s)).collect();
+        strs.sort_unstable_by(|a, b| b.partial_cmp(a).expect("straws are finite or -inf"));
+        strs.truncate(k);
+        strs.into_iter().map(|(_, s)| s).collect()
+    }
+}
+
+/// Construct the placement implementation selected by a
+/// [`PlacementKind`].
+pub fn make_placement(kind: PlacementKind) -> Box<dyn Placement> {
+    match kind {
+        PlacementKind::Modulo => Box::new(ModuloPlacement),
+        PlacementKind::Jump => Box::new(JumpPlacement),
+        PlacementKind::Rendezvous => Box::new(RendezvousPlacement),
+        PlacementKind::Ring => Box::new(RingPlacement::default()),
+        PlacementKind::Straw2 => Box::new(Straw2Placement::new()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pathhash::hash_path;
+
+    fn all_placements() -> Vec<Box<dyn Placement>> {
+        vec![
+            Box::new(ModuloPlacement),
+            Box::new(JumpPlacement),
+            Box::new(RendezvousPlacement),
+            Box::new(RingPlacement::default()),
+            Box::new(Straw2Placement::new()),
+        ]
+    }
+
+    #[test]
+    fn home_is_in_range_and_deterministic() {
+        for p in all_placements() {
+            for n in [1usize, 2, 7, 64, 1024] {
+                for i in 0..200u64 {
+                    let f = hash_path(format!("/d/{i}"));
+                    let h = p.home(f, n);
+                    assert!(h < n, "{} out of range", p.name());
+                    assert_eq!(h, p.home(f, n), "{} not deterministic", p.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn replicas_are_distinct_prefixed_by_home() {
+        for p in all_placements() {
+            for n in [1usize, 3, 16, 128] {
+                for k in [1usize, 2, 3, 5, 200] {
+                    let f = hash_path(format!("/data/sample-{n}-{k}"));
+                    let reps = p.replicas(f, n, k);
+                    assert_eq!(reps.len(), k.min(n), "{}", p.name());
+                    assert_eq!(reps[0], p.home(f, n), "{}", p.name());
+                    let mut sorted = reps.clone();
+                    sorted.sort_unstable();
+                    sorted.dedup();
+                    assert_eq!(sorted.len(), reps.len(), "{} duplicates", p.name());
+                    assert!(reps.iter().all(|&r| r < n), "{}", p.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn modulo_replicas_are_cyclic_successors() {
+        let f = FileId(10);
+        assert_eq!(ModuloPlacement.replicas(f, 4, 3), vec![2, 3, 0]);
+    }
+
+    #[test]
+    fn jump_hash_reference_values() {
+        // Cross-checked against the published algorithm's behaviour:
+        // bucket(key, 1) == 0 always; growing n only ever moves keys to the
+        // *new* bucket.
+        for key in 0..500u64 {
+            assert_eq!(jump_hash(key, 1), 0);
+        }
+    }
+
+    #[test]
+    fn jump_is_monotone_under_growth() {
+        // Adding a server must never move a key between existing servers.
+        for key in 0..2_000u64 {
+            let mut prev = jump_hash(key, 1);
+            for n in 2..40u64 {
+                let cur = jump_hash(key, n);
+                assert!(
+                    cur == prev || cur == n - 1,
+                    "key {key} moved {prev}->{cur} at n={n}"
+                );
+                prev = cur;
+            }
+        }
+    }
+
+    #[test]
+    fn placements_are_reasonably_balanced() {
+        let n_servers = 32usize;
+        let n_files = 32_000usize;
+        for p in all_placements() {
+            let mut counts = vec![0usize; n_servers];
+            for i in 0..n_files {
+                let f = hash_path(format!("/gpfs/train/img_{i:08}.jpg"));
+                counts[p.home(f, n_servers)] += 1;
+            }
+            let ideal = n_files as f64 / n_servers as f64;
+            let max = *counts.iter().max().unwrap() as f64;
+            let min = *counts.iter().min().unwrap() as f64;
+            assert!(
+                max / ideal < 1.35 && min / ideal > 0.65,
+                "{} imbalanced: min={min} max={max} ideal={ideal}",
+                p.name()
+            );
+        }
+    }
+
+    #[test]
+    fn straw2_respects_weights() {
+        // Server 0 has twice the weight; it should win roughly twice as often.
+        let p = Straw2Placement::with_weights(vec![2.0, 1.0, 1.0, 1.0]);
+        let mut counts = [0usize; 4];
+        let trials = 40_000;
+        for i in 0..trials {
+            counts[p.home(FileId(mix64(i as u64)), 4)] += 1;
+        }
+        let share0 = counts[0] as f64 / trials as f64;
+        assert!(
+            (share0 - 0.4).abs() < 0.03,
+            "weighted share was {share0}, expected ~0.40"
+        );
+        for &c in &counts[1..] {
+            let share = c as f64 / trials as f64;
+            assert!((share - 0.2).abs() < 0.03, "unit share was {share}");
+        }
+    }
+
+    #[test]
+    fn straw2_zero_weight_server_never_selected() {
+        let p = Straw2Placement::with_weights(vec![1.0, 0.0, 1.0]);
+        for i in 0..5_000u64 {
+            assert_ne!(p.home(FileId(mix64(i)), 3), 1);
+        }
+    }
+
+    #[test]
+    fn ring_more_vnodes_is_better_balanced() {
+        let sparse = RingPlacement::new(8);
+        let dense = RingPlacement::new(256);
+        let n_servers = 16;
+        let n_files = 16_000u64;
+        let imbalance = |p: &RingPlacement| {
+            let mut counts = vec![0usize; n_servers];
+            for i in 0..n_files {
+                counts[p.home(FileId(mix64(i)), n_servers)] += 1;
+            }
+            let ideal = n_files as f64 / n_servers as f64;
+            counts
+                .iter()
+                .map(|&c| (c as f64 - ideal).abs())
+                .fold(0.0f64, f64::max)
+                / ideal
+        };
+        assert!(imbalance(&dense) < imbalance(&sparse));
+    }
+
+    #[test]
+    fn make_placement_covers_all_kinds() {
+        for kind in [
+            PlacementKind::Modulo,
+            PlacementKind::Jump,
+            PlacementKind::Rendezvous,
+            PlacementKind::Ring,
+            PlacementKind::Straw2,
+        ] {
+            let p = make_placement(kind);
+            assert!(p.home(FileId(42), 8) < 8);
+        }
+    }
+
+    #[test]
+    fn single_server_degenerate_case() {
+        for p in all_placements() {
+            assert_eq!(p.home(FileId(123), 1), 0);
+            assert_eq!(p.replicas(FileId(123), 1, 3), vec![0]);
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Load-distribution statistics for placement quality (Fig. 15).
+//!
+//! The paper reports the "per server file distribution ratio" as a CDF
+//! against the ideal (perfectly uniform) distribution, for allocations from
+//! 16 to 1,024 nodes, and notes extra deviation below 128 nodes caused by
+//! skewed file sizes. [`DistributionStats`] computes those numbers from a
+//! per-server load vector (file counts or byte counts).
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a per-server load vector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DistributionStats {
+    /// Number of servers.
+    pub servers: usize,
+    /// Total load (sum over servers).
+    pub total: f64,
+    /// Smallest per-server load.
+    pub min: f64,
+    /// Largest per-server load.
+    pub max: f64,
+    /// Mean per-server load.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub stddev: f64,
+    /// `max / mean` — 1.0 is perfect balance.
+    pub peak_to_mean: f64,
+    /// Jain's fairness index: `(Σx)² / (n · Σx²)`; 1.0 is perfect balance,
+    /// `1/n` is a single hot server.
+    pub jain_index: f64,
+}
+
+impl DistributionStats {
+    /// Compute statistics from per-server loads. Empty input yields zeros.
+    pub fn from_loads(loads: &[f64]) -> Self {
+        let n = loads.len();
+        if n == 0 {
+            return Self {
+                servers: 0,
+                total: 0.0,
+                min: 0.0,
+                max: 0.0,
+                mean: 0.0,
+                stddev: 0.0,
+                peak_to_mean: 0.0,
+                jain_index: 0.0,
+            };
+        }
+        let total: f64 = loads.iter().sum();
+        let mean = total / n as f64;
+        let var = loads.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        let sum_sq: f64 = loads.iter().map(|&x| x * x).sum();
+        let min = loads.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = loads.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Self {
+            servers: n,
+            total,
+            min,
+            max,
+            mean,
+            stddev: var.sqrt(),
+            peak_to_mean: if mean > 0.0 { max / mean } else { 0.0 },
+            jain_index: if sum_sq > 0.0 {
+                total * total / (n as f64 * sum_sq)
+            } else {
+                0.0
+            },
+        }
+    }
+
+    /// Convenience for integer loads (file counts).
+    pub fn from_counts(counts: &[u64]) -> Self {
+        let loads: Vec<f64> = counts.iter().map(|&c| c as f64).collect();
+        Self::from_loads(&loads)
+    }
+}
+
+/// The cumulative distribution of load across servers, sorted ascending, for
+/// plotting against the ideal diagonal (Fig. 15's presentation).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadCdf {
+    /// `points[i] = (server_fraction, load_fraction)` after sorting servers
+    /// by load ascending; the ideal distribution is the diagonal
+    /// `load_fraction == server_fraction`.
+    pub points: Vec<(f64, f64)>,
+    /// Maximum vertical deviation from the ideal diagonal
+    /// (a Kolmogorov–Smirnov-style distance; 0 = perfectly uniform).
+    pub max_deviation: f64,
+}
+
+impl LoadCdf {
+    /// Build the CDF from per-server loads.
+    pub fn from_loads(loads: &[f64]) -> Self {
+        let n = loads.len();
+        if n == 0 {
+            return Self {
+                points: Vec::new(),
+                max_deviation: 0.0,
+            };
+        }
+        let mut sorted = loads.to_vec();
+        sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("loads must be finite"));
+        let total: f64 = sorted.iter().sum();
+        let mut points = Vec::with_capacity(n);
+        let mut cum = 0.0;
+        let mut max_dev = 0.0f64;
+        for (i, &x) in sorted.iter().enumerate() {
+            cum += x;
+            let sf = (i + 1) as f64 / n as f64;
+            let lf = if total > 0.0 { cum / total } else { sf };
+            points.push((sf, lf));
+            max_dev = max_dev.max((lf - sf).abs());
+        }
+        Self {
+            points,
+            max_deviation: max_dev,
+        }
+    }
+
+    /// Convenience for integer loads.
+    pub fn from_counts(counts: &[u64]) -> Self {
+        let loads: Vec<f64> = counts.iter().map(|&c| c as f64).collect();
+        Self::from_loads(&loads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_loads_are_perfectly_fair() {
+        let s = DistributionStats::from_counts(&[100, 100, 100, 100]);
+        assert_eq!(s.servers, 4);
+        assert!((s.jain_index - 1.0).abs() < 1e-12);
+        assert!((s.peak_to_mean - 1.0).abs() < 1e-12);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.min, 100.0);
+        assert_eq!(s.max, 100.0);
+    }
+
+    #[test]
+    fn single_hot_server_jain_is_one_over_n() {
+        let s = DistributionStats::from_counts(&[400, 0, 0, 0]);
+        assert!((s.jain_index - 0.25).abs() < 1e-12);
+        assert!((s.peak_to_mean - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_zero_inputs() {
+        let s = DistributionStats::from_loads(&[]);
+        assert_eq!(s.servers, 0);
+        assert_eq!(s.jain_index, 0.0);
+        let z = DistributionStats::from_counts(&[0, 0]);
+        assert_eq!(z.jain_index, 0.0);
+        assert_eq!(z.peak_to_mean, 0.0);
+    }
+
+    #[test]
+    fn cdf_of_uniform_is_diagonal() {
+        let c = LoadCdf::from_counts(&[5, 5, 5, 5, 5]);
+        for &(sf, lf) in &c.points {
+            assert!((sf - lf).abs() < 1e-12);
+        }
+        assert!(c.max_deviation < 1e-12);
+        assert_eq!(c.points.last().unwrap(), &(1.0, 1.0));
+    }
+
+    #[test]
+    fn cdf_of_skewed_load_deviates_below_diagonal() {
+        let c = LoadCdf::from_counts(&[1, 1, 1, 97]);
+        // sorted ascending: lightest 3 servers hold 3% of load => CDF sags.
+        assert!(c.max_deviation > 0.5);
+        let (sf, lf) = c.points[2];
+        assert!((sf - 0.75).abs() < 1e-12);
+        assert!(lf < 0.05);
+    }
+
+    #[test]
+    fn cdf_always_ends_at_one_one() {
+        let c = LoadCdf::from_counts(&[3, 9, 1]);
+        let &(sf, lf) = c.points.last().unwrap();
+        assert!((sf - 1.0).abs() < 1e-12);
+        assert!((lf - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_empty_input() {
+        let c = LoadCdf::from_loads(&[]);
+        assert!(c.points.is_empty());
+        assert_eq!(c.max_deviation, 0.0);
+    }
+
+    #[test]
+    fn more_servers_with_hashed_loads_converge_to_diagonal() {
+        // Emulates Fig. 15: with more files per server the CDF approaches the
+        // ideal; quantifies "well-balanced distribution".
+        use crate::pathhash::hash_path;
+        use crate::placement::{ModuloPlacement, Placement};
+        let files = 200_000;
+        let mut devs = Vec::new();
+        for n_servers in [16usize, 256] {
+            let mut counts = vec![0u64; n_servers];
+            for i in 0..files {
+                let f = hash_path(format!("/gpfs/train/{i:09}.jpg"));
+                counts[ModuloPlacement.home(f, n_servers)] += 1;
+            }
+            devs.push(LoadCdf::from_counts(&counts).max_deviation);
+        }
+        // Both should be near-ideal, and absolute deviation should be small.
+        assert!(devs[0] < 0.02, "16 servers dev {}", devs[0]);
+        assert!(devs[1] < 0.05, "256 servers dev {}", devs[1]);
+    }
+}

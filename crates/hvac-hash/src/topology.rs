@@ -1,0 +1,207 @@
+//! Topology-aware placement (paper §IV-G future work: *"topology and
+//! fail-over will also be considered when calculating the location of a
+//! given file"*).
+//!
+//! A [`Topology`] maps servers to failure domains (racks, chassis, switches
+//! — any grouping that fails together). [`TopologyAware`] wraps any base
+//! [`Placement`] and re-ranks its replica list so that the first replicas
+//! land in *distinct domains*: a rack-level power event then costs at most
+//! one copy of each file. The home server (first replica) is never changed,
+//! so data placement — and therefore every already-cached byte — stays
+//! identical to the base algorithm; only fail-over targets move.
+
+use crate::placement::Placement;
+use hvac_types::FileId;
+
+/// Assignment of servers to failure domains.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    domain_of_server: Vec<u32>,
+}
+
+impl Topology {
+    /// Build from an explicit server→domain table.
+    pub fn new(domain_of_server: Vec<u32>) -> Self {
+        Self { domain_of_server }
+    }
+
+    /// A regular layout: `servers` servers packed into racks of
+    /// `servers_per_domain` (Summit packs 18 nodes per cabinet; with 1
+    /// instance per node that is 18 servers per domain).
+    pub fn regular(servers: usize, servers_per_domain: usize) -> Self {
+        let per = servers_per_domain.max(1);
+        Self {
+            domain_of_server: (0..servers).map(|s| (s / per) as u32).collect(),
+        }
+    }
+
+    /// Domain of a server (servers beyond the table land in their own
+    /// synthetic domains, so growth degrades gracefully).
+    pub fn domain(&self, server: usize) -> u32 {
+        self.domain_of_server
+            .get(server)
+            .copied()
+            .unwrap_or(u32::MAX - server as u32)
+    }
+
+    /// Number of servers described.
+    pub fn len(&self) -> usize {
+        self.domain_of_server.len()
+    }
+
+    /// Whether the topology is empty.
+    pub fn is_empty(&self) -> bool {
+        self.domain_of_server.is_empty()
+    }
+
+    /// Number of distinct domains.
+    pub fn domain_count(&self) -> usize {
+        let mut domains: Vec<u32> = self.domain_of_server.clone();
+        domains.sort_unstable();
+        domains.dedup();
+        domains.len()
+    }
+}
+
+/// A placement decorator that spreads replicas across failure domains.
+pub struct TopologyAware<P> {
+    inner: P,
+    topology: Topology,
+}
+
+impl<P: Placement> TopologyAware<P> {
+    /// Wrap `inner` with domain-spreading replica selection.
+    pub fn new(inner: P, topology: Topology) -> Self {
+        Self { inner, topology }
+    }
+
+    /// The wrapped placement.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+}
+
+impl<P: Placement> Placement for TopologyAware<P> {
+    fn name(&self) -> &'static str {
+        "topology-aware"
+    }
+
+    fn home(&self, file: FileId, n_servers: usize) -> usize {
+        // Identical to the base algorithm: cached data does not move.
+        self.inner.home(file, n_servers)
+    }
+
+    fn replicas(&self, file: FileId, n_servers: usize, k: usize) -> Vec<usize> {
+        let k = k.min(n_servers);
+        if k == 0 {
+            return Vec::new();
+        }
+        // Over-sample the base ranking, then stable-partition it into
+        // "first seen from each domain" followed by the rest. The base
+        // order is preserved within both groups, so preference degrades
+        // gracefully when there are fewer domains than replicas.
+        let candidates = self.inner.replicas(file, n_servers, n_servers);
+        let mut seen_domains = Vec::new();
+        let mut primary = Vec::with_capacity(k);
+        let mut overflow = Vec::new();
+        for s in candidates {
+            let d = self.topology.domain(s);
+            if seen_domains.contains(&d) {
+                overflow.push(s);
+            } else {
+                seen_domains.push(d);
+                primary.push(s);
+            }
+        }
+        primary.extend(overflow);
+        primary.truncate(k);
+        primary
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pathhash::mix64;
+    use crate::placement::{ModuloPlacement, RendezvousPlacement};
+    use std::collections::HashSet;
+
+    #[test]
+    fn regular_topology_shape() {
+        let t = Topology::regular(36, 18);
+        assert_eq!(t.len(), 36);
+        assert_eq!(t.domain_count(), 2);
+        assert_eq!(t.domain(0), 0);
+        assert_eq!(t.domain(17), 0);
+        assert_eq!(t.domain(18), 1);
+        // Unknown servers get private synthetic domains.
+        assert_ne!(t.domain(100), t.domain(101));
+    }
+
+    #[test]
+    fn home_is_untouched() {
+        let base = RendezvousPlacement;
+        let aware = TopologyAware::new(RendezvousPlacement, Topology::regular(64, 8));
+        for i in 0..500u64 {
+            let f = FileId(mix64(i));
+            assert_eq!(aware.home(f, 64), base.home(f, 64));
+        }
+    }
+
+    #[test]
+    fn replicas_span_distinct_domains_when_possible() {
+        let aware = TopologyAware::new(RendezvousPlacement, Topology::regular(64, 8));
+        for i in 0..500u64 {
+            let f = FileId(mix64(i ^ 0xABC));
+            let reps = aware.replicas(f, 64, 3);
+            assert_eq!(reps.len(), 3);
+            let domains: HashSet<usize> = reps.iter().map(|&s| s / 8).collect();
+            assert_eq!(domains.len(), 3, "replicas {reps:?} share a rack");
+        }
+    }
+
+    #[test]
+    fn modulo_neighbors_would_share_racks_topology_fixes_it() {
+        // Modulo's cyclic replicas land in the same rack most of the time —
+        // exactly the single-point-of-failure the paper worries about.
+        let base = ModuloPlacement;
+        let aware = TopologyAware::new(ModuloPlacement, Topology::regular(64, 8));
+        let mut base_shared = 0;
+        let mut aware_shared = 0;
+        for i in 0..1_000u64 {
+            let f = FileId(mix64(i ^ 0x123));
+            let same_rack = |reps: &[usize]| {
+                let d: HashSet<usize> = reps.iter().map(|&s| s / 8).collect();
+                d.len() < reps.len()
+            };
+            if same_rack(&base.replicas(f, 64, 2)) {
+                base_shared += 1;
+            }
+            if same_rack(&aware.replicas(f, 64, 2)) {
+                aware_shared += 1;
+            }
+        }
+        assert!(base_shared > 800, "modulo pairs mostly co-racked: {base_shared}");
+        assert_eq!(aware_shared, 0, "topology-aware must never co-rack a pair");
+    }
+
+    #[test]
+    fn graceful_degradation_with_fewer_domains_than_replicas() {
+        // 2 domains, 4 replicas: the first two span both domains, the rest
+        // fill in; all distinct servers.
+        let aware = TopologyAware::new(RendezvousPlacement, Topology::regular(16, 8));
+        let reps = aware.replicas(FileId(42), 16, 4);
+        assert_eq!(reps.len(), 4);
+        let unique: HashSet<usize> = reps.iter().copied().collect();
+        assert_eq!(unique.len(), 4);
+        let first_two: HashSet<usize> = reps[..2].iter().map(|&s| s / 8).collect();
+        assert_eq!(first_two.len(), 2, "first two replicas span both domains");
+    }
+
+    #[test]
+    fn single_server_degenerate() {
+        let aware = TopologyAware::new(ModuloPlacement, Topology::regular(1, 1));
+        assert_eq!(aware.replicas(FileId(7), 1, 3), vec![0]);
+        assert_eq!(aware.home(FileId(7), 1), 0);
+    }
+}

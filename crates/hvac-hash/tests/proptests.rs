@@ -1,0 +1,110 @@
+//! Property-based tests for the placement layer.
+
+use hvac_hash::placement::{
+    make_placement, JumpPlacement, ModuloPlacement, Placement, RendezvousPlacement,
+    RingPlacement, Straw2Placement,
+};
+use hvac_hash::stats::{DistributionStats, LoadCdf};
+use hvac_hash::{hash_bytes, hash_path};
+use hvac_types::{FileId, PlacementKind};
+use proptest::prelude::*;
+
+fn placements() -> Vec<Box<dyn Placement>> {
+    vec![
+        Box::new(ModuloPlacement),
+        Box::new(JumpPlacement),
+        Box::new(RendezvousPlacement),
+        Box::new(RingPlacement::default()),
+        Box::new(Straw2Placement::new()),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn hash_is_stable_and_total(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        prop_assert_eq!(hash_bytes(&bytes), hash_bytes(&bytes));
+    }
+
+    #[test]
+    fn path_hash_distinguishes_suffixes(base in "[a-z/]{1,40}", a in 0u32..1_000_000, b in 0u32..1_000_000) {
+        prop_assume!(a != b);
+        prop_assert_ne!(
+            hash_path(format!("/{base}/{a}")),
+            hash_path(format!("/{base}/{b}"))
+        );
+    }
+
+    #[test]
+    fn home_in_range_for_all_algorithms(fid in any::<u64>(), n in 1usize..2048) {
+        for p in placements() {
+            let h = p.home(FileId(fid), n);
+            prop_assert!(h < n, "{} gave {h} for n={n}", p.name());
+        }
+    }
+
+    #[test]
+    fn replicas_distinct_in_range(fid in any::<u64>(), n in 1usize..256, k in 1usize..12) {
+        for p in placements() {
+            let reps = p.replicas(FileId(fid), n, k);
+            prop_assert_eq!(reps.len(), k.min(n));
+            prop_assert_eq!(reps[0], p.home(FileId(fid), n));
+            let mut sorted = reps.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), reps.len(), "{} returned duplicates", p.name());
+            prop_assert!(reps.iter().all(|&r| r < n));
+        }
+    }
+
+    #[test]
+    fn jump_minimal_movement(fid in any::<u64>(), n in 1u64..512) {
+        // Growing the pool from n to n+1 either keeps the key or moves it to
+        // the new bucket n — never shuffles between old buckets.
+        let before = JumpPlacement.home(FileId(fid), n as usize);
+        let after = JumpPlacement.home(FileId(fid), (n + 1) as usize);
+        prop_assert!(after == before || after == n as usize);
+    }
+
+    #[test]
+    fn make_placement_agrees_with_direct_construction(fid in any::<u64>(), n in 1usize..128) {
+        let pairs: Vec<(PlacementKind, Box<dyn Placement>)> = vec![
+            (PlacementKind::Modulo, Box::new(ModuloPlacement)),
+            (PlacementKind::Jump, Box::new(JumpPlacement)),
+            (PlacementKind::Rendezvous, Box::new(RendezvousPlacement)),
+        ];
+        for (kind, direct) in pairs {
+            prop_assert_eq!(
+                make_placement(kind).home(FileId(fid), n),
+                direct.home(FileId(fid), n)
+            );
+        }
+    }
+
+    #[test]
+    fn jain_index_bounds(loads in proptest::collection::vec(0u64..1_000_000, 1..64)) {
+        let s = DistributionStats::from_counts(&loads);
+        let n = loads.len() as f64;
+        if loads.iter().any(|&x| x > 0) {
+            prop_assert!(s.jain_index >= 1.0 / n - 1e-9);
+            prop_assert!(s.jain_index <= 1.0 + 1e-9);
+            prop_assert!(s.peak_to_mean >= 1.0 - 1e-9);
+        }
+        prop_assert!(s.min <= s.mean + 1e-9);
+        prop_assert!(s.mean <= s.max + 1e-9);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_below_diagonal(loads in proptest::collection::vec(0u64..100_000, 1..64)) {
+        let c = LoadCdf::from_counts(&loads);
+        let mut prev = (0.0f64, 0.0f64);
+        for &(sf, lf) in &c.points {
+            prop_assert!(sf >= prev.0 - 1e-12);
+            prop_assert!(lf >= prev.1 - 1e-12);
+            // Sorting ascending guarantees the CDF is at or below the diagonal.
+            prop_assert!(lf <= sf + 1e-9);
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&lf));
+            prev = (sf, lf);
+        }
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&c.max_deviation));
+    }
+}

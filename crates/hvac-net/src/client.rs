@@ -1,0 +1,144 @@
+//! Client-side RPC convenience wrapper.
+//!
+//! HVAC clients hold one [`RpcClient`] per process; it remembers the fabric
+//! and offers retry-on-replica semantics for the fail-over extension
+//! (paper §III-H).
+
+use crate::fabric::{Fabric, Reply};
+use bytes::Bytes;
+use hvac_types::{HvacError, Result};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A handle for issuing RPCs over a [`Fabric`].
+pub struct RpcClient {
+    fabric: Arc<Fabric>,
+    calls: AtomicU64,
+    failovers: AtomicU64,
+}
+
+impl RpcClient {
+    /// Bind a client to a fabric.
+    pub fn new(fabric: Arc<Fabric>) -> Self {
+        Self {
+            fabric,
+            calls: AtomicU64::new(0),
+            failovers: AtomicU64::new(0),
+        }
+    }
+
+    /// The underlying fabric.
+    pub fn fabric(&self) -> &Arc<Fabric> {
+        &self.fabric
+    }
+
+    /// Issue one RPC to a single address.
+    pub fn call(&self, addr: &str, request: Bytes) -> Result<Reply> {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        self.fabric.call(addr, request)
+    }
+
+    /// Issue an RPC to the first healthy address in `addrs` (replica
+    /// preference order). Only `ServerDown` failures trigger fail-over;
+    /// protocol or I/O errors from a live server are returned as-is.
+    pub fn call_with_failover(&self, addrs: &[String], request: Bytes) -> Result<Reply> {
+        if addrs.is_empty() {
+            return Err(HvacError::InvalidConfig("empty replica set".into()));
+        }
+        let mut last_err = None;
+        for (i, addr) in addrs.iter().enumerate() {
+            match self.call(addr, request.clone()) {
+                Ok(reply) => {
+                    if i > 0 {
+                        self.failovers.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return Ok(reply);
+                }
+                Err(e @ HvacError::ServerDown(_)) => last_err = Some(e),
+                Err(other) => return Err(other),
+            }
+        }
+        Err(last_err.expect("at least one address attempted"))
+    }
+
+    /// `(total calls, calls answered by a non-primary replica)`.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.calls.load(Ordering::Relaxed),
+            self.failovers.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::RpcHandler;
+
+    fn tagged_handler(tag: &'static str) -> Arc<dyn RpcHandler> {
+        Arc::new(move |_req: Bytes| Reply {
+            header: Bytes::from_static(tag.as_bytes()),
+            bulk: None,
+        })
+    }
+
+    #[test]
+    fn plain_call() {
+        let fabric = Arc::new(Fabric::new());
+        let _a = fabric.serve("a", 1, tagged_handler("A")).unwrap();
+        let client = RpcClient::new(fabric);
+        let r = client.call("a", Bytes::new()).unwrap();
+        assert_eq!(&r.header[..], b"A");
+        assert_eq!(client.stats(), (1, 0));
+    }
+
+    #[test]
+    fn failover_skips_down_primary() {
+        let fabric = Arc::new(Fabric::new());
+        let a = fabric.serve("a", 1, tagged_handler("A")).unwrap();
+        let _b = fabric.serve("b", 1, tagged_handler("B")).unwrap();
+        let client = RpcClient::new(fabric);
+        a.set_down(true);
+        let r = client
+            .call_with_failover(&["a".into(), "b".into()], Bytes::new())
+            .unwrap();
+        assert_eq!(&r.header[..], b"B");
+        let (_calls, failovers) = client.stats();
+        assert_eq!(failovers, 1);
+    }
+
+    #[test]
+    fn failover_exhausted_returns_server_down() {
+        let fabric = Arc::new(Fabric::new());
+        let client = RpcClient::new(fabric);
+        let err = client
+            .call_with_failover(&["x".into(), "y".into()], Bytes::new())
+            .unwrap_err();
+        assert!(matches!(err, HvacError::ServerDown(_)));
+    }
+
+    #[test]
+    fn empty_replica_set_is_config_error() {
+        let fabric = Arc::new(Fabric::new());
+        let client = RpcClient::new(fabric);
+        assert!(matches!(
+            client.call_with_failover(&[], Bytes::new()),
+            Err(HvacError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn healthy_primary_never_fails_over() {
+        let fabric = Arc::new(Fabric::new());
+        let _a = fabric.serve("a", 1, tagged_handler("A")).unwrap();
+        let _b = fabric.serve("b", 1, tagged_handler("B")).unwrap();
+        let client = RpcClient::new(fabric);
+        for _ in 0..5 {
+            let r = client
+                .call_with_failover(&["a".into(), "b".into()], Bytes::new())
+                .unwrap();
+            assert_eq!(&r.header[..], b"A");
+        }
+        assert_eq!(client.stats().1, 0);
+    }
+}

@@ -1,0 +1,379 @@
+//! The loopback fabric: an in-process stand-in for Mercury-over-InfiniBand.
+//!
+//! A [`Fabric`] is a registry of named endpoints. Server endpoints own a
+//! request queue drained by worker threads (mirroring the HVAC server's RPC
+//! handler threads); clients issue blocking calls and receive a [`Reply`]
+//! containing a small response header plus an optional bulk payload —
+//! Mercury's RPC/bulk split.
+//!
+//! Fault injection (`set_down`) lets tests and the fail-over extension
+//! exercise the "node-local NVMe fails ⇒ failed training run" scenario the
+//! paper worries about in §III-H.
+
+use bytes::Bytes;
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use hvac_types::{HvacError, Result};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A response to one RPC: a small header plus an optional bulk payload,
+/// mirroring Mercury's separation of RPC arguments from bulk transfers.
+#[derive(Debug, Clone)]
+pub struct Reply {
+    /// Decoded by the protocol layer (status, sizes, ...).
+    pub header: Bytes,
+    /// File data moved via the bulk path; `None` for metadata-only replies.
+    pub bulk: Option<Bytes>,
+}
+
+/// Server-side request handler. One handler instance serves all worker
+/// threads of an endpoint, so it must be internally synchronized.
+pub trait RpcHandler: Send + Sync + 'static {
+    /// Process one request and produce a reply.
+    fn handle(&self, request: Bytes) -> Reply;
+}
+
+impl<F> RpcHandler for F
+where
+    F: Fn(Bytes) -> Reply + Send + Sync + 'static,
+{
+    fn handle(&self, request: Bytes) -> Reply {
+        self(request)
+    }
+}
+
+struct Incoming {
+    request: Bytes,
+    reply_tx: Sender<Reply>,
+}
+
+struct EndpointSlot {
+    tx: Sender<Incoming>,
+    down: Arc<AtomicBool>,
+}
+
+/// Cumulative traffic counters of a fabric.
+#[derive(Debug, Default)]
+pub struct FabricStats {
+    /// RPCs successfully delivered to a handler.
+    pub rpcs: AtomicU64,
+    /// Request header bytes.
+    pub request_bytes: AtomicU64,
+    /// Reply header bytes.
+    pub reply_bytes: AtomicU64,
+    /// Bulk payload bytes.
+    pub bulk_bytes: AtomicU64,
+    /// Calls rejected because the target endpoint was down/absent.
+    pub failed_calls: AtomicU64,
+}
+
+impl FabricStats {
+    /// Snapshot of (rpcs, request_bytes, reply_bytes, bulk_bytes, failed).
+    pub fn snapshot(&self) -> (u64, u64, u64, u64, u64) {
+        (
+            self.rpcs.load(Ordering::Relaxed),
+            self.request_bytes.load(Ordering::Relaxed),
+            self.reply_bytes.load(Ordering::Relaxed),
+            self.bulk_bytes.load(Ordering::Relaxed),
+            self.failed_calls.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// The in-process interconnect: endpoint registry + traffic accounting.
+pub struct Fabric {
+    endpoints: RwLock<HashMap<String, EndpointSlot>>,
+    stats: FabricStats,
+    call_timeout: Duration,
+}
+
+impl Default for Fabric {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fabric {
+    /// A fabric with the default 30 s call timeout.
+    pub fn new() -> Self {
+        Self {
+            endpoints: RwLock::new(HashMap::new()),
+            stats: FabricStats::default(),
+            call_timeout: Duration::from_secs(30),
+        }
+    }
+
+    /// A fabric with a custom call timeout (tests use short ones).
+    pub fn with_timeout(call_timeout: Duration) -> Self {
+        Self {
+            call_timeout,
+            ..Self::new()
+        }
+    }
+
+    /// Traffic counters.
+    pub fn stats(&self) -> &FabricStats {
+        &self.stats
+    }
+
+    /// Register a server endpoint under `addr` and spawn `workers` handler
+    /// threads. Returns a handle that unregisters and joins on drop.
+    pub fn serve(
+        self: &Arc<Self>,
+        addr: &str,
+        workers: usize,
+        handler: Arc<dyn RpcHandler>,
+    ) -> Result<ServerEndpoint> {
+        let (tx, rx) = unbounded::<Incoming>();
+        let down = Arc::new(AtomicBool::new(false));
+        {
+            let mut eps = self.endpoints.write();
+            if eps.contains_key(addr) {
+                return Err(HvacError::InvalidConfig(format!(
+                    "endpoint {addr} already registered"
+                )));
+            }
+            eps.insert(
+                addr.to_string(),
+                EndpointSlot {
+                    tx,
+                    down: down.clone(),
+                },
+            );
+        }
+        let mut threads = Vec::with_capacity(workers.max(1));
+        for w in 0..workers.max(1) {
+            let rx: Receiver<Incoming> = rx.clone();
+            let handler = handler.clone();
+            let name = format!("hvac-rpc-{addr}-{w}");
+            threads.push(
+                std::thread::Builder::new()
+                    .name(name)
+                    .spawn(move || {
+                        while let Ok(incoming) = rx.recv() {
+                            let reply = handler.handle(incoming.request);
+                            // Receiver may have timed out; ignore send errors.
+                            let _ = incoming.reply_tx.send(reply);
+                        }
+                    })
+                    .expect("spawn rpc worker"),
+            );
+        }
+        Ok(ServerEndpoint {
+            fabric: self.clone(),
+            addr: addr.to_string(),
+            down,
+            threads: Mutex::new(threads),
+        })
+    }
+
+    /// Issue a blocking RPC to `addr`.
+    pub fn call(&self, addr: &str, request: Bytes) -> Result<Reply> {
+        let tx = {
+            let eps = self.endpoints.read();
+            match eps.get(addr) {
+                None => {
+                    self.stats.failed_calls.fetch_add(1, Ordering::Relaxed);
+                    return Err(HvacError::ServerDown(format!("{addr} (not registered)")));
+                }
+                Some(slot) => {
+                    if slot.down.load(Ordering::Relaxed) {
+                        self.stats.failed_calls.fetch_add(1, Ordering::Relaxed);
+                        return Err(HvacError::ServerDown(addr.to_string()));
+                    }
+                    slot.tx.clone()
+                }
+            }
+        };
+        self.stats
+            .request_bytes
+            .fetch_add(request.len() as u64, Ordering::Relaxed);
+        let (reply_tx, reply_rx) = bounded::<Reply>(1);
+        tx.send(Incoming { request, reply_tx })
+            .map_err(|_| HvacError::ServerDown(format!("{addr} (queue closed)")))?;
+        let reply = reply_rx
+            .recv_timeout(self.call_timeout)
+            .map_err(|_| HvacError::Rpc(format!("timeout waiting for {addr}")))?;
+        self.stats.rpcs.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .reply_bytes
+            .fetch_add(reply.header.len() as u64, Ordering::Relaxed);
+        if let Some(b) = &reply.bulk {
+            self.stats
+                .bulk_bytes
+                .fetch_add(b.len() as u64, Ordering::Relaxed);
+        }
+        Ok(reply)
+    }
+
+    /// Mark an endpoint up/down without unregistering it (fault injection).
+    /// Returns false if the endpoint is unknown.
+    pub fn set_down(&self, addr: &str, down: bool) -> bool {
+        let eps = self.endpoints.read();
+        match eps.get(addr) {
+            Some(slot) => {
+                slot.down.store(down, Ordering::Relaxed);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Whether an endpoint exists and is up.
+    pub fn is_up(&self, addr: &str) -> bool {
+        let eps = self.endpoints.read();
+        eps.get(addr)
+            .map(|s| !s.down.load(Ordering::Relaxed))
+            .unwrap_or(false)
+    }
+
+    /// Registered endpoint names (sorted, for reporting).
+    pub fn endpoint_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.endpoints.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    fn unregister(&self, addr: &str) {
+        self.endpoints.write().remove(addr);
+    }
+}
+
+/// A live server endpoint; dropping it unregisters the address and joins the
+/// worker threads (the HVAC server's job-lifetime coupling, §III-C).
+pub struct ServerEndpoint {
+    fabric: Arc<Fabric>,
+    addr: String,
+    down: Arc<AtomicBool>,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl ServerEndpoint {
+    /// The registered address.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Fault-inject this endpoint.
+    pub fn set_down(&self, down: bool) {
+        self.down.store(down, Ordering::Relaxed);
+    }
+}
+
+impl Drop for ServerEndpoint {
+    fn drop(&mut self) {
+        self.fabric.unregister(&self.addr);
+        // Unregistering drops the sender held in the registry; worker threads
+        // exit when every sender is gone and the queue drains.
+        let threads = std::mem::take(&mut *self.threads.lock());
+        for t in threads {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn echo_handler() -> Arc<dyn RpcHandler> {
+        Arc::new(|req: Bytes| Reply {
+            header: req.clone(),
+            bulk: None,
+        })
+    }
+
+    #[test]
+    fn call_round_trip() {
+        let fabric = Arc::new(Fabric::new());
+        let _ep = fabric.serve("node0/srv0", 2, echo_handler()).unwrap();
+        let reply = fabric.call("node0/srv0", Bytes::from_static(b"ping")).unwrap();
+        assert_eq!(&reply.header[..], b"ping");
+        assert!(reply.bulk.is_none());
+        let (rpcs, req, rep, bulk, failed) = fabric.stats().snapshot();
+        assert_eq!(rpcs, 1);
+        assert_eq!(req, 4);
+        assert_eq!(rep, 4);
+        assert_eq!(bulk, 0);
+        assert_eq!(failed, 0);
+    }
+
+    #[test]
+    fn unknown_endpoint_is_server_down() {
+        let fabric = Arc::new(Fabric::new());
+        let err = fabric.call("nowhere", Bytes::new()).unwrap_err();
+        assert!(matches!(err, HvacError::ServerDown(_)));
+        assert_eq!(fabric.stats().snapshot().4, 1);
+    }
+
+    #[test]
+    fn duplicate_registration_rejected() {
+        let fabric = Arc::new(Fabric::new());
+        let _a = fabric.serve("x", 1, echo_handler()).unwrap();
+        assert!(fabric.serve("x", 1, echo_handler()).is_err());
+    }
+
+    #[test]
+    fn set_down_blocks_calls_and_recovers() {
+        let fabric = Arc::new(Fabric::new());
+        let ep = fabric.serve("s", 1, echo_handler()).unwrap();
+        assert!(fabric.is_up("s"));
+        ep.set_down(true);
+        assert!(!fabric.is_up("s"));
+        assert!(matches!(
+            fabric.call("s", Bytes::new()).unwrap_err(),
+            HvacError::ServerDown(_)
+        ));
+        ep.set_down(false);
+        assert!(fabric.call("s", Bytes::new()).is_ok());
+    }
+
+    #[test]
+    fn drop_unregisters_endpoint() {
+        let fabric = Arc::new(Fabric::new());
+        {
+            let _ep = fabric.serve("gone", 1, echo_handler()).unwrap();
+            assert!(fabric.is_up("gone"));
+        }
+        assert!(!fabric.is_up("gone"));
+        assert!(fabric.endpoint_names().is_empty());
+    }
+
+    #[test]
+    fn concurrent_clients_all_get_their_own_replies() {
+        let fabric = Arc::new(Fabric::new());
+        let _ep = fabric.serve("srv", 4, echo_handler()).unwrap();
+        let mut joins = Vec::new();
+        for i in 0..16u32 {
+            let f = fabric.clone();
+            joins.push(std::thread::spawn(move || {
+                for j in 0..50u32 {
+                    let msg = Bytes::from(format!("{i}:{j}"));
+                    let reply = f.call("srv", msg.clone()).unwrap();
+                    assert_eq!(reply.header, msg);
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(fabric.stats().snapshot().0, 16 * 50);
+    }
+
+    #[test]
+    fn bulk_bytes_are_accounted() {
+        let fabric = Arc::new(Fabric::new());
+        let handler: Arc<dyn RpcHandler> = Arc::new(|_req: Bytes| Reply {
+            header: Bytes::from_static(b"ok"),
+            bulk: Some(Bytes::from(vec![0u8; 1024])),
+        });
+        let _ep = fabric.serve("bulk", 1, handler).unwrap();
+        let reply = fabric.call("bulk", Bytes::new()).unwrap();
+        assert_eq!(reply.bulk.unwrap().len(), 1024);
+        assert_eq!(fabric.stats().snapshot().3, 1024);
+    }
+}

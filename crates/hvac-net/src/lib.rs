@@ -1,0 +1,28 @@
+//! Mercury-style RPC substrate for HVAC.
+//!
+//! The paper uses the Mercury communication library for RPC and bulk data
+//! transfer over Summit's InfiniBand (§III-C). This crate reproduces the
+//! programming model — registered request handlers, request/response RPCs,
+//! and separate *bulk* payloads for file data — over an in-process loopback
+//! fabric, which is the faithful substitution for a single-machine
+//! reproduction (see DESIGN.md §1):
+//!
+//! * [`wire`] — a small, explicit binary codec over [`bytes`],
+//! * [`fabric`] — the [`Fabric`] registry of endpoints, server endpoints with
+//!   worker threads, fault injection (mark a server down), and traffic
+//!   accounting,
+//! * [`client`] — the blocking [`RpcClient`] used by HVAC clients,
+//! * [`bulk`] — chunked bulk-transfer framing mirroring Mercury's separation
+//!   of RPC metadata from payload.
+//!
+//! The fabric moves real bytes between real threads; latency and bandwidth of
+//! the modeled interconnect are accounted (for reporting) rather than slept.
+
+pub mod bulk;
+pub mod client;
+pub mod fabric;
+pub mod wire;
+
+pub use bulk::{chunk_bulk, reassemble_bulk, BULK_CHUNK_SIZE};
+pub use client::RpcClient;
+pub use fabric::{Fabric, FabricStats, Reply, RpcHandler, ServerEndpoint};

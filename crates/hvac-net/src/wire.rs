@@ -1,0 +1,141 @@
+//! A small explicit binary codec.
+//!
+//! HVAC's RPC messages are tiny and fixed-shape, so rather than pulling in a
+//! serialization framework the protocol crates encode fields explicitly with
+//! these helpers. All integers are little-endian; strings and blobs are
+//! length-prefixed with a `u32`.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use hvac_types::{HvacError, Result};
+
+/// Append a length-prefixed UTF-8 string.
+pub fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+/// Read a length-prefixed UTF-8 string.
+pub fn get_str(buf: &mut Bytes) -> Result<String> {
+    let bytes = get_blob(buf)?;
+    String::from_utf8(bytes.to_vec())
+        .map_err(|e| HvacError::Protocol(format!("invalid utf-8 in wire string: {e}")))
+}
+
+/// Append a length-prefixed byte blob.
+pub fn put_blob(buf: &mut BytesMut, b: &[u8]) {
+    buf.put_u32_le(b.len() as u32);
+    buf.put_slice(b);
+}
+
+/// Read a length-prefixed byte blob (zero-copy slice of the input).
+pub fn get_blob(buf: &mut Bytes) -> Result<Bytes> {
+    let len = get_u32(buf)? as usize;
+    if buf.remaining() < len {
+        return Err(HvacError::Protocol(format!(
+            "truncated blob: want {len}, have {}",
+            buf.remaining()
+        )));
+    }
+    Ok(buf.split_to(len))
+}
+
+/// Read a `u8`, checking for truncation.
+pub fn get_u8(buf: &mut Bytes) -> Result<u8> {
+    if buf.remaining() < 1 {
+        return Err(HvacError::Protocol("truncated u8".into()));
+    }
+    Ok(buf.get_u8())
+}
+
+/// Read a little-endian `u32`, checking for truncation.
+pub fn get_u32(buf: &mut Bytes) -> Result<u32> {
+    if buf.remaining() < 4 {
+        return Err(HvacError::Protocol("truncated u32".into()));
+    }
+    Ok(buf.get_u32_le())
+}
+
+/// Read a little-endian `u64`, checking for truncation.
+pub fn get_u64(buf: &mut Bytes) -> Result<u64> {
+    if buf.remaining() < 8 {
+        return Err(HvacError::Protocol("truncated u64".into()));
+    }
+    Ok(buf.get_u64_le())
+}
+
+/// Read a little-endian `i64`, checking for truncation.
+pub fn get_i64(buf: &mut Bytes) -> Result<i64> {
+    if buf.remaining() < 8 {
+        return Err(HvacError::Protocol("truncated i64".into()));
+    }
+    Ok(buf.get_i64_le())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn string_round_trip() {
+        let mut b = BytesMut::new();
+        put_str(&mut b, "/gpfs/alpine/data.bin");
+        put_str(&mut b, "");
+        let mut r = b.freeze();
+        assert_eq!(get_str(&mut r).unwrap(), "/gpfs/alpine/data.bin");
+        assert_eq!(get_str(&mut r).unwrap(), "");
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn blob_round_trip_is_zero_copy() {
+        let mut b = BytesMut::new();
+        put_blob(&mut b, &[1, 2, 3, 4]);
+        let mut r = b.freeze();
+        let blob = get_blob(&mut r).unwrap();
+        assert_eq!(&blob[..], &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn truncated_inputs_error_not_panic() {
+        let mut r = Bytes::from_static(&[1, 2]);
+        assert!(get_u32(&mut r.clone()).is_err());
+        assert!(get_u64(&mut r.clone()).is_err());
+        assert!(get_i64(&mut r.clone()).is_err());
+        let mut empty = Bytes::new();
+        assert!(get_u8(&mut empty).is_err());
+
+        // Blob header says 100 bytes but only 2 follow.
+        let mut b = BytesMut::new();
+        b.put_u32_le(100);
+        b.put_slice(&[9, 9]);
+        assert!(get_blob(&mut b.freeze()).is_err());
+        assert!(matches!(
+            get_str(&mut r),
+            Err(HvacError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn invalid_utf8_is_a_protocol_error() {
+        let mut b = BytesMut::new();
+        put_blob(&mut b, &[0xff, 0xfe]);
+        assert!(matches!(
+            get_str(&mut b.freeze()),
+            Err(HvacError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn integer_round_trip() {
+        let mut b = BytesMut::new();
+        b.put_u8(7);
+        b.put_u32_le(0xdead_beef);
+        b.put_u64_le(u64::MAX);
+        b.put_i64_le(-42);
+        let mut r = b.freeze();
+        assert_eq!(get_u8(&mut r).unwrap(), 7);
+        assert_eq!(get_u32(&mut r).unwrap(), 0xdead_beef);
+        assert_eq!(get_u64(&mut r).unwrap(), u64::MAX);
+        assert_eq!(get_i64(&mut r).unwrap(), -42);
+    }
+}

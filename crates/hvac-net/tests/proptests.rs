@@ -1,0 +1,76 @@
+//! Property-based tests for the RPC substrate: codec totality, bulk
+//! chunking round-trips, and fabric behaviour under arbitrary payloads.
+
+use bytes::{Bytes, BytesMut};
+use hvac_net::bulk::{chunk_bulk, reassemble_bulk};
+use hvac_net::fabric::{Fabric, Reply, RpcHandler};
+use hvac_net::wire;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+proptest! {
+    #[test]
+    fn wire_strings_round_trip(strings in proptest::collection::vec("[^\\u{0}]{0,64}", 0..8)) {
+        let mut b = BytesMut::new();
+        for s in &strings {
+            wire::put_str(&mut b, s);
+        }
+        let mut r = b.freeze();
+        for s in &strings {
+            prop_assert_eq!(&wire::get_str(&mut r).unwrap(), s);
+        }
+        prop_assert_eq!(bytes::Buf::remaining(&r), 0);
+    }
+
+    #[test]
+    fn wire_blobs_round_trip(blobs in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..128), 0..8)) {
+        let mut b = BytesMut::new();
+        for blob in &blobs {
+            wire::put_blob(&mut b, blob);
+        }
+        let mut r = b.freeze();
+        for blob in &blobs {
+            prop_assert_eq!(&wire::get_blob(&mut r).unwrap()[..], &blob[..]);
+        }
+    }
+
+    #[test]
+    fn wire_readers_never_panic_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let b = Bytes::from(bytes);
+        let _ = wire::get_str(&mut b.clone());
+        let _ = wire::get_blob(&mut b.clone());
+        let _ = wire::get_u8(&mut b.clone());
+        let _ = wire::get_u32(&mut b.clone());
+        let _ = wire::get_u64(&mut b.clone());
+        let _ = wire::get_i64(&mut b.clone());
+    }
+
+    #[test]
+    fn bulk_chunking_round_trips(payload in proptest::collection::vec(any::<u8>(), 0..10_000), chunk in 1usize..4096) {
+        let payload = Bytes::from(payload);
+        let chunks = chunk_bulk(&payload, chunk);
+        // Every chunk respects the size bound...
+        for c in &chunks {
+            prop_assert!(c.len() <= chunk);
+            prop_assert!(!c.is_empty());
+        }
+        // ...the count is exact...
+        prop_assert_eq!(chunks.len(), payload.len().div_ceil(chunk));
+        // ...and reassembly is lossless.
+        prop_assert_eq!(reassemble_bulk(&chunks), payload);
+    }
+
+    #[test]
+    fn fabric_echoes_arbitrary_payloads(payload in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let fabric = Arc::new(Fabric::new());
+        let handler: Arc<dyn RpcHandler> = Arc::new(|req: Bytes| Reply {
+            bulk: Some(req.clone()),
+            header: req,
+        });
+        let _ep = fabric.serve("echo", 1, handler).unwrap();
+        let msg = Bytes::from(payload);
+        let reply = fabric.call("echo", msg.clone()).unwrap();
+        prop_assert_eq!(reply.header, msg.clone());
+        prop_assert_eq!(reply.bulk.unwrap(), msg);
+    }
+}

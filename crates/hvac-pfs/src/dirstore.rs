@@ -1,0 +1,217 @@
+//! A real directory-backed [`FileStore`].
+//!
+//! The functional HVAC cluster mounts one of these as its "GPFS". Paths
+//! handed to the store are absolute application paths; the store maps them
+//! under its root (so `/gpfs/data/x` is served from `<root>/gpfs/data/x`)
+//! and refuses traversal outside the root.
+
+use crate::store::{FileMeta, FileStore, StoreStats};
+use bytes::Bytes;
+use hvac_types::{HvacError, Result};
+use std::fs;
+use std::io::{Read, Seek, SeekFrom};
+use std::path::{Component, Path, PathBuf};
+
+/// Directory-tree file store.
+#[derive(Debug)]
+pub struct DirStore {
+    root: PathBuf,
+    stats: StoreStats,
+}
+
+impl DirStore {
+    /// Serve files from `root` (created if missing).
+    pub fn new<P: Into<PathBuf>>(root: P) -> Result<Self> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(Self {
+            root,
+            stats: StoreStats::default(),
+        })
+    }
+
+    /// The backing root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Map an application path to the on-disk path, rejecting traversal.
+    fn resolve(&self, path: &Path) -> Result<PathBuf> {
+        let mut out = self.root.clone();
+        for comp in path.components() {
+            match comp {
+                Component::RootDir | Component::Prefix(_) | Component::CurDir => {}
+                Component::Normal(c) => out.push(c),
+                Component::ParentDir => {
+                    return Err(HvacError::InvalidConfig(format!(
+                        "path {} escapes the store root",
+                        path.display()
+                    )))
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Test/ingest helper: create `path` with `contents` inside the store.
+    pub fn put(&self, path: &Path, contents: &[u8]) -> Result<()> {
+        let disk = self.resolve(path)?;
+        if let Some(parent) = disk.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        fs::write(disk, contents)?;
+        Ok(())
+    }
+
+    fn walk(&self, dir: &Path, out: &mut Vec<PathBuf>, strip: &Path) -> std::io::Result<()> {
+        for entry in fs::read_dir(dir)? {
+            let entry = entry?;
+            let p = entry.path();
+            if entry.file_type()?.is_dir() {
+                self.walk(&p, out, strip)?;
+            } else {
+                // Report paths in application space: "/" + path under root.
+                let rel = p.strip_prefix(strip).expect("walk stays under root");
+                out.push(Path::new("/").join(rel));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FileStore for DirStore {
+    fn open_meta(&self, path: &Path) -> Result<FileMeta> {
+        self.stats.record_open();
+        let disk = self.resolve(path)?;
+        let md = fs::metadata(&disk).map_err(|_| HvacError::NotFound(path.to_path_buf()))?;
+        Ok(FileMeta { size: md.len() })
+    }
+
+    fn read_all(&self, path: &Path) -> Result<Bytes> {
+        let disk = self.resolve(path)?;
+        let data = fs::read(&disk).map_err(|_| HvacError::NotFound(path.to_path_buf()))?;
+        self.stats.record_read(data.len() as u64);
+        Ok(Bytes::from(data))
+    }
+
+    fn read_at(&self, path: &Path, offset: u64, len: usize) -> Result<Bytes> {
+        let disk = self.resolve(path)?;
+        let mut f =
+            fs::File::open(&disk).map_err(|_| HvacError::NotFound(path.to_path_buf()))?;
+        let size = f.metadata()?.len();
+        if offset >= size {
+            self.stats.record_read(0);
+            return Ok(Bytes::new());
+        }
+        f.seek(SeekFrom::Start(offset))?;
+        let want = len.min((size - offset) as usize);
+        let mut buf = vec![0u8; want];
+        f.read_exact(&mut buf)?;
+        self.stats.record_read(buf.len() as u64);
+        Ok(Bytes::from(buf))
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        self.resolve(path).map(|p| p.is_file()).unwrap_or(false)
+    }
+
+    fn list(&self, prefix: &Path) -> Result<Vec<PathBuf>> {
+        let disk = self.resolve(prefix)?;
+        let mut out = Vec::new();
+        if disk.is_dir() {
+            self.walk(&disk, &mut out, &self.root)?;
+        } else if disk.is_file() {
+            out.push(prefix.to_path_buf());
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    fn stats(&self) -> &StoreStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_store(tag: &str) -> DirStore {
+        let dir = std::env::temp_dir().join(format!(
+            "hvac-dirstore-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        DirStore::new(dir).unwrap()
+    }
+
+    #[test]
+    fn put_then_read_round_trip() {
+        let s = tmp_store("rt");
+        let p = Path::new("/gpfs/data/a.bin");
+        s.put(p, b"hello hvac").unwrap();
+        assert!(s.exists(p));
+        assert_eq!(s.open_meta(p).unwrap().size, 10);
+        assert_eq!(&s.read_all(p).unwrap()[..], b"hello hvac");
+        assert_eq!(&s.read_at(p, 6, 4).unwrap()[..], b"hvac");
+        assert_eq!(&s.read_at(p, 6, 100).unwrap()[..], b"hvac"); // short read
+        assert_eq!(s.read_at(p, 99, 1).unwrap().len(), 0); // past EOF
+    }
+
+    #[test]
+    fn missing_file_is_not_found() {
+        let s = tmp_store("missing");
+        let p = Path::new("/nope");
+        assert!(!s.exists(p));
+        assert!(matches!(s.open_meta(p), Err(HvacError::NotFound(_))));
+        assert!(matches!(s.read_all(p), Err(HvacError::NotFound(_))));
+        assert!(matches!(s.read_at(p, 0, 1), Err(HvacError::NotFound(_))));
+    }
+
+    #[test]
+    fn traversal_is_rejected() {
+        let s = tmp_store("trav");
+        let evil = Path::new("/../../etc/passwd");
+        assert!(s.open_meta(evil).is_err());
+        assert!(!s.exists(evil));
+    }
+
+    #[test]
+    fn list_is_sorted_and_recursive() {
+        let s = tmp_store("list");
+        s.put(Path::new("/d/b/2.bin"), b"2").unwrap();
+        s.put(Path::new("/d/a/1.bin"), b"1").unwrap();
+        s.put(Path::new("/d/c.bin"), b"3").unwrap();
+        let listing = s.list(Path::new("/d")).unwrap();
+        assert_eq!(
+            listing,
+            vec![
+                PathBuf::from("/d/a/1.bin"),
+                PathBuf::from("/d/b/2.bin"),
+                PathBuf::from("/d/c.bin"),
+            ]
+        );
+        // Listing a single file returns it.
+        assert_eq!(
+            s.list(Path::new("/d/c.bin")).unwrap(),
+            vec![PathBuf::from("/d/c.bin")]
+        );
+        // Listing a missing prefix is empty, not an error.
+        assert!(s.list(Path::new("/absent")).unwrap().is_empty());
+    }
+
+    #[test]
+    fn stats_count_pfs_traffic() {
+        let s = tmp_store("stats");
+        let p = Path::new("/f");
+        s.put(p, &[7u8; 128]).unwrap();
+        s.open_meta(p).unwrap();
+        s.read_all(p).unwrap();
+        s.read_at(p, 0, 64).unwrap();
+        let (opens, reads, bytes) = s.stats().snapshot();
+        assert_eq!(opens, 1);
+        assert_eq!(reads, 2);
+        assert_eq!(bytes, 192);
+    }
+}

@@ -1,0 +1,28 @@
+//! Parallel-file-system substrate for HVAC.
+//!
+//! On Summit the training datasets live on Alpine, a 250 PB GPFS file system
+//! (§IV-A1). In this reproduction the PFS role is played by pluggable
+//! [`FileStore`] implementations:
+//!
+//! * [`DirStore`] — a real directory tree on local disk; the functional HVAC
+//!   cluster uses it as its "GPFS",
+//! * [`MemStore`] — an in-memory store for fast, hermetic tests, with helpers
+//!   to synthesize DL-shaped datasets,
+//! * [`ThrottledStore`] — a decorator that injects per-operation latency and
+//!   bandwidth ceilings, so functional examples can demonstrate the paper's
+//!   speedups with real wall-clock time.
+//!
+//! The *queueing model* of GPFS used by the at-scale simulator (metadata
+//! server pool, token manager, striped data servers) lives in
+//! `hvac-sim::gpfs`, because it is expressed in simulated time rather than
+//! real I/O.
+
+pub mod dirstore;
+pub mod memstore;
+pub mod store;
+pub mod throttle;
+
+pub use dirstore::DirStore;
+pub use memstore::MemStore;
+pub use store::{FileMeta, FileStore, StoreStats};
+pub use throttle::ThrottledStore;

@@ -1,0 +1,183 @@
+//! An in-memory [`FileStore`] for hermetic tests and examples, with helpers
+//! to synthesize deep-learning-shaped datasets (many files under one
+//! directory, deterministic contents).
+
+use crate::store::{slice_read_at, FileMeta, FileStore, StoreStats};
+use bytes::Bytes;
+use hvac_types::{HvacError, Result};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// In-memory file store backed by a sorted map (so listing is ordered).
+#[derive(Debug, Default)]
+pub struct MemStore {
+    files: RwLock<BTreeMap<PathBuf, Bytes>>,
+    stats: StoreStats,
+}
+
+impl MemStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert (or replace) a file.
+    pub fn put<P: Into<PathBuf>>(&self, path: P, contents: impl Into<Bytes>) {
+        self.files.write().insert(path.into(), contents.into());
+    }
+
+    /// Remove a file; returns whether it existed.
+    pub fn remove(&self, path: &Path) -> bool {
+        self.files.write().remove(path).is_some()
+    }
+
+    /// Number of files.
+    pub fn len(&self) -> usize {
+        self.files.read().len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.files.read().is_empty()
+    }
+
+    /// Deterministic content for sample `index` of `size` bytes: a repeating
+    /// pattern derived from the index, so tests can verify byte-correct cache
+    /// reads without storing golden data.
+    pub fn sample_content(index: u64, size: usize) -> Bytes {
+        let mut v = Vec::with_capacity(size);
+        let seed = index.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        let mut x = seed;
+        while v.len() < size {
+            // xorshift64 keeps it cheap and content distinct per file.
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let b = x.to_le_bytes();
+            let take = (size - v.len()).min(8);
+            v.extend_from_slice(&b[..take]);
+        }
+        Bytes::from(v)
+    }
+
+    /// Populate `n_files` files under `dir` named `sample_<i>.bin`, with the
+    /// size of file `i` given by `size_of(i)`. Returns the sorted paths.
+    pub fn synthesize_dataset(
+        &self,
+        dir: &Path,
+        n_files: u64,
+        mut size_of: impl FnMut(u64) -> usize,
+    ) -> Vec<PathBuf> {
+        let mut paths = Vec::with_capacity(n_files as usize);
+        for i in 0..n_files {
+            let p = dir.join(format!("sample_{i:08}.bin"));
+            self.put(p.clone(), Self::sample_content(i, size_of(i)));
+            paths.push(p);
+        }
+        paths
+    }
+}
+
+impl FileStore for MemStore {
+    fn open_meta(&self, path: &Path) -> Result<FileMeta> {
+        self.stats.record_open();
+        let files = self.files.read();
+        files
+            .get(path)
+            .map(|d| FileMeta {
+                size: d.len() as u64,
+            })
+            .ok_or_else(|| HvacError::NotFound(path.to_path_buf()))
+    }
+
+    fn read_all(&self, path: &Path) -> Result<Bytes> {
+        let files = self.files.read();
+        let data = files
+            .get(path)
+            .cloned()
+            .ok_or_else(|| HvacError::NotFound(path.to_path_buf()))?;
+        self.stats.record_read(data.len() as u64);
+        Ok(data)
+    }
+
+    fn read_at(&self, path: &Path, offset: u64, len: usize) -> Result<Bytes> {
+        let files = self.files.read();
+        let data = files
+            .get(path)
+            .ok_or_else(|| HvacError::NotFound(path.to_path_buf()))?;
+        let out = slice_read_at(data, offset, len);
+        self.stats.record_read(out.len() as u64);
+        Ok(out)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        self.files.read().contains_key(path)
+    }
+
+    fn list(&self, prefix: &Path) -> Result<Vec<PathBuf>> {
+        let files = self.files.read();
+        Ok(files
+            .keys()
+            .filter(|p| p.starts_with(prefix))
+            .cloned()
+            .collect())
+    }
+
+    fn stats(&self) -> &StoreStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_read_remove() {
+        let s = MemStore::new();
+        assert!(s.is_empty());
+        s.put("/a", Bytes::from_static(b"abc"));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.open_meta(Path::new("/a")).unwrap().size, 3);
+        assert_eq!(&s.read_all(Path::new("/a")).unwrap()[..], b"abc");
+        assert_eq!(&s.read_at(Path::new("/a"), 1, 1).unwrap()[..], b"b");
+        assert!(s.remove(Path::new("/a")));
+        assert!(!s.remove(Path::new("/a")));
+        assert!(matches!(
+            s.read_all(Path::new("/a")),
+            Err(HvacError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn sample_content_is_deterministic_and_distinct() {
+        assert_eq!(MemStore::sample_content(5, 100), MemStore::sample_content(5, 100));
+        assert_ne!(MemStore::sample_content(5, 100), MemStore::sample_content(6, 100));
+        assert_eq!(MemStore::sample_content(0, 13).len(), 13); // non-multiple of 8
+        assert_eq!(MemStore::sample_content(0, 0).len(), 0);
+    }
+
+    #[test]
+    fn synthesize_dataset_shapes() {
+        let s = MemStore::new();
+        let paths = s.synthesize_dataset(Path::new("/data/train"), 10, |i| 100 + i as usize);
+        assert_eq!(paths.len(), 10);
+        assert_eq!(s.len(), 10);
+        assert_eq!(s.open_meta(&paths[3]).unwrap().size, 103);
+        let listing = s.list(Path::new("/data/train")).unwrap();
+        assert_eq!(listing, paths);
+        // prefix filtering
+        assert!(s.list(Path::new("/data/valid")).unwrap().is_empty());
+    }
+
+    #[test]
+    fn stats_track_reads() {
+        let s = MemStore::new();
+        s.put("/x", Bytes::from(vec![0u8; 50]));
+        s.open_meta(Path::new("/x")).unwrap();
+        s.read_all(Path::new("/x")).unwrap();
+        s.read_at(Path::new("/x"), 40, 100).unwrap(); // short read of 10
+        assert_eq!(s.stats().snapshot(), (1, 2, 60));
+    }
+}

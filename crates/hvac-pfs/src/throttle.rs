@@ -1,0 +1,131 @@
+//! Latency/bandwidth throttling decorator.
+//!
+//! Wraps any [`FileStore`] and injects a fixed per-operation latency plus a
+//! bandwidth ceiling on reads, turning a fast local directory into something
+//! that *behaves* like a congested PFS. The functional examples use this to
+//! demonstrate the paper's effect with real wall-clock time: reads through
+//! the HVAC cache skip the throttled store after the first epoch.
+
+use crate::store::{FileMeta, FileStore, StoreStats};
+use bytes::Bytes;
+use hvac_types::{Bandwidth, Result};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// A [`FileStore`] decorator that sleeps to emulate a slower tier.
+pub struct ThrottledStore<S> {
+    inner: S,
+    op_latency: Duration,
+    bandwidth: Option<Bandwidth>,
+}
+
+impl<S: FileStore> ThrottledStore<S> {
+    /// Throttle `inner` with `op_latency` per metadata/data operation and an
+    /// optional read bandwidth ceiling.
+    pub fn new(inner: S, op_latency: Duration, bandwidth: Option<Bandwidth>) -> Self {
+        Self {
+            inner,
+            op_latency,
+            bandwidth,
+        }
+    }
+
+    /// The wrapped store.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    fn pay_op(&self) {
+        if !self.op_latency.is_zero() {
+            std::thread::sleep(self.op_latency);
+        }
+    }
+
+    fn pay_bytes(&self, n: usize) {
+        if let Some(bw) = self.bandwidth {
+            let secs = bw.transfer_secs(hvac_types::ByteSize(n as u64));
+            if secs.is_finite() && secs > 0.0 {
+                std::thread::sleep(Duration::from_secs_f64(secs));
+            }
+        }
+    }
+}
+
+impl<S: FileStore> FileStore for ThrottledStore<S> {
+    fn open_meta(&self, path: &Path) -> Result<FileMeta> {
+        self.pay_op();
+        self.inner.open_meta(path)
+    }
+
+    fn read_all(&self, path: &Path) -> Result<Bytes> {
+        self.pay_op();
+        let data = self.inner.read_all(path)?;
+        self.pay_bytes(data.len());
+        Ok(data)
+    }
+
+    fn read_at(&self, path: &Path, offset: u64, len: usize) -> Result<Bytes> {
+        self.pay_op();
+        let data = self.inner.read_at(path, offset, len)?;
+        self.pay_bytes(data.len());
+        Ok(data)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        self.inner.exists(path)
+    }
+
+    fn list(&self, prefix: &Path) -> Result<Vec<PathBuf>> {
+        self.inner.list(prefix)
+    }
+
+    fn stats(&self) -> &StoreStats {
+        self.inner.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memstore::MemStore;
+    use std::time::Instant;
+
+    #[test]
+    fn throttling_adds_latency() {
+        let mem = MemStore::new();
+        mem.put("/f", Bytes::from(vec![1u8; 1000]));
+        let throttled = ThrottledStore::new(mem, Duration::from_millis(5), None);
+        let t0 = Instant::now();
+        throttled.read_all(Path::new("/f")).unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn bandwidth_ceiling_slows_large_reads() {
+        let mem = MemStore::new();
+        mem.put("/big", Bytes::from(vec![1u8; 1_000_000]));
+        // 10 MB/s -> 1 MB takes ~100 ms.
+        let throttled = ThrottledStore::new(
+            mem,
+            Duration::ZERO,
+            Some(Bandwidth::bytes_per_sec(10_000_000.0)),
+        );
+        let t0 = Instant::now();
+        throttled.read_all(Path::new("/big")).unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(80));
+    }
+
+    #[test]
+    fn zero_throttle_is_transparent() {
+        let mem = MemStore::new();
+        mem.put("/f", Bytes::from_static(b"abc"));
+        let throttled = ThrottledStore::new(mem, Duration::ZERO, None);
+        assert_eq!(&throttled.read_all(Path::new("/f")).unwrap()[..], b"abc");
+        assert_eq!(&throttled.read_at(Path::new("/f"), 1, 1).unwrap()[..], b"b");
+        assert!(throttled.exists(Path::new("/f")));
+        assert_eq!(throttled.list(Path::new("/")).unwrap().len(), 1);
+        assert_eq!(throttled.open_meta(Path::new("/f")).unwrap().size, 3);
+        // Stats pass through to the inner store.
+        assert_eq!(throttled.stats().snapshot().0, 1);
+    }
+}

@@ -1,0 +1,31 @@
+//! `LD_PRELOAD` interposition for HVAC (paper §III-F).
+//!
+//! The paper's portability story rests on intercepting the POSIX
+//! `<open, read, close>` calls of unmodified DL applications via
+//! `LD_PRELOAD`. This crate builds a `cdylib` that does exactly that:
+//!
+//! ```text
+//! HVAC_DATASET_DIR=/gpfs/train LD_PRELOAD=libhvac_preload.so python train.py
+//! ```
+//!
+//! Interposed symbols: `open`, `open64`, `openat`, `read`, `pread`,
+//! `pread64`, `lseek`, `lseek64`, `close`. Paths outside `HVAC_DATASET_DIR`
+//! fall through to the real libc functions untouched; matching paths are
+//! served by an embedded [`LocalAgent`] — an in-process HVAC server instance
+//! whose "PFS" is the real file system and whose cache is node-local memory
+//! or a directory (`HVAC_CACHE_DIR`).
+//!
+//! In a full allocation the shim would forward RPCs to remote HVAC servers
+//! (that is what [`hvac_core::client::HvacClient`] does over a fabric); the
+//! single-process agent here exercises the identical server code path
+//! ([`hvac_core::server::HvacServer::handle_request`]) without requiring a
+//! multi-process deployment, which keeps the shim testable under plain
+//! `cargo test` (see `tests/preload_smoke.rs`).
+//!
+//! Set `HVAC_STATS_FILE=/path` to have the shim append a one-line report at
+//! process exit — the smoke test uses it to prove interception happened.
+
+pub mod agent;
+mod shim;
+
+pub use agent::{AgentConfig, LocalAgent};

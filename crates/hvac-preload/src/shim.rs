@@ -1,0 +1,440 @@
+//! The interposed C symbols.
+//!
+//! Everything here is `unsafe extern "C"` glue: resolve the real libc
+//! function with `dlsym(RTLD_NEXT, ...)`, decide whether the call targets the
+//! dataset directory, and either forward to the [`crate::agent::LocalAgent`]
+//! or fall through. Three guards prevent recursion:
+//!
+//! 1. a thread-local `IN_HOOK` flag covering agent calls on the intercepted
+//!    thread,
+//! 2. a thread-name check (`hvac-*`) so the agent's own data-mover and RPC
+//!    threads always reach the real libc,
+//! 3. write-mode opens are never intercepted (HVAC is read-only).
+
+use crate::agent::{AgentConfig, LocalAgent, FD_BASE};
+use libc::{c_char, c_int, c_void, mode_t, off_t, size_t, ssize_t};
+use std::cell::Cell;
+use std::ffi::CStr;
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+static AGENT: OnceLock<Option<LocalAgent>> = OnceLock::new();
+
+thread_local! {
+    static IN_HOOK: Cell<bool> = const { Cell::new(false) };
+}
+
+fn with_guard<T>(f: impl FnOnce() -> T) -> T {
+    IN_HOOK.with(|g| {
+        g.set(true);
+        let out = f();
+        g.set(false);
+        out
+    })
+}
+
+fn hooked() -> bool {
+    IN_HOOK.with(|g| g.get())
+}
+
+fn on_internal_thread() -> bool {
+    std::thread::current()
+        .name()
+        .map(|n| n.starts_with("hvac-"))
+        .unwrap_or(false)
+}
+
+extern "C" fn dump_stats_at_exit() {
+    if let Some(Some(agent)) = AGENT.get().map(|a| a.as_ref()) {
+        if let Ok(path) = std::env::var("HVAC_STATS_FILE") {
+            let (opens, reads, bytes, hits, copies) = agent.stats();
+            let line = format!(
+                "hvac_preload opens={opens} reads={reads} bytes={bytes} cache_hits={hits} pfs_copies={copies}\n"
+            );
+            let _ = with_guard(|| std::fs::write(&path, line));
+        }
+    }
+}
+
+fn agent() -> Option<&'static LocalAgent> {
+    if hooked() || on_internal_thread() {
+        return None;
+    }
+    AGENT
+        .get_or_init(|| {
+            with_guard(|| {
+                let cfg = AgentConfig::from_env()?;
+                let agent = LocalAgent::new(cfg).ok()?;
+                unsafe {
+                    libc::atexit(dump_stats_at_exit);
+                }
+                Some(agent)
+            })
+        })
+        .as_ref()
+}
+
+fn set_errno(code: c_int) {
+    unsafe {
+        *libc::__errno_location() = code;
+    }
+}
+
+/// Resolve a real libc symbol once.
+macro_rules! real_fn {
+    ($name:ident, $sym:literal, fn($($arg:ty),*) -> $ret:ty) => {
+        unsafe fn $name() -> unsafe extern "C" fn($($arg),*) -> $ret {
+            static PTR: AtomicUsize = AtomicUsize::new(0);
+            let mut p = PTR.load(Ordering::Relaxed);
+            if p == 0 {
+                p = libc::dlsym(libc::RTLD_NEXT, $sym.as_ptr() as *const c_char) as usize;
+                assert!(p != 0, concat!("dlsym failed for ", stringify!($name)));
+                PTR.store(p, Ordering::Relaxed);
+            }
+            std::mem::transmute::<usize, unsafe extern "C" fn($($arg),*) -> $ret>(p)
+        }
+    };
+}
+
+real_fn!(real_open, b"open\0", fn(*const c_char, c_int, mode_t) -> c_int);
+real_fn!(real_open64, b"open64\0", fn(*const c_char, c_int, mode_t) -> c_int);
+real_fn!(
+    real_openat,
+    b"openat\0",
+    fn(c_int, *const c_char, c_int, mode_t) -> c_int
+);
+real_fn!(real_read, b"read\0", fn(c_int, *mut c_void, size_t) -> ssize_t);
+real_fn!(
+    real_pread,
+    b"pread\0",
+    fn(c_int, *mut c_void, size_t, off_t) -> ssize_t
+);
+real_fn!(real_lseek, b"lseek\0", fn(c_int, off_t, c_int) -> off_t);
+real_fn!(real_close, b"close\0", fn(c_int) -> c_int);
+
+unsafe fn path_of(raw: *const c_char) -> Option<&'static Path> {
+    if raw.is_null() {
+        return None;
+    }
+    let cstr = CStr::from_ptr(raw);
+    std::str::from_utf8(cstr.to_bytes()).ok().map(Path::new)
+}
+
+fn is_read_only(flags: c_int) -> bool {
+    flags & libc::O_ACCMODE == libc::O_RDONLY
+}
+
+unsafe fn open_common(path: *const c_char, flags: c_int) -> Option<c_int> {
+    if !is_read_only(flags) {
+        return None;
+    }
+    let p = path_of(path)?;
+    if !p.is_absolute() {
+        return None;
+    }
+    let agent = agent()?;
+    if !agent.intercepts(p) {
+        return None;
+    }
+    match with_guard(|| agent.open(p)) {
+        Ok(fd) => Some(fd as c_int),
+        Err(e) => {
+            set_errno(e.errno());
+            Some(-1)
+        }
+    }
+}
+
+/// Interposed `open(2)`.
+///
+/// # Safety
+/// Called by arbitrary C code; `path` must be a valid C string per the libc
+/// contract.
+#[no_mangle]
+pub unsafe extern "C" fn open(path: *const c_char, flags: c_int, mode: mode_t) -> c_int {
+    if let Some(fd) = open_common(path, flags) {
+        return fd;
+    }
+    real_open()(path, flags, mode)
+}
+
+/// Interposed `open64`.
+///
+/// # Safety
+/// See [`open`].
+#[no_mangle]
+pub unsafe extern "C" fn open64(path: *const c_char, flags: c_int, mode: mode_t) -> c_int {
+    if let Some(fd) = open_common(path, flags) {
+        return fd;
+    }
+    real_open64()(path, flags, mode)
+}
+
+/// Interposed `openat(2)` (absolute paths only; relative ones pass through).
+///
+/// # Safety
+/// See [`open`].
+#[no_mangle]
+pub unsafe extern "C" fn openat(
+    dirfd: c_int,
+    path: *const c_char,
+    flags: c_int,
+    mode: mode_t,
+) -> c_int {
+    if let Some(p) = path_of(path) {
+        if p.is_absolute() {
+            if let Some(fd) = open_common(path, flags) {
+                return fd;
+            }
+        }
+    }
+    real_openat()(dirfd, path, flags, mode)
+}
+
+unsafe fn deliver(buf: *mut c_void, data: &[u8]) -> ssize_t {
+    std::ptr::copy_nonoverlapping(data.as_ptr(), buf as *mut u8, data.len());
+    data.len() as ssize_t
+}
+
+/// Interposed `read(2)`.
+///
+/// # Safety
+/// `buf` must point to at least `count` writable bytes per the libc contract.
+#[no_mangle]
+pub unsafe extern "C" fn read(fd: c_int, buf: *mut c_void, count: size_t) -> ssize_t {
+    if fd as u64 >= FD_BASE && !hooked() && !on_internal_thread() {
+        if let Some(agent) = agent() {
+            if agent.owns_fd(fd as u64) {
+                return match with_guard(|| agent.read(fd as u64, count)) {
+                    Ok(data) => deliver(buf, &data),
+                    Err(e) => {
+                        set_errno(e.errno());
+                        -1
+                    }
+                };
+            }
+        }
+    }
+    real_read()(fd, buf, count)
+}
+
+unsafe fn pread_common(fd: c_int, buf: *mut c_void, count: size_t, offset: off_t) -> Option<ssize_t> {
+    if fd as u64 >= FD_BASE && !hooked() && !on_internal_thread() {
+        if let Some(agent) = agent() {
+            if agent.owns_fd(fd as u64) {
+                return Some(
+                    match with_guard(|| agent.pread(fd as u64, offset as u64, count)) {
+                        Ok(data) => deliver(buf, &data),
+                        Err(e) => {
+                            set_errno(e.errno());
+                            -1
+                        }
+                    },
+                );
+            }
+        }
+    }
+    None
+}
+
+/// Interposed `pread(2)`.
+///
+/// # Safety
+/// See [`read`].
+#[no_mangle]
+pub unsafe extern "C" fn pread(fd: c_int, buf: *mut c_void, count: size_t, offset: off_t) -> ssize_t {
+    if let Some(r) = pread_common(fd, buf, count, offset) {
+        return r;
+    }
+    real_pread()(fd, buf, count, offset)
+}
+
+/// Interposed `pread64`.
+///
+/// # Safety
+/// See [`read`].
+#[no_mangle]
+pub unsafe extern "C" fn pread64(
+    fd: c_int,
+    buf: *mut c_void,
+    count: size_t,
+    offset: off_t,
+) -> ssize_t {
+    if let Some(r) = pread_common(fd, buf, count, offset) {
+        return r;
+    }
+    real_pread()(fd, buf, count, offset)
+}
+
+unsafe fn lseek_common(fd: c_int, offset: off_t, whence: c_int) -> Option<off_t> {
+    if fd as u64 >= FD_BASE && !hooked() && !on_internal_thread() {
+        if let Some(agent) = agent() {
+            if agent.owns_fd(fd as u64) {
+                return Some(match with_guard(|| agent.lseek(fd as u64, offset, whence)) {
+                    Ok(pos) => pos as off_t,
+                    Err(e) => {
+                        set_errno(e.errno());
+                        -1
+                    }
+                });
+            }
+        }
+    }
+    None
+}
+
+/// Interposed `lseek(2)`.
+///
+/// # Safety
+/// Standard libc contract.
+#[no_mangle]
+pub unsafe extern "C" fn lseek(fd: c_int, offset: off_t, whence: c_int) -> off_t {
+    if let Some(r) = lseek_common(fd, offset, whence) {
+        return r;
+    }
+    real_lseek()(fd, offset, whence)
+}
+
+/// Interposed `lseek64`.
+///
+/// # Safety
+/// Standard libc contract.
+#[no_mangle]
+pub unsafe extern "C" fn lseek64(fd: c_int, offset: off_t, whence: c_int) -> off_t {
+    if let Some(r) = lseek_common(fd, offset, whence) {
+        return r;
+    }
+    real_lseek()(fd, offset, whence)
+}
+
+unsafe fn fill_stat(buf: *mut libc::stat, size: u64) {
+    std::ptr::write_bytes(buf, 0, 1);
+    let st = &mut *buf;
+    st.st_size = size as off_t;
+    st.st_mode = libc::S_IFREG | 0o444;
+    st.st_nlink = 1;
+    st.st_blksize = 4096;
+    st.st_blocks = (size as i64 + 511) / 512;
+}
+
+unsafe fn fstat_common(fd: c_int, buf: *mut libc::stat) -> Option<c_int> {
+    if fd as u64 >= FD_BASE && !hooked() && !on_internal_thread() {
+        if let Some(agent) = agent() {
+            if agent.owns_fd(fd as u64) {
+                return Some(match with_guard(|| agent.fd_size(fd as u64)) {
+                    Ok(size) => {
+                        fill_stat(buf, size);
+                        0
+                    }
+                    Err(e) => {
+                        set_errno(e.errno());
+                        -1
+                    }
+                });
+            }
+        }
+    }
+    None
+}
+
+real_fn!(real_fstat, b"fstat\0", fn(c_int, *mut libc::stat) -> c_int);
+
+/// Interposed `fstat(2)` — `cat` and friends stat their input fd to size
+/// buffers, so virtual descriptors must answer.
+///
+/// # Safety
+/// `buf` must point to a writable `struct stat` per the libc contract.
+#[no_mangle]
+pub unsafe extern "C" fn fstat(fd: c_int, buf: *mut libc::stat) -> c_int {
+    if let Some(r) = fstat_common(fd, buf) {
+        return r;
+    }
+    real_fstat()(fd, buf)
+}
+
+/// Interposed `fstat64`.
+///
+/// # Safety
+/// See [`fstat`].
+#[no_mangle]
+pub unsafe extern "C" fn fstat64(fd: c_int, buf: *mut libc::stat) -> c_int {
+    if let Some(r) = fstat_common(fd, buf) {
+        return r;
+    }
+    real_fstat()(fd, buf)
+}
+
+real_fn!(
+    real_fxstat,
+    b"__fxstat\0",
+    fn(c_int, c_int, *mut libc::stat) -> c_int
+);
+
+/// Interposed `__fxstat` (pre-2.33 glibc routes `fstat` through here).
+///
+/// # Safety
+/// See [`fstat`].
+#[no_mangle]
+pub unsafe extern "C" fn __fxstat(ver: c_int, fd: c_int, buf: *mut libc::stat) -> c_int {
+    if let Some(r) = fstat_common(fd, buf) {
+        return r;
+    }
+    real_fxstat()(ver, fd, buf)
+}
+
+/// Interposed `__fxstat64`.
+///
+/// # Safety
+/// See [`fstat`].
+#[no_mangle]
+pub unsafe extern "C" fn __fxstat64(ver: c_int, fd: c_int, buf: *mut libc::stat) -> c_int {
+    if let Some(r) = fstat_common(fd, buf) {
+        return r;
+    }
+    real_fxstat()(ver, fd, buf)
+}
+
+real_fn!(
+    real_posix_fadvise,
+    b"posix_fadvise\0",
+    fn(c_int, off_t, off_t, c_int) -> c_int
+);
+
+/// Interposed `posix_fadvise` — a no-op success on virtual descriptors.
+///
+/// # Safety
+/// Standard libc contract.
+#[no_mangle]
+pub unsafe extern "C" fn posix_fadvise(fd: c_int, offset: off_t, len: off_t, advice: c_int) -> c_int {
+    if fd as u64 >= FD_BASE && !hooked() && !on_internal_thread() {
+        if let Some(agent) = agent() {
+            if agent.owns_fd(fd as u64) {
+                return 0;
+            }
+        }
+    }
+    real_posix_fadvise()(fd, offset, len, advice)
+}
+
+/// Interposed `close(2)`.
+///
+/// # Safety
+/// Standard libc contract.
+#[no_mangle]
+pub unsafe extern "C" fn close(fd: c_int) -> c_int {
+    if fd as u64 >= FD_BASE && !hooked() && !on_internal_thread() {
+        if let Some(agent) = agent() {
+            if agent.owns_fd(fd as u64) {
+                return match with_guard(|| agent.close(fd as u64)) {
+                    Ok(()) => 0,
+                    Err(e) => {
+                        set_errno(e.errno());
+                        -1
+                    }
+                };
+            }
+        }
+    }
+    real_close()(fd)
+}

@@ -1,0 +1,197 @@
+//! The GPFS (Alpine) queueing model.
+//!
+//! §II-C of the paper describes the pathology precisely: every file open
+//! walks to a metadata server, acquires a token/lock, then data flows from
+//! the NSD servers; "tens of metadata servers and a few hundreds of data
+//! servers" serve the whole machine, so millions of small `<open-read-close>`
+//! transactions queue at the MDS pool while large reads saturate the
+//! 2.5 TB/s aggregate bandwidth. [`GpfsModel`] is exactly that: an MDS
+//! [`FifoPool`] in front of a data-side [`FluidPipe`].
+
+use crate::resource::{FifoPool, FluidPipe};
+use hvac_types::{ByteSize, GpfsConfig, SimTime};
+
+/// Queueing model of a GPFS file system.
+#[derive(Debug, Clone)]
+pub struct GpfsModel {
+    config: GpfsConfig,
+    mds: FifoPool,
+    data: FluidPipe,
+    opens: u64,
+    mds_service: SimTime,
+}
+
+impl GpfsModel {
+    /// Build from a configuration.
+    pub fn new(config: GpfsConfig) -> Self {
+        Self {
+            mds: FifoPool::new(config.mds_count as usize),
+            data: FluidPipe::new(config.aggregate_bandwidth),
+            mds_service: SimTime::from_nanos(config.mds_op_ns),
+            config,
+            opens: 0,
+        }
+    }
+
+    /// Declare the number of concurrent clients hammering the file system;
+    /// inflates MDS service time by `mds_overload_per_1k_clients` per 1,000
+    /// clients (token/lock contention — the cause of the paper's GPFS
+    /// regression at 1,024 nodes).
+    pub fn set_client_count(&mut self, clients: u32) {
+        let factor =
+            1.0 + self.config.mds_overload_per_1k_clients * clients as f64 / 1000.0;
+        self.mds_service =
+            SimTime::from_secs_f64(self.config.mds_op_ns as f64 * 1e-9 * factor);
+    }
+
+    /// Summit's Alpine with paper-calibrated defaults.
+    pub fn summit() -> Self {
+        Self::new(GpfsConfig::default())
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &GpfsConfig {
+        &self.config
+    }
+
+    /// An `open(2)`: RPC to an MDS + token acquisition, FIFO-queued on the
+    /// MDS pool. Returns completion time.
+    pub fn open(&mut self, now: SimTime) -> SimTime {
+        self.opens += 1;
+        let arrive = now.saturating_add(SimTime::from_nanos(self.config.rpc_latency_ns));
+        self.mds.admit(arrive, self.mds_service)
+    }
+
+    /// A read of `size` bytes: striped across NSD servers. The aggregate
+    /// pipe models saturation of the whole file system; a single stream is
+    /// additionally capped at `per_stream_bandwidth` (finite stripe
+    /// fan-out), so the client observes the *slower* of the two.
+    pub fn read(&mut self, now: SimTime, size: ByteSize) -> SimTime {
+        let arrive = now.saturating_add(SimTime::from_nanos(self.config.rpc_latency_ns));
+        let aggregate_done = self.data.admit(arrive, size);
+        let stream_done = arrive.saturating_add(SimTime::from_secs_f64(
+            self.config.per_stream_bandwidth.transfer_secs(size),
+        ));
+        if aggregate_done > stream_done {
+            aggregate_done
+        } else {
+            stream_done
+        }
+    }
+
+    /// A `close(2)`: token release — cheap, no MDS queueing (the paper calls
+    /// out opens, not closes, as the metadata bottleneck).
+    pub fn close(&mut self, now: SimTime) -> SimTime {
+        now.saturating_add(SimTime::from_nanos(self.config.rpc_latency_ns))
+    }
+
+    /// A full `<open, read, close>` transaction (the MDTest unit, and the
+    /// per-sample access profile of DL training, §III-F).
+    pub fn open_read_close(&mut self, now: SimTime, size: ByteSize) -> SimTime {
+        let opened = self.open(now);
+        let read = self.read(opened, size);
+        self.close(read)
+    }
+
+    /// Total opens served (MDS load).
+    pub fn opens(&self) -> u64 {
+        self.opens
+    }
+
+    /// Total bytes read.
+    pub fn bytes_read(&self) -> u64 {
+        self.data.bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hvac_types::Bandwidth;
+
+    #[test]
+    fn open_cost_is_mds_bound_under_load() {
+        let mut gpfs = GpfsModel::summit();
+        let k = gpfs.config().mds_count as u64;
+        let per_op = gpfs.config().mds_op_ns;
+        // A storm of 10k simultaneous opens takes ~(10k/k)*per_op.
+        let mut last = SimTime::ZERO;
+        for _ in 0..10_000 {
+            last = gpfs.open(SimTime::ZERO);
+        }
+        let expect_ns = (10_000u64).div_ceil(k) * per_op;
+        let got = last.as_nanos();
+        let slack = per_op + gpfs.config().rpc_latency_ns + 100_000;
+        assert!(
+            got >= expect_ns && got < expect_ns + slack,
+            "got {got}, expect ~{expect_ns}"
+        );
+    }
+
+    #[test]
+    fn large_reads_are_bandwidth_bound() {
+        let mut gpfs = GpfsModel::summit();
+        // 10,000 reads of 8 MiB arriving at once saturate the aggregate:
+        // makespan ≈ total / 2.5 TB/s (the per-stream cap is smaller).
+        let size = ByteSize::mib(8);
+        let mut last = SimTime::ZERO;
+        for _ in 0..10_000 {
+            last = gpfs.read(SimTime::ZERO, size);
+        }
+        let expect = 10_000.0 * size.as_f64() / 2.5e12;
+        assert!((last.as_secs_f64() - expect).abs() / expect < 0.05, "{last}");
+        assert_eq!(gpfs.bytes_read(), 10_000 * size.bytes());
+
+        // A single uncontended read is stream-capped, not aggregate-fast.
+        let mut solo = GpfsModel::summit();
+        let t = solo.read(SimTime::ZERO, size).as_secs_f64();
+        let stream = size.as_f64() / solo.config().per_stream_bandwidth.as_bytes_per_sec();
+        assert!(t >= stream, "solo read {t} vs stream floor {stream}");
+    }
+
+    #[test]
+    fn transaction_chains_phases() {
+        let mut gpfs = GpfsModel::summit();
+        let t = gpfs.open_read_close(SimTime::ZERO, ByteSize::kib(32));
+        let cfg = gpfs.config();
+        // At least one MDS op + 3 RPC latencies.
+        assert!(t.as_nanos() >= cfg.mds_op_ns + 3 * cfg.rpc_latency_ns);
+        assert_eq!(gpfs.opens(), 1);
+    }
+
+    #[test]
+    fn client_overload_inflates_mds_service() {
+        let mut calm = GpfsModel::summit();
+        let mut stormy = GpfsModel::summit();
+        calm.set_client_count(64);
+        stormy.set_client_count(2048);
+        let mut last_calm = SimTime::ZERO;
+        let mut last_stormy = SimTime::ZERO;
+        for _ in 0..10_000 {
+            last_calm = calm.open(SimTime::ZERO);
+            last_stormy = stormy.open(SimTime::ZERO);
+        }
+        let ratio = last_stormy.as_secs_f64() / last_calm.as_secs_f64();
+        // 2048 clients => 1.246/1.008 ≈ 1.24x slower metadata service.
+        assert!(ratio > 1.15 && ratio < 1.35, "overload ratio {ratio}");
+    }
+
+    #[test]
+    fn small_file_storm_saturates_mds_not_bandwidth() {
+        // The crux of Fig. 3: with 32 KiB files the MDS pool is the
+        // bottleneck — doubling bandwidth must not change the makespan.
+        let mut base = GpfsModel::summit();
+        let mut fat = GpfsModel::new(GpfsConfig {
+            aggregate_bandwidth: Bandwidth::tb_per_sec(25.0),
+            ..GpfsConfig::default()
+        });
+        let mut last_base = SimTime::ZERO;
+        let mut last_fat = SimTime::ZERO;
+        for _ in 0..20_000 {
+            last_base = base.open_read_close(SimTime::ZERO, ByteSize::kib(32));
+            last_fat = fat.open_read_close(SimTime::ZERO, ByteSize::kib(32));
+        }
+        let ratio = last_base.as_secs_f64() / last_fat.as_secs_f64();
+        assert!(ratio < 1.15, "small files should be MDS-bound, ratio {ratio}");
+    }
+}

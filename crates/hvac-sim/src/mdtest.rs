@@ -1,0 +1,194 @@
+//! The MDTest-style metadata/transaction storm (paper §II-C, Figs. 3 & 4).
+//!
+//! MDTest measures `<open-read-close>` transactions per second. Each rank
+//! issues its next transaction the moment the previous one completes — a
+//! closed-loop workload, which is what the event engine is for: completion
+//! times depend on global queueing, and the engine interleaves ranks
+//! dynamically.
+
+use crate::engine::Engine;
+use crate::iostack::{FileAccess, IoBackend};
+use hvac_types::{ByteSize, SimTime};
+
+/// Storm parameters.
+#[derive(Debug, Clone)]
+pub struct MdtestConfig {
+    /// Compute nodes.
+    pub nodes: u32,
+    /// MPI ranks per node.
+    pub procs_per_node: u32,
+    /// Transactions per rank.
+    pub txns_per_proc: u32,
+    /// File size per transaction (32 KiB and 8 MiB in the paper).
+    pub file_size: ByteSize,
+}
+
+impl MdtestConfig {
+    /// The paper's small-file configuration (32 KiB).
+    pub fn small(nodes: u32) -> Self {
+        Self {
+            nodes,
+            procs_per_node: 2,
+            txns_per_proc: 64,
+            file_size: ByteSize::kib(32),
+        }
+    }
+
+    /// The paper's large-file configuration (8 MiB).
+    pub fn large(nodes: u32) -> Self {
+        Self {
+            nodes,
+            procs_per_node: 2,
+            txns_per_proc: 64,
+            file_size: ByteSize::mib(8),
+        }
+    }
+
+    /// Total transactions.
+    pub fn total_txns(&self) -> u64 {
+        self.nodes as u64 * self.procs_per_node as u64 * self.txns_per_proc as u64
+    }
+}
+
+/// Storm outcome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MdtestResult {
+    /// Transactions completed.
+    pub total_txns: u64,
+    /// Wall time from first issue to last completion.
+    pub makespan: SimTime,
+    /// Transactions per second.
+    pub tps: f64,
+}
+
+struct StormWorld<B> {
+    backend: B,
+    config: MdtestConfig,
+    next_file: u64,
+    completed: u64,
+    last_completion: SimTime,
+}
+
+fn issue<B: IoBackend + 'static>(rank: u32, remaining: u32, w: &mut StormWorld<B>, eng: &mut Engine<StormWorld<B>>) {
+    if remaining == 0 {
+        return;
+    }
+    let node = rank / w.config.procs_per_node;
+    let file = FileAccess {
+        index: w.next_file,
+        size: w.config.file_size,
+    };
+    w.next_file += 1;
+    let done = w.backend.access(eng.now(), node, file);
+    eng.at(done, move |w: &mut StormWorld<B>, eng| {
+        w.completed += 1;
+        if eng.now() > w.last_completion {
+            w.last_completion = eng.now();
+        }
+        issue(rank, remaining - 1, w, eng);
+    });
+}
+
+/// Run the storm over a backend; every rank reads unique files (MDTest
+/// semantics — it measures the file system, not a cache).
+pub fn run_mdtest<B: IoBackend + 'static>(backend: B, config: MdtestConfig) -> MdtestResult {
+    let total_ranks = config.nodes * config.procs_per_node;
+    let txns = config.txns_per_proc;
+    let mut world = StormWorld {
+        backend,
+        config,
+        next_file: 0,
+        completed: 0,
+        last_completion: SimTime::ZERO,
+    };
+    let mut eng: Engine<StormWorld<B>> = Engine::new();
+    for rank in 0..total_ranks {
+        eng.at(SimTime::ZERO, move |w: &mut StormWorld<B>, eng| {
+            issue(rank, txns, w, eng);
+        });
+    }
+    eng.run(&mut world);
+    let makespan = world.last_completion;
+    let secs = makespan.as_secs_f64();
+    MdtestResult {
+        total_txns: world.completed,
+        makespan,
+        tps: if secs > 0.0 {
+            world.completed as f64 / secs
+        } else {
+            f64::INFINITY
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gpfs::GpfsModel;
+    use crate::iostack::{GpfsBackend, XfsLocalBackend};
+
+    #[test]
+    fn all_transactions_complete() {
+        let cfg = MdtestConfig::small(4);
+        let result = run_mdtest(GpfsBackend::new(GpfsModel::summit()), cfg.clone());
+        assert_eq!(result.total_txns, cfg.total_txns());
+        assert!(result.makespan > SimTime::ZERO);
+        assert!(result.tps > 0.0);
+    }
+
+    #[test]
+    fn xfs_scales_linearly_with_nodes() {
+        let tps = |nodes| run_mdtest(XfsLocalBackend::summit(nodes), MdtestConfig::small(nodes)).tps;
+        let t4 = tps(4);
+        let t16 = tps(16);
+        let ratio = t16 / t4;
+        assert!(
+            (ratio - 4.0).abs() < 0.5,
+            "XFS should scale ~4x from 4->16 nodes, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn gpfs_small_file_tps_saturates() {
+        // Fig. 3's shape: GPFS TPS stops growing once the MDS pool is full.
+        let tps = |nodes| run_mdtest(GpfsBackend::new(GpfsModel::summit()), MdtestConfig::small(nodes)).tps;
+        let t1024 = tps(1024);
+        let t4096 = tps(4096);
+        let growth = t4096 / t1024;
+        assert!(
+            growth < 1.5,
+            "GPFS small-file TPS should be saturated by 1024 nodes, grew {growth}x"
+        );
+        // And the theoretical ceiling is mds_count / mds_op_time.
+        let cfg = hvac_types::GpfsConfig::default();
+        let ceiling = cfg.mds_count as f64 / (cfg.mds_op_ns as f64 * 1e-9);
+        assert!(t4096 <= ceiling * 1.05, "t4096={t4096} ceiling={ceiling}");
+        assert!(t4096 >= ceiling * 0.5, "t4096={t4096} far below ceiling {ceiling}");
+    }
+
+    #[test]
+    fn gpfs_large_file_tps_is_bandwidth_bound() {
+        // Fig. 4's shape: at 8 MiB the ceiling is aggregate bandwidth.
+        let result = run_mdtest(
+            GpfsBackend::new(GpfsModel::summit()),
+            MdtestConfig::large(512),
+        );
+        let bw_ceiling_tps = 2.5e12 / (8.0 * 1024.0 * 1024.0);
+        assert!(result.tps <= bw_ceiling_tps * 1.05);
+        assert!(result.tps >= bw_ceiling_tps * 0.5, "tps {} vs ceiling {bw_ceiling_tps}", result.tps);
+    }
+
+    #[test]
+    fn crossover_xfs_beats_gpfs_at_scale() {
+        // The motivating gap: at large node counts node-local wins big.
+        let nodes = 1024;
+        let gpfs = run_mdtest(GpfsBackend::new(GpfsModel::summit()), MdtestConfig::small(nodes));
+        let xfs = run_mdtest(XfsLocalBackend::summit(nodes), MdtestConfig::small(nodes));
+        assert!(
+            xfs.tps > gpfs.tps * 5.0,
+            "XFS {} should dwarf GPFS {} at {nodes} nodes",
+            xfs.tps,
+            gpfs.tps
+        );
+    }
+}

@@ -1,0 +1,236 @@
+//! Virtual-time resources.
+//!
+//! A resource answers one question: *given a request arriving at `now`, when
+//! does it complete?* — updating its internal occupancy as a side effect.
+//! Requests must be presented in non-decreasing arrival order (the event
+//! engine guarantees this).
+//!
+//! * [`FifoPool`] — `k` identical servers, non-preemptive FIFO (exact).
+//!   Models GPFS metadata servers and HVAC data-mover pools.
+//! * [`FluidPipe`] — a shared link of capacity `B` bytes/s modeled with
+//!   virtual finish times (exact for a saturated FIFO link). Models
+//!   aggregate GPFS bandwidth, per-node NVMe and NIC bandwidth.
+//! * [`IopsGate`] — enforces a minimum spacing between operations (device
+//!   IOPS ceilings).
+
+use hvac_types::{Bandwidth, ByteSize, SimTime};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// `k`-server FIFO queue with caller-supplied service times.
+#[derive(Debug, Clone)]
+pub struct FifoPool {
+    free_at: BinaryHeap<Reverse<SimTime>>,
+    busy_ns: u128,
+    requests: u64,
+}
+
+impl FifoPool {
+    /// A pool of `servers` identical servers, all free at time zero.
+    pub fn new(servers: usize) -> Self {
+        assert!(servers > 0, "a pool needs at least one server");
+        let mut free_at = BinaryHeap::with_capacity(servers);
+        for _ in 0..servers {
+            free_at.push(Reverse(SimTime::ZERO));
+        }
+        Self {
+            free_at,
+            busy_ns: 0,
+            requests: 0,
+        }
+    }
+
+    /// Number of servers.
+    pub fn servers(&self) -> usize {
+        self.free_at.len()
+    }
+
+    /// Admit a request arriving at `now` needing `service` time; returns its
+    /// completion time.
+    pub fn admit(&mut self, now: SimTime, service: SimTime) -> SimTime {
+        let Reverse(earliest) = self.free_at.pop().expect("pool is non-empty");
+        let start = if earliest > now { earliest } else { now };
+        let done = start.saturating_add(service);
+        self.free_at.push(Reverse(done));
+        self.busy_ns += service.as_nanos() as u128;
+        self.requests += 1;
+        done
+    }
+
+    /// Total requests admitted.
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// Aggregate busy time across servers (for utilization reports).
+    pub fn busy(&self) -> SimTime {
+        SimTime(self.busy_ns.min(u64::MAX as u128) as u64)
+    }
+}
+
+/// A shared bandwidth link with virtual finish times.
+#[derive(Debug, Clone)]
+pub struct FluidPipe {
+    bandwidth: Bandwidth,
+    backlog_until: SimTime,
+    bytes: u64,
+}
+
+impl FluidPipe {
+    /// A pipe of the given capacity.
+    pub fn new(bandwidth: Bandwidth) -> Self {
+        Self {
+            bandwidth,
+            backlog_until: SimTime::ZERO,
+            bytes: 0,
+        }
+    }
+
+    /// The configured capacity.
+    pub fn bandwidth(&self) -> Bandwidth {
+        self.bandwidth
+    }
+
+    /// Admit a transfer of `size` arriving at `now`; returns completion.
+    pub fn admit(&mut self, now: SimTime, size: ByteSize) -> SimTime {
+        let start = if self.backlog_until > now {
+            self.backlog_until
+        } else {
+            now
+        };
+        let xfer = SimTime::from_secs_f64(self.bandwidth.transfer_secs(size));
+        let done = start.saturating_add(xfer);
+        self.backlog_until = done;
+        self.bytes += size.bytes();
+        done
+    }
+
+    /// Total bytes admitted.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// When the current backlog drains.
+    pub fn backlog_until(&self) -> SimTime {
+        self.backlog_until
+    }
+}
+
+/// Minimum-spacing gate (an IOPS ceiling).
+#[derive(Debug, Clone)]
+pub struct IopsGate {
+    interval: SimTime,
+    next_free: SimTime,
+}
+
+impl IopsGate {
+    /// A gate admitting at most `max_iops` operations per second
+    /// (`max_iops == 0` disables the gate).
+    pub fn new(max_iops: u64) -> Self {
+        let interval = match 1_000_000_000u64.checked_div(max_iops) {
+            None => SimTime::ZERO,
+            Some(ns) => SimTime::from_nanos(ns),
+        };
+        Self {
+            interval,
+            next_free: SimTime::ZERO,
+        }
+    }
+
+    /// Admit an operation arriving at `now`; returns when it may proceed.
+    pub fn admit(&mut self, now: SimTime) -> SimTime {
+        let grant = if self.next_free > now {
+            self.next_free
+        } else {
+            now
+        };
+        self.next_free = grant.saturating_add(self.interval);
+        grant
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn single_server_serializes() {
+        let mut pool = FifoPool::new(1);
+        assert_eq!(pool.admit(t(0), t(2)), t(2));
+        assert_eq!(pool.admit(t(0), t(2)), t(4)); // queued behind
+        assert_eq!(pool.admit(t(10), t(1)), t(11)); // idle gap
+        assert_eq!(pool.requests(), 3);
+        assert_eq!(pool.busy(), t(5));
+    }
+
+    #[test]
+    fn k_servers_run_in_parallel_then_queue() {
+        let mut pool = FifoPool::new(3);
+        for _ in 0..3 {
+            assert_eq!(pool.admit(t(0), t(5)), t(5));
+        }
+        // 4th request waits for the earliest server.
+        assert_eq!(pool.admit(t(0), t(5)), t(10));
+    }
+
+    #[test]
+    fn pool_throughput_saturates_at_k_over_s() {
+        // Offered load of 1000 requests at t=0, 32 servers, 1 ms service:
+        // makespan = ceil(1000/32) * 1 ms.
+        let mut pool = FifoPool::new(32);
+        let mut last = SimTime::ZERO;
+        for _ in 0..1000 {
+            last = pool.admit(SimTime::ZERO, SimTime::from_millis(1));
+        }
+        assert_eq!(last, SimTime::from_millis(32)); // ceil(1000/32)=32 rounds
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn zero_server_pool_panics() {
+        FifoPool::new(0);
+    }
+
+    #[test]
+    fn fluid_pipe_serializes_backlog() {
+        let mut pipe = FluidPipe::new(Bandwidth::bytes_per_sec(1000.0));
+        assert_eq!(pipe.admit(t(0), ByteSize(1000)), t(1));
+        assert_eq!(pipe.admit(t(0), ByteSize(2000)), t(3));
+        // After the backlog drains, transfers start on arrival.
+        assert_eq!(pipe.admit(t(10), ByteSize(500)), SimTime::from_millis(10_500));
+        assert_eq!(pipe.bytes(), 3500);
+    }
+
+    #[test]
+    fn fluid_pipe_aggregate_rate_is_exact_under_saturation() {
+        // 1 GB offered instantaneously over a 100 MB/s pipe: 10 s makespan.
+        let mut pipe = FluidPipe::new(Bandwidth::bytes_per_sec(100e6));
+        let mut last = SimTime::ZERO;
+        for _ in 0..1000 {
+            last = pipe.admit(SimTime::ZERO, ByteSize(1_000_000));
+        }
+        assert!((last.as_secs_f64() - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn iops_gate_spacing() {
+        let mut gate = IopsGate::new(1000); // 1 ms spacing
+        assert_eq!(gate.admit(SimTime::ZERO), SimTime::ZERO);
+        assert_eq!(gate.admit(SimTime::ZERO), SimTime::from_millis(1));
+        assert_eq!(gate.admit(SimTime::ZERO), SimTime::from_millis(2));
+        // A late arrival resets the window.
+        assert_eq!(gate.admit(t(1)), t(1));
+    }
+
+    #[test]
+    fn disabled_iops_gate_is_transparent() {
+        let mut gate = IopsGate::new(0);
+        for _ in 0..5 {
+            assert_eq!(gate.admit(t(2)), t(2));
+        }
+    }
+}

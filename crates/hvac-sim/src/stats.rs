@@ -1,0 +1,191 @@
+//! Latency statistics: a log-bucketed histogram for per-access latencies.
+//!
+//! Mean epoch times (Figs. 8–13) hide the tail; barrier-synchronized
+//! training stalls on the *slowest* read of each iteration, so the
+//! simulator records every access latency into an [`LatencyHistogram`] and
+//! reports percentiles. (The `reproduce ablation` table uses this to show
+//! where HVAC's remaining gap to XFS lives.)
+
+use hvac_types::SimTime;
+
+/// Log₂-bucketed latency histogram: bucket `i` holds samples in
+/// `[2^i, 2^(i+1))` nanoseconds.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    buckets: [u64; 64],
+    count: u64,
+    sum_ns: u128,
+    max_ns: u64,
+    min_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: [0; 64],
+            count: 0,
+            sum_ns: 0,
+            max_ns: 0,
+            min_ns: u64::MAX,
+        }
+    }
+
+    /// Record one latency sample.
+    pub fn record(&mut self, latency: SimTime) {
+        let ns = latency.as_nanos();
+        let bucket = if ns == 0 { 0 } else { 63 - ns.leading_zeros() as usize };
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum_ns += ns as u128;
+        self.max_ns = self.max_ns.max(ns);
+        self.min_ns = self.min_ns.min(ns);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency (zero if empty).
+    pub fn mean(&self) -> SimTime {
+        if self.count == 0 {
+            SimTime::ZERO
+        } else {
+            SimTime((self.sum_ns / self.count as u128) as u64)
+        }
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> SimTime {
+        if self.count == 0 {
+            SimTime::ZERO
+        } else {
+            SimTime(self.max_ns)
+        }
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> SimTime {
+        if self.count == 0 {
+            SimTime::ZERO
+        } else {
+            SimTime(self.min_ns)
+        }
+    }
+
+    /// Approximate quantile `q` in `[0, 1]`: the upper edge of the bucket
+    /// containing the q-th sample (within 2× of the true value by
+    /// construction).
+    pub fn quantile(&self, q: f64) -> SimTime {
+        if self.count == 0 {
+            return SimTime::ZERO;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((self.count as f64 * q).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                let upper = if i >= 63 { u64::MAX } else { (1u64 << (i + 1)) - 1 };
+                return SimTime(upper.min(self.max_ns));
+            }
+        }
+        SimTime(self.max_ns)
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+        self.min_ns = self.min_ns.min(other.min_ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), SimTime::ZERO);
+        assert_eq!(h.max(), SimTime::ZERO);
+        assert_eq!(h.min(), SimTime::ZERO);
+        assert_eq!(h.quantile(0.99), SimTime::ZERO);
+    }
+
+    #[test]
+    fn mean_min_max_exact() {
+        let mut h = LatencyHistogram::new();
+        for ns in [100u64, 200, 300] {
+            h.record(SimTime(ns));
+        }
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.mean(), SimTime(200));
+        assert_eq!(h.min(), SimTime(100));
+        assert_eq!(h.max(), SimTime(300));
+    }
+
+    #[test]
+    fn quantiles_are_within_bucket_resolution() {
+        let mut h = LatencyHistogram::new();
+        // 99 samples at ~1 us, 1 sample at ~1 ms.
+        for _ in 0..99 {
+            h.record(SimTime::from_micros(1));
+        }
+        h.record(SimTime::from_millis(1));
+        let p50 = h.quantile(0.50).as_nanos();
+        assert!(p50 >= 1_000 && p50 < 2_048, "p50 {p50}");
+        let p99 = h.quantile(0.99).as_nanos();
+        assert!(p99 < 1_000_000, "p99 {p99} should be in the 1 us cluster");
+        let p100 = h.quantile(1.0).as_nanos();
+        assert_eq!(p100, 1_000_000, "max is exact");
+    }
+
+    #[test]
+    fn zero_latency_sample_is_handled() {
+        let mut h = LatencyHistogram::new();
+        h.record(SimTime::ZERO);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.quantile(0.5), SimTime::ZERO);
+    }
+
+    #[test]
+    fn merge_combines_everything() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(SimTime(100));
+        b.record(SimTime(10_000));
+        b.record(SimTime(50));
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min(), SimTime(50));
+        assert_eq!(a.max(), SimTime(10_000));
+    }
+
+    #[test]
+    fn quantile_is_monotone() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..1000u64 {
+            h.record(SimTime(i * 37));
+        }
+        let mut prev = SimTime::ZERO;
+        for q in [0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let v = h.quantile(q);
+            assert!(v >= prev, "quantile not monotone at {q}");
+            prev = v;
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests for the simulation engine and resources.
+
+use hvac_sim::engine::Engine;
+use hvac_sim::resource::{FifoPool, FluidPipe, IopsGate};
+use hvac_types::{Bandwidth, ByteSize, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// A FIFO pool never completes a request before `arrival + service`, and
+    /// the makespan of a burst is at least total_work / k.
+    #[test]
+    fn fifo_pool_work_conservation(
+        servers in 1usize..16,
+        services in proptest::collection::vec(1u64..10_000, 1..100),
+    ) {
+        let mut pool = FifoPool::new(servers);
+        let mut total_ns = 0u64;
+        let mut last = SimTime::ZERO;
+        for &s in &services {
+            let service = SimTime::from_nanos(s);
+            let done = pool.admit(SimTime::ZERO, service);
+            prop_assert!(done >= service, "finished before service time elapsed");
+            total_ns += s;
+            if done > last {
+                last = done;
+            }
+        }
+        // Work conservation: k servers can't do the work faster than W/k.
+        let lower = total_ns / servers as u64;
+        prop_assert!(last.as_nanos() >= lower, "makespan {last} < {lower}");
+        // ...and no slower than doing it all serially.
+        prop_assert!(last.as_nanos() <= total_ns);
+        prop_assert_eq!(pool.requests(), services.len() as u64);
+    }
+
+    /// Completions are non-decreasing when arrivals are non-decreasing
+    /// (the invariant the training driver's heap exists to maintain).
+    #[test]
+    fn fifo_pool_fifo_order(
+        servers in 1usize..8,
+        arrivals in proptest::collection::vec(0u64..1_000_000, 1..100),
+    ) {
+        let mut sorted = arrivals.clone();
+        sorted.sort_unstable();
+        let mut pool = FifoPool::new(servers);
+        let mut prev = SimTime::ZERO;
+        for a in sorted {
+            let done = pool.admit(SimTime::from_nanos(a), SimTime::from_micros(5));
+            prop_assert!(done >= prev, "completion went backwards");
+            prev = done;
+        }
+    }
+
+    /// A fluid pipe's makespan for a burst equals total_bytes / bandwidth.
+    #[test]
+    fn fluid_pipe_exact_under_saturation(
+        sizes in proptest::collection::vec(1u64..1_000_000, 1..100),
+        bw_mb in 1u64..10_000,
+    ) {
+        let bw = Bandwidth::bytes_per_sec(bw_mb as f64 * 1e6);
+        let mut pipe = FluidPipe::new(bw);
+        let mut last = SimTime::ZERO;
+        let mut total = 0u64;
+        for &s in &sizes {
+            last = pipe.admit(SimTime::ZERO, ByteSize(s));
+            total += s;
+        }
+        let expect = total as f64 / (bw_mb as f64 * 1e6);
+        let got = last.as_secs_f64();
+        prop_assert!((got - expect).abs() / expect < 1e-3, "{got} vs {expect}");
+        prop_assert_eq!(pipe.bytes(), total);
+    }
+
+    /// An idle pipe serves immediately; a gate enforces its spacing exactly.
+    #[test]
+    fn iops_gate_spacing_is_exact(iops in 1u64..1_000_000, n in 1u64..200) {
+        let mut gate = IopsGate::new(iops);
+        let interval = 1_000_000_000 / iops;
+        for i in 0..n {
+            let grant = gate.admit(SimTime::ZERO);
+            prop_assert_eq!(grant.as_nanos(), i * interval);
+        }
+    }
+
+    /// The engine executes any batch of events in exact (time, seq) order.
+    #[test]
+    fn engine_total_order(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut eng: Engine<Vec<(u64, usize)>> = Engine::new();
+        let mut world: Vec<(u64, usize)> = Vec::new();
+        for (seq, &t) in times.iter().enumerate() {
+            eng.at(SimTime::from_nanos(t), move |w: &mut Vec<(u64, usize)>, _| {
+                w.push((t, seq));
+            });
+        }
+        eng.run(&mut world);
+        prop_assert_eq!(world.len(), times.len());
+        for pair in world.windows(2) {
+            let (t0, s0) = pair[0];
+            let (t1, s1) = pair[1];
+            prop_assert!(t0 < t1 || (t0 == t1 && s0 < s1), "order violated");
+        }
+    }
+
+    /// Events scheduled from inside events still respect time order.
+    #[test]
+    fn engine_nested_scheduling_preserves_clock(delays in proptest::collection::vec(1u64..10_000, 1..50)) {
+        struct W { observed: Vec<u64>, delays: Vec<u64>, next: usize }
+        fn step(w: &mut W, eng: &mut Engine<W>) {
+            w.observed.push(eng.now().as_nanos());
+            if w.next < w.delays.len() {
+                let d = w.delays[w.next];
+                w.next += 1;
+                eng.after(SimTime::from_nanos(d), step);
+            }
+        }
+        let mut eng = Engine::new();
+        let mut w = W { observed: Vec::new(), delays: delays.clone(), next: 0 };
+        eng.at(SimTime::ZERO, step);
+        eng.run(&mut w);
+        prop_assert_eq!(w.observed.len(), delays.len() + 1);
+        // The k-th observation equals the prefix sum of delays.
+        let mut acc = 0u64;
+        prop_assert_eq!(w.observed[0], 0);
+        for (i, d) in delays.iter().enumerate() {
+            acc += d;
+            prop_assert_eq!(w.observed[i + 1], acc);
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Capacity accounting with watermarks.
+
+use hvac_types::ByteSize;
+
+/// Tracks used vs. total capacity of a store and answers the two questions
+/// eviction cares about: "does this fit?" and "are we above the watermark?".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CapacityGauge {
+    capacity: ByteSize,
+    used: ByteSize,
+}
+
+impl CapacityGauge {
+    /// A gauge over `capacity` bytes, initially empty.
+    pub fn new(capacity: ByteSize) -> Self {
+        Self {
+            capacity,
+            used: ByteSize::ZERO,
+        }
+    }
+
+    /// Total capacity.
+    #[inline]
+    pub fn capacity(&self) -> ByteSize {
+        self.capacity
+    }
+
+    /// Bytes currently accounted.
+    #[inline]
+    pub fn used(&self) -> ByteSize {
+        self.used
+    }
+
+    /// Bytes still free.
+    #[inline]
+    pub fn free(&self) -> ByteSize {
+        self.capacity.saturating_sub(self.used)
+    }
+
+    /// Fraction used, in `[0, 1]` (0 for a zero-capacity gauge).
+    #[inline]
+    pub fn utilization(&self) -> f64 {
+        self.used.ratio(self.capacity)
+    }
+
+    /// Whether `size` more bytes would fit.
+    #[inline]
+    pub fn fits(&self, size: ByteSize) -> bool {
+        self.used.bytes() + size.bytes() <= self.capacity.bytes()
+    }
+
+    /// Whether an item of `size` could *ever* fit (even into an empty store).
+    #[inline]
+    pub fn can_ever_fit(&self, size: ByteSize) -> bool {
+        size.bytes() <= self.capacity.bytes()
+    }
+
+    /// Whether utilization exceeds `watermark` (e.g. 0.95).
+    #[inline]
+    pub fn above_watermark(&self, watermark: f64) -> bool {
+        self.utilization() > watermark
+    }
+
+    /// Account an insertion. Caller must have checked [`CapacityGauge::fits`].
+    #[inline]
+    pub fn add(&mut self, size: ByteSize) {
+        self.used += size;
+        debug_assert!(self.used.bytes() <= self.capacity.bytes());
+    }
+
+    /// Account a removal.
+    #[inline]
+    pub fn sub(&mut self, size: ByteSize) {
+        self.used = self.used.saturating_sub(size);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accounting() {
+        let mut g = CapacityGauge::new(ByteSize(100));
+        assert_eq!(g.free(), ByteSize(100));
+        assert!(g.fits(ByteSize(100)));
+        assert!(!g.fits(ByteSize(101)));
+        g.add(ByteSize(60));
+        assert_eq!(g.used(), ByteSize(60));
+        assert_eq!(g.free(), ByteSize(40));
+        assert!(g.fits(ByteSize(40)));
+        assert!(!g.fits(ByteSize(41)));
+        g.sub(ByteSize(10));
+        assert_eq!(g.used(), ByteSize(50));
+        assert!((g.utilization() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn watermarks() {
+        let mut g = CapacityGauge::new(ByteSize(100));
+        g.add(ByteSize(96));
+        assert!(g.above_watermark(0.95));
+        assert!(!g.above_watermark(0.96));
+    }
+
+    #[test]
+    fn can_ever_fit_vs_fits() {
+        let mut g = CapacityGauge::new(ByteSize(10));
+        g.add(ByteSize(8));
+        assert!(!g.fits(ByteSize(5)));
+        assert!(g.can_ever_fit(ByteSize(5))); // evicting could make room
+        assert!(!g.can_ever_fit(ByteSize(11))); // hopeless
+    }
+
+    #[test]
+    fn sub_saturates() {
+        let mut g = CapacityGauge::new(ByteSize(10));
+        g.sub(ByteSize(5));
+        assert_eq!(g.used(), ByteSize::ZERO);
+    }
+
+    #[test]
+    fn zero_capacity_utilization_is_zero() {
+        let g = CapacityGauge::new(ByteSize::ZERO);
+        assert_eq!(g.utilization(), 0.0);
+        assert!(!g.above_watermark(0.0));
+    }
+}

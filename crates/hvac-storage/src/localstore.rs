@@ -1,0 +1,334 @@
+//! One node's NVMe cache: a capacity-accounted path→bytes store.
+//!
+//! The HVAC server's data mover copies files from the PFS into this store on
+//! first access (paper §III-D step ⑥, `fs::copy(src, dst)`), and serves all
+//! later reads from it. Capacity is enforced here; choosing a victim when
+//! full is the cache manager's job (`hvac-core::eviction`).
+
+use crate::capacity::CapacityGauge;
+use bytes::Bytes;
+use hvac_types::{ByteSize, HvacError, Result};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Where the cached bytes physically live.
+#[derive(Debug, Clone)]
+pub enum Backing {
+    /// In memory — fast, hermetic; the default for tests and simulation-free
+    /// functional runs.
+    Memory,
+    /// In a real directory (one file per cached path), mirroring the paper's
+    /// `fs::copy` onto the XFS-formatted NVMe.
+    Directory(PathBuf),
+}
+
+#[derive(Debug)]
+struct Entry {
+    size: ByteSize,
+    data: Option<Bytes>,     // Memory backing
+    disk: Option<PathBuf>,   // Directory backing
+}
+
+struct Inner {
+    gauge: CapacityGauge,
+    entries: HashMap<PathBuf, Entry>,
+    insert_seq: u64,
+}
+
+/// A single node-local cache store.
+pub struct LocalStore {
+    backing: Backing,
+    inner: Mutex<Inner>,
+}
+
+impl LocalStore {
+    /// An in-memory store of the given capacity.
+    pub fn in_memory(capacity: ByteSize) -> Self {
+        Self {
+            backing: Backing::Memory,
+            inner: Mutex::new(Inner {
+                gauge: CapacityGauge::new(capacity),
+                entries: HashMap::new(),
+                insert_seq: 0,
+            }),
+        }
+    }
+
+    /// A directory-backed store of the given capacity rooted at `dir`
+    /// (created if missing).
+    pub fn on_directory<P: Into<PathBuf>>(dir: P, capacity: ByteSize) -> Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(Self {
+            backing: Backing::Directory(dir),
+            inner: Mutex::new(Inner {
+                gauge: CapacityGauge::new(capacity),
+                entries: HashMap::new(),
+                insert_seq: 0,
+            }),
+        })
+    }
+
+    /// Insert a file. Fails with [`HvacError::CapacityExhausted`] if it does
+    /// not fit (the caller should evict and retry). Replacing an existing
+    /// path first releases its old accounting.
+    pub fn insert(&self, path: &Path, data: Bytes) -> Result<()> {
+        let size = ByteSize(data.len() as u64);
+        let mut inner = self.inner.lock();
+        if let Some(old) = inner.entries.remove(path) {
+            let old_size = old.size;
+            self.delete_backing(&old);
+            inner.gauge.sub(old_size);
+        }
+        if !inner.gauge.fits(size) {
+            return Err(HvacError::CapacityExhausted {
+                requested: size.bytes(),
+                capacity: inner.gauge.capacity().bytes(),
+            });
+        }
+        let entry = match &self.backing {
+            Backing::Memory => Entry {
+                size,
+                data: Some(data),
+                disk: None,
+            },
+            Backing::Directory(root) => {
+                let seq = inner.insert_seq;
+                inner.insert_seq += 1;
+                let disk = root.join(format!("obj_{seq:016x}"));
+                fs::write(&disk, &data)?;
+                Entry {
+                    size,
+                    data: None,
+                    disk: Some(disk),
+                }
+            }
+        };
+        inner.gauge.add(size);
+        inner.entries.insert(path.to_path_buf(), entry);
+        Ok(())
+    }
+
+    /// Fetch a whole cached file, or `None` on a miss.
+    pub fn get(&self, path: &Path) -> Option<Bytes> {
+        let inner = self.inner.lock();
+        let entry = inner.entries.get(path)?;
+        match (&entry.data, &entry.disk) {
+            (Some(d), _) => Some(d.clone()),
+            (None, Some(disk)) => fs::read(disk).ok().map(Bytes::from),
+            _ => None,
+        }
+    }
+
+    /// Read a byte range of a cached file (`None` on a miss). Short reads at
+    /// EOF return the available prefix.
+    pub fn read_at(&self, path: &Path, offset: u64, len: usize) -> Option<Bytes> {
+        let data = self.get(path)?;
+        let size = data.len() as u64;
+        if offset >= size {
+            return Some(Bytes::new());
+        }
+        let end = (offset + len as u64).min(size) as usize;
+        Some(data.slice(offset as usize..end))
+    }
+
+    /// Remove a cached file; returns the bytes freed (zero if absent).
+    pub fn remove(&self, path: &Path) -> ByteSize {
+        let mut inner = self.inner.lock();
+        match inner.entries.remove(path) {
+            Some(e) => {
+                let sz = e.size;
+                self.delete_backing(&e);
+                inner.gauge.sub(sz);
+                sz
+            }
+            None => ByteSize::ZERO,
+        }
+    }
+
+    fn delete_backing(&self, entry: &Entry) {
+        if let Some(disk) = &entry.disk {
+            let _ = fs::remove_file(disk);
+        }
+    }
+
+    /// Whether `path` is resident.
+    pub fn contains(&self, path: &Path) -> bool {
+        self.inner.lock().entries.contains_key(path)
+    }
+
+    /// Size of a resident file.
+    pub fn size_of(&self, path: &Path) -> Option<ByteSize> {
+        self.inner.lock().entries.get(path).map(|e| e.size)
+    }
+
+    /// Number of resident files.
+    pub fn len(&self) -> usize {
+        self.inner.lock().entries.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes used.
+    pub fn used(&self) -> ByteSize {
+        self.inner.lock().gauge.used()
+    }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> ByteSize {
+        self.inner.lock().gauge.capacity()
+    }
+
+    /// Whether an item of `size` could fit right now without eviction.
+    pub fn fits(&self, size: ByteSize) -> bool {
+        self.inner.lock().gauge.fits(size)
+    }
+
+    /// Whether an item of `size` could fit even after evicting everything.
+    pub fn can_ever_fit(&self, size: ByteSize) -> bool {
+        self.inner.lock().gauge.can_ever_fit(size)
+    }
+
+    /// Paths currently resident (unordered).
+    pub fn resident_paths(&self) -> Vec<PathBuf> {
+        self.inner.lock().entries.keys().cloned().collect()
+    }
+
+    /// Drop everything (job teardown: "the cached dataset is purged",
+    /// §III-D).
+    pub fn purge(&self) {
+        let mut inner = self.inner.lock();
+        let entries = std::mem::take(&mut inner.entries);
+        for e in entries.values() {
+            self.delete_backing(e);
+        }
+        let cap = inner.gauge.capacity();
+        inner.gauge = CapacityGauge::new(cap);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem(cap: u64) -> LocalStore {
+        LocalStore::in_memory(ByteSize(cap))
+    }
+
+    #[test]
+    fn insert_get_remove_round_trip() {
+        let s = mem(100);
+        let p = Path::new("/d/a");
+        s.insert(p, Bytes::from_static(b"abcdef")).unwrap();
+        assert!(s.contains(p));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.used(), ByteSize(6));
+        assert_eq!(s.size_of(p), Some(ByteSize(6)));
+        assert_eq!(&s.get(p).unwrap()[..], b"abcdef");
+        assert_eq!(&s.read_at(p, 2, 2).unwrap()[..], b"cd");
+        assert_eq!(&s.read_at(p, 4, 100).unwrap()[..], b"ef");
+        assert_eq!(s.read_at(p, 100, 1).unwrap().len(), 0);
+        assert_eq!(s.remove(p), ByteSize(6));
+        assert!(!s.contains(p));
+        assert_eq!(s.used(), ByteSize::ZERO);
+        assert_eq!(s.remove(p), ByteSize::ZERO);
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let s = mem(10);
+        s.insert(Path::new("/a"), Bytes::from(vec![0u8; 6])).unwrap();
+        let err = s
+            .insert(Path::new("/b"), Bytes::from(vec![0u8; 5]))
+            .unwrap_err();
+        assert!(matches!(err, HvacError::CapacityExhausted { .. }));
+        // After evicting /a there is room.
+        s.remove(Path::new("/a"));
+        s.insert(Path::new("/b"), Bytes::from(vec![0u8; 5])).unwrap();
+        assert!(s.can_ever_fit(ByteSize(10)));
+        assert!(!s.can_ever_fit(ByteSize(11)));
+    }
+
+    #[test]
+    fn replacing_a_path_releases_old_bytes() {
+        let s = mem(10);
+        let p = Path::new("/a");
+        s.insert(p, Bytes::from(vec![0u8; 8])).unwrap();
+        // Would not fit next to the old copy, but replacement frees it first.
+        s.insert(p, Bytes::from(vec![1u8; 9])).unwrap();
+        assert_eq!(s.used(), ByteSize(9));
+        assert_eq!(s.get(p).unwrap()[0], 1);
+    }
+
+    #[test]
+    fn purge_empties_the_store() {
+        let s = mem(100);
+        s.insert(Path::new("/a"), Bytes::from_static(b"xx")).unwrap();
+        s.insert(Path::new("/b"), Bytes::from_static(b"yy")).unwrap();
+        s.purge();
+        assert!(s.is_empty());
+        assert_eq!(s.used(), ByteSize::ZERO);
+        assert_eq!(s.capacity(), ByteSize(100));
+    }
+
+    #[test]
+    fn directory_backing_round_trips_and_cleans_up() {
+        let dir = std::env::temp_dir().join(format!(
+            "hvac-localstore-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        let s = LocalStore::on_directory(&dir, ByteSize(1000)).unwrap();
+        let p = Path::new("/gpfs/data/s.bin");
+        s.insert(p, Bytes::from_static(b"persisted")).unwrap();
+        assert_eq!(&s.get(p).unwrap()[..], b"persisted");
+        assert_eq!(fs::read_dir(&dir).unwrap().count(), 1);
+        s.remove(p);
+        assert_eq!(fs::read_dir(&dir).unwrap().count(), 0);
+        // purge also removes disk objects
+        s.insert(p, Bytes::from_static(b"x")).unwrap();
+        s.purge();
+        assert_eq!(fs::read_dir(&dir).unwrap().count(), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resident_paths_lists_everything() {
+        let s = mem(100);
+        s.insert(Path::new("/a"), Bytes::from_static(b"1")).unwrap();
+        s.insert(Path::new("/b"), Bytes::from_static(b"2")).unwrap();
+        let mut paths = s.resident_paths();
+        paths.sort();
+        assert_eq!(paths, vec![PathBuf::from("/a"), PathBuf::from("/b")]);
+    }
+
+    #[test]
+    fn concurrent_inserts_respect_capacity() {
+        use std::sync::Arc;
+        let s = Arc::new(mem(1000));
+        let mut joins = Vec::new();
+        for t in 0..8 {
+            let s = s.clone();
+            joins.push(std::thread::spawn(move || {
+                let mut ok = 0u32;
+                for i in 0..50 {
+                    let p = PathBuf::from(format!("/t{t}/f{i}"));
+                    if s.insert(&p, Bytes::from(vec![0u8; 10])).is_ok() {
+                        ok += 1;
+                    }
+                }
+                ok
+            }));
+        }
+        let total_ok: u32 = joins.into_iter().map(|j| j.join().unwrap()).sum();
+        assert_eq!(total_ok as u64 * 10, s.used().bytes());
+        assert!(s.used().bytes() <= 1000);
+        assert_eq!(total_ok, 100); // exactly capacity/size inserts succeed
+    }
+}

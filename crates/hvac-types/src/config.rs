@@ -1,0 +1,358 @@
+//! Configuration structs shared by the functional cluster and the simulator.
+//!
+//! Every knob the paper's evaluation varies — node count, HVAC instances per
+//! node ("HVAC (i×1)"), batch size, epochs, cache capacity, placement and
+//! eviction policy — lives here, so experiments are plain data.
+
+use crate::units::{Bandwidth, ByteSize};
+use serde::{Deserialize, Serialize};
+
+/// Which placement algorithm maps a file to its home server.
+///
+/// The paper uses plain hashing (`Modulo`); the others are provided for the
+/// ablation study and for replication/fail-over (future work in the paper,
+/// implemented here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum PlacementKind {
+    /// `hash(path) % n_servers` — the paper's scheme.
+    #[default]
+    Modulo,
+    /// Jump consistent hash (Lamping & Veach).
+    Jump,
+    /// Rendezvous / highest-random-weight hashing.
+    Rendezvous,
+    /// Consistent-hash ring with virtual nodes.
+    Ring,
+    /// CRUSH-style straw2 selection (what CephFS uses, cited in §III-E).
+    Straw2,
+}
+
+/// Cache eviction policy (paper §III-G: "Currently, HVAC is designed to
+/// perform eviction and replacement randomly").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum EvictionPolicyKind {
+    /// Evict a uniformly random resident file — the paper's default.
+    #[default]
+    Random,
+    /// First-in first-out.
+    Fifo,
+    /// Least recently used.
+    Lru,
+    /// Least frequently used.
+    Lfu,
+    /// CoorDL's MinIO (cited in §II-D/§V): fill the cache once, then never
+    /// replace — "at least some fraction of data for an epoch is always
+    /// accessible from the cache". Un-admitted files are served from the
+    /// PFS directly (cache bypass).
+    MinIo,
+}
+
+/// HVAC-specific knobs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HvacConfig {
+    /// Server instances per compute node; the "i" of HVAC (i×1).
+    pub instances_per_node: u32,
+    /// Data-mover threads per server instance (paper: one dedicated thread).
+    pub movers_per_instance: u32,
+    /// Placement algorithm.
+    pub placement: PlacementKind,
+    /// Eviction policy when a node-local store fills.
+    pub eviction: EvictionPolicyKind,
+    /// Number of replicas per file (1 = paper's single-home design; >1
+    /// enables the fail-over extension of §III-H).
+    pub replication: u32,
+    /// Per-request server-side software overhead (RPC handling + queue),
+    /// nanoseconds; the resource that HVAC (2×1)/(4×1) parallelize.
+    pub request_overhead_ns: u64,
+    /// Per-request client-side dispatch cost (interposition + Mercury RPC
+    /// marshalling), nanoseconds, paid serially in the rank's loader thread.
+    /// Together with `request_overhead_ns` this is calibrated so the HVAC
+    /// variants land near the paper's 25 %/14 %/9 % overhead over
+    /// XFS-on-NVMe (Fig. 9b).
+    pub client_dispatch_ns: u64,
+}
+
+impl Default for HvacConfig {
+    fn default() -> Self {
+        Self {
+            instances_per_node: 1,
+            movers_per_instance: 1,
+            placement: PlacementKind::Modulo,
+            eviction: EvictionPolicyKind::Random,
+            replication: 1,
+            request_overhead_ns: 60_000,
+            client_dispatch_ns: 5_000,
+        }
+    }
+}
+
+/// GPFS model parameters (calibrated from the paper, §II-C and §IV-A).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpfsConfig {
+    /// Number of metadata servers in the pool.
+    pub mds_count: u32,
+    /// Mean service time of one metadata operation (open token + lookup).
+    pub mds_op_ns: u64,
+    /// Number of data (NSD) servers.
+    pub data_server_count: u32,
+    /// Aggregate read bandwidth of the file system.
+    pub aggregate_bandwidth: Bandwidth,
+    /// Read bandwidth one client stream can extract (stripe fan-out is
+    /// finite; a single POSIX read does not see the aggregate).
+    pub per_stream_bandwidth: Bandwidth,
+    /// Stripe (block) size for data distribution.
+    pub stripe_size: ByteSize,
+    /// Client-observed round-trip cost per request to any GPFS server.
+    pub rpc_latency_ns: u64,
+    /// Fractional MDS service-time inflation per 1,000 concurrent clients —
+    /// lock/token contention makes metadata ops *slower* under massive
+    /// concurrency, which is why the paper sees GPFS training time regress
+    /// at 1,024 nodes relative to its 450-node peak (§IV-B).
+    pub mds_overload_per_1k_clients: f64,
+}
+
+impl Default for GpfsConfig {
+    fn default() -> Self {
+        // Alpine: 2.5 TB/s aggregate, "tens of metadata servers and a few
+        // hundreds of data servers" (§II-C). The per-op service time is
+        // calibrated so that (a) the MDS ceiling (mds_count / mds_op ≈ 4 M
+        // op/s) sits above the 8 MiB bandwidth ceiling (~300 K txn/s) —
+        // small files metadata-bound (Fig. 3), large files bandwidth-bound
+        // (Fig. 4) — and (b) an ImageNet-21K epoch at 1,024 nodes is
+        // metadata-dominated, reproducing the Fig. 8 GPFS saturation.
+        Self {
+            mds_count: 32,
+            mds_op_ns: 8_000,
+            data_server_count: 288,
+            aggregate_bandwidth: Bandwidth::tb_per_sec(2.5),
+            per_stream_bandwidth: Bandwidth::gb_per_sec(1.8),
+            stripe_size: ByteSize::mib(16),
+            rpc_latency_ns: 60_000,
+            mds_overload_per_1k_clients: 0.12,
+        }
+    }
+}
+
+impl GpfsConfig {
+    /// Alpine as a *training job* sees it: center-wide sharing leaves a job
+    /// an effective slice of the aggregate bandwidth and metadata capacity
+    /// (Alpine is "directly accessed by all other OLCF resources",
+    /// §IV-A1). The MDTest figures use [`GpfsConfig::default`] (dedicated
+    /// benchmark); the training figures use this preset.
+    pub fn shared_alpine() -> Self {
+        Self {
+            mds_op_ns: 16_000,                                // ~2 M op/s slice
+            aggregate_bandwidth: Bandwidth::gb_per_sec(200.0), // job-effective
+            per_stream_bandwidth: Bandwidth::gb_per_sec(1.2),
+            ..Self::default()
+        }
+    }
+}
+
+/// Node-local NVMe device parameters (Table I: 1.6 TB Samsung NVMe, XFS).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NvmeConfig {
+    /// Usable capacity per node.
+    pub capacity: ByteSize,
+    /// Sequential read bandwidth per device.
+    pub read_bandwidth: Bandwidth,
+    /// Write bandwidth per device (used when the data mover populates the
+    /// cache).
+    pub write_bandwidth: Bandwidth,
+    /// Per-operation latency (XFS open+submit on NVMe).
+    pub op_latency_ns: u64,
+    /// Random-read IOPS ceiling of the device.
+    pub max_iops: u64,
+}
+
+impl Default for NvmeConfig {
+    fn default() -> Self {
+        // §II-C: 22.5 TB/s aggregate at 4096 nodes => ~5.5 GB/s per node.
+        Self {
+            capacity: ByteSize::tib(1) + ByteSize::gib(614), // ~1.6 TB
+            read_bandwidth: Bandwidth::gb_per_sec(5.5),
+            write_bandwidth: Bandwidth::gb_per_sec(2.1),
+            op_latency_ns: 25_000,
+            max_iops: 800_000,
+        }
+    }
+}
+
+/// Interconnect parameters (Table I: dual-rail Mellanox EDR InfiniBand).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkConfig {
+    /// One-way small-message latency between any two nodes.
+    pub latency_ns: u64,
+    /// Point-to-point bandwidth per node (dual-rail EDR ≈ 2 × 12.5 GB/s).
+    pub node_bandwidth: Bandwidth,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        Self {
+            latency_ns: 1_500,
+            node_bandwidth: Bandwidth::gb_per_sec(25.0),
+        }
+    }
+}
+
+/// A full cluster description: the unit of experiment configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Number of compute nodes in the job allocation.
+    pub nodes: u32,
+    /// Application processes (training ranks) per node. The paper runs two
+    /// concurrent training processes per node in Fig. 8.
+    pub procs_per_node: u32,
+    /// HVAC configuration.
+    pub hvac: HvacConfig,
+    /// GPFS model configuration.
+    pub gpfs: GpfsConfig,
+    /// Node-local device configuration.
+    pub nvme: NvmeConfig,
+    /// Interconnect configuration.
+    pub network: NetworkConfig,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self {
+            nodes: 1,
+            procs_per_node: 2,
+            hvac: HvacConfig::default(),
+            gpfs: GpfsConfig::default(),
+            nvme: NvmeConfig::default(),
+            network: NetworkConfig::default(),
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// A cluster of `nodes` nodes with everything else at Summit defaults.
+    pub fn with_nodes(nodes: u32) -> Self {
+        Self {
+            nodes,
+            ..Self::default()
+        }
+    }
+
+    /// Total HVAC server instances in the allocation.
+    #[inline]
+    pub fn total_servers(&self) -> usize {
+        self.nodes as usize * self.hvac.instances_per_node as usize
+    }
+
+    /// Total training ranks in the allocation.
+    #[inline]
+    pub fn total_ranks(&self) -> usize {
+        self.nodes as usize * self.procs_per_node as usize
+    }
+
+    /// Aggregate node-local cache capacity of the allocation.
+    #[inline]
+    pub fn aggregate_cache_capacity(&self) -> ByteSize {
+        ByteSize(self.nvme.capacity.bytes() * self.nodes as u64)
+    }
+
+    /// Check internal consistency; experiments call this before running.
+    pub fn validate(&self) -> crate::Result<()> {
+        use crate::HvacError::InvalidConfig;
+        if self.nodes == 0 {
+            return Err(InvalidConfig("nodes must be >= 1".into()));
+        }
+        if self.procs_per_node == 0 {
+            return Err(InvalidConfig("procs_per_node must be >= 1".into()));
+        }
+        if self.hvac.instances_per_node == 0 {
+            return Err(InvalidConfig("instances_per_node must be >= 1".into()));
+        }
+        if self.hvac.movers_per_instance == 0 {
+            return Err(InvalidConfig("movers_per_instance must be >= 1".into()));
+        }
+        if self.hvac.replication == 0 {
+            return Err(InvalidConfig("replication must be >= 1".into()));
+        }
+        if self.hvac.replication as usize > self.total_servers() {
+            return Err(InvalidConfig(format!(
+                "replication {} exceeds server count {}",
+                self.hvac.replication,
+                self.total_servers()
+            )));
+        }
+        if self.gpfs.mds_count == 0 || self.gpfs.data_server_count == 0 {
+            return Err(InvalidConfig("GPFS server counts must be >= 1".into()));
+        }
+        if self.nvme.capacity == ByteSize::ZERO {
+            return Err(InvalidConfig("NVMe capacity must be non-zero".into()));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        ClusterConfig::default().validate().unwrap();
+        ClusterConfig::with_nodes(1024).validate().unwrap();
+    }
+
+    #[test]
+    fn totals() {
+        let mut c = ClusterConfig::with_nodes(512);
+        c.hvac.instances_per_node = 4;
+        c.procs_per_node = 2;
+        assert_eq!(c.total_servers(), 2048);
+        assert_eq!(c.total_ranks(), 1024);
+        assert_eq!(
+            c.aggregate_cache_capacity().bytes(),
+            c.nvme.capacity.bytes() * 512
+        );
+    }
+
+    #[test]
+    fn rejects_degenerate_configs() {
+        let c = ClusterConfig {
+            nodes: 0,
+            ..ClusterConfig::default()
+        };
+        assert!(c.validate().is_err());
+
+        let mut c = ClusterConfig::default();
+        c.hvac.instances_per_node = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = ClusterConfig::default();
+        c.hvac.replication = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = ClusterConfig::with_nodes(2);
+        c.hvac.replication = 5; // 2 nodes x 1 instance = 2 servers < 5 replicas
+        assert!(c.validate().is_err());
+
+        let mut c = ClusterConfig::default();
+        c.gpfs.mds_count = 0;
+        assert!(c.validate().is_err());
+
+        let c = ClusterConfig {
+            nvme: NvmeConfig {
+                capacity: ByteSize::ZERO,
+                ..NvmeConfig::default()
+            },
+            ..ClusterConfig::default()
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn serde_round_trip_via_debug_eq() {
+        // serde round-trip through the self-describing serde_test-free path:
+        // serialize to a string with serde's derived impls is covered by
+        // serde_json in downstream crates; here we at least assert Clone/Eq.
+        let c = ClusterConfig::with_nodes(64);
+        let d = c.clone();
+        assert_eq!(c, d);
+    }
+}

@@ -1,0 +1,131 @@
+//! The crate-spanning error type.
+
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+
+/// Convenience alias used throughout the HVAC crates.
+pub type Result<T> = std::result::Result<T, HvacError>;
+
+/// Errors surfaced by the HVAC cache and its substrates.
+#[derive(Debug)]
+pub enum HvacError {
+    /// Underlying I/O failure (PFS or node-local storage).
+    Io(io::Error),
+    /// A path was requested that the backing store does not contain.
+    NotFound(PathBuf),
+    /// A file descriptor was used that the client does not know about.
+    BadFd(i32),
+    /// The RPC layer failed (endpoint gone, decode error, timeout...).
+    Rpc(String),
+    /// A server was asked to cache more than its capacity and eviction could
+    /// not make room.
+    CapacityExhausted {
+        /// What was being inserted.
+        requested: u64,
+        /// Capacity of the store.
+        capacity: u64,
+    },
+    /// The addressed server is marked down and no replica could serve the
+    /// request.
+    ServerDown(String),
+    /// Configuration is internally inconsistent.
+    InvalidConfig(String),
+    /// Write access attempted through the read-only cache.
+    ReadOnly(PathBuf),
+    /// Catch-all for protocol violations.
+    Protocol(String),
+}
+
+impl fmt::Display for HvacError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HvacError::Io(e) => write!(f, "I/O error: {e}"),
+            HvacError::NotFound(p) => write!(f, "file not found: {}", p.display()),
+            HvacError::BadFd(fd) => write!(f, "unknown file descriptor: {fd}"),
+            HvacError::Rpc(m) => write!(f, "rpc failure: {m}"),
+            HvacError::CapacityExhausted {
+                requested,
+                capacity,
+            } => write!(
+                f,
+                "cache capacity exhausted: need {requested} B of {capacity} B"
+            ),
+            HvacError::ServerDown(s) => write!(f, "server down: {s}"),
+            HvacError::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
+            HvacError::ReadOnly(p) => {
+                write!(f, "HVAC is a read-only cache; write to {} refused", p.display())
+            }
+            HvacError::Protocol(m) => write!(f, "protocol violation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for HvacError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HvacError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for HvacError {
+    fn from(e: io::Error) -> Self {
+        HvacError::Io(e)
+    }
+}
+
+impl HvacError {
+    /// Map to an errno-style code for the LD_PRELOAD shim.
+    pub fn errno(&self) -> i32 {
+        match self {
+            HvacError::NotFound(_) => 2,          // ENOENT
+            HvacError::BadFd(_) => 9,             // EBADF
+            HvacError::ReadOnly(_) => 30,         // EROFS
+            HvacError::CapacityExhausted { .. } => 28, // ENOSPC
+            HvacError::Io(e) => e.raw_os_error().unwrap_or(5),
+            _ => 5,                               // EIO
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = HvacError::NotFound(PathBuf::from("/data/x"));
+        assert!(e.to_string().contains("/data/x"));
+        let e = HvacError::CapacityExhausted {
+            requested: 10,
+            capacity: 5,
+        };
+        assert!(e.to_string().contains("10"));
+        assert!(e.to_string().contains("5"));
+    }
+
+    #[test]
+    fn io_error_converts_and_chains() {
+        let e: HvacError = io::Error::other("boom").into();
+        assert!(matches!(e, HvacError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn errno_mapping() {
+        assert_eq!(HvacError::NotFound(PathBuf::new()).errno(), 2);
+        assert_eq!(HvacError::BadFd(3).errno(), 9);
+        assert_eq!(HvacError::ReadOnly(PathBuf::new()).errno(), 30);
+        assert_eq!(
+            HvacError::CapacityExhausted {
+                requested: 1,
+                capacity: 0
+            }
+            .errno(),
+            28
+        );
+        assert_eq!(HvacError::Rpc(String::new()).errno(), 5);
+    }
+}

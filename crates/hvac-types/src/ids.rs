@@ -1,0 +1,188 @@
+//! Strongly typed identifiers.
+//!
+//! HVAC routes every file to exactly one *home* server inside a job
+//! allocation. Keeping node, server-instance, client and file identifiers as
+//! distinct newtypes prevents the classic "which usize was that again?"
+//! placement bugs.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a compute node within a job allocation (0-based, dense).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Numeric value as `usize`, for indexing per-node tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// Identity of one HVAC server instance.
+///
+/// The paper runs `i` server instances per node — the "HVAC (i×1)" variants
+/// of §IV — so a server is addressed by `(node, instance)`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct ServerId {
+    /// Hosting compute node.
+    pub node: NodeId,
+    /// Instance index on that node (`0..instances_per_node`).
+    pub instance: u32,
+}
+
+impl ServerId {
+    /// Construct from raw parts.
+    #[inline]
+    pub fn new(node: u32, instance: u32) -> Self {
+        Self {
+            node: NodeId(node),
+            instance,
+        }
+    }
+
+    /// Dense global index given the per-node instance count, matching the
+    /// order in which [`crate::config::ClusterConfig`] enumerates servers.
+    #[inline]
+    pub fn global_index(self, instances_per_node: u32) -> usize {
+        self.node.index() * instances_per_node as usize + self.instance as usize
+    }
+
+    /// Inverse of [`ServerId::global_index`].
+    #[inline]
+    pub fn from_global_index(idx: usize, instances_per_node: u32) -> Self {
+        let per = instances_per_node.max(1) as usize;
+        Self {
+            node: NodeId((idx / per) as u32),
+            instance: (idx % per) as u32,
+        }
+    }
+}
+
+impl fmt::Display for ServerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/srv{}", self.node, self.instance)
+    }
+}
+
+/// Identity of an HVAC client (one per application process).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct ClientId(pub u64);
+
+impl fmt::Display for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "client{}", self.0)
+    }
+}
+
+/// 64-bit content-free identifier of a file, derived from its path hash.
+///
+/// HVAC never stores a path→location table; the [`FileId`] *is* the input to
+/// placement (paper §III-E). Two paths colliding to one `FileId` would merely
+/// share a home server, never corrupt data, because servers key their caches
+/// by full path.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct FileId(pub u64);
+
+impl fmt::Display for FileId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "file#{:016x}", self.0)
+    }
+}
+
+/// Identity of a batch job / allocation. The HVAC cache lifetime is coupled to
+/// the job lifetime (paper §III-D).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct JobId(pub u64);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job{}", self.0)
+    }
+}
+
+/// A distributed-training rank (one per application process, as in MPI).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct Rank(pub u32);
+
+impl Rank {
+    /// Numeric value as `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Rank {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rank{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn server_global_index_round_trips() {
+        for per in 1..=4u32 {
+            for idx in 0..64usize {
+                let sid = ServerId::from_global_index(idx, per);
+                assert_eq!(sid.global_index(per), idx, "per={per} idx={idx}");
+            }
+        }
+    }
+
+    #[test]
+    fn server_global_index_is_dense_and_ordered() {
+        let per = 3;
+        let mut expect = 0usize;
+        for node in 0..5u32 {
+            for inst in 0..per {
+                let sid = ServerId::new(node, inst);
+                assert_eq!(sid.global_index(per), expect);
+                expect += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(NodeId(3).to_string(), "node3");
+        assert_eq!(ServerId::new(3, 1).to_string(), "node3/srv1");
+        assert_eq!(ClientId(9).to_string(), "client9");
+        assert_eq!(Rank(2).to_string(), "rank2");
+        assert_eq!(JobId(7).to_string(), "job7");
+        assert_eq!(
+            FileId(0xdead_beef).to_string(),
+            "file#00000000deadbeef"
+        );
+    }
+
+    #[test]
+    fn from_global_index_tolerates_zero_instances() {
+        // Degenerate config must not panic; it clamps to one instance.
+        let sid = ServerId::from_global_index(5, 0);
+        assert_eq!(sid.node, NodeId(5));
+        assert_eq!(sid.instance, 0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Calibration constants of the Summit supercomputer and the paper's
+//! datasets (Table I, §II-C, §IV-A).
+//!
+//! Everything the simulator needs to know about the paper's testbed is
+//! centralized here so the experiment harness and the documentation agree on
+//! a single source of truth.
+
+use crate::units::{Bandwidth, ByteSize};
+
+/// Total compute nodes in Summit.
+pub const SUMMIT_TOTAL_NODES: u32 = 4_608;
+/// GPUs per node (6× NVIDIA V100).
+pub const GPUS_PER_NODE: u32 = 6;
+/// CPU cores per node (2× POWER9, 22 cores).
+pub const CPU_CORES_PER_NODE: u32 = 44;
+/// DDR4 per node.
+pub const NODE_MEMORY: ByteSize = ByteSize(512 * crate::units::GIB);
+/// Node-local NVMe capacity (1.6 TB Samsung, XFS).
+pub const NODE_NVME_CAPACITY: ByteSize = ByteSize(1_600_000_000_000);
+
+/// Alpine (GPFS) aggregate read bandwidth: 2.5 TB/s (§IV-A1).
+pub fn gpfs_aggregate_bandwidth() -> Bandwidth {
+    Bandwidth::tb_per_sec(2.5)
+}
+
+/// Aggregate node-local NVMe read bandwidth at 4,096 nodes: 22.5 TB/s
+/// (§II-C), i.e. ~5.5 GB/s per node.
+pub fn nvme_aggregate_bandwidth_4096() -> Bandwidth {
+    Bandwidth::tb_per_sec(22.5)
+}
+
+/// Per-node NVMe read bandwidth implied by §II-C.
+pub fn nvme_per_node_bandwidth() -> Bandwidth {
+    nvme_aggregate_bandwidth_4096().scale(1.0 / 4096.0)
+}
+
+/// ImageNet-21K training set: 11,797,632 samples (§IV-A3).
+pub const IMAGENET21K_TRAIN_SAMPLES: u64 = 11_797_632;
+/// ImageNet-21K test set: 561,052 samples.
+pub const IMAGENET21K_TEST_SAMPLES: u64 = 561_052;
+/// ImageNet-21K mean sample size ≈163 KB; total ≈1.1 TB.
+pub const IMAGENET21K_MEAN_SAMPLE: ByteSize = ByteSize(163 * 1_000);
+/// ImageNet-21K total dataset size (≈1.1 TB).
+pub const IMAGENET21K_TOTAL: ByteSize = ByteSize(1_100_000_000_000);
+/// ImageNet-21K class count.
+pub const IMAGENET21K_CLASSES: u32 = 11_221;
+
+/// cosmoUniverse training samples: 524,288 TFRecord samples (§IV-A3).
+pub const COSMOFLOW_TRAIN_SAMPLES: u64 = 524_288;
+/// cosmoUniverse validation samples.
+pub const COSMOFLOW_VALID_SAMPLES: u64 = 65_536;
+/// cosmoUniverse total dataset size (≈1.3 TB).
+pub const COSMOFLOW_TOTAL: ByteSize = ByteSize(1_300_000_000_000);
+
+/// Mean cosmoUniverse sample size implied by the totals above (~2.5 MB).
+pub fn cosmoflow_mean_sample() -> ByteSize {
+    ByteSize(COSMOFLOW_TOTAL.bytes() / COSMOFLOW_TRAIN_SAMPLES)
+}
+
+/// DeepCAM sample: 768×1152 pixels × 16 channels (§IV-A2); float16 pixels
+/// put one sample around 27 MB on disk (the paper stores HDF5/NPZ-like
+/// records; we model ~27 MB).
+pub const DEEPCAM_SAMPLE: ByteSize = ByteSize(27_000_000);
+
+/// Table I rendered as rows of (attribute, description) for the `reproduce`
+/// binary.
+pub fn table1_rows() -> Vec<(&'static str, String)> {
+    vec![
+        ("Supercomputer", "Summit".to_string()),
+        ("CPU", "2 x IBM POWER9 22Cores 3.07GHz".to_string()),
+        ("GPU", format!("{GPUS_PER_NODE} x NVIDIA Tesla Volta (V100)")),
+        ("Memory Capacity", format!("{NODE_MEMORY} DDR4")),
+        (
+            "Node-local Storage",
+            format!("{NODE_NVME_CAPACITY} Samsung NVMe SSD with XFS"),
+        ),
+        (
+            "Network Interconnect Family",
+            "Dual-rail Mellanox EDR Infiniband".to_string(),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_node_nvme_bandwidth_matches_paper() {
+        let per = nvme_per_node_bandwidth().as_bytes_per_sec();
+        assert!(per > 5.0e9 && per < 6.0e9, "got {per}");
+    }
+
+    #[test]
+    fn imagenet_mean_size_consistent_with_total() {
+        // 11.8M files at ~163 KB ≈ 1.9 TB raw; paper rounds the *dataset* to
+        // 1.1 TB (train shards are compressed). Assert we stay within the
+        // order of magnitude so nobody "fixes" a constant silently.
+        let implied = IMAGENET21K_MEAN_SAMPLE.bytes() * IMAGENET21K_TRAIN_SAMPLES;
+        assert!(implied > IMAGENET21K_TOTAL.bytes() / 4);
+        assert!(implied < IMAGENET21K_TOTAL.bytes() * 4);
+    }
+
+    #[test]
+    fn cosmoflow_mean_sample_is_megabytes() {
+        let m = cosmoflow_mean_sample().bytes();
+        assert!(m > 1_000_000 && m < 10_000_000, "got {m}");
+    }
+
+    #[test]
+    fn table1_has_all_attributes() {
+        let rows = table1_rows();
+        assert_eq!(rows.len(), 6);
+        assert!(rows.iter().any(|(k, _)| *k == "Node-local Storage"));
+    }
+}

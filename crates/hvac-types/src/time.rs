@@ -1,0 +1,170 @@
+//! Simulated time.
+//!
+//! The discrete-event simulator advances a virtual clock in integer
+//! nanoseconds. [`SimTime`] is a point on that clock; durations are also
+//! represented as `SimTime` offsets (the engine only ever adds them).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time (nanoseconds since simulation start), or a
+/// duration when used as an offset.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Simulation epoch.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable instant (used as an "infinity" sentinel).
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Construct from nanoseconds.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+    /// Construct from microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+    /// Construct from milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+    /// Construct from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000)
+    }
+    /// Construct from fractional seconds, rounding to the nearest nanosecond.
+    /// Negative and NaN inputs clamp to zero; overflow clamps to
+    /// [`SimTime::MAX`].
+    #[inline]
+    pub fn from_secs_f64(s: f64) -> Self {
+        if s.is_nan() || s <= 0.0 {
+            return SimTime::ZERO;
+        }
+        let ns = s * 1e9;
+        if ns >= u64::MAX as f64 {
+            SimTime::MAX
+        } else {
+            SimTime(ns.round() as u64)
+        }
+    }
+
+    /// Nanosecond count.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+    /// Value in fractional seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+    /// Value in fractional minutes (the unit of the paper's training-time
+    /// figures).
+    #[inline]
+    pub fn as_minutes_f64(self) -> f64 {
+        self.as_secs_f64() / 60.0
+    }
+
+    /// Saturating addition (durations near `MAX` stay at `MAX`).
+    #[inline]
+    pub fn saturating_add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+
+    /// Duration from `earlier` to `self`; zero if `earlier` is later.
+    #[inline]
+    pub fn saturating_since(self, earlier: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns >= 60_000_000_000 {
+            write!(f, "{:.2} min", self.as_minutes_f64())
+        } else if ns >= 1_000_000_000 {
+            write!(f, "{:.3} s", self.as_secs_f64())
+        } else if ns >= 1_000_000 {
+            write!(f, "{:.3} ms", ns as f64 / 1e6)
+        } else if ns >= 1_000 {
+            write!(f, "{:.3} us", ns as f64 / 1e3)
+        } else {
+            write!(f, "{} ns", ns)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(SimTime::from_secs(2).as_nanos(), 2_000_000_000);
+        assert_eq!(SimTime::from_millis(3).as_nanos(), 3_000_000);
+        assert_eq!(SimTime::from_micros(5).as_nanos(), 5_000);
+        assert!((SimTime::from_secs(90).as_minutes_f64() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_secs_f64_edge_cases() {
+        assert_eq!(SimTime::from_secs_f64(-1.0), SimTime::ZERO);
+        assert_eq!(SimTime::from_secs_f64(f64::NAN), SimTime::ZERO);
+        assert_eq!(SimTime::from_secs_f64(f64::INFINITY), SimTime::MAX);
+        assert_eq!(SimTime::from_secs_f64(1.5).as_nanos(), 1_500_000_000);
+    }
+
+    #[test]
+    fn saturating_ops() {
+        assert_eq!(SimTime::MAX.saturating_add(SimTime(1)), SimTime::MAX);
+        assert_eq!(SimTime(5).saturating_since(SimTime(9)), SimTime::ZERO);
+        assert_eq!(SimTime(9).saturating_since(SimTime(5)), SimTime(4));
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(SimTime::from_millis(1) < SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn display_units() {
+        assert_eq!(SimTime(500).to_string(), "500 ns");
+        assert_eq!(SimTime::from_micros(2).to_string(), "2.000 us");
+        assert_eq!(SimTime::from_millis(15).to_string(), "15.000 ms");
+        assert_eq!(SimTime::from_secs(2).to_string(), "2.000 s");
+        assert_eq!(SimTime::from_secs(120).to_string(), "2.00 min");
+    }
+}

@@ -1,0 +1,91 @@
+//! The paper's future-work items, running for real: prefetch staging
+//! (§IV-C), segment-level caching of a file too big for any single node
+//! (§III-E), and topology-aware replicas (§IV-G).
+//!
+//! ```text
+//! cargo run -p hvac-examples --example extensions
+//! ```
+
+use hvac_core::cluster::{Cluster, ClusterOptions};
+use hvac_hash::placement::{ModuloPlacement, Placement};
+use hvac_hash::topology::{Topology, TopologyAware};
+use hvac_pfs::MemStore;
+use hvac_types::FileId;
+use hvac_types::ByteSize;
+use std::path::Path;
+use std::sync::Arc;
+
+fn main() {
+    // --- Prefetch (§IV-C) --------------------------------------------------
+    let pfs = Arc::new(MemStore::new());
+    pfs.synthesize_dataset(Path::new("/gpfs/train"), 64, |_| 32 * 1024);
+    let cluster = Cluster::new(
+        pfs.clone(),
+        ClusterOptions::new(4, 1).dataset_dir("/gpfs/train"),
+    )
+    .unwrap();
+    let staged = cluster.prefetch_dataset(Path::new("/gpfs/train")).unwrap();
+    println!("prefetch: staged {staged} files before training started");
+    cluster
+        .client(0)
+        .read_file(Path::new("/gpfs/train/sample_00000000.bin"))
+        .unwrap();
+    let agg = cluster.aggregate_metrics();
+    println!(
+        "prefetch: first training read was a cache {} (misses so far: {})\n",
+        if agg.cache_hits > 0 { "HIT" } else { "MISS" },
+        agg.cache_misses
+    );
+
+    // --- Segment-level caching (§III-E) ------------------------------------
+    let pfs = Arc::new(MemStore::new());
+    let big = 1 << 20; // 1 MiB file...
+    pfs.put("/gpfs/train/huge.h5", MemStore::sample_content(1, big));
+    let tiny_caches = Cluster::new(
+        pfs,
+        ClusterOptions::new(8, 1)
+            .dataset_dir("/gpfs/train")
+            .cache_capacity(ByteSize::kib(256)), // ...with 256 KiB node caches
+    )
+    .unwrap();
+    let whole = tiny_caches
+        .client(0)
+        .read_file(Path::new("/gpfs/train/huge.h5"));
+    println!(
+        "segments: whole-file read of 1 MiB into 256 KiB caches -> {}",
+        if whole.is_err() { "FAILS (as expected)" } else { "??" }
+    );
+    let assembled = tiny_caches
+        .client(0)
+        .read_file_segmented(Path::new("/gpfs/train/huge.h5"), 64 * 1024)
+        .unwrap();
+    let populated = tiny_caches
+        .per_node_bytes()
+        .iter()
+        .filter(|&&b| b > 0)
+        .count();
+    println!(
+        "segments: segmented read -> {} bytes reassembled, spread over {populated}/8 nodes\n",
+        assembled.len()
+    );
+
+    // --- Topology-aware replicas (§IV-G) ------------------------------------
+    let servers = 72;
+    let per_rack = 18;
+    let base = ModuloPlacement;
+    let aware = TopologyAware::new(ModuloPlacement, Topology::regular(servers, per_rack));
+    let co_racked = |p: &dyn Placement| {
+        (0..10_000u64)
+            .filter(|&i| {
+                let reps = p.replicas(FileId(hvac_hash::mix64(i)), servers, 2);
+                reps[0] / per_rack == reps[1] / per_rack
+            })
+            .count() as f64
+            / 100.0
+    };
+    println!(
+        "topology: modulo replicas co-racked {:.1}% of the time; topology-aware: {:.1}%",
+        co_racked(&base),
+        co_racked(&aware)
+    );
+}

@@ -1,0 +1,45 @@
+//! The motivating experiment (paper §II-C, Figs. 3–4): MDTest-style
+//! `<open-read-close>` transaction storms against GPFS vs node-local XFS.
+//!
+//! ```text
+//! cargo run --release -p hvac-examples --example mdtest [32k|8m]
+//! ```
+
+use hvac_sim::gpfs::GpfsModel;
+use hvac_sim::iostack::{GpfsBackend, XfsLocalBackend};
+use hvac_sim::mdtest::{run_mdtest, MdtestConfig};
+use hvac_types::ByteSize;
+
+fn main() {
+    let size_arg = std::env::args().nth(1).unwrap_or_else(|| "32k".into());
+    let (size, label) = match size_arg.as_str() {
+        "8m" => (ByteSize::mib(8), "8 MiB (bandwidth-bound, Fig. 4)"),
+        _ => (ByteSize::kib(32), "32 KiB (metadata-bound, Fig. 3)"),
+    };
+
+    println!("MDTest {label}: transactions per second\n");
+    println!("{:>6} {:>14} {:>14} {:>10}", "nodes", "GPFS", "XFS-on-NVMe", "ratio");
+    for nodes in [2u32, 8, 32, 128, 512, 2048, 4096] {
+        let cfg = MdtestConfig {
+            nodes,
+            procs_per_node: 2,
+            txns_per_proc: 32,
+            file_size: size,
+        };
+        let mut gpfs_model = GpfsModel::summit();
+        gpfs_model.set_client_count(nodes * 2);
+        let gpfs = run_mdtest(GpfsBackend::new(gpfs_model), cfg.clone());
+        let xfs = run_mdtest(XfsLocalBackend::summit(nodes), cfg);
+        println!(
+            "{:>6} {:>14.0} {:>14.0} {:>9.1}x",
+            nodes,
+            gpfs.tps,
+            xfs.tps,
+            xfs.tps / gpfs.tps
+        );
+    }
+    println!(
+        "\nGPFS hits a fixed ceiling (MDS pool for small files, 2.5 TB/s aggregate for large);"
+    );
+    println!("node-local storage scales linearly — the gap HVAC exists to close.");
+}

@@ -1,0 +1,5 @@
+//! Placeholder library target for the `hvac-examples` package.
+//!
+//! The interesting code lives in the example binaries at the package root
+//! (`quickstart.rs`, `imagenet_resnet50.rs`, ...). Run them with e.g.
+//! `cargo run -p hvac-examples --example quickstart`.

@@ -1,0 +1,4 @@
+//! Placeholder library target for the `hvac-integration-tests` package.
+//!
+//! The integration tests live in `tests/tests/*.rs` and exercise the public
+//! APIs of several HVAC crates together.

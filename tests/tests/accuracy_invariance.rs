@@ -1,0 +1,134 @@
+//! Fig. 14 end-to-end: the *actual byte streams* delivered by GPFS and by
+//! HVAC are identical in content and order, so a model trained on either
+//! follows the same accuracy trajectory — while class-skewed static
+//! sharding (the strawman the paper warns about) lags.
+
+use hvac_core::cluster::{Cluster, ClusterOptions};
+use hvac_dl::accuracy::{
+    sharded_order, shuffled_order, train_with_order, SyntheticDataset,
+};
+use hvac_dl::loader::{BatchLoader, HvacReader, PfsReader};
+use hvac_dl::DatasetSpec;
+use hvac_pfs::MemStore;
+use std::sync::Arc;
+
+#[test]
+fn training_order_through_hvac_equals_pfs_order() {
+    let n_files = 64u64;
+    let mut spec = DatasetSpec::imagenet21k();
+    spec.train_samples = n_files;
+    let pfs = Arc::new(MemStore::new());
+    for i in 0..n_files {
+        pfs.put(spec.path_of("/gpfs/train", i), MemStore::sample_content(i, 256));
+    }
+    let cluster = Cluster::new(
+        pfs.clone(),
+        ClusterOptions::new(4, 1).dataset_dir("/gpfs/train"),
+    )
+    .unwrap();
+    let loader = BatchLoader::new("/gpfs/train", spec, 4, 8, 1414);
+
+    for epoch in 0..2 {
+        for rank in 0..4u64 {
+            let hvac_stream: Vec<(u64, Vec<u8>)> = loader
+                .load_epoch(&HvacReader(cluster.client(rank as usize)), epoch, rank, usize::MAX)
+                .unwrap()
+                .into_iter()
+                .flatten()
+                .map(|(i, b)| (i, b.to_vec()))
+                .collect();
+            let pfs_stream: Vec<(u64, Vec<u8>)> = loader
+                .load_epoch(&PfsReader(pfs.as_ref()), epoch, rank, usize::MAX)
+                .unwrap()
+                .into_iter()
+                .flatten()
+                .map(|(i, b)| (i, b.to_vec()))
+                .collect();
+            assert_eq!(hvac_stream, pfs_stream, "epoch {epoch}, rank {rank}");
+        }
+    }
+}
+
+#[test]
+fn identical_orders_give_bitwise_identical_accuracy_curves() {
+    let data = SyntheticDataset::generate(10, 20, 2_500, 600, 0.85, 77);
+    let order_a = shuffled_order(data.n_train() as u64, 8, 2, 1234);
+    let order_b = shuffled_order(data.n_train() as u64, 8, 2, 1234);
+    assert_eq!(order_a, order_b);
+    let curve_a = train_with_order(&data, &order_a, 0.05, 400);
+    let curve_b = train_with_order(&data, &order_b, 0.05, 400);
+    assert_eq!(curve_a, curve_b, "same order must give the same trajectory");
+    // ...and both converge.
+    assert!(curve_a.last().unwrap().top1 > 0.6);
+    assert!(curve_a.last().unwrap().top5 > 0.9);
+}
+
+#[test]
+fn hash_lookup_does_not_change_the_epoch_permutation() {
+    // The sampler, not the storage system, decides order: generate the order
+    // with different "placements" of the same sampler state and check the
+    // storage seed plays no role.
+    let order_seed_42_a = shuffled_order(1000, 4, 3, 42);
+    let order_seed_42_b = shuffled_order(1000, 4, 3, 42);
+    let order_seed_43 = shuffled_order(1000, 4, 3, 43);
+    assert_eq!(order_seed_42_a, order_seed_42_b);
+    assert_ne!(order_seed_42_a, order_seed_43, "epochs do reshuffle by seed");
+}
+
+#[test]
+fn class_skewed_sharding_degrades_convergence() {
+    let data = SyntheticDataset::generate(10, 20, 2_500, 600, 0.85, 99);
+    let epochs = 2;
+    let global = shuffled_order(data.n_train() as u64, 8, epochs, 5);
+    let skewed = sharded_order(&data, 8, epochs);
+    assert_eq!(global.len(), skewed.len(), "same training budget");
+    let final_top1 = |order: &[u64]| {
+        train_with_order(&data, order, 0.05, u64::MAX)
+            .last()
+            .unwrap()
+            .top1
+    };
+    let a = final_top1(&global);
+    let b = final_top1(&skewed);
+    assert!(
+        a > b + 0.02,
+        "global shuffle ({a:.3}) must beat class-skewed shards ({b:.3})"
+    );
+}
+
+#[test]
+fn hvac_reaches_accuracy_earlier_in_wall_clock() {
+    // The paper's closing point on Fig. 14: same accuracy per iteration +
+    // faster iterations = accuracy reached earlier. Pair the accuracy curve
+    // with per-iteration times from the simulator.
+    use hvac_dl::{simulate_training, DnnModel, TrainingConfig};
+    use hvac_sim::gpfs::GpfsModel;
+    use hvac_sim::iostack::{GpfsBackend, HvacBackend};
+    use hvac_types::{ClusterConfig, GpfsConfig};
+
+    let nodes = 256;
+    let mut cfg = TrainingConfig::new(
+        DatasetSpec::imagenet21k(),
+        DnnModel::resnet50(),
+        nodes,
+    )
+    .batch_size(32)
+    .epochs(3);
+    cfg.max_sim_iters = 2;
+
+    let mut gpfs = GpfsBackend::new(GpfsModel::new(GpfsConfig::shared_alpine()));
+    let rg = simulate_training(&mut gpfs, &cfg);
+    let mut cc = ClusterConfig::with_nodes(nodes);
+    cc.gpfs = GpfsConfig::shared_alpine();
+    let mut hvac = HvacBackend::new(&cc, 3);
+    let rh = simulate_training(&mut hvac, &cfg);
+
+    // Same iteration count; a fixed iteration budget (i.e. a fixed accuracy
+    // level) is reached strictly earlier on HVAC once the cache is warm.
+    assert!(
+        rh.best_random_epoch() < rg.best_random_epoch(),
+        "warm HVAC epochs must be faster: {} vs {}",
+        rh.best_random_epoch(),
+        rg.best_random_epoch()
+    );
+}

@@ -1,0 +1,147 @@
+//! End-to-end functional tests: a real multi-node HVAC allocation serving a
+//! real DL-style workload, byte-for-byte.
+
+use hvac_core::cluster::{Cluster, ClusterOptions};
+use hvac_dl::loader::{BatchLoader, HvacReader, PfsReader};
+use hvac_dl::DatasetSpec;
+use hvac_pfs::{FileStore, MemStore};
+use std::path::Path;
+use std::sync::Arc;
+
+fn synthetic_dataset(n_files: u64) -> (Arc<MemStore>, DatasetSpec) {
+    let mut spec = DatasetSpec::imagenet21k();
+    spec.train_samples = n_files;
+    let pfs = Arc::new(MemStore::new());
+    for i in 0..n_files {
+        let size = (spec.size_of(i).bytes() as usize % 8_192).max(64);
+        pfs.put(
+            spec.path_of("/gpfs/train", i),
+            MemStore::sample_content(i, size),
+        );
+    }
+    (pfs, spec)
+}
+
+#[test]
+fn hvac_stream_is_byte_identical_to_pfs_stream() {
+    let (pfs, spec) = synthetic_dataset(48);
+    let cluster = Cluster::new(
+        pfs.clone(),
+        ClusterOptions::new(4, 2).dataset_dir("/gpfs/train").clients_per_node(1),
+    )
+    .unwrap();
+
+    let loader = BatchLoader::new("/gpfs/train", spec, 4, 4, 0xACC);
+    for epoch in 0..3 {
+        for rank in 0..4u64 {
+            let via_hvac = loader
+                .load_epoch(&HvacReader(cluster.client(rank as usize)), epoch, rank, usize::MAX)
+                .expect("hvac epoch");
+            let via_pfs = loader
+                .load_epoch(&PfsReader(pfs.as_ref()), epoch, rank, usize::MAX)
+                .expect("pfs epoch");
+            assert_eq!(
+                via_hvac, via_pfs,
+                "epoch {epoch} rank {rank}: HVAC must deliver the PFS stream verbatim"
+            );
+        }
+    }
+}
+
+#[test]
+fn pfs_data_traffic_stops_after_first_epoch() {
+    let (pfs, spec) = synthetic_dataset(40);
+    let cluster = Cluster::new(
+        pfs.clone(),
+        ClusterOptions::new(5, 1).dataset_dir("/gpfs/train"),
+    )
+    .unwrap();
+    let loader = BatchLoader::new("/gpfs/train", spec, 5, 4, 7);
+
+    for rank in 0..5u64 {
+        loader
+            .load_epoch(&HvacReader(cluster.client(rank as usize)), 0, rank, usize::MAX)
+            .unwrap();
+    }
+    let (_, reads_after_e1, _) = pfs.stats().snapshot();
+    assert_eq!(reads_after_e1, 40, "epoch 1 fetches each file exactly once");
+
+    for epoch in 1..4 {
+        for rank in 0..5u64 {
+            loader
+                .load_epoch(&HvacReader(cluster.client(rank as usize)), epoch, rank, usize::MAX)
+                .unwrap();
+        }
+    }
+    let (_, reads_final, _) = pfs.stats().snapshot();
+    assert_eq!(reads_final, 40, "warm epochs never touch the PFS");
+
+    let agg = cluster.aggregate_metrics();
+    assert_eq!(agg.pfs_copies, 40);
+    assert_eq!(agg.cache_misses, 40);
+    assert_eq!(agg.cache_hits, 3 * 40);
+    assert!(agg.hit_rate() > 0.74 && agg.hit_rate() < 0.76);
+}
+
+#[test]
+fn files_land_on_their_hash_homes_and_nowhere_else() {
+    let (pfs, _spec) = synthetic_dataset(64);
+    let cluster = Cluster::new(
+        pfs,
+        ClusterOptions::new(8, 1).dataset_dir("/gpfs/train"),
+    )
+    .unwrap();
+    for i in 0..64u64 {
+        let path = format!("/gpfs/train/sample_{i:08}.bin");
+        cluster.client(0).read_file(Path::new(&path)).unwrap();
+    }
+    // Each file is resident exactly once across the allocation (one home).
+    let counts = cluster.per_node_file_counts();
+    assert_eq!(counts.iter().sum::<u64>(), 64);
+    // And the predicted home holds it: recompute placement client-side.
+    let client = cluster.client(0);
+    for i in 0..64u64 {
+        let path = format!("/gpfs/train/sample_{i:08}.bin");
+        let addrs = client.replica_addrs(Path::new(&path));
+        assert_eq!(addrs.len(), 1);
+    }
+}
+
+#[test]
+fn multiple_instances_share_one_node_cache() {
+    let (pfs, _spec) = synthetic_dataset(30);
+    let cluster = Cluster::new(
+        pfs.clone(),
+        ClusterOptions::new(2, 4).dataset_dir("/gpfs/train"),
+    )
+    .unwrap();
+    assert_eq!(cluster.n_servers(), 8);
+    for i in 0..30u64 {
+        let path = format!("/gpfs/train/sample_{i:08}.bin");
+        cluster.client(1).read_file(Path::new(&path)).unwrap();
+    }
+    // 8 server instances, but only 2 physical caches.
+    assert_eq!(cluster.per_node_file_counts().len(), 2);
+    assert_eq!(cluster.per_node_file_counts().iter().sum::<u64>(), 30);
+    assert_eq!(pfs.stats().snapshot().1, 30);
+}
+
+#[test]
+fn purge_couples_cache_lifetime_to_job() {
+    let (pfs, _spec) = synthetic_dataset(16);
+    let cluster = Cluster::new(
+        pfs.clone(),
+        ClusterOptions::new(2, 1).dataset_dir("/gpfs/train"),
+    )
+    .unwrap();
+    for i in 0..16u64 {
+        let path = format!("/gpfs/train/sample_{i:08}.bin");
+        cluster.client(0).read_file(Path::new(&path)).unwrap();
+    }
+    cluster.purge();
+    assert_eq!(cluster.per_node_bytes().iter().sum::<u64>(), 0);
+    // A new "job" re-fetches from the PFS.
+    let path = "/gpfs/train/sample_00000003.bin";
+    cluster.client(1).read_file(Path::new(path)).unwrap();
+    assert_eq!(pfs.stats().snapshot().1, 17);
+}

@@ -1,0 +1,96 @@
+//! The §IV-C prefetching extension, end-to-end: staging the dataset before
+//! training removes the cold-epoch PFS traffic from the training path.
+
+use hvac_core::cluster::{Cluster, ClusterOptions};
+use hvac_pfs::{FileStore, MemStore};
+use std::path::Path;
+use std::sync::Arc;
+
+const N_FILES: u64 = 48;
+
+fn setup() -> (Arc<MemStore>, Cluster) {
+    let pfs = Arc::new(MemStore::new());
+    pfs.synthesize_dataset(Path::new("/gpfs/train"), N_FILES, |_| 1024);
+    let cluster = Cluster::new(
+        pfs.clone(),
+        ClusterOptions::new(4, 1).dataset_dir("/gpfs/train"),
+    )
+    .unwrap();
+    (pfs, cluster)
+}
+
+#[test]
+fn prefetch_stages_the_whole_dataset() {
+    let (pfs, cluster) = setup();
+    let n = cluster.prefetch_dataset(Path::new("/gpfs/train")).unwrap();
+    assert_eq!(n as u64, N_FILES);
+    // Everything is resident, distributed across nodes.
+    assert_eq!(cluster.per_node_file_counts().iter().sum::<u64>(), N_FILES);
+    assert_eq!(pfs.stats().snapshot().1, N_FILES, "each file copied once");
+    let agg = cluster.aggregate_metrics();
+    assert_eq!(agg.prefetches, N_FILES);
+
+    // "Epoch 1" after staging is now a pure cache-hit epoch.
+    for i in 0..N_FILES {
+        let path = format!("/gpfs/train/sample_{i:08}.bin");
+        let data = cluster
+            .client((i % 4) as usize)
+            .read_file(Path::new(&path))
+            .unwrap();
+        assert_eq!(data, MemStore::sample_content(i, 1024));
+    }
+    assert_eq!(pfs.stats().snapshot().1, N_FILES, "no PFS reads after staging");
+    let agg = cluster.aggregate_metrics();
+    assert_eq!(agg.cache_hits, N_FILES);
+    assert_eq!(agg.cache_misses, 0);
+}
+
+#[test]
+fn prefetch_is_idempotent() {
+    let (pfs, cluster) = setup();
+    cluster.prefetch_dataset(Path::new("/gpfs/train")).unwrap();
+    cluster.prefetch_dataset(Path::new("/gpfs/train")).unwrap();
+    assert_eq!(pfs.stats().snapshot().1, N_FILES, "re-staging copies nothing");
+    // Only the first round actually enqueued copies.
+    assert_eq!(cluster.aggregate_metrics().prefetches, N_FILES);
+}
+
+#[test]
+fn demand_reads_race_safely_with_prefetch() {
+    let (pfs, cluster) = setup();
+    let cluster = Arc::new(cluster);
+    // Kick off staging and immediately hammer reads from another thread.
+    let c2 = cluster.clone();
+    let reader = std::thread::spawn(move || {
+        for round in 0..3 {
+            for i in 0..N_FILES {
+                let path = format!("/gpfs/train/sample_{i:08}.bin");
+                let data = c2
+                    .client(((i + round) % 4) as usize)
+                    .read_file(Path::new(&path))
+                    .unwrap();
+                assert_eq!(data, MemStore::sample_content(i, 1024));
+            }
+        }
+    });
+    cluster.prefetch_dataset(Path::new("/gpfs/train")).unwrap();
+    reader.join().unwrap();
+    // The single-flight dedup still guarantees one copy per file.
+    assert_eq!(pfs.stats().snapshot().1, N_FILES);
+}
+
+#[test]
+fn prefetch_of_missing_prefix_is_empty_not_an_error() {
+    let (_pfs, cluster) = setup();
+    let n = cluster.prefetch_dataset(Path::new("/gpfs/absent")).unwrap();
+    assert_eq!(n, 0);
+}
+
+#[test]
+fn client_prefetch_skips_paths_outside_dataset_dir() {
+    let (_pfs, cluster) = setup();
+    let inside = Path::new("/gpfs/train/sample_00000001.bin");
+    let outside = Path::new("/etc/passwd");
+    let n = cluster.client(0).prefetch([inside, outside]).unwrap();
+    assert_eq!(n, 1, "only the dataset path is submitted");
+}
