@@ -10,8 +10,7 @@ use hvac_core::protocol::{Request, Response};
 use hvac_core::server::{HvacServer, HvacServerOptions};
 use hvac_hash::pathhash::{hash_bytes, hash_path};
 use hvac_hash::placement::{
-    JumpPlacement, ModuloPlacement, Placement, RendezvousPlacement, RingPlacement,
-    Straw2Placement,
+    JumpPlacement, ModuloPlacement, Placement, RendezvousPlacement, RingPlacement, Straw2Placement,
 };
 use hvac_net::fabric::Fabric;
 use hvac_pfs::MemStore;
@@ -85,7 +84,7 @@ fn bench_rpc_round_trip(c: &mut Criterion) {
         LocalStore::in_memory(ByteSize::mib(64)),
         make_policy(EvictionPolicyKind::Random, 1),
     ));
-    let server = HvacServer::new(cache, pfs, HvacServerOptions::default(), "bench");
+    let server = HvacServer::new(cache, pfs, HvacServerOptions::default(), "bench").unwrap();
     let _ep = server.serve(&fabric, "bench/srv0").unwrap();
     // Warm the cache so the bench measures the hit path.
     let warm = Request::Read {

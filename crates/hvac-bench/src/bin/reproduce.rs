@@ -15,8 +15,8 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 const ALL: &[&str] = &[
-    "table1", "fig3", "fig4", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
-    "fig14", "fig15", "ablation",
+    "table1", "fig3", "fig4", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+    "ablation",
 ];
 
 fn main() {
@@ -71,7 +71,10 @@ fn main() {
     let sweep = if need_sweep {
         let t0 = Instant::now();
         let s = figures::fig8::sweep(quick);
-        eprintln!("[sweep] fig8 training sweep done in {:.1}s", t0.elapsed().as_secs_f64());
+        eprintln!(
+            "[sweep] fig8 training sweep done in {:.1}s",
+            t0.elapsed().as_secs_f64()
+        );
         Some(s)
     } else {
         None

@@ -20,14 +20,17 @@ use crate::report::{fmt_pct, Table};
 use hvac_core::cluster::{Cluster, ClusterOptions};
 use hvac_hash::pathhash::mix64;
 use hvac_hash::placement::{
-    JumpPlacement, ModuloPlacement, Placement, RendezvousPlacement, RingPlacement,
-    Straw2Placement,
+    JumpPlacement, ModuloPlacement, Placement, RendezvousPlacement, RingPlacement, Straw2Placement,
 };
 use hvac_hash::stats::{DistributionStats, LoadCdf};
 use hvac_pfs::MemStore;
 use hvac_types::{ByteSize, EvictionPolicyKind, FileId};
 use std::path::Path;
 use std::sync::Arc;
+
+/// One topology-ablation case: label, baseline placement, topology-aware
+/// counterpart.
+type TopologyCase = (&'static str, Box<dyn Placement>, Box<dyn Placement>);
 
 fn placements() -> Vec<Box<dyn Placement>> {
     vec![
@@ -144,7 +147,9 @@ pub fn prefetch_table(quick: bool) -> Table {
     let app = &paper_apps()[0]; // ResNet50
     let mut t = Table::new(
         "ablation_prefetch",
-        format!("Prefetch (§IV-C): staged warm-up vs demand-paged epoch 1 [ResNet50, nNodes={nodes}]"),
+        format!(
+            "Prefetch (§IV-C): staged warm-up vs demand-paged epoch 1 [ResNet50, nNodes={nodes}]"
+        ),
         vec![
             "epochs",
             "cold_total_min",
@@ -202,7 +207,7 @@ pub fn topology_table(quick: bool) -> Table {
         }
         shared as f64 / n_files as f64
     };
-    let cases: Vec<(&str, Box<dyn Placement>, Box<dyn Placement>)> = vec![
+    let cases: Vec<TopologyCase> = vec![
         (
             "modulo",
             Box::new(ModuloPlacement),
@@ -438,7 +443,10 @@ mod tests {
             assert_eq!(aware, 0.0, "{}: aware co-rack {aware}%", row[0]);
         }
         let modulo_base: f64 = t.rows[0][1].trim_end_matches('%').parse().unwrap();
-        assert!(modulo_base > 50.0, "modulo should co-rack heavily: {modulo_base}%");
+        assert!(
+            modulo_base > 50.0,
+            "modulo should co-rack heavily: {modulo_base}%"
+        );
     }
 
     #[test]

@@ -88,7 +88,11 @@ mod tests {
             // Monotone in epochs for every system.
             for col in 1..=5 {
                 for r in 1..rows {
-                    assert!(minutes(r, col) >= minutes(r - 1, col), "{}: col {col}", t.id);
+                    assert!(
+                        minutes(r, col) >= minutes(r - 1, col),
+                        "{}: col {col}",
+                        t.id
+                    );
                 }
             }
             // GPFS slope >= HVAC(4x1) slope >= XFS slope (between 2 and 8 eps).

@@ -23,9 +23,7 @@ pub fn run(quick: bool) -> Vec<Table> {
 
     let mut t = Table::new(
         "fig11",
-        format!(
-            "Per-epoch training time (minutes) [BS=4, Eps=10, nNodes={nodes}]"
-        ),
+        format!("Per-epoch training time (minutes) [BS=4, Eps=10, nNodes={nodes}]"),
         vec!["system", "epoch_1", "R_epoch", "avg_epoch"],
     );
     for system in SystemKind::all() {

@@ -34,8 +34,7 @@ pub fn run(quick: bool) -> Vec<Table> {
     );
     for (l, r) in splits() {
         let cluster = ClusterConfig::with_nodes(nodes);
-        let mut backend =
-            HvacBackend::new(&cluster, 0xF13).with_locality_split(l as f64 / 100.0);
+        let mut backend = HvacBackend::new(&cluster, 0xF13).with_locality_split(l as f64 / 100.0);
         let res = simulate_training(&mut backend, &cfg);
         t.push_row(vec![
             format!("{l}/{r}"),

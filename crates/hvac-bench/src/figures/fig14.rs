@@ -8,9 +8,7 @@
 //! included to show what breaking the global shuffle does.
 
 use crate::report::Table;
-use hvac_dl::accuracy::{
-    sharded_order, shuffled_order, train_with_order, SyntheticDataset,
-};
+use hvac_dl::accuracy::{sharded_order, shuffled_order, train_with_order, SyntheticDataset};
 
 /// Run the accuracy experiment.
 pub fn run(quick: bool) -> Vec<Table> {

@@ -20,11 +20,7 @@ pub fn node_scales(quick: bool) -> Vec<u32> {
 }
 
 pub(crate) fn mdtest_table(id: &str, title: &str, size: ByteSize, quick: bool) -> Table {
-    let mut t = Table::new(
-        id,
-        title,
-        vec!["nodes", "GPFS_tps", "XFS_tps", "XFS/GPFS"],
-    );
+    let mut t = Table::new(id, title, vec!["nodes", "GPFS_tps", "XFS_tps", "XFS/GPFS"]);
     for nodes in node_scales(quick) {
         let cfg = MdtestConfig {
             nodes,

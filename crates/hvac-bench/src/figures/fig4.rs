@@ -32,7 +32,10 @@ mod tests {
         // GPFS ceiling: 2.5 TB/s / 8 MiB ≈ 298 K. Stay within 2x below it.
         let ceiling = 2.5e12 / (8.0 * 1024.0 * 1024.0);
         assert!(gpfs_tps <= ceiling * 1.05, "gpfs {gpfs_tps} above ceiling");
-        assert!(gpfs_tps >= ceiling * 0.4, "gpfs {gpfs_tps} far below ceiling");
+        assert!(
+            gpfs_tps >= ceiling * 0.4,
+            "gpfs {gpfs_tps} far below ceiling"
+        );
         // XFS aggregate: 22.5 TB/s / 8 MiB ≈ 2.68 M txn/s — ~9x GPFS.
         let ratio = xfs_tps / gpfs_tps;
         assert!(ratio > 5.0 && ratio < 15.0, "ratio {ratio}");

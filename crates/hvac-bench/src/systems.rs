@@ -40,9 +40,9 @@ impl SystemKind {
     /// Instantiate the simulator backend for a job of `nodes` nodes.
     pub fn make_backend(&self, nodes: u32, seed: u64) -> Box<dyn IoBackend> {
         match self {
-            SystemKind::Gpfs => {
-                Box::new(GpfsBackend::new(GpfsModel::new(GpfsConfig::shared_alpine())))
-            }
+            SystemKind::Gpfs => Box::new(GpfsBackend::new(GpfsModel::new(
+                GpfsConfig::shared_alpine(),
+            ))),
             SystemKind::Hvac(instances) => {
                 let mut cfg = ClusterConfig::with_nodes(nodes);
                 cfg.hvac.instances_per_node = *instances;

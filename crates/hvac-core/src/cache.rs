@@ -13,8 +13,8 @@
 use crate::eviction::EvictionPolicy;
 use bytes::Bytes;
 use hvac_storage::LocalStore;
+use hvac_sync::{classes, OrderedMutex};
 use hvac_types::{ByteSize, HvacError, Result};
-use parking_lot::Mutex;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -28,7 +28,7 @@ pub struct InsertOutcome {
 /// Thread-safe cache state of one node.
 pub struct CacheManager {
     store: LocalStore,
-    policy: Mutex<Box<dyn EvictionPolicy>>,
+    policy: OrderedMutex<Box<dyn EvictionPolicy>>,
     evictions: AtomicU64,
 }
 
@@ -37,7 +37,7 @@ impl CacheManager {
     pub fn new(store: LocalStore, policy: Box<dyn EvictionPolicy>) -> Self {
         Self {
             store,
-            policy: Mutex::new(policy),
+            policy: OrderedMutex::new(classes::CACHE_POLICY, policy),
             evictions: AtomicU64::new(0),
         }
     }

@@ -10,11 +10,11 @@ use crate::intercept::DatasetMatcher;
 use crate::metrics::ClientMetrics;
 use crate::protocol::{Request, Response};
 use bytes::Bytes;
-use hvac_hash::placement::{make_placement, Placement};
 use hvac_hash::pathhash::{hash_path, mix64};
+use hvac_hash::placement::{make_placement, Placement};
 use hvac_net::fabric::{Fabric, Reply};
+use hvac_sync::{classes, OrderedMutex};
 use hvac_types::{HvacError, PlacementKind, Result, ServerId};
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -37,7 +37,11 @@ pub struct HvacClientOptions {
 
 impl HvacClientOptions {
     /// Options for a single-home (no replication) job.
-    pub fn new<P: Into<PathBuf>>(dataset_dir: P, n_servers: usize, instances_per_node: u32) -> Self {
+    pub fn new<P: Into<PathBuf>>(
+        dataset_dir: P,
+        n_servers: usize,
+        instances_per_node: u32,
+    ) -> Self {
         Self {
             dataset_dir: dataset_dir.into(),
             placement: PlacementKind::Modulo,
@@ -72,7 +76,7 @@ pub struct HvacClient {
     placement: Box<dyn Placement>,
     matcher: DatasetMatcher,
     options: HvacClientOptions,
-    fds: Mutex<HashMap<u64, OpenFile>>,
+    fds: OrderedMutex<HashMap<u64, OpenFile>>,
     next_fd: AtomicU64,
     metrics: ClientMetrics,
 }
@@ -96,7 +100,7 @@ impl HvacClient {
             matcher: DatasetMatcher::new(&options.dataset_dir),
             fabric,
             options,
-            fds: Mutex::new(HashMap::new()),
+            fds: OrderedMutex::new(classes::CLIENT_FDS, HashMap::new()),
             next_fd: AtomicU64::new(1),
             metrics: ClientMetrics::default(),
         })
@@ -117,7 +121,11 @@ impl HvacClient {
     pub fn replica_addrs(&self, path: &Path) -> Vec<String> {
         let fid = hash_path(path);
         self.placement
-            .replicas(fid, self.options.n_servers, self.options.replication as usize)
+            .replicas(
+                fid,
+                self.options.n_servers,
+                self.options.replication as usize,
+            )
             .into_iter()
             .map(|idx| server_addr(idx, self.options.instances_per_node))
             .collect()
@@ -155,9 +163,12 @@ impl HvacClient {
                 self.matcher.root().display()
             )));
         }
-        let reply = self.call(path, &Request::Stat {
-            path: path.to_path_buf(),
-        })?;
+        let reply = self.call(
+            path,
+            &Request::Stat {
+                path: path.to_path_buf(),
+            },
+        )?;
         let size = match Response::decode(reply.header)?.into_result()? {
             Response::Stat { size } => size,
             other => {
@@ -181,9 +192,7 @@ impl HvacClient {
 
     fn with_fd<T>(&self, fd: u64, f: impl FnOnce(&mut OpenFile) -> T) -> Result<T> {
         let mut fds = self.fds.lock();
-        fds.get_mut(&fd)
-            .map(f)
-            .ok_or(HvacError::BadFd(fd as i32))
+        fds.get_mut(&fd).map(f).ok_or(HvacError::BadFd(fd as i32))
     }
 
     /// Positional read (POSIX `pread`): does not move the file position.
@@ -208,9 +217,12 @@ impl HvacClient {
                 Whence::Cur => of.pos as i64,
                 Whence::End => of.size as i64,
             };
-            let newpos = base.checked_add(offset).filter(|&p| p >= 0).ok_or(
-                HvacError::Protocol(format!("seek to negative offset {offset}")),
-            )?;
+            let newpos =
+                base.checked_add(offset)
+                    .filter(|&p| p >= 0)
+                    .ok_or(HvacError::Protocol(format!(
+                        "seek to negative offset {offset}"
+                    )))?;
             of.pos = newpos as u64;
             Ok(of.pos)
         })?
@@ -235,9 +247,12 @@ impl HvacClient {
 
     /// Stat without opening.
     pub fn stat(&self, path: &Path) -> Result<u64> {
-        let reply = self.call(path, &Request::Stat {
-            path: path.to_path_buf(),
-        })?;
+        let reply = self.call(
+            path,
+            &Request::Stat {
+                path: path.to_path_buf(),
+            },
+        )?;
         match Response::decode(reply.header)?.into_result()? {
             Response::Stat { size } => Ok(size),
             other => Err(HvacError::Protocol(format!(
@@ -247,11 +262,14 @@ impl HvacClient {
     }
 
     fn read_path_at(&self, path: &Path, offset: u64, len: usize) -> Result<Bytes> {
-        let reply = self.call(path, &Request::Read {
-            path: path.to_path_buf(),
-            offset,
-            len: len as u64,
-        })?;
+        let reply = self.call(
+            path,
+            &Request::Read {
+                path: path.to_path_buf(),
+                offset,
+                len: len as u64,
+            },
+        )?;
         let resp = Response::decode(reply.header)?.into_result()?;
         match resp {
             Response::Data { .. } => {
@@ -343,9 +361,14 @@ impl HvacClient {
     /// hashes independently, so segments of one file spread across servers.
     pub fn segment_replica_addrs(&self, path: &Path, seg_index: u64) -> Vec<String> {
         let fid = hash_path(path);
-        let seg_fid = hvac_types::FileId(mix64(fid.0 ^ seg_index.wrapping_mul(0x9e37_79b9_7f4a_7c15)));
+        let seg_fid =
+            hvac_types::FileId(mix64(fid.0 ^ seg_index.wrapping_mul(0x9e37_79b9_7f4a_7c15)));
         self.placement
-            .replicas(seg_fid, self.options.n_servers, self.options.replication as usize)
+            .replicas(
+                seg_fid,
+                self.options.n_servers,
+                self.options.replication as usize,
+            )
             .into_iter()
             .map(|idx| server_addr(idx, self.options.instances_per_node))
             .collect()
@@ -370,7 +393,7 @@ impl HvacClient {
                 .replica_addrs(path)
                 .into_iter()
                 .next()
-                .expect("replication >= 1");
+                .ok_or_else(|| HvacError::InvalidConfig("replication must be >= 1".into()))?;
             by_server.entry(addr).or_default().push(path.to_path_buf());
             submitted += 1;
         }
@@ -421,7 +444,8 @@ mod tests {
                 pfs.clone(),
                 HvacServerOptions::default(),
                 &format!("n{node}"),
-            );
+            )
+            .unwrap();
             let ep = server
                 .serve(&fabric, &server_addr(node as usize, 1))
                 .unwrap();
@@ -528,7 +552,11 @@ mod tests {
         for i in 0..24 {
             client.read_file(&sample(i)).unwrap();
         }
-        assert_eq!(pfs.stats().snapshot().1, 24, "epoch 2 never touched the PFS");
+        assert_eq!(
+            pfs.stats().snapshot().1,
+            24,
+            "epoch 2 never touched the PFS"
+        );
         let total_hits: u64 = servers
             .iter()
             .map(|(s, _)| s.metrics().snapshot().cache_hits)

@@ -14,9 +14,7 @@ use crate::server::{HvacServer, HvacServerOptions};
 use hvac_net::fabric::{Fabric, ServerEndpoint};
 use hvac_pfs::FileStore;
 use hvac_storage::LocalStore;
-use hvac_types::{
-    ByteSize, EvictionPolicyKind, HvacError, PlacementKind, Result, ServerId,
-};
+use hvac_types::{ByteSize, EvictionPolicyKind, HvacError, PlacementKind, Result, ServerId};
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -160,7 +158,7 @@ impl Cluster {
                         rpc_workers: options.rpc_workers,
                     },
                     &sid.to_string(),
-                );
+                )?;
                 let ep = server.serve(&fabric, &sid.to_string())?;
                 servers.push(server);
                 endpoints.push(ep);
@@ -231,7 +229,10 @@ impl Cluster {
 
     /// Per-instance metric snapshots.
     pub fn server_metrics(&self) -> Vec<ServerMetricsSnapshot> {
-        self.servers.iter().map(|s| s.metrics().snapshot()).collect()
+        self.servers
+            .iter()
+            .map(|s| s.metrics().snapshot())
+            .collect()
     }
 
     /// Cluster-wide aggregated server metrics.
@@ -281,7 +282,7 @@ impl Cluster {
         let n = self
             .clients
             .first()
-            .expect("cluster has clients")
+            .ok_or_else(|| HvacError::InvalidConfig("cluster has no clients".into()))?
             .prefetch(listing.iter().map(|p| p.as_path()))?;
         for server in &self.servers {
             server.drain_prefetches();
@@ -295,12 +296,26 @@ impl Cluster {
             cache.purge();
         }
     }
+
+    /// Tear the allocation down in dependency order, without waiting for
+    /// `Drop`: first mark every endpoint down so racing client calls fail
+    /// fast with `ServerDown` instead of queueing behind dying RPC workers,
+    /// then unregister the endpoints (joining their worker threads), and
+    /// only then release the server instances so their data movers stop.
+    /// Idempotent; clients created from this cluster keep working as
+    /// objects but every call returns `ServerDown` afterwards.
+    pub fn shutdown(&mut self) {
+        for ep in &self.endpoints {
+            ep.set_down(true);
+        }
+        self.endpoints.clear();
+        self.servers.clear();
+    }
 }
 
 impl Drop for Cluster {
     fn drop(&mut self) {
-        // Tear endpoints down before servers so worker threads stop first.
-        self.endpoints.clear();
+        self.shutdown();
     }
 }
 
@@ -364,7 +379,11 @@ mod tests {
                 assert_eq!(data, MemStore::sample_content(idx, 128));
             }
         }
-        assert_eq!(pfs.stats().snapshot().1, 32, "epoch 2 never touched the PFS");
+        assert_eq!(
+            pfs.stats().snapshot().1,
+            32,
+            "epoch 2 never touched the PFS"
+        );
         let agg = cluster.aggregate_metrics();
         assert_eq!(agg.cache_hits, 32);
         assert_eq!(agg.pfs_copies, 32);
@@ -417,11 +436,8 @@ mod tests {
     #[test]
     fn purge_clears_all_nodes() {
         let pfs = dataset_pfs(8, 64);
-        let cluster = Cluster::new(
-            pfs,
-            ClusterOptions::new(2, 1).dataset_dir("/gpfs/train"),
-        )
-        .unwrap();
+        let cluster =
+            Cluster::new(pfs, ClusterOptions::new(2, 1).dataset_dir("/gpfs/train")).unwrap();
         for i in 0..8u64 {
             cluster.client(0).read_file(&sample(i)).unwrap();
         }
@@ -429,6 +445,50 @@ mod tests {
         cluster.purge();
         assert_eq!(cluster.per_node_file_counts().iter().sum::<u64>(), 0);
         assert_eq!(cluster.per_node_bytes().iter().sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn shutdown_is_explicit_and_idempotent() {
+        let pfs = dataset_pfs(4, 64);
+        let mut cluster =
+            Cluster::new(pfs, ClusterOptions::new(2, 1).dataset_dir("/gpfs/train")).unwrap();
+        cluster.client(0).read_file(&sample(0)).unwrap();
+        let client = cluster.client(0).clone();
+        cluster.shutdown();
+        cluster.shutdown(); // second call is a no-op
+        assert!(cluster.fabric().endpoint_names().is_empty());
+        assert_eq!(cluster.n_servers(), 0);
+        // Calls after shutdown fail fast instead of waiting on the fabric.
+        assert!(matches!(
+            client.read_file(&sample(1)),
+            Err(HvacError::ServerDown(_))
+        ));
+    }
+
+    #[test]
+    fn shutdown_mid_epoch_does_not_block_clients() {
+        let pfs = dataset_pfs(64, 1024);
+        let mut cluster =
+            Cluster::new(pfs, ClusterOptions::new(2, 1).dataset_dir("/gpfs/train")).unwrap();
+        // A rank reads through the epoch while the allocation is torn down
+        // under it. Every read must either succeed or fail promptly — the
+        // join below hangs (and the harness times the test out) if a client
+        // can still block on a dying server's queue.
+        let client = cluster.client(0).clone();
+        let reader = std::thread::spawn(move || {
+            let mut outcomes = (0usize, 0usize);
+            for i in 0..64u64 {
+                match client.read_file(&sample(i)) {
+                    Ok(_) => outcomes.0 += 1,
+                    Err(_) => outcomes.1 += 1,
+                }
+            }
+            outcomes
+        });
+        cluster.client(1).read_file(&sample(0)).unwrap();
+        cluster.shutdown();
+        let (ok, failed) = reader.join().unwrap();
+        assert_eq!(ok + failed, 64);
     }
 
     #[test]

@@ -177,6 +177,9 @@ mod tests {
         c.opens.fetch_add(2, Ordering::Relaxed);
         c.bytes.fetch_add(100, Ordering::Relaxed);
         let (opens, reads, bytes, closes, failovers, passthrough) = c.snapshot();
-        assert_eq!((opens, reads, bytes, closes, failovers, passthrough), (2, 0, 100, 0, 0, 0));
+        assert_eq!(
+            (opens, reads, bytes, closes, failovers, passthrough),
+            (2, 0, 100, 0, 0, 0)
+        );
     }
 }

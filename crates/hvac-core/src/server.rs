@@ -19,8 +19,8 @@ use bytes::Bytes;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use hvac_net::fabric::{Fabric, Reply, RpcHandler, ServerEndpoint};
 use hvac_pfs::FileStore;
+use hvac_sync::{classes, OrderedMutex};
 use hvac_types::{HvacError, Result};
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::Ordering;
@@ -60,8 +60,8 @@ struct CopyJob {
 /// The data-mover machinery: FIFO queue + threads + in-flight dedup map.
 struct DataMover {
     queue_tx: Sender<CopyJob>,
-    inflight: Arc<Mutex<HashMap<PathBuf, Vec<Sender<CopyResult>>>>>,
-    threads: Mutex<Vec<JoinHandle<()>>>,
+    inflight: Arc<OrderedMutex<HashMap<PathBuf, Vec<Sender<CopyResult>>>>>,
+    threads: OrderedMutex<Vec<JoinHandle<()>>>,
 }
 
 impl DataMover {
@@ -71,10 +71,10 @@ impl DataMover {
         metrics: Arc<ServerMetrics>,
         movers: usize,
         name: &str,
-    ) -> Self {
+    ) -> Result<Self> {
         let (queue_tx, queue_rx) = unbounded::<CopyJob>();
-        let inflight: Arc<Mutex<HashMap<PathBuf, Vec<Sender<CopyResult>>>>> =
-            Arc::new(Mutex::new(HashMap::new()));
+        let inflight: Arc<OrderedMutex<HashMap<PathBuf, Vec<Sender<CopyResult>>>>> =
+            Arc::new(OrderedMutex::new(classes::SERVER_INFLIGHT, HashMap::new()));
         let mut threads = Vec::with_capacity(movers.max(1));
         for m in 0..movers.max(1) {
             let rx: Receiver<CopyJob> = queue_rx.clone();
@@ -82,47 +82,50 @@ impl DataMover {
             let pfs = pfs.clone();
             let metrics = metrics.clone();
             let inflight = inflight.clone();
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("hvac-mover-{name}-{m}"))
-                    .spawn(move || {
-                        while let Ok(job) = rx.recv() {
-                            // Step ⑥ of §III-D: copy PFS -> node-local store.
-                            let result: CopyResult = (|| {
-                                let data = match job.range {
-                                    None => pfs.read_all(&job.path).map_err(Arc::new)?,
-                                    Some((offset, len)) => pfs
-                                        .read_at(&job.path, offset, len as usize)
-                                        .map_err(Arc::new)?,
-                                };
-                                let n = data.len() as u64;
-                                let outcome =
-                                    cache.insert(&job.key, data).map_err(Arc::new)?;
-                                metrics.pfs_copies.fetch_add(1, Ordering::Relaxed);
-                                metrics.pfs_bytes.fetch_add(n, Ordering::Relaxed);
-                                metrics.evictions.fetch_add(
-                                    outcome.evicted.len() as u64,
-                                    Ordering::Relaxed,
-                                );
-                                Ok(())
-                            })();
-                            let waiters = inflight
-                                .lock()
-                                .remove(&job.key)
-                                .unwrap_or_default();
-                            for w in waiters {
-                                let _ = w.send(result.clone());
-                            }
+            let handle = std::thread::Builder::new()
+                .name(format!("hvac-mover-{name}-{m}"))
+                .spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        // Step ⑥ of §III-D: copy PFS -> node-local store.
+                        let result: CopyResult = (|| {
+                            let data = match job.range {
+                                None => pfs.read_all(&job.path).map_err(Arc::new)?,
+                                Some((offset, len)) => pfs
+                                    .read_at(&job.path, offset, len as usize)
+                                    .map_err(Arc::new)?,
+                            };
+                            let n = data.len() as u64;
+                            let outcome = cache.insert(&job.key, data).map_err(Arc::new)?;
+                            metrics.pfs_copies.fetch_add(1, Ordering::Relaxed);
+                            metrics.pfs_bytes.fetch_add(n, Ordering::Relaxed);
+                            metrics
+                                .evictions
+                                .fetch_add(outcome.evicted.len() as u64, Ordering::Relaxed);
+                            Ok(())
+                        })();
+                        let waiters = inflight.lock().remove(&job.key).unwrap_or_default();
+                        for w in waiters {
+                            let _ = w.send(result.clone());
                         }
-                    })
-                    .expect("spawn data mover"),
-            );
+                    }
+                });
+            match handle {
+                Ok(h) => threads.push(h),
+                Err(e) => {
+                    // Closing the queue lets the already-spawned movers exit.
+                    drop(queue_tx);
+                    for t in threads {
+                        let _ = t.join();
+                    }
+                    return Err(HvacError::Io(e));
+                }
+            }
         }
-        Self {
+        Ok(Self {
             queue_tx,
             inflight,
-            threads: Mutex::new(threads),
-        }
+            threads: OrderedMutex::new(classes::SERVER_THREADS, threads),
+        })
     }
 
     /// Fire-and-forget staging: enqueue a copy of `path` unless it is
@@ -232,7 +235,7 @@ impl HvacServer {
         pfs: Arc<dyn FileStore>,
         options: HvacServerOptions,
         name: &str,
-    ) -> Arc<Self> {
+    ) -> Result<Arc<Self>> {
         let metrics = Arc::new(ServerMetrics::default());
         let mover = DataMover::spawn(
             cache.clone(),
@@ -240,14 +243,14 @@ impl HvacServer {
             metrics.clone(),
             options.movers,
             name,
-        );
-        Arc::new(Self {
+        )?;
+        Ok(Arc::new(Self {
             cache,
             pfs,
             metrics,
             mover,
             options,
-        })
+        }))
     }
 
     /// This instance's metrics.
@@ -386,7 +389,9 @@ impl HvacServer {
     fn pfs_bypass_read(&self, path: &Path, offset: u64, len: u64) -> Result<(u64, bool, Bytes)> {
         let total_size = self.pfs.open_meta(path)?.size;
         let data = self.pfs.read_at(path, offset, len as usize)?;
-        self.metrics.pfs_bypass_reads.fetch_add(1, Ordering::Relaxed);
+        self.metrics
+            .pfs_bypass_reads
+            .fetch_add(1, Ordering::Relaxed);
         self.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
         self.metrics
             .served_bytes
@@ -400,16 +405,17 @@ impl HvacServer {
         // it back under heavy churn; retry the ensure+read pair a few times.
         let mut cache_hit = true;
         for _ in 0..4 {
-            let was_hit = match self
-                .mover
-                .ensure_cached(&self.cache, &self.metrics, path, path, None)
-            {
-                Ok(hit) => hit,
-                Err(HvacError::CapacityExhausted { .. }) => {
-                    return self.pfs_bypass_read(path, offset, len);
-                }
-                Err(other) => return Err(other),
-            };
+            let was_hit =
+                match self
+                    .mover
+                    .ensure_cached(&self.cache, &self.metrics, path, path, None)
+                {
+                    Ok(hit) => hit,
+                    Err(HvacError::CapacityExhausted { .. }) => {
+                        return self.pfs_bypass_read(path, offset, len);
+                    }
+                    Err(other) => return Err(other),
+                };
             cache_hit &= was_hit;
             let total_size = match self.cache.size_of(path) {
                 Some(sz) => sz.bytes(),
@@ -476,12 +482,8 @@ mod tests {
             LocalStore::in_memory(ByteSize(cap)),
             make_policy(EvictionPolicyKind::Random, 1),
         ));
-        let server = HvacServer::new(
-            cache,
-            pfs.clone(),
-            HvacServerOptions::default(),
-            "test",
-        );
+        let server =
+            HvacServer::new(cache, pfs.clone(), HvacServerOptions::default(), "test").unwrap();
         (pfs, server)
     }
 
@@ -515,7 +517,13 @@ mod tests {
             offset: 0,
             len: 100,
         });
-        assert!(matches!(resp, Response::Data { cache_hit: true, .. }));
+        assert!(matches!(
+            resp,
+            Response::Data {
+                cache_hit: true,
+                ..
+            }
+        ));
 
         let snap = server.metrics().snapshot();
         assert_eq!(snap.reads, 2);
@@ -605,7 +613,10 @@ mod tests {
         let snap = server.metrics().snapshot();
         assert_eq!(snap.pfs_copies, 1, "exactly one PFS copy under racing");
         assert_eq!(pfs.stats().snapshot().1, 1);
-        assert!(snap.dedup_waits > 0, "racers piggybacked on the in-flight copy");
+        assert!(
+            snap.dedup_waits > 0,
+            "racers piggybacked on the in-flight copy"
+        );
     }
 
     #[test]
@@ -664,7 +675,13 @@ mod tests {
         .unwrap();
         let reply = fabric.call("node0/srv0", req).unwrap();
         let resp = Response::decode(reply.header).unwrap();
-        assert!(matches!(resp, Response::Data { total_size: 100, .. }));
+        assert!(matches!(
+            resp,
+            Response::Data {
+                total_size: 100,
+                ..
+            }
+        ));
         assert_eq!(reply.bulk.unwrap().len(), 50);
     }
 

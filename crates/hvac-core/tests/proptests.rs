@@ -19,8 +19,11 @@ fn arb_path() -> impl Strategy<Value = PathBuf> {
 fn arb_request() -> impl Strategy<Value = Request> {
     prop_oneof![
         arb_path().prop_map(|path| Request::Stat { path }),
-        (arb_path(), any::<u64>(), any::<u64>())
-            .prop_map(|(path, offset, len)| Request::Read { path, offset, len }),
+        (arb_path(), any::<u64>(), any::<u64>()).prop_map(|(path, offset, len)| Request::Read {
+            path,
+            offset,
+            len
+        }),
         arb_path().prop_map(|path| Request::Close { path }),
         Just(Request::Purge),
     ]
@@ -34,10 +37,7 @@ fn arb_response() -> impl Strategy<Value = Response> {
             cache_hit
         }),
         Just(Response::Ok),
-        (any::<i32>(), "[ -~]{0,80}").prop_map(|(code, message)| Response::Err {
-            code,
-            message
-        }),
+        (any::<i32>(), "[ -~]{0,80}").prop_map(|(code, message)| Response::Err { code, message }),
     ]
 }
 

@@ -203,7 +203,10 @@ mod tests {
         let s = d.scaled_down(1000);
         assert_eq!(s.train_samples, d.train_samples / 1000);
         assert_eq!(s.size_of(42), d.size_of(42));
-        assert_eq!(DatasetSpec::deepcam().scaled_down(u64::MAX).train_samples, 1);
+        assert_eq!(
+            DatasetSpec::deepcam().scaled_down(u64::MAX).train_samples,
+            1
+        );
     }
 
     #[test]

@@ -50,7 +50,13 @@ pub struct BatchLoader {
 
 impl BatchLoader {
     /// Build a loader for a world of `ranks` processes.
-    pub fn new(dataset_dir: &str, dataset: DatasetSpec, ranks: u64, batch_size: u32, seed: u64) -> Self {
+    pub fn new(
+        dataset_dir: &str,
+        dataset: DatasetSpec,
+        ranks: u64,
+        batch_size: u32,
+        seed: u64,
+    ) -> Self {
         Self {
             dataset_dir: dataset_dir.to_string(),
             sampler: DistributedSampler::new(dataset.train_samples, ranks, seed),

@@ -69,7 +69,11 @@ impl Permutation {
     /// # Panics
     /// If `i >= n`.
     pub fn apply(&self, i: u64) -> u64 {
-        assert!(i < self.n, "index {i} outside permutation domain {}", self.n);
+        assert!(
+            i < self.n,
+            "index {i} outside permutation domain {}",
+            self.n
+        );
         // Cycle-walk: the Feistel permutes the padded power-of-two domain;
         // iterating until we land inside [0, n) restricts it to a
         // permutation of [0, n). Expected iterations < 4 (domain < 4n).
@@ -191,7 +195,9 @@ mod tests {
         assert_ne!(e0, e1, "epochs must use different shuffles");
         // But the union over ranks is the same set each epoch.
         let set = |e: u32| -> HashSet<u64> {
-            (0..4).flat_map(|r| s.rank_iter(e, r).collect::<Vec<_>>()).collect()
+            (0..4)
+                .flat_map(|r| s.rank_iter(e, r).collect::<Vec<_>>())
+                .collect()
         };
         assert_eq!(set(0), set(1));
     }

@@ -347,11 +347,7 @@ mod tests {
     /// on GPFS (the paper's regime at hundreds of nodes): many ranks, the
     /// full-resolution sampler capped to a handful of simulated iterations.
     fn io_bound_cfg() -> TrainingConfig {
-        let mut cfg = TrainingConfig::new(
-            DatasetSpec::imagenet21k(),
-            DnnModel::resnet50(),
-            1024,
-        );
+        let mut cfg = TrainingConfig::new(DatasetSpec::imagenet21k(), DnnModel::resnet50(), 1024);
         cfg.max_sim_iters = 3;
         cfg.epochs = 3;
         cfg
@@ -366,7 +362,10 @@ mod tests {
         let rh = simulate_training(&mut hvac, &cfg);
         // Epoch 1: HVAC also pays the PFS (plus copy overhead).
         let e1_ratio = rh.first_epoch().as_secs_f64() / rg.first_epoch().as_secs_f64();
-        assert!(e1_ratio > 0.8, "HVAC epoch 1 should not be magically fast: {e1_ratio}");
+        assert!(
+            e1_ratio > 0.8,
+            "HVAC epoch 1 should not be magically fast: {e1_ratio}"
+        );
         // Warm epochs: HVAC much faster than GPFS.
         assert!(
             rh.best_random_epoch() < rg.best_random_epoch(),
@@ -401,9 +400,13 @@ mod tests {
     fn more_epochs_scale_total_roughly_linearly() {
         let mut cfg = small_cfg(4);
         cfg.epochs = 2;
-        let t2 = simulate_training(&mut hvac_backend(4, 1), &cfg).total.as_secs_f64();
+        let t2 = simulate_training(&mut hvac_backend(4, 1), &cfg)
+            .total
+            .as_secs_f64();
         cfg.epochs = 8;
-        let t8 = simulate_training(&mut hvac_backend(4, 1), &cfg).total.as_secs_f64();
+        let t8 = simulate_training(&mut hvac_backend(4, 1), &cfg)
+            .total
+            .as_secs_f64();
         let ratio = t8 / t2;
         assert!(ratio > 2.0 && ratio < 5.0, "8 vs 2 epochs ratio {ratio}");
     }

@@ -46,7 +46,10 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        assert_eq!(hash_path("/gpfs/data/img_000001.jpg"), hash_path("/gpfs/data/img_000001.jpg"));
+        assert_eq!(
+            hash_path("/gpfs/data/img_000001.jpg"),
+            hash_path("/gpfs/data/img_000001.jpg")
+        );
         assert_eq!(hash_bytes(b"abc"), hash_bytes(b"abc"));
     }
 

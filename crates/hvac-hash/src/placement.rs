@@ -10,9 +10,10 @@
 //! weighted servers, as CRUSH does).
 
 use crate::pathhash::mix64;
+use hvac_sync::{classes, OrderedMutex};
 use hvac_types::{FileId, PlacementKind};
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// A materialized ring: sorted `(point, server)` pairs.
 type Ring = Arc<Vec<(u64, u32)>>;
@@ -132,7 +133,7 @@ impl Placement for RendezvousPlacement {
         assert!(n_servers > 0, "placement over zero servers");
         (0..n_servers)
             .max_by_key(|&s| hrw_weight(file, s))
-            .expect("non-empty")
+            .unwrap_or(0)
     }
 
     fn replicas(&self, file: FileId, n_servers: usize, k: usize) -> Vec<usize> {
@@ -152,7 +153,7 @@ impl Placement for RendezvousPlacement {
 #[derive(Debug)]
 pub struct RingPlacement {
     vnodes_per_server: u32,
-    rings: Mutex<HashMap<usize, Ring>>,
+    rings: OrderedMutex<HashMap<usize, Ring>>,
 }
 
 impl Clone for RingPlacement {
@@ -167,17 +168,16 @@ impl RingPlacement {
     pub fn new(vnodes_per_server: u32) -> Self {
         Self {
             vnodes_per_server: vnodes_per_server.max(1),
-            rings: Mutex::new(HashMap::new()),
+            rings: OrderedMutex::new(classes::HASH_RINGS, HashMap::new()),
         }
     }
 
     fn ring_for(&self, n_servers: usize) -> Ring {
-        let mut rings = self.rings.lock().expect("ring cache poisoned");
+        let mut rings = self.rings.lock();
         rings
             .entry(n_servers)
             .or_insert_with(|| {
-                let mut ring =
-                    Vec::with_capacity(n_servers * self.vnodes_per_server as usize);
+                let mut ring = Vec::with_capacity(n_servers * self.vnodes_per_server as usize);
                 for s in 0..n_servers as u32 {
                     for v in 0..self.vnodes_per_server {
                         let point = mix64(((s as u64) << 32) ^ v as u64 ^ 0xabcd_ef01);
@@ -299,7 +299,7 @@ impl Placement for Straw2Placement {
         let k = k.min(n_servers);
         let mut strs: Vec<(f64, usize)> =
             (0..n_servers).map(|s| (self.straw(file, s), s)).collect();
-        strs.sort_unstable_by(|a, b| b.partial_cmp(a).expect("straws are finite or -inf"));
+        strs.sort_unstable_by(|a, b| b.0.total_cmp(&a.0).then(b.1.cmp(&a.1)));
         strs.truncate(k);
         strs.into_iter().map(|(_, s)| s).collect()
     }

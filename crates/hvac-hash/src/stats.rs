@@ -99,7 +99,7 @@ impl LoadCdf {
             };
         }
         let mut sorted = loads.to_vec();
-        sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("loads must be finite"));
+        sorted.sort_unstable_by(|a, b| a.total_cmp(b));
         let total: f64 = sorted.iter().sum();
         let mut points = Vec::with_capacity(n);
         let mut cum = 0.0;

@@ -181,7 +181,10 @@ mod tests {
                 aware_shared += 1;
             }
         }
-        assert!(base_shared > 800, "modulo pairs mostly co-racked: {base_shared}");
+        assert!(
+            base_shared > 800,
+            "modulo pairs mostly co-racked: {base_shared}"
+        );
         assert_eq!(aware_shared, 0, "topology-aware must never co-rack a pair");
     }
 

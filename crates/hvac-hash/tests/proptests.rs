@@ -1,8 +1,8 @@
 //! Property-based tests for the placement layer.
 
 use hvac_hash::placement::{
-    make_placement, JumpPlacement, ModuloPlacement, Placement, RendezvousPlacement,
-    RingPlacement, Straw2Placement,
+    make_placement, JumpPlacement, ModuloPlacement, Placement, RendezvousPlacement, RingPlacement,
+    Straw2Placement,
 };
 use hvac_hash::stats::{DistributionStats, LoadCdf};
 use hvac_hash::{hash_bytes, hash_path};

@@ -47,7 +47,11 @@ mod tests {
 
     #[test]
     fn chunking_round_trips() {
-        let payload = Bytes::from((0..10_000u32).flat_map(|x| x.to_le_bytes()).collect::<Vec<u8>>());
+        let payload = Bytes::from(
+            (0..10_000u32)
+                .flat_map(|x| x.to_le_bytes())
+                .collect::<Vec<u8>>(),
+        );
         for chunk_size in [1usize, 7, 1024, BULK_CHUNK_SIZE, usize::MAX / 2] {
             let chunks = chunk_bulk(&payload, chunk_size);
             assert_eq!(reassemble_bulk(&chunks), payload, "chunk={chunk_size}");

@@ -58,7 +58,10 @@ impl RpcClient {
                 Err(other) => return Err(other),
             }
         }
-        Err(last_err.expect("at least one address attempted"))
+        // The loop body ran at least once (addrs is non-empty) and only
+        // falls through on ServerDown, so last_err is Some; the fallback
+        // mirrors the empty-set error above rather than panicking.
+        Err(last_err.unwrap_or_else(|| HvacError::InvalidConfig("empty replica set".into())))
     }
 
     /// `(total calls, calls answered by a non-primary replica)`.

@@ -12,8 +12,8 @@
 
 use bytes::Bytes;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use hvac_sync::{classes, OrderedMutex, OrderedRwLock};
 use hvac_types::{HvacError, Result};
-use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -86,7 +86,7 @@ impl FabricStats {
 
 /// The in-process interconnect: endpoint registry + traffic accounting.
 pub struct Fabric {
-    endpoints: RwLock<HashMap<String, EndpointSlot>>,
+    endpoints: OrderedRwLock<HashMap<String, EndpointSlot>>,
     stats: FabricStats,
     call_timeout: Duration,
 }
@@ -101,7 +101,7 @@ impl Fabric {
     /// A fabric with the default 30 s call timeout.
     pub fn new() -> Self {
         Self {
-            endpoints: RwLock::new(HashMap::new()),
+            endpoints: OrderedRwLock::new(classes::FABRIC_ENDPOINTS, HashMap::new()),
             stats: FabricStats::default(),
             call_timeout: Duration::from_secs(30),
         }
@@ -150,24 +150,31 @@ impl Fabric {
             let rx: Receiver<Incoming> = rx.clone();
             let handler = handler.clone();
             let name = format!("hvac-rpc-{addr}-{w}");
-            threads.push(
-                std::thread::Builder::new()
-                    .name(name)
-                    .spawn(move || {
-                        while let Ok(incoming) = rx.recv() {
-                            let reply = handler.handle(incoming.request);
-                            // Receiver may have timed out; ignore send errors.
-                            let _ = incoming.reply_tx.send(reply);
-                        }
-                    })
-                    .expect("spawn rpc worker"),
-            );
+            let spawned = std::thread::Builder::new().name(name).spawn(move || {
+                while let Ok(incoming) = rx.recv() {
+                    let reply = handler.handle(incoming.request);
+                    // Receiver may have timed out; ignore send errors.
+                    let _ = incoming.reply_tx.send(reply);
+                }
+            });
+            match spawned {
+                Ok(handle) => threads.push(handle),
+                Err(e) => {
+                    // Roll back: unregister (dropping the queue sender) so
+                    // the already-spawned workers drain and exit, then join.
+                    self.unregister(addr);
+                    for t in threads {
+                        let _ = t.join();
+                    }
+                    return Err(HvacError::Io(e));
+                }
+            }
         }
         Ok(ServerEndpoint {
             fabric: self.clone(),
             addr: addr.to_string(),
             down,
-            threads: Mutex::new(threads),
+            threads: OrderedMutex::new(classes::FABRIC_THREADS, threads),
         })
     }
 
@@ -249,7 +256,7 @@ pub struct ServerEndpoint {
     fabric: Arc<Fabric>,
     addr: String,
     down: Arc<AtomicBool>,
-    threads: Mutex<Vec<JoinHandle<()>>>,
+    threads: OrderedMutex<Vec<JoinHandle<()>>>,
 }
 
 impl ServerEndpoint {
@@ -291,7 +298,9 @@ mod tests {
     fn call_round_trip() {
         let fabric = Arc::new(Fabric::new());
         let _ep = fabric.serve("node0/srv0", 2, echo_handler()).unwrap();
-        let reply = fabric.call("node0/srv0", Bytes::from_static(b"ping")).unwrap();
+        let reply = fabric
+            .call("node0/srv0", Bytes::from_static(b"ping"))
+            .unwrap();
         assert_eq!(&reply.header[..], b"ping");
         assert!(reply.bulk.is_none());
         let (rpcs, req, rep, bulk, failed) = fabric.stats().snapshot();
@@ -362,6 +371,38 @@ mod tests {
             j.join().unwrap();
         }
         assert_eq!(fabric.stats().snapshot().0, 16 * 50);
+    }
+
+    #[test]
+    fn panicking_handler_does_not_block_the_client() {
+        let fabric = Arc::new(Fabric::with_timeout(Duration::from_secs(10)));
+        let handler: Arc<dyn RpcHandler> = Arc::new(|req: Bytes| {
+            if req.is_empty() {
+                panic!("injected handler panic");
+            }
+            Reply {
+                header: req,
+                bulk: None,
+            }
+        });
+        let _ep = fabric.serve("flaky", 1, handler).unwrap();
+        // The panic kills the lone worker mid-request; the reply slot is
+        // dropped during unwind, so the caller errors out well before the
+        // 10 s call timeout instead of blocking on a reply that never comes.
+        let start = std::time::Instant::now();
+        assert!(fabric.call("flaky", Bytes::new()).is_err());
+        assert!(
+            start.elapsed() < Duration::from_secs(8),
+            "client blocked on a dead server"
+        );
+        // With every worker dead the request queue is receiver-less, so
+        // later calls fail too (as ServerDown or a fast error) — they must
+        // not hang either. Give the unwind a moment to drop the worker's
+        // receiver so the send-side disconnect is observable.
+        std::thread::sleep(Duration::from_millis(100));
+        let start = std::time::Instant::now();
+        assert!(fabric.call("flaky", Bytes::from_static(b"x")).is_err());
+        assert!(start.elapsed() < Duration::from_secs(8));
     }
 
     #[test]

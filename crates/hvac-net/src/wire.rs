@@ -109,10 +109,7 @@ mod tests {
         b.put_u32_le(100);
         b.put_slice(&[9, 9]);
         assert!(get_blob(&mut b.freeze()).is_err());
-        assert!(matches!(
-            get_str(&mut r),
-            Err(HvacError::Protocol(_))
-        ));
+        assert!(matches!(get_str(&mut r), Err(HvacError::Protocol(_))));
     }
 
     #[test]

@@ -71,7 +71,11 @@ impl DirStore {
                 self.walk(&p, out, strip)?;
             } else {
                 // Report paths in application space: "/" + path under root.
-                let rel = p.strip_prefix(strip).expect("walk stays under root");
+                // read_dir only yields entries under `strip`, so the prefix
+                // always matches; anything else is skipped defensively.
+                let Ok(rel) = p.strip_prefix(strip) else {
+                    continue;
+                };
                 out.push(Path::new("/").join(rel));
             }
         }
@@ -96,8 +100,7 @@ impl FileStore for DirStore {
 
     fn read_at(&self, path: &Path, offset: u64, len: usize) -> Result<Bytes> {
         let disk = self.resolve(path)?;
-        let mut f =
-            fs::File::open(&disk).map_err(|_| HvacError::NotFound(path.to_path_buf()))?;
+        let mut f = fs::File::open(&disk).map_err(|_| HvacError::NotFound(path.to_path_buf()))?;
         let size = f.metadata()?.len();
         if offset >= size {
             self.stats.record_read(0);

@@ -4,16 +4,25 @@
 
 use crate::store::{slice_read_at, FileMeta, FileStore, StoreStats};
 use bytes::Bytes;
+use hvac_sync::{classes, OrderedRwLock};
 use hvac_types::{HvacError, Result};
-use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
 /// In-memory file store backed by a sorted map (so listing is ordered).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct MemStore {
-    files: RwLock<BTreeMap<PathBuf, Bytes>>,
+    files: OrderedRwLock<BTreeMap<PathBuf, Bytes>>,
     stats: StoreStats,
+}
+
+impl Default for MemStore {
+    fn default() -> Self {
+        Self {
+            files: OrderedRwLock::new(classes::PFS_FILES, BTreeMap::new()),
+            stats: StoreStats::default(),
+        }
+    }
 }
 
 impl MemStore {
@@ -152,8 +161,14 @@ mod tests {
 
     #[test]
     fn sample_content_is_deterministic_and_distinct() {
-        assert_eq!(MemStore::sample_content(5, 100), MemStore::sample_content(5, 100));
-        assert_ne!(MemStore::sample_content(5, 100), MemStore::sample_content(6, 100));
+        assert_eq!(
+            MemStore::sample_content(5, 100),
+            MemStore::sample_content(5, 100)
+        );
+        assert_ne!(
+            MemStore::sample_content(5, 100),
+            MemStore::sample_content(6, 100)
+        );
         assert_eq!(MemStore::sample_content(0, 13).len(), 13); // non-multiple of 8
         assert_eq!(MemStore::sample_content(0, 0).len(), 0);
     }

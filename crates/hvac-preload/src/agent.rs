@@ -12,8 +12,8 @@ use hvac_core::protocol::{Request, Response};
 use hvac_core::server::{HvacServer, HvacServerOptions};
 use hvac_pfs::DirStore;
 use hvac_storage::LocalStore;
+use hvac_sync::{classes, OrderedMutex};
 use hvac_types::{ByteSize, EvictionPolicyKind, HvacError, Result};
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -77,7 +77,7 @@ struct OpenFile {
 pub struct LocalAgent {
     matcher: DatasetMatcher,
     server: Arc<HvacServer>,
-    fds: Mutex<HashMap<u64, OpenFile>>,
+    fds: OrderedMutex<HashMap<u64, OpenFile>>,
     next_fd: AtomicU64,
     opens: AtomicU64,
     reads: AtomicU64,
@@ -96,11 +96,11 @@ impl LocalAgent {
             store,
             make_policy(config.eviction, 0x48564143),
         ));
-        let server = HvacServer::new(cache, pfs, HvacServerOptions::default(), "preload");
+        let server = HvacServer::new(cache, pfs, HvacServerOptions::default(), "preload")?;
         Ok(Self {
             matcher: DatasetMatcher::new(&config.dataset_dir),
             server,
-            fds: Mutex::new(HashMap::new()),
+            fds: OrderedMutex::new(classes::AGENT_FDS, HashMap::new()),
             next_fd: AtomicU64::new(FD_BASE),
             opens: AtomicU64::new(0),
             reads: AtomicU64::new(0),

@@ -97,14 +97,26 @@ macro_rules! real_fn {
     };
 }
 
-real_fn!(real_open, b"open\0", fn(*const c_char, c_int, mode_t) -> c_int);
-real_fn!(real_open64, b"open64\0", fn(*const c_char, c_int, mode_t) -> c_int);
+real_fn!(
+    real_open,
+    b"open\0",
+    fn(*const c_char, c_int, mode_t) -> c_int
+);
+real_fn!(
+    real_open64,
+    b"open64\0",
+    fn(*const c_char, c_int, mode_t) -> c_int
+);
 real_fn!(
     real_openat,
     b"openat\0",
     fn(c_int, *const c_char, c_int, mode_t) -> c_int
 );
-real_fn!(real_read, b"read\0", fn(c_int, *mut c_void, size_t) -> ssize_t);
+real_fn!(
+    real_read,
+    b"read\0",
+    fn(c_int, *mut c_void, size_t) -> ssize_t
+);
 real_fn!(
     real_pread,
     b"pread\0",
@@ -219,7 +231,12 @@ pub unsafe extern "C" fn read(fd: c_int, buf: *mut c_void, count: size_t) -> ssi
     real_read()(fd, buf, count)
 }
 
-unsafe fn pread_common(fd: c_int, buf: *mut c_void, count: size_t, offset: off_t) -> Option<ssize_t> {
+unsafe fn pread_common(
+    fd: c_int,
+    buf: *mut c_void,
+    count: size_t,
+    offset: off_t,
+) -> Option<ssize_t> {
     if fd as u64 >= FD_BASE && !hooked() && !on_internal_thread() {
         if let Some(agent) = agent() {
             if agent.owns_fd(fd as u64) {
@@ -243,7 +260,12 @@ unsafe fn pread_common(fd: c_int, buf: *mut c_void, count: size_t, offset: off_t
 /// # Safety
 /// See [`read`].
 #[no_mangle]
-pub unsafe extern "C" fn pread(fd: c_int, buf: *mut c_void, count: size_t, offset: off_t) -> ssize_t {
+pub unsafe extern "C" fn pread(
+    fd: c_int,
+    buf: *mut c_void,
+    count: size_t,
+    offset: off_t,
+) -> ssize_t {
     if let Some(r) = pread_common(fd, buf, count, offset) {
         return r;
     }
@@ -271,13 +293,15 @@ unsafe fn lseek_common(fd: c_int, offset: off_t, whence: c_int) -> Option<off_t>
     if fd as u64 >= FD_BASE && !hooked() && !on_internal_thread() {
         if let Some(agent) = agent() {
             if agent.owns_fd(fd as u64) {
-                return Some(match with_guard(|| agent.lseek(fd as u64, offset, whence)) {
-                    Ok(pos) => pos as off_t,
-                    Err(e) => {
-                        set_errno(e.errno());
-                        -1
-                    }
-                });
+                return Some(
+                    match with_guard(|| agent.lseek(fd as u64, offset, whence)) {
+                        Ok(pos) => pos as off_t,
+                        Err(e) => {
+                            set_errno(e.errno());
+                            -1
+                        }
+                    },
+                );
             }
         }
     }
@@ -406,7 +430,12 @@ real_fn!(
 /// # Safety
 /// Standard libc contract.
 #[no_mangle]
-pub unsafe extern "C" fn posix_fadvise(fd: c_int, offset: off_t, len: off_t, advice: c_int) -> c_int {
+pub unsafe extern "C" fn posix_fadvise(
+    fd: c_int,
+    offset: off_t,
+    len: off_t,
+    advice: c_int,
+) -> c_int {
     if fd as u64 >= FD_BASE && !hooked() && !on_internal_thread() {
         if let Some(agent) = agent() {
             if agent.owns_fd(fd as u64) {

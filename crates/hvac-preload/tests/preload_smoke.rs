@@ -40,7 +40,9 @@ fn fresh_dir(tag: &str) -> PathBuf {
 #[test]
 fn cat_under_preload_is_intercepted_and_correct() {
     let Some(lib) = preload_lib() else {
-        eprintln!("skipping: libhvac_preload.so not built (run `cargo build -p hvac-preload` first)");
+        eprintln!(
+            "skipping: libhvac_preload.so not built (run `cargo build -p hvac-preload` first)"
+        );
         return;
     };
     let Ok(cat) = which_cat() else {
@@ -72,8 +74,14 @@ fn cat_under_preload_is_intercepted_and_correct() {
 
     let stats = fs::read_to_string(&stats_file).expect("stats file written at exit");
     assert!(stats.contains("hvac_preload"), "stats: {stats}");
-    assert!(stats.contains("opens=1"), "open was not intercepted: {stats}");
-    assert!(stats.contains("pfs_copies=1"), "no PFS copy recorded: {stats}");
+    assert!(
+        stats.contains("opens=1"),
+        "open was not intercepted: {stats}"
+    );
+    assert!(
+        stats.contains("pfs_copies=1"),
+        "no PFS copy recorded: {stats}"
+    );
 
     let _ = fs::remove_dir_all(&dataset);
 }
@@ -106,7 +114,10 @@ fn non_dataset_io_passes_through_untouched() {
     assert!(output.status.success());
     assert_eq!(output.stdout, b"outside the dataset\n");
     if let Ok(stats) = fs::read_to_string(&stats_file) {
-        assert!(stats.contains("opens=0"), "unexpected interception: {stats}");
+        assert!(
+            stats.contains("opens=0"),
+            "unexpected interception: {stats}"
+        );
     }
     let _ = fs::remove_dir_all(&dataset);
     let _ = fs::remove_dir_all(&outside);

@@ -111,11 +111,12 @@ impl<W> Engine<W> {
     /// Run until the queue drains or the next event would be after
     /// `deadline`. Returns the time of the last executed event.
     pub fn run_until(&mut self, world: &mut W, deadline: SimTime) -> SimTime {
-        while let Some(entry) = self.heap.peek() {
-            if entry.time > deadline {
-                break;
+        loop {
+            match self.heap.peek() {
+                Some(entry) if entry.time <= deadline => {}
+                _ => break,
             }
-            let entry = self.heap.pop().expect("peeked");
+            let Some(entry) = self.heap.pop() else { break };
             debug_assert!(entry.time >= self.now, "time went backwards");
             self.now = entry.time;
             self.executed += 1;
@@ -177,13 +178,19 @@ mod tests {
     fn scheduling_in_the_past_clamps_to_now() {
         let mut eng: Engine<Vec<SimTime>> = Engine::new();
         let mut world = Vec::new();
-        eng.at(SimTime::from_secs(10), |w: &mut Vec<SimTime>, e: &mut Engine<Vec<SimTime>>| {
-            // "Yesterday" is not allowed; this must run at t=10, not t=1.
-            e.at(SimTime::from_secs(1), |w2: &mut Vec<SimTime>, e2: &mut Engine<Vec<SimTime>>| {
-                w2.push(e2.now());
-            });
-            w.push(e.now());
-        });
+        eng.at(
+            SimTime::from_secs(10),
+            |w: &mut Vec<SimTime>, e: &mut Engine<Vec<SimTime>>| {
+                // "Yesterday" is not allowed; this must run at t=10, not t=1.
+                e.at(
+                    SimTime::from_secs(1),
+                    |w2: &mut Vec<SimTime>, e2: &mut Engine<Vec<SimTime>>| {
+                        w2.push(e2.now());
+                    },
+                );
+                w.push(e.now());
+            },
+        );
         eng.run(&mut world);
         assert_eq!(world, vec![SimTime::from_secs(10), SimTime::from_secs(10)]);
     }

@@ -38,10 +38,8 @@ impl GpfsModel {
     /// clients (token/lock contention — the cause of the paper's GPFS
     /// regression at 1,024 nodes).
     pub fn set_client_count(&mut self, clients: u32) {
-        let factor =
-            1.0 + self.config.mds_overload_per_1k_clients * clients as f64 / 1000.0;
-        self.mds_service =
-            SimTime::from_secs_f64(self.config.mds_op_ns as f64 * 1e-9 * factor);
+        let factor = 1.0 + self.config.mds_overload_per_1k_clients * clients as f64 / 1000.0;
+        self.mds_service = SimTime::from_secs_f64(self.config.mds_op_ns as f64 * 1e-9 * factor);
     }
 
     /// Summit's Alpine with paper-calibrated defaults.
@@ -139,7 +137,10 @@ mod tests {
             last = gpfs.read(SimTime::ZERO, size);
         }
         let expect = 10_000.0 * size.as_f64() / 2.5e12;
-        assert!((last.as_secs_f64() - expect).abs() / expect < 0.05, "{last}");
+        assert!(
+            (last.as_secs_f64() - expect).abs() / expect < 0.05,
+            "{last}"
+        );
         assert_eq!(gpfs.bytes_read(), 10_000 * size.bytes());
 
         // A single uncontended read is stream-capped, not aggregate-fast.
@@ -192,6 +193,9 @@ mod tests {
             last_fat = fat.open_read_close(SimTime::ZERO, ByteSize::kib(32));
         }
         let ratio = last_base.as_secs_f64() / last_fat.as_secs_f64();
-        assert!(ratio < 1.15, "small files should be MDS-bound, ratio {ratio}");
+        assert!(
+            ratio < 1.15,
+            "small files should be MDS-bound, ratio {ratio}"
+        );
     }
 }

@@ -64,12 +64,7 @@ pub trait IoBackend {
     /// HVAC cache and reduce the performance overhead of epoch-1").
     /// Returns when staging completes; a no-op for backends with nothing to
     /// stage (GPFS reads in place; XFS staging is uncharged, as in §IV-A3).
-    fn prefetch_dataset(
-        &mut self,
-        now: SimTime,
-        _n_files: u64,
-        _total_bytes: ByteSize,
-    ) -> SimTime {
+    fn prefetch_dataset(&mut self, now: SimTime, _n_files: u64, _total_bytes: ByteSize) -> SimTime {
         now
     }
 
@@ -142,14 +137,16 @@ impl NodeDevice {
 
     fn read(&mut self, now: SimTime, size: ByteSize) -> SimTime {
         let granted = self.gate.admit(now);
-        self.pipe.admit(granted.saturating_add(self.op_latency), size)
+        self.pipe
+            .admit(granted.saturating_add(self.op_latency), size)
     }
 
     fn write(&mut self, now: SimTime, size: ByteSize) -> SimTime {
         // Reads and writes share the device; we charge writes to the same
         // pipe (NVMe write bandwidth is lower, folded into service time).
         let granted = self.gate.admit(now);
-        self.pipe.admit(granted.saturating_add(self.op_latency), size)
+        self.pipe
+            .admit(granted.saturating_add(self.op_latency), size)
     }
 }
 
@@ -347,12 +344,7 @@ impl IoBackend for HvacBackend {
     /// interleaved compute — so staging is bounded by the slowest of: the
     /// MDS pool draining one open per file, the job's aggregate GPFS
     /// bandwidth, and each node writing its shard to NVMe.
-    fn prefetch_dataset(
-        &mut self,
-        now: SimTime,
-        n_files: u64,
-        total_bytes: ByteSize,
-    ) -> SimTime {
+    fn prefetch_dataset(&mut self, now: SimTime, n_files: u64, total_bytes: ByteSize) -> SimTime {
         let meta_secs = {
             // MDS pool throughput, including the overload factor baked into
             // the model via set_client_count (probe one op to learn it).
@@ -362,10 +354,10 @@ impl IoBackend for HvacBackend {
             let per_op = (service - rpc).max(1e-9);
             n_files as f64 * per_op / self.gpfs.config().mds_count as f64
         };
-        let data_secs = total_bytes.as_f64()
-            / self.gpfs.config().aggregate_bandwidth.as_bytes_per_sec();
-        let write_secs = total_bytes.as_f64()
-            / (self.write_bandwidth.as_bytes_per_sec() * self.nodes as f64);
+        let data_secs =
+            total_bytes.as_f64() / self.gpfs.config().aggregate_bandwidth.as_bytes_per_sec();
+        let write_secs =
+            total_bytes.as_f64() / (self.write_bandwidth.as_bytes_per_sec() * self.nodes as f64);
         let staging = meta_secs.max(data_secs).max(write_secs);
         self.all_cached = true;
         self.stats.first_reads += n_files;
@@ -597,11 +589,7 @@ mod tests {
     #[test]
     fn prefetch_marks_everything_cached_and_costs_time() {
         let mut b = HvacBackend::new(&hvac_cfg(8, 1), 3);
-        let staged = b.prefetch_dataset(
-            SimTime::ZERO,
-            10_000,
-            ByteSize(10_000 * 163_000),
-        );
+        let staged = b.prefetch_dataset(SimTime::ZERO, 10_000, ByteSize(10_000 * 163_000));
         assert!(staged > SimTime::ZERO, "staging takes time");
         // Everything is now a cache hit — GPFS untouched by reads.
         let opens_after_staging = b.gpfs().opens();

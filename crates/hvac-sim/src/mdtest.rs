@@ -69,7 +69,12 @@ struct StormWorld<B> {
     last_completion: SimTime,
 }
 
-fn issue<B: IoBackend + 'static>(rank: u32, remaining: u32, w: &mut StormWorld<B>, eng: &mut Engine<StormWorld<B>>) {
+fn issue<B: IoBackend + 'static>(
+    rank: u32,
+    remaining: u32,
+    w: &mut StormWorld<B>,
+    eng: &mut Engine<StormWorld<B>>,
+) {
     if remaining == 0 {
         return;
     }
@@ -138,7 +143,8 @@ mod tests {
 
     #[test]
     fn xfs_scales_linearly_with_nodes() {
-        let tps = |nodes| run_mdtest(XfsLocalBackend::summit(nodes), MdtestConfig::small(nodes)).tps;
+        let tps =
+            |nodes| run_mdtest(XfsLocalBackend::summit(nodes), MdtestConfig::small(nodes)).tps;
         let t4 = tps(4);
         let t16 = tps(16);
         let ratio = t16 / t4;
@@ -151,7 +157,13 @@ mod tests {
     #[test]
     fn gpfs_small_file_tps_saturates() {
         // Fig. 3's shape: GPFS TPS stops growing once the MDS pool is full.
-        let tps = |nodes| run_mdtest(GpfsBackend::new(GpfsModel::summit()), MdtestConfig::small(nodes)).tps;
+        let tps = |nodes| {
+            run_mdtest(
+                GpfsBackend::new(GpfsModel::summit()),
+                MdtestConfig::small(nodes),
+            )
+            .tps
+        };
         let t1024 = tps(1024);
         let t4096 = tps(4096);
         let growth = t4096 / t1024;
@@ -163,7 +175,10 @@ mod tests {
         let cfg = hvac_types::GpfsConfig::default();
         let ceiling = cfg.mds_count as f64 / (cfg.mds_op_ns as f64 * 1e-9);
         assert!(t4096 <= ceiling * 1.05, "t4096={t4096} ceiling={ceiling}");
-        assert!(t4096 >= ceiling * 0.5, "t4096={t4096} far below ceiling {ceiling}");
+        assert!(
+            t4096 >= ceiling * 0.5,
+            "t4096={t4096} far below ceiling {ceiling}"
+        );
     }
 
     #[test]
@@ -175,14 +190,21 @@ mod tests {
         );
         let bw_ceiling_tps = 2.5e12 / (8.0 * 1024.0 * 1024.0);
         assert!(result.tps <= bw_ceiling_tps * 1.05);
-        assert!(result.tps >= bw_ceiling_tps * 0.5, "tps {} vs ceiling {bw_ceiling_tps}", result.tps);
+        assert!(
+            result.tps >= bw_ceiling_tps * 0.5,
+            "tps {} vs ceiling {bw_ceiling_tps}",
+            result.tps
+        );
     }
 
     #[test]
     fn crossover_xfs_beats_gpfs_at_scale() {
         // The motivating gap: at large node counts node-local wins big.
         let nodes = 1024;
-        let gpfs = run_mdtest(GpfsBackend::new(GpfsModel::summit()), MdtestConfig::small(nodes));
+        let gpfs = run_mdtest(
+            GpfsBackend::new(GpfsModel::summit()),
+            MdtestConfig::small(nodes),
+        );
         let xfs = run_mdtest(XfsLocalBackend::summit(nodes), MdtestConfig::small(nodes));
         assert!(
             xfs.tps > gpfs.tps * 5.0,

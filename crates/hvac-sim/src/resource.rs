@@ -48,7 +48,10 @@ impl FifoPool {
     /// Admit a request arriving at `now` needing `service` time; returns its
     /// completion time.
     pub fn admit(&mut self, now: SimTime, service: SimTime) -> SimTime {
-        let Reverse(earliest) = self.free_at.pop().expect("pool is non-empty");
+        // `new` asserts servers > 0 and admit always pushes back what it
+        // pops, so the heap can never be empty; `now` is a safe identity
+        // fallback (a free server starts the request immediately).
+        let earliest = self.free_at.pop().map_or(now, |Reverse(t)| t);
         let start = if earliest > now { earliest } else { now };
         let done = start.saturating_add(service);
         self.free_at.push(Reverse(done));
@@ -201,7 +204,10 @@ mod tests {
         assert_eq!(pipe.admit(t(0), ByteSize(1000)), t(1));
         assert_eq!(pipe.admit(t(0), ByteSize(2000)), t(3));
         // After the backlog drains, transfers start on arrival.
-        assert_eq!(pipe.admit(t(10), ByteSize(500)), SimTime::from_millis(10_500));
+        assert_eq!(
+            pipe.admit(t(10), ByteSize(500)),
+            SimTime::from_millis(10_500)
+        );
         assert_eq!(pipe.bytes(), 3500);
     }
 

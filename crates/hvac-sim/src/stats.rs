@@ -40,7 +40,11 @@ impl LatencyHistogram {
     /// Record one latency sample.
     pub fn record(&mut self, latency: SimTime) {
         let ns = latency.as_nanos();
-        let bucket = if ns == 0 { 0 } else { 63 - ns.leading_zeros() as usize };
+        let bucket = if ns == 0 {
+            0
+        } else {
+            63 - ns.leading_zeros() as usize
+        };
         self.buckets[bucket] += 1;
         self.count += 1;
         self.sum_ns += ns as u128;
@@ -93,7 +97,11 @@ impl LatencyHistogram {
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= target {
-                let upper = if i >= 63 { u64::MAX } else { (1u64 << (i + 1)) - 1 };
+                let upper = if i >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
                 return SimTime(upper.min(self.max_ns));
             }
         }
@@ -147,7 +155,7 @@ mod tests {
         }
         h.record(SimTime::from_millis(1));
         let p50 = h.quantile(0.50).as_nanos();
-        assert!(p50 >= 1_000 && p50 < 2_048, "p50 {p50}");
+        assert!((1_000..2_048).contains(&p50), "p50 {p50}");
         let p99 = h.quantile(0.99).as_nanos();
         assert!(p99 < 1_000_000, "p99 {p99} should be in the 1 us cluster");
         let p100 = h.quantile(1.0).as_nanos();

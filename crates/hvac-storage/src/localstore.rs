@@ -7,8 +7,8 @@
 
 use crate::capacity::CapacityGauge;
 use bytes::Bytes;
+use hvac_sync::{classes, OrderedMutex};
 use hvac_types::{ByteSize, HvacError, Result};
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -27,8 +27,8 @@ pub enum Backing {
 #[derive(Debug)]
 struct Entry {
     size: ByteSize,
-    data: Option<Bytes>,     // Memory backing
-    disk: Option<PathBuf>,   // Directory backing
+    data: Option<Bytes>,   // Memory backing
+    disk: Option<PathBuf>, // Directory backing
 }
 
 struct Inner {
@@ -40,7 +40,7 @@ struct Inner {
 /// A single node-local cache store.
 pub struct LocalStore {
     backing: Backing,
-    inner: Mutex<Inner>,
+    inner: OrderedMutex<Inner>,
 }
 
 impl LocalStore {
@@ -48,11 +48,14 @@ impl LocalStore {
     pub fn in_memory(capacity: ByteSize) -> Self {
         Self {
             backing: Backing::Memory,
-            inner: Mutex::new(Inner {
-                gauge: CapacityGauge::new(capacity),
-                entries: HashMap::new(),
-                insert_seq: 0,
-            }),
+            inner: OrderedMutex::new(
+                classes::STORE_INNER,
+                Inner {
+                    gauge: CapacityGauge::new(capacity),
+                    entries: HashMap::new(),
+                    insert_seq: 0,
+                },
+            ),
         }
     }
 
@@ -63,11 +66,14 @@ impl LocalStore {
         fs::create_dir_all(&dir)?;
         Ok(Self {
             backing: Backing::Directory(dir),
-            inner: Mutex::new(Inner {
-                gauge: CapacityGauge::new(capacity),
-                entries: HashMap::new(),
-                insert_seq: 0,
-            }),
+            inner: OrderedMutex::new(
+                classes::STORE_INNER,
+                Inner {
+                    gauge: CapacityGauge::new(capacity),
+                    entries: HashMap::new(),
+                    insert_seq: 0,
+                },
+            ),
         })
     }
 
@@ -242,14 +248,16 @@ mod tests {
     #[test]
     fn capacity_is_enforced() {
         let s = mem(10);
-        s.insert(Path::new("/a"), Bytes::from(vec![0u8; 6])).unwrap();
+        s.insert(Path::new("/a"), Bytes::from(vec![0u8; 6]))
+            .unwrap();
         let err = s
             .insert(Path::new("/b"), Bytes::from(vec![0u8; 5]))
             .unwrap_err();
         assert!(matches!(err, HvacError::CapacityExhausted { .. }));
         // After evicting /a there is room.
         s.remove(Path::new("/a"));
-        s.insert(Path::new("/b"), Bytes::from(vec![0u8; 5])).unwrap();
+        s.insert(Path::new("/b"), Bytes::from(vec![0u8; 5]))
+            .unwrap();
         assert!(s.can_ever_fit(ByteSize(10)));
         assert!(!s.can_ever_fit(ByteSize(11)));
     }
@@ -268,8 +276,10 @@ mod tests {
     #[test]
     fn purge_empties_the_store() {
         let s = mem(100);
-        s.insert(Path::new("/a"), Bytes::from_static(b"xx")).unwrap();
-        s.insert(Path::new("/b"), Bytes::from_static(b"yy")).unwrap();
+        s.insert(Path::new("/a"), Bytes::from_static(b"xx"))
+            .unwrap();
+        s.insert(Path::new("/b"), Bytes::from_static(b"yy"))
+            .unwrap();
         s.purge();
         assert!(s.is_empty());
         assert_eq!(s.used(), ByteSize::ZERO);

@@ -1,0 +1,47 @@
+//! Canonical lock-class labels for the HVAC workspace.
+//!
+//! The hierarchy, outermost first, is:
+//!
+//! ```text
+//! fabric  →  server  →  cache  →  store
+//! ```
+//!
+//! A thread may acquire classes left-to-right along this chain (skipping
+//! levels is fine) but never right-to-left. Leaf classes — `CLIENT_FDS`,
+//! `AGENT_FDS`, `FABRIC_THREADS`, `SERVER_THREADS` — are not expected to
+//! nest inside anything below them. The debug-build order checker in this
+//! crate turns any violation into an immediate panic naming the pair.
+
+/// RPC fabric endpoint registry (`hvac-net::fabric`). Outermost.
+pub const FABRIC_ENDPOINTS: &str = "net.fabric.endpoints";
+
+/// Fabric server worker-thread list; held only briefly at spawn/join.
+pub const FABRIC_THREADS: &str = "net.fabric.threads";
+
+/// Data-mover in-flight table (`hvac-core::server`).
+pub const SERVER_INFLIGHT: &str = "core.server.inflight";
+
+/// Data-mover worker-thread list; held only briefly at spawn/join.
+pub const SERVER_THREADS: &str = "core.server.threads";
+
+/// Eviction policy state (`hvac-core::cache`). Nests inside server locks,
+/// outside store locks.
+pub const CACHE_POLICY: &str = "core.cache.policy";
+
+/// Node-local store bookkeeping (`hvac-storage::localstore`). Innermost of
+/// the main chain.
+pub const STORE_INNER: &str = "storage.localstore.inner";
+
+/// Simulated PFS file map (`hvac-pfs::memstore`); treated like a store.
+pub const PFS_FILES: &str = "pfs.memstore.files";
+
+/// Client fd table (`hvac-core::client`). Leaf: the guard is always
+/// dropped before any RPC is issued.
+pub const CLIENT_FDS: &str = "core.client.fds";
+
+/// Preload agent fd table (`hvac-preload::agent`). Leaf.
+pub const AGENT_FDS: &str = "preload.agent.fds";
+
+/// Memoized consistent-hash rings (`hvac-hash::placement`). Leaf: held
+/// only while building/cloning a ring, with no other HVAC lock in scope.
+pub const HASH_RINGS: &str = "hash.placement.rings";

@@ -1,0 +1,307 @@
+//! Lock-order-checked synchronization primitives for the HVAC workspace.
+//!
+//! [`OrderedMutex`] and [`OrderedRwLock`] wrap the std primitives with two
+//! extra guarantees:
+//!
+//! 1. **Poison recovery.** A thread panicking while holding a lock never
+//!    cascades: subsequent acquisitions recover the inner value instead of
+//!    returning `Err`/panicking. HVAC servers keep serving after a worker
+//!    dies mid-epoch.
+//! 2. **Lock-order checking** (debug/test builds only). Every lock carries
+//!    a `&'static str` *class* label. Acquisitions are recorded in a global
+//!    class-order graph; acquiring a lock that closes a cycle in that graph
+//!    — i.e. two threads could deadlock by taking the same pair of classes
+//!    in opposite orders — panics immediately, naming the offending pair
+//!    and the established order path. In release builds all bookkeeping
+//!    compiles away and the wrappers are passthroughs.
+//!
+//! The canonical class hierarchy for this workspace (outermost first) is
+//! `fabric → server → cache → store`; the class constants in [`classes`]
+//! document it. See DESIGN.md §"Concurrency invariants & lock hierarchy".
+//!
+//! ```
+//! use hvac_sync::OrderedMutex;
+//! let m = OrderedMutex::new("example.counter", 0u32);
+//! *m.lock() += 1;
+//! assert_eq!(*m.lock(), 1);
+//! ```
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::{self, MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+
+pub mod classes;
+
+#[cfg(debug_assertions)]
+mod order;
+
+#[cfg(debug_assertions)]
+use order::AcquireToken;
+
+/// In release builds acquisition tracking is a zero-sized no-op.
+#[cfg(not(debug_assertions))]
+#[derive(Debug)]
+struct AcquireToken;
+
+#[cfg(not(debug_assertions))]
+impl AcquireToken {
+    #[inline(always)]
+    fn acquire(_class: &'static str) -> Self {
+        AcquireToken
+    }
+}
+
+/// A mutex whose acquisitions are checked against the global lock-order
+/// graph in debug builds and which recovers from poisoning in all builds.
+pub struct OrderedMutex<T: ?Sized> {
+    class: &'static str,
+    inner: sync::Mutex<T>,
+}
+
+impl<T> OrderedMutex<T> {
+    /// Wrap `value` under the lock-order class `class`.
+    ///
+    /// `class` names the lock's position in the hierarchy (e.g.
+    /// `"core.server.inflight"`), not the individual instance: all locks of
+    /// one class are interchangeable for ordering purposes.
+    pub fn new(class: &'static str, value: T) -> Self {
+        Self {
+            class,
+            inner: sync::Mutex::new(value),
+        }
+    }
+
+    /// Consume the mutex, returning the inner value (poison-recovering).
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+impl<T: ?Sized> OrderedMutex<T> {
+    /// Acquire the lock, blocking. Panics in debug builds if this
+    /// acquisition inverts the established lock order; recovers the inner
+    /// value if a previous holder panicked.
+    pub fn lock(&self) -> OrderedMutexGuard<'_, T> {
+        let token = AcquireToken::acquire(self.class);
+        let guard = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        OrderedMutexGuard {
+            guard,
+            _token: token,
+        }
+    }
+
+    /// The lock's class label.
+    pub fn class(&self) -> &'static str {
+        self.class
+    }
+
+    /// Mutable access without locking (requires `&mut self`).
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.inner.get_mut() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for OrderedMutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = f.debug_struct("OrderedMutex");
+        s.field("class", &self.class);
+        match self.inner.try_lock() {
+            Ok(guard) => s.field("data", &&*guard),
+            Err(_) => s.field("data", &"<locked>"),
+        };
+        s.finish()
+    }
+}
+
+/// Guard for [`OrderedMutex`]; releases the order-graph entry on drop.
+pub struct OrderedMutexGuard<'a, T: ?Sized> {
+    guard: MutexGuard<'a, T>,
+    _token: AcquireToken,
+}
+
+impl<T: ?Sized> Deref for OrderedMutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T: ?Sized> DerefMut for OrderedMutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for OrderedMutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+/// A reader-writer lock with the same order checking and poison recovery
+/// as [`OrderedMutex`]. Read and write acquisitions register identically:
+/// a read lock still blocks writers of its class, so it participates in
+/// deadlock cycles the same way.
+pub struct OrderedRwLock<T: ?Sized> {
+    class: &'static str,
+    inner: sync::RwLock<T>,
+}
+
+impl<T> OrderedRwLock<T> {
+    /// Wrap `value` under the lock-order class `class`.
+    pub fn new(class: &'static str, value: T) -> Self {
+        Self {
+            class,
+            inner: sync::RwLock::new(value),
+        }
+    }
+
+    /// Consume the lock, returning the inner value (poison-recovering).
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+impl<T: ?Sized> OrderedRwLock<T> {
+    /// Acquire a shared read guard.
+    pub fn read(&self) -> OrderedRwLockReadGuard<'_, T> {
+        let token = AcquireToken::acquire(self.class);
+        let guard = self.inner.read().unwrap_or_else(|p| p.into_inner());
+        OrderedRwLockReadGuard {
+            guard,
+            _token: token,
+        }
+    }
+
+    /// Acquire an exclusive write guard.
+    pub fn write(&self) -> OrderedRwLockWriteGuard<'_, T> {
+        let token = AcquireToken::acquire(self.class);
+        let guard = self.inner.write().unwrap_or_else(|p| p.into_inner());
+        OrderedRwLockWriteGuard {
+            guard,
+            _token: token,
+        }
+    }
+
+    /// The lock's class label.
+    pub fn class(&self) -> &'static str {
+        self.class
+    }
+
+    /// Mutable access without locking (requires `&mut self`).
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.inner.get_mut() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for OrderedRwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = f.debug_struct("OrderedRwLock");
+        s.field("class", &self.class);
+        match self.inner.try_read() {
+            Ok(guard) => s.field("data", &&*guard),
+            Err(_) => s.field("data", &"<locked>"),
+        };
+        s.finish()
+    }
+}
+
+/// Read guard for [`OrderedRwLock`].
+pub struct OrderedRwLockReadGuard<'a, T: ?Sized> {
+    guard: RwLockReadGuard<'a, T>,
+    _token: AcquireToken,
+}
+
+impl<T: ?Sized> Deref for OrderedRwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for OrderedRwLockReadGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+/// Write guard for [`OrderedRwLock`].
+pub struct OrderedRwLockWriteGuard<'a, T: ?Sized> {
+    guard: RwLockWriteGuard<'a, T>,
+    _token: AcquireToken,
+}
+
+impl<T: ?Sized> Deref for OrderedRwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T: ?Sized> DerefMut for OrderedRwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for OrderedRwLockWriteGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutex_round_trip() {
+        let m = OrderedMutex::new("test.lib.counter", 0u32);
+        *m.lock() += 5;
+        assert_eq!(*m.lock(), 5);
+        assert_eq!(m.class(), "test.lib.counter");
+        assert_eq!(m.into_inner(), 5);
+    }
+
+    #[test]
+    fn rwlock_round_trip() {
+        let l = OrderedRwLock::new("test.lib.map", vec![1, 2]);
+        assert_eq!(l.read().len(), 2);
+        l.write().push(3);
+        assert_eq!(*l.read(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn mutex_poison_recovery() {
+        let m = std::sync::Arc::new(OrderedMutex::new("test.lib.poison", 41u32));
+        let m2 = m.clone();
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison the lock");
+        })
+        .join();
+        // Recovered, not propagated.
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 42);
+    }
+
+    #[test]
+    fn rwlock_poison_recovery() {
+        let l = std::sync::Arc::new(OrderedRwLock::new("test.lib.poison_rw", 1u32));
+        let l2 = l.clone();
+        let _ = std::thread::spawn(move || {
+            let _g = l2.write();
+            panic!("poison the rwlock");
+        })
+        .join();
+        assert_eq!(*l.read(), 1);
+        *l.write() = 2;
+        assert_eq!(*l.read(), 2);
+    }
+}

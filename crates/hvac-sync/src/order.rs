@@ -1,0 +1,152 @@
+//! Debug-build lock-order registry.
+//!
+//! Lock classes are nodes in a global directed graph; observing class `A`
+//! held while acquiring class `B` inserts edge `A → B`. A cycle in that
+//! graph means two code paths acquire some pair of classes in opposite
+//! orders — a potential deadlock — so edge insertion runs a reachability
+//! check first and panics with the offending pair and the established
+//! path. The graph is cumulative across the whole process (tests included),
+//! which is the point: any two code paths ever observed disagreeing on
+//! order are reported, even if they never ran concurrently.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::sync::{Mutex, OnceLock};
+
+type Graph = HashMap<&'static str, HashSet<&'static str>>;
+
+fn graph() -> &'static Mutex<Graph> {
+    static GRAPH: OnceLock<Mutex<Graph>> = OnceLock::new();
+    GRAPH.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+thread_local! {
+    /// Classes currently held by this thread, acquisition order.
+    static HELD: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Find a path `from → … → to` in the graph, if one exists.
+fn find_path(graph: &Graph, from: &'static str, to: &'static str) -> Option<Vec<&'static str>> {
+    let mut stack = vec![vec![from]];
+    let mut visited = HashSet::new();
+    visited.insert(from);
+    while let Some(path) = stack.pop() {
+        let Some(&last) = path.last() else { continue };
+        if last == to {
+            return Some(path);
+        }
+        if let Some(nexts) = graph.get(last) {
+            for &n in nexts {
+                if visited.insert(n) {
+                    let mut p = path.clone();
+                    p.push(n);
+                    stack.push(p);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Record `held → acquiring`; panics if the reverse order is already
+/// established anywhere in the process.
+fn add_edge_checked(held: &'static str, acquiring: &'static str) {
+    let mut g = graph().lock().unwrap_or_else(|p| p.into_inner());
+    if g.get(held).is_some_and(|s| s.contains(acquiring)) {
+        return;
+    }
+    if let Some(path) = find_path(&g, acquiring, held) {
+        drop(g); // don't poison the registry with this panic
+        panic!(
+            "lock-order cycle: acquiring '{acquiring}' while holding '{held}', \
+             but the established order is {} -> (this acquisition would close the cycle). \
+             Fix the caller to follow the canonical hierarchy in hvac_sync::classes.",
+            path.join(" -> "),
+        );
+    }
+    g.entry(held).or_default().insert(acquiring);
+}
+
+/// RAII record of one acquisition on this thread.
+#[derive(Debug)]
+pub(crate) struct AcquireToken {
+    class: &'static str,
+}
+
+impl AcquireToken {
+    /// Register an acquisition of `class` by the current thread, checking
+    /// order against everything the thread already holds. Runs *before*
+    /// the underlying lock is taken so inversions report instead of
+    /// deadlocking.
+    pub(crate) fn acquire(class: &'static str) -> Self {
+        HELD.with(|held| {
+            let snapshot: Vec<&'static str> = held.borrow().clone();
+            for prev in snapshot {
+                // Same-class nesting carries no order information; the
+                // checker cannot rank instances within one class.
+                if prev != class {
+                    add_edge_checked(prev, class);
+                }
+            }
+            held.borrow_mut().push(class);
+        });
+        Self { class }
+    }
+}
+
+impl Drop for AcquireToken {
+    fn drop(&mut self) {
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            // Remove the most recent entry for this class (guards can be
+            // dropped out of acquisition order).
+            if let Some(pos) = held.iter().rposition(|&c| c == self.class) {
+                held.remove(pos);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_acquisition_records_edge() {
+        let _a = AcquireToken::acquire("test.order.outer");
+        let _b = AcquireToken::acquire("test.order.inner");
+        let g = graph().lock().unwrap_or_else(|p| p.into_inner());
+        assert!(g["test.order.outer"].contains("test.order.inner"));
+    }
+
+    #[test]
+    fn inversion_panics_with_pair() {
+        {
+            let _a = AcquireToken::acquire("test.inv.first");
+            let _b = AcquireToken::acquire("test.inv.second");
+        }
+        // Opposite order on another thread: must panic, naming the pair.
+        let err = std::thread::spawn(|| {
+            let _b = AcquireToken::acquire("test.inv.second");
+            let _a = AcquireToken::acquire("test.inv.first");
+        })
+        .join()
+        .expect_err("inverted order must panic");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("test.inv.first"), "message was: {msg}");
+        assert!(msg.contains("test.inv.second"), "message was: {msg}");
+    }
+
+    #[test]
+    fn release_unwinds_held_stack() {
+        {
+            let _a = AcquireToken::acquire("test.rel.a");
+        }
+        {
+            // 'a' released above, so acquiring it under 'b' is a fresh edge
+            // only if no b->a ordering existed; and a->b was never recorded.
+            let _b = AcquireToken::acquire("test.rel.b");
+            let _a = AcquireToken::acquire("test.rel.a");
+        }
+    }
+}

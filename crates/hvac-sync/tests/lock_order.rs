@@ -1,0 +1,129 @@
+//! Lock-order detection exercised through the public API, the way the
+//! workspace's crates use it: real `OrderedMutex` values locked from real
+//! threads, not the internal order-graph helpers.
+//!
+//! The order graph is global to the process and keyed by class name, so
+//! every test here uses its own class-name namespace.
+
+use hvac_sync::{OrderedMutex, OrderedRwLock};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Two threads taking two classes in opposite orders: the second thread's
+/// inner acquisition closes a cycle in the class graph and must panic —
+/// naming both classes — *instead of* deadlocking at runtime.
+#[test]
+#[cfg(debug_assertions)]
+fn inverted_pair_across_threads_is_detected() {
+    let a = Arc::new(OrderedMutex::new("it.inv.a", ()));
+    let b = Arc::new(OrderedMutex::new("it.inv.b", ()));
+
+    // Establish a → b on one thread.
+    {
+        let (a, b) = (a.clone(), b.clone());
+        std::thread::spawn(move || {
+            let _ga = a.lock();
+            let _gb = b.lock();
+        })
+        .join()
+        .expect("forward order is legal");
+    }
+
+    // b → a on another thread must be flagged before the lock is taken.
+    let err = std::thread::spawn(move || {
+        let _gb = b.lock();
+        let _ga = a.lock();
+    })
+    .join()
+    .expect_err("inverted order must panic");
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_else(|| {
+        err.downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .unwrap_or_default()
+    });
+    assert!(msg.contains("it.inv.a"), "panic names class a: {msg}");
+    assert!(msg.contains("it.inv.b"), "panic names class b: {msg}");
+}
+
+/// RwLock read acquisitions participate in ordering exactly like writes.
+#[test]
+#[cfg(debug_assertions)]
+fn rwlock_reads_participate_in_cycle_detection() {
+    let a = Arc::new(OrderedRwLock::new("it.rwinv.a", ()));
+    let b = Arc::new(OrderedMutex::new("it.rwinv.b", ()));
+    {
+        let (a, b) = (a.clone(), b.clone());
+        std::thread::spawn(move || {
+            let _ga = a.read();
+            let _gb = b.lock();
+        })
+        .join()
+        .expect("forward order is legal");
+    }
+    assert!(
+        std::thread::spawn(move || {
+            let _gb = b.lock();
+            let _ga = a.read();
+        })
+        .join()
+        .is_err(),
+        "read-lock inversion must be detected"
+    );
+}
+
+/// A panic while holding a guard poisons the std lock underneath; the
+/// wrapper recovers and later acquisitions — including ordered nested
+/// ones — keep working.
+#[test]
+fn poison_recovery_keeps_ordered_nesting_usable() {
+    let outer = Arc::new(OrderedMutex::new("it.poison.outer", 0u32));
+    let inner = Arc::new(OrderedMutex::new("it.poison.inner", 0u32));
+    let (o, i) = (outer.clone(), inner.clone());
+    let _ = std::thread::spawn(move || {
+        let _go = o.lock();
+        let _gi = i.lock();
+        panic!("die holding both");
+    })
+    .join();
+    // Both locks recovered; the established outer → inner order still holds.
+    *outer.lock() += 1;
+    *inner.lock() += 1;
+    let _go = outer.lock();
+    let _gi = inner.lock();
+    assert_eq!(*_go + *_gi, 2);
+}
+
+const PROP_CLASSES: [&str; 8] = [
+    "it.prop.l0",
+    "it.prop.l1",
+    "it.prop.l2",
+    "it.prop.l3",
+    "it.prop.l4",
+    "it.prop.l5",
+    "it.prop.l6",
+    "it.prop.l7",
+];
+
+proptest! {
+    /// Any acquisition sequence that respects one global order (ascending
+    /// class index here) is acyclic by construction, so the detector must
+    /// never fire — across iterations and regardless of which subset of
+    /// classes each iteration touches or how deep the nesting goes.
+    #[test]
+    fn random_acyclic_orders_never_false_positive(
+        picks in proptest::collection::vec(0usize..PROP_CLASSES.len(), 0..8)
+    ) {
+        let mut order: Vec<usize> = picks;
+        order.sort_unstable();
+        order.dedup();
+        let locks: Vec<OrderedMutex<u32>> = PROP_CLASSES
+            .iter()
+            .map(|c| OrderedMutex::new(c, 0))
+            .collect();
+        let mut guards = Vec::with_capacity(order.len());
+        for &i in &order {
+            guards.push(locks[i].lock());
+        }
+        prop_assert_eq!(guards.len(), order.len());
+    }
+}

@@ -141,7 +141,7 @@ impl GpfsConfig {
     /// benchmark); the training figures use this preset.
     pub fn shared_alpine() -> Self {
         Self {
-            mds_op_ns: 16_000,                                // ~2 M op/s slice
+            mds_op_ns: 16_000,                                 // ~2 M op/s slice
             aggregate_bandwidth: Bandwidth::gb_per_sec(200.0), // job-effective
             per_stream_bandwidth: Bandwidth::gb_per_sec(1.2),
             ..Self::default()

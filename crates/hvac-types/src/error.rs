@@ -54,7 +54,11 @@ impl fmt::Display for HvacError {
             HvacError::ServerDown(s) => write!(f, "server down: {s}"),
             HvacError::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
             HvacError::ReadOnly(p) => {
-                write!(f, "HVAC is a read-only cache; write to {} refused", p.display())
+                write!(
+                    f,
+                    "HVAC is a read-only cache; write to {} refused",
+                    p.display()
+                )
             }
             HvacError::Protocol(m) => write!(f, "protocol violation: {m}"),
         }
@@ -80,12 +84,12 @@ impl HvacError {
     /// Map to an errno-style code for the LD_PRELOAD shim.
     pub fn errno(&self) -> i32 {
         match self {
-            HvacError::NotFound(_) => 2,          // ENOENT
-            HvacError::BadFd(_) => 9,             // EBADF
-            HvacError::ReadOnly(_) => 30,         // EROFS
+            HvacError::NotFound(_) => 2,               // ENOENT
+            HvacError::BadFd(_) => 9,                  // EBADF
+            HvacError::ReadOnly(_) => 30,              // EROFS
             HvacError::CapacityExhausted { .. } => 28, // ENOSPC
             HvacError::Io(e) => e.raw_os_error().unwrap_or(5),
-            _ => 5,                               // EIO
+            _ => 5, // EIO
         }
     }
 }

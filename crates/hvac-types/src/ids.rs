@@ -172,10 +172,7 @@ mod tests {
         assert_eq!(ClientId(9).to_string(), "client9");
         assert_eq!(Rank(2).to_string(), "rank2");
         assert_eq!(JobId(7).to_string(), "job7");
-        assert_eq!(
-            FileId(0xdead_beef).to_string(),
-            "file#00000000deadbeef"
-        );
+        assert_eq!(FileId(0xdead_beef).to_string(), "file#00000000deadbeef");
     }
 
     #[test]

@@ -68,7 +68,10 @@ pub fn table1_rows() -> Vec<(&'static str, String)> {
     vec![
         ("Supercomputer", "Summit".to_string()),
         ("CPU", "2 x IBM POWER9 22Cores 3.07GHz".to_string()),
-        ("GPU", format!("{GPUS_PER_NODE} x NVIDIA Tesla Volta (V100)")),
+        (
+            "GPU",
+            format!("{GPUS_PER_NODE} x NVIDIA Tesla Volta (V100)"),
+        ),
         ("Memory Capacity", format!("{NODE_MEMORY} DDR4")),
         (
             "Node-local Storage",

@@ -13,7 +13,9 @@ use hvac_types::{ClusterConfig, GpfsConfig};
 
 fn backend_for(label: &str, nodes: u32) -> Box<dyn IoBackend> {
     match label {
-        "GPFS" => Box::new(GpfsBackend::new(GpfsModel::new(GpfsConfig::shared_alpine()))),
+        "GPFS" => Box::new(GpfsBackend::new(
+            GpfsModel::new(GpfsConfig::shared_alpine()),
+        )),
         "XFS" => Box::new(XfsLocalBackend::summit(nodes)),
         _ => {
             let instances: u32 = label

@@ -10,8 +10,8 @@ use hvac_core::cluster::{Cluster, ClusterOptions};
 use hvac_hash::placement::{ModuloPlacement, Placement};
 use hvac_hash::topology::{Topology, TopologyAware};
 use hvac_pfs::MemStore;
-use hvac_types::FileId;
 use hvac_types::ByteSize;
+use hvac_types::FileId;
 use std::path::Path;
 use std::sync::Arc;
 
@@ -53,7 +53,11 @@ fn main() {
         .read_file(Path::new("/gpfs/train/huge.h5"));
     println!(
         "segments: whole-file read of 1 MiB into 256 KiB caches -> {}",
-        if whole.is_err() { "FAILS (as expected)" } else { "??" }
+        if whole.is_err() {
+            "FAILS (as expected)"
+        } else {
+            "??"
+        }
     );
     let assembled = tiny_caches
         .client(0)

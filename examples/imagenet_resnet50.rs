@@ -31,7 +31,9 @@ fn main() {
     );
 
     let mut backends: Vec<Box<dyn IoBackend>> = vec![
-        Box::new(GpfsBackend::new(GpfsModel::new(GpfsConfig::shared_alpine()))),
+        Box::new(GpfsBackend::new(
+            GpfsModel::new(GpfsConfig::shared_alpine()),
+        )),
         {
             let mut cc = ClusterConfig::with_nodes(nodes);
             cc.gpfs = GpfsConfig::shared_alpine();

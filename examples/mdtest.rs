@@ -18,7 +18,10 @@ fn main() {
     };
 
     println!("MDTest {label}: transactions per second\n");
-    println!("{:>6} {:>14} {:>14} {:>10}", "nodes", "GPFS", "XFS-on-NVMe", "ratio");
+    println!(
+        "{:>6} {:>14} {:>14} {:>10}",
+        "nodes", "GPFS", "XFS-on-NVMe", "ratio"
+    );
     for nodes in [2u32, 8, 32, 128, 512, 2048, 4096] {
         let cfg = MdtestConfig {
             nodes,

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/accuracy_invariance-02e9eb70376e512e.d: tests/tests/accuracy_invariance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaccuracy_invariance-02e9eb70376e512e.rmeta: tests/tests/accuracy_invariance.rs Cargo.toml
+
+tests/tests/accuracy_invariance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/accuracy_invariance-4022a5b245460e01.d: tests/tests/accuracy_invariance.rs
+
+/root/repo/target/debug/deps/accuracy_invariance-4022a5b245460e01: tests/tests/accuracy_invariance.rs
+
+tests/tests/accuracy_invariance.rs:

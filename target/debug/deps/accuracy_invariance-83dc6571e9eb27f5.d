@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/accuracy_invariance-83dc6571e9eb27f5.d: tests/tests/accuracy_invariance.rs
+
+/root/repo/target/debug/deps/accuracy_invariance-83dc6571e9eb27f5: tests/tests/accuracy_invariance.rs
+
+tests/tests/accuracy_invariance.rs:

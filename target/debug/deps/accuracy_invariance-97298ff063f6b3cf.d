@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/accuracy_invariance-97298ff063f6b3cf.d: tests/tests/accuracy_invariance.rs
+
+/root/repo/target/debug/deps/accuracy_invariance-97298ff063f6b3cf: tests/tests/accuracy_invariance.rs
+
+tests/tests/accuracy_invariance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/accuracy_invariance-f5a9e1726ce75b01.d: tests/tests/accuracy_invariance.rs
+
+/root/repo/target/debug/deps/accuracy_invariance-f5a9e1726ce75b01: tests/tests/accuracy_invariance.rs
+
+tests/tests/accuracy_invariance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concurrency-1c8f0ffa90a942d4.d: tests/tests/concurrency.rs
+
+/root/repo/target/debug/deps/concurrency-1c8f0ffa90a942d4: tests/tests/concurrency.rs
+
+tests/tests/concurrency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concurrency-22b689a06dfff5ba.d: tests/tests/concurrency.rs
+
+/root/repo/target/debug/deps/concurrency-22b689a06dfff5ba: tests/tests/concurrency.rs
+
+tests/tests/concurrency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concurrency-50ff5f1c45073bf3.d: tests/tests/concurrency.rs
+
+/root/repo/target/debug/deps/concurrency-50ff5f1c45073bf3: tests/tests/concurrency.rs
+
+tests/tests/concurrency.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/concurrency-8b44a7a9323df9b9.d: tests/tests/concurrency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconcurrency-8b44a7a9323df9b9.rmeta: tests/tests/concurrency.rs Cargo.toml
+
+tests/tests/concurrency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concurrency-b0622ea8cf5b5446.d: tests/tests/concurrency.rs
+
+/root/repo/target/debug/deps/concurrency-b0622ea8cf5b5446: tests/tests/concurrency.rs
+
+tests/tests/concurrency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/eviction_pressure-7324159b74262559.d: tests/tests/eviction_pressure.rs
+
+/root/repo/target/debug/deps/eviction_pressure-7324159b74262559: tests/tests/eviction_pressure.rs
+
+tests/tests/eviction_pressure.rs:

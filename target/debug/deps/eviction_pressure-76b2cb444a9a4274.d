@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/eviction_pressure-76b2cb444a9a4274.d: tests/tests/eviction_pressure.rs
+
+/root/repo/target/debug/deps/eviction_pressure-76b2cb444a9a4274: tests/tests/eviction_pressure.rs
+
+tests/tests/eviction_pressure.rs:

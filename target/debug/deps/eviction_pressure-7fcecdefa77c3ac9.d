@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/eviction_pressure-7fcecdefa77c3ac9.d: tests/tests/eviction_pressure.rs
+
+/root/repo/target/debug/deps/eviction_pressure-7fcecdefa77c3ac9: tests/tests/eviction_pressure.rs
+
+tests/tests/eviction_pressure.rs:

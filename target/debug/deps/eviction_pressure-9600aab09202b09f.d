@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/eviction_pressure-9600aab09202b09f.d: tests/tests/eviction_pressure.rs Cargo.toml
+
+/root/repo/target/debug/deps/libeviction_pressure-9600aab09202b09f.rmeta: tests/tests/eviction_pressure.rs Cargo.toml
+
+tests/tests/eviction_pressure.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/eviction_pressure-ce9126eca5de85d3.d: tests/tests/eviction_pressure.rs
+
+/root/repo/target/debug/deps/eviction_pressure-ce9126eca5de85d3: tests/tests/eviction_pressure.rs
+
+tests/tests/eviction_pressure.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/failover_replication-75889bb992796291.d: tests/tests/failover_replication.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfailover_replication-75889bb992796291.rmeta: tests/tests/failover_replication.rs Cargo.toml
+
+tests/tests/failover_replication.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failover_replication-9dca58e57e5e648a.d: tests/tests/failover_replication.rs
+
+/root/repo/target/debug/deps/failover_replication-9dca58e57e5e648a: tests/tests/failover_replication.rs
+
+tests/tests/failover_replication.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failover_replication-b16ba58a5fcf3cbe.d: tests/tests/failover_replication.rs
+
+/root/repo/target/debug/deps/failover_replication-b16ba58a5fcf3cbe: tests/tests/failover_replication.rs
+
+tests/tests/failover_replication.rs:

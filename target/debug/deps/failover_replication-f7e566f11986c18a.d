@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failover_replication-f7e566f11986c18a.d: tests/tests/failover_replication.rs
+
+/root/repo/target/debug/deps/failover_replication-f7e566f11986c18a: tests/tests/failover_replication.rs
+
+tests/tests/failover_replication.rs:

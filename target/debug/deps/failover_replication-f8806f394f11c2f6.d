@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failover_replication-f8806f394f11c2f6.d: tests/tests/failover_replication.rs
+
+/root/repo/target/debug/deps/failover_replication-f8806f394f11c2f6: tests/tests/failover_replication.rs
+
+tests/tests/failover_replication.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figures-744686a5184d665f.d: crates/hvac-bench/benches/figures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigures-744686a5184d665f.rmeta: crates/hvac-bench/benches/figures.rs Cargo.toml
+
+crates/hvac-bench/benches/figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

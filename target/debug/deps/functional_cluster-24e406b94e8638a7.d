@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/functional_cluster-24e406b94e8638a7.d: tests/tests/functional_cluster.rs
+
+/root/repo/target/debug/deps/functional_cluster-24e406b94e8638a7: tests/tests/functional_cluster.rs
+
+tests/tests/functional_cluster.rs:

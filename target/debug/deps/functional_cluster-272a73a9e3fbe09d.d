@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/functional_cluster-272a73a9e3fbe09d.d: tests/tests/functional_cluster.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfunctional_cluster-272a73a9e3fbe09d.rmeta: tests/tests/functional_cluster.rs Cargo.toml
+
+tests/tests/functional_cluster.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/functional_cluster-9727980c2801a1ce.d: tests/tests/functional_cluster.rs
+
+/root/repo/target/debug/deps/functional_cluster-9727980c2801a1ce: tests/tests/functional_cluster.rs
+
+tests/tests/functional_cluster.rs:

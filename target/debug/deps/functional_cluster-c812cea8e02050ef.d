@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/functional_cluster-c812cea8e02050ef.d: tests/tests/functional_cluster.rs
+
+/root/repo/target/debug/deps/functional_cluster-c812cea8e02050ef: tests/tests/functional_cluster.rs
+
+tests/tests/functional_cluster.rs:

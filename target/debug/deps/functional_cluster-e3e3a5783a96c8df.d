@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/functional_cluster-e3e3a5783a96c8df.d: tests/tests/functional_cluster.rs
+
+/root/repo/target/debug/deps/functional_cluster-e3e3a5783a96c8df: tests/tests/functional_cluster.rs
+
+tests/tests/functional_cluster.rs:

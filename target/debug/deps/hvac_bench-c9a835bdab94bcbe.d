@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/hvac_bench-c9a835bdab94bcbe.d: crates/hvac-bench/src/lib.rs crates/hvac-bench/src/figures/mod.rs crates/hvac-bench/src/figures/ablation.rs crates/hvac-bench/src/figures/fig10.rs crates/hvac-bench/src/figures/fig11.rs crates/hvac-bench/src/figures/fig12.rs crates/hvac-bench/src/figures/fig13.rs crates/hvac-bench/src/figures/fig14.rs crates/hvac-bench/src/figures/fig15.rs crates/hvac-bench/src/figures/fig3.rs crates/hvac-bench/src/figures/fig4.rs crates/hvac-bench/src/figures/fig8.rs crates/hvac-bench/src/figures/fig9.rs crates/hvac-bench/src/figures/table1.rs crates/hvac-bench/src/report.rs crates/hvac-bench/src/systems.rs
+
+/root/repo/target/debug/deps/hvac_bench-c9a835bdab94bcbe: crates/hvac-bench/src/lib.rs crates/hvac-bench/src/figures/mod.rs crates/hvac-bench/src/figures/ablation.rs crates/hvac-bench/src/figures/fig10.rs crates/hvac-bench/src/figures/fig11.rs crates/hvac-bench/src/figures/fig12.rs crates/hvac-bench/src/figures/fig13.rs crates/hvac-bench/src/figures/fig14.rs crates/hvac-bench/src/figures/fig15.rs crates/hvac-bench/src/figures/fig3.rs crates/hvac-bench/src/figures/fig4.rs crates/hvac-bench/src/figures/fig8.rs crates/hvac-bench/src/figures/fig9.rs crates/hvac-bench/src/figures/table1.rs crates/hvac-bench/src/report.rs crates/hvac-bench/src/systems.rs
+
+crates/hvac-bench/src/lib.rs:
+crates/hvac-bench/src/figures/mod.rs:
+crates/hvac-bench/src/figures/ablation.rs:
+crates/hvac-bench/src/figures/fig10.rs:
+crates/hvac-bench/src/figures/fig11.rs:
+crates/hvac-bench/src/figures/fig12.rs:
+crates/hvac-bench/src/figures/fig13.rs:
+crates/hvac-bench/src/figures/fig14.rs:
+crates/hvac-bench/src/figures/fig15.rs:
+crates/hvac-bench/src/figures/fig3.rs:
+crates/hvac-bench/src/figures/fig4.rs:
+crates/hvac-bench/src/figures/fig8.rs:
+crates/hvac-bench/src/figures/fig9.rs:
+crates/hvac-bench/src/figures/table1.rs:
+crates/hvac-bench/src/report.rs:
+crates/hvac-bench/src/systems.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/hvac_core-0f3017d53f55e314.d: crates/hvac-core/src/lib.rs crates/hvac-core/src/cache.rs crates/hvac-core/src/client.rs crates/hvac-core/src/cluster.rs crates/hvac-core/src/eviction.rs crates/hvac-core/src/intercept.rs crates/hvac-core/src/metrics.rs crates/hvac-core/src/protocol.rs crates/hvac-core/src/server.rs
+
+/root/repo/target/debug/deps/libhvac_core-0f3017d53f55e314.rlib: crates/hvac-core/src/lib.rs crates/hvac-core/src/cache.rs crates/hvac-core/src/client.rs crates/hvac-core/src/cluster.rs crates/hvac-core/src/eviction.rs crates/hvac-core/src/intercept.rs crates/hvac-core/src/metrics.rs crates/hvac-core/src/protocol.rs crates/hvac-core/src/server.rs
+
+/root/repo/target/debug/deps/libhvac_core-0f3017d53f55e314.rmeta: crates/hvac-core/src/lib.rs crates/hvac-core/src/cache.rs crates/hvac-core/src/client.rs crates/hvac-core/src/cluster.rs crates/hvac-core/src/eviction.rs crates/hvac-core/src/intercept.rs crates/hvac-core/src/metrics.rs crates/hvac-core/src/protocol.rs crates/hvac-core/src/server.rs
+
+crates/hvac-core/src/lib.rs:
+crates/hvac-core/src/cache.rs:
+crates/hvac-core/src/client.rs:
+crates/hvac-core/src/cluster.rs:
+crates/hvac-core/src/eviction.rs:
+crates/hvac-core/src/intercept.rs:
+crates/hvac-core/src/metrics.rs:
+crates/hvac-core/src/protocol.rs:
+crates/hvac-core/src/server.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/hvac_core-b25f7716e389a8a1.d: crates/hvac-core/src/lib.rs crates/hvac-core/src/cache.rs crates/hvac-core/src/client.rs crates/hvac-core/src/cluster.rs crates/hvac-core/src/eviction.rs crates/hvac-core/src/intercept.rs crates/hvac-core/src/metrics.rs crates/hvac-core/src/protocol.rs crates/hvac-core/src/server.rs
+
+/root/repo/target/debug/deps/hvac_core-b25f7716e389a8a1: crates/hvac-core/src/lib.rs crates/hvac-core/src/cache.rs crates/hvac-core/src/client.rs crates/hvac-core/src/cluster.rs crates/hvac-core/src/eviction.rs crates/hvac-core/src/intercept.rs crates/hvac-core/src/metrics.rs crates/hvac-core/src/protocol.rs crates/hvac-core/src/server.rs
+
+crates/hvac-core/src/lib.rs:
+crates/hvac-core/src/cache.rs:
+crates/hvac-core/src/client.rs:
+crates/hvac-core/src/cluster.rs:
+crates/hvac-core/src/eviction.rs:
+crates/hvac-core/src/intercept.rs:
+crates/hvac-core/src/metrics.rs:
+crates/hvac-core/src/protocol.rs:
+crates/hvac-core/src/server.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/hvac_core-d43bec1e608c1198.d: crates/hvac-core/src/lib.rs crates/hvac-core/src/cache.rs crates/hvac-core/src/client.rs crates/hvac-core/src/cluster.rs crates/hvac-core/src/eviction.rs crates/hvac-core/src/intercept.rs crates/hvac-core/src/metrics.rs crates/hvac-core/src/protocol.rs crates/hvac-core/src/server.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhvac_core-d43bec1e608c1198.rmeta: crates/hvac-core/src/lib.rs crates/hvac-core/src/cache.rs crates/hvac-core/src/client.rs crates/hvac-core/src/cluster.rs crates/hvac-core/src/eviction.rs crates/hvac-core/src/intercept.rs crates/hvac-core/src/metrics.rs crates/hvac-core/src/protocol.rs crates/hvac-core/src/server.rs Cargo.toml
+
+crates/hvac-core/src/lib.rs:
+crates/hvac-core/src/cache.rs:
+crates/hvac-core/src/client.rs:
+crates/hvac-core/src/cluster.rs:
+crates/hvac-core/src/eviction.rs:
+crates/hvac-core/src/intercept.rs:
+crates/hvac-core/src/metrics.rs:
+crates/hvac-core/src/protocol.rs:
+crates/hvac-core/src/server.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/hvac_dl-343cb733e80c325f.d: crates/hvac-dl/src/lib.rs crates/hvac-dl/src/accuracy.rs crates/hvac-dl/src/dataset.rs crates/hvac-dl/src/loader.rs crates/hvac-dl/src/models.rs crates/hvac-dl/src/sampler.rs crates/hvac-dl/src/training.rs
+
+/root/repo/target/debug/deps/libhvac_dl-343cb733e80c325f.rlib: crates/hvac-dl/src/lib.rs crates/hvac-dl/src/accuracy.rs crates/hvac-dl/src/dataset.rs crates/hvac-dl/src/loader.rs crates/hvac-dl/src/models.rs crates/hvac-dl/src/sampler.rs crates/hvac-dl/src/training.rs
+
+/root/repo/target/debug/deps/libhvac_dl-343cb733e80c325f.rmeta: crates/hvac-dl/src/lib.rs crates/hvac-dl/src/accuracy.rs crates/hvac-dl/src/dataset.rs crates/hvac-dl/src/loader.rs crates/hvac-dl/src/models.rs crates/hvac-dl/src/sampler.rs crates/hvac-dl/src/training.rs
+
+crates/hvac-dl/src/lib.rs:
+crates/hvac-dl/src/accuracy.rs:
+crates/hvac-dl/src/dataset.rs:
+crates/hvac-dl/src/loader.rs:
+crates/hvac-dl/src/models.rs:
+crates/hvac-dl/src/sampler.rs:
+crates/hvac-dl/src/training.rs:

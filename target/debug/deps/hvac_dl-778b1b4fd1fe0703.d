@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/hvac_dl-778b1b4fd1fe0703.d: crates/hvac-dl/src/lib.rs crates/hvac-dl/src/accuracy.rs crates/hvac-dl/src/dataset.rs crates/hvac-dl/src/loader.rs crates/hvac-dl/src/models.rs crates/hvac-dl/src/sampler.rs crates/hvac-dl/src/training.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhvac_dl-778b1b4fd1fe0703.rmeta: crates/hvac-dl/src/lib.rs crates/hvac-dl/src/accuracy.rs crates/hvac-dl/src/dataset.rs crates/hvac-dl/src/loader.rs crates/hvac-dl/src/models.rs crates/hvac-dl/src/sampler.rs crates/hvac-dl/src/training.rs Cargo.toml
+
+crates/hvac-dl/src/lib.rs:
+crates/hvac-dl/src/accuracy.rs:
+crates/hvac-dl/src/dataset.rs:
+crates/hvac-dl/src/loader.rs:
+crates/hvac-dl/src/models.rs:
+crates/hvac-dl/src/sampler.rs:
+crates/hvac-dl/src/training.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

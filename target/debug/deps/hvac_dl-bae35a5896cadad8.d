@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/hvac_dl-bae35a5896cadad8.d: crates/hvac-dl/src/lib.rs crates/hvac-dl/src/accuracy.rs crates/hvac-dl/src/dataset.rs crates/hvac-dl/src/loader.rs crates/hvac-dl/src/models.rs crates/hvac-dl/src/sampler.rs crates/hvac-dl/src/training.rs
+
+/root/repo/target/debug/deps/libhvac_dl-bae35a5896cadad8.rlib: crates/hvac-dl/src/lib.rs crates/hvac-dl/src/accuracy.rs crates/hvac-dl/src/dataset.rs crates/hvac-dl/src/loader.rs crates/hvac-dl/src/models.rs crates/hvac-dl/src/sampler.rs crates/hvac-dl/src/training.rs
+
+/root/repo/target/debug/deps/libhvac_dl-bae35a5896cadad8.rmeta: crates/hvac-dl/src/lib.rs crates/hvac-dl/src/accuracy.rs crates/hvac-dl/src/dataset.rs crates/hvac-dl/src/loader.rs crates/hvac-dl/src/models.rs crates/hvac-dl/src/sampler.rs crates/hvac-dl/src/training.rs
+
+crates/hvac-dl/src/lib.rs:
+crates/hvac-dl/src/accuracy.rs:
+crates/hvac-dl/src/dataset.rs:
+crates/hvac-dl/src/loader.rs:
+crates/hvac-dl/src/models.rs:
+crates/hvac-dl/src/sampler.rs:
+crates/hvac-dl/src/training.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/hvac_dl-d7ebdaff8a201f97.d: crates/hvac-dl/src/lib.rs crates/hvac-dl/src/accuracy.rs crates/hvac-dl/src/dataset.rs crates/hvac-dl/src/loader.rs crates/hvac-dl/src/models.rs crates/hvac-dl/src/sampler.rs crates/hvac-dl/src/training.rs
+
+/root/repo/target/debug/deps/hvac_dl-d7ebdaff8a201f97: crates/hvac-dl/src/lib.rs crates/hvac-dl/src/accuracy.rs crates/hvac-dl/src/dataset.rs crates/hvac-dl/src/loader.rs crates/hvac-dl/src/models.rs crates/hvac-dl/src/sampler.rs crates/hvac-dl/src/training.rs
+
+crates/hvac-dl/src/lib.rs:
+crates/hvac-dl/src/accuracy.rs:
+crates/hvac-dl/src/dataset.rs:
+crates/hvac-dl/src/loader.rs:
+crates/hvac-dl/src/models.rs:
+crates/hvac-dl/src/sampler.rs:
+crates/hvac-dl/src/training.rs:

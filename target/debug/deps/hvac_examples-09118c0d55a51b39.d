@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hvac_examples-09118c0d55a51b39.d: examples/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhvac_examples-09118c0d55a51b39.rmeta: examples/src/lib.rs Cargo.toml
+
+examples/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

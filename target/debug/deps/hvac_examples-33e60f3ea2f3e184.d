@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hvac_examples-33e60f3ea2f3e184.d: examples/src/lib.rs
+
+/root/repo/target/debug/deps/hvac_examples-33e60f3ea2f3e184: examples/src/lib.rs
+
+examples/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hvac_examples-725dce0a36053190.d: examples/src/lib.rs
+
+/root/repo/target/debug/deps/hvac_examples-725dce0a36053190: examples/src/lib.rs
+
+examples/src/lib.rs:

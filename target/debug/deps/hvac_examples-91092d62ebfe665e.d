@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hvac_examples-91092d62ebfe665e.d: examples/src/lib.rs
+
+/root/repo/target/debug/deps/libhvac_examples-91092d62ebfe665e.rlib: examples/src/lib.rs
+
+/root/repo/target/debug/deps/libhvac_examples-91092d62ebfe665e.rmeta: examples/src/lib.rs
+
+examples/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hvac_examples-aa559294554158d1.d: examples/src/lib.rs
+
+/root/repo/target/debug/deps/hvac_examples-aa559294554158d1: examples/src/lib.rs
+
+examples/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hvac_examples-ae66adbc86473efe.d: examples/src/lib.rs
+
+/root/repo/target/debug/deps/libhvac_examples-ae66adbc86473efe.rlib: examples/src/lib.rs
+
+/root/repo/target/debug/deps/libhvac_examples-ae66adbc86473efe.rmeta: examples/src/lib.rs
+
+examples/src/lib.rs:

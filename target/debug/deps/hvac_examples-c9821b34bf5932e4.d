@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hvac_examples-c9821b34bf5932e4.d: examples/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhvac_examples-c9821b34bf5932e4.rmeta: examples/src/lib.rs Cargo.toml
+
+examples/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

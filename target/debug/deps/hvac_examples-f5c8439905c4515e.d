@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hvac_examples-f5c8439905c4515e.d: examples/src/lib.rs
+
+/root/repo/target/debug/deps/libhvac_examples-f5c8439905c4515e.rlib: examples/src/lib.rs
+
+/root/repo/target/debug/deps/libhvac_examples-f5c8439905c4515e.rmeta: examples/src/lib.rs
+
+examples/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/hvac_hash-09233d8bdbfe6cab.d: crates/hvac-hash/src/lib.rs crates/hvac-hash/src/pathhash.rs crates/hvac-hash/src/placement.rs crates/hvac-hash/src/stats.rs crates/hvac-hash/src/topology.rs
+
+/root/repo/target/debug/deps/libhvac_hash-09233d8bdbfe6cab.rlib: crates/hvac-hash/src/lib.rs crates/hvac-hash/src/pathhash.rs crates/hvac-hash/src/placement.rs crates/hvac-hash/src/stats.rs crates/hvac-hash/src/topology.rs
+
+/root/repo/target/debug/deps/libhvac_hash-09233d8bdbfe6cab.rmeta: crates/hvac-hash/src/lib.rs crates/hvac-hash/src/pathhash.rs crates/hvac-hash/src/placement.rs crates/hvac-hash/src/stats.rs crates/hvac-hash/src/topology.rs
+
+crates/hvac-hash/src/lib.rs:
+crates/hvac-hash/src/pathhash.rs:
+crates/hvac-hash/src/placement.rs:
+crates/hvac-hash/src/stats.rs:
+crates/hvac-hash/src/topology.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hvac_hash-7b86c44e585daee8.d: crates/hvac-hash/src/lib.rs crates/hvac-hash/src/pathhash.rs crates/hvac-hash/src/placement.rs crates/hvac-hash/src/stats.rs crates/hvac-hash/src/topology.rs
+
+/root/repo/target/debug/deps/hvac_hash-7b86c44e585daee8: crates/hvac-hash/src/lib.rs crates/hvac-hash/src/pathhash.rs crates/hvac-hash/src/placement.rs crates/hvac-hash/src/stats.rs crates/hvac-hash/src/topology.rs
+
+crates/hvac-hash/src/lib.rs:
+crates/hvac-hash/src/pathhash.rs:
+crates/hvac-hash/src/placement.rs:
+crates/hvac-hash/src/stats.rs:
+crates/hvac-hash/src/topology.rs:

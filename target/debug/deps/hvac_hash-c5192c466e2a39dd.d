@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/hvac_hash-c5192c466e2a39dd.d: crates/hvac-hash/src/lib.rs crates/hvac-hash/src/pathhash.rs crates/hvac-hash/src/placement.rs crates/hvac-hash/src/stats.rs crates/hvac-hash/src/topology.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhvac_hash-c5192c466e2a39dd.rmeta: crates/hvac-hash/src/lib.rs crates/hvac-hash/src/pathhash.rs crates/hvac-hash/src/placement.rs crates/hvac-hash/src/stats.rs crates/hvac-hash/src/topology.rs Cargo.toml
+
+crates/hvac-hash/src/lib.rs:
+crates/hvac-hash/src/pathhash.rs:
+crates/hvac-hash/src/placement.rs:
+crates/hvac-hash/src/stats.rs:
+crates/hvac-hash/src/topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

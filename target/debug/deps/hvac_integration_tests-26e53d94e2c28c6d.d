@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hvac_integration_tests-26e53d94e2c28c6d.d: tests/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhvac_integration_tests-26e53d94e2c28c6d.rmeta: tests/src/lib.rs Cargo.toml
+
+tests/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

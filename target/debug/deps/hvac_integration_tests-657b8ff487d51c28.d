@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hvac_integration_tests-657b8ff487d51c28.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libhvac_integration_tests-657b8ff487d51c28.rlib: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libhvac_integration_tests-657b8ff487d51c28.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

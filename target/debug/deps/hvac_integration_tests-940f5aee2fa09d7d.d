@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hvac_integration_tests-940f5aee2fa09d7d.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libhvac_integration_tests-940f5aee2fa09d7d.rlib: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libhvac_integration_tests-940f5aee2fa09d7d.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

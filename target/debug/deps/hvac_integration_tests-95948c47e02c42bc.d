@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hvac_integration_tests-95948c47e02c42bc.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/hvac_integration_tests-95948c47e02c42bc: tests/src/lib.rs
+
+tests/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hvac_integration_tests-b778a1ad2637e224.d: tests/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhvac_integration_tests-b778a1ad2637e224.rmeta: tests/src/lib.rs Cargo.toml
+
+tests/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

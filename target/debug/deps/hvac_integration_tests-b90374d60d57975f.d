@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hvac_integration_tests-b90374d60d57975f.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/hvac_integration_tests-b90374d60d57975f: tests/src/lib.rs
+
+tests/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hvac_integration_tests-b9369c4667b7b658.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/hvac_integration_tests-b9369c4667b7b658: tests/src/lib.rs
+
+tests/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hvac_integration_tests-c5b31e635ed5c0bc.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/hvac_integration_tests-c5b31e635ed5c0bc: tests/src/lib.rs
+
+tests/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hvac_integration_tests-ccfa7370568d057e.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libhvac_integration_tests-ccfa7370568d057e.rlib: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libhvac_integration_tests-ccfa7370568d057e.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hvac_integration_tests-d9b7017d70b9dc08.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libhvac_integration_tests-d9b7017d70b9dc08.rlib: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libhvac_integration_tests-d9b7017d70b9dc08.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/hvac_net-1fab277af7e024ec.d: crates/hvac-net/src/lib.rs crates/hvac-net/src/bulk.rs crates/hvac-net/src/client.rs crates/hvac-net/src/fabric.rs crates/hvac-net/src/wire.rs
+
+/root/repo/target/debug/deps/libhvac_net-1fab277af7e024ec.rlib: crates/hvac-net/src/lib.rs crates/hvac-net/src/bulk.rs crates/hvac-net/src/client.rs crates/hvac-net/src/fabric.rs crates/hvac-net/src/wire.rs
+
+/root/repo/target/debug/deps/libhvac_net-1fab277af7e024ec.rmeta: crates/hvac-net/src/lib.rs crates/hvac-net/src/bulk.rs crates/hvac-net/src/client.rs crates/hvac-net/src/fabric.rs crates/hvac-net/src/wire.rs
+
+crates/hvac-net/src/lib.rs:
+crates/hvac-net/src/bulk.rs:
+crates/hvac-net/src/client.rs:
+crates/hvac-net/src/fabric.rs:
+crates/hvac-net/src/wire.rs:

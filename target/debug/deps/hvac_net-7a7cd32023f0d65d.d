@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hvac_net-7a7cd32023f0d65d.d: crates/hvac-net/src/lib.rs crates/hvac-net/src/bulk.rs crates/hvac-net/src/client.rs crates/hvac-net/src/fabric.rs crates/hvac-net/src/wire.rs
+
+/root/repo/target/debug/deps/hvac_net-7a7cd32023f0d65d: crates/hvac-net/src/lib.rs crates/hvac-net/src/bulk.rs crates/hvac-net/src/client.rs crates/hvac-net/src/fabric.rs crates/hvac-net/src/wire.rs
+
+crates/hvac-net/src/lib.rs:
+crates/hvac-net/src/bulk.rs:
+crates/hvac-net/src/client.rs:
+crates/hvac-net/src/fabric.rs:
+crates/hvac-net/src/wire.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/hvac_net-aac0acc1f3a37fc6.d: crates/hvac-net/src/lib.rs crates/hvac-net/src/bulk.rs crates/hvac-net/src/client.rs crates/hvac-net/src/fabric.rs crates/hvac-net/src/wire.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhvac_net-aac0acc1f3a37fc6.rmeta: crates/hvac-net/src/lib.rs crates/hvac-net/src/bulk.rs crates/hvac-net/src/client.rs crates/hvac-net/src/fabric.rs crates/hvac-net/src/wire.rs Cargo.toml
+
+crates/hvac-net/src/lib.rs:
+crates/hvac-net/src/bulk.rs:
+crates/hvac-net/src/client.rs:
+crates/hvac-net/src/fabric.rs:
+crates/hvac-net/src/wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

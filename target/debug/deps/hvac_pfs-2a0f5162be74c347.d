@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/hvac_pfs-2a0f5162be74c347.d: crates/hvac-pfs/src/lib.rs crates/hvac-pfs/src/dirstore.rs crates/hvac-pfs/src/memstore.rs crates/hvac-pfs/src/store.rs crates/hvac-pfs/src/throttle.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhvac_pfs-2a0f5162be74c347.rmeta: crates/hvac-pfs/src/lib.rs crates/hvac-pfs/src/dirstore.rs crates/hvac-pfs/src/memstore.rs crates/hvac-pfs/src/store.rs crates/hvac-pfs/src/throttle.rs Cargo.toml
+
+crates/hvac-pfs/src/lib.rs:
+crates/hvac-pfs/src/dirstore.rs:
+crates/hvac-pfs/src/memstore.rs:
+crates/hvac-pfs/src/store.rs:
+crates/hvac-pfs/src/throttle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/hvac_pfs-a1e0d65c79be8764.d: crates/hvac-pfs/src/lib.rs crates/hvac-pfs/src/dirstore.rs crates/hvac-pfs/src/memstore.rs crates/hvac-pfs/src/store.rs crates/hvac-pfs/src/throttle.rs
+
+/root/repo/target/debug/deps/libhvac_pfs-a1e0d65c79be8764.rlib: crates/hvac-pfs/src/lib.rs crates/hvac-pfs/src/dirstore.rs crates/hvac-pfs/src/memstore.rs crates/hvac-pfs/src/store.rs crates/hvac-pfs/src/throttle.rs
+
+/root/repo/target/debug/deps/libhvac_pfs-a1e0d65c79be8764.rmeta: crates/hvac-pfs/src/lib.rs crates/hvac-pfs/src/dirstore.rs crates/hvac-pfs/src/memstore.rs crates/hvac-pfs/src/store.rs crates/hvac-pfs/src/throttle.rs
+
+crates/hvac-pfs/src/lib.rs:
+crates/hvac-pfs/src/dirstore.rs:
+crates/hvac-pfs/src/memstore.rs:
+crates/hvac-pfs/src/store.rs:
+crates/hvac-pfs/src/throttle.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hvac_pfs-d1d8f9fbadcb7a3f.d: crates/hvac-pfs/src/lib.rs crates/hvac-pfs/src/dirstore.rs crates/hvac-pfs/src/memstore.rs crates/hvac-pfs/src/store.rs crates/hvac-pfs/src/throttle.rs
+
+/root/repo/target/debug/deps/hvac_pfs-d1d8f9fbadcb7a3f: crates/hvac-pfs/src/lib.rs crates/hvac-pfs/src/dirstore.rs crates/hvac-pfs/src/memstore.rs crates/hvac-pfs/src/store.rs crates/hvac-pfs/src/throttle.rs
+
+crates/hvac-pfs/src/lib.rs:
+crates/hvac-pfs/src/dirstore.rs:
+crates/hvac-pfs/src/memstore.rs:
+crates/hvac-pfs/src/store.rs:
+crates/hvac-pfs/src/throttle.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hvac_preload-17eef51597e576fe.d: crates/hvac-preload/src/lib.rs crates/hvac-preload/src/agent.rs crates/hvac-preload/src/shim.rs
+
+/root/repo/target/debug/deps/hvac_preload-17eef51597e576fe: crates/hvac-preload/src/lib.rs crates/hvac-preload/src/agent.rs crates/hvac-preload/src/shim.rs
+
+crates/hvac-preload/src/lib.rs:
+crates/hvac-preload/src/agent.rs:
+crates/hvac-preload/src/shim.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hvac_preload-31790bfe055a3c50.d: crates/hvac-preload/src/lib.rs crates/hvac-preload/src/agent.rs crates/hvac-preload/src/shim.rs
+
+/root/repo/target/debug/deps/hvac_preload-31790bfe055a3c50: crates/hvac-preload/src/lib.rs crates/hvac-preload/src/agent.rs crates/hvac-preload/src/shim.rs
+
+crates/hvac-preload/src/lib.rs:
+crates/hvac-preload/src/agent.rs:
+crates/hvac-preload/src/shim.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/hvac_preload-606293209debdae9.d: crates/hvac-preload/src/lib.rs crates/hvac-preload/src/agent.rs crates/hvac-preload/src/shim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhvac_preload-606293209debdae9.rmeta: crates/hvac-preload/src/lib.rs crates/hvac-preload/src/agent.rs crates/hvac-preload/src/shim.rs Cargo.toml
+
+crates/hvac-preload/src/lib.rs:
+crates/hvac-preload/src/agent.rs:
+crates/hvac-preload/src/shim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

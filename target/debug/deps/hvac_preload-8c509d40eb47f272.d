@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hvac_preload-8c509d40eb47f272.d: crates/hvac-preload/src/lib.rs crates/hvac-preload/src/agent.rs crates/hvac-preload/src/shim.rs
+
+/root/repo/target/debug/deps/hvac_preload-8c509d40eb47f272: crates/hvac-preload/src/lib.rs crates/hvac-preload/src/agent.rs crates/hvac-preload/src/shim.rs
+
+crates/hvac-preload/src/lib.rs:
+crates/hvac-preload/src/agent.rs:
+crates/hvac-preload/src/shim.rs:

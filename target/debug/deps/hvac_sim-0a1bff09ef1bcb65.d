@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/hvac_sim-0a1bff09ef1bcb65.d: crates/hvac-sim/src/lib.rs crates/hvac-sim/src/engine.rs crates/hvac-sim/src/gpfs.rs crates/hvac-sim/src/iostack.rs crates/hvac-sim/src/mdtest.rs crates/hvac-sim/src/resource.rs crates/hvac-sim/src/stats.rs
+
+/root/repo/target/debug/deps/libhvac_sim-0a1bff09ef1bcb65.rlib: crates/hvac-sim/src/lib.rs crates/hvac-sim/src/engine.rs crates/hvac-sim/src/gpfs.rs crates/hvac-sim/src/iostack.rs crates/hvac-sim/src/mdtest.rs crates/hvac-sim/src/resource.rs crates/hvac-sim/src/stats.rs
+
+/root/repo/target/debug/deps/libhvac_sim-0a1bff09ef1bcb65.rmeta: crates/hvac-sim/src/lib.rs crates/hvac-sim/src/engine.rs crates/hvac-sim/src/gpfs.rs crates/hvac-sim/src/iostack.rs crates/hvac-sim/src/mdtest.rs crates/hvac-sim/src/resource.rs crates/hvac-sim/src/stats.rs
+
+crates/hvac-sim/src/lib.rs:
+crates/hvac-sim/src/engine.rs:
+crates/hvac-sim/src/gpfs.rs:
+crates/hvac-sim/src/iostack.rs:
+crates/hvac-sim/src/mdtest.rs:
+crates/hvac-sim/src/resource.rs:
+crates/hvac-sim/src/stats.rs:

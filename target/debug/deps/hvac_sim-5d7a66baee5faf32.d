@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/hvac_sim-5d7a66baee5faf32.d: crates/hvac-sim/src/lib.rs crates/hvac-sim/src/engine.rs crates/hvac-sim/src/gpfs.rs crates/hvac-sim/src/iostack.rs crates/hvac-sim/src/mdtest.rs crates/hvac-sim/src/resource.rs crates/hvac-sim/src/stats.rs
+
+/root/repo/target/debug/deps/hvac_sim-5d7a66baee5faf32: crates/hvac-sim/src/lib.rs crates/hvac-sim/src/engine.rs crates/hvac-sim/src/gpfs.rs crates/hvac-sim/src/iostack.rs crates/hvac-sim/src/mdtest.rs crates/hvac-sim/src/resource.rs crates/hvac-sim/src/stats.rs
+
+crates/hvac-sim/src/lib.rs:
+crates/hvac-sim/src/engine.rs:
+crates/hvac-sim/src/gpfs.rs:
+crates/hvac-sim/src/iostack.rs:
+crates/hvac-sim/src/mdtest.rs:
+crates/hvac-sim/src/resource.rs:
+crates/hvac-sim/src/stats.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/hvac_sim-c79c6163bb197f2d.d: crates/hvac-sim/src/lib.rs crates/hvac-sim/src/engine.rs crates/hvac-sim/src/gpfs.rs crates/hvac-sim/src/iostack.rs crates/hvac-sim/src/mdtest.rs crates/hvac-sim/src/resource.rs crates/hvac-sim/src/stats.rs
+
+/root/repo/target/debug/deps/libhvac_sim-c79c6163bb197f2d.rlib: crates/hvac-sim/src/lib.rs crates/hvac-sim/src/engine.rs crates/hvac-sim/src/gpfs.rs crates/hvac-sim/src/iostack.rs crates/hvac-sim/src/mdtest.rs crates/hvac-sim/src/resource.rs crates/hvac-sim/src/stats.rs
+
+/root/repo/target/debug/deps/libhvac_sim-c79c6163bb197f2d.rmeta: crates/hvac-sim/src/lib.rs crates/hvac-sim/src/engine.rs crates/hvac-sim/src/gpfs.rs crates/hvac-sim/src/iostack.rs crates/hvac-sim/src/mdtest.rs crates/hvac-sim/src/resource.rs crates/hvac-sim/src/stats.rs
+
+crates/hvac-sim/src/lib.rs:
+crates/hvac-sim/src/engine.rs:
+crates/hvac-sim/src/gpfs.rs:
+crates/hvac-sim/src/iostack.rs:
+crates/hvac-sim/src/mdtest.rs:
+crates/hvac-sim/src/resource.rs:
+crates/hvac-sim/src/stats.rs:

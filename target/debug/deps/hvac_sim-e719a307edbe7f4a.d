@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/hvac_sim-e719a307edbe7f4a.d: crates/hvac-sim/src/lib.rs crates/hvac-sim/src/engine.rs crates/hvac-sim/src/gpfs.rs crates/hvac-sim/src/iostack.rs crates/hvac-sim/src/mdtest.rs crates/hvac-sim/src/resource.rs crates/hvac-sim/src/stats.rs
+
+/root/repo/target/debug/deps/hvac_sim-e719a307edbe7f4a: crates/hvac-sim/src/lib.rs crates/hvac-sim/src/engine.rs crates/hvac-sim/src/gpfs.rs crates/hvac-sim/src/iostack.rs crates/hvac-sim/src/mdtest.rs crates/hvac-sim/src/resource.rs crates/hvac-sim/src/stats.rs
+
+crates/hvac-sim/src/lib.rs:
+crates/hvac-sim/src/engine.rs:
+crates/hvac-sim/src/gpfs.rs:
+crates/hvac-sim/src/iostack.rs:
+crates/hvac-sim/src/mdtest.rs:
+crates/hvac-sim/src/resource.rs:
+crates/hvac-sim/src/stats.rs:

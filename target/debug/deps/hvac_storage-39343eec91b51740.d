@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/hvac_storage-39343eec91b51740.d: crates/hvac-storage/src/lib.rs crates/hvac-storage/src/capacity.rs crates/hvac-storage/src/device.rs crates/hvac-storage/src/localstore.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhvac_storage-39343eec91b51740.rmeta: crates/hvac-storage/src/lib.rs crates/hvac-storage/src/capacity.rs crates/hvac-storage/src/device.rs crates/hvac-storage/src/localstore.rs Cargo.toml
+
+crates/hvac-storage/src/lib.rs:
+crates/hvac-storage/src/capacity.rs:
+crates/hvac-storage/src/device.rs:
+crates/hvac-storage/src/localstore.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/hvac_storage-5adb0dee45413d37.d: crates/hvac-storage/src/lib.rs crates/hvac-storage/src/capacity.rs crates/hvac-storage/src/device.rs crates/hvac-storage/src/localstore.rs
+
+/root/repo/target/debug/deps/hvac_storage-5adb0dee45413d37: crates/hvac-storage/src/lib.rs crates/hvac-storage/src/capacity.rs crates/hvac-storage/src/device.rs crates/hvac-storage/src/localstore.rs
+
+crates/hvac-storage/src/lib.rs:
+crates/hvac-storage/src/capacity.rs:
+crates/hvac-storage/src/device.rs:
+crates/hvac-storage/src/localstore.rs:

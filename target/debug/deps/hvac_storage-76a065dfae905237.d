@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/hvac_storage-76a065dfae905237.d: crates/hvac-storage/src/lib.rs crates/hvac-storage/src/capacity.rs crates/hvac-storage/src/device.rs crates/hvac-storage/src/localstore.rs
+
+/root/repo/target/debug/deps/libhvac_storage-76a065dfae905237.rlib: crates/hvac-storage/src/lib.rs crates/hvac-storage/src/capacity.rs crates/hvac-storage/src/device.rs crates/hvac-storage/src/localstore.rs
+
+/root/repo/target/debug/deps/libhvac_storage-76a065dfae905237.rmeta: crates/hvac-storage/src/lib.rs crates/hvac-storage/src/capacity.rs crates/hvac-storage/src/device.rs crates/hvac-storage/src/localstore.rs
+
+crates/hvac-storage/src/lib.rs:
+crates/hvac-storage/src/capacity.rs:
+crates/hvac-storage/src/device.rs:
+crates/hvac-storage/src/localstore.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/hvac_storage-b632485c0ec7416c.d: crates/hvac-storage/src/lib.rs crates/hvac-storage/src/capacity.rs crates/hvac-storage/src/device.rs crates/hvac-storage/src/localstore.rs
+
+/root/repo/target/debug/deps/libhvac_storage-b632485c0ec7416c.rlib: crates/hvac-storage/src/lib.rs crates/hvac-storage/src/capacity.rs crates/hvac-storage/src/device.rs crates/hvac-storage/src/localstore.rs
+
+/root/repo/target/debug/deps/libhvac_storage-b632485c0ec7416c.rmeta: crates/hvac-storage/src/lib.rs crates/hvac-storage/src/capacity.rs crates/hvac-storage/src/device.rs crates/hvac-storage/src/localstore.rs
+
+crates/hvac-storage/src/lib.rs:
+crates/hvac-storage/src/capacity.rs:
+crates/hvac-storage/src/device.rs:
+crates/hvac-storage/src/localstore.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hvac_sync-31d8e89db1ce3f7e.d: crates/hvac-sync/src/lib.rs crates/hvac-sync/src/classes.rs crates/hvac-sync/src/order.rs
+
+/root/repo/target/debug/deps/hvac_sync-31d8e89db1ce3f7e: crates/hvac-sync/src/lib.rs crates/hvac-sync/src/classes.rs crates/hvac-sync/src/order.rs
+
+crates/hvac-sync/src/lib.rs:
+crates/hvac-sync/src/classes.rs:
+crates/hvac-sync/src/order.rs:

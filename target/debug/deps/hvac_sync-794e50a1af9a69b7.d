@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/hvac_sync-794e50a1af9a69b7.d: crates/hvac-sync/src/lib.rs crates/hvac-sync/src/classes.rs crates/hvac-sync/src/order.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhvac_sync-794e50a1af9a69b7.rmeta: crates/hvac-sync/src/lib.rs crates/hvac-sync/src/classes.rs crates/hvac-sync/src/order.rs Cargo.toml
+
+crates/hvac-sync/src/lib.rs:
+crates/hvac-sync/src/classes.rs:
+crates/hvac-sync/src/order.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

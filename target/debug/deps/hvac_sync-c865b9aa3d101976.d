@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hvac_sync-c865b9aa3d101976.d: crates/hvac-sync/src/lib.rs crates/hvac-sync/src/classes.rs crates/hvac-sync/src/order.rs
+
+/root/repo/target/debug/deps/libhvac_sync-c865b9aa3d101976.rlib: crates/hvac-sync/src/lib.rs crates/hvac-sync/src/classes.rs crates/hvac-sync/src/order.rs
+
+/root/repo/target/debug/deps/libhvac_sync-c865b9aa3d101976.rmeta: crates/hvac-sync/src/lib.rs crates/hvac-sync/src/classes.rs crates/hvac-sync/src/order.rs
+
+crates/hvac-sync/src/lib.rs:
+crates/hvac-sync/src/classes.rs:
+crates/hvac-sync/src/order.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/hvac_types-12c48d4e6c335318.d: crates/hvac-types/src/lib.rs crates/hvac-types/src/config.rs crates/hvac-types/src/error.rs crates/hvac-types/src/ids.rs crates/hvac-types/src/summit.rs crates/hvac-types/src/time.rs crates/hvac-types/src/units.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhvac_types-12c48d4e6c335318.rmeta: crates/hvac-types/src/lib.rs crates/hvac-types/src/config.rs crates/hvac-types/src/error.rs crates/hvac-types/src/ids.rs crates/hvac-types/src/summit.rs crates/hvac-types/src/time.rs crates/hvac-types/src/units.rs Cargo.toml
+
+crates/hvac-types/src/lib.rs:
+crates/hvac-types/src/config.rs:
+crates/hvac-types/src/error.rs:
+crates/hvac-types/src/ids.rs:
+crates/hvac-types/src/summit.rs:
+crates/hvac-types/src/time.rs:
+crates/hvac-types/src/units.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

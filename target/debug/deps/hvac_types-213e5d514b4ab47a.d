@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/hvac_types-213e5d514b4ab47a.d: crates/hvac-types/src/lib.rs crates/hvac-types/src/config.rs crates/hvac-types/src/error.rs crates/hvac-types/src/ids.rs crates/hvac-types/src/summit.rs crates/hvac-types/src/time.rs crates/hvac-types/src/units.rs
+
+/root/repo/target/debug/deps/libhvac_types-213e5d514b4ab47a.rlib: crates/hvac-types/src/lib.rs crates/hvac-types/src/config.rs crates/hvac-types/src/error.rs crates/hvac-types/src/ids.rs crates/hvac-types/src/summit.rs crates/hvac-types/src/time.rs crates/hvac-types/src/units.rs
+
+/root/repo/target/debug/deps/libhvac_types-213e5d514b4ab47a.rmeta: crates/hvac-types/src/lib.rs crates/hvac-types/src/config.rs crates/hvac-types/src/error.rs crates/hvac-types/src/ids.rs crates/hvac-types/src/summit.rs crates/hvac-types/src/time.rs crates/hvac-types/src/units.rs
+
+crates/hvac-types/src/lib.rs:
+crates/hvac-types/src/config.rs:
+crates/hvac-types/src/error.rs:
+crates/hvac-types/src/ids.rs:
+crates/hvac-types/src/summit.rs:
+crates/hvac-types/src/time.rs:
+crates/hvac-types/src/units.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/hvac_types-719b64d4a31dde2c.d: crates/hvac-types/src/lib.rs crates/hvac-types/src/config.rs crates/hvac-types/src/error.rs crates/hvac-types/src/ids.rs crates/hvac-types/src/summit.rs crates/hvac-types/src/time.rs crates/hvac-types/src/units.rs
+
+/root/repo/target/debug/deps/hvac_types-719b64d4a31dde2c: crates/hvac-types/src/lib.rs crates/hvac-types/src/config.rs crates/hvac-types/src/error.rs crates/hvac-types/src/ids.rs crates/hvac-types/src/summit.rs crates/hvac-types/src/time.rs crates/hvac-types/src/units.rs
+
+crates/hvac-types/src/lib.rs:
+crates/hvac-types/src/config.rs:
+crates/hvac-types/src/error.rs:
+crates/hvac-types/src/ids.rs:
+crates/hvac-types/src/summit.rs:
+crates/hvac-types/src/time.rs:
+crates/hvac-types/src/units.rs:

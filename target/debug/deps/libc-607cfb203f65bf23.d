@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/libc-607cfb203f65bf23.d: vendor/libc/src/lib.rs
+
+/root/repo/target/debug/deps/liblibc-607cfb203f65bf23.rmeta: vendor/libc/src/lib.rs
+
+vendor/libc/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/libc-788e466a01844411.d: vendor/libc/src/lib.rs
+
+/root/repo/target/debug/deps/liblibc-788e466a01844411.rlib: vendor/libc/src/lib.rs
+
+/root/repo/target/debug/deps/liblibc-788e466a01844411.rmeta: vendor/libc/src/lib.rs
+
+vendor/libc/src/lib.rs:

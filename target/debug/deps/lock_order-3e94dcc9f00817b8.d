@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lock_order-3e94dcc9f00817b8.d: crates/hvac-sync/tests/lock_order.rs
+
+/root/repo/target/debug/deps/lock_order-3e94dcc9f00817b8: crates/hvac-sync/tests/lock_order.rs
+
+crates/hvac-sync/tests/lock_order.rs:

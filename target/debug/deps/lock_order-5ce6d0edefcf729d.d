@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lock_order-5ce6d0edefcf729d.d: crates/hvac-sync/tests/lock_order.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblock_order-5ce6d0edefcf729d.rmeta: crates/hvac-sync/tests/lock_order.rs Cargo.toml
+
+crates/hvac-sync/tests/lock_order.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

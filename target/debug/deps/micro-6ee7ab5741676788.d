@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/micro-6ee7ab5741676788.d: crates/hvac-bench/benches/micro.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicro-6ee7ab5741676788.rmeta: crates/hvac-bench/benches/micro.rs Cargo.toml
+
+crates/hvac-bench/benches/micro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prefetch-4a9ada106839f458.d: tests/tests/prefetch.rs
+
+/root/repo/target/debug/deps/prefetch-4a9ada106839f458: tests/tests/prefetch.rs
+
+tests/tests/prefetch.rs:

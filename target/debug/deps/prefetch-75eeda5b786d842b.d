@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prefetch-75eeda5b786d842b.d: tests/tests/prefetch.rs
+
+/root/repo/target/debug/deps/prefetch-75eeda5b786d842b: tests/tests/prefetch.rs
+
+tests/tests/prefetch.rs:

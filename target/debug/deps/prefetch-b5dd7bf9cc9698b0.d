@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prefetch-b5dd7bf9cc9698b0.d: tests/tests/prefetch.rs
+
+/root/repo/target/debug/deps/prefetch-b5dd7bf9cc9698b0: tests/tests/prefetch.rs
+
+tests/tests/prefetch.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prefetch-bc154a01970b5982.d: tests/tests/prefetch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprefetch-bc154a01970b5982.rmeta: tests/tests/prefetch.rs Cargo.toml
+
+tests/tests/prefetch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

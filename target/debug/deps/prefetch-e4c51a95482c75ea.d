@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prefetch-e4c51a95482c75ea.d: tests/tests/prefetch.rs
+
+/root/repo/target/debug/deps/prefetch-e4c51a95482c75ea: tests/tests/prefetch.rs
+
+tests/tests/prefetch.rs:

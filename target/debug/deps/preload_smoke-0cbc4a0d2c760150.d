@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/preload_smoke-0cbc4a0d2c760150.d: crates/hvac-preload/tests/preload_smoke.rs
+
+/root/repo/target/debug/deps/preload_smoke-0cbc4a0d2c760150: crates/hvac-preload/tests/preload_smoke.rs
+
+crates/hvac-preload/tests/preload_smoke.rs:

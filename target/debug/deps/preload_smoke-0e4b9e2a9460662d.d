@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/preload_smoke-0e4b9e2a9460662d.d: crates/hvac-preload/tests/preload_smoke.rs
+
+/root/repo/target/debug/deps/preload_smoke-0e4b9e2a9460662d: crates/hvac-preload/tests/preload_smoke.rs
+
+crates/hvac-preload/tests/preload_smoke.rs:

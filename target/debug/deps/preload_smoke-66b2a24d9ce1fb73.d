@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/preload_smoke-66b2a24d9ce1fb73.d: crates/hvac-preload/tests/preload_smoke.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpreload_smoke-66b2a24d9ce1fb73.rmeta: crates/hvac-preload/tests/preload_smoke.rs Cargo.toml
+
+crates/hvac-preload/tests/preload_smoke.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/preload_smoke-cd85b7932f923d58.d: crates/hvac-preload/tests/preload_smoke.rs
+
+/root/repo/target/debug/deps/preload_smoke-cd85b7932f923d58: crates/hvac-preload/tests/preload_smoke.rs
+
+crates/hvac-preload/tests/preload_smoke.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-12eb77c35112e21f.d: crates/hvac-core/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-12eb77c35112e21f: crates/hvac-core/tests/proptests.rs
+
+crates/hvac-core/tests/proptests.rs:

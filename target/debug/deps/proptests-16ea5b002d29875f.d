@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-16ea5b002d29875f.d: crates/hvac-sim/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-16ea5b002d29875f: crates/hvac-sim/tests/proptests.rs
+
+crates/hvac-sim/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-2c5cb7b8c0b4d0f8.d: crates/hvac-dl/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-2c5cb7b8c0b4d0f8.rmeta: crates/hvac-dl/tests/proptests.rs Cargo.toml
+
+crates/hvac-dl/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-483a4984b227ff63.d: crates/hvac-net/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-483a4984b227ff63.rmeta: crates/hvac-net/tests/proptests.rs Cargo.toml
+
+crates/hvac-net/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

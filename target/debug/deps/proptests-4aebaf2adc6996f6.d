@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-4aebaf2adc6996f6.d: crates/hvac-dl/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-4aebaf2adc6996f6: crates/hvac-dl/tests/proptests.rs
+
+crates/hvac-dl/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-5893234fa6742029.d: crates/hvac-hash/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-5893234fa6742029: crates/hvac-hash/tests/proptests.rs
+
+crates/hvac-hash/tests/proptests.rs:

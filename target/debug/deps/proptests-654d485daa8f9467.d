@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-654d485daa8f9467.d: crates/hvac-dl/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-654d485daa8f9467: crates/hvac-dl/tests/proptests.rs
+
+crates/hvac-dl/tests/proptests.rs:

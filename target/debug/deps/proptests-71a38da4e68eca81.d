@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-71a38da4e68eca81.d: crates/hvac-sim/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-71a38da4e68eca81: crates/hvac-sim/tests/proptests.rs
+
+crates/hvac-sim/tests/proptests.rs:

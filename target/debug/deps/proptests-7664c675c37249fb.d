@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-7664c675c37249fb.d: crates/hvac-core/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-7664c675c37249fb.rmeta: crates/hvac-core/tests/proptests.rs Cargo.toml
+
+crates/hvac-core/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-7fdb605d509a2eb4.d: crates/hvac-core/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-7fdb605d509a2eb4: crates/hvac-core/tests/proptests.rs
+
+crates/hvac-core/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-ac6efc9b876bdafc.d: crates/hvac-dl/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-ac6efc9b876bdafc: crates/hvac-dl/tests/proptests.rs
+
+crates/hvac-dl/tests/proptests.rs:

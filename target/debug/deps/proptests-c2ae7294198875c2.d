@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-c2ae7294198875c2.d: crates/hvac-sim/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-c2ae7294198875c2.rmeta: crates/hvac-sim/tests/proptests.rs Cargo.toml
+
+crates/hvac-sim/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-df443396be3a8ed6.d: crates/hvac-net/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-df443396be3a8ed6: crates/hvac-net/tests/proptests.rs
+
+crates/hvac-net/tests/proptests.rs:

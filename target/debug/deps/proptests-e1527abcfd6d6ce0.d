@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-e1527abcfd6d6ce0.d: crates/hvac-hash/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-e1527abcfd6d6ce0: crates/hvac-hash/tests/proptests.rs
+
+crates/hvac-hash/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-e412efefc2192555.d: crates/hvac-core/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-e412efefc2192555: crates/hvac-core/tests/proptests.rs
+
+crates/hvac-core/tests/proptests.rs:

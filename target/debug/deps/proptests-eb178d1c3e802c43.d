@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-eb178d1c3e802c43.d: crates/hvac-sim/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-eb178d1c3e802c43: crates/hvac-sim/tests/proptests.rs
+
+crates/hvac-sim/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-f8e2e6f34fe5ab27.d: crates/hvac-net/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-f8e2e6f34fe5ab27: crates/hvac-net/tests/proptests.rs
+
+crates/hvac-net/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-fcefcfa8e8d8d0bd.d: crates/hvac-hash/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-fcefcfa8e8d8d0bd.rmeta: crates/hvac-hash/tests/proptests.rs Cargo.toml
+
+crates/hvac-hash/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce-117e44d67476c98a.d: crates/hvac-bench/src/bin/reproduce.rs
+
+/root/repo/target/debug/deps/reproduce-117e44d67476c98a: crates/hvac-bench/src/bin/reproduce.rs
+
+crates/hvac-bench/src/bin/reproduce.rs:

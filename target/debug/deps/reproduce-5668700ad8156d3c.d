@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reproduce-5668700ad8156d3c.d: crates/hvac-bench/src/bin/reproduce.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreproduce-5668700ad8156d3c.rmeta: crates/hvac-bench/src/bin/reproduce.rs Cargo.toml
+
+crates/hvac-bench/src/bin/reproduce.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

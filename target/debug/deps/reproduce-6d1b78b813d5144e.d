@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce-6d1b78b813d5144e.d: crates/hvac-bench/src/bin/reproduce.rs
+
+/root/repo/target/debug/deps/reproduce-6d1b78b813d5144e: crates/hvac-bench/src/bin/reproduce.rs
+
+crates/hvac-bench/src/bin/reproduce.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce-76d7e4b0bf5d1269.d: crates/hvac-bench/src/bin/reproduce.rs
+
+/root/repo/target/debug/deps/reproduce-76d7e4b0bf5d1269: crates/hvac-bench/src/bin/reproduce.rs
+
+crates/hvac-bench/src/bin/reproduce.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce-7941af9155625896.d: crates/hvac-bench/src/bin/reproduce.rs
+
+/root/repo/target/debug/deps/reproduce-7941af9155625896: crates/hvac-bench/src/bin/reproduce.rs
+
+crates/hvac-bench/src/bin/reproduce.rs:

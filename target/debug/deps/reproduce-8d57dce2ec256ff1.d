@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reproduce-8d57dce2ec256ff1.d: crates/hvac-bench/src/bin/reproduce.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreproduce-8d57dce2ec256ff1.rmeta: crates/hvac-bench/src/bin/reproduce.rs Cargo.toml
+
+crates/hvac-bench/src/bin/reproduce.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

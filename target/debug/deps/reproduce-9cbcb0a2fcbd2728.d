@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce-9cbcb0a2fcbd2728.d: crates/hvac-bench/src/bin/reproduce.rs
+
+/root/repo/target/debug/deps/reproduce-9cbcb0a2fcbd2728: crates/hvac-bench/src/bin/reproduce.rs
+
+crates/hvac-bench/src/bin/reproduce.rs:

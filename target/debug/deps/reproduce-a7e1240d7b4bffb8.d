@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce-a7e1240d7b4bffb8.d: crates/hvac-bench/src/bin/reproduce.rs
+
+/root/repo/target/debug/deps/reproduce-a7e1240d7b4bffb8: crates/hvac-bench/src/bin/reproduce.rs
+
+crates/hvac-bench/src/bin/reproduce.rs:

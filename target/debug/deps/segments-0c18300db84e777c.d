@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/segments-0c18300db84e777c.d: tests/tests/segments.rs
+
+/root/repo/target/debug/deps/segments-0c18300db84e777c: tests/tests/segments.rs
+
+tests/tests/segments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/segments-325f36498fd9c5ad.d: tests/tests/segments.rs
+
+/root/repo/target/debug/deps/segments-325f36498fd9c5ad: tests/tests/segments.rs
+
+tests/tests/segments.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/segments-381668dd691a80ea.d: tests/tests/segments.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsegments-381668dd691a80ea.rmeta: tests/tests/segments.rs Cargo.toml
+
+tests/tests/segments.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/segments-41ecc8abe2425e94.d: tests/tests/segments.rs
+
+/root/repo/target/debug/deps/segments-41ecc8abe2425e94: tests/tests/segments.rs
+
+tests/tests/segments.rs:

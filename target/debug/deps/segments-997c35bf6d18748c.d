@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/segments-997c35bf6d18748c.d: tests/tests/segments.rs
+
+/root/repo/target/debug/deps/segments-997c35bf6d18748c: tests/tests/segments.rs
+
+tests/tests/segments.rs:

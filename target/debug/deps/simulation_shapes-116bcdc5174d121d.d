@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulation_shapes-116bcdc5174d121d.d: tests/tests/simulation_shapes.rs
+
+/root/repo/target/debug/deps/simulation_shapes-116bcdc5174d121d: tests/tests/simulation_shapes.rs
+
+tests/tests/simulation_shapes.rs:

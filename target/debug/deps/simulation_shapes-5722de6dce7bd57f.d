@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simulation_shapes-5722de6dce7bd57f.d: tests/tests/simulation_shapes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimulation_shapes-5722de6dce7bd57f.rmeta: tests/tests/simulation_shapes.rs Cargo.toml
+
+tests/tests/simulation_shapes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

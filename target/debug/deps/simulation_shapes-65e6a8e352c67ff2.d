@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulation_shapes-65e6a8e352c67ff2.d: tests/tests/simulation_shapes.rs
+
+/root/repo/target/debug/deps/simulation_shapes-65e6a8e352c67ff2: tests/tests/simulation_shapes.rs
+
+tests/tests/simulation_shapes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulation_shapes-c78863959e3b1e87.d: tests/tests/simulation_shapes.rs
+
+/root/repo/target/debug/deps/simulation_shapes-c78863959e3b1e87: tests/tests/simulation_shapes.rs
+
+tests/tests/simulation_shapes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulation_shapes-ded7b0f578f4a451.d: tests/tests/simulation_shapes.rs
+
+/root/repo/target/debug/deps/simulation_shapes-ded7b0f578f4a451: tests/tests/simulation_shapes.rs
+
+tests/tests/simulation_shapes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tidy-05a330d6a07dfe14.d: tools/tidy/src/main.rs
+
+/root/repo/target/debug/deps/tidy-05a330d6a07dfe14: tools/tidy/src/main.rs
+
+tools/tidy/src/main.rs:

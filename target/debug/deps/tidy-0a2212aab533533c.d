@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/tidy-0a2212aab533533c.d: tools/tidy/src/lib.rs tools/tidy/src/ratchet.rs tools/tidy/src/scan.rs
+
+/root/repo/target/debug/deps/libtidy-0a2212aab533533c.rlib: tools/tidy/src/lib.rs tools/tidy/src/ratchet.rs tools/tidy/src/scan.rs
+
+/root/repo/target/debug/deps/libtidy-0a2212aab533533c.rmeta: tools/tidy/src/lib.rs tools/tidy/src/ratchet.rs tools/tidy/src/scan.rs
+
+tools/tidy/src/lib.rs:
+tools/tidy/src/ratchet.rs:
+tools/tidy/src/scan.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/tools/tidy

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/tidy-428302acb872d22b.d: tools/tidy/src/lib.rs tools/tidy/src/ratchet.rs tools/tidy/src/scan.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtidy-428302acb872d22b.rmeta: tools/tidy/src/lib.rs tools/tidy/src/ratchet.rs tools/tidy/src/scan.rs Cargo.toml
+
+tools/tidy/src/lib.rs:
+tools/tidy/src/ratchet.rs:
+tools/tidy/src/scan.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/tools/tidy
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

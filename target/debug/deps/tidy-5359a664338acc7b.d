@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tidy-5359a664338acc7b.d: tools/tidy/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtidy-5359a664338acc7b.rmeta: tools/tidy/src/main.rs Cargo.toml
+
+tools/tidy/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

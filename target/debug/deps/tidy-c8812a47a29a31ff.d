@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tidy-c8812a47a29a31ff.d: tools/tidy/src/lib.rs tools/tidy/src/ratchet.rs tools/tidy/src/scan.rs
+
+/root/repo/target/debug/deps/tidy-c8812a47a29a31ff: tools/tidy/src/lib.rs tools/tidy/src/ratchet.rs tools/tidy/src/scan.rs
+
+tools/tidy/src/lib.rs:
+tools/tidy/src/ratchet.rs:
+tools/tidy/src/scan.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/tools/tidy

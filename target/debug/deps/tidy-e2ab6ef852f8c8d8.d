@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tidy-e2ab6ef852f8c8d8.d: tools/tidy/src/main.rs
+
+/root/repo/target/debug/deps/tidy-e2ab6ef852f8c8d8: tools/tidy/src/main.rs
+
+tools/tidy/src/main.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tidy-fbe5c90ab465afc6.d: tools/tidy/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtidy-fbe5c90ab465afc6.rmeta: tools/tidy/src/main.rs Cargo.toml
+
+tools/tidy/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tidy_clean-2808bd7fa3c03d5b.d: tests/tests/tidy_clean.rs
+
+/root/repo/target/debug/deps/tidy_clean-2808bd7fa3c03d5b: tests/tests/tidy_clean.rs
+
+tests/tests/tidy_clean.rs:

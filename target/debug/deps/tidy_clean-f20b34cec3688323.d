@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tidy_clean-f20b34cec3688323.d: tests/tests/tidy_clean.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtidy_clean-f20b34cec3688323.rmeta: tests/tests/tidy_clean.rs Cargo.toml
+
+tests/tests/tidy_clean.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

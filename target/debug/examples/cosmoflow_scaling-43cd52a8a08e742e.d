@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/cosmoflow_scaling-43cd52a8a08e742e.d: examples/cosmoflow_scaling.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcosmoflow_scaling-43cd52a8a08e742e.rmeta: examples/cosmoflow_scaling.rs Cargo.toml
+
+examples/cosmoflow_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cosmoflow_scaling-9f2e136936b5ae5b.d: examples/cosmoflow_scaling.rs
+
+/root/repo/target/debug/examples/cosmoflow_scaling-9f2e136936b5ae5b: examples/cosmoflow_scaling.rs
+
+examples/cosmoflow_scaling.rs:

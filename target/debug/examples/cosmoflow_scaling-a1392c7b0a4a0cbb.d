@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cosmoflow_scaling-a1392c7b0a4a0cbb.d: examples/cosmoflow_scaling.rs
+
+/root/repo/target/debug/examples/cosmoflow_scaling-a1392c7b0a4a0cbb: examples/cosmoflow_scaling.rs
+
+examples/cosmoflow_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cosmoflow_scaling-c8fef73b208f2f7c.d: examples/cosmoflow_scaling.rs
+
+/root/repo/target/debug/examples/cosmoflow_scaling-c8fef73b208f2f7c: examples/cosmoflow_scaling.rs
+
+examples/cosmoflow_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/extensions-8a4a4da44fa881d8.d: examples/extensions.rs
+
+/root/repo/target/debug/examples/extensions-8a4a4da44fa881d8: examples/extensions.rs
+
+examples/extensions.rs:

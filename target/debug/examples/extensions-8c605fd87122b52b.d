@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/extensions-8c605fd87122b52b.d: examples/extensions.rs
+
+/root/repo/target/debug/examples/extensions-8c605fd87122b52b: examples/extensions.rs
+
+examples/extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/extensions-a82bb835163f6184.d: examples/extensions.rs
+
+/root/repo/target/debug/examples/extensions-a82bb835163f6184: examples/extensions.rs
+
+examples/extensions.rs:

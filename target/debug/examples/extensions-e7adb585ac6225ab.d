@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/extensions-e7adb585ac6225ab.d: examples/extensions.rs Cargo.toml
+
+/root/repo/target/debug/examples/libextensions-e7adb585ac6225ab.rmeta: examples/extensions.rs Cargo.toml
+
+examples/extensions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

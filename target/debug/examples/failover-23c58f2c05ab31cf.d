@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/failover-23c58f2c05ab31cf.d: examples/failover.rs
+
+/root/repo/target/debug/examples/failover-23c58f2c05ab31cf: examples/failover.rs
+
+examples/failover.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/failover-59616a9d5db71079.d: examples/failover.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfailover-59616a9d5db71079.rmeta: examples/failover.rs Cargo.toml
+
+examples/failover.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

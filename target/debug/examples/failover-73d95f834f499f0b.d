@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/failover-73d95f834f499f0b.d: examples/failover.rs
+
+/root/repo/target/debug/examples/failover-73d95f834f499f0b: examples/failover.rs
+
+examples/failover.rs:

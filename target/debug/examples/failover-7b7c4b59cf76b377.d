@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/failover-7b7c4b59cf76b377.d: examples/failover.rs
+
+/root/repo/target/debug/examples/failover-7b7c4b59cf76b377: examples/failover.rs
+
+examples/failover.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/imagenet_resnet50-56e5aeb6a0428773.d: examples/imagenet_resnet50.rs
+
+/root/repo/target/debug/examples/imagenet_resnet50-56e5aeb6a0428773: examples/imagenet_resnet50.rs
+
+examples/imagenet_resnet50.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/imagenet_resnet50-592e0585fd1f3178.d: examples/imagenet_resnet50.rs Cargo.toml
+
+/root/repo/target/debug/examples/libimagenet_resnet50-592e0585fd1f3178.rmeta: examples/imagenet_resnet50.rs Cargo.toml
+
+examples/imagenet_resnet50.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

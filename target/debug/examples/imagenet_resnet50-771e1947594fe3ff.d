@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/imagenet_resnet50-771e1947594fe3ff.d: examples/imagenet_resnet50.rs
+
+/root/repo/target/debug/examples/imagenet_resnet50-771e1947594fe3ff: examples/imagenet_resnet50.rs
+
+examples/imagenet_resnet50.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/imagenet_resnet50-9a0963be383c15e1.d: examples/imagenet_resnet50.rs
+
+/root/repo/target/debug/examples/imagenet_resnet50-9a0963be383c15e1: examples/imagenet_resnet50.rs
+
+examples/imagenet_resnet50.rs:

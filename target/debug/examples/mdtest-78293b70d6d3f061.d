@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mdtest-78293b70d6d3f061.d: examples/mdtest.rs
+
+/root/repo/target/debug/examples/mdtest-78293b70d6d3f061: examples/mdtest.rs
+
+examples/mdtest.rs:

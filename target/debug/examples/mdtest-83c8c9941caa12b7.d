@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mdtest-83c8c9941caa12b7.d: examples/mdtest.rs
+
+/root/repo/target/debug/examples/mdtest-83c8c9941caa12b7: examples/mdtest.rs
+
+examples/mdtest.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mdtest-9f5d018c9a263cfa.d: examples/mdtest.rs
+
+/root/repo/target/debug/examples/mdtest-9f5d018c9a263cfa: examples/mdtest.rs
+
+examples/mdtest.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/mdtest-d259e59af4ee8083.d: examples/mdtest.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmdtest-d259e59af4ee8083.rmeta: examples/mdtest.rs Cargo.toml
+
+examples/mdtest.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-1aa3ce423b339a10.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-1aa3ce423b339a10: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-80dab3e5934d5a22.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-80dab3e5934d5a22.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

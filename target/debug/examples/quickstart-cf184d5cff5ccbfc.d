@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-cf184d5cff5ccbfc.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-cf184d5cff5ccbfc: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-eb9fcde68f2d78c2.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-eb9fcde68f2d78c2: examples/quickstart.rs
+
+examples/quickstart.rs:

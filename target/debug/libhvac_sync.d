@@ -1,0 +1,1 @@
+/root/repo/target/debug/libhvac_sync.rlib: /root/repo/crates/hvac-sync/src/classes.rs /root/repo/crates/hvac-sync/src/lib.rs /root/repo/crates/hvac-sync/src/order.rs

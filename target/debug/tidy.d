@@ -1,0 +1,1 @@
+/root/repo/target/debug/tidy: /root/repo/tools/tidy/src/lib.rs /root/repo/tools/tidy/src/main.rs /root/repo/tools/tidy/src/ratchet.rs /root/repo/tools/tidy/src/scan.rs

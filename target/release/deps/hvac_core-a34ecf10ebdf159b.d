@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/hvac_core-a34ecf10ebdf159b.d: crates/hvac-core/src/lib.rs crates/hvac-core/src/cache.rs crates/hvac-core/src/client.rs crates/hvac-core/src/cluster.rs crates/hvac-core/src/eviction.rs crates/hvac-core/src/intercept.rs crates/hvac-core/src/metrics.rs crates/hvac-core/src/protocol.rs crates/hvac-core/src/server.rs
+
+/root/repo/target/release/deps/libhvac_core-a34ecf10ebdf159b.rlib: crates/hvac-core/src/lib.rs crates/hvac-core/src/cache.rs crates/hvac-core/src/client.rs crates/hvac-core/src/cluster.rs crates/hvac-core/src/eviction.rs crates/hvac-core/src/intercept.rs crates/hvac-core/src/metrics.rs crates/hvac-core/src/protocol.rs crates/hvac-core/src/server.rs
+
+/root/repo/target/release/deps/libhvac_core-a34ecf10ebdf159b.rmeta: crates/hvac-core/src/lib.rs crates/hvac-core/src/cache.rs crates/hvac-core/src/client.rs crates/hvac-core/src/cluster.rs crates/hvac-core/src/eviction.rs crates/hvac-core/src/intercept.rs crates/hvac-core/src/metrics.rs crates/hvac-core/src/protocol.rs crates/hvac-core/src/server.rs
+
+crates/hvac-core/src/lib.rs:
+crates/hvac-core/src/cache.rs:
+crates/hvac-core/src/client.rs:
+crates/hvac-core/src/cluster.rs:
+crates/hvac-core/src/eviction.rs:
+crates/hvac-core/src/intercept.rs:
+crates/hvac-core/src/metrics.rs:
+crates/hvac-core/src/protocol.rs:
+crates/hvac-core/src/server.rs:

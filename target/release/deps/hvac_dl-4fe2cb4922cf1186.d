@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/hvac_dl-4fe2cb4922cf1186.d: crates/hvac-dl/src/lib.rs crates/hvac-dl/src/accuracy.rs crates/hvac-dl/src/dataset.rs crates/hvac-dl/src/loader.rs crates/hvac-dl/src/models.rs crates/hvac-dl/src/sampler.rs crates/hvac-dl/src/training.rs
+
+/root/repo/target/release/deps/libhvac_dl-4fe2cb4922cf1186.rlib: crates/hvac-dl/src/lib.rs crates/hvac-dl/src/accuracy.rs crates/hvac-dl/src/dataset.rs crates/hvac-dl/src/loader.rs crates/hvac-dl/src/models.rs crates/hvac-dl/src/sampler.rs crates/hvac-dl/src/training.rs
+
+/root/repo/target/release/deps/libhvac_dl-4fe2cb4922cf1186.rmeta: crates/hvac-dl/src/lib.rs crates/hvac-dl/src/accuracy.rs crates/hvac-dl/src/dataset.rs crates/hvac-dl/src/loader.rs crates/hvac-dl/src/models.rs crates/hvac-dl/src/sampler.rs crates/hvac-dl/src/training.rs
+
+crates/hvac-dl/src/lib.rs:
+crates/hvac-dl/src/accuracy.rs:
+crates/hvac-dl/src/dataset.rs:
+crates/hvac-dl/src/loader.rs:
+crates/hvac-dl/src/models.rs:
+crates/hvac-dl/src/sampler.rs:
+crates/hvac-dl/src/training.rs:

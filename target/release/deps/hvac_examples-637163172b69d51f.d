@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/hvac_examples-637163172b69d51f.d: examples/src/lib.rs
+
+/root/repo/target/release/deps/libhvac_examples-637163172b69d51f.rlib: examples/src/lib.rs
+
+/root/repo/target/release/deps/libhvac_examples-637163172b69d51f.rmeta: examples/src/lib.rs
+
+examples/src/lib.rs:

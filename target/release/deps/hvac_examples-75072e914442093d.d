@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/hvac_examples-75072e914442093d.d: examples/src/lib.rs
+
+/root/repo/target/release/deps/libhvac_examples-75072e914442093d.rlib: examples/src/lib.rs
+
+/root/repo/target/release/deps/libhvac_examples-75072e914442093d.rmeta: examples/src/lib.rs
+
+examples/src/lib.rs:

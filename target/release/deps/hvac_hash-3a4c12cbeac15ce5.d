@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/hvac_hash-3a4c12cbeac15ce5.d: crates/hvac-hash/src/lib.rs crates/hvac-hash/src/pathhash.rs crates/hvac-hash/src/placement.rs crates/hvac-hash/src/stats.rs crates/hvac-hash/src/topology.rs
+
+/root/repo/target/release/deps/libhvac_hash-3a4c12cbeac15ce5.rlib: crates/hvac-hash/src/lib.rs crates/hvac-hash/src/pathhash.rs crates/hvac-hash/src/placement.rs crates/hvac-hash/src/stats.rs crates/hvac-hash/src/topology.rs
+
+/root/repo/target/release/deps/libhvac_hash-3a4c12cbeac15ce5.rmeta: crates/hvac-hash/src/lib.rs crates/hvac-hash/src/pathhash.rs crates/hvac-hash/src/placement.rs crates/hvac-hash/src/stats.rs crates/hvac-hash/src/topology.rs
+
+crates/hvac-hash/src/lib.rs:
+crates/hvac-hash/src/pathhash.rs:
+crates/hvac-hash/src/placement.rs:
+crates/hvac-hash/src/stats.rs:
+crates/hvac-hash/src/topology.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/hvac_integration_tests-39b3f8eaaeb330fa.d: tests/src/lib.rs
+
+/root/repo/target/release/deps/libhvac_integration_tests-39b3f8eaaeb330fa.rlib: tests/src/lib.rs
+
+/root/repo/target/release/deps/libhvac_integration_tests-39b3f8eaaeb330fa.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/hvac_integration_tests-a0fd28dd58b2abc1.d: tests/src/lib.rs
+
+/root/repo/target/release/deps/libhvac_integration_tests-a0fd28dd58b2abc1.rlib: tests/src/lib.rs
+
+/root/repo/target/release/deps/libhvac_integration_tests-a0fd28dd58b2abc1.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

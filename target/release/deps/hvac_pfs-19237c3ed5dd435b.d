@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/hvac_pfs-19237c3ed5dd435b.d: crates/hvac-pfs/src/lib.rs crates/hvac-pfs/src/dirstore.rs crates/hvac-pfs/src/memstore.rs crates/hvac-pfs/src/store.rs crates/hvac-pfs/src/throttle.rs
+
+/root/repo/target/release/deps/libhvac_pfs-19237c3ed5dd435b.rlib: crates/hvac-pfs/src/lib.rs crates/hvac-pfs/src/dirstore.rs crates/hvac-pfs/src/memstore.rs crates/hvac-pfs/src/store.rs crates/hvac-pfs/src/throttle.rs
+
+/root/repo/target/release/deps/libhvac_pfs-19237c3ed5dd435b.rmeta: crates/hvac-pfs/src/lib.rs crates/hvac-pfs/src/dirstore.rs crates/hvac-pfs/src/memstore.rs crates/hvac-pfs/src/store.rs crates/hvac-pfs/src/throttle.rs
+
+crates/hvac-pfs/src/lib.rs:
+crates/hvac-pfs/src/dirstore.rs:
+crates/hvac-pfs/src/memstore.rs:
+crates/hvac-pfs/src/store.rs:
+crates/hvac-pfs/src/throttle.rs:

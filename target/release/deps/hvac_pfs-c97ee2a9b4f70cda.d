@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/hvac_pfs-c97ee2a9b4f70cda.d: crates/hvac-pfs/src/lib.rs crates/hvac-pfs/src/dirstore.rs crates/hvac-pfs/src/memstore.rs crates/hvac-pfs/src/store.rs crates/hvac-pfs/src/throttle.rs
+
+/root/repo/target/release/deps/libhvac_pfs-c97ee2a9b4f70cda.rlib: crates/hvac-pfs/src/lib.rs crates/hvac-pfs/src/dirstore.rs crates/hvac-pfs/src/memstore.rs crates/hvac-pfs/src/store.rs crates/hvac-pfs/src/throttle.rs
+
+/root/repo/target/release/deps/libhvac_pfs-c97ee2a9b4f70cda.rmeta: crates/hvac-pfs/src/lib.rs crates/hvac-pfs/src/dirstore.rs crates/hvac-pfs/src/memstore.rs crates/hvac-pfs/src/store.rs crates/hvac-pfs/src/throttle.rs
+
+crates/hvac-pfs/src/lib.rs:
+crates/hvac-pfs/src/dirstore.rs:
+crates/hvac-pfs/src/memstore.rs:
+crates/hvac-pfs/src/store.rs:
+crates/hvac-pfs/src/throttle.rs:

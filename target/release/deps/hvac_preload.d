@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/hvac_preload.d: crates/hvac-preload/src/lib.rs crates/hvac-preload/src/agent.rs crates/hvac-preload/src/shim.rs
+
+/root/repo/target/release/deps/libhvac_preload.so: crates/hvac-preload/src/lib.rs crates/hvac-preload/src/agent.rs crates/hvac-preload/src/shim.rs
+
+/root/repo/target/release/deps/libhvac_preload.rlib: crates/hvac-preload/src/lib.rs crates/hvac-preload/src/agent.rs crates/hvac-preload/src/shim.rs
+
+crates/hvac-preload/src/lib.rs:
+crates/hvac-preload/src/agent.rs:
+crates/hvac-preload/src/shim.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/hvac_sim-8d6ac3f587cef4ee.d: crates/hvac-sim/src/lib.rs crates/hvac-sim/src/engine.rs crates/hvac-sim/src/gpfs.rs crates/hvac-sim/src/iostack.rs crates/hvac-sim/src/mdtest.rs crates/hvac-sim/src/resource.rs crates/hvac-sim/src/stats.rs
+
+/root/repo/target/release/deps/libhvac_sim-8d6ac3f587cef4ee.rlib: crates/hvac-sim/src/lib.rs crates/hvac-sim/src/engine.rs crates/hvac-sim/src/gpfs.rs crates/hvac-sim/src/iostack.rs crates/hvac-sim/src/mdtest.rs crates/hvac-sim/src/resource.rs crates/hvac-sim/src/stats.rs
+
+/root/repo/target/release/deps/libhvac_sim-8d6ac3f587cef4ee.rmeta: crates/hvac-sim/src/lib.rs crates/hvac-sim/src/engine.rs crates/hvac-sim/src/gpfs.rs crates/hvac-sim/src/iostack.rs crates/hvac-sim/src/mdtest.rs crates/hvac-sim/src/resource.rs crates/hvac-sim/src/stats.rs
+
+crates/hvac-sim/src/lib.rs:
+crates/hvac-sim/src/engine.rs:
+crates/hvac-sim/src/gpfs.rs:
+crates/hvac-sim/src/iostack.rs:
+crates/hvac-sim/src/mdtest.rs:
+crates/hvac-sim/src/resource.rs:
+crates/hvac-sim/src/stats.rs:

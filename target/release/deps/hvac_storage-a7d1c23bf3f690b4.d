@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/hvac_storage-a7d1c23bf3f690b4.d: crates/hvac-storage/src/lib.rs crates/hvac-storage/src/capacity.rs crates/hvac-storage/src/device.rs crates/hvac-storage/src/localstore.rs
+
+/root/repo/target/release/deps/libhvac_storage-a7d1c23bf3f690b4.rlib: crates/hvac-storage/src/lib.rs crates/hvac-storage/src/capacity.rs crates/hvac-storage/src/device.rs crates/hvac-storage/src/localstore.rs
+
+/root/repo/target/release/deps/libhvac_storage-a7d1c23bf3f690b4.rmeta: crates/hvac-storage/src/lib.rs crates/hvac-storage/src/capacity.rs crates/hvac-storage/src/device.rs crates/hvac-storage/src/localstore.rs
+
+crates/hvac-storage/src/lib.rs:
+crates/hvac-storage/src/capacity.rs:
+crates/hvac-storage/src/device.rs:
+crates/hvac-storage/src/localstore.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/hvac_sync-351bbeea49931ad0.d: crates/hvac-sync/src/lib.rs crates/hvac-sync/src/classes.rs
+
+/root/repo/target/release/deps/libhvac_sync-351bbeea49931ad0.rlib: crates/hvac-sync/src/lib.rs crates/hvac-sync/src/classes.rs
+
+/root/repo/target/release/deps/libhvac_sync-351bbeea49931ad0.rmeta: crates/hvac-sync/src/lib.rs crates/hvac-sync/src/classes.rs
+
+crates/hvac-sync/src/lib.rs:
+crates/hvac-sync/src/classes.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/hvac_types-aa1947ea98e860e7.d: crates/hvac-types/src/lib.rs crates/hvac-types/src/config.rs crates/hvac-types/src/error.rs crates/hvac-types/src/ids.rs crates/hvac-types/src/summit.rs crates/hvac-types/src/time.rs crates/hvac-types/src/units.rs
+
+/root/repo/target/release/deps/libhvac_types-aa1947ea98e860e7.rlib: crates/hvac-types/src/lib.rs crates/hvac-types/src/config.rs crates/hvac-types/src/error.rs crates/hvac-types/src/ids.rs crates/hvac-types/src/summit.rs crates/hvac-types/src/time.rs crates/hvac-types/src/units.rs
+
+/root/repo/target/release/deps/libhvac_types-aa1947ea98e860e7.rmeta: crates/hvac-types/src/lib.rs crates/hvac-types/src/config.rs crates/hvac-types/src/error.rs crates/hvac-types/src/ids.rs crates/hvac-types/src/summit.rs crates/hvac-types/src/time.rs crates/hvac-types/src/units.rs
+
+crates/hvac-types/src/lib.rs:
+crates/hvac-types/src/config.rs:
+crates/hvac-types/src/error.rs:
+crates/hvac-types/src/ids.rs:
+crates/hvac-types/src/summit.rs:
+crates/hvac-types/src/time.rs:
+crates/hvac-types/src/units.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/libc-848fb0acc17e6fdb.d: vendor/libc/src/lib.rs
+
+/root/repo/target/release/deps/liblibc-848fb0acc17e6fdb.rlib: vendor/libc/src/lib.rs
+
+/root/repo/target/release/deps/liblibc-848fb0acc17e6fdb.rmeta: vendor/libc/src/lib.rs
+
+vendor/libc/src/lib.rs:

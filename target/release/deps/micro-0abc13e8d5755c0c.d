@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/micro-0abc13e8d5755c0c.d: crates/hvac-bench/benches/micro.rs
+
+/root/repo/target/release/deps/micro-0abc13e8d5755c0c: crates/hvac-bench/benches/micro.rs
+
+crates/hvac-bench/benches/micro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reproduce-a0c9cee79c983c11.d: crates/hvac-bench/src/bin/reproduce.rs
+
+/root/repo/target/release/deps/reproduce-a0c9cee79c983c11: crates/hvac-bench/src/bin/reproduce.rs
+
+crates/hvac-bench/src/bin/reproduce.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reproduce-ff0eea66a75adcbf.d: crates/hvac-bench/src/bin/reproduce.rs
+
+/root/repo/target/release/deps/reproduce-ff0eea66a75adcbf: crates/hvac-bench/src/bin/reproduce.rs
+
+crates/hvac-bench/src/bin/reproduce.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/tidy-039dbdccd8bb2edc.d: tools/tidy/src/lib.rs tools/tidy/src/ratchet.rs tools/tidy/src/scan.rs
+
+/root/repo/target/release/deps/libtidy-039dbdccd8bb2edc.rlib: tools/tidy/src/lib.rs tools/tidy/src/ratchet.rs tools/tidy/src/scan.rs
+
+/root/repo/target/release/deps/libtidy-039dbdccd8bb2edc.rmeta: tools/tidy/src/lib.rs tools/tidy/src/ratchet.rs tools/tidy/src/scan.rs
+
+tools/tidy/src/lib.rs:
+tools/tidy/src/ratchet.rs:
+tools/tidy/src/scan.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/tools/tidy

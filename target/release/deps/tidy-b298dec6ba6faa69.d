@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tidy-b298dec6ba6faa69.d: tools/tidy/src/main.rs
+
+/root/repo/target/release/deps/tidy-b298dec6ba6faa69: tools/tidy/src/main.rs
+
+tools/tidy/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-9b4fb555bec13aba.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-9b4fb555bec13aba: examples/quickstart.rs
+
+examples/quickstart.rs:

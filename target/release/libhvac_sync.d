@@ -1,0 +1,1 @@
+/root/repo/target/release/libhvac_sync.rlib: /root/repo/crates/hvac-sync/src/classes.rs /root/repo/crates/hvac-sync/src/lib.rs

@@ -4,9 +4,7 @@
 //! sharding (the strawman the paper warns about) lags.
 
 use hvac_core::cluster::{Cluster, ClusterOptions};
-use hvac_dl::accuracy::{
-    sharded_order, shuffled_order, train_with_order, SyntheticDataset,
-};
+use hvac_dl::accuracy::{sharded_order, shuffled_order, train_with_order, SyntheticDataset};
 use hvac_dl::loader::{BatchLoader, HvacReader, PfsReader};
 use hvac_dl::DatasetSpec;
 use hvac_pfs::MemStore;
@@ -19,7 +17,10 @@ fn training_order_through_hvac_equals_pfs_order() {
     spec.train_samples = n_files;
     let pfs = Arc::new(MemStore::new());
     for i in 0..n_files {
-        pfs.put(spec.path_of("/gpfs/train", i), MemStore::sample_content(i, 256));
+        pfs.put(
+            spec.path_of("/gpfs/train", i),
+            MemStore::sample_content(i, 256),
+        );
     }
     let cluster = Cluster::new(
         pfs.clone(),
@@ -31,7 +32,12 @@ fn training_order_through_hvac_equals_pfs_order() {
     for epoch in 0..2 {
         for rank in 0..4u64 {
             let hvac_stream: Vec<(u64, Vec<u8>)> = loader
-                .load_epoch(&HvacReader(cluster.client(rank as usize)), epoch, rank, usize::MAX)
+                .load_epoch(
+                    &HvacReader(cluster.client(rank as usize)),
+                    epoch,
+                    rank,
+                    usize::MAX,
+                )
                 .unwrap()
                 .into_iter()
                 .flatten()
@@ -72,7 +78,10 @@ fn hash_lookup_does_not_change_the_epoch_permutation() {
     let order_seed_42_b = shuffled_order(1000, 4, 3, 42);
     let order_seed_43 = shuffled_order(1000, 4, 3, 43);
     assert_eq!(order_seed_42_a, order_seed_42_b);
-    assert_ne!(order_seed_42_a, order_seed_43, "epochs do reshuffle by seed");
+    assert_ne!(
+        order_seed_42_a, order_seed_43,
+        "epochs do reshuffle by seed"
+    );
 }
 
 #[test]
@@ -107,13 +116,9 @@ fn hvac_reaches_accuracy_earlier_in_wall_clock() {
     use hvac_types::{ClusterConfig, GpfsConfig};
 
     let nodes = 256;
-    let mut cfg = TrainingConfig::new(
-        DatasetSpec::imagenet21k(),
-        DnnModel::resnet50(),
-        nodes,
-    )
-    .batch_size(32)
-    .epochs(3);
+    let mut cfg = TrainingConfig::new(DatasetSpec::imagenet21k(), DnnModel::resnet50(), nodes)
+        .batch_size(32)
+        .epochs(3);
     cfg.max_sim_iters = 2;
 
     let mut gpfs = GpfsBackend::new(GpfsModel::new(GpfsConfig::shared_alpine()));

@@ -106,9 +106,8 @@ fn concurrent_open_read_close_cycles_on_shared_fds() {
     // state and must stay consistent.
     let pfs = Arc::new(MemStore::new());
     pfs.synthesize_dataset(Path::new("/gpfs/train"), 4, |_| 8192);
-    let cluster = Arc::new(
-        Cluster::new(pfs, ClusterOptions::new(2, 1).dataset_dir("/gpfs/train")).unwrap(),
-    );
+    let cluster =
+        Arc::new(Cluster::new(pfs, ClusterOptions::new(2, 1).dataset_dir("/gpfs/train")).unwrap());
     let client = cluster.client(0).clone();
     let mut joins = Vec::new();
     for t in 0..8u64 {
@@ -120,7 +119,10 @@ fn concurrent_open_read_close_cycles_on_shared_fds() {
                 let a = client.read(fd, 100).unwrap();
                 let b = client.pread(fd, 0, 100).unwrap();
                 assert_eq!(a, b);
-                assert_eq!(client.lseek(fd, 0, hvac_core::client::Whence::Cur).unwrap(), 100);
+                assert_eq!(
+                    client.lseek(fd, 0, hvac_core::client::Whence::Cur).unwrap(),
+                    100
+                );
                 client.close(fd).unwrap();
             }
         }));

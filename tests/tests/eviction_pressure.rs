@@ -157,7 +157,10 @@ fn minio_policy_pins_a_stable_subset() {
     }
     let agg = cluster.aggregate_metrics();
     assert_eq!(agg.evictions, 0, "MinIO never evicts");
-    assert!(agg.pfs_bypass_reads > 0, "overflow must be served via bypass");
+    assert!(
+        agg.pfs_bypass_reads > 0,
+        "overflow must be served via bypass"
+    );
     assert!(
         agg.hit_rate() > 0.25,
         "pinned half of the dataset should hit ~ its capacity share: {}",

@@ -27,7 +27,9 @@ fn hvac_stream_is_byte_identical_to_pfs_stream() {
     let (pfs, spec) = synthetic_dataset(48);
     let cluster = Cluster::new(
         pfs.clone(),
-        ClusterOptions::new(4, 2).dataset_dir("/gpfs/train").clients_per_node(1),
+        ClusterOptions::new(4, 2)
+            .dataset_dir("/gpfs/train")
+            .clients_per_node(1),
     )
     .unwrap();
 
@@ -35,7 +37,12 @@ fn hvac_stream_is_byte_identical_to_pfs_stream() {
     for epoch in 0..3 {
         for rank in 0..4u64 {
             let via_hvac = loader
-                .load_epoch(&HvacReader(cluster.client(rank as usize)), epoch, rank, usize::MAX)
+                .load_epoch(
+                    &HvacReader(cluster.client(rank as usize)),
+                    epoch,
+                    rank,
+                    usize::MAX,
+                )
                 .expect("hvac epoch");
             let via_pfs = loader
                 .load_epoch(&PfsReader(pfs.as_ref()), epoch, rank, usize::MAX)
@@ -60,7 +67,12 @@ fn pfs_data_traffic_stops_after_first_epoch() {
 
     for rank in 0..5u64 {
         loader
-            .load_epoch(&HvacReader(cluster.client(rank as usize)), 0, rank, usize::MAX)
+            .load_epoch(
+                &HvacReader(cluster.client(rank as usize)),
+                0,
+                rank,
+                usize::MAX,
+            )
             .unwrap();
     }
     let (_, reads_after_e1, _) = pfs.stats().snapshot();
@@ -69,7 +81,12 @@ fn pfs_data_traffic_stops_after_first_epoch() {
     for epoch in 1..4 {
         for rank in 0..5u64 {
             loader
-                .load_epoch(&HvacReader(cluster.client(rank as usize)), epoch, rank, usize::MAX)
+                .load_epoch(
+                    &HvacReader(cluster.client(rank as usize)),
+                    epoch,
+                    rank,
+                    usize::MAX,
+                )
                 .unwrap();
         }
     }
@@ -86,11 +103,7 @@ fn pfs_data_traffic_stops_after_first_epoch() {
 #[test]
 fn files_land_on_their_hash_homes_and_nowhere_else() {
     let (pfs, _spec) = synthetic_dataset(64);
-    let cluster = Cluster::new(
-        pfs,
-        ClusterOptions::new(8, 1).dataset_dir("/gpfs/train"),
-    )
-    .unwrap();
+    let cluster = Cluster::new(pfs, ClusterOptions::new(8, 1).dataset_dir("/gpfs/train")).unwrap();
     for i in 0..64u64 {
         let path = format!("/gpfs/train/sample_{i:08}.bin");
         cluster.client(0).read_file(Path::new(&path)).unwrap();

@@ -39,7 +39,11 @@ fn prefetch_stages_the_whole_dataset() {
             .unwrap();
         assert_eq!(data, MemStore::sample_content(i, 1024));
     }
-    assert_eq!(pfs.stats().snapshot().1, N_FILES, "no PFS reads after staging");
+    assert_eq!(
+        pfs.stats().snapshot().1,
+        N_FILES,
+        "no PFS reads after staging"
+    );
     let agg = cluster.aggregate_metrics();
     assert_eq!(agg.cache_hits, N_FILES);
     assert_eq!(agg.cache_misses, 0);
@@ -50,7 +54,11 @@ fn prefetch_is_idempotent() {
     let (pfs, cluster) = setup();
     cluster.prefetch_dataset(Path::new("/gpfs/train")).unwrap();
     cluster.prefetch_dataset(Path::new("/gpfs/train")).unwrap();
-    assert_eq!(pfs.stats().snapshot().1, N_FILES, "re-staging copies nothing");
+    assert_eq!(
+        pfs.stats().snapshot().1,
+        N_FILES,
+        "re-staging copies nothing"
+    );
     // Only the first round actually enqueued copies.
     assert_eq!(cluster.aggregate_metrics().prefetches, N_FILES);
 }

@@ -14,7 +14,10 @@ const SEG: u64 = 64 * 1024; // 64 KiB segments -> 16 segments
 fn setup(nodes: u32, capacity: ByteSize) -> (Arc<MemStore>, Cluster) {
     let pfs = Arc::new(MemStore::new());
     pfs.put("/gpfs/train/huge.h5", MemStore::sample_content(7, BIG));
-    pfs.put("/gpfs/train/odd.h5", MemStore::sample_content(8, BIG + 12_345));
+    pfs.put(
+        "/gpfs/train/odd.h5",
+        MemStore::sample_content(8, BIG + 12_345),
+    );
     let cluster = Cluster::new(
         pfs.clone(),
         ClusterOptions::new(nodes, 1)
@@ -28,7 +31,10 @@ fn setup(nodes: u32, capacity: ByteSize) -> (Arc<MemStore>, Cluster) {
 #[test]
 fn segmented_read_reassembles_correctly() {
     let (_pfs, cluster) = setup(8, ByteSize::mib(16));
-    for (path, size) in [("/gpfs/train/huge.h5", BIG), ("/gpfs/train/odd.h5", BIG + 12_345)] {
+    for (path, size) in [
+        ("/gpfs/train/huge.h5", BIG),
+        ("/gpfs/train/odd.h5", BIG + 12_345),
+    ] {
         let via_segments = cluster
             .client(0)
             .read_file_segmented(Path::new(path), SEG)
@@ -48,11 +54,7 @@ fn segments_spread_one_file_across_many_nodes() {
         .unwrap();
     // File-granular caching would put everything on one node; segment
     // caching spreads the 16 segments.
-    let populated = cluster
-        .per_node_bytes()
-        .iter()
-        .filter(|&&b| b > 0)
-        .count();
+    let populated = cluster.per_node_bytes().iter().filter(|&&b| b > 0).count();
     assert!(
         populated >= 4,
         "segments should spread over many nodes, only {populated} populated"
@@ -74,9 +76,16 @@ fn repeat_segmented_reads_hit_the_cache() {
     cluster.client(0).read_file_segmented(p, SEG).unwrap();
     let (_, pfs_reads_cold, pfs_bytes_cold) = pfs.stats().snapshot();
     assert_eq!(pfs_reads_cold, 16, "one ranged PFS read per segment");
-    assert_eq!(pfs_bytes_cold, BIG as u64, "ranged reads fetch exactly the file");
+    assert_eq!(
+        pfs_bytes_cold, BIG as u64,
+        "ranged reads fetch exactly the file"
+    );
     cluster.client(1).read_file_segmented(p, SEG).unwrap();
-    assert_eq!(pfs.stats().snapshot().1, 16, "second pass never touches the PFS");
+    assert_eq!(
+        pfs.stats().snapshot().1,
+        16,
+        "second pass never touches the PFS"
+    );
     let agg = cluster.aggregate_metrics();
     assert_eq!(agg.cache_hits, 16);
     assert_eq!(agg.cache_misses, 16);
@@ -113,10 +122,7 @@ fn zero_segment_size_is_rejected() {
 fn segment_size_larger_than_file_degenerates_to_one_segment() {
     let (pfs, cluster) = setup(2, ByteSize::mib(8));
     let p = Path::new("/gpfs/train/huge.h5");
-    let data = cluster
-        .client(0)
-        .read_file_segmented(p, 100 << 20)
-        .unwrap();
+    let data = cluster.client(0).read_file_segmented(p, 100 << 20).unwrap();
     assert_eq!(data.len(), BIG);
     assert_eq!(pfs.stats().snapshot().1, 1, "a single ranged read");
 }

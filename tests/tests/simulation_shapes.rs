@@ -173,9 +173,13 @@ fn cosmoflow_is_more_io_bound_than_resnet() {
     // dominate; the simulator must agree: GPFS hurts CosmoFlow (relative to
     // its XFS bound) more than it hurts ResNet50.
     let relative_pain = |dataset: DatasetSpec, model: DnnModel, bs: u32| -> f64 {
-        let mut cfg = TrainingConfig::new(dataset, model, 512).batch_size(bs).epochs(3);
+        let mut cfg = TrainingConfig::new(dataset, model, 512)
+            .batch_size(bs)
+            .epochs(3);
         cfg.max_sim_iters = 2;
-        let tg = simulate_training(&mut shared_gpfs(), &cfg).total.as_secs_f64();
+        let tg = simulate_training(&mut shared_gpfs(), &cfg)
+            .total
+            .as_secs_f64();
         let tx = simulate_training(&mut XfsLocalBackend::summit(512), &cfg)
             .total
             .as_secs_f64();

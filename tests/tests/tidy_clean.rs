@@ -1,0 +1,22 @@
+//! Tier-1 gate: the in-repo lint suite must pass on the committed tree.
+//!
+//! `cargo test` therefore fails on the same violations `cargo run -p tidy`
+//! reports — raw `std::sync` primitives outside `hvac-sync`, above-ratchet
+//! `unwrap()`/`expect(` counts, `todo!`/`unimplemented!`/`dbg!` markers,
+//! and missing module docs — so CI and local workflows cannot drift.
+
+#[test]
+fn workspace_passes_tidy() {
+    let root = tidy::workspace_root();
+    let report = tidy::check_workspace(&root).expect("workspace sources are readable");
+    assert!(
+        report.is_clean(),
+        "tidy violations (run `cargo run -p tidy` for details):\n{}",
+        report
+            .errors
+            .iter()
+            .map(|e| format!("  {e}"))
+            .collect::<Vec<_>>()
+            .join("\n"),
+    );
+}

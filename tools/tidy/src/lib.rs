@@ -1,0 +1,428 @@
+//! Repo-local source lints for the HVAC workspace, in the style of
+//! rust-lang's `tidy`: fast, regex-free line scans with no external
+//! dependencies, run as `cargo run -p tidy` and from a tier-1 test.
+//!
+//! Checks enforced:
+//!
+//! 1. **Unwrap/expect ratchet** — per-crate caps on `.unwrap()` /
+//!    `.expect(` in non-test library code, stored in `ratchet.toml`.
+//!    Counts may only go down: exceeding a cap is an error, dropping below
+//!    it prints a note asking for the cap to be lowered.
+//! 2. **Raw sync primitives banned** — `std::sync::Mutex`, its `RwLock`,
+//!    and `parking_lot` may not be named outside `crates/hvac-sync`
+//!    (which wraps them with lock-order checking) and `vendor/`.
+//! 3. **Marker macros banned** — `todo!`, `unimplemented!`, and `dbg!`
+//!    may not appear anywhere, tests included.
+//! 4. **Module docs required** — every `.rs` file under a `src/` tree
+//!    must open with a `//!` doc comment.
+//!
+//! The library form exists so the tier-1 suite can run the exact same
+//! checks in-process (`tidy::check_workspace`) without shelling out.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+pub mod ratchet;
+
+mod scan;
+
+pub use ratchet::Ratchet;
+pub use scan::{non_test_lines, SourceFile};
+
+/// One lint violation, formatted `path:line: message`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Workspace-relative path.
+    pub path: PathBuf,
+    /// 1-based line number; 0 for whole-file/whole-crate findings.
+    pub line: usize,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}: {}", self.path.display(), self.message)
+        } else {
+            write!(f, "{}:{}: {}", self.path.display(), self.line, self.message)
+        }
+    }
+}
+
+/// Result of a tidy run: hard errors plus informational notes.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Violations that fail the run.
+    pub errors: Vec<Violation>,
+    /// Non-fatal observations (e.g. ratchet caps that can be lowered).
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Whether the tree passed every check.
+    pub fn is_clean(&self) -> bool {
+        self.errors.is_empty()
+    }
+}
+
+/// Directories under the workspace root that contain first-party sources.
+const SOURCE_ROOTS: &[&str] = &["crates", "tools", "examples", "tests"];
+
+/// Crates allowed to name raw std sync primitives: hvac-sync wraps them,
+/// and tidy itself spells the banned tokens in its check patterns.
+const SYNC_ALLOWLIST: &[&str] = &["crates/hvac-sync", "tools/tidy"];
+
+/// Tidy's own sources spell the banned macros and `.unwrap()` as string
+/// patterns, so the content checks skip them (module docs still apply).
+const SELF_EXEMPT: &str = "tools/tidy";
+
+/// Run every check against the workspace rooted at `root`, using the
+/// ratchet file at `root/tools/tidy/ratchet.toml`.
+pub fn check_workspace(root: &Path) -> std::io::Result<Report> {
+    let ratchet = Ratchet::load(&root.join("tools/tidy/ratchet.toml"))?;
+    Ok(check_workspace_with(root, &ratchet))
+}
+
+/// Run every check with an explicit ratchet (test hook).
+pub fn check_workspace_with(root: &Path, ratchet: &Ratchet) -> Report {
+    let mut report = Report::default();
+    let files = collect_sources(root);
+    check_sync_primitives(&files, &mut report);
+    check_marker_macros(&files, &mut report);
+    check_module_docs(&files, &mut report);
+    check_unwrap_ratchet(&files, ratchet, &mut report);
+    report
+}
+
+/// Gather all first-party `.rs` files, with contents, workspace-relative.
+fn collect_sources(root: &Path) -> Vec<SourceFile> {
+    let mut files = Vec::new();
+    for dir in SOURCE_ROOTS {
+        walk(root, &root.join(dir), &mut files);
+    }
+    files.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
+    files
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<SourceFile>) {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(_) => return,
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            walk(root, &path, out);
+        } else if name.ends_with(".rs") {
+            if let Ok(text) = std::fs::read_to_string(&path) {
+                let rel_path = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+                out.push(SourceFile::new(rel_path, text));
+            }
+        }
+    }
+}
+
+fn in_allowlist(rel: &Path, allowlist: &[&str]) -> bool {
+    allowlist.iter().any(|a| rel.starts_with(a))
+}
+
+/// Check 2: raw sync primitives outside hvac-sync.
+fn check_sync_primitives(files: &[SourceFile], report: &mut Report) {
+    for file in files {
+        if in_allowlist(&file.rel_path, SYNC_ALLOWLIST) {
+            continue;
+        }
+        for (idx, line) in file.lines() {
+            let banned = line.contains("std::sync::Mutex")
+                || line.contains("std::sync::RwLock")
+                || line.contains("parking_lot")
+                || is_std_sync_import_of_locks(line);
+            if banned {
+                report.errors.push(Violation {
+                    path: file.rel_path.clone(),
+                    line: idx,
+                    message: "raw sync primitive; use hvac_sync::{OrderedMutex, OrderedRwLock} \
+                              (lock-order checked, poison-recovering)"
+                        .into(),
+                });
+            }
+        }
+    }
+}
+
+/// Detect `use std::sync::{..., Mutex, ...}` style imports of the locks.
+fn is_std_sync_import_of_locks(line: &str) -> bool {
+    let trimmed = line.trim_start();
+    if !trimmed.starts_with("use std::sync") && !trimmed.starts_with("use ::std::sync") {
+        return false;
+    }
+    [
+        "Mutex",
+        "RwLock",
+        "MutexGuard",
+        "RwLockReadGuard",
+        "RwLockWriteGuard",
+    ]
+    .iter()
+    .any(|tok| {
+        line.split(|c: char| !c.is_alphanumeric() && c != '_')
+            .any(|w| w == *tok)
+    })
+}
+
+/// Check 3: marker macros anywhere.
+fn check_marker_macros(files: &[SourceFile], report: &mut Report) {
+    for file in files {
+        if file.rel_path.starts_with(SELF_EXEMPT) {
+            continue;
+        }
+        for (idx, line) in file.lines() {
+            for mac in ["todo!", "unimplemented!", "dbg!"] {
+                if let Some(pos) = line.find(mac) {
+                    // Skip when the match is inside a line comment.
+                    if line.find("//").is_some_and(|c| c < pos) {
+                        continue;
+                    }
+                    // `dbg!` must be the macro, not e.g. `xdbg!`.
+                    let pre = &line[..pos];
+                    if pre
+                        .chars()
+                        .next_back()
+                        .is_some_and(|c| c.is_alphanumeric() || c == '_')
+                    {
+                        continue;
+                    }
+                    report.errors.push(Violation {
+                        path: file.rel_path.clone(),
+                        line: idx,
+                        message: format!("`{mac}` is banned in committed code"),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Check 4: `//!` module docs at the top of every src file.
+fn check_module_docs(files: &[SourceFile], report: &mut Report) {
+    for file in files {
+        if !file.rel_path.iter().any(|c| c == "src") {
+            continue;
+        }
+        let has_doc = file
+            .text
+            .lines()
+            .take(10)
+            .any(|l| l.trim_start().starts_with("//!"));
+        if !has_doc {
+            report.errors.push(Violation {
+                path: file.rel_path.clone(),
+                line: 0,
+                message: "missing `//!` module doc comment in the first 10 lines".into(),
+            });
+        }
+    }
+}
+
+/// Check 1: per-crate unwrap/expect ratchet over non-test library code.
+fn check_unwrap_ratchet(files: &[SourceFile], ratchet: &Ratchet, report: &mut Report) {
+    let mut unwraps: BTreeMap<String, usize> = BTreeMap::new();
+    let mut expects: BTreeMap<String, usize> = BTreeMap::new();
+    for file in files {
+        if file.rel_path.starts_with(SELF_EXEMPT) {
+            continue;
+        }
+        let Some(crate_name) = library_crate_of(&file.rel_path) else {
+            continue;
+        };
+        let mask = non_test_lines(&file.text);
+        for ((_, line), counted) in file.lines().zip(mask) {
+            if !counted || line.trim_start().starts_with("//") {
+                // Comment lines include `//!` doc examples, which compile
+                // as doctests — test code, not library code.
+                continue;
+            }
+            *unwraps.entry(crate_name.clone()).or_default() += line.matches(".unwrap()").count();
+            *expects.entry(crate_name.clone()).or_default() += line.matches(".expect(").count();
+        }
+    }
+    for (kind, counts, caps) in [
+        ("unwrap", &unwraps, &ratchet.unwrap_caps),
+        ("expect", &expects, &ratchet.expect_caps),
+    ] {
+        for (krate, &count) in counts {
+            let cap = caps.get(krate).copied().unwrap_or(0);
+            if count > cap {
+                report.errors.push(Violation {
+                    path: PathBuf::from("tools/tidy/ratchet.toml"),
+                    line: 0,
+                    message: format!(
+                        "{krate}: {count} `.{kind}` calls in non-test code exceed the \
+                         ratchet cap of {cap}; convert them to error returns or poison \
+                         recovery (raising the cap is not allowed)"
+                    ),
+                });
+            } else if count < cap {
+                report.notes.push(format!(
+                    "{krate}: `.{kind}` count is {count}, below the cap of {cap} — \
+                     lower the cap in tools/tidy/ratchet.toml to lock in the progress"
+                ));
+            }
+        }
+    }
+}
+
+/// Map a workspace-relative path to the crate it belongs to, if the file
+/// is non-test library code (under `src/`, not `tests/` or `benches/`).
+fn library_crate_of(rel: &Path) -> Option<String> {
+    let parts: Vec<&str> = rel.iter().filter_map(|c| c.to_str()).collect();
+    let src_idx = parts.iter().position(|&p| p == "src")?;
+    // examples/src/... => crate "examples"; crates/hvac-core/src => "hvac-core".
+    let crate_name = parts.get(src_idx.checked_sub(1)?)?;
+    if parts[..src_idx]
+        .iter()
+        .any(|&p| p == "tests" || p == "benches")
+    {
+        return None;
+    }
+    Some((*crate_name).to_string())
+}
+
+/// Locate the workspace root from this crate's own manifest dir.
+pub fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("tools/tidy sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(path: &str, text: &str) -> SourceFile {
+        SourceFile::new(PathBuf::from(path), text.to_string())
+    }
+
+    #[test]
+    fn raw_mutex_flagged_outside_hvac_sync() {
+        let files = vec![
+            file(
+                "crates/hvac-core/src/bad.rs",
+                "//! doc\nuse std::sync::Mutex;\n",
+            ),
+            file(
+                "crates/hvac-sync/src/lib.rs",
+                "//! doc\nuse std::sync::Mutex;\n",
+            ),
+        ];
+        let mut report = Report::default();
+        check_sync_primitives(&files, &mut report);
+        assert_eq!(report.errors.len(), 1);
+        assert_eq!(
+            report.errors[0].path,
+            PathBuf::from("crates/hvac-core/src/bad.rs")
+        );
+        assert_eq!(report.errors[0].line, 2);
+    }
+
+    #[test]
+    fn parking_lot_flagged() {
+        let files = vec![file(
+            "crates/hvac-net/src/x.rs",
+            "//! doc\nuse parking_lot::RwLock;\n",
+        )];
+        let mut report = Report::default();
+        check_sync_primitives(&files, &mut report);
+        assert_eq!(report.errors.len(), 1);
+    }
+
+    #[test]
+    fn grouped_std_sync_import_flagged() {
+        let files = vec![file(
+            "crates/hvac-core/src/x.rs",
+            "//! doc\nuse std::sync::{Arc, Mutex};\n",
+        )];
+        let mut report = Report::default();
+        check_sync_primitives(&files, &mut report);
+        assert_eq!(report.errors.len(), 1);
+        // Arc alone is fine.
+        let files = vec![file(
+            "crates/hvac-core/src/y.rs",
+            "//! doc\nuse std::sync::Arc;\n",
+        )];
+        let mut report = Report::default();
+        check_sync_primitives(&files, &mut report);
+        assert!(report.is_clean());
+    }
+
+    #[test]
+    fn marker_macros_flagged_but_not_in_comments() {
+        let files = vec![file(
+            "crates/hvac-core/src/x.rs",
+            "//! doc\nfn f() { todo!() }\n// a comment about todo!\nfn g() { crate::xdbg!(); }\n",
+        )];
+        let mut report = Report::default();
+        check_marker_macros(&files, &mut report);
+        assert_eq!(report.errors.len(), 1);
+        assert_eq!(report.errors[0].line, 2);
+    }
+
+    #[test]
+    fn module_doc_required_under_src_only() {
+        let files = vec![
+            file("crates/hvac-core/src/x.rs", "fn f() {}\n"),
+            file("crates/hvac-core/tests/t.rs", "fn f() {}\n"),
+        ];
+        let mut report = Report::default();
+        check_module_docs(&files, &mut report);
+        assert_eq!(report.errors.len(), 1);
+        assert_eq!(
+            report.errors[0].path,
+            PathBuf::from("crates/hvac-core/src/x.rs")
+        );
+    }
+
+    #[test]
+    fn ratchet_blocks_new_unwraps_and_notes_progress() {
+        let files = vec![file(
+            "crates/hvac-core/src/x.rs",
+            "//! doc\nfn f() { x.unwrap(); y.unwrap(); }\n\
+             #[cfg(test)]\nmod tests { fn t() { z.unwrap(); } }\n",
+        )];
+        // Cap of 1: the two non-test unwraps exceed it (test one ignored).
+        let mut ratchet = Ratchet::default();
+        ratchet.unwrap_caps.insert("hvac-core".into(), 1);
+        let mut report = Report::default();
+        check_unwrap_ratchet(&files, &ratchet, &mut report);
+        assert_eq!(report.errors.len(), 1);
+        assert!(report.errors[0].message.contains("exceed"));
+        // Cap of 5: below cap, so a note but no error.
+        let mut ratchet = Ratchet::default();
+        ratchet.unwrap_caps.insert("hvac-core".into(), 5);
+        let mut report = Report::default();
+        check_unwrap_ratchet(&files, &ratchet, &mut report);
+        assert!(report.is_clean());
+        assert_eq!(report.notes.len(), 1);
+    }
+
+    #[test]
+    fn bench_and_test_files_exempt_from_ratchet() {
+        let files = vec![
+            file("crates/hvac-core/tests/t.rs", "fn f() { x.unwrap(); }\n"),
+            file("crates/hvac-bench/benches/b.rs", "fn f() { x.unwrap(); }\n"),
+        ];
+        let ratchet = Ratchet::default();
+        let mut report = Report::default();
+        check_unwrap_ratchet(&files, &ratchet, &mut report);
+        assert!(report.is_clean());
+    }
+}

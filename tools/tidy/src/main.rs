@@ -1,0 +1,27 @@
+//! `cargo run -p tidy` — run the repo lints and exit non-zero on failure.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = tidy::workspace_root();
+    let report = match tidy::check_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("tidy: failed to read workspace: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for note in &report.notes {
+        println!("tidy note: {note}");
+    }
+    if report.is_clean() {
+        println!("tidy: all checks passed");
+        ExitCode::SUCCESS
+    } else {
+        for err in &report.errors {
+            eprintln!("tidy error: {err}");
+        }
+        eprintln!("tidy: {} error(s)", report.errors.len());
+        ExitCode::FAILURE
+    }
+}

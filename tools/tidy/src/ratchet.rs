@@ -1,0 +1,84 @@
+//! Ratchet storage: per-crate caps that may only decrease over time.
+//!
+//! The on-disk format is a two-section TOML subset parsed by hand (tidy
+//! takes no dependencies): `[unwrap]` and `[expect]` tables of
+//! `crate-name = count` lines, `#` comments allowed.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Parsed ratchet caps.
+#[derive(Debug, Default, Clone)]
+pub struct Ratchet {
+    /// Max `.unwrap()` calls allowed per crate in non-test code.
+    pub unwrap_caps: BTreeMap<String, usize>,
+    /// Max `.expect(` calls allowed per crate in non-test code.
+    pub expect_caps: BTreeMap<String, usize>,
+}
+
+impl Ratchet {
+    /// Load from `path`; a missing file means zero caps everywhere.
+    pub fn load(path: &Path) -> std::io::Result<Self> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Ok(Self::parse(&text)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Self::default()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Parse the TOML subset. Unknown sections are ignored; malformed
+    /// lines are skipped (tidy reports on counts, not on its own config).
+    pub fn parse(text: &str) -> Self {
+        let mut ratchet = Self::default();
+        let mut section = String::new();
+        for line in text.lines() {
+            let line = line.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                section = name.trim().to_string();
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                continue;
+            };
+            let key = key.trim().trim_matches('"').to_string();
+            let Ok(value) = value.trim().parse::<usize>() else {
+                continue;
+            };
+            match section.as_str() {
+                "unwrap" => {
+                    ratchet.unwrap_caps.insert(key, value);
+                }
+                "expect" => {
+                    ratchet.expect_caps.insert(key, value);
+                }
+                _ => {}
+            }
+        }
+        ratchet
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Ratchet;
+
+    #[test]
+    fn parses_sections_and_comments() {
+        let r = Ratchet::parse(
+            "# caps\n[unwrap]\nhvac-core = 3 # shrinking\n\"hvac-net\" = 0\n\n[expect]\nhvac-core = 1\n",
+        );
+        assert_eq!(r.unwrap_caps["hvac-core"], 3);
+        assert_eq!(r.unwrap_caps["hvac-net"], 0);
+        assert_eq!(r.expect_caps["hvac-core"], 1);
+    }
+
+    #[test]
+    fn missing_file_is_zero_caps() {
+        let r = Ratchet::load(std::path::Path::new("/nonexistent/ratchet.toml"))
+            .expect("missing file is not an error");
+        assert!(r.unwrap_caps.is_empty());
+    }
+}

@@ -1,0 +1,97 @@
+//! Source-file model and the `#[cfg(test)]`-block mask.
+
+use std::path::PathBuf;
+
+/// A first-party source file with its contents in memory.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Path relative to the workspace root.
+    pub rel_path: PathBuf,
+    /// Full file contents.
+    pub text: String,
+}
+
+impl SourceFile {
+    /// Build from a relative path and contents.
+    pub fn new(rel_path: PathBuf, text: String) -> Self {
+        Self { rel_path, text }
+    }
+
+    /// Iterate `(1-based line number, line)`.
+    pub fn lines(&self) -> impl Iterator<Item = (usize, &str)> {
+        self.text.lines().enumerate().map(|(i, l)| (i + 1, l))
+    }
+}
+
+/// Per-line mask that is `false` inside `#[cfg(test)]` items.
+///
+/// Heuristic brace tracking: from a `#[cfg(test)]` attribute line, skip
+/// either to the end of a braced item (typically `mod tests { ... }`) or,
+/// for brace-less items, through the terminating `;`. String literals
+/// containing braces can skew the count, which is acceptable for a lint
+/// ratchet — counts are reviewed by a human when the ratchet moves.
+pub fn non_test_lines(text: &str) -> Vec<bool> {
+    let lines: Vec<&str> = text.lines().collect();
+    let mut mask = vec![true; lines.len()];
+    let mut i = 0;
+    while i < lines.len() {
+        if !lines[i].trim_start().starts_with("#[cfg(test)]") {
+            i += 1;
+            continue;
+        }
+        // Mask from the attribute through the end of the annotated item.
+        let mut depth: i32 = 0;
+        let mut seen_open = false;
+        let mut j = i;
+        while j < lines.len() {
+            mask[j] = false;
+            for c in lines[j].chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        seen_open = true;
+                    }
+                    '}' => depth -= 1,
+                    ';' if !seen_open => {
+                        // Brace-less item, e.g. `#[cfg(test)] use x;`.
+                        depth = 0;
+                        seen_open = true;
+                    }
+                    _ => {}
+                }
+            }
+            if seen_open && depth <= 0 {
+                break;
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::non_test_lines;
+
+    #[test]
+    fn masks_test_module() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn b() {}\n";
+        assert_eq!(
+            non_test_lines(src),
+            vec![true, false, false, false, false, true]
+        );
+    }
+
+    #[test]
+    fn masks_braceless_item() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn a() {}\n";
+        assert_eq!(non_test_lines(src), vec![false, false, true]);
+    }
+
+    #[test]
+    fn no_test_blocks_all_true() {
+        let src = "fn a() {}\nfn b() {}\n";
+        assert_eq!(non_test_lines(src), vec![true, true]);
+    }
+}

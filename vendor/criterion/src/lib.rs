@@ -1,0 +1,248 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the benchmark-harness surface the HVAC benches use
+//! (`criterion_group!`/`criterion_main!`, `bench_function`, benchmark
+//! groups, `bench_with_input`, `black_box`) with a simple
+//! warmup-then-sample median timer instead of criterion's full statistics
+//! pipeline. Honors the `--test` flag that `cargo test` passes to
+//! `harness = false` bench binaries by running every closure exactly once,
+//! and supports a substring filter argument like the real crate.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How a bench run was invoked.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// `cargo bench`: measure and report.
+    Measure,
+    /// `cargo test`: run each closure once to smoke-test it.
+    Test,
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    mode: Mode,
+    filter: Option<String>,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            mode: Mode::Measure,
+            filter: None,
+            sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timing samples per benchmark (consuming, to match
+    /// `Criterion::default().sample_size(n)` builder usage).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Apply command-line arguments: `--test` switches to run-once mode;
+    /// the first non-flag argument is a substring filter.
+    pub fn configure_from_args(mut self) -> Self {
+        for arg in std::env::args().skip(1) {
+            if arg == "--test" {
+                self.mode = Mode::Test;
+            } else if !arg.starts_with('-') && self.filter.is_none() {
+                self.filter = Some(arg);
+            }
+        }
+        self
+    }
+
+    fn selected(&self, name: &str) -> bool {
+        match &self.filter {
+            Some(f) => name.contains(f.as_str()),
+            None => true,
+        }
+    }
+
+    /// Run a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self.mode, self.sample_size, name, &mut f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(mode: Mode, sample_size: usize, name: &str, f: &mut F) {
+    let mut b = Bencher {
+        mode,
+        sample_size,
+        ns_per_iter: None,
+    };
+    f(&mut b);
+    if mode == Mode::Measure {
+        match b.ns_per_iter {
+            Some(ns) => println!("bench: {name:<56} {ns:>14.1} ns/iter"),
+            None => println!("bench: {name:<56} (no measurement)"),
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the sample size for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Run a benchmark named `{group}/{id}`.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: std::fmt::Display,
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        if self.criterion.selected(&full) {
+            let n = self.sample_size.unwrap_or(self.criterion.sample_size);
+            run_one(self.criterion.mode, n, &full, &mut f);
+        }
+        self
+    }
+
+    /// Run a benchmark parameterised by `input`.
+    pub fn bench_with_input<I, P, F>(&mut self, id: I, input: &P, mut f: F) -> &mut Self
+    where
+        I: std::fmt::Display,
+        P: ?Sized,
+        F: FnMut(&mut Bencher, &P),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Close the group (report output is flushed eagerly, so a no-op).
+    pub fn finish(self) {}
+}
+
+/// Identifier for a parameterised benchmark.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Build an id from the parameter's `Display` form.
+    pub fn from_parameter<D: std::fmt::Display>(param: D) -> Self {
+        Self(param.to_string())
+    }
+
+    /// Build an id from a function name and parameter.
+    pub fn new<D: std::fmt::Display>(function: &str, param: D) -> Self {
+        Self(format!("{function}/{param}"))
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Timing loop handle passed to each benchmark closure.
+pub struct Bencher {
+    mode: Mode,
+    sample_size: usize,
+    ns_per_iter: Option<f64>,
+}
+
+impl Bencher {
+    /// Measure a closure: warm up, then take `sample_size` samples and keep
+    /// the median ns/iter. In `--test` mode the closure runs exactly once.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.mode == Mode::Test {
+            black_box(f());
+            return;
+        }
+        // Warmup: run for ~20ms to estimate per-iteration cost.
+        let warmup = Duration::from_millis(20);
+        let start = Instant::now();
+        let mut warm_iters = 0u64;
+        while start.elapsed() < warmup {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let est_ns = (start.elapsed().as_nanos() as f64 / warm_iters as f64).max(1.0);
+        // Aim for ~2ms per sample so fast ops amortise timer overhead.
+        let iters_per_sample = ((2_000_000.0 / est_ns) as u64).clamp(1, 10_000_000);
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            samples.push(t.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.ns_per_iter = Some(samples[samples.len() / 2]);
+    }
+}
+
+/// Define a benchmark group function, in either criterion form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define `main` for a `harness = false` bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default().sample_size(3);
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(2);
+        g.bench_with_input(BenchmarkId::from_parameter("x"), &3u32, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,282 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides only the `channel` module with MPMC semantics (cloneable
+//! receivers), which is what the HVAC fabric and data movers use. Backed
+//! by `Mutex<VecDeque>` + `Condvar`; capacity bounds are advisory (the
+//! workspace only uses `bounded(1)` as a oneshot reply slot, so senders
+//! never block on capacity here).
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct Shared<T> {
+        inner: Mutex<State<T>>,
+        cond: Condvar,
+    }
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    fn lock<'a, T>(m: &'a Mutex<State<T>>) -> std::sync::MutexGuard<'a, State<T>> {
+        m.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Error returned by [`Sender::send`] when every receiver is gone.
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    impl<T> std::error::Error for SendError<T> {}
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// every sender is gone.
+    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+    pub enum RecvTimeoutError {
+        /// Timed out with the channel still connected.
+        Timeout,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
+
+    impl fmt::Display for RecvTimeoutError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                Self::Timeout => f.write_str("timed out waiting on channel"),
+                Self::Disconnected => f.write_str("channel is empty and disconnected"),
+            }
+        }
+    }
+
+    impl std::error::Error for RecvTimeoutError {}
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+    pub enum TryRecvError {
+        /// The channel is currently empty.
+        Empty,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
+
+    impl fmt::Display for TryRecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                Self::Empty => f.write_str("channel is empty"),
+                Self::Disconnected => f.write_str("channel is empty and disconnected"),
+            }
+        }
+    }
+
+    impl std::error::Error for TryRecvError {}
+
+    /// The sending half of a channel. Cloneable (MPMC).
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half of a channel. Cloneable (MPMC).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueue a message, failing if all receivers have been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut st = lock(&self.shared.inner);
+            if st.receivers == 0 {
+                return Err(SendError(value));
+            }
+            st.queue.push_back(value);
+            drop(st);
+            self.shared.cond.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            lock(&self.shared.inner).senders += 1;
+            Self {
+                shared: self.shared.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = lock(&self.shared.inner);
+            st.senders -= 1;
+            if st.senders == 0 {
+                drop(st);
+                self.shared.cond.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a message arrives or every sender is dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = lock(&self.shared.inner);
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self
+                    .shared
+                    .cond
+                    .wait(st)
+                    .unwrap_or_else(|p| p.into_inner());
+            }
+        }
+
+        /// Block until a message arrives, every sender is dropped, or the
+        /// timeout elapses.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut st = lock(&self.shared.inner);
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _res) = self
+                    .shared
+                    .cond
+                    .wait_timeout(st, deadline - now)
+                    .unwrap_or_else(|p| p.into_inner());
+                st = guard;
+            }
+        }
+
+        /// Pop a message without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut st = lock(&self.shared.inner);
+            if let Some(v) = st.queue.pop_front() {
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            lock(&self.shared.inner).receivers += 1;
+            Self {
+                shared: self.shared.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            lock(&self.shared.inner).receivers -= 1;
+        }
+    }
+
+    fn channel<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            cond: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: shared.clone(),
+            },
+            Receiver { shared },
+        )
+    }
+
+    /// An unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        channel()
+    }
+
+    /// A "bounded" MPMC channel. The capacity bound is not enforced — the
+    /// workspace only uses `bounded(1)` as a single-reply slot.
+    pub fn bounded<T>(_cap: usize) -> (Sender<T>, Receiver<T>) {
+        channel()
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::time::Duration;
+
+        #[test]
+        fn mpmc_fan_out() {
+            let (tx, rx) = unbounded::<u32>();
+            let rx2 = rx.clone();
+            let h1 = std::thread::spawn(move || rx.recv().unwrap());
+            let h2 = std::thread::spawn(move || rx2.recv().unwrap());
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            let mut got = vec![h1.join().unwrap(), h2.join().unwrap()];
+            got.sort_unstable();
+            assert_eq!(got, vec![1, 2]);
+        }
+
+        #[test]
+        fn disconnect_surfaces() {
+            let (tx, rx) = unbounded::<u32>();
+            drop(tx);
+            assert_eq!(rx.recv(), Err(RecvError));
+            let (tx, rx) = unbounded::<u32>();
+            drop(rx);
+            assert!(tx.send(7).is_err());
+        }
+
+        #[test]
+        fn timeout_elapses() {
+            let (_tx, rx) = unbounded::<u32>();
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(10)),
+                Err(RecvTimeoutError::Timeout)
+            );
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Offline stand-in for the `libc` crate.
+//!
+//! Exposes only the x86_64 linux-gnu subset that `hvac-preload` needs:
+//! the C scalar type aliases, a handful of fcntl/stat constants, the
+//! `struct stat` layout, and extern declarations for `dlsym`,
+//! `__errno_location`, and `atexit` (resolved against the system libc at
+//! link time, exactly as the real crate does).
+
+#![allow(non_camel_case_types)]
+
+/// C `char`.
+pub type c_char = i8;
+/// C `int`.
+pub type c_int = i32;
+/// C `unsigned int`.
+pub type c_uint = u32;
+/// C `long`.
+pub type c_long = i64;
+/// C `unsigned long`.
+pub type c_ulong = u64;
+/// C `void` (opaque).
+pub type c_void = core::ffi::c_void;
+/// `mode_t`.
+pub type mode_t = u32;
+/// `off_t`.
+pub type off_t = i64;
+/// `size_t`.
+pub type size_t = usize;
+/// `ssize_t`.
+pub type ssize_t = isize;
+/// `dev_t`.
+pub type dev_t = u64;
+/// `ino_t`.
+pub type ino_t = u64;
+/// `nlink_t`.
+pub type nlink_t = u64;
+/// `uid_t`.
+pub type uid_t = u32;
+/// `gid_t`.
+pub type gid_t = u32;
+/// `blksize_t`.
+pub type blksize_t = i64;
+/// `blkcnt_t`.
+pub type blkcnt_t = i64;
+/// `time_t`.
+pub type time_t = i64;
+
+/// Mask selecting the access mode bits of `open(2)` flags.
+pub const O_ACCMODE: c_int = 0o3;
+/// Open read-only.
+pub const O_RDONLY: c_int = 0;
+/// Open write-only.
+pub const O_WRONLY: c_int = 1;
+/// Open read-write.
+pub const O_RDWR: c_int = 2;
+/// Regular-file bit in `st_mode`.
+pub const S_IFREG: mode_t = 0o100000;
+/// File-type mask for `st_mode`.
+pub const S_IFMT: mode_t = 0o170000;
+/// `dlsym` pseudo-handle: resolve in the next object after the caller.
+pub const RTLD_NEXT: *mut c_void = -1isize as *mut c_void;
+
+/// `struct stat`, x86_64 linux-gnu layout.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct stat {
+    /// Device ID.
+    pub st_dev: dev_t,
+    /// Inode number.
+    pub st_ino: ino_t,
+    /// Hard-link count.
+    pub st_nlink: nlink_t,
+    /// File type and permission bits.
+    pub st_mode: mode_t,
+    /// Owner UID.
+    pub st_uid: uid_t,
+    /// Owner GID.
+    pub st_gid: gid_t,
+    __pad0: c_int,
+    /// Device ID for special files.
+    pub st_rdev: dev_t,
+    /// Size in bytes.
+    pub st_size: off_t,
+    /// Preferred I/O block size.
+    pub st_blksize: blksize_t,
+    /// Number of 512-byte blocks allocated.
+    pub st_blocks: blkcnt_t,
+    /// Access time (seconds).
+    pub st_atime: time_t,
+    /// Access time (nanoseconds).
+    pub st_atime_nsec: c_long,
+    /// Modification time (seconds).
+    pub st_mtime: time_t,
+    /// Modification time (nanoseconds).
+    pub st_mtime_nsec: c_long,
+    /// Status-change time (seconds).
+    pub st_ctime: time_t,
+    /// Status-change time (nanoseconds).
+    pub st_ctime_nsec: c_long,
+    __unused: [c_long; 3],
+}
+
+extern "C" {
+    /// Resolve a symbol in a loaded object (see `dlsym(3)`).
+    pub fn dlsym(handle: *mut c_void, symbol: *const c_char) -> *mut c_void;
+    /// Address of the calling thread's `errno`.
+    pub fn __errno_location() -> *mut c_int;
+    /// Register a function to run at process exit.
+    pub fn atexit(cb: extern "C" fn()) -> c_int;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::stat;
+
+    #[test]
+    fn stat_layout_matches_x86_64_linux_gnu() {
+        assert_eq!(std::mem::size_of::<stat>(), 144);
+        assert_eq!(std::mem::offset_of!(stat, st_mode), 24);
+        assert_eq!(std::mem::offset_of!(stat, st_size), 48);
+        assert_eq!(std::mem::offset_of!(stat, st_blocks), 64);
+    }
+}

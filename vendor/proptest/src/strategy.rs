@@ -1,0 +1,452 @@
+//! Strategy trait and the combinators the workspace uses.
+//!
+//! A strategy here is just a generator: `generate(&self, rng)` produces a
+//! value. There is no shrink tree; failures report the seed instead.
+
+use std::ops::Range;
+
+/// Deterministic xorshift-style generator used by all strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeded construction (seed 0 is remapped to a fixed constant).
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: if seed == 0 { 0x9e37_79b9_7f4a_7c15 } else { seed },
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        // xorshift64* — small, fast, good enough for test-case generation.
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A generator of test-case values.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// A boxed, type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `prop_map` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice among boxed strategies (backs `prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Build from a non-empty list of alternatives.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Self { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below(self.options.len() as u64) as usize;
+        self.options[idx].generate(rng)
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Produce one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arb_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for "any value of `T`".
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() as f32 * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($S:ident $idx:tt),+);)*) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A 0);
+    (A 0, B 1);
+    (A 0, B 1, C 2);
+    (A 0, B 1, C 2, D 3);
+    (A 0, B 1, C 2, D 3, E 4);
+    (A 0, B 1, C 2, D 3, E 4, F 5);
+}
+
+// ---------------------------------------------------------------------------
+// String-pattern strategies: a `&str` literal is interpreted as a miniature
+// regex of literal characters and character classes, each optionally
+// followed by `{m}`, `{m,n}`, `?`, `*`, or `+`. This covers every pattern
+// the workspace tests use (e.g. `[a-z]{1,10}`, `[^\u{0}]{0,64}`, `[ -~]`).
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Token {
+    Literal(char),
+    Class { negated: bool, members: Vec<char> },
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    token: Token,
+    min: u32,
+    max: u32,
+}
+
+/// Compiled string pattern.
+#[derive(Debug, Clone)]
+pub struct StringPattern {
+    pieces: Vec<Piece>,
+}
+
+fn parse_escape(chars: &mut std::iter::Peekable<std::str::Chars>) -> char {
+    match chars.next().expect("dangling escape in string strategy") {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        'u' => {
+            assert_eq!(chars.next(), Some('{'), "expected {{ after \\u");
+            let mut hex = String::new();
+            for c in chars.by_ref() {
+                if c == '}' {
+                    break;
+                }
+                hex.push(c);
+            }
+            let code = u32::from_str_radix(&hex, 16).expect("bad \\u{..} escape");
+            char::from_u32(code).expect("invalid unicode escape")
+        }
+        other => other,
+    }
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars>) -> Token {
+    let negated = chars.peek() == Some(&'^');
+    if negated {
+        chars.next();
+    }
+    let mut raw: Vec<char> = Vec::new();
+    loop {
+        match chars.next().expect("unterminated character class") {
+            ']' => break,
+            '\\' => raw.push(parse_escape(chars)),
+            c => raw.push(c),
+        }
+    }
+    // Expand `a-z` ranges; a leading or trailing '-' is a literal.
+    let mut members = Vec::new();
+    let mut i = 0;
+    while i < raw.len() {
+        if i + 2 < raw.len() && raw[i + 1] == '-' {
+            let (lo, hi) = (raw[i] as u32, raw[i + 2] as u32);
+            assert!(lo <= hi, "inverted range in character class");
+            for code in lo..=hi {
+                if let Some(c) = char::from_u32(code) {
+                    members.push(c);
+                }
+            }
+            i += 3;
+        } else {
+            members.push(raw[i]);
+            i += 1;
+        }
+    }
+    Token::Class { negated, members }
+}
+
+fn parse_quantifier(chars: &mut std::iter::Peekable<std::str::Chars>) -> (u32, u32) {
+    match chars.peek() {
+        Some('{') => {
+            chars.next();
+            let mut body = String::new();
+            for c in chars.by_ref() {
+                if c == '}' {
+                    break;
+                }
+                body.push(c);
+            }
+            match body.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse().expect("bad quantifier"),
+                    n.trim().parse().expect("bad quantifier"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("bad quantifier");
+                    (n, n)
+                }
+            }
+        }
+        Some('?') => {
+            chars.next();
+            (0, 1)
+        }
+        Some('*') => {
+            chars.next();
+            (0, 8)
+        }
+        Some('+') => {
+            chars.next();
+            (1, 8)
+        }
+        _ => (1, 1),
+    }
+}
+
+impl StringPattern {
+    /// Compile a pattern; panics on constructs outside the mini-grammar.
+    pub fn compile(pattern: &str) -> Self {
+        let mut chars = pattern.chars().peekable();
+        let mut pieces = Vec::new();
+        while let Some(c) = chars.next() {
+            let token = match c {
+                '[' => parse_class(&mut chars),
+                '\\' => Token::Literal(parse_escape(&mut chars)),
+                '.' => Token::Class {
+                    negated: true,
+                    members: vec!['\n'],
+                },
+                other => Token::Literal(other),
+            };
+            let (min, max) = parse_quantifier(&mut chars);
+            assert!(min <= max, "inverted quantifier in string strategy");
+            pieces.push(Piece { token, min, max });
+        }
+        Self { pieces }
+    }
+}
+
+/// Pool sampled from for negated classes: printable ASCII plus a few
+/// multibyte characters so `[^\u{0}]` exercises non-ASCII content too.
+fn negated_pool() -> impl Iterator<Item = char> {
+    (' '..='~').chain(['\u{e9}', '\u{4e2d}', '\u{1f600}', '\t', '\n'])
+}
+
+impl Strategy for StringPattern {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in &self.pieces {
+            let span = (piece.max - piece.min + 1) as u64;
+            let count = piece.min + rng.below(span) as u32;
+            for _ in 0..count {
+                match &piece.token {
+                    Token::Literal(c) => out.push(*c),
+                    Token::Class { negated, members } => {
+                        if *negated {
+                            let pool: Vec<char> =
+                                negated_pool().filter(|c| !members.contains(c)).collect();
+                            assert!(!pool.is_empty(), "negated class excludes whole pool");
+                            out.push(pool[rng.below(pool.len() as u64) as usize]);
+                        } else {
+                            assert!(!members.is_empty(), "empty character class");
+                            out.push(members[rng.below(members.len() as u64) as usize]);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        StringPattern::compile(self).generate(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_generation_respects_classes() {
+        let mut rng = TestRng::new(123);
+        for _ in 0..200 {
+            let s = "[a-z]{1,10}/[a-z]{1,10}".generate(&mut rng);
+            let (a, b) = s.split_once('/').expect("separator present");
+            assert!((1..=10).contains(&a.chars().count()));
+            assert!((1..=10).contains(&b.chars().count()));
+            assert!(a.chars().all(|c| c.is_ascii_lowercase()));
+            assert!(b.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn negated_class_excludes_members() {
+        let mut rng = TestRng::new(7);
+        for _ in 0..200 {
+            let s = "[^\u{0}]{0,64}".generate(&mut rng);
+            assert!(!s.contains('\0'));
+            assert!(s.chars().count() <= 64);
+        }
+    }
+
+    #[test]
+    fn printable_range_class() {
+        let mut rng = TestRng::new(9);
+        for _ in 0..100 {
+            let s = "[ -~]{0,80}".generate(&mut rng);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn oneof_and_map_compose() {
+        let mut rng = TestRng::new(1);
+        let strat = crate::prop_oneof![Just(1u32), (2u32..5).prop_map(|v| v * 10)];
+        for _ in 0..50 {
+            let v = strat.generate(&mut rng);
+            assert!(v == 1 || (20..50).contains(&v));
+        }
+    }
+}

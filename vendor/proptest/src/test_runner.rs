@@ -1,0 +1,125 @@
+//! Case loop: generate inputs, run the property, report failures with the
+//! seed needed to reproduce them.
+
+use crate::strategy::{Strategy, TestRng};
+use std::hash::{BuildHasher, Hasher};
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; try another case.
+    Reject,
+    /// A `prop_assert*` failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Build a failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        Self::Fail(msg.into())
+    }
+}
+
+/// Runs a property over many generated cases.
+pub struct TestRunner {
+    name: &'static str,
+    cases: u32,
+    seed: u64,
+}
+
+fn env_u64(key: &str) -> Option<u64> {
+    std::env::var(key).ok()?.trim().parse().ok()
+}
+
+impl TestRunner {
+    /// Configure from the environment: `PROPTEST_CASES` (default 64) and
+    /// `PROPTEST_SEED` (default: fresh entropy, printed on failure).
+    pub fn new(name: &'static str) -> Self {
+        let cases = env_u64("PROPTEST_CASES").map(|n| n as u32).unwrap_or(64);
+        let seed = env_u64("PROPTEST_SEED").unwrap_or_else(|| {
+            // RandomState is the std library's per-process entropy source.
+            std::collections::hash_map::RandomState::new()
+                .build_hasher()
+                .finish()
+        });
+        Self {
+            name,
+            cases: cases.max(1),
+            seed,
+        }
+    }
+
+    /// Run the property until `cases` cases pass. Panics on the first
+    /// failing case, reporting the assertion message and the seed.
+    pub fn run<S, F>(&mut self, strategy: S, test: F)
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> Result<(), TestCaseError>,
+    {
+        let mut rng = TestRng::new(self.seed);
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        let max_rejects = self.cases.saturating_mul(16).max(1024);
+        while passed < self.cases {
+            let value = strategy.generate(&mut rng);
+            match test(value) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject) => {
+                    rejected += 1;
+                    if rejected > max_rejects {
+                        panic!(
+                            "proptest {}: too many prop_assume! rejections ({rejected}) \
+                             for {} passing cases (seed {})",
+                            self.name, passed, self.seed
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest {} failed at case {}: {}\n\
+                         rerun with PROPTEST_SEED={} to reproduce",
+                        self.name,
+                        passed + 1,
+                        msg,
+                        self.seed
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::any;
+
+    #[test]
+    fn passing_property_completes() {
+        let mut runner = TestRunner::new("smoke");
+        runner.run((any::<u32>(),), |(v,)| {
+            crate::prop_assert!(u64::from(v) <= u64::from(u32::MAX));
+            Ok(())
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_reports() {
+        let mut runner = TestRunner::new("fails");
+        runner.run((any::<u32>(),), |(v,)| {
+            crate::prop_assert!(v % 2 == 0, "odd value {v}");
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn assume_rejects_without_failing() {
+        let mut runner = TestRunner::new("assume");
+        runner.run((any::<u32>(),), |(v,)| {
+            crate::prop_assume!(v % 2 == 0);
+            crate::prop_assert!(v % 2 == 0);
+            Ok(())
+        });
+    }
+}

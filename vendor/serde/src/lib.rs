@@ -1,0 +1,16 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The HVAC workspace only *tags* types as serializable (derives with no
+//! `#[serde(...)]` attributes and no serializer in the dependency tree),
+//! so [`Serialize`] and [`Deserialize`] are marker traits here. The
+//! `derive` feature re-exports the matching derive macros from the
+//! in-repo `serde_derive` stub.
+
+/// Marker for types that can be serialized.
+pub trait Serialize {}
+
+/// Marker for types that can be deserialized.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
