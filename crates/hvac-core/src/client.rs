@@ -3,8 +3,17 @@
 //! The client is what the `LD_PRELOAD` shim (or an embedding application)
 //! talks to. It keeps a descriptor table for intercepted files, computes the
 //! home server of each path by hashing (§III-E), and forwards
-//! `<open, read, close>` as RPCs. With replication enabled it fails over to
-//! the next replica when a server is down (§III-H, implemented here).
+//! `<open, read, close>` as RPCs.
+//!
+//! Failure semantics (§III-H, extended here): every RPC carries a per-call
+//! deadline from the client's [`RetryPolicy`]; transient failures (typed
+//! timeouts from hung servers, `ServerDown`, transport errors) are retried
+//! with exponential backoff + seeded jitter and then failed over to the
+//! next replica. A per-replica consecutive-failure circuit breaker skips a
+//! wedged server proactively on subsequent calls. When every replica is
+//! exhausted and the client has a PFS fallback configured, reads degrade to
+//! direct PFS access — the epoch completes byte-correct instead of erroring,
+//! which is HVAC's whole contract.
 
 use crate::intercept::DatasetMatcher;
 use crate::metrics::ClientMetrics;
@@ -13,12 +22,14 @@ use bytes::Bytes;
 use hvac_hash::pathhash::{hash_path, mix64};
 use hvac_hash::placement::{make_placement, Placement};
 use hvac_net::fabric::{Fabric, Reply};
+use hvac_pfs::FileStore;
 use hvac_sync::{classes, OrderedMutex};
-use hvac_types::{HvacError, PlacementKind, Result, ServerId};
+use hvac_types::{HvacError, PlacementKind, Result, RetryPolicy, ServerId};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Client configuration.
 #[derive(Debug, Clone)]
@@ -33,6 +44,9 @@ pub struct HvacClientOptions {
     pub n_servers: usize,
     /// Server instances per node (for address derivation).
     pub instances_per_node: u32,
+    /// Deadline/retry/backoff/breaker budget for every RPC this client
+    /// issues.
+    pub retry: RetryPolicy,
 }
 
 impl HvacClientOptions {
@@ -48,6 +62,7 @@ impl HvacClientOptions {
             replication: 1,
             n_servers,
             instances_per_node,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -70,6 +85,16 @@ struct OpenFile {
     pos: u64,
 }
 
+/// Per-replica circuit-breaker state. A replica that fails
+/// `breaker_threshold` calls in a row is skipped (not even attempted) until
+/// `breaker_cooldown` has elapsed; the first call after the cooldown is the
+/// half-open probe — success closes the breaker, failure re-opens it.
+#[derive(Debug, Default)]
+struct ReplicaHealth {
+    consecutive_failures: u32,
+    open_until: Option<Instant>,
+}
+
 /// A per-process HVAC client.
 pub struct HvacClient {
     fabric: Arc<Fabric>,
@@ -79,6 +104,14 @@ pub struct HvacClient {
     fds: OrderedMutex<HashMap<u64, OpenFile>>,
     next_fd: AtomicU64,
     metrics: ClientMetrics,
+    health: OrderedMutex<HashMap<String, ReplicaHealth>>,
+    /// splitmix64 state for backoff jitter — seeded from the policy so two
+    /// runs with the same seed sleep the same schedule.
+    jitter_state: AtomicU64,
+    /// Last rung of the degradation ladder: read straight from the PFS when
+    /// every replica is exhausted. `None` = error out instead (the pre-§III-H
+    /// behaviour, and the only option for pure-RPC embeddings).
+    pfs_fallback: Option<Arc<dyn FileStore>>,
 }
 
 /// The fabric address of a server instance, by global index.
@@ -95,6 +128,7 @@ impl HvacClient {
         if options.replication == 0 {
             return Err(HvacError::InvalidConfig("replication must be >= 1".into()));
         }
+        let jitter_seed = options.retry.jitter_seed;
         Ok(Self {
             placement: make_placement(options.placement),
             matcher: DatasetMatcher::new(&options.dataset_dir),
@@ -103,7 +137,17 @@ impl HvacClient {
             fds: OrderedMutex::new(classes::CLIENT_FDS, HashMap::new()),
             next_fd: AtomicU64::new(1),
             metrics: ClientMetrics::default(),
+            health: OrderedMutex::new(classes::CLIENT_HEALTH, HashMap::new()),
+            jitter_state: AtomicU64::new(jitter_seed),
+            pfs_fallback: None,
         })
+    }
+
+    /// Arm client-side PFS degradation: when every replica of a read is
+    /// exhausted (hung, down, or erroring at the transport level), serve the
+    /// read directly from `pfs` instead of failing the application.
+    pub fn set_pfs_fallback(&mut self, pfs: Arc<dyn FileStore>) {
+        self.pfs_fallback = Some(pfs);
     }
 
     /// Whether HVAC should intercept this path (the shim falls back to the
@@ -131,24 +175,162 @@ impl HvacClient {
             .collect()
     }
 
-    /// Issue an RPC to the first healthy replica of `path`.
-    fn call(&self, path: &Path, req: &Request) -> Result<Reply> {
-        let encoded = req.encode()?;
-        let addrs = self.replica_addrs(path);
-        let mut last = None;
-        for (i, addr) in addrs.iter().enumerate() {
-            match self.fabric.call(addr, encoded.clone()) {
+    /// Next jitter draw in `[0, backoff_base)` (splitmix64; relaxed CAS-free
+    /// update is fine — determinism only matters for single-threaded tests).
+    fn jitter(&self) -> Duration {
+        let base = self.options.retry.backoff_base;
+        let mut x = self
+            .jitter_state
+            .fetch_add(0x9e37_79b9_7f4a_7c15, Ordering::Relaxed)
+            .wrapping_add(0x9e37_79b9_7f4a_7c15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^= x >> 31;
+        let nanos = base.as_nanos().max(1) as u64;
+        Duration::from_nanos(x % nanos)
+    }
+
+    /// Whether `addr`'s breaker is open (still cooling down). A replica past
+    /// its cooldown is allowed one half-open probe.
+    fn breaker_open(&self, addr: &str) -> bool {
+        let mut health = self.health.lock();
+        match health.get_mut(addr) {
+            Some(h) => match h.open_until {
+                Some(until) if Instant::now() < until => true,
+                Some(_) => {
+                    // Half-open: let one probe through; a failure re-trips.
+                    h.open_until = None;
+                    false
+                }
+                None => false,
+            },
+            None => false,
+        }
+    }
+
+    fn record_success(&self, addr: &str) {
+        let mut health = self.health.lock();
+        if let Some(h) = health.get_mut(addr) {
+            h.consecutive_failures = 0;
+            h.open_until = None;
+        }
+    }
+
+    fn record_failure(&self, addr: &str) {
+        let policy = &self.options.retry;
+        let mut health = self.health.lock();
+        let h = health.entry(addr.to_string()).or_default();
+        h.consecutive_failures += 1;
+        if h.consecutive_failures >= policy.breaker_threshold && h.open_until.is_none() {
+            h.open_until = Some(Instant::now() + policy.breaker_cooldown);
+            self.metrics.breaker_trips.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// One replica, with the per-call deadline and same-replica retries:
+    /// timeouts and transport errors are retried up to `max_attempts` with
+    /// exponential backoff + jitter; `ServerDown` returns immediately
+    /// (retrying a dead endpoint is pointless); fatal errors (an answered
+    /// RPC error) close the breaker and return at once.
+    fn call_one_replica(&self, addr: &str, encoded: &Bytes) -> Result<Reply> {
+        let policy = &self.options.retry;
+        let mut attempt = 0u32;
+        loop {
+            match self
+                .fabric
+                .call_with_deadline(addr, encoded.clone(), policy.rpc_timeout)
+            {
                 Ok(reply) => {
-                    if i > 0 {
+                    self.record_success(addr);
+                    return Ok(reply);
+                }
+                Err(e) => {
+                    if matches!(e, HvacError::RpcTimeout { .. }) {
+                        self.metrics.timeouts.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if !e.is_retriable() {
+                        // An answered error from a live server is the file's
+                        // real status — the server is healthy.
+                        self.record_success(addr);
+                        return Err(e);
+                    }
+                    self.record_failure(addr);
+                    attempt += 1;
+                    if matches!(e, HvacError::ServerDown(_)) || attempt >= policy.max_attempts {
+                        return Err(e);
+                    }
+                    self.metrics.retries.fetch_add(1, Ordering::Relaxed);
+                    let backoff = policy
+                        .backoff_base
+                        .saturating_mul(1u32 << (attempt - 1).min(16));
+                    std::thread::sleep(backoff + self.jitter());
+                }
+            }
+        }
+    }
+
+    /// Issue one RPC over the replica ladder:
+    ///
+    /// 1. walk replicas home-first, skipping any whose breaker is open,
+    /// 2. each attempted replica gets deadline + retry via
+    ///    [`Self::call_one_replica`]; transient failure moves to the next
+    ///    replica, a fatal error returns at once (a live server's `ENOENT`
+    ///    must not be masked by a replica walk),
+    /// 3. if every attempted replica failed and there is no PFS fallback,
+    ///    probe the breaker-skipped ones after all — a skip is a latency
+    ///    optimization, never grounds for failing a read that a recovered
+    ///    server could still serve; with a fallback armed the caller
+    ///    degrades instead, which is just as correct and far cheaper than
+    ///    waiting out a wedged server's deadline (the half-open probe after
+    ///    `breaker_cooldown` restores cache service),
+    /// 4. success on any replica other than the home counts as a failover.
+    fn call_replicas(&self, addrs: &[String], encoded: &Bytes) -> Result<Reply> {
+        if addrs.is_empty() {
+            return Err(HvacError::InvalidConfig("empty replica set".into()));
+        }
+        let mut skipped = Vec::new();
+        let mut last_err = None;
+        for addr in addrs {
+            if self.breaker_open(addr) {
+                self.metrics.breaker_skips.fetch_add(1, Ordering::Relaxed);
+                skipped.push(addr);
+                continue;
+            }
+            match self.call_one_replica(addr, encoded) {
+                Ok(reply) => {
+                    if *addr != addrs[0] {
                         self.metrics.failovers.fetch_add(1, Ordering::Relaxed);
                     }
                     return Ok(reply);
                 }
-                Err(e @ HvacError::ServerDown(_)) => last = Some(e),
-                Err(other) => return Err(other),
+                Err(e) if e.is_retriable() => last_err = Some(e),
+                Err(fatal) => return Err(fatal),
             }
         }
-        Err(last.unwrap_or_else(|| HvacError::Rpc("no replicas".into())))
+        if self.pfs_fallback.is_some() {
+            skipped.clear();
+        }
+        for addr in skipped {
+            match self.call_one_replica(addr, encoded) {
+                Ok(reply) => {
+                    if *addr != addrs[0] {
+                        self.metrics.failovers.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return Ok(reply);
+                }
+                Err(e) if e.is_retriable() => last_err = Some(e),
+                Err(fatal) => return Err(fatal),
+            }
+        }
+        // addrs is non-empty and every arm either returned or set last_err.
+        Err(last_err.unwrap_or_else(|| HvacError::ServerDown("no replica answered".into())))
+    }
+
+    /// Issue an RPC to the first healthy replica of `path`.
+    fn call(&self, path: &Path, req: &Request) -> Result<Reply> {
+        let encoded = req.encode()?;
+        let addrs = self.replica_addrs(path);
+        self.call_replicas(&addrs, &encoded)
     }
 
     /// Open a dataset file; returns an HVAC descriptor.
@@ -163,20 +345,7 @@ impl HvacClient {
                 self.matcher.root().display()
             )));
         }
-        let reply = self.call(
-            path,
-            &Request::Stat {
-                path: path.to_path_buf(),
-            },
-        )?;
-        let size = match Response::decode(reply.header)?.into_result()? {
-            Response::Stat { size } => size,
-            other => {
-                return Err(HvacError::Protocol(format!(
-                    "unexpected stat reply: {other:?}"
-                )))
-            }
-        };
+        let size = self.stat(path)?;
         let fd = self.next_fd.fetch_add(1, Ordering::Relaxed);
         self.fds.lock().insert(
             fd,
@@ -245,14 +414,30 @@ impl HvacClient {
         Ok(())
     }
 
+    /// Whether `err` should fall through to direct PFS access: every replica
+    /// failed transiently (hung/down/transport) *and* a fallback store is
+    /// armed. Fatal errors (an answered `ENOENT`, protocol garbage) never
+    /// degrade — the PFS would only repeat them.
+    fn should_degrade(&self, err: &HvacError) -> bool {
+        self.pfs_fallback.is_some() && err.is_retriable()
+    }
+
     /// Stat without opening.
     pub fn stat(&self, path: &Path) -> Result<u64> {
-        let reply = self.call(
+        let reply = match self.call(
             path,
             &Request::Stat {
                 path: path.to_path_buf(),
             },
-        )?;
+        ) {
+            Ok(reply) => reply,
+            Err(e) if self.should_degrade(&e) => {
+                // Unwrap is fine: should_degrade checked is_some.
+                let pfs = self.pfs_fallback.as_ref().ok_or(e)?;
+                return Ok(pfs.open_meta(path)?.size);
+            }
+            Err(e) => return Err(e),
+        };
         match Response::decode(reply.header)?.into_result()? {
             Response::Stat { size } => Ok(size),
             other => Err(HvacError::Protocol(format!(
@@ -261,15 +446,35 @@ impl HvacClient {
         }
     }
 
+    /// Serve one read directly from the PFS (the degradation ladder's last
+    /// rung). Byte-identical to what a server-side miss would return.
+    fn degraded_read(&self, path: &Path, offset: u64, len: usize) -> Result<Bytes> {
+        let pfs = self
+            .pfs_fallback
+            .as_ref()
+            .ok_or_else(|| HvacError::InvalidConfig("no PFS fallback armed".into()))?;
+        let data = pfs.read_at(path, offset, len)?;
+        self.metrics.degraded_reads.fetch_add(1, Ordering::Relaxed);
+        self.metrics.reads.fetch_add(1, Ordering::Relaxed);
+        self.metrics
+            .bytes
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
+        Ok(data)
+    }
+
     fn read_path_at(&self, path: &Path, offset: u64, len: usize) -> Result<Bytes> {
-        let reply = self.call(
+        let reply = match self.call(
             path,
             &Request::Read {
                 path: path.to_path_buf(),
                 offset,
                 len: len as u64,
             },
-        )?;
+        ) {
+            Ok(reply) => reply,
+            Err(e) if self.should_degrade(&e) => return self.degraded_read(path, offset, len),
+            Err(e) => return Err(e),
+        };
         let resp = Response::decode(reply.header)?.into_result()?;
         match resp {
             Response::Data { .. } => {
@@ -309,24 +514,25 @@ impl HvacClient {
                 len,
             };
             let encoded = req.encode()?;
-            let mut reply = None;
-            let mut last = None;
-            for (i, addr) in addrs.iter().enumerate() {
-                match self.fabric.call(addr, encoded.clone()) {
-                    Ok(r) => {
-                        if i > 0 {
-                            self.metrics.failovers.fetch_add(1, Ordering::Relaxed);
-                        }
-                        reply = Some(r);
-                        break;
+            let reply = match self.call_replicas(&addrs, &encoded) {
+                Ok(r) => r,
+                Err(e) if self.should_degrade(&e) => {
+                    // Serve just this segment from the PFS; later segments
+                    // still try their own (distinct) home servers.
+                    let data = self.degraded_read(path, offset, len as usize)?;
+                    if data.len() as u64 != len {
+                        return Err(HvacError::Protocol(format!(
+                            "segment {seg_index} of {} returned {} bytes from the PFS, expected {len}",
+                            path.display(),
+                            data.len()
+                        )));
                     }
-                    Err(e @ HvacError::ServerDown(_)) => last = Some(e),
-                    Err(other) => return Err(other),
+                    assembled.extend_from_slice(&data);
+                    offset += len;
+                    seg_index += 1;
+                    continue;
                 }
-            }
-            let reply = match reply {
-                Some(r) => r,
-                None => return Err(last.unwrap_or_else(|| HvacError::Rpc("no replicas".into()))),
+                Err(e) => return Err(e),
             };
             match Response::decode(reply.header)?.into_result()? {
                 Response::Data { .. } => {
@@ -520,8 +726,9 @@ mod tests {
     fn missing_file_error_propagates() {
         let (_pfs, _f, _s, client) = setup2(1);
         let err = client.open(Path::new("/gpfs/set/absent.bin")).unwrap_err();
-        assert!(matches!(err, HvacError::Rpc(_)));
-        assert!(err.to_string().contains("errno 2"));
+        assert!(matches!(err, HvacError::Remote { code: 2, .. }));
+        assert_eq!(err.errno(), 2, "server-side ENOENT survives the wire");
+        assert!(!err.is_retriable(), "an answered error must not fail over");
     }
 
     #[test]
@@ -606,5 +813,66 @@ mod tests {
         opts.n_servers = 1;
         opts.replication = 0;
         assert!(HvacClient::new(fabric, opts).is_err());
+    }
+
+    #[test]
+    fn all_replicas_down_degrades_to_pfs_when_armed() {
+        let (pfs, fabric, _servers, mut client) = setup2(1);
+        client.set_pfs_fallback(pfs.clone());
+        let p = sample(5);
+        let expected = pfs.read_all(&p).unwrap();
+        for addr in client.replica_addrs(&p) {
+            fabric.set_down(&addr, true);
+        }
+        let data = client.read_file(&p).unwrap();
+        assert_eq!(data, expected, "degraded read is byte-correct");
+        let s = client.metrics().full_snapshot();
+        assert!(s.degraded_reads >= 1, "degraded_reads counted: {s:?}");
+    }
+
+    #[test]
+    fn fatal_remote_error_never_degrades() {
+        let (pfs, _f, _s, mut client) = setup2(1);
+        client.set_pfs_fallback(pfs);
+        // The server answers ENOENT — degradation must not mask it (the PFS
+        // would only repeat it, and a wrong path must stay an error).
+        let err = client.open(Path::new("/gpfs/set/absent.bin")).unwrap_err();
+        assert!(matches!(err, HvacError::Remote { code: 2, .. }));
+        assert_eq!(client.metrics().full_snapshot().degraded_reads, 0);
+    }
+
+    #[test]
+    fn breaker_trips_and_skips_a_dead_primary() {
+        let (_pfs, fabric, _servers, client) = setup2(2);
+        let p = sample(3);
+        let addrs = client.replica_addrs(&p);
+        fabric.set_down(&addrs[0], true);
+        // Each read_file issues stat + read + close against the dead
+        // primary; after breaker_threshold consecutive failures the breaker
+        // opens and later calls skip straight to the replica.
+        for _ in 0..4 {
+            client.read_file(&p).unwrap();
+        }
+        let s = client.metrics().full_snapshot();
+        assert!(s.breaker_trips >= 1, "breaker tripped: {s:?}");
+        assert!(s.breaker_skips >= 1, "open breaker skipped: {s:?}");
+        // Recovery: once the primary is back, a successful probe closes the
+        // breaker again (after cooldown the half-open path lets one through;
+        // here we just verify the job kept working throughout).
+        fabric.set_down(&addrs[0], false);
+        client.read_file(&p).unwrap();
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed() {
+        let draws = |seed: u64| {
+            let fabric = Arc::new(Fabric::new());
+            let mut opts = HvacClientOptions::new("/d", 1, 1);
+            opts.retry.jitter_seed = seed;
+            let client = HvacClient::new(fabric, opts).unwrap();
+            (0..8).map(|_| client.jitter()).collect::<Vec<_>>()
+        };
+        assert_eq!(draws(7), draws(7), "same seed, same backoff schedule");
+        assert_ne!(draws(7), draws(8), "different seed, different schedule");
     }
 }

@@ -14,7 +14,9 @@ use crate::server::{HvacServer, HvacServerOptions};
 use hvac_net::fabric::{Fabric, ServerEndpoint};
 use hvac_pfs::FileStore;
 use hvac_storage::LocalStore;
-use hvac_types::{ByteSize, EvictionPolicyKind, HvacError, PlacementKind, Result, ServerId};
+use hvac_types::{
+    ByteSize, EvictionPolicyKind, HvacError, PlacementKind, Result, RetryPolicy, ServerId,
+};
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -43,6 +45,13 @@ pub struct ClusterOptions {
     pub rpc_workers: usize,
     /// Seed for randomized eviction.
     pub seed: u64,
+    /// Deadline/retry/backoff/breaker policy for every client in the
+    /// allocation.
+    pub retry: RetryPolicy,
+    /// Whether clients fall back to direct PFS reads once every replica of a
+    /// file is exhausted (the §III-H degradation ladder's last rung). On by
+    /// default — HVAC's contract is that the epoch completes.
+    pub pfs_fallback: bool,
 }
 
 impl ClusterOptions {
@@ -61,6 +70,8 @@ impl ClusterOptions {
             movers_per_instance: 1,
             rpc_workers: 2,
             seed: 0x4856_4143, // "HVAC"
+            retry: RetryPolicy::default(),
+            pfs_fallback: true,
         }
     }
 
@@ -103,6 +114,18 @@ impl ClusterOptions {
     /// Set data-mover threads per instance.
     pub fn movers_per_instance(mut self, n: usize) -> Self {
         self.movers_per_instance = n;
+        self
+    }
+
+    /// Set the client deadline/retry/backoff/breaker policy.
+    pub fn retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Enable or disable client-side direct-PFS degradation.
+    pub fn pfs_fallback(mut self, enabled: bool) -> Self {
+        self.pfs_fallback = enabled;
         self
     }
 
@@ -168,7 +191,7 @@ impl Cluster {
         let mut clients = Vec::new();
         for _node in 0..options.nodes {
             for _c in 0..options.clients_per_node {
-                let client = HvacClient::new(
+                let mut client = HvacClient::new(
                     fabric.clone(),
                     HvacClientOptions {
                         dataset_dir: options.dataset_dir.clone(),
@@ -176,8 +199,12 @@ impl Cluster {
                         replication: options.replication,
                         n_servers,
                         instances_per_node: options.instances_per_node,
+                        retry: options.retry.clone(),
                     },
                 )?;
+                if options.pfs_fallback {
+                    client.set_pfs_fallback(pfs.clone());
+                }
                 clients.push(Arc::new(client));
             }
         }
@@ -303,7 +330,9 @@ impl Cluster {
     /// then unregister the endpoints (joining their worker threads), and
     /// only then release the server instances so their data movers stop.
     /// Idempotent; clients created from this cluster keep working as
-    /// objects but every call returns `ServerDown` afterwards.
+    /// objects, but every RPC fails fast with `ServerDown` afterwards —
+    /// with the default `pfs_fallback`, reads then degrade to direct PFS
+    /// access instead of erroring.
     pub fn shutdown(&mut self) {
         for ep in &self.endpoints {
             ep.set_down(true);
@@ -450,8 +479,13 @@ mod tests {
     #[test]
     fn shutdown_is_explicit_and_idempotent() {
         let pfs = dataset_pfs(4, 64);
-        let mut cluster =
-            Cluster::new(pfs, ClusterOptions::new(2, 1).dataset_dir("/gpfs/train")).unwrap();
+        let mut cluster = Cluster::new(
+            pfs,
+            ClusterOptions::new(2, 1)
+                .dataset_dir("/gpfs/train")
+                .pfs_fallback(false),
+        )
+        .unwrap();
         cluster.client(0).read_file(&sample(0)).unwrap();
         let client = cluster.client(0).clone();
         cluster.shutdown();
@@ -463,6 +497,21 @@ mod tests {
             client.read_file(&sample(1)),
             Err(HvacError::ServerDown(_))
         ));
+    }
+
+    #[test]
+    fn reads_after_shutdown_degrade_to_the_pfs_when_armed() {
+        let pfs = dataset_pfs(4, 64);
+        let mut cluster =
+            Cluster::new(pfs, ClusterOptions::new(2, 1).dataset_dir("/gpfs/train")).unwrap();
+        let client = cluster.client(0).clone();
+        cluster.shutdown();
+        // Every server is gone, but the epoch still completes byte-correct
+        // straight from the PFS (§III-H graceful degradation, client side).
+        let data = client.read_file(&sample(2)).unwrap();
+        assert_eq!(data, MemStore::sample_content(2, 64));
+        let s = client.metrics().full_snapshot();
+        assert!(s.degraded_reads >= 1, "degraded read counted: {s:?}");
     }
 
     #[test]

@@ -35,6 +35,9 @@ pub struct ServerMetrics {
     /// Reads served straight from the PFS because the cache refused
     /// admission (file too large, or a pinned MinIO-style cache is full).
     pub pfs_bypass_reads: AtomicU64,
+    /// Reads that lost the ensure/read race to eviction on every retry and
+    /// fell back to a PFS bypass read (cache thrashing under churn).
+    pub eviction_races: AtomicU64,
 }
 
 /// A plain-old-data snapshot of [`ServerMetrics`].
@@ -64,6 +67,9 @@ pub struct ServerMetricsSnapshot {
     pub prefetches: u64,
     /// Reads served straight from the PFS (cache bypass).
     pub pfs_bypass_reads: u64,
+    /// Reads that lost every ensure/read retry to eviction and were served
+    /// via PFS bypass instead.
+    pub eviction_races: u64,
 }
 
 impl ServerMetrics {
@@ -83,6 +89,7 @@ impl ServerMetrics {
             closes: self.closes.load(Ordering::Relaxed),
             prefetches: self.prefetches.load(Ordering::Relaxed),
             pfs_bypass_reads: self.pfs_bypass_reads.load(Ordering::Relaxed),
+            eviction_races: self.eviction_races.load(Ordering::Relaxed),
         }
     }
 }
@@ -102,6 +109,7 @@ impl ServerMetricsSnapshot {
         self.closes += other.closes;
         self.prefetches += other.prefetches;
         self.pfs_bypass_reads += other.pfs_bypass_reads;
+        self.eviction_races += other.eviction_races;
     }
 
     /// Fraction of reads served from cache, in `[0, 1]`.
@@ -129,19 +137,78 @@ pub struct ClientMetrics {
     pub failovers: AtomicU64,
     /// Opens that bypassed HVAC (outside the dataset directory).
     pub passthrough_opens: AtomicU64,
+    /// RPC attempts that missed their per-call deadline.
+    pub timeouts: AtomicU64,
+    /// Same-replica retry attempts after a transient failure.
+    pub retries: AtomicU64,
+    /// Circuit-breaker trips (a replica crossed the consecutive-failure
+    /// threshold and is now skipped proactively).
+    pub breaker_trips: AtomicU64,
+    /// Calls that skipped a replica because its breaker was open.
+    pub breaker_skips: AtomicU64,
+    /// Reads served by the client directly from the PFS after every replica
+    /// was exhausted (last rung of the degradation ladder).
+    pub degraded_reads: AtomicU64,
+}
+
+/// A plain-old-data snapshot of [`ClientMetrics`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientMetricsSnapshot {
+    /// `open` calls intercepted for the dataset directory.
+    pub opens: u64,
+    /// `read`/`pread` calls forwarded to HVAC servers.
+    pub reads: u64,
+    /// Bytes delivered to the application.
+    pub bytes: u64,
+    /// `close` calls.
+    pub closes: u64,
+    /// Reads answered by a non-primary replica.
+    pub failovers: u64,
+    /// Opens that bypassed HVAC.
+    pub passthrough_opens: u64,
+    /// RPC attempts that missed their per-call deadline.
+    pub timeouts: u64,
+    /// Same-replica retry attempts.
+    pub retries: u64,
+    /// Circuit-breaker trips.
+    pub breaker_trips: u64,
+    /// Replica calls skipped on an open breaker.
+    pub breaker_skips: u64,
+    /// Client-side direct-PFS reads.
+    pub degraded_reads: u64,
 }
 
 impl ClientMetrics {
-    /// Snapshot `(opens, reads, bytes, closes, failovers, passthrough)`.
+    /// Snapshot `(opens, reads, bytes, closes, failovers, passthrough)` —
+    /// the legacy tuple; resilience counters live in [`Self::full_snapshot`].
     pub fn snapshot(&self) -> (u64, u64, u64, u64, u64, u64) {
+        let s = self.full_snapshot();
         (
-            self.opens.load(Ordering::Relaxed),
-            self.reads.load(Ordering::Relaxed),
-            self.bytes.load(Ordering::Relaxed),
-            self.closes.load(Ordering::Relaxed),
-            self.failovers.load(Ordering::Relaxed),
-            self.passthrough_opens.load(Ordering::Relaxed),
+            s.opens,
+            s.reads,
+            s.bytes,
+            s.closes,
+            s.failovers,
+            s.passthrough_opens,
         )
+    }
+
+    /// Atomic snapshot of every counter, including the failure-semantics
+    /// ones (timeouts, retries, breaker trips/skips, degraded reads).
+    pub fn full_snapshot(&self) -> ClientMetricsSnapshot {
+        ClientMetricsSnapshot {
+            opens: self.opens.load(Ordering::Relaxed),
+            reads: self.reads.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+            closes: self.closes.load(Ordering::Relaxed),
+            failovers: self.failovers.load(Ordering::Relaxed),
+            passthrough_opens: self.passthrough_opens.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            breaker_trips: self.breaker_trips.load(Ordering::Relaxed),
+            breaker_skips: self.breaker_skips.load(Ordering::Relaxed),
+            degraded_reads: self.degraded_reads.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -181,5 +248,23 @@ mod tests {
             (opens, reads, bytes, closes, failovers, passthrough),
             (2, 0, 100, 0, 0, 0)
         );
+    }
+
+    #[test]
+    fn client_resilience_counters_appear_in_full_snapshot() {
+        let c = ClientMetrics::default();
+        c.timeouts.fetch_add(3, Ordering::Relaxed);
+        c.retries.fetch_add(2, Ordering::Relaxed);
+        c.breaker_trips.fetch_add(1, Ordering::Relaxed);
+        c.breaker_skips.fetch_add(5, Ordering::Relaxed);
+        c.degraded_reads.fetch_add(4, Ordering::Relaxed);
+        let s = c.full_snapshot();
+        assert_eq!(s.timeouts, 3);
+        assert_eq!(s.retries, 2);
+        assert_eq!(s.breaker_trips, 1);
+        assert_eq!(s.breaker_skips, 5);
+        assert_eq!(s.degraded_reads, 4);
+        // The legacy tuple is unchanged by resilience traffic.
+        assert_eq!(c.snapshot(), (0, 0, 0, 0, 0, 0));
     }
 }

@@ -250,12 +250,13 @@ impl Response {
         }
     }
 
-    /// Convert an error response into `Err`, anything else into `Ok(self)`.
+    /// Convert an error response into a typed `Err`, anything else into
+    /// `Ok(self)`. The remote errno survives in [`HvacError::Remote`], so a
+    /// server-side `ENOENT` reaches the shim as `ENOENT`, and the failover
+    /// path can tell an answered error (fatal) from silence (transient).
     pub fn into_result(self) -> Result<Response> {
         match self {
-            Response::Err { code, message } => Err(HvacError::Rpc(format!(
-                "server error (errno {code}): {message}"
-            ))),
+            Response::Err { code, message } => Err(HvacError::Remote { code, message }),
             other => Ok(other),
         }
     }
@@ -336,9 +337,10 @@ mod tests {
         let resp = Response::from_error(&e);
         let decoded = Response::decode(resp.encode()).unwrap();
         match decoded.into_result() {
-            Err(HvacError::Rpc(msg)) => {
-                assert!(msg.contains("errno 2"));
-                assert!(msg.contains("/missing"));
+            Err(e @ HvacError::Remote { code: 2, .. }) => {
+                assert_eq!(e.errno(), 2, "remote errno survives the wire");
+                assert!(e.to_string().contains("/missing"));
+                assert!(!e.is_retriable(), "an answered error is fatal");
             }
             other => panic!("unexpected: {other:?}"),
         }

@@ -39,8 +39,9 @@ impl RpcClient {
     }
 
     /// Issue an RPC to the first healthy address in `addrs` (replica
-    /// preference order). Only `ServerDown` failures trigger fail-over;
-    /// protocol or I/O errors from a live server are returned as-is.
+    /// preference order). Every transient failure — `ServerDown`, a typed
+    /// `RpcTimeout` from a hung server, a transport error — triggers
+    /// fail-over; fatal errors from a live server are returned as-is.
     pub fn call_with_failover(&self, addrs: &[String], request: Bytes) -> Result<Reply> {
         if addrs.is_empty() {
             return Err(HvacError::InvalidConfig("empty replica set".into()));
@@ -54,7 +55,7 @@ impl RpcClient {
                     }
                     return Ok(reply);
                 }
-                Err(e @ HvacError::ServerDown(_)) => last_err = Some(e),
+                Err(e) if e.is_retriable() => last_err = Some(e),
                 Err(other) => return Err(other),
             }
         }
@@ -118,6 +119,27 @@ mod tests {
             .call_with_failover(&["x".into(), "y".into()], Bytes::new())
             .unwrap_err();
         assert!(matches!(err, HvacError::ServerDown(_)));
+    }
+
+    #[test]
+    fn hung_primary_fails_over_to_replica() {
+        use crate::fault::FaultSpec;
+        use std::time::Duration;
+        let fabric = Arc::new(Fabric::with_timeout(Duration::from_millis(25)));
+        let _a = fabric.serve("a", 1, tagged_handler("A")).unwrap();
+        let _b = fabric.serve("b", 1, tagged_handler("B")).unwrap();
+        fabric.fault_injector().set("a", FaultSpec::always_hang(11));
+        let client = RpcClient::new(fabric);
+        let start = std::time::Instant::now();
+        let r = client
+            .call_with_failover(&["a".into(), "b".into()], Bytes::new())
+            .unwrap();
+        assert_eq!(&r.header[..], b"B");
+        assert_eq!(client.stats().1, 1, "failover counted");
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "one hung replica costs one deadline, not 30 s"
+        );
     }
 
     #[test]

@@ -6,10 +6,15 @@
 //! containing a small response header plus an optional bulk payload —
 //! Mercury's RPC/bulk split.
 //!
-//! Fault injection (`set_down`) lets tests and the fail-over extension
-//! exercise the "node-local NVMe fails ⇒ failed training run" scenario the
-//! paper worries about in §III-H.
+//! Fault injection comes in two flavours: `set_down` (a *dead* server —
+//! calls fail fast with `ServerDown`) and the seeded [`FaultInjector`]
+//! (a *misbehaving* server — requests dropped, delayed, hung, or answered
+//! with errors), which together exercise both halves of the paper's §III-H
+//! "node-local NVMe fails ⇒ failed training run" scenario. Calls carry a
+//! per-call deadline ([`Fabric::call_with_deadline`]); missing it returns a
+//! typed [`HvacError::RpcTimeout`] that the client's failover path matches.
 
+use crate::fault::{FaultAction, FaultInjector};
 use bytes::Bytes;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use hvac_sync::{classes, OrderedMutex, OrderedRwLock};
@@ -18,7 +23,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A response to one RPC: a small header plus an optional bulk payload,
 /// mirroring Mercury's separation of RPC arguments from bulk transfers.
@@ -89,6 +94,7 @@ pub struct Fabric {
     endpoints: OrderedRwLock<HashMap<String, EndpointSlot>>,
     stats: FabricStats,
     call_timeout: Duration,
+    faults: FaultInjector,
 }
 
 impl Default for Fabric {
@@ -104,6 +110,7 @@ impl Fabric {
             endpoints: OrderedRwLock::new(classes::FABRIC_ENDPOINTS, HashMap::new()),
             stats: FabricStats::default(),
             call_timeout: Duration::from_secs(30),
+            faults: FaultInjector::new(),
         }
     }
 
@@ -118,6 +125,16 @@ impl Fabric {
     /// Traffic counters.
     pub fn stats(&self) -> &FabricStats {
         &self.stats
+    }
+
+    /// The fault injector (install per-endpoint misbehaviour here).
+    pub fn fault_injector(&self) -> &FaultInjector {
+        &self.faults
+    }
+
+    /// The default per-call timeout.
+    pub fn call_timeout(&self) -> Duration {
+        self.call_timeout
     }
 
     /// Register a server endpoint under `addr` and spawn `workers` handler
@@ -178,8 +195,22 @@ impl Fabric {
         })
     }
 
-    /// Issue a blocking RPC to `addr`.
+    /// Issue a blocking RPC to `addr` with the fabric's default timeout.
     pub fn call(&self, addr: &str, request: Bytes) -> Result<Reply> {
+        self.call_with_deadline(addr, request, self.call_timeout)
+    }
+
+    /// Issue a blocking RPC to `addr`, waiting at most `deadline` for the
+    /// reply. A missed deadline is a typed [`HvacError::RpcTimeout`] — the
+    /// caller cannot distinguish a hung server from a lost reply, and the
+    /// error says exactly that much and no more.
+    pub fn call_with_deadline(
+        &self,
+        addr: &str,
+        request: Bytes,
+        deadline: Duration,
+    ) -> Result<Reply> {
+        let start = Instant::now();
         let tx = {
             let eps = self.endpoints.read();
             match eps.get(addr) {
@@ -196,15 +227,64 @@ impl Fabric {
                 }
             }
         };
+        // Fault injection happens after the liveness check so `set_down`
+        // always wins, and before any bytes move so a dropped request
+        // really never reaches the server.
+        let mut discard_reply = false;
+        match self.faults.decide(addr) {
+            FaultAction::None => {}
+            FaultAction::Error => {
+                self.stats.failed_calls.fetch_add(1, Ordering::Relaxed);
+                return Err(HvacError::Rpc(format!("injected error reply from {addr}")));
+            }
+            FaultAction::Drop => {
+                // The request vanished; the caller waits out its deadline.
+                std::thread::sleep(deadline);
+                self.stats.failed_calls.fetch_add(1, Ordering::Relaxed);
+                return Err(HvacError::RpcTimeout {
+                    addr: addr.to_string(),
+                    elapsed: start.elapsed(),
+                });
+            }
+            FaultAction::Hang => discard_reply = true,
+            FaultAction::Delay(d) => {
+                if d >= deadline {
+                    std::thread::sleep(deadline);
+                    self.stats.failed_calls.fetch_add(1, Ordering::Relaxed);
+                    return Err(HvacError::RpcTimeout {
+                        addr: addr.to_string(),
+                        elapsed: start.elapsed(),
+                    });
+                }
+                std::thread::sleep(d);
+            }
+        }
         self.stats
             .request_bytes
             .fetch_add(request.len() as u64, Ordering::Relaxed);
         let (reply_tx, reply_rx) = bounded::<Reply>(1);
         tx.send(Incoming { request, reply_tx })
             .map_err(|_| HvacError::ServerDown(format!("{addr} (queue closed)")))?;
+        if discard_reply {
+            // Hung server: the handler runs, but the reply is dropped on the
+            // floor. Waiting the full remaining deadline reproduces exactly
+            // what the caller of a wedged endpoint experiences.
+            std::thread::sleep(deadline.saturating_sub(start.elapsed()));
+            self.stats.failed_calls.fetch_add(1, Ordering::Relaxed);
+            return Err(HvacError::RpcTimeout {
+                addr: addr.to_string(),
+                elapsed: start.elapsed(),
+            });
+        }
         let reply = reply_rx
-            .recv_timeout(self.call_timeout)
-            .map_err(|_| HvacError::Rpc(format!("timeout waiting for {addr}")))?;
+            .recv_timeout(deadline.saturating_sub(start.elapsed()))
+            .map_err(|_| {
+                self.stats.failed_calls.fetch_add(1, Ordering::Relaxed);
+                HvacError::RpcTimeout {
+                    addr: addr.to_string(),
+                    elapsed: start.elapsed(),
+                }
+            })?;
         self.stats.rpcs.fetch_add(1, Ordering::Relaxed);
         self.stats
             .reply_bytes
@@ -403,6 +483,160 @@ mod tests {
         let start = std::time::Instant::now();
         assert!(fabric.call("flaky", Bytes::from_static(b"x")).is_err());
         assert!(start.elapsed() < Duration::from_secs(8));
+    }
+
+    #[test]
+    fn timed_out_call_is_typed_rpc_timeout() {
+        let fabric = Arc::new(Fabric::new());
+        let handler: Arc<dyn RpcHandler> = Arc::new(|req: Bytes| {
+            std::thread::sleep(Duration::from_millis(200));
+            Reply {
+                header: req,
+                bulk: None,
+            }
+        });
+        let _ep = fabric.serve("slow", 1, handler).unwrap();
+        let err = fabric
+            .call_with_deadline("slow", Bytes::from_static(b"x"), Duration::from_millis(20))
+            .unwrap_err();
+        match err {
+            HvacError::RpcTimeout { addr, elapsed } => {
+                assert_eq!(addr, "slow");
+                assert!(elapsed >= Duration::from_millis(20));
+            }
+            other => panic!("expected RpcTimeout, got {other}"),
+        }
+        assert!(err_is_retriable_sanity());
+    }
+
+    fn err_is_retriable_sanity() -> bool {
+        HvacError::RpcTimeout {
+            addr: String::new(),
+            elapsed: Duration::ZERO,
+        }
+        .is_retriable()
+    }
+
+    #[test]
+    fn hung_endpoint_times_out_within_deadline() {
+        use crate::fault::FaultSpec;
+        let fabric = Arc::new(Fabric::new());
+        let _ep = fabric.serve("wedged", 1, echo_handler()).unwrap();
+        fabric
+            .fault_injector()
+            .set("wedged", FaultSpec::always_hang(3));
+        let start = std::time::Instant::now();
+        let err = fabric
+            .call_with_deadline(
+                "wedged",
+                Bytes::from_static(b"hi"),
+                Duration::from_millis(30),
+            )
+            .unwrap_err();
+        assert!(matches!(err, HvacError::RpcTimeout { .. }), "{err}");
+        let waited = start.elapsed();
+        assert!(waited >= Duration::from_millis(30));
+        assert!(
+            waited < Duration::from_secs(5),
+            "hang must cost one deadline, not the legacy 30 s: {waited:?}"
+        );
+        // The handler DID run (hang drops the reply, not the request).
+        assert_eq!(fabric.stats().snapshot().1, 2, "request bytes delivered");
+        // Clearing the plan restores service.
+        fabric.fault_injector().clear("wedged");
+        assert!(fabric.call("wedged", Bytes::from_static(b"ok")).is_ok());
+    }
+
+    #[test]
+    fn dropped_request_never_reaches_the_server() {
+        use crate::fault::FaultSpec;
+        let fabric = Arc::new(Fabric::new());
+        let _ep = fabric.serve("hole", 1, echo_handler()).unwrap();
+        fabric
+            .fault_injector()
+            .set("hole", FaultSpec::always_drop(5));
+        let err = fabric
+            .call_with_deadline(
+                "hole",
+                Bytes::from_static(b"gone"),
+                Duration::from_millis(10),
+            )
+            .unwrap_err();
+        assert!(matches!(err, HvacError::RpcTimeout { .. }));
+        assert_eq!(fabric.stats().snapshot().1, 0, "no request bytes moved");
+        assert_eq!(fabric.fault_injector().injected(), 1);
+    }
+
+    #[test]
+    fn injected_error_reply_is_fast_and_typed() {
+        use crate::fault::FaultSpec;
+        let fabric = Arc::new(Fabric::new());
+        let _ep = fabric.serve("flk", 1, echo_handler()).unwrap();
+        fabric.fault_injector().set(
+            "flk",
+            FaultSpec {
+                error_prob: 1.0,
+                seed: 9,
+                ..FaultSpec::default()
+            },
+        );
+        let start = std::time::Instant::now();
+        let err = fabric.call("flk", Bytes::from_static(b"x")).unwrap_err();
+        assert!(matches!(err, HvacError::Rpc(_)), "{err}");
+        assert!(err.is_retriable());
+        assert!(start.elapsed() < Duration::from_secs(1), "errors fail fast");
+    }
+
+    #[test]
+    fn injected_delay_slows_but_still_answers() {
+        use crate::fault::FaultSpec;
+        let fabric = Arc::new(Fabric::new());
+        let _ep = fabric.serve("lag", 1, echo_handler()).unwrap();
+        fabric.fault_injector().set(
+            "lag",
+            FaultSpec {
+                delay_prob: 1.0,
+                delay: Duration::from_millis(15),
+                seed: 4,
+                ..FaultSpec::default()
+            },
+        );
+        let start = std::time::Instant::now();
+        let reply = fabric
+            .call_with_deadline("lag", Bytes::from_static(b"x"), Duration::from_secs(2))
+            .unwrap();
+        assert_eq!(&reply.header[..], b"x");
+        assert!(start.elapsed() >= Duration::from_millis(15));
+        // A delay at or beyond the deadline is a timeout instead.
+        fabric.fault_injector().set(
+            "lag",
+            FaultSpec {
+                delay_prob: 1.0,
+                delay: Duration::from_millis(50),
+                seed: 4,
+                ..FaultSpec::default()
+            },
+        );
+        let err = fabric
+            .call_with_deadline("lag", Bytes::from_static(b"x"), Duration::from_millis(10))
+            .unwrap_err();
+        assert!(matches!(err, HvacError::RpcTimeout { .. }));
+    }
+
+    #[test]
+    fn set_down_wins_over_fault_plans() {
+        use crate::fault::FaultSpec;
+        let fabric = Arc::new(Fabric::new());
+        let ep = fabric.serve("d", 1, echo_handler()).unwrap();
+        fabric.fault_injector().set("d", FaultSpec::always_hang(1));
+        ep.set_down(true);
+        let start = std::time::Instant::now();
+        let err = fabric.call("d", Bytes::new()).unwrap_err();
+        assert!(matches!(err, HvacError::ServerDown(_)), "{err}");
+        assert!(
+            start.elapsed() < Duration::from_millis(100),
+            "down endpoints fail fast even when a hang plan is installed"
+        );
     }
 
     #[test]

@@ -1,0 +1,269 @@
+//! Deterministic fabric fault injection.
+//!
+//! A [`FaultInjector`] sits inside the [`crate::fabric::Fabric`] call path
+//! and perturbs RPCs to selected endpoints: drop the request before the
+//! server sees it, delay its delivery, hang the reply (the server handles
+//! the request but the caller never hears back), or answer with an injected
+//! error reply. All randomness is a per-endpoint splitmix64 stream seeded
+//! from the [`FaultSpec`], so a test that issues calls in a fixed order
+//! observes the exact same fault sequence on every run.
+//!
+//! This is the "hung server" counterpart to `Fabric::set_down`: a *down*
+//! endpoint fails fast with `ServerDown`, while a *hung* one consumes the
+//! caller's full per-call deadline — the scenario the client's
+//! deadline/retry/breaker machinery exists for.
+
+use hvac_sync::{classes, OrderedRwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Per-endpoint fault probabilities. Independent draws are made in the
+/// order `drop → hang → error → delay`, one per incoming call; the first
+/// that fires wins (delay composes with nothing because it fires last and
+/// alone).
+#[derive(Debug, Clone)]
+pub struct FaultSpec {
+    /// Probability the request is dropped before reaching the server.
+    pub drop_prob: f64,
+    /// Probability the request is served but the reply never returns.
+    pub hang_prob: f64,
+    /// Probability the call is answered with an injected transport error.
+    pub error_prob: f64,
+    /// Probability `delay` is added before the request is delivered.
+    pub delay_prob: f64,
+    /// The added delivery delay when the delay draw fires.
+    pub delay: Duration,
+    /// Seed of this endpoint's deterministic fault stream.
+    pub seed: u64,
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        Self {
+            drop_prob: 0.0,
+            hang_prob: 0.0,
+            error_prob: 0.0,
+            delay_prob: 0.0,
+            delay: Duration::ZERO,
+            seed: 0x4856_4143, // "HVAC"
+        }
+    }
+}
+
+impl FaultSpec {
+    /// A spec that hangs every call (deterministic wedged server).
+    pub fn always_hang(seed: u64) -> Self {
+        Self {
+            hang_prob: 1.0,
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// A spec that drops every request (deterministic packet blackhole).
+    pub fn always_drop(seed: u64) -> Self {
+        Self {
+            drop_prob: 1.0,
+            seed,
+            ..Self::default()
+        }
+    }
+}
+
+/// What the injector decided for one call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Deliver the call untouched.
+    None,
+    /// The request never reaches the server; the caller times out.
+    Drop,
+    /// The server handles the request but the reply is discarded; the
+    /// caller times out.
+    Hang,
+    /// The caller receives an injected transport error immediately.
+    Error,
+    /// The request is delivered after the given extra delay.
+    Delay(Duration),
+}
+
+struct EndpointFaults {
+    spec: FaultSpec,
+    rng: AtomicU64,
+}
+
+/// Registry of per-endpoint [`FaultSpec`]s plus fired-fault accounting.
+pub struct FaultInjector {
+    plans: OrderedRwLock<HashMap<String, EndpointFaults>>,
+    injected: AtomicU64,
+}
+
+/// One step of splitmix64 — small, seedable, and plenty random for fault
+/// schedules (the same generator the eviction benchmarks use).
+fn splitmix64(state: &AtomicU64) -> u64 {
+    let mut z = state
+        .fetch_add(0x9e37_79b9_7f4a_7c15, Ordering::Relaxed)
+        .wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Map a u64 draw to `[0, 1)`.
+fn unit(draw: u64) -> f64 {
+    (draw >> 11) as f64 / (1u64 << 53) as f64
+}
+
+impl FaultInjector {
+    /// An injector with no faults installed.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Install (or replace) the fault plan of `addr`. The endpoint's random
+    /// stream restarts from `spec.seed`.
+    pub fn set(&self, addr: &str, spec: FaultSpec) {
+        let mut plans = self.plans.write();
+        let rng = AtomicU64::new(spec.seed);
+        plans.insert(addr.to_string(), EndpointFaults { spec, rng });
+    }
+
+    /// Remove the fault plan of `addr` (calls pass untouched again).
+    pub fn clear(&self, addr: &str) {
+        self.plans.write().remove(addr);
+    }
+
+    /// Remove every fault plan.
+    pub fn clear_all(&self) {
+        self.plans.write().clear();
+    }
+
+    /// Total faults fired (drops + hangs + errors + delays).
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// Decide the fate of one call to `addr`, advancing the endpoint's
+    /// deterministic fault stream.
+    pub fn decide(&self, addr: &str) -> FaultAction {
+        let plans = self.plans.read();
+        let Some(ep) = plans.get(addr) else {
+            return FaultAction::None;
+        };
+        let action = {
+            let s = &ep.spec;
+            if s.drop_prob > 0.0 && unit(splitmix64(&ep.rng)) < s.drop_prob {
+                FaultAction::Drop
+            } else if s.hang_prob > 0.0 && unit(splitmix64(&ep.rng)) < s.hang_prob {
+                FaultAction::Hang
+            } else if s.error_prob > 0.0 && unit(splitmix64(&ep.rng)) < s.error_prob {
+                FaultAction::Error
+            } else if s.delay_prob > 0.0 && unit(splitmix64(&ep.rng)) < s.delay_prob {
+                FaultAction::Delay(s.delay)
+            } else {
+                FaultAction::None
+            }
+        };
+        if action != FaultAction::None {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+        }
+        action
+    }
+}
+
+impl std::fmt::Debug for FaultInjector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultInjector")
+            .field("endpoints", &self.plans.read().len())
+            .field("injected", &self.injected())
+            .finish()
+    }
+}
+
+impl Default for FaultInjector {
+    fn default() -> Self {
+        Self {
+            plans: OrderedRwLock::new(classes::FABRIC_FAULTS, HashMap::new()),
+            injected: AtomicU64::new(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_plan_means_no_faults() {
+        let inj = FaultInjector::new();
+        for _ in 0..100 {
+            assert_eq!(inj.decide("anywhere"), FaultAction::None);
+        }
+        assert_eq!(inj.injected(), 0);
+    }
+
+    #[test]
+    fn always_hang_is_total_and_counted() {
+        let inj = FaultInjector::new();
+        inj.set("s", FaultSpec::always_hang(7));
+        for _ in 0..50 {
+            assert_eq!(inj.decide("s"), FaultAction::Hang);
+        }
+        assert_eq!(inj.injected(), 50);
+        inj.clear("s");
+        assert_eq!(inj.decide("s"), FaultAction::None);
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let schedule = |seed: u64| -> Vec<FaultAction> {
+            let inj = FaultInjector::new();
+            inj.set(
+                "s",
+                FaultSpec {
+                    error_prob: 0.5,
+                    seed,
+                    ..FaultSpec::default()
+                },
+            );
+            (0..64).map(|_| inj.decide("s")).collect()
+        };
+        assert_eq!(schedule(42), schedule(42));
+        assert_ne!(
+            schedule(42),
+            schedule(43),
+            "different seeds should (overwhelmingly) differ"
+        );
+        let mix = schedule(42);
+        assert!(mix.contains(&FaultAction::Error));
+        assert!(mix.contains(&FaultAction::None));
+    }
+
+    #[test]
+    fn delay_carries_the_configured_duration() {
+        let inj = FaultInjector::new();
+        inj.set(
+            "s",
+            FaultSpec {
+                delay_prob: 1.0,
+                delay: Duration::from_millis(3),
+                seed: 1,
+                ..FaultSpec::default()
+            },
+        );
+        assert_eq!(
+            inj.decide("s"),
+            FaultAction::Delay(Duration::from_millis(3))
+        );
+    }
+
+    #[test]
+    fn endpoints_have_independent_streams() {
+        let inj = FaultInjector::new();
+        inj.set("a", FaultSpec::always_hang(1));
+        inj.set("b", FaultSpec::always_drop(2));
+        assert_eq!(inj.decide("a"), FaultAction::Hang);
+        assert_eq!(inj.decide("b"), FaultAction::Drop);
+        assert_eq!(inj.decide("c"), FaultAction::None);
+    }
+}

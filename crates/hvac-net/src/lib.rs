@@ -12,6 +12,8 @@
 //!   worker threads, fault injection (mark a server down), and traffic
 //!   accounting,
 //! * [`client`] — the blocking [`RpcClient`] used by HVAC clients,
+//! * [`fault`] — the seeded [`FaultInjector`] (per-endpoint drop / delay /
+//!   hang / error-reply schedules) driving the hung-server tests,
 //! * [`bulk`] — chunked bulk-transfer framing mirroring Mercury's separation
 //!   of RPC metadata from payload.
 //!
@@ -21,8 +23,10 @@
 pub mod bulk;
 pub mod client;
 pub mod fabric;
+pub mod fault;
 pub mod wire;
 
 pub use bulk::{chunk_bulk, reassemble_bulk, BULK_CHUNK_SIZE};
 pub use client::RpcClient;
 pub use fabric::{Fabric, FabricStats, Reply, RpcHandler, ServerEndpoint};
+pub use fault::{FaultAction, FaultInjector, FaultSpec};

@@ -26,6 +26,6 @@
 //! process exit — the smoke test uses it to prove interception happened.
 
 pub mod agent;
-mod shim;
+pub mod shim;
 
 pub use agent::{AgentConfig, LocalAgent};

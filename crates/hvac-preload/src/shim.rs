@@ -204,9 +204,13 @@ pub unsafe extern "C" fn openat(
     real_openat()(dirfd, path, flags, mode)
 }
 
-unsafe fn deliver(buf: *mut c_void, data: &[u8]) -> ssize_t {
-    std::ptr::copy_nonoverlapping(data.as_ptr(), buf as *mut u8, data.len());
-    data.len() as ssize_t
+/// Copy agent data into the caller's buffer, never past `count` bytes — the
+/// caller only guaranteed `count` writable bytes, so an oversized reply (a
+/// buggy or malicious server) must be clamped, not trusted.
+unsafe fn deliver(buf: *mut c_void, count: size_t, data: &[u8]) -> ssize_t {
+    let n = data.len().min(count);
+    std::ptr::copy_nonoverlapping(data.as_ptr(), buf as *mut u8, n);
+    n as ssize_t
 }
 
 /// Interposed `read(2)`.
@@ -219,7 +223,7 @@ pub unsafe extern "C" fn read(fd: c_int, buf: *mut c_void, count: size_t) -> ssi
         if let Some(agent) = agent() {
             if agent.owns_fd(fd as u64) {
                 return match with_guard(|| agent.read(fd as u64, count)) {
-                    Ok(data) => deliver(buf, &data),
+                    Ok(data) => deliver(buf, count, &data),
                     Err(e) => {
                         set_errno(e.errno());
                         -1
@@ -240,9 +244,15 @@ unsafe fn pread_common(
     if fd as u64 >= FD_BASE && !hooked() && !on_internal_thread() {
         if let Some(agent) = agent() {
             if agent.owns_fd(fd as u64) {
+                // POSIX: pread with a negative offset is EINVAL; the cast
+                // below would otherwise turn -1 into a huge u64 offset.
+                if offset < 0 {
+                    set_errno(libc::EINVAL);
+                    return Some(-1);
+                }
                 return Some(
                     match with_guard(|| agent.pread(fd as u64, offset as u64, count)) {
-                        Ok(data) => deliver(buf, &data),
+                        Ok(data) => deliver(buf, count, &data),
                         Err(e) => {
                             set_errno(e.errno());
                             -1
@@ -466,4 +476,38 @@ pub unsafe extern "C" fn close(fd: c_int) -> c_int {
         }
     }
     real_close()(fd)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deliver_clamps_oversized_replies_to_count() {
+        // A reply larger than the caller's buffer must never overflow it;
+        // only `count` bytes land and only `count` is reported.
+        let data = [7u8; 16];
+        let mut buf = [0u8; 8];
+        let n = unsafe { deliver(buf.as_mut_ptr().cast(), buf.len(), &data) };
+        assert_eq!(n, 8);
+        assert_eq!(buf, [7u8; 8]);
+    }
+
+    #[test]
+    fn deliver_short_data_copies_everything_and_reports_its_length() {
+        let data = [3u8; 4];
+        let mut buf = [9u8; 8];
+        let n = unsafe { deliver(buf.as_mut_ptr().cast(), buf.len(), &data) };
+        assert_eq!(n, 4);
+        assert_eq!(&buf[..4], [3u8; 4]);
+        assert_eq!(&buf[4..], [9u8; 4], "tail beyond the data is untouched");
+    }
+
+    #[test]
+    fn deliver_empty_reply_is_zero() {
+        let mut buf = [1u8; 4];
+        let n = unsafe { deliver(buf.as_mut_ptr().cast(), buf.len(), &[]) };
+        assert_eq!(n, 0);
+        assert_eq!(buf, [1u8; 4]);
+    }
 }

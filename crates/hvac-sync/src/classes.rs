@@ -18,6 +18,14 @@ pub const FABRIC_ENDPOINTS: &str = "net.fabric.endpoints";
 /// Fabric server worker-thread list; held only briefly at spawn/join.
 pub const FABRIC_THREADS: &str = "net.fabric.threads";
 
+/// Fault-injection plan table (`hvac-net::fault`). Fabric level: consulted
+/// at call time with no other lock held.
+pub const FABRIC_FAULTS: &str = "net.fabric.faults";
+
+/// Client per-replica health cache (`hvac-core::client`). Leaf: the guard
+/// is always dropped before any RPC is issued.
+pub const CLIENT_HEALTH: &str = "core.client.health";
+
 /// Data-mover in-flight table (`hvac-core::server`).
 pub const SERVER_INFLIGHT: &str = "core.server.inflight";
 

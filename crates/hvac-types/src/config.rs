@@ -6,6 +6,7 @@
 
 use crate::units::{Bandwidth, ByteSize};
 use serde::{Deserialize, Serialize};
+use std::time::Duration;
 
 /// Which placement algorithm maps a file to its home server.
 ///
@@ -82,6 +83,48 @@ impl Default for HvacConfig {
             replication: 1,
             request_overhead_ns: 60_000,
             client_dispatch_ns: 5_000,
+        }
+    }
+}
+
+/// Client-side failure-handling budget: per-call deadlines, bounded retry
+/// with exponential backoff + seeded jitter, and the consecutive-failure
+/// circuit breaker that proactively skips a wedged replica.
+///
+/// The degradation ladder this policy drives is: retry the same replica
+/// (transient errors only) → fail over to the next replica → read the PFS
+/// directly (when the client has a [`FileStore`] fallback configured).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Per-RPC deadline. A hung server costs at most this much per attempt,
+    /// not the fabric's 30 s transport default.
+    pub rpc_timeout: Duration,
+    /// Attempts per replica (1 = no same-replica retry). Only timeouts and
+    /// transport errors are retried on the same replica; `ServerDown` fails
+    /// over immediately.
+    pub max_attempts: u32,
+    /// Base backoff between same-replica attempts; attempt `n` waits
+    /// `backoff_base * 2^n` plus jitter in `[0, backoff_base)`.
+    pub backoff_base: Duration,
+    /// Consecutive failures after which a replica's breaker trips and the
+    /// client skips it proactively.
+    pub breaker_threshold: u32,
+    /// How long a tripped breaker stays open before one probe call is
+    /// allowed through (half-open).
+    pub breaker_cooldown: Duration,
+    /// Seed for the deterministic backoff jitter.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            rpc_timeout: Duration::from_secs(5),
+            max_attempts: 2,
+            backoff_base: Duration::from_millis(10),
+            breaker_threshold: 3,
+            breaker_cooldown: Duration::from_secs(2),
+            jitter_seed: 0x4856_4143, // "HVAC"
         }
     }
 }

@@ -1,8 +1,17 @@
 //! The crate-spanning error type.
+//!
+//! Failure paths are **typed**, not stringly: a timed-out RPC is
+//! [`HvacError::RpcTimeout`] (with the address and elapsed time), a remote
+//! error reply is [`HvacError::Remote`] (with the server's errno intact),
+//! and [`HvacError::is_retriable`] classifies every variant as transient
+//! (retry / fail over may help) or fatal (it will not). The client's
+//! degradation ladder — retry → replica failover → direct-PFS read — keys
+//! off that classification.
 
 use std::fmt;
 use std::io;
 use std::path::PathBuf;
+use std::time::Duration;
 
 /// Convenience alias used throughout the HVAC crates.
 pub type Result<T> = std::result::Result<T, HvacError>;
@@ -16,8 +25,27 @@ pub enum HvacError {
     NotFound(PathBuf),
     /// A file descriptor was used that the client does not know about.
     BadFd(i32),
-    /// The RPC layer failed (endpoint gone, decode error, timeout...).
+    /// The RPC layer failed in some transport-level way not covered by a
+    /// more specific variant (queue closed, handler died mid-request,
+    /// injected fault...). Treated as transient.
     Rpc(String),
+    /// An RPC exceeded its per-call deadline: the server may be hung rather
+    /// than down, so the fabric cannot tell us more than "no reply in time".
+    RpcTimeout {
+        /// Endpoint that failed to answer.
+        addr: String,
+        /// How long the caller waited.
+        elapsed: Duration,
+    },
+    /// The server answered with an error reply. The remote errno survives
+    /// the wire (`code`), so `ENOENT` from a server is `ENOENT` at the shim
+    /// instead of collapsing to `EIO`.
+    Remote {
+        /// errno-equivalent reported by the server.
+        code: i32,
+        /// Human-readable description from the server.
+        message: String,
+    },
     /// A server was asked to cache more than its capacity and eviction could
     /// not make room.
     CapacityExhausted {
@@ -44,6 +72,12 @@ impl fmt::Display for HvacError {
             HvacError::NotFound(p) => write!(f, "file not found: {}", p.display()),
             HvacError::BadFd(fd) => write!(f, "unknown file descriptor: {fd}"),
             HvacError::Rpc(m) => write!(f, "rpc failure: {m}"),
+            HvacError::RpcTimeout { addr, elapsed } => {
+                write!(f, "rpc to {addr} timed out after {elapsed:?}")
+            }
+            HvacError::Remote { code, message } => {
+                write!(f, "server error (errno {code}): {message}")
+            }
             HvacError::CapacityExhausted {
                 requested,
                 capacity,
@@ -88,9 +122,26 @@ impl HvacError {
             HvacError::BadFd(_) => 9,                  // EBADF
             HvacError::ReadOnly(_) => 30,              // EROFS
             HvacError::CapacityExhausted { .. } => 28, // ENOSPC
+            HvacError::RpcTimeout { .. } => 110,       // ETIMEDOUT
+            HvacError::Remote { code, .. } => *code,
             HvacError::Io(e) => e.raw_os_error().unwrap_or(5),
             _ => 5, // EIO
         }
+    }
+
+    /// Whether retrying (on the same server after a backoff, on the next
+    /// replica, or against the PFS directly) can plausibly succeed.
+    ///
+    /// Transient: the server never answered ([`HvacError::RpcTimeout`]),
+    /// refused the connection ([`HvacError::ServerDown`]), or the transport
+    /// itself failed ([`HvacError::Rpc`]). Everything the server *did*
+    /// answer — including error replies — is fatal: retrying a `NotFound`
+    /// or a protocol violation elsewhere returns the same answer.
+    pub fn is_retriable(&self) -> bool {
+        matches!(
+            self,
+            HvacError::RpcTimeout { .. } | HvacError::ServerDown(_) | HvacError::Rpc(_)
+        )
     }
 }
 
@@ -131,5 +182,66 @@ mod tests {
             28
         );
         assert_eq!(HvacError::Rpc(String::new()).errno(), 5);
+        assert_eq!(
+            HvacError::RpcTimeout {
+                addr: "n0/s0".into(),
+                elapsed: Duration::from_secs(1),
+            }
+            .errno(),
+            110
+        );
+        // The remote errno survives instead of collapsing to EIO.
+        assert_eq!(
+            HvacError::Remote {
+                code: 2,
+                message: "file not found".into(),
+            }
+            .errno(),
+            2
+        );
+    }
+
+    #[test]
+    fn transient_vs_fatal_classification() {
+        let transient = [
+            HvacError::RpcTimeout {
+                addr: "n0/s0".into(),
+                elapsed: Duration::from_millis(50),
+            },
+            HvacError::ServerDown("n0/s0".into()),
+            HvacError::Rpc("queue closed".into()),
+        ];
+        for e in transient {
+            assert!(e.is_retriable(), "{e} must be retriable");
+        }
+        let fatal = [
+            HvacError::NotFound(PathBuf::from("/x")),
+            HvacError::BadFd(3),
+            HvacError::Remote {
+                code: 2,
+                message: "nope".into(),
+            },
+            HvacError::Protocol("bad tag".into()),
+            HvacError::InvalidConfig("".into()),
+            HvacError::ReadOnly(PathBuf::from("/x")),
+            HvacError::CapacityExhausted {
+                requested: 1,
+                capacity: 0,
+            },
+            HvacError::Io(io::Error::other("disk on fire")),
+        ];
+        for e in fatal {
+            assert!(!e.is_retriable(), "{e} must be fatal");
+        }
+    }
+
+    #[test]
+    fn timeout_display_names_the_endpoint() {
+        let e = HvacError::RpcTimeout {
+            addr: "node3/srv1".into(),
+            elapsed: Duration::from_millis(40),
+        };
+        assert!(e.to_string().contains("node3/srv1"));
+        assert!(e.to_string().contains("timed out"));
     }
 }

@@ -28,7 +28,7 @@ pub mod units;
 
 pub use config::{
     ClusterConfig, EvictionPolicyKind, GpfsConfig, HvacConfig, NetworkConfig, NvmeConfig,
-    PlacementKind,
+    PlacementKind, RetryPolicy,
 };
 pub use error::{HvacError, Result};
 pub use ids::{ClientId, FileId, JobId, NodeId, Rank, ServerId};

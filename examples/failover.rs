@@ -30,9 +30,13 @@ fn main() {
     pfs.synthesize_dataset(Path::new("/gpfs/train"), n_files, |_| 4096);
 
     // --- Without replication (the paper's current design) -----------------
+    // PFS degradation is switched off so the paper's failure mode is
+    // actually visible; the default keeps it armed.
     let fragile = Cluster::new(
         pfs.clone(),
-        ClusterOptions::new(4, 1).dataset_dir("/gpfs/train"),
+        ClusterOptions::new(4, 1)
+            .dataset_dir("/gpfs/train")
+            .pfs_fallback(false),
     )
     .unwrap();
     read_all(&fragile, n_files); // warm the cache
@@ -40,6 +44,23 @@ fn main() {
     let (ok, failed) = read_all(&fragile, n_files);
     println!("replication=1, node 2 down: {ok} reads ok, {failed} FAILED");
     println!("  (the paper §III-H: \"if the node-local NVMe fails, [this can] lead to a failed training run\")\n");
+
+    // --- Without replication, but with the default PFS degradation --------
+    let degrading = Cluster::new(
+        pfs.clone(),
+        ClusterOptions::new(4, 1).dataset_dir("/gpfs/train"),
+    )
+    .unwrap();
+    read_all(&degrading, n_files);
+    degrading.set_node_down(2, true);
+    let (ok, failed) = read_all(&degrading, n_files);
+    let degraded = degrading.client(0).metrics().full_snapshot().degraded_reads;
+    println!(
+        "replication=1 + degradation, node 2 down: {ok} reads ok, {failed} failed, \
+         {degraded} served straight from the PFS"
+    );
+    assert_eq!(failed, 0, "degradation must keep the epoch alive");
+    println!("  (slow epoch, but the training run survives)\n");
 
     // --- With k=2 replication (the §III-H extension) -----------------------
     let robust = Cluster::new(

@@ -11,11 +11,15 @@ const N_FILES: u64 = 60;
 fn cluster_with_replication(k: u32) -> (Arc<MemStore>, Cluster) {
     let pfs = Arc::new(MemStore::new());
     pfs.synthesize_dataset(Path::new("/gpfs/train"), N_FILES, |_| 512);
+    // Degradation off: these tests probe pure RPC failover semantics — a
+    // lost file must surface as `ServerDown`, not silently come from the
+    // PFS. Client-side degradation has its own coverage in hung_server.rs.
     let cluster = Cluster::new(
         pfs.clone(),
         ClusterOptions::new(5, 1)
             .dataset_dir("/gpfs/train")
-            .replication(k),
+            .replication(k)
+            .pfs_fallback(false),
     )
     .unwrap();
     (pfs, cluster)

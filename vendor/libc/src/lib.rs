@@ -59,6 +59,10 @@ pub const S_IFREG: mode_t = 0o100000;
 pub const S_IFMT: mode_t = 0o170000;
 /// `dlsym` pseudo-handle: resolve in the next object after the caller.
 pub const RTLD_NEXT: *mut c_void = -1isize as *mut c_void;
+/// errno: bad file descriptor.
+pub const EBADF: c_int = 9;
+/// errno: invalid argument.
+pub const EINVAL: c_int = 22;
 
 /// `struct stat`, x86_64 linux-gnu layout.
 #[repr(C)]
