@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dbg_shim-644f809ae29d3489.d: crates/hvac-preload/tests/dbg_shim.rs
+
+/root/repo/target/debug/deps/dbg_shim-644f809ae29d3489: crates/hvac-preload/tests/dbg_shim.rs
+
+crates/hvac-preload/tests/dbg_shim.rs:

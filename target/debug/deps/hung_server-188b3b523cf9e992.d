@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hung_server-188b3b523cf9e992.d: tests/tests/hung_server.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhung_server-188b3b523cf9e992.rmeta: tests/tests/hung_server.rs Cargo.toml
+
+tests/tests/hung_server.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hung_server-7c9b2e181f609a08.d: tests/tests/hung_server.rs
+
+/root/repo/target/debug/deps/hung_server-7c9b2e181f609a08: tests/tests/hung_server.rs
+
+tests/tests/hung_server.rs:

@@ -1,13 +1,14 @@
-/root/repo/target/debug/deps/hvac_net-aac0acc1f3a37fc6.d: crates/hvac-net/src/lib.rs crates/hvac-net/src/bulk.rs crates/hvac-net/src/client.rs crates/hvac-net/src/fabric.rs crates/hvac-net/src/wire.rs Cargo.toml
+/root/repo/target/debug/deps/hvac_net-aac0acc1f3a37fc6.d: crates/hvac-net/src/lib.rs crates/hvac-net/src/bulk.rs crates/hvac-net/src/client.rs crates/hvac-net/src/fabric.rs crates/hvac-net/src/fault.rs crates/hvac-net/src/wire.rs Cargo.toml
 
-/root/repo/target/debug/deps/libhvac_net-aac0acc1f3a37fc6.rmeta: crates/hvac-net/src/lib.rs crates/hvac-net/src/bulk.rs crates/hvac-net/src/client.rs crates/hvac-net/src/fabric.rs crates/hvac-net/src/wire.rs Cargo.toml
+/root/repo/target/debug/deps/libhvac_net-aac0acc1f3a37fc6.rmeta: crates/hvac-net/src/lib.rs crates/hvac-net/src/bulk.rs crates/hvac-net/src/client.rs crates/hvac-net/src/fabric.rs crates/hvac-net/src/fault.rs crates/hvac-net/src/wire.rs Cargo.toml
 
 crates/hvac-net/src/lib.rs:
 crates/hvac-net/src/bulk.rs:
 crates/hvac-net/src/client.rs:
 crates/hvac-net/src/fabric.rs:
+crates/hvac-net/src/fault.rs:
 crates/hvac-net/src/wire.rs:
 Cargo.toml:
 
-# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
 # env-dep:CLIPPY_CONF_DIR

@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/hvac_net-d70331c128eb1d57.d: crates/hvac-net/src/lib.rs crates/hvac-net/src/bulk.rs crates/hvac-net/src/client.rs crates/hvac-net/src/fabric.rs crates/hvac-net/src/wire.rs
+/root/repo/target/debug/deps/hvac_net-d70331c128eb1d57.d: crates/hvac-net/src/lib.rs crates/hvac-net/src/bulk.rs crates/hvac-net/src/client.rs crates/hvac-net/src/fabric.rs crates/hvac-net/src/fault.rs crates/hvac-net/src/wire.rs
 
-/root/repo/target/debug/deps/hvac_net-d70331c128eb1d57: crates/hvac-net/src/lib.rs crates/hvac-net/src/bulk.rs crates/hvac-net/src/client.rs crates/hvac-net/src/fabric.rs crates/hvac-net/src/wire.rs
+/root/repo/target/debug/deps/hvac_net-d70331c128eb1d57: crates/hvac-net/src/lib.rs crates/hvac-net/src/bulk.rs crates/hvac-net/src/client.rs crates/hvac-net/src/fabric.rs crates/hvac-net/src/fault.rs crates/hvac-net/src/wire.rs
 
 crates/hvac-net/src/lib.rs:
 crates/hvac-net/src/bulk.rs:
 crates/hvac-net/src/client.rs:
 crates/hvac-net/src/fabric.rs:
+crates/hvac-net/src/fault.rs:
 crates/hvac-net/src/wire.rs:

@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/hvac_net-d86ec36a86ab59e7.d: crates/hvac-net/src/lib.rs crates/hvac-net/src/bulk.rs crates/hvac-net/src/client.rs crates/hvac-net/src/fabric.rs crates/hvac-net/src/wire.rs
+/root/repo/target/debug/deps/hvac_net-d86ec36a86ab59e7.d: crates/hvac-net/src/lib.rs crates/hvac-net/src/bulk.rs crates/hvac-net/src/client.rs crates/hvac-net/src/fabric.rs crates/hvac-net/src/fault.rs crates/hvac-net/src/wire.rs
 
-/root/repo/target/debug/deps/libhvac_net-d86ec36a86ab59e7.rlib: crates/hvac-net/src/lib.rs crates/hvac-net/src/bulk.rs crates/hvac-net/src/client.rs crates/hvac-net/src/fabric.rs crates/hvac-net/src/wire.rs
+/root/repo/target/debug/deps/libhvac_net-d86ec36a86ab59e7.rlib: crates/hvac-net/src/lib.rs crates/hvac-net/src/bulk.rs crates/hvac-net/src/client.rs crates/hvac-net/src/fabric.rs crates/hvac-net/src/fault.rs crates/hvac-net/src/wire.rs
 
-/root/repo/target/debug/deps/libhvac_net-d86ec36a86ab59e7.rmeta: crates/hvac-net/src/lib.rs crates/hvac-net/src/bulk.rs crates/hvac-net/src/client.rs crates/hvac-net/src/fabric.rs crates/hvac-net/src/wire.rs
+/root/repo/target/debug/deps/libhvac_net-d86ec36a86ab59e7.rmeta: crates/hvac-net/src/lib.rs crates/hvac-net/src/bulk.rs crates/hvac-net/src/client.rs crates/hvac-net/src/fabric.rs crates/hvac-net/src/fault.rs crates/hvac-net/src/wire.rs
 
 crates/hvac-net/src/lib.rs:
 crates/hvac-net/src/bulk.rs:
 crates/hvac-net/src/client.rs:
 crates/hvac-net/src/fabric.rs:
+crates/hvac-net/src/fault.rs:
 crates/hvac-net/src/wire.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shim_semantics-9614304f0bbf4ab9.d: crates/hvac-preload/tests/shim_semantics.rs
+
+/root/repo/target/debug/deps/shim_semantics-9614304f0bbf4ab9: crates/hvac-preload/tests/shim_semantics.rs
+
+crates/hvac-preload/tests/shim_semantics.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/shim_semantics-f7fb676645199a9b.d: crates/hvac-preload/tests/shim_semantics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshim_semantics-f7fb676645199a9b.rmeta: crates/hvac-preload/tests/shim_semantics.rs Cargo.toml
+
+crates/hvac-preload/tests/shim_semantics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -8,5 +8,5 @@ tools/tidy/src/scan.rs:
 Cargo.toml:
 
 # env-dep:CARGO_MANIFEST_DIR=/root/repo/tools/tidy
-# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
 # env-dep:CLIPPY_CONF_DIR

@@ -1,11 +1,12 @@
-/root/repo/target/release/deps/hvac_net-9468ef1cdfdbbc89.d: crates/hvac-net/src/lib.rs crates/hvac-net/src/bulk.rs crates/hvac-net/src/client.rs crates/hvac-net/src/fabric.rs crates/hvac-net/src/wire.rs
+/root/repo/target/release/deps/hvac_net-9468ef1cdfdbbc89.d: crates/hvac-net/src/lib.rs crates/hvac-net/src/bulk.rs crates/hvac-net/src/client.rs crates/hvac-net/src/fabric.rs crates/hvac-net/src/fault.rs crates/hvac-net/src/wire.rs
 
-/root/repo/target/release/deps/libhvac_net-9468ef1cdfdbbc89.rlib: crates/hvac-net/src/lib.rs crates/hvac-net/src/bulk.rs crates/hvac-net/src/client.rs crates/hvac-net/src/fabric.rs crates/hvac-net/src/wire.rs
+/root/repo/target/release/deps/libhvac_net-9468ef1cdfdbbc89.rlib: crates/hvac-net/src/lib.rs crates/hvac-net/src/bulk.rs crates/hvac-net/src/client.rs crates/hvac-net/src/fabric.rs crates/hvac-net/src/fault.rs crates/hvac-net/src/wire.rs
 
-/root/repo/target/release/deps/libhvac_net-9468ef1cdfdbbc89.rmeta: crates/hvac-net/src/lib.rs crates/hvac-net/src/bulk.rs crates/hvac-net/src/client.rs crates/hvac-net/src/fabric.rs crates/hvac-net/src/wire.rs
+/root/repo/target/release/deps/libhvac_net-9468ef1cdfdbbc89.rmeta: crates/hvac-net/src/lib.rs crates/hvac-net/src/bulk.rs crates/hvac-net/src/client.rs crates/hvac-net/src/fabric.rs crates/hvac-net/src/fault.rs crates/hvac-net/src/wire.rs
 
 crates/hvac-net/src/lib.rs:
 crates/hvac-net/src/bulk.rs:
 crates/hvac-net/src/client.rs:
 crates/hvac-net/src/fabric.rs:
+crates/hvac-net/src/fault.rs:
 crates/hvac-net/src/wire.rs:
