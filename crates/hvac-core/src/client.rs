@@ -22,6 +22,7 @@ use bytes::Bytes;
 use hvac_hash::pathhash::{hash_path, mix64};
 use hvac_hash::placement::{make_placement, Placement};
 use hvac_net::fabric::{Fabric, Reply};
+use hvac_net::pipeline::pipelined_fetch;
 use hvac_pfs::FileStore;
 use hvac_sync::{classes, OrderedMutex};
 use hvac_types::{HvacError, PlacementKind, Result, RetryPolicy, ServerId};
@@ -47,6 +48,11 @@ pub struct HvacClientOptions {
     /// Deadline/retry/backoff/breaker budget for every RPC this client
     /// issues.
     pub retry: RetryPolicy,
+    /// Reads larger than this are split into chunk RPCs of at most this many
+    /// bytes (Mercury's RDMA-sized bulk pieces).
+    pub bulk_chunk: usize,
+    /// How many chunk RPCs of one read are kept in flight at once.
+    pub bulk_window: usize,
 }
 
 impl HvacClientOptions {
@@ -63,6 +69,8 @@ impl HvacClientOptions {
             n_servers,
             instances_per_node,
             retry: RetryPolicy::default(),
+            bulk_chunk: hvac_net::BULK_CHUNK_SIZE,
+            bulk_window: hvac_net::DEFAULT_PIPELINE_WINDOW,
         }
     }
 }
@@ -364,16 +372,23 @@ impl HvacClient {
         fds.get_mut(&fd).map(f).ok_or(HvacError::BadFd(fd as i32))
     }
 
+    /// Clamp a request to the size recorded at open time, so an oversized
+    /// `len` (POSIX allows `read(fd, buf, SIZE_MAX)`) never plans an
+    /// absurd chunk pipeline — it just short-reads like the syscall would.
+    fn clamp_len(size: u64, offset: u64, len: usize) -> usize {
+        len.min(size.saturating_sub(offset).try_into().unwrap_or(usize::MAX))
+    }
+
     /// Positional read (POSIX `pread`): does not move the file position.
     pub fn pread(&self, fd: u64, offset: u64, len: usize) -> Result<Bytes> {
-        let path = self.with_fd(fd, |of| of.path.clone())?;
-        self.read_path_at(&path, offset, len)
+        let (path, size) = self.with_fd(fd, |of| (of.path.clone(), of.size))?;
+        self.read_path_at(&path, offset, Self::clamp_len(size, offset, len))
     }
 
     /// Sequential read: reads at the current position and advances it.
     pub fn read(&self, fd: u64, len: usize) -> Result<Bytes> {
-        let (path, pos) = self.with_fd(fd, |of| (of.path.clone(), of.pos))?;
-        let data = self.read_path_at(&path, pos, len)?;
+        let (path, pos, size) = self.with_fd(fd, |of| (of.path.clone(), of.pos, of.size))?;
+        let data = self.read_path_at(&path, pos, Self::clamp_len(size, pos, len))?;
         self.with_fd(fd, |of| of.pos = pos + data.len() as u64)?;
         Ok(data)
     }
@@ -462,33 +477,53 @@ impl HvacClient {
         Ok(data)
     }
 
-    fn read_path_at(&self, path: &Path, offset: u64, len: usize) -> Result<Bytes> {
-        let reply = match self.call(
-            path,
-            &Request::Read {
-                path: path.to_path_buf(),
-                offset,
-                len: len as u64,
-            },
-        ) {
+    /// Fetch one chunk of a read: a `Read` RPC over the replica ladder (the
+    /// full deadline/retry/failover/breaker treatment per chunk), degrading
+    /// to direct PFS access for just this chunk when every replica is
+    /// exhausted. Counts only `degraded_reads`; the logical read's
+    /// `reads`/`bytes` are accounted once by [`Self::read_path_at`].
+    fn fetch_chunk(&self, addrs: &[String], path: &Path, offset: u64, len: usize) -> Result<Bytes> {
+        let encoded = Request::Read {
+            path: path.to_path_buf(),
+            offset,
+            len: len as u64,
+        }
+        .encode()?;
+        let reply = match self.call_replicas(addrs, &encoded) {
             Ok(reply) => reply,
-            Err(e) if self.should_degrade(&e) => return self.degraded_read(path, offset, len),
+            Err(e) if self.should_degrade(&e) => {
+                let pfs = self.pfs_fallback.as_ref().ok_or(e)?;
+                let data = pfs.read_at(path, offset, len)?;
+                self.metrics.degraded_reads.fetch_add(1, Ordering::Relaxed);
+                return Ok(data);
+            }
             Err(e) => return Err(e),
         };
-        let resp = Response::decode(reply.header)?.into_result()?;
-        match resp {
-            Response::Data { .. } => {
-                let data = reply.bulk.unwrap_or_default();
-                self.metrics.reads.fetch_add(1, Ordering::Relaxed);
-                self.metrics
-                    .bytes
-                    .fetch_add(data.len() as u64, Ordering::Relaxed);
-                Ok(data)
-            }
+        match Response::decode(reply.header)?.into_result()? {
+            Response::Data { .. } => Ok(reply.bulk.unwrap_or_default()),
             other => Err(HvacError::Protocol(format!(
                 "unexpected read reply: {other:?}"
             ))),
         }
+    }
+
+    /// One logical read: reads that fit in `bulk_chunk` issue a single RPC;
+    /// larger ones are pipelined as a bounded window of concurrent chunk
+    /// RPCs reassembled in offset order ([`pipelined_fetch`]).
+    fn read_path_at(&self, path: &Path, offset: u64, len: usize) -> Result<Bytes> {
+        let addrs = self.replica_addrs(path);
+        let data = pipelined_fetch(
+            offset,
+            len,
+            self.options.bulk_chunk.max(1),
+            self.options.bulk_window,
+            |chunk_off, chunk_len| self.fetch_chunk(&addrs, path, chunk_off, chunk_len),
+        )?;
+        self.metrics.reads.fetch_add(1, Ordering::Relaxed);
+        self.metrics
+            .bytes
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
+        Ok(data)
     }
 
     /// Read a whole file at **segment granularity** (the §III-E alternative
@@ -861,6 +896,51 @@ mod tests {
         // here we just verify the job kept working throughout).
         fabric.set_down(&addrs[0], false);
         client.read_file(&p).unwrap();
+    }
+
+    #[test]
+    fn large_reads_pipeline_chunk_rpcs_and_stay_byte_exact() {
+        let (pfs, fabric, servers, _client) = setup2(1);
+        // Rebuild the client with a tiny chunk so every file (>= 64 B)
+        // pipelines; window 3 keeps several chunk RPCs in flight.
+        let mut opts = HvacClientOptions::new("/gpfs/set", 3, 1);
+        opts.bulk_chunk = 16;
+        opts.bulk_window = 3;
+        let client = HvacClient::new(fabric, opts).unwrap();
+        for i in 0..8 {
+            let p = sample(i);
+            assert_eq!(client.read_file(&p).unwrap(), pfs.read_all(&p).unwrap());
+        }
+        // Each file produced several chunk RPCs server-side, but the client
+        // counted one logical read per file (plus the EOF-probing read that
+        // read_file's pread avoids by sizing from open).
+        let server_reads: u64 = servers
+            .iter()
+            .map(|(s, _)| s.metrics().snapshot().reads)
+            .sum();
+        assert!(server_reads >= 8 * 4, "chunk RPCs issued: {server_reads}");
+        assert_eq!(client.metrics().snapshot().1, 8);
+    }
+
+    #[test]
+    fn pipelined_read_degrades_per_chunk_when_replicas_die() {
+        let (pfs, fabric, _servers, _client) = setup2(1);
+        let mut opts = HvacClientOptions::new("/gpfs/set", 3, 1);
+        opts.bulk_chunk = 16;
+        opts.bulk_window = 4;
+        let mut client = HvacClient::new(fabric.clone(), opts).unwrap();
+        client.set_pfs_fallback(pfs.clone());
+        let p = sample(2);
+        let expected = pfs.read_all(&p).unwrap();
+        for addr in client.replica_addrs(&p) {
+            fabric.set_down(&addr, true);
+        }
+        assert_eq!(client.read_file(&p).unwrap(), expected);
+        let s = client.metrics().full_snapshot();
+        assert!(
+            s.degraded_reads as usize >= expected.len() / 16,
+            "every chunk degraded individually: {s:?}"
+        );
     }
 
     #[test]

@@ -52,6 +52,11 @@ pub struct ClusterOptions {
     /// file is exhausted (the §III-H degradation ladder's last rung). On by
     /// default — HVAC's contract is that the epoch completes.
     pub pfs_fallback: bool,
+    /// Bulk chunk size for client reads (reads larger than this are
+    /// pipelined as chunk RPCs).
+    pub bulk_chunk: usize,
+    /// In-flight chunk RPC window per pipelined read.
+    pub bulk_window: usize,
 }
 
 impl ClusterOptions {
@@ -72,6 +77,8 @@ impl ClusterOptions {
             seed: 0x4856_4143, // "HVAC"
             retry: RetryPolicy::default(),
             pfs_fallback: true,
+            bulk_chunk: hvac_net::BULK_CHUNK_SIZE,
+            bulk_window: hvac_net::DEFAULT_PIPELINE_WINDOW,
         }
     }
 
@@ -126,6 +133,13 @@ impl ClusterOptions {
     /// Enable or disable client-side direct-PFS degradation.
     pub fn pfs_fallback(mut self, enabled: bool) -> Self {
         self.pfs_fallback = enabled;
+        self
+    }
+
+    /// Set the bulk chunk size and in-flight window for pipelined reads.
+    pub fn bulk_transfer(mut self, chunk: usize, window: usize) -> Self {
+        self.bulk_chunk = chunk;
+        self.bulk_window = window;
         self
     }
 
@@ -200,6 +214,8 @@ impl Cluster {
                         n_servers,
                         instances_per_node: options.instances_per_node,
                         retry: options.retry.clone(),
+                        bulk_chunk: options.bulk_chunk,
+                        bulk_window: options.bulk_window,
                     },
                 )?;
                 if options.pfs_fallback {

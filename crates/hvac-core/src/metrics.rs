@@ -6,6 +6,20 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+/// Per-stripe counters of the server's striped read hot path (the inflight
+/// dedup table). One entry per stripe; indexed by the stripe a cache key
+/// hashes to.
+#[derive(Debug, Default)]
+pub struct StripeCounters {
+    /// `ensure_cached` calls that found the key already resident.
+    pub hits: AtomicU64,
+    /// `ensure_cached` calls that had to wait for (or start) a PFS copy.
+    pub misses: AtomicU64,
+    /// Stripe-lock acquisitions that found the stripe held (`try_lock`
+    /// failed and the caller fell back to a blocking lock).
+    pub contention: AtomicU64,
+}
+
 /// Counters kept by one HVAC server instance.
 #[derive(Debug, Default)]
 pub struct ServerMetrics {
@@ -38,6 +52,41 @@ pub struct ServerMetrics {
     /// Reads that lost the ensure/read race to eviction on every retry and
     /// fell back to a PFS bypass read (cache thrashing under churn).
     pub eviction_races: AtomicU64,
+    /// Per-stripe hit/miss/contention counters of the inflight table.
+    /// Empty by default (`ServerMetrics::default()`); sized by
+    /// [`ServerMetrics::with_stripes`] when the server spawns.
+    pub stripes: Vec<StripeCounters>,
+}
+
+impl ServerMetrics {
+    /// Metrics with `n` per-stripe counter slots.
+    pub fn with_stripes(n: usize) -> Self {
+        Self {
+            stripes: (0..n).map(|_| StripeCounters::default()).collect(),
+            ..Self::default()
+        }
+    }
+
+    /// Count a stripe-level hit (no-op when stripe counters are not armed).
+    pub fn stripe_hit(&self, stripe: usize) {
+        if let Some(s) = self.stripes.get(stripe) {
+            s.hits.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Count a stripe-level miss.
+    pub fn stripe_miss(&self, stripe: usize) {
+        if let Some(s) = self.stripes.get(stripe) {
+            s.misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Count a contended stripe-lock acquisition.
+    pub fn stripe_contended(&self, stripe: usize) {
+        if let Some(s) = self.stripes.get(stripe) {
+            s.contention.fetch_add(1, Ordering::Relaxed);
+        }
+    }
 }
 
 /// A plain-old-data snapshot of [`ServerMetrics`].
@@ -70,6 +119,14 @@ pub struct ServerMetricsSnapshot {
     /// Reads that lost every ensure/read retry to eviction and were served
     /// via PFS bypass instead.
     pub eviction_races: u64,
+    /// Stripe-level hits summed over every stripe (the per-stripe vectors
+    /// stay on [`ServerMetrics`]; the snapshot carries scalars so it stays
+    /// `Copy` and merges cheaply).
+    pub stripe_hits: u64,
+    /// Stripe-level misses summed over every stripe.
+    pub stripe_misses: u64,
+    /// Contended stripe-lock acquisitions summed over every stripe.
+    pub stripe_contention: u64,
 }
 
 impl ServerMetrics {
@@ -90,6 +147,21 @@ impl ServerMetrics {
             prefetches: self.prefetches.load(Ordering::Relaxed),
             pfs_bypass_reads: self.pfs_bypass_reads.load(Ordering::Relaxed),
             eviction_races: self.eviction_races.load(Ordering::Relaxed),
+            stripe_hits: self
+                .stripes
+                .iter()
+                .map(|s| s.hits.load(Ordering::Relaxed))
+                .sum(),
+            stripe_misses: self
+                .stripes
+                .iter()
+                .map(|s| s.misses.load(Ordering::Relaxed))
+                .sum(),
+            stripe_contention: self
+                .stripes
+                .iter()
+                .map(|s| s.contention.load(Ordering::Relaxed))
+                .sum(),
         }
     }
 }
@@ -110,6 +182,9 @@ impl ServerMetricsSnapshot {
         self.prefetches += other.prefetches;
         self.pfs_bypass_reads += other.pfs_bypass_reads;
         self.eviction_races += other.eviction_races;
+        self.stripe_hits += other.stripe_hits;
+        self.stripe_misses += other.stripe_misses;
+        self.stripe_contention += other.stripe_contention;
     }
 
     /// Fraction of reads served from cache, in `[0, 1]`.
@@ -231,6 +306,31 @@ mod tests {
         agg.merge(&s1);
         assert_eq!(agg.reads, 20);
         assert_eq!(agg.cache_hits, 14);
+    }
+
+    #[test]
+    fn stripe_counters_sum_into_snapshot_and_merge() {
+        let m = ServerMetrics::with_stripes(4);
+        m.stripe_hit(0);
+        m.stripe_hit(3);
+        m.stripe_miss(1);
+        m.stripe_contended(2);
+        m.stripe_contended(2);
+        m.stripe_hit(99); // out of range: ignored, not a panic
+        let s = m.snapshot();
+        assert_eq!(
+            (s.stripe_hits, s.stripe_misses, s.stripe_contention),
+            (2, 1, 2)
+        );
+        let mut agg = ServerMetricsSnapshot::default();
+        agg.merge(&s);
+        agg.merge(&s);
+        assert_eq!(agg.stripe_hits, 4);
+        assert_eq!(agg.stripe_contention, 4);
+        // Un-armed metrics (no stripe slots): counting is a no-op.
+        let d = ServerMetrics::default();
+        d.stripe_hit(0);
+        assert_eq!(d.snapshot().stripe_hits, 0);
     }
 
     #[test]

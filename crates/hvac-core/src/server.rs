@@ -17,9 +17,11 @@ use crate::metrics::ServerMetrics;
 use crate::protocol::{Request, Response};
 use bytes::Bytes;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use hvac_hash::pathhash::hash_path;
 use hvac_net::fabric::{Fabric, Reply, RpcHandler, ServerEndpoint};
 use hvac_pfs::FileStore;
-use hvac_sync::{classes, OrderedMutex};
+use hvac_storage::default_shard_count;
+use hvac_sync::{classes, OrderedMutex, OrderedMutexGuard};
 use hvac_types::{HvacError, Result};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -57,10 +59,60 @@ struct CopyJob {
     range: Option<(u64, u64)>,
 }
 
-/// The data-mover machinery: FIFO queue + threads + in-flight dedup map.
+type Waiters = HashMap<PathBuf, Vec<Sender<CopyResult>>>;
+
+/// The in-flight dedup table, lock-striped by cache-key hash so concurrent
+/// first-epoch fetches of *distinct* files admit in parallel instead of
+/// funnelling through one global mutex. All stripes share the
+/// `SERVER_INFLIGHT_STRIPE` class (a thread holds at most one stripe at a
+/// time), and the stripe count mirrors the store's shard count so the two
+/// striped layers scale together.
+struct InflightTable {
+    stripes: Vec<OrderedMutex<Waiters>>,
+    /// `stripes.len() - 1`; the count is a power of two.
+    mask: u64,
+}
+
+impl InflightTable {
+    fn new(stripes: usize) -> Self {
+        let n = stripes.max(1).next_power_of_two();
+        Self {
+            stripes: (0..n)
+                .map(|_| OrderedMutex::new(classes::SERVER_INFLIGHT_STRIPE, HashMap::new()))
+                .collect(),
+            mask: (n - 1) as u64,
+        }
+    }
+
+    /// The stripe index a cache key maps to.
+    fn stripe_of(&self, key: &Path) -> usize {
+        (hash_path(key).0 & self.mask) as usize
+    }
+
+    /// Lock stripe `idx`, counting the acquisition as contended on
+    /// `metrics` when another thread holds it at that moment.
+    fn lock(&self, idx: usize, metrics: &ServerMetrics) -> OrderedMutexGuard<'_, Waiters> {
+        match self.stripes[idx].try_lock() {
+            Some(guard) => guard,
+            None => {
+                metrics.stripe_contended(idx);
+                self.stripes[idx].lock()
+            }
+        }
+    }
+
+    /// Whether no copy is in flight anywhere (stripes inspected one at a
+    /// time; the answer is advisory, which is all drain polling needs).
+    fn is_empty(&self) -> bool {
+        self.stripes.iter().all(|s| s.lock().is_empty())
+    }
+}
+
+/// The data-mover machinery: FIFO queue + threads + striped in-flight
+/// dedup table.
 struct DataMover {
     queue_tx: Sender<CopyJob>,
-    inflight: Arc<OrderedMutex<HashMap<PathBuf, Vec<Sender<CopyResult>>>>>,
+    inflight: Arc<InflightTable>,
     threads: OrderedMutex<Vec<JoinHandle<()>>>,
 }
 
@@ -73,8 +125,7 @@ impl DataMover {
         name: &str,
     ) -> Result<Self> {
         let (queue_tx, queue_rx) = unbounded::<CopyJob>();
-        let inflight: Arc<OrderedMutex<HashMap<PathBuf, Vec<Sender<CopyResult>>>>> =
-            Arc::new(OrderedMutex::new(classes::SERVER_INFLIGHT, HashMap::new()));
+        let inflight = Arc::new(InflightTable::new(default_shard_count()));
         let mut threads = Vec::with_capacity(movers.max(1));
         for m in 0..movers.max(1) {
             let rx: Receiver<CopyJob> = queue_rx.clone();
@@ -103,7 +154,11 @@ impl DataMover {
                                 .fetch_add(outcome.evicted.len() as u64, Ordering::Relaxed);
                             Ok(())
                         })();
-                        let waiters = inflight.lock().remove(&job.key).unwrap_or_default();
+                        let idx = inflight.stripe_of(&job.key);
+                        let waiters = inflight
+                            .lock(idx, &metrics)
+                            .remove(&job.key)
+                            .unwrap_or_default();
                         for w in waiters {
                             let _ = w.send(result.clone());
                         }
@@ -131,11 +186,12 @@ impl DataMover {
     /// Fire-and-forget staging: enqueue a copy of `path` unless it is
     /// resident or already in flight (used by the §IV-C prefetch extension).
     /// Returns whether a new copy job was enqueued.
-    fn request_copy(&self, cache: &CacheManager, path: &Path) -> bool {
+    fn request_copy(&self, cache: &CacheManager, metrics: &ServerMetrics, path: &Path) -> bool {
         if cache.contains(path) {
             return false;
         }
-        let mut inflight = self.inflight.lock();
+        let idx = self.inflight.stripe_of(path);
+        let mut inflight = self.inflight.lock(idx, metrics);
         if cache.contains(path) || inflight.contains_key(path) {
             return false;
         }
@@ -160,16 +216,20 @@ impl DataMover {
         key: &Path,
         range: Option<(u64, u64)>,
     ) -> Result<bool> {
+        let idx = self.inflight.stripe_of(key);
         if cache.contains(key) {
+            metrics.stripe_hit(idx);
             return Ok(true);
         }
         let (tx, rx) = bounded::<CopyResult>(1);
         {
-            let mut inflight = self.inflight.lock();
+            let mut inflight = self.inflight.lock(idx, metrics);
             // Re-check under the lock: the mover may have just finished.
             if cache.contains(key) {
+                metrics.stripe_hit(idx);
                 return Ok(true);
             }
+            metrics.stripe_miss(idx);
             match inflight.get_mut(key) {
                 Some(waiters) => {
                     // Piggyback on the in-flight copy (§III-D dedup).
@@ -245,7 +305,7 @@ impl HvacServer {
         options: HvacServerOptions,
         name: &str,
     ) -> Result<Arc<Self>> {
-        let metrics = Arc::new(ServerMetrics::default());
+        let metrics = Arc::new(ServerMetrics::with_stripes(default_shard_count()));
         let mover = DataMover::spawn(
             cache.clone(),
             pfs.clone(),
@@ -329,7 +389,7 @@ impl HvacServer {
             }
             Request::Prefetch { paths } => {
                 for path in &paths {
-                    if self.mover.request_copy(&self.cache, path) {
+                    if self.mover.request_copy(&self.cache, &self.metrics, path) {
                         self.metrics.prefetches.fetch_add(1, Ordering::Relaxed);
                     }
                 }
@@ -343,7 +403,7 @@ impl HvacServer {
     /// in-flight copies via the §III-D dedup).
     pub fn drain_prefetches(&self) {
         loop {
-            if self.mover.inflight.lock().is_empty() {
+            if self.mover.inflight.is_empty() {
                 return;
             }
             std::thread::sleep(std::time::Duration::from_millis(1));
@@ -543,6 +603,10 @@ mod tests {
         assert_eq!(snap.cache_hits, 1);
         assert_eq!(snap.cache_misses, 1);
         assert_eq!(snap.pfs_copies, 1);
+        // The striped inflight table saw one admit (miss) and one fast-path
+        // hit, mirroring the cache counters.
+        assert_eq!(snap.stripe_hits, 1);
+        assert_eq!(snap.stripe_misses, 1);
         // PFS saw exactly one data read.
         assert_eq!(pfs.stats().snapshot().1, 1);
     }

@@ -15,7 +15,9 @@
 //! * [`fault`] — the seeded [`FaultInjector`] (per-endpoint drop / delay /
 //!   hang / error-reply schedules) driving the hung-server tests,
 //! * [`bulk`] — chunked bulk-transfer framing mirroring Mercury's separation
-//!   of RPC metadata from payload.
+//!   of RPC metadata from payload,
+//! * [`pipeline`] — bounded-window pipelining of chunk fetches, so large
+//!   reads overlap their chunk RPCs the way Mercury overlaps RDMA gets.
 //!
 //! The fabric moves real bytes between real threads; latency and bandwidth of
 //! the modeled interconnect are accounted (for reporting) rather than slept.
@@ -24,9 +26,11 @@ pub mod bulk;
 pub mod client;
 pub mod fabric;
 pub mod fault;
+pub mod pipeline;
 pub mod wire;
 
 pub use bulk::{chunk_bulk, reassemble_bulk, BULK_CHUNK_SIZE};
 pub use client::RpcClient;
 pub use fabric::{Fabric, FabricStats, Reply, RpcHandler, ServerEndpoint};
 pub use fault::{FaultAction, FaultInjector, FaultSpec};
+pub use pipeline::{pipelined_fetch, DEFAULT_PIPELINE_WINDOW};

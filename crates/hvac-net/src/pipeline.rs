@@ -1,0 +1,193 @@
+//! Pipelined bulk fetch.
+//!
+//! Mercury overlaps bulk transfers by posting several RDMA chunk gets at
+//! once. The loopback analogue: a large read is split into
+//! [`chunk_bulk`](crate::bulk::chunk_bulk)-sized pieces and a bounded
+//! *window* of chunk RPCs is kept in flight concurrently, each carrying the
+//! caller's full deadline/retry/fault-injection semantics. Chunks are
+//! reassembled in offset order, so the caller sees exactly the bytes a
+//! single monolithic RPC would have returned.
+//!
+//! This module deliberately owns no locks: workers claim chunk indices from
+//! an atomic cursor and each buffers its own results, merged after join, so
+//! the pipeline adds nothing to the `hvac-sync` lock hierarchy.
+
+use bytes::Bytes;
+use hvac_types::{HvacError, Result};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use crate::bulk::reassemble_bulk;
+
+/// Default number of chunk RPCs kept in flight per bulk read.
+pub const DEFAULT_PIPELINE_WINDOW: usize = 4;
+
+/// Fetch `len` bytes starting at `offset` as a pipeline of chunked
+/// sub-fetches of at most `chunk_size` bytes, with at most `window`
+/// in flight at once.
+///
+/// `fetch(chunk_offset, chunk_len)` performs one chunk RPC and is invoked
+/// concurrently from up to `window` threads; it must carry whatever
+/// deadline/retry semantics the caller wants per chunk. Short chunks are
+/// allowed (end-of-file): reassembly simply concatenates whatever came
+/// back, in offset order, matching single-RPC short-read semantics. On the
+/// first chunk error the pipeline stops claiming new chunks and returns the
+/// error of the lowest-offset failed chunk (deterministic regardless of
+/// completion order).
+///
+/// Reads that fit in one chunk (including `len == 0`) degenerate to a
+/// single inline `fetch` call with no threads spawned.
+pub fn pipelined_fetch<F>(
+    offset: u64,
+    len: usize,
+    chunk_size: usize,
+    window: usize,
+    fetch: F,
+) -> Result<Bytes>
+where
+    F: Fn(u64, usize) -> Result<Bytes> + Sync,
+{
+    assert!(chunk_size > 0, "chunk size must be positive");
+    let n_chunks = len.div_ceil(chunk_size);
+    if n_chunks <= 1 {
+        return fetch(offset, len);
+    }
+    let workers = window.max(1).min(n_chunks);
+    let next = AtomicUsize::new(0);
+    let abort = AtomicBool::new(false);
+
+    let per_worker: Vec<Vec<(usize, Result<Bytes>)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        if abort.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let idx = next.fetch_add(1, Ordering::Relaxed);
+                        if idx >= n_chunks {
+                            break;
+                        }
+                        let chunk_off = offset + (idx * chunk_size) as u64;
+                        let chunk_len = chunk_size.min(len - idx * chunk_size);
+                        let result = fetch(chunk_off, chunk_len);
+                        if result.is_err() {
+                            abort.store(true, Ordering::Relaxed);
+                        }
+                        out.push((idx, result));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(results) => results,
+                Err(panic) => std::panic::resume_unwind(panic),
+            })
+            .collect()
+    });
+
+    let mut chunks: Vec<Option<Bytes>> = vec![None; n_chunks];
+    let mut first_err: Option<(usize, HvacError)> = None;
+    for (idx, result) in per_worker.into_iter().flatten() {
+        match result {
+            Ok(data) => chunks[idx] = Some(data),
+            Err(e) => {
+                if first_err.as_ref().is_none_or(|(i, _)| idx < *i) {
+                    first_err = Some((idx, e));
+                }
+            }
+        }
+    }
+    if let Some((_, e)) = first_err {
+        return Err(e);
+    }
+    let parts: Vec<Bytes> = chunks.into_iter().map(Option::unwrap_or_default).collect();
+    Ok(reassemble_bulk(&parts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    fn mem_fetch(data: &Bytes) -> impl Fn(u64, usize) -> Result<Bytes> + Sync + '_ {
+        move |off, len| {
+            let off = (off as usize).min(data.len());
+            let end = (off + len).min(data.len());
+            Ok(data.slice(off..end))
+        }
+    }
+
+    #[test]
+    fn round_trips_across_windows_and_chunk_sizes() {
+        let data = Bytes::from(
+            (0..4096u32)
+                .flat_map(|x| x.to_le_bytes())
+                .collect::<Vec<u8>>(),
+        );
+        for chunk in [1usize, 13, 1000, 1 << 14, usize::MAX / 2] {
+            for window in [1usize, 2, 4, 16] {
+                let out = pipelined_fetch(0, data.len(), chunk, window, mem_fetch(&data)).unwrap();
+                assert_eq!(out, data, "chunk={chunk} window={window}");
+            }
+        }
+    }
+
+    #[test]
+    fn honours_offset_and_short_reads_at_eof() {
+        let data = Bytes::from(vec![9u8; 1000]);
+        // Request runs 500 bytes past EOF; chunks there come back empty.
+        let out = pipelined_fetch(200, 1300, 128, 4, mem_fetch(&data)).unwrap();
+        assert_eq!(out, data.slice(200..1000));
+    }
+
+    #[test]
+    fn empty_read_is_a_single_inline_fetch() {
+        let calls = AtomicU64::new(0);
+        let out = pipelined_fetch(0, 0, 64, 4, |_, len| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            Ok(Bytes::from(vec![0u8; len]))
+        })
+        .unwrap();
+        assert!(out.is_empty());
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn first_failed_chunk_error_wins_deterministically() {
+        let data = Bytes::from(vec![1u8; 4096]);
+        let base = mem_fetch(&data);
+        let err = pipelined_fetch(0, data.len(), 256, 8, |off, len| {
+            if off >= 1024 {
+                Err(HvacError::Rpc(format!("chunk at {off} failed")))
+            } else {
+                base(off, len)
+            }
+        })
+        .unwrap_err();
+        match err {
+            HvacError::Rpc(msg) => assert_eq!(msg, "chunk at 1024 failed"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_stops_the_pipeline_early() {
+        let calls = AtomicU64::new(0);
+        let result = pipelined_fetch(0, 1 << 20, 1024, 1, |off, _| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            if off == 0 {
+                Err(HvacError::Rpc("boom".into()))
+            } else {
+                Ok(Bytes::new())
+            }
+        });
+        assert!(result.is_err());
+        // Window of 1: the single worker aborts after the first failure
+        // instead of issuing all 1024 chunk fetches.
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+    }
+}

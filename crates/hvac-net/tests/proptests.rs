@@ -1,9 +1,11 @@
 //! Property-based tests for the RPC substrate: codec totality, bulk
-//! chunking round-trips, and fabric behaviour under arbitrary payloads.
+//! chunking round-trips, pipelined reassembly, and fabric behaviour under
+//! arbitrary payloads.
 
 use bytes::{Bytes, BytesMut};
 use hvac_net::bulk::{chunk_bulk, reassemble_bulk};
 use hvac_net::fabric::{Fabric, Reply, RpcHandler};
+use hvac_net::pipeline::pipelined_fetch;
 use hvac_net::wire;
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -58,6 +60,29 @@ proptest! {
         prop_assert_eq!(chunks.len(), payload.len().div_ceil(chunk));
         // ...and reassembly is lossless.
         prop_assert_eq!(reassemble_bulk(&chunks), payload);
+    }
+
+    #[test]
+    fn pipelined_fetch_round_trips_any_payload(
+        payload in proptest::collection::vec(any::<u8>(), 0..10_000),
+        chunk in 1usize..4096,
+        window in 1usize..9,
+        offset in 0u64..256,
+    ) {
+        // A pipelined chunked read over an in-memory "file" must return the
+        // exact bytes a single contiguous read would — for any payload
+        // (including empty), any chunk size, and any window width. Requests
+        // deliberately overrun EOF to exercise short-read reassembly.
+        let data = Bytes::from(payload);
+        let fetch = |off: u64, len: usize| {
+            let start = (off as usize).min(data.len());
+            let end = (start + len).min(data.len());
+            Ok(data.slice(start..end))
+        };
+        let len = data.len() + 512; // always runs past EOF
+        let out = pipelined_fetch(offset, len, chunk, window, fetch).unwrap();
+        let expected = data.slice((offset as usize).min(data.len())..);
+        prop_assert_eq!(out, expected);
     }
 
     #[test]

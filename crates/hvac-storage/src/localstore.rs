@@ -4,14 +4,33 @@
 //! first access (paper §III-D step ⑥, `fs::copy(src, dst)`), and serves all
 //! later reads from it. Capacity is enforced here; choosing a victim when
 //! full is the cache manager's job (`hvac-core::eviction`).
+//!
+//! **Lock striping.** The entry map is split into a power-of-two number of
+//! shards (default ~2× the machine's cores), each behind its own
+//! [`hvac_sync::OrderedRwLock`] of class `STORE_SHARD`; a path's shard is
+//! chosen by its hash. Readers of *different* shards never contend, readers
+//! of the *same* shard share a read guard, and only same-shard writers
+//! serialize — which is what lets a 16-rank node read at aggregate-NVMe
+//! speed instead of one file at a time. Capacity accounting moved out of
+//! the (formerly global) lock into atomics: an insert *reserves* its bytes
+//! with a CAS loop before touching any shard, so `used()` can never exceed
+//! `capacity()` no matter how many writers race.
+//!
+//! An optional [`DeviceModel`] arms per-shard *service-time emulation* for
+//! benchmarks: each read then holds its shard's device-queue mutex (class
+//! `STORE_DEVICE_QUEUE`, strictly innermost) for the modeled service time,
+//! so reads serialize within a shard and overlap across shards exactly like
+//! queue-per-LUN hardware.
 
-use crate::capacity::CapacityGauge;
+use crate::device::DeviceModel;
 use bytes::Bytes;
-use hvac_sync::{classes, OrderedMutex};
+use hvac_hash::pathhash::hash_path;
+use hvac_sync::{classes, OrderedMutex, OrderedRwLock};
 use hvac_types::{ByteSize, HvacError, Result};
 use std::collections::HashMap;
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Where the cached bytes physically live.
 #[derive(Debug, Clone)]
@@ -31,50 +50,129 @@ struct Entry {
     disk: Option<PathBuf>, // Directory backing
 }
 
-struct Inner {
-    gauge: CapacityGauge,
-    entries: HashMap<PathBuf, Entry>,
-    insert_seq: u64,
+type ShardMap = HashMap<PathBuf, Entry>;
+
+/// Optional simulated-device service: one queue mutex per shard, so service
+/// times serialize within a shard and overlap across shards.
+struct DeviceService {
+    model: DeviceModel,
+    queues: Vec<OrderedMutex<()>>,
 }
 
-/// A single node-local cache store.
+/// The default shard count for this machine: at least 8, about twice the
+/// available cores, rounded up to a power of two (so shard selection is a
+/// mask, not a division).
+pub fn default_shard_count() -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    (2 * cores).max(8).next_power_of_two()
+}
+
+/// A single node-local cache store, lock-striped across `shards` shards.
 pub struct LocalStore {
     backing: Backing,
-    inner: OrderedMutex<Inner>,
+    shards: Vec<OrderedRwLock<ShardMap>>,
+    /// `shards.len() - 1`; shard count is a power of two.
+    mask: u64,
+    capacity: ByteSize,
+    /// Bytes accounted. Inserts reserve via CAS *before* mutating a shard,
+    /// so this never exceeds `capacity` (relaxed ordering is enough: the
+    /// invariant rides on RMW atomicity, not on cross-location ordering).
+    used: AtomicU64,
+    insert_seq: AtomicU64,
+    device: Option<DeviceService>,
 }
 
 impl LocalStore {
-    /// An in-memory store of the given capacity.
+    /// An in-memory store of the given capacity with the default shard
+    /// count.
     pub fn in_memory(capacity: ByteSize) -> Self {
-        Self {
-            backing: Backing::Memory,
-            inner: OrderedMutex::new(
-                classes::STORE_INNER,
-                Inner {
-                    gauge: CapacityGauge::new(capacity),
-                    entries: HashMap::new(),
-                    insert_seq: 0,
-                },
-            ),
-        }
+        Self::in_memory_striped(capacity, default_shard_count())
+    }
+
+    /// An in-memory store with an explicit shard count (rounded up to a
+    /// power of two; `1` yields the old single-lock behaviour, which the
+    /// stripe benchmarks and equivalence property tests compare against).
+    pub fn in_memory_striped(capacity: ByteSize, shards: usize) -> Self {
+        Self::build(Backing::Memory, capacity, shards)
     }
 
     /// A directory-backed store of the given capacity rooted at `dir`
-    /// (created if missing).
+    /// (created if missing), with the default shard count.
     pub fn on_directory<P: Into<PathBuf>>(dir: P, capacity: ByteSize) -> Result<Self> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
-        Ok(Self {
-            backing: Backing::Directory(dir),
-            inner: OrderedMutex::new(
-                classes::STORE_INNER,
-                Inner {
-                    gauge: CapacityGauge::new(capacity),
-                    entries: HashMap::new(),
-                    insert_seq: 0,
-                },
-            ),
-        })
+        Ok(Self::build(
+            Backing::Directory(dir),
+            capacity,
+            default_shard_count(),
+        ))
+    }
+
+    fn build(backing: Backing, capacity: ByteSize, shards: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        let shards = (0..n)
+            .map(|_| OrderedRwLock::new(classes::STORE_SHARD, ShardMap::new()))
+            .collect();
+        Self {
+            backing,
+            shards,
+            mask: (n - 1) as u64,
+            capacity,
+            used: AtomicU64::new(0),
+            insert_seq: AtomicU64::new(0),
+            device: None,
+        }
+    }
+
+    /// Arm per-shard device service-time emulation: every read then holds
+    /// its shard's device queue for `model.read_time(size)`. Benchmark-only
+    /// knob — the functional cluster never arms it.
+    pub fn set_device_model(&mut self, model: DeviceModel) {
+        let queues = (0..self.shards.len())
+            .map(|_| OrderedMutex::new(classes::STORE_DEVICE_QUEUE, ()))
+            .collect();
+        self.device = Some(DeviceService { model, queues });
+    }
+
+    /// Number of lock stripes.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index a path maps to (exposed so callers — the stripe
+    /// benchmarks, the server's inflight table — can align their own
+    /// striping with the store's).
+    pub fn shard_of(&self, path: &Path) -> usize {
+        (hash_path(path).0 & self.mask) as usize
+    }
+
+    /// Reserve `size` bytes against capacity; the CAS makes the check-and-
+    /// add atomic, so concurrent writers can never overshoot.
+    fn try_reserve(&self, size: ByteSize) -> bool {
+        let cap = self.capacity.bytes();
+        self.used
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |used| {
+                used.checked_add(size.bytes()).filter(|&u| u <= cap)
+            })
+            .is_ok()
+    }
+
+    fn release(&self, size: ByteSize) {
+        self.used.fetch_sub(size.bytes(), Ordering::Relaxed);
+    }
+
+    /// Hold the shard's device queue for the modeled service time of one
+    /// read of `size` bytes (no-op unless a [`DeviceModel`] is armed).
+    fn service_read(&self, shard: usize, size: ByteSize) {
+        if let Some(dev) = &self.device {
+            let _queue = dev.queues[shard].lock();
+            let t = dev.model.read_time(size).as_secs_f64();
+            if t > 0.0 {
+                std::thread::sleep(std::time::Duration::from_secs_f64(t));
+            }
+        }
     }
 
     /// Insert a file. Fails with [`HvacError::CapacityExhausted`] if it does
@@ -82,16 +180,16 @@ impl LocalStore {
     /// path first releases its old accounting.
     pub fn insert(&self, path: &Path, data: Bytes) -> Result<()> {
         let size = ByteSize(data.len() as u64);
-        let mut inner = self.inner.lock();
-        if let Some(old) = inner.entries.remove(path) {
-            let old_size = old.size;
+        let shard = self.shard_of(path);
+        let mut map = self.shards[shard].write();
+        if let Some(old) = map.remove(path) {
             self.delete_backing(&old);
-            inner.gauge.sub(old_size);
+            self.release(old.size);
         }
-        if !inner.gauge.fits(size) {
+        if !self.try_reserve(size) {
             return Err(HvacError::CapacityExhausted {
                 requested: size.bytes(),
-                capacity: inner.gauge.capacity().bytes(),
+                capacity: self.capacity.bytes(),
             });
         }
         let entry = match &self.backing {
@@ -101,10 +199,13 @@ impl LocalStore {
                 disk: None,
             },
             Backing::Directory(root) => {
-                let seq = inner.insert_seq;
-                inner.insert_seq += 1;
+                let seq = self.insert_seq.fetch_add(1, Ordering::Relaxed);
                 let disk = root.join(format!("obj_{seq:016x}"));
-                fs::write(&disk, &data)?;
+                if let Err(e) = fs::write(&disk, &data) {
+                    // Roll the reservation back: the bytes never landed.
+                    self.release(size);
+                    return Err(HvacError::Io(e));
+                }
                 Entry {
                     size,
                     data: None,
@@ -112,20 +213,24 @@ impl LocalStore {
                 }
             }
         };
-        inner.gauge.add(size);
-        inner.entries.insert(path.to_path_buf(), entry);
+        map.insert(path.to_path_buf(), entry);
         Ok(())
     }
 
     /// Fetch a whole cached file, or `None` on a miss.
     pub fn get(&self, path: &Path) -> Option<Bytes> {
-        let inner = self.inner.lock();
-        let entry = inner.entries.get(path)?;
-        match (&entry.data, &entry.disk) {
-            (Some(d), _) => Some(d.clone()),
-            (None, Some(disk)) => fs::read(disk).ok().map(Bytes::from),
-            _ => None,
-        }
+        let shard = self.shard_of(path);
+        let data = {
+            let map = self.shards[shard].read();
+            let entry = map.get(path)?;
+            match (&entry.data, &entry.disk) {
+                (Some(d), _) => Some(d.clone()),
+                (None, Some(disk)) => fs::read(disk).ok().map(Bytes::from),
+                _ => None,
+            }
+        }?;
+        self.service_read(shard, ByteSize(data.len() as u64));
+        Some(data)
     }
 
     /// Read a byte range of a cached file (`None` on a miss). Short reads at
@@ -142,12 +247,13 @@ impl LocalStore {
 
     /// Remove a cached file; returns the bytes freed (zero if absent).
     pub fn remove(&self, path: &Path) -> ByteSize {
-        let mut inner = self.inner.lock();
-        match inner.entries.remove(path) {
+        let shard = self.shard_of(path);
+        let mut map = self.shards[shard].write();
+        match map.remove(path) {
             Some(e) => {
                 let sz = e.size;
                 self.delete_backing(&e);
-                inner.gauge.sub(sz);
+                self.release(sz);
                 sz
             }
             None => ByteSize::ZERO,
@@ -162,17 +268,20 @@ impl LocalStore {
 
     /// Whether `path` is resident.
     pub fn contains(&self, path: &Path) -> bool {
-        self.inner.lock().entries.contains_key(path)
+        self.shards[self.shard_of(path)].read().contains_key(path)
     }
 
     /// Size of a resident file.
     pub fn size_of(&self, path: &Path) -> Option<ByteSize> {
-        self.inner.lock().entries.get(path).map(|e| e.size)
+        self.shards[self.shard_of(path)]
+            .read()
+            .get(path)
+            .map(|e| e.size)
     }
 
     /// Number of resident files.
     pub fn len(&self) -> usize {
-        self.inner.lock().entries.len()
+        self.shards.iter().map(|s| s.read().len()).sum()
     }
 
     /// Whether the store is empty.
@@ -182,39 +291,44 @@ impl LocalStore {
 
     /// Bytes used.
     pub fn used(&self) -> ByteSize {
-        self.inner.lock().gauge.used()
+        ByteSize(self.used.load(Ordering::Relaxed))
     }
 
     /// Total capacity.
     pub fn capacity(&self) -> ByteSize {
-        self.inner.lock().gauge.capacity()
+        self.capacity
     }
 
     /// Whether an item of `size` could fit right now without eviction.
     pub fn fits(&self, size: ByteSize) -> bool {
-        self.inner.lock().gauge.fits(size)
+        self.used.load(Ordering::Relaxed) + size.bytes() <= self.capacity.bytes()
     }
 
     /// Whether an item of `size` could fit even after evicting everything.
     pub fn can_ever_fit(&self, size: ByteSize) -> bool {
-        self.inner.lock().gauge.can_ever_fit(size)
+        size.bytes() <= self.capacity.bytes()
     }
 
     /// Paths currently resident (unordered).
     pub fn resident_paths(&self) -> Vec<PathBuf> {
-        self.inner.lock().entries.keys().cloned().collect()
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            out.extend(shard.read().keys().cloned());
+        }
+        out
     }
 
     /// Drop everything (job teardown: "the cached dataset is purged",
-    /// §III-D).
+    /// §III-D). Shards are drained strictly one at a time — no thread ever
+    /// holds two `STORE_SHARD` locks, so striping cannot deadlock purge.
     pub fn purge(&self) {
-        let mut inner = self.inner.lock();
-        let entries = std::mem::take(&mut inner.entries);
-        for e in entries.values() {
-            self.delete_backing(e);
+        for shard in &self.shards {
+            let entries = std::mem::take(&mut *shard.write());
+            for e in entries.values() {
+                self.delete_backing(e);
+                self.release(e.size);
+            }
         }
-        let cap = inner.gauge.capacity();
-        inner.gauge = CapacityGauge::new(cap);
     }
 }
 
@@ -340,5 +454,77 @@ mod tests {
         assert_eq!(total_ok as u64 * 10, s.used().bytes());
         assert!(s.used().bytes() <= 1000);
         assert_eq!(total_ok, 100); // exactly capacity/size inserts succeed
+    }
+
+    #[test]
+    fn shard_counts_round_up_to_powers_of_two() {
+        for (req, got) in [(1usize, 1usize), (2, 2), (3, 4), (8, 8), (9, 16)] {
+            let s = LocalStore::in_memory_striped(ByteSize(100), req);
+            assert_eq!(s.shard_count(), got, "requested {req}");
+        }
+        assert!(default_shard_count().is_power_of_two());
+        assert!(default_shard_count() >= 8);
+        assert_eq!(mem(1).shard_count(), default_shard_count());
+    }
+
+    #[test]
+    fn shard_selection_is_stable_and_in_range() {
+        let s = LocalStore::in_memory_striped(ByteSize(1000), 8);
+        for i in 0..256 {
+            let p = PathBuf::from(format!("/data/file_{i}"));
+            let shard = s.shard_of(&p);
+            assert!(shard < s.shard_count());
+            assert_eq!(shard, s.shard_of(&p), "shard choice must be stable");
+        }
+    }
+
+    #[test]
+    fn single_shard_store_behaves_identically() {
+        let s = LocalStore::in_memory_striped(ByteSize(30), 1);
+        assert_eq!(s.shard_count(), 1);
+        for i in 0..3 {
+            s.insert(Path::new(&format!("/f{i}")), Bytes::from(vec![i as u8; 10]))
+                .unwrap();
+        }
+        assert!(matches!(
+            s.insert(Path::new("/f3"), Bytes::from(vec![3u8; 10])),
+            Err(HvacError::CapacityExhausted { .. })
+        ));
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.used(), ByteSize(30));
+    }
+
+    #[test]
+    fn device_model_service_serializes_within_a_shard() {
+        use std::sync::Arc;
+        use std::time::{Duration, Instant};
+        // A model with a fat fixed latency and no bandwidth term to speak
+        // of: 2 ms per read regardless of size.
+        let model = DeviceModel {
+            op_latency: hvac_types::SimTime::from_millis(2),
+            read_bandwidth: hvac_types::Bandwidth::mib_per_sec(1e9),
+            write_bandwidth: hvac_types::Bandwidth::mib_per_sec(1e9),
+            max_iops: u64::MAX,
+        };
+        let mut one = LocalStore::in_memory_striped(ByteSize(10_000), 1);
+        one.set_device_model(model.clone());
+        let one = Arc::new(one);
+        let path = PathBuf::from("/d/x");
+        one.insert(&path, Bytes::from(vec![0u8; 8])).unwrap();
+        // 4 concurrent readers of a 1-shard store serialize: >= 4 * 2 ms.
+        let start = Instant::now();
+        let mut joins = Vec::new();
+        for _ in 0..4 {
+            let s = one.clone();
+            let p = path.clone();
+            joins.push(std::thread::spawn(move || s.get(&p).unwrap()));
+        }
+        for j in joins {
+            assert_eq!(j.join().unwrap().len(), 8);
+        }
+        assert!(
+            start.elapsed() >= Duration::from_millis(8),
+            "1-shard reads must serialize behind the device queue"
+        );
     }
 }

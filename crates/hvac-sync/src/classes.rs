@@ -26,8 +26,10 @@ pub const FABRIC_FAULTS: &str = "net.fabric.faults";
 /// is always dropped before any RPC is issued.
 pub const CLIENT_HEALTH: &str = "core.client.health";
 
-/// Data-mover in-flight table (`hvac-core::server`).
-pub const SERVER_INFLIGHT: &str = "core.server.inflight";
+/// One stripe of the data-mover in-flight table (`hvac-core::server`).
+/// All stripes share this class: stripes of one table are interchangeable
+/// for ordering purposes, and a thread never holds two stripes at once.
+pub const SERVER_INFLIGHT_STRIPE: &str = "core.server.inflight_stripe";
 
 /// Data-mover worker-thread list; held only briefly at spawn/join.
 pub const SERVER_THREADS: &str = "core.server.threads";
@@ -36,9 +38,16 @@ pub const SERVER_THREADS: &str = "core.server.threads";
 /// outside store locks.
 pub const CACHE_POLICY: &str = "core.cache.policy";
 
-/// Node-local store bookkeeping (`hvac-storage::localstore`). Innermost of
-/// the main chain.
-pub const STORE_INNER: &str = "storage.localstore.inner";
+/// One shard of the node-local store's striped entry map
+/// (`hvac-storage::localstore`). Shard selection is by path hash, so a
+/// thread holds at most one shard at a time (`purge` walks shards strictly
+/// one-by-one). Innermost of the main chain except the device queue below.
+pub const STORE_SHARD: &str = "storage.localstore.shard";
+
+/// Per-shard simulated-device service queue (`hvac-storage::localstore`):
+/// serializes read service times within a shard when a `DeviceModel` is
+/// armed. Strictly innermost — nothing is ever acquired under it.
+pub const STORE_DEVICE_QUEUE: &str = "storage.localstore.device_queue";
 
 /// Simulated PFS file map (`hvac-pfs::memstore`); treated like a store.
 pub const PFS_FILES: &str = "pfs.memstore.files";

@@ -90,6 +90,26 @@ impl<T: ?Sized> OrderedMutex<T> {
         }
     }
 
+    /// Attempt the lock without blocking. Returns `None` if another thread
+    /// holds it right now (the caller may fall back to [`Self::lock`] and,
+    /// e.g., count the contention event). Order checking and poison
+    /// recovery apply exactly as in [`Self::lock`]; a failed attempt leaves
+    /// the order graph untouched beyond the (legitimate) intent edge.
+    pub fn try_lock(&self) -> Option<OrderedMutexGuard<'_, T>> {
+        let token = AcquireToken::acquire(self.class);
+        match self.inner.try_lock() {
+            Ok(guard) => Some(OrderedMutexGuard {
+                guard,
+                _token: token,
+            }),
+            Err(sync::TryLockError::Poisoned(p)) => Some(OrderedMutexGuard {
+                guard: p.into_inner(),
+                _token: token,
+            }),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
     /// The lock's class label.
     pub fn class(&self) -> &'static str {
         self.class
@@ -275,6 +295,25 @@ mod tests {
         assert_eq!(l.read().len(), 2);
         l.write().push(3);
         assert_eq!(*l.read(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn try_lock_contends_and_recovers_poison() {
+        let m = std::sync::Arc::new(OrderedMutex::new("test.lib.try", 0u32));
+        // Uncontended: succeeds and mutates.
+        *m.try_lock().expect("uncontended try_lock") += 1;
+        // Contended (same thread already holds it via lock()): None.
+        let g = m.lock();
+        assert!(m.try_lock().is_none());
+        drop(g);
+        // Poisoned: recovered, not None and not a panic.
+        let m2 = m.clone();
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison");
+        })
+        .join();
+        assert_eq!(*m.try_lock().expect("poison recovered"), 1);
     }
 
     #[test]

@@ -2,10 +2,12 @@
 //! capacity (paper §III-G), so the allocation must keep serving correct
 //! bytes while evicting — with every policy.
 
+use bytes::Bytes;
 use hvac_core::cluster::{Cluster, ClusterOptions};
 use hvac_pfs::MemStore;
+use hvac_storage::LocalStore;
 use hvac_types::{ByteSize, EvictionPolicyKind};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 const N_FILES: u64 = 96;
@@ -144,6 +146,50 @@ fn file_larger_than_node_cache_is_served_via_pfs_bypass() {
         .unwrap();
     assert_eq!(data, MemStore::sample_content(1, 100));
     assert_eq!(cluster.per_node_file_counts().iter().sum::<u64>(), 1);
+}
+
+/// The striped store's CAS-reserved accounting under true parallel writers:
+/// 8 threads blast inserts (many more bytes than fit) while the store is
+/// striped across its default shard count. `used()` may never exceed
+/// `capacity()` at any observation point, the survivors' accounting is
+/// exact, and `purge()` returns it to zero.
+#[test]
+fn concurrent_writers_never_overshoot_capacity_and_purge_zeroes() {
+    const WRITERS: usize = 8;
+    const PER_WRITER: usize = 200;
+    const ITEM: u64 = 10;
+    let store = Arc::new(LocalStore::in_memory(ByteSize(1_000)));
+    assert!(store.shard_count() > 1, "default store must be striped");
+    let mut joins = Vec::new();
+    for t in 0..WRITERS {
+        let store = store.clone();
+        joins.push(std::thread::spawn(move || {
+            let mut ok = 0u64;
+            for i in 0..PER_WRITER {
+                let p = PathBuf::from(format!("/gpfs/stripe/w{t}/f{i}"));
+                if store
+                    .insert(&p, Bytes::from(vec![t as u8; ITEM as usize]))
+                    .is_ok()
+                {
+                    ok += 1;
+                }
+                // Invariant holds at every interleaving point, not just at
+                // the end: reservation happens before bytes land.
+                assert!(
+                    store.used().bytes() <= store.capacity().bytes(),
+                    "writer {t} observed used > capacity"
+                );
+            }
+            ok
+        }));
+    }
+    let accepted: u64 = joins.into_iter().map(|j| j.join().unwrap()).sum();
+    assert_eq!(accepted * ITEM, store.used().bytes(), "exact accounting");
+    assert_eq!(accepted, 100, "exactly capacity/item inserts admitted");
+    assert_eq!(store.len() as u64, accepted);
+    store.purge();
+    assert_eq!(store.used(), ByteSize::ZERO, "purge returns used to zero");
+    assert!(store.is_empty());
 }
 
 #[test]

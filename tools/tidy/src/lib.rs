@@ -15,6 +15,14 @@
 //!    may not appear anywhere, tests included.
 //! 4. **Module docs required** — every `.rs` file under a `src/` tree
 //!    must open with a `//!` doc comment.
+//! 5. **Stripe modules are hvac-sync-only** — the lock-striped hot-path
+//!    modules (sharded store, striped inflight table, bulk pipeline) must
+//!    synchronize exclusively through `hvac_sync` ordered primitives or
+//!    `std::sync::atomic`; unordered blocking primitives (`Condvar`,
+//!    `Barrier`, `OnceLock`, ...) are banned there, and each module must
+//!    show evidence of the checked regime. The file list is pinned, so a
+//!    rename that silently drops a module from the check is itself an
+//!    error.
 //!
 //! The library form exists so the tier-1 suite can run the exact same
 //! checks in-process (`tidy::check_workspace`) without shelling out.
@@ -90,6 +98,7 @@ pub fn check_workspace_with(root: &Path, ratchet: &Ratchet) -> Report {
     let mut report = Report::default();
     let files = collect_sources(root);
     check_sync_primitives(&files, &mut report);
+    check_stripe_modules(&files, &mut report);
     check_marker_macros(&files, &mut report);
     check_module_docs(&files, &mut report);
     check_unwrap_ratchet(&files, ratchet, &mut report);
@@ -175,6 +184,64 @@ fn is_std_sync_import_of_locks(line: &str) -> bool {
         line.split(|c: char| !c.is_alphanumeric() && c != '_')
             .any(|w| w == *tok)
     })
+}
+
+/// The lock-striped hot-path modules held to check 5. Renaming or moving
+/// one of these files requires updating this list — tidy errors otherwise,
+/// so the stricter rules can't be dodged by a rename.
+const STRIPE_MODULES: &[&str] = &[
+    "crates/hvac-storage/src/localstore.rs",
+    "crates/hvac-core/src/server.rs",
+    "crates/hvac-net/src/pipeline.rs",
+];
+
+/// Blocking sync primitives with no lock-order story; banned in stripe
+/// modules (matched as whole identifiers, outside comments).
+const STRIPE_BANNED_TOKENS: &[&str] = &["Condvar", "Barrier", "OnceLock", "LazyLock"];
+
+/// Check 5: stripe modules synchronize via hvac-sync or atomics only.
+fn check_stripe_modules(files: &[SourceFile], report: &mut Report) {
+    for module in STRIPE_MODULES {
+        let Some(file) = files.iter().find(|f| f.rel_path == Path::new(module)) else {
+            report.errors.push(Violation {
+                path: PathBuf::from(module),
+                line: 0,
+                message: "stripe module is missing; if it was renamed, update \
+                          STRIPE_MODULES in tools/tidy so the hvac-sync-only \
+                          rule follows it"
+                    .into(),
+            });
+            continue;
+        };
+        for (idx, line) in file.lines() {
+            let code = line.split("//").next().unwrap_or(line);
+            let has_banned = STRIPE_BANNED_TOKENS.iter().any(|tok| {
+                code.split(|c: char| !c.is_alphanumeric() && c != '_')
+                    .any(|w| w == *tok)
+            });
+            if has_banned {
+                report.errors.push(Violation {
+                    path: file.rel_path.clone(),
+                    line: idx,
+                    message: "unordered blocking primitive in a stripe module; \
+                              use hvac_sync ordered locks or std atomics"
+                        .into(),
+                });
+            }
+        }
+        let checked_regime =
+            file.text.contains("hvac_sync") || file.text.contains("std::sync::atomic");
+        if !checked_regime {
+            report.errors.push(Violation {
+                path: file.rel_path.clone(),
+                line: 0,
+                message: "stripe module shows no hvac_sync or std::sync::atomic \
+                          usage; striped state must be guarded by lock-order \
+                          checked primitives"
+                    .into(),
+            });
+        }
+    }
 }
 
 /// Check 3: marker macros anywhere.
@@ -362,6 +429,79 @@ mod tests {
         let mut report = Report::default();
         check_sync_primitives(&files, &mut report);
         assert!(report.is_clean());
+    }
+
+    #[test]
+    fn stripe_modules_must_exist_and_stay_hvac_sync_only() {
+        // All three modules absent: three missing-module errors.
+        let mut report = Report::default();
+        check_stripe_modules(&[], &mut report);
+        assert_eq!(report.errors.len(), 3);
+        assert!(report.errors[0].message.contains("missing"));
+
+        // Present, ordered locks, no banned tokens: clean.
+        let clean = |path: &str, body: &str| {
+            vec![
+                file(path, body),
+                file(
+                    "crates/hvac-core/src/server.rs",
+                    "//! doc\nuse hvac_sync::OrderedMutex;\n",
+                ),
+                file(
+                    "crates/hvac-storage/src/localstore.rs",
+                    "//! doc\nuse hvac_sync::OrderedRwLock;\n",
+                ),
+                file(
+                    "crates/hvac-net/src/pipeline.rs",
+                    "//! doc\nuse std::sync::atomic::AtomicUsize;\n",
+                ),
+            ]
+        };
+        let mut report = Report::default();
+        check_stripe_modules(
+            &clean("crates/hvac-core/src/other.rs", "//! doc\n"),
+            &mut report,
+        );
+        assert!(report.is_clean(), "{:?}", report.errors);
+
+        // A Condvar in a stripe module is flagged; in comments it is not.
+        let files = vec![
+            file(
+                "crates/hvac-core/src/server.rs",
+                "//! doc\nuse hvac_sync::OrderedMutex;\n\
+                 use std::sync::Condvar;\n// Condvar in a comment is fine\n",
+            ),
+            file(
+                "crates/hvac-storage/src/localstore.rs",
+                "//! doc\nuse hvac_sync::OrderedRwLock;\n",
+            ),
+            file(
+                "crates/hvac-net/src/pipeline.rs",
+                "//! doc\nuse std::sync::atomic::AtomicBool;\n",
+            ),
+        ];
+        let mut report = Report::default();
+        check_stripe_modules(&files, &mut report);
+        assert_eq!(report.errors.len(), 1);
+        assert_eq!(report.errors[0].line, 3);
+        assert!(report.errors[0].message.contains("unordered"));
+
+        // A stripe module with no hvac_sync/atomic evidence is flagged.
+        let files = vec![
+            file("crates/hvac-core/src/server.rs", "//! doc\nfn f() {}\n"),
+            file(
+                "crates/hvac-storage/src/localstore.rs",
+                "//! doc\nuse hvac_sync::OrderedRwLock;\n",
+            ),
+            file(
+                "crates/hvac-net/src/pipeline.rs",
+                "//! doc\nuse std::sync::atomic::AtomicBool;\n",
+            ),
+        ];
+        let mut report = Report::default();
+        check_stripe_modules(&files, &mut report);
+        assert_eq!(report.errors.len(), 1);
+        assert!(report.errors[0].message.contains("no hvac_sync"));
     }
 
     #[test]

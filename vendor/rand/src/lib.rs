@@ -71,6 +71,27 @@ impl SampleRange<f64> for Range<f64> {
     }
 }
 
+/// Sequence helpers, mirroring `rand::seq`.
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Slice shuffling, mirroring `rand::seq::SliceRandom` (the subset the
+    /// workspace uses).
+    pub trait SliceRandom {
+        /// In-place Fisher–Yates shuffle.
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0usize..i + 1);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
 /// Deterministic generators.
 pub mod rngs {
     use super::{RngCore, SeedableRng};
@@ -127,6 +148,23 @@ mod tests {
         for _ in 0..16 {
             assert_eq!(a.gen_range(0usize..1000), b.gen_range(0usize..1000));
         }
+    }
+
+    #[test]
+    fn shuffle_permutes_deterministically() {
+        use super::seq::SliceRandom;
+        let base: Vec<u32> = (0..32).collect();
+        let mut a = base.clone();
+        let mut b = base.clone();
+        a.shuffle(&mut StdRng::seed_from_u64(9));
+        b.shuffle(&mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b, "same seed, same permutation");
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, base, "shuffle is a permutation");
+        let mut c = base.clone();
+        c.shuffle(&mut StdRng::seed_from_u64(10));
+        assert_ne!(a, c, "different seeds should differ");
     }
 
     #[test]
