@@ -1,0 +1,139 @@
+//! Rebalancing payoff benchmark: warm hit-rate trajectory across a
+//! membership join and leave, with the online rebalancer on vs off.
+//!
+//! Two otherwise-identical clusters serve the same dataset. After a warm-up
+//! epoch, each goes through the same churn script — a node **joins**, then
+//! a different node **leaves** — and the warm hit rate (server cache hits
+//! per read, measured over one full epoch pass) is sampled after every
+//! step. With rebalancing, the migrated minority of files is already
+//! resident at its new home when the next pass starts, so the hit rate
+//! recovers to >= 90 % of its pre-churn value within one epoch. Without it,
+//! every re-homed file is a cold miss against the PFS in the pass after
+//! each view change — the baseline never clears the bar inside the churn
+//! window.
+//!
+//! Run with `cargo bench -p hvac-bench --bench bench_rebalance`; emits
+//! `results/BENCH_rebalance.json` at the repo root.
+
+use hvac_core::cluster::{Cluster, ClusterOptions};
+use hvac_pfs::MemStore;
+use hvac_types::{NodeId, PlacementKind};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+const NODES: u32 = 4;
+const N_FILES: u64 = 128;
+const FILE_SIZE: usize = 4096;
+const RECOVERY_BAR: f64 = 0.9;
+
+fn sample(i: u64) -> PathBuf {
+    PathBuf::from(format!("/gpfs/bench/sample_{i:08}.bin"))
+}
+
+fn build_cluster(rebalance: bool) -> Cluster {
+    let pfs = Arc::new(MemStore::new());
+    pfs.synthesize_dataset(Path::new("/gpfs/bench"), N_FILES, |_| FILE_SIZE);
+    Cluster::new(
+        pfs,
+        ClusterOptions::new(NODES, 1)
+            .dataset_dir("/gpfs/bench")
+            .clients_per_node(1)
+            .placement(PlacementKind::Ring)
+            .rebalance(rebalance),
+    )
+    .expect("cluster options are valid")
+}
+
+/// One full epoch pass: a single rank reads every file exactly once;
+/// returns the warm hit rate (cache hits per read) over exactly this pass,
+/// from the deltas of the allocation-wide counters. Reading each file once
+/// keeps the rate honest — with multiple ranks, the first miss re-faults
+/// the file in and every later rank hits, hiding the churn cost.
+fn epoch_pass_hit_rate(cluster: &Cluster) -> f64 {
+    let before = cluster.aggregate_metrics();
+    let client = cluster.client(0);
+    for i in 0..N_FILES {
+        let data = client.read_file(&sample(i)).expect("read must succeed");
+        assert_eq!(data.len(), FILE_SIZE);
+    }
+    let after = cluster.aggregate_metrics();
+    let reads = (after.reads - before.reads) as f64;
+    let hits = (after.cache_hits - before.cache_hits) as f64;
+    hits / reads
+}
+
+/// Drive one cluster through warm-up, join, and leave; returns the hit
+/// rates [pre_churn, post_join, post_leave, recovery].
+fn trajectory(cluster: &mut Cluster) -> [f64; 4] {
+    // Epoch 0: cold pass to populate, then the pre-churn warm sample.
+    epoch_pass_hit_rate(cluster);
+    let pre_churn = epoch_pass_hit_rate(cluster);
+
+    cluster.add_node().expect("join");
+    cluster.wait_rebalance(); // None when the rebalancer is disabled
+    let post_join = epoch_pass_hit_rate(cluster);
+
+    cluster.remove_node(NodeId(1)).expect("leave");
+    cluster.wait_rebalance();
+    let post_leave = epoch_pass_hit_rate(cluster);
+
+    // One more epoch: by now even the baseline has re-faulted everything
+    // in at its new home, so both converge back to warm.
+    let recovery = epoch_pass_hit_rate(cluster);
+    [pre_churn, post_join, post_leave, recovery]
+}
+
+fn main() {
+    println!(
+        "rebalance bench: {N_FILES} files x {FILE_SIZE} B on {NODES} nodes \
+         (Ring placement, one measuring rank); join then leave"
+    );
+
+    let mut with_reb = build_cluster(true);
+    let mut baseline = build_cluster(false);
+    let reb = trajectory(&mut with_reb);
+    let base = trajectory(&mut baseline);
+    with_reb.shutdown();
+    baseline.shutdown();
+
+    let phases = ["pre_churn", "post_join", "post_leave", "recovery"];
+    let mut rows = Vec::new();
+    for (i, phase) in phases.iter().enumerate() {
+        println!(
+            "  {phase:<10}  rebalance {:>6.3}  baseline {:>6.3}",
+            reb[i], base[i]
+        );
+        rows.push(format!(
+            "    {{\"phase\": \"{phase}\", \"hit_rate_rebalance\": {:.4}, \
+             \"hit_rate_baseline\": {:.4}}}",
+            reb[i], base[i]
+        ));
+    }
+
+    // The churn window is the two passes immediately after a view change.
+    let reb_floor = reb[1].min(reb[2]);
+    let base_floor = base[1].min(base[2]);
+    let bar = RECOVERY_BAR * reb[0];
+    let json = format!(
+        "{{\n  \"bench\": \"rebalance\",\n  \"files\": {N_FILES},\n  \
+         \"file_size_bytes\": {FILE_SIZE},\n  \"nodes\": {NODES},\n  \
+         \"placement\": \"ring\",\n  \
+         \"recovery_bar\": {bar:.4},\n  \"churn_floor_rebalance\": {reb_floor:.4},\n  \
+         \"churn_floor_baseline\": {base_floor:.4},\n  \"results\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n"),
+    );
+    let out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results/BENCH_rebalance.json");
+    std::fs::write(&out, json).expect("write results/BENCH_rebalance.json");
+    println!("wrote {}", out.display());
+
+    assert!(
+        reb_floor >= bar,
+        "with rebalancing the warm hit rate must stay >= {RECOVERY_BAR} x pre-churn \
+         ({bar:.3}) through the churn window, got {reb_floor:.3}"
+    );
+    assert!(
+        base_floor < bar,
+        "without rebalancing the churn window must dip below the bar \
+         ({bar:.3}), got {base_floor:.3} — the benchmark is not discriminating"
+    );
+}

@@ -18,6 +18,7 @@
 use crate::intercept::DatasetMatcher;
 use crate::metrics::ClientMetrics;
 use crate::protocol::{Request, Response};
+use crate::view::ViewHandle;
 use bytes::Bytes;
 use hvac_hash::pathhash::{hash_path, mix64};
 use hvac_hash::placement::{make_placement, Placement};
@@ -25,7 +26,7 @@ use hvac_net::fabric::{Fabric, Reply};
 use hvac_net::pipeline::pipelined_fetch;
 use hvac_pfs::FileStore;
 use hvac_sync::{classes, OrderedMutex};
-use hvac_types::{HvacError, PlacementKind, Result, RetryPolicy, ServerId};
+use hvac_types::{ClusterView, HvacError, PlacementKind, Result, RetryPolicy, ServerId};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -103,10 +104,19 @@ struct ReplicaHealth {
     open_until: Option<Instant>,
 }
 
+/// How many stale-view redirects one logical RPC will chase before giving
+/// up. Each hop installs a strictly newer epoch, so more hops than this
+/// means the membership is churning faster than the client can follow.
+const MAX_VIEW_HOPS: u32 = 4;
+
 /// A per-process HVAC client.
 pub struct HvacClient {
     fabric: Arc<Fabric>,
     placement: Box<dyn Placement>,
+    /// The membership view ownership is resolved through. Starts as the
+    /// dense epoch-0 launch layout; advanced by [`Response::StaleView`]
+    /// redirects or an explicit [`Self::install_view`].
+    view: Arc<ViewHandle>,
     matcher: DatasetMatcher,
     options: HvacClientOptions,
     fds: OrderedMutex<HashMap<u64, OpenFile>>,
@@ -136,12 +146,23 @@ impl HvacClient {
         if options.replication == 0 {
             return Err(HvacError::InvalidConfig("replication must be >= 1".into()));
         }
+        if options.bulk_chunk == 0 {
+            return Err(HvacError::InvalidConfig("bulk_chunk must be >= 1".into()));
+        }
+        if options.bulk_window == 0 {
+            return Err(HvacError::InvalidConfig("bulk_window must be >= 1".into()));
+        }
         let jitter_seed = options.retry.jitter_seed;
+        let view = ViewHandle::new(ClusterView::initial(
+            options.n_servers,
+            options.instances_per_node,
+        )?);
         Ok(Self {
             placement: make_placement(options.placement),
             matcher: DatasetMatcher::new(&options.dataset_dir),
             fabric,
             options,
+            view,
             fds: OrderedMutex::new(classes::CLIENT_FDS, HashMap::new()),
             next_fd: AtomicU64::new(1),
             metrics: ClientMetrics::default(),
@@ -149,6 +170,19 @@ impl HvacClient {
             jitter_state: AtomicU64::new(jitter_seed),
             pfs_fallback: None,
         })
+    }
+
+    /// Install a (strictly newer) membership view, as a cluster harness
+    /// does on `add_node`/`remove_node`. Clients also learn views
+    /// organically from [`Response::StaleView`] redirects; either path is
+    /// monotonic, so the two never fight.
+    pub fn install_view(&self, view: Arc<ClusterView>) -> bool {
+        self.view.install(view)
+    }
+
+    /// Snapshot of the membership view this client resolves homes through.
+    pub fn view(&self) -> Arc<ClusterView> {
+        self.view.snapshot()
     }
 
     /// Arm client-side PFS degradation: when every replica of a read is
@@ -169,17 +203,18 @@ impl HvacClient {
         &self.metrics
     }
 
-    /// Replica addresses of a path, home first.
+    /// Replica addresses of a path, home first, per the current view.
     pub fn replica_addrs(&self, path: &Path) -> Vec<String> {
+        self.replica_addrs_in(&self.view.snapshot(), path)
+    }
+
+    /// Replica addresses of a path in an explicit view, home first.
+    fn replica_addrs_in(&self, view: &ClusterView, path: &Path) -> Vec<String> {
         let fid = hash_path(path);
         self.placement
-            .replicas(
-                fid,
-                self.options.n_servers,
-                self.options.replication as usize,
-            )
+            .replicas_in_view(fid, view, self.options.replication as usize)
             .into_iter()
-            .map(|idx| server_addr(idx, self.options.instances_per_node))
+            .map(|sid| view.addr(sid))
             .collect()
     }
 
@@ -334,11 +369,44 @@ impl HvacClient {
         Err(last_err.unwrap_or_else(|| HvacError::ServerDown("no replica answered".into())))
     }
 
+    /// Issue one logical RPC through the membership view: snapshot the
+    /// view, resolve replica addresses *in that view*, stamp the request
+    /// with the view's epoch, and send it down the replica ladder. A
+    /// [`Response::StaleView`] redirect installs the piggybacked (strictly
+    /// newer) view and re-resolves — bounded by [`MAX_VIEW_HOPS`] so a
+    /// churn storm degrades into an error instead of a livelock. The
+    /// interception happens *here*, before [`Response::into_result`],
+    /// because that is the only place the piggybacked view is still
+    /// attached to the error.
+    fn call_with_view<F>(&self, req: &Request, addrs_of: F) -> Result<Reply>
+    where
+        F: Fn(&ClusterView) -> Vec<String>,
+    {
+        let mut hops = 0u32;
+        loop {
+            let view = self.view.snapshot();
+            let encoded = req.encode_at(view.epoch())?;
+            let addrs = addrs_of(&view);
+            let reply = self.call_replicas(&addrs, &encoded)?;
+            match Response::decode(reply.header.clone())? {
+                Response::StaleView { view: next } => {
+                    self.metrics.view_refreshes.fetch_add(1, Ordering::Relaxed);
+                    self.view.install(Arc::new(next));
+                    hops += 1;
+                    if hops >= MAX_VIEW_HOPS {
+                        return Err(HvacError::StaleView {
+                            current_epoch: self.view.epoch(),
+                        });
+                    }
+                }
+                _ => return Ok(reply),
+            }
+        }
+    }
+
     /// Issue an RPC to the first healthy replica of `path`.
     fn call(&self, path: &Path, req: &Request) -> Result<Reply> {
-        let encoded = req.encode()?;
-        let addrs = self.replica_addrs(path);
-        self.call_replicas(&addrs, &encoded)
+        self.call_with_view(req, |view| self.replica_addrs_in(view, path))
     }
 
     /// Open a dataset file; returns an HVAC descriptor.
@@ -480,16 +548,17 @@ impl HvacClient {
     /// Fetch one chunk of a read: a `Read` RPC over the replica ladder (the
     /// full deadline/retry/failover/breaker treatment per chunk), degrading
     /// to direct PFS access for just this chunk when every replica is
-    /// exhausted. Counts only `degraded_reads`; the logical read's
-    /// `reads`/`bytes` are accounted once by [`Self::read_path_at`].
-    fn fetch_chunk(&self, addrs: &[String], path: &Path, offset: u64, len: usize) -> Result<Bytes> {
-        let encoded = Request::Read {
+    /// exhausted. Each chunk re-resolves its home through the current view,
+    /// so a membership change mid-pipeline redirects only the chunks that
+    /// actually hit a stale home. Counts only `degraded_reads`; the logical
+    /// read's `reads`/`bytes` are accounted once by [`Self::read_path_at`].
+    fn fetch_chunk(&self, path: &Path, offset: u64, len: usize) -> Result<Bytes> {
+        let req = Request::Read {
             path: path.to_path_buf(),
             offset,
             len: len as u64,
-        }
-        .encode()?;
-        let reply = match self.call_replicas(addrs, &encoded) {
+        };
+        let reply = match self.call_with_view(&req, |view| self.replica_addrs_in(view, path)) {
             Ok(reply) => reply,
             Err(e) if self.should_degrade(&e) => {
                 let pfs = self.pfs_fallback.as_ref().ok_or(e)?;
@@ -511,13 +580,12 @@ impl HvacClient {
     /// larger ones are pipelined as a bounded window of concurrent chunk
     /// RPCs reassembled in offset order ([`pipelined_fetch`]).
     fn read_path_at(&self, path: &Path, offset: u64, len: usize) -> Result<Bytes> {
-        let addrs = self.replica_addrs(path);
         let data = pipelined_fetch(
             offset,
             len,
-            self.options.bulk_chunk.max(1),
+            self.options.bulk_chunk,
             self.options.bulk_window,
-            |chunk_off, chunk_len| self.fetch_chunk(&addrs, path, chunk_off, chunk_len),
+            |chunk_off, chunk_len| self.fetch_chunk(path, chunk_off, chunk_len),
         )?;
         self.metrics.reads.fetch_add(1, Ordering::Relaxed);
         self.metrics
@@ -542,14 +610,16 @@ impl HvacClient {
         let mut seg_index = 0u64;
         while offset < size {
             let len = segment_size.min(size - offset);
-            let addrs = self.segment_replica_addrs(path, seg_index);
             let req = Request::ReadSegment {
                 path: path.to_path_buf(),
                 offset,
                 len,
             };
-            let encoded = req.encode()?;
-            let reply = match self.call_replicas(&addrs, &encoded) {
+            // Each segment re-resolves its own home through the view, so a
+            // mid-file membership change redirects only later segments.
+            let reply = match self.call_with_view(&req, |view| {
+                self.segment_replica_addrs_in(view, path, seg_index)
+            }) {
                 Ok(r) => r,
                 Err(e) if self.should_degrade(&e) => {
                     // Serve just this segment from the PFS; later segments
@@ -598,20 +668,27 @@ impl HvacClient {
         Ok(assembled.freeze())
     }
 
-    /// Replica addresses of one segment of a path, home first. Each segment
-    /// hashes independently, so segments of one file spread across servers.
+    /// Replica addresses of one segment of a path, home first, per the
+    /// current view. Each segment hashes independently, so segments of one
+    /// file spread across servers.
     pub fn segment_replica_addrs(&self, path: &Path, seg_index: u64) -> Vec<String> {
+        self.segment_replica_addrs_in(&self.view.snapshot(), path, seg_index)
+    }
+
+    /// Replica addresses of one segment in an explicit view.
+    fn segment_replica_addrs_in(
+        &self,
+        view: &ClusterView,
+        path: &Path,
+        seg_index: u64,
+    ) -> Vec<String> {
         let fid = hash_path(path);
         let seg_fid =
             hvac_types::FileId(mix64(fid.0 ^ seg_index.wrapping_mul(0x9e37_79b9_7f4a_7c15)));
         self.placement
-            .replicas(
-                seg_fid,
-                self.options.n_servers,
-                self.options.replication as usize,
-            )
+            .replicas_in_view(seg_fid, view, self.options.replication as usize)
             .into_iter()
-            .map(|idx| server_addr(idx, self.options.instances_per_node))
+            .map(|sid| view.addr(sid))
             .collect()
     }
 
@@ -624,24 +701,50 @@ impl HvacClient {
     where
         I: IntoIterator<Item = &'a Path>,
     {
-        let mut by_server: HashMap<String, Vec<PathBuf>> = HashMap::new();
-        let mut submitted = 0usize;
-        for path in paths {
-            if !self.intercepts(path) {
-                continue;
+        let mut pending: Vec<PathBuf> = paths
+            .into_iter()
+            .filter(|p| self.intercepts(p))
+            .map(Path::to_path_buf)
+            .collect();
+        let submitted = pending.len();
+        let mut hops = 0u32;
+        while !pending.is_empty() {
+            // Group by home server *in the current view*; a StaleView bounce
+            // re-groups just the bounced batch under the newer view.
+            let view = self.view.snapshot();
+            let mut by_server: HashMap<String, Vec<PathBuf>> = HashMap::new();
+            for path in pending.drain(..) {
+                let addr = self
+                    .replica_addrs_in(&view, &path)
+                    .into_iter()
+                    .next()
+                    .ok_or_else(|| HvacError::InvalidConfig("replication must be >= 1".into()))?;
+                by_server.entry(addr).or_default().push(path);
             }
-            let addr = self
-                .replica_addrs(path)
-                .into_iter()
-                .next()
-                .ok_or_else(|| HvacError::InvalidConfig("replication must be >= 1".into()))?;
-            by_server.entry(addr).or_default().push(path.to_path_buf());
-            submitted += 1;
-        }
-        for (addr, batch) in by_server {
-            let req = Request::Prefetch { paths: batch };
-            let reply = self.fabric.call(&addr, req.encode()?)?;
-            Response::decode(reply.header)?.into_result()?;
+            for (addr, batch) in by_server {
+                let req = Request::Prefetch {
+                    paths: batch.clone(),
+                };
+                let reply = self.fabric.call(&addr, req.encode_at(view.epoch())?)?;
+                match Response::decode(reply.header)? {
+                    Response::StaleView { view: next } => {
+                        self.metrics.view_refreshes.fetch_add(1, Ordering::Relaxed);
+                        self.view.install(Arc::new(next));
+                        pending.extend(batch);
+                    }
+                    resp => {
+                        resp.into_result()?;
+                    }
+                }
+            }
+            if !pending.is_empty() {
+                hops += 1;
+                if hops >= MAX_VIEW_HOPS {
+                    return Err(HvacError::StaleView {
+                        current_epoch: self.view.epoch(),
+                    });
+                }
+            }
         }
         Ok(submitted)
     }

@@ -5,20 +5,36 @@
 //! `i` server instances per node on a shared fabric, and one client per
 //! training rank. All components are real (threads, RPC, byte movement);
 //! only the hardware is virtual.
+//!
+//! **Elastic membership.** The allocation is no longer frozen at launch:
+//! [`Cluster::add_node`] and [`Cluster::remove_node`] bump the membership
+//! epoch, install the new [`ClusterView`] on every server (including the
+//! just-retired one, which keeps answering — with [`StaleView`
+//! redirects](crate::protocol::Response::StaleView) — so no in-flight read
+//! ever sees a dead address), and kick a background [`rebalance`] pass
+//! that migrates the minority of cached files whose home moved. Clients
+//! discover the new view organically through the redirect protocol.
 
 use crate::cache::CacheManager;
-use crate::client::{server_addr, HvacClient, HvacClientOptions};
+use crate::client::{HvacClient, HvacClientOptions};
 use crate::eviction::make_policy;
 use crate::metrics::ServerMetricsSnapshot;
+use crate::rebalance::{rebalance, RebalanceReport, RebalanceSource};
 use crate::server::{HvacServer, HvacServerOptions};
+use crate::view::ViewHandle;
+use hvac_hash::placement::{make_placement, Placement};
 use hvac_net::fabric::{Fabric, ServerEndpoint};
 use hvac_pfs::FileStore;
 use hvac_storage::LocalStore;
+use hvac_sync::{classes, OrderedMutex};
 use hvac_types::{
-    ByteSize, EvictionPolicyKind, HvacError, PlacementKind, Result, RetryPolicy, ServerId,
+    ByteSize, ClusterView, EvictionPolicyKind, HvacError, NodeId, PlacementKind, Result,
+    RetryPolicy, ServerId,
 };
+use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::Arc;
+use std::thread::JoinHandle;
 
 /// Builder-style options for a functional cluster.
 #[derive(Debug, Clone)]
@@ -57,6 +73,10 @@ pub struct ClusterOptions {
     pub bulk_chunk: usize,
     /// In-flight chunk RPC window per pipelined read.
     pub bulk_window: usize,
+    /// Whether a view change kicks a background cache-rebalance pass that
+    /// migrates files whose home moved. On by default; benchmarks disable
+    /// it to measure the cold-restart baseline.
+    pub rebalance: bool,
 }
 
 impl ClusterOptions {
@@ -79,6 +99,7 @@ impl ClusterOptions {
             pfs_fallback: true,
             bulk_chunk: hvac_net::BULK_CHUNK_SIZE,
             bulk_window: hvac_net::DEFAULT_PIPELINE_WINDOW,
+            rebalance: true,
         }
     }
 
@@ -143,6 +164,12 @@ impl ClusterOptions {
         self
     }
 
+    /// Enable or disable the background rebalance pass on view changes.
+    pub fn rebalance(mut self, enabled: bool) -> Self {
+        self.rebalance = enabled;
+        self
+    }
+
     fn validate(&self) -> Result<()> {
         if self.nodes == 0 || self.instances_per_node == 0 || self.clients_per_node == 0 {
             return Err(HvacError::InvalidConfig(
@@ -156,18 +183,47 @@ impl ClusterOptions {
                 self.replication
             )));
         }
+        // A zero chunk or window would trip `pipelined_fetch`'s internal
+        // invariant deep in the read path; reject it at configuration time.
+        if self.bulk_chunk == 0 {
+            return Err(HvacError::InvalidConfig("bulk_chunk must be >= 1".into()));
+        }
+        if self.bulk_window == 0 {
+            return Err(HvacError::InvalidConfig("bulk_window must be >= 1".into()));
+        }
         Ok(())
     }
+}
+
+/// One provisioned node: its shared cache plus the server instances and
+/// fabric endpoints running on it.
+struct NodeSlot {
+    node: NodeId,
+    cache: Arc<CacheManager>,
+    servers: Vec<Arc<HvacServer>>,
+    endpoints: Vec<ServerEndpoint>,
 }
 
 /// A running in-process allocation.
 pub struct Cluster {
     fabric: Arc<Fabric>,
     pfs: Arc<dyn FileStore>,
-    node_caches: Vec<Arc<CacheManager>>,
-    servers: Vec<Arc<HvacServer>>,
-    endpoints: Vec<ServerEndpoint>,
+    /// Live nodes, in provisioning order (view membership).
+    nodes: Vec<NodeSlot>,
+    /// Tombstoned nodes: removed from the view but still registered on the
+    /// fabric, answering every request with a `StaleView` redirect so that
+    /// clients on the old epoch re-resolve instead of degrading to the PFS.
+    retired: Vec<NodeSlot>,
     clients: Vec<Arc<HvacClient>>,
+    /// The authoritative membership view; servers get copies installed on
+    /// every change, clients learn through redirects.
+    view: Arc<ViewHandle>,
+    /// The same placement algorithm the clients use, for the rebalancer.
+    placement: Arc<dyn Placement>,
+    /// The in-flight rebalance pass, if any. The `REBALANCER` class is
+    /// outermost in the lock hierarchy and guards only this spawn/join
+    /// slot — never the migration walk itself.
+    rebalancer: OrderedMutex<Option<JoinHandle<RebalanceReport>>>,
     options: ClusterOptions,
 }
 
@@ -176,32 +232,12 @@ impl Cluster {
     pub fn new(pfs: Arc<dyn FileStore>, options: ClusterOptions) -> Result<Self> {
         options.validate()?;
         let fabric = Arc::new(Fabric::new());
-        let mut node_caches = Vec::with_capacity(options.nodes as usize);
-        let mut servers = Vec::new();
-        let mut endpoints = Vec::new();
+        let mut nodes = Vec::with_capacity(options.nodes as usize);
         for node in 0..options.nodes {
-            let cache = Arc::new(CacheManager::new(
-                LocalStore::in_memory(options.cache_capacity),
-                make_policy(options.eviction, options.seed ^ node as u64),
-            ));
-            node_caches.push(cache.clone());
-            for instance in 0..options.instances_per_node {
-                let sid = ServerId::new(node, instance);
-                let server = HvacServer::new(
-                    cache.clone(),
-                    pfs.clone(),
-                    HvacServerOptions {
-                        movers: options.movers_per_instance,
-                        rpc_workers: options.rpc_workers,
-                    },
-                    &sid.to_string(),
-                )?;
-                let ep = server.serve(&fabric, &sid.to_string())?;
-                servers.push(server);
-                endpoints.push(ep);
-            }
+            nodes.push(Self::build_node(&fabric, &pfs, &options, NodeId(node))?);
         }
-        let n_servers = servers.len();
+        let n_servers = nodes.iter().map(|s| s.servers.len()).sum();
+        let view = ViewHandle::new(ClusterView::initial(n_servers, options.instances_per_node)?);
         let mut clients = Vec::new();
         for _node in 0..options.nodes {
             for _c in 0..options.clients_per_node {
@@ -227,12 +263,160 @@ impl Cluster {
         Ok(Self {
             fabric,
             pfs,
-            node_caches,
-            servers,
-            endpoints,
+            nodes,
+            retired: Vec::new(),
             clients,
+            view,
+            placement: Arc::from(make_placement(options.placement)),
+            rebalancer: OrderedMutex::new(classes::REBALANCER, None),
             options,
         })
+    }
+
+    /// Provision one node: a cache plus `instances_per_node` servers, each
+    /// registered on the fabric under its `ServerId` address.
+    fn build_node(
+        fabric: &Arc<Fabric>,
+        pfs: &Arc<dyn FileStore>,
+        options: &ClusterOptions,
+        node: NodeId,
+    ) -> Result<NodeSlot> {
+        let cache = Arc::new(CacheManager::new(
+            LocalStore::in_memory(options.cache_capacity),
+            make_policy(options.eviction, options.seed ^ u64::from(node.0)),
+        ));
+        let mut servers = Vec::new();
+        let mut endpoints = Vec::new();
+        for instance in 0..options.instances_per_node {
+            let sid = ServerId::new(node.0, instance);
+            let server = HvacServer::new(
+                cache.clone(),
+                pfs.clone(),
+                HvacServerOptions {
+                    movers: options.movers_per_instance,
+                    rpc_workers: options.rpc_workers,
+                },
+                &sid.to_string(),
+            )?;
+            let ep = server.serve(fabric, &sid.to_string())?;
+            servers.push(server);
+            endpoints.push(ep);
+        }
+        Ok(NodeSlot {
+            node,
+            cache,
+            servers,
+            endpoints,
+        })
+    }
+
+    /// Grow the allocation by one node. Bumps the membership epoch,
+    /// installs the new view on every server (the new node's included, so
+    /// it can vouch for the epoch it serves), and starts a background
+    /// rebalance migrating the minority of files whose home moved onto the
+    /// joiner. Returns the new node's id.
+    pub fn add_node(&mut self) -> Result<NodeId> {
+        let old_view = self.view.snapshot();
+        let node = old_view.next_node_id();
+        let new_view = Arc::new(old_view.with_node_added(node)?);
+        // Endpoints must be reachable *before* any client can learn the
+        // new view, so provision first, then flip the epoch.
+        self.nodes.push(Self::build_node(
+            &self.fabric,
+            &self.pfs,
+            &self.options,
+            node,
+        )?);
+        self.install_view(new_view.clone());
+        self.start_rebalance(old_view, new_view);
+        Ok(node)
+    }
+
+    /// Shrink the allocation: retire `node` from the view. The node's
+    /// endpoints stay registered as a **tombstone** — every request they
+    /// now see carries a stale epoch and is answered with a `StaleView`
+    /// redirect, so clients re-resolve to live homes instead of burning
+    /// their retry ladders on a dead address. A background rebalance
+    /// drains the retired node's cache onto the new homes ("old home
+    /// serves until handoff, then redirects").
+    pub fn remove_node(&mut self, node: NodeId) -> Result<()> {
+        let old_view = self.view.snapshot();
+        let new_view = Arc::new(old_view.with_node_removed(node)?);
+        let idx = self
+            .nodes
+            .iter()
+            .position(|s| s.node == node)
+            .ok_or_else(|| {
+                HvacError::InvalidConfig(format!("node {} is not provisioned", node.0))
+            })?;
+        let slot = self.nodes.remove(idx);
+        self.retired.push(slot);
+        self.install_view(new_view.clone());
+        self.start_rebalance(old_view, new_view);
+        Ok(())
+    }
+
+    /// Install `view` as the authoritative membership: the cluster handle
+    /// first, then every server — live and retired — so all of them bounce
+    /// stale requests with the same (newest) view.
+    fn install_view(&self, view: Arc<ClusterView>) {
+        self.view.install(view.clone());
+        for slot in self.nodes.iter().chain(self.retired.iter()) {
+            for server in &slot.servers {
+                server.install_view(view.clone());
+            }
+        }
+    }
+
+    /// Kick a background migration pass for the `old_view → new_view`
+    /// transition (no-op when `options.rebalance` is off). Any previous
+    /// pass is joined first so passes never interleave.
+    fn start_rebalance(&self, old_view: Arc<ClusterView>, new_view: Arc<ClusterView>) {
+        if !self.options.rebalance {
+            return;
+        }
+        self.wait_rebalance();
+        let sources: Vec<RebalanceSource> = self
+            .nodes
+            .iter()
+            .chain(self.retired.iter())
+            .map(|slot| RebalanceSource {
+                node: slot.node,
+                cache: slot.cache.clone(),
+                metrics: slot.servers[0].metrics().clone(),
+            })
+            .collect();
+        let dests: HashMap<NodeId, Arc<CacheManager>> = self
+            .nodes
+            .iter()
+            .map(|slot| (slot.node, slot.cache.clone()))
+            .collect();
+        let placement = self.placement.clone();
+        let handle = std::thread::spawn(move || {
+            rebalance(&sources, &dests, placement.as_ref(), &old_view, &new_view)
+        });
+        *self.rebalancer.lock() = Some(handle);
+    }
+
+    /// Join the in-flight rebalance pass, returning its ledger (or `None`
+    /// if no pass is running).
+    pub fn wait_rebalance(&self) -> Option<RebalanceReport> {
+        let handle = self.rebalancer.lock().take();
+        // Propagate a rebalancer panic into the caller rather than eating it.
+        handle.map(|h| match h.join() {
+            Ok(report) => report,
+            Err(payload) => std::panic::resume_unwind(payload),
+        })
+    }
+
+    /// The current membership view.
+    pub fn view(&self) -> Arc<ClusterView> {
+        self.view.snapshot()
+    }
+
+    /// The current membership epoch.
+    pub fn epoch(&self) -> u64 {
+        self.view.epoch()
     }
 
     /// The shared fabric (for fault injection).
@@ -255,9 +439,9 @@ impl Cluster {
         self.clients.len()
     }
 
-    /// Total server instances.
+    /// Total live server instances.
     pub fn n_servers(&self) -> usize {
-        self.servers.len()
+        self.nodes.iter().map(|s| s.servers.len()).sum()
     }
 
     /// The client of training rank `rank` (ranks are node-major).
@@ -265,57 +449,82 @@ impl Cluster {
         &self.clients[rank]
     }
 
-    /// A server instance by global index.
+    /// A live server instance by global index (node-major over live nodes).
     pub fn server(&self, idx: usize) -> &Arc<HvacServer> {
-        &self.servers[idx]
+        let mut remaining = idx;
+        for slot in &self.nodes {
+            if remaining < slot.servers.len() {
+                return &slot.servers[remaining];
+            }
+            remaining -= slot.servers.len();
+        }
+        panic!(
+            "server index {idx} out of range ({} live)",
+            self.n_servers()
+        );
     }
 
-    /// Per-instance metric snapshots.
+    /// Per-instance metric snapshots (live instances, node-major).
     pub fn server_metrics(&self) -> Vec<ServerMetricsSnapshot> {
-        self.servers
+        self.nodes
             .iter()
+            .flat_map(|slot| slot.servers.iter())
             .map(|s| s.metrics().snapshot())
             .collect()
     }
 
-    /// Cluster-wide aggregated server metrics.
+    /// Cluster-wide aggregated server metrics, retired nodes included —
+    /// their redirect and migration counters are part of the job's story.
     pub fn aggregate_metrics(&self) -> ServerMetricsSnapshot {
         let mut agg = ServerMetricsSnapshot::default();
-        for s in self.server_metrics() {
-            agg.merge(&s);
+        for slot in self.nodes.iter().chain(self.retired.iter()) {
+            for s in &slot.servers {
+                agg.merge(&s.metrics().snapshot());
+            }
         }
         agg
     }
 
-    /// Resident file count per node cache (Fig. 15's distribution, measured
-    /// on the real cache rather than predicted from the hash).
+    /// Resident file count per live node cache (Fig. 15's distribution,
+    /// measured on the real cache rather than predicted from the hash).
     pub fn per_node_file_counts(&self) -> Vec<u64> {
-        self.node_caches
+        self.nodes
             .iter()
-            .map(|c| c.resident_count() as u64)
+            .map(|s| s.cache.resident_count() as u64)
             .collect()
     }
 
-    /// Bytes resident per node cache.
+    /// Bytes resident per live node cache.
     pub fn per_node_bytes(&self) -> Vec<u64> {
-        self.node_caches
+        self.nodes
             .iter()
-            .map(|c| c.store().used().bytes())
+            .map(|s| s.cache.store().used().bytes())
             .collect()
+    }
+
+    /// Live node ids, in provisioning order.
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        self.nodes.iter().map(|s| s.node).collect()
     }
 
     /// Fault-inject every instance on a node (NVMe/node failure, §III-H).
+    /// Works on retired nodes too (a tombstone can crash like anything
+    /// else).
     pub fn set_node_down(&self, node: u32, down: bool) {
-        for instance in 0..self.options.instances_per_node {
-            let addr = ServerId::new(node, instance).to_string();
-            self.fabric.set_down(&addr, down);
+        for slot in self.nodes.iter().chain(self.retired.iter()) {
+            if slot.node == NodeId(node) {
+                for ep in &slot.endpoints {
+                    ep.set_down(down);
+                }
+            }
         }
     }
 
-    /// Fault-inject one server instance by global index.
+    /// Fault-inject one live server instance by global index.
     pub fn set_server_down(&self, idx: usize, down: bool) {
-        self.fabric
-            .set_down(&server_addr(idx, self.options.instances_per_node), down);
+        if let Some(ep) = self.nodes.iter().flat_map(|s| s.endpoints.iter()).nth(idx) {
+            ep.set_down(down);
+        }
     }
 
     /// Stage every file under `prefix` into the cache (paper §IV-C) and
@@ -327,34 +536,42 @@ impl Cluster {
             .first()
             .ok_or_else(|| HvacError::InvalidConfig("cluster has no clients".into()))?
             .prefetch(listing.iter().map(|p| p.as_path()))?;
-        for server in &self.servers {
-            server.drain_prefetches();
+        for slot in &self.nodes {
+            for server in &slot.servers {
+                server.drain_prefetches();
+            }
         }
         Ok(n)
     }
 
-    /// Drop all cached data on every node (job teardown, §III-D).
+    /// Drop all cached data on every node — retired tombstones included
+    /// (job teardown, §III-D).
     pub fn purge(&self) {
-        for cache in &self.node_caches {
-            cache.purge();
+        for slot in self.nodes.iter().chain(self.retired.iter()) {
+            slot.cache.purge();
         }
     }
 
     /// Tear the allocation down in dependency order, without waiting for
-    /// `Drop`: first mark every endpoint down so racing client calls fail
-    /// fast with `ServerDown` instead of queueing behind dying RPC workers,
-    /// then unregister the endpoints (joining their worker threads), and
-    /// only then release the server instances so their data movers stop.
-    /// Idempotent; clients created from this cluster keep working as
-    /// objects, but every RPC fails fast with `ServerDown` afterwards —
-    /// with the default `pfs_fallback`, reads then degrade to direct PFS
-    /// access instead of erroring.
+    /// `Drop`: join any in-flight rebalance, then mark every endpoint down
+    /// so racing client calls fail fast with `ServerDown` instead of
+    /// queueing behind dying RPC workers, then unregister the endpoints
+    /// (joining their worker threads), and only then release the server
+    /// instances so their data movers stop. Idempotent; clients created
+    /// from this cluster keep working as objects, but every RPC fails fast
+    /// with `ServerDown` afterwards — with the default `pfs_fallback`,
+    /// reads then degrade to direct PFS access instead of erroring.
     pub fn shutdown(&mut self) {
-        for ep in &self.endpoints {
-            ep.set_down(true);
+        self.wait_rebalance();
+        for slot in self.nodes.iter().chain(self.retired.iter()) {
+            for ep in &slot.endpoints {
+                ep.set_down(true);
+            }
         }
-        self.endpoints.clear();
-        self.servers.clear();
+        for slot in self.nodes.iter_mut().chain(self.retired.iter_mut()) {
+            slot.endpoints.clear();
+            slot.servers.clear();
+        }
     }
 }
 
@@ -565,5 +782,114 @@ mod tests {
             Cluster::new(pfs, ClusterOptions::new(2, 1).replication(5)).is_err(),
             "replication > server count"
         );
+    }
+
+    #[test]
+    fn zero_bulk_transfer_knobs_rejected_as_config_errors() {
+        // Regression: a zero chunk or window used to reach the assertion
+        // inside `pipelined_fetch` on the first large read; now both are
+        // typed `InvalidConfig` errors at construction time.
+        let pfs = dataset_pfs(1, 8);
+        let chunk0 = ClusterOptions::new(2, 1).bulk_transfer(0, 4);
+        assert!(matches!(
+            Cluster::new(pfs.clone(), chunk0),
+            Err(HvacError::InvalidConfig(_))
+        ));
+        let window0 = ClusterOptions::new(2, 1).bulk_transfer(4, 0);
+        assert!(matches!(
+            Cluster::new(pfs, window0),
+            Err(HvacError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn add_node_bumps_epoch_redirects_clients_and_rebalances() {
+        let pfs = dataset_pfs(48, 64);
+        let mut cluster = Cluster::new(
+            pfs.clone(),
+            ClusterOptions::new(3, 1)
+                .dataset_dir("/gpfs/train")
+                .placement(PlacementKind::Ring),
+        )
+        .unwrap();
+        for i in 0..48u64 {
+            cluster.client(0).read_file(&sample(i)).unwrap();
+        }
+        assert_eq!(cluster.epoch(), 0);
+
+        let node = cluster.add_node().unwrap();
+        assert_eq!(node, hvac_types::NodeId(3));
+        assert_eq!(cluster.epoch(), 1);
+        assert_eq!(cluster.n_servers(), 4);
+        let report = cluster.wait_rebalance().expect("a pass ran");
+        assert!(report.migrated_files > 0, "{report:?}");
+        assert_eq!(
+            cluster.per_node_file_counts()[3],
+            report.migrated_files,
+            "everything that moved landed on the joiner"
+        );
+
+        // The client is still on epoch 0; its first reads get bounced with
+        // the new view, re-resolve, and stay byte-exact with no PFS reads
+        // beyond the warmup (the minority of moved files was migrated, not
+        // dropped).
+        let pfs_reads_before = pfs.stats().snapshot().1;
+        for i in 0..48u64 {
+            let data = cluster.client(0).read_file(&sample(i)).unwrap();
+            assert_eq!(data, MemStore::sample_content(i, 64));
+        }
+        assert_eq!(pfs.stats().snapshot().1, pfs_reads_before);
+        assert_eq!(cluster.client(0).view().epoch(), 1);
+        let cm = cluster.client(0).metrics().full_snapshot();
+        assert!(cm.view_refreshes > 0, "client learned by redirect: {cm:?}");
+        assert_eq!(cm.degraded_reads, 0);
+        assert!(cluster.aggregate_metrics().stale_view_redirects > 0);
+    }
+
+    #[test]
+    fn remove_node_retires_a_tombstone_that_redirects() {
+        let pfs = dataset_pfs(48, 64);
+        let mut cluster = Cluster::new(
+            pfs.clone(),
+            ClusterOptions::new(4, 1)
+                .dataset_dir("/gpfs/train")
+                .placement(PlacementKind::Ring),
+        )
+        .unwrap();
+        for i in 0..48u64 {
+            cluster.client(0).read_file(&sample(i)).unwrap();
+        }
+        cluster.remove_node(hvac_types::NodeId(1)).unwrap();
+        assert_eq!(cluster.epoch(), 1);
+        assert_eq!(cluster.n_servers(), 3);
+        let report = cluster.wait_rebalance().expect("a pass ran");
+        assert!(report.migrated_files > 0, "{report:?}");
+
+        // Every read completes byte-exact from the *cache*: the tombstone
+        // redirected the stale client instead of timing it out, and the
+        // victim's files were migrated before its cache was abandoned.
+        let pfs_reads_before = pfs.stats().snapshot().1;
+        for i in 0..48u64 {
+            let data = cluster.client(2).read_file(&sample(i)).unwrap();
+            assert_eq!(data, MemStore::sample_content(i, 64));
+        }
+        assert_eq!(pfs.stats().snapshot().1, pfs_reads_before);
+        let cm = cluster.client(2).metrics().full_snapshot();
+        assert_eq!(cm.degraded_reads, 0, "no PFS degradation: {cm:?}");
+        let agg = cluster.aggregate_metrics();
+        assert!(agg.stale_view_redirects > 0, "{agg:?}");
+        assert_eq!(agg.migrated_files, report.migrated_files);
+        assert_eq!(agg.migrated_bytes, report.migrated_bytes);
+    }
+
+    #[test]
+    fn removing_an_unknown_node_is_an_error() {
+        let pfs = dataset_pfs(1, 8);
+        let mut cluster =
+            Cluster::new(pfs, ClusterOptions::new(2, 1).dataset_dir("/gpfs/train")).unwrap();
+        assert!(cluster.remove_node(hvac_types::NodeId(9)).is_err());
+        // Removing down to zero nodes is rejected too.
+        cluster.remove_node(hvac_types::NodeId(0)).unwrap();
+        assert!(cluster.remove_node(hvac_types::NodeId(1)).is_err());
     }
 }

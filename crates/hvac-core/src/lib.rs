@@ -33,7 +33,11 @@
 //!   placement, fail-over,
 //! * [`cluster`] — an in-process multi-node harness wiring clients, servers,
 //!   a fabric and a PFS together (the functional stand-in for a Summit
-//!   allocation),
+//!   allocation), now with elastic membership (`add_node`/`remove_node`),
+//! * [`view`] — the epoch-versioned [`ClusterView`](hvac_types::ClusterView)
+//!   handle every client and server resolves ownership through,
+//! * [`rebalance`] — the background migrator that moves the minority of
+//!   cached files whose home changed across a view change,
 //! * [`metrics`] — counters that make cache behaviour observable,
 //! * [`intercept`] — path classification shared with the `LD_PRELOAD` shim.
 //!
@@ -73,11 +77,15 @@ pub mod eviction;
 pub mod intercept;
 pub mod metrics;
 pub mod protocol;
+pub mod rebalance;
 pub mod server;
+pub mod view;
 
 pub use cache::CacheManager;
 pub use client::{HvacClient, HvacClientOptions};
 pub use cluster::{Cluster, ClusterOptions};
 pub use eviction::{make_policy, EvictionPolicy};
 pub use metrics::{ClientMetrics, ServerMetrics};
+pub use rebalance::RebalanceReport;
 pub use server::{HvacServer, HvacServerOptions};
+pub use view::ViewHandle;

@@ -52,6 +52,15 @@ pub struct ServerMetrics {
     /// Reads that lost the ensure/read race to eviction on every retry and
     /// fell back to a PFS bypass read (cache thrashing under churn).
     pub eviction_races: AtomicU64,
+    /// Requests rejected with `StaleView` because the sender's membership
+    /// epoch was older than this server's (each one redirects the client to
+    /// the current view).
+    pub stale_view_redirects: AtomicU64,
+    /// Files this server migrated to a new home during rebalancing (counted
+    /// on the *source*).
+    pub migrated_files: AtomicU64,
+    /// Bytes this server migrated to new homes during rebalancing.
+    pub migrated_bytes: AtomicU64,
     /// Per-stripe hit/miss/contention counters of the inflight table.
     /// Empty by default (`ServerMetrics::default()`); sized by
     /// [`ServerMetrics::with_stripes`] when the server spawns.
@@ -119,6 +128,12 @@ pub struct ServerMetricsSnapshot {
     /// Reads that lost every ensure/read retry to eviction and were served
     /// via PFS bypass instead.
     pub eviction_races: u64,
+    /// Requests rejected (and redirected) for carrying a stale view epoch.
+    pub stale_view_redirects: u64,
+    /// Files migrated away during rebalancing (source-side count).
+    pub migrated_files: u64,
+    /// Bytes migrated away during rebalancing.
+    pub migrated_bytes: u64,
     /// Stripe-level hits summed over every stripe (the per-stripe vectors
     /// stay on [`ServerMetrics`]; the snapshot carries scalars so it stays
     /// `Copy` and merges cheaply).
@@ -147,6 +162,9 @@ impl ServerMetrics {
             prefetches: self.prefetches.load(Ordering::Relaxed),
             pfs_bypass_reads: self.pfs_bypass_reads.load(Ordering::Relaxed),
             eviction_races: self.eviction_races.load(Ordering::Relaxed),
+            stale_view_redirects: self.stale_view_redirects.load(Ordering::Relaxed),
+            migrated_files: self.migrated_files.load(Ordering::Relaxed),
+            migrated_bytes: self.migrated_bytes.load(Ordering::Relaxed),
             stripe_hits: self
                 .stripes
                 .iter()
@@ -182,6 +200,9 @@ impl ServerMetricsSnapshot {
         self.prefetches += other.prefetches;
         self.pfs_bypass_reads += other.pfs_bypass_reads;
         self.eviction_races += other.eviction_races;
+        self.stale_view_redirects += other.stale_view_redirects;
+        self.migrated_files += other.migrated_files;
+        self.migrated_bytes += other.migrated_bytes;
         self.stripe_hits += other.stripe_hits;
         self.stripe_misses += other.stripe_misses;
         self.stripe_contention += other.stripe_contention;
@@ -224,6 +245,9 @@ pub struct ClientMetrics {
     /// Reads served by the client directly from the PFS after every replica
     /// was exhausted (last rung of the degradation ladder).
     pub degraded_reads: AtomicU64,
+    /// Times this client swapped in a newer [`hvac_types::ClusterView`]
+    /// after a `StaleView` redirect.
+    pub view_refreshes: AtomicU64,
 }
 
 /// A plain-old-data snapshot of [`ClientMetrics`].
@@ -251,6 +275,8 @@ pub struct ClientMetricsSnapshot {
     pub breaker_skips: u64,
     /// Client-side direct-PFS reads.
     pub degraded_reads: u64,
+    /// View swaps performed after `StaleView` redirects.
+    pub view_refreshes: u64,
 }
 
 impl ClientMetrics {
@@ -283,6 +309,7 @@ impl ClientMetrics {
             breaker_trips: self.breaker_trips.load(Ordering::Relaxed),
             breaker_skips: self.breaker_skips.load(Ordering::Relaxed),
             degraded_reads: self.degraded_reads.load(Ordering::Relaxed),
+            view_refreshes: self.view_refreshes.load(Ordering::Relaxed),
         }
     }
 }

@@ -10,12 +10,18 @@
 //! * [`Request::Purge`] — job teardown: drop the node's cache contents.
 //!
 //! Messages are encoded with the explicit little-endian codec from
-//! [`hvac_net::wire`]; there is no versioning because client and server ship
-//! in one binary (the cache lives only inside one job allocation).
+//! [`hvac_net::wire`]. Structural versioning is unnecessary — client and
+//! server ship in one binary (the cache lives only inside one job
+//! allocation) — but **membership** is versioned: every request is prefixed
+//! with the sender's [`ClusterView`] epoch. A server holding a newer view
+//! answers [`Response::StaleView`], piggybacking its current view so the
+//! client can swap atomically and re-resolve ownership; epoch 0 denotes the
+//! static launch-time view, so topologies that never change behave exactly
+//! as the paper's fixed allocation.
 
 use bytes::{Bytes, BytesMut};
 use hvac_net::wire;
-use hvac_types::{HvacError, Result};
+use hvac_types::{ClusterView, HvacError, Result, ServerId};
 use std::path::{Path, PathBuf};
 
 const TAG_STAT: u8 = 1;
@@ -92,6 +98,13 @@ pub enum Response {
     },
     /// Generic success (close/purge).
     Ok,
+    /// The request's membership epoch was older than the server's: the
+    /// request was **not** served. The server's current view rides along so
+    /// the client can swap views and re-resolve ownership in one round trip.
+    StaleView {
+        /// The server's current membership view.
+        view: ClusterView,
+    },
     /// Failure, with an errno-style code and a message.
     Err {
         /// errno-equivalent (see [`HvacError::errno`]).
@@ -108,9 +121,17 @@ fn path_to_str(path: &Path) -> Result<&str> {
 }
 
 impl Request {
-    /// Encode to wire bytes.
+    /// Encode to wire bytes at membership epoch 0 (the static launch-time
+    /// view). Equivalent to `encode_at(0)`; callers that track a live
+    /// [`ClusterView`] use [`Request::encode_at`].
     pub fn encode(&self) -> Result<Bytes> {
-        let mut b = BytesMut::with_capacity(64);
+        self.encode_at(0)
+    }
+
+    /// Encode to wire bytes, prefixing the sender's view `epoch`.
+    pub fn encode_at(&self, epoch: u64) -> Result<Bytes> {
+        let mut b = BytesMut::with_capacity(72);
+        b.extend_from_slice(&epoch.to_le_bytes());
         match self {
             Request::Stat { path } => {
                 b.extend_from_slice(&[TAG_STAT]);
@@ -144,25 +165,37 @@ impl Request {
         Ok(b.freeze())
     }
 
-    /// Decode from wire bytes.
-    pub fn decode(mut buf: Bytes) -> Result<Request> {
-        let tag = wire::get_u8(&mut buf)?;
+    /// Decode from wire bytes, discarding the epoch prefix. Servers that
+    /// enforce view freshness use [`Request::decode_with_epoch`].
+    pub fn decode(buf: Bytes) -> Result<Request> {
+        Ok(Self::decode_with_epoch(buf)?.1)
+    }
+
+    /// Decode from wire bytes, returning the sender's view epoch alongside
+    /// the request.
+    pub fn decode_with_epoch(mut buf: Bytes) -> Result<(u64, Request)> {
+        let epoch = wire::get_u64(&mut buf)?;
+        Ok((epoch, Self::decode_body(&mut buf)?))
+    }
+
+    fn decode_body(buf: &mut Bytes) -> Result<Request> {
+        let tag = wire::get_u8(buf)?;
         match tag {
             TAG_STAT => Ok(Request::Stat {
-                path: PathBuf::from(wire::get_str(&mut buf)?),
+                path: PathBuf::from(wire::get_str(buf)?),
             }),
             TAG_READ => {
-                let path = PathBuf::from(wire::get_str(&mut buf)?);
-                let offset = wire::get_u64(&mut buf)?;
-                let len = wire::get_u64(&mut buf)?;
+                let path = PathBuf::from(wire::get_str(buf)?);
+                let offset = wire::get_u64(buf)?;
+                let len = wire::get_u64(buf)?;
                 Ok(Request::Read { path, offset, len })
             }
             TAG_CLOSE => Ok(Request::Close {
-                path: PathBuf::from(wire::get_str(&mut buf)?),
+                path: PathBuf::from(wire::get_str(buf)?),
             }),
             TAG_PURGE => Ok(Request::Purge),
             TAG_PREFETCH => {
-                let n = wire::get_u32(&mut buf)? as usize;
+                let n = wire::get_u32(buf)? as usize;
                 if n > 1_000_000 {
                     return Err(HvacError::Protocol(format!(
                         "implausible prefetch batch of {n} paths"
@@ -170,14 +203,14 @@ impl Request {
                 }
                 let mut paths = Vec::with_capacity(n.min(4096));
                 for _ in 0..n {
-                    paths.push(PathBuf::from(wire::get_str(&mut buf)?));
+                    paths.push(PathBuf::from(wire::get_str(buf)?));
                 }
                 Ok(Request::Prefetch { paths })
             }
             TAG_READ_SEGMENT => {
-                let path = PathBuf::from(wire::get_str(&mut buf)?);
-                let offset = wire::get_u64(&mut buf)?;
-                let len = wire::get_u64(&mut buf)?;
+                let path = PathBuf::from(wire::get_str(buf)?);
+                let offset = wire::get_u64(buf)?;
+                let len = wire::get_u64(buf)?;
                 Ok(Request::ReadSegment { path, offset, len })
             }
             t => Err(HvacError::Protocol(format!("unknown request tag {t}"))),
@@ -188,6 +221,38 @@ impl Request {
 const RTAG_STAT: u8 = 1;
 const RTAG_DATA: u8 = 2;
 const RTAG_OK: u8 = 3;
+const RTAG_STALE_VIEW: u8 = 4;
+
+/// Append a [`ClusterView`] in wire form: epoch, instances-per-node, then
+/// the member list as `(node, instance)` pairs.
+fn put_view(b: &mut BytesMut, view: &ClusterView) {
+    b.extend_from_slice(&view.epoch().to_le_bytes());
+    b.extend_from_slice(&view.instances_per_node().to_le_bytes());
+    b.extend_from_slice(&(view.n_servers() as u32).to_le_bytes());
+    for sid in view.servers() {
+        b.extend_from_slice(&sid.node.0.to_le_bytes());
+        b.extend_from_slice(&sid.instance.to_le_bytes());
+    }
+}
+
+/// Decode a [`ClusterView`] from wire form.
+fn get_view(buf: &mut Bytes) -> Result<ClusterView> {
+    let epoch = wire::get_u64(buf)?;
+    let instances_per_node = wire::get_u32(buf)?;
+    let n = wire::get_u32(buf)? as usize;
+    if n > 1_000_000 {
+        return Err(HvacError::Protocol(format!(
+            "implausible view of {n} servers"
+        )));
+    }
+    let mut servers = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        let node = wire::get_u32(buf)?;
+        let instance = wire::get_u32(buf)?;
+        servers.push(ServerId::new(node, instance));
+    }
+    ClusterView::new(epoch, servers, instances_per_node)
+}
 
 impl Response {
     /// Encode to wire bytes.
@@ -207,6 +272,10 @@ impl Response {
                 b.extend_from_slice(&[u8::from(*cache_hit)]);
             }
             Response::Ok => b.extend_from_slice(&[STATUS_OK, RTAG_OK]),
+            Response::StaleView { view } => {
+                b.extend_from_slice(&[STATUS_OK, RTAG_STALE_VIEW]);
+                put_view(&mut b, view);
+            }
             Response::Err { code, message } => {
                 b.extend_from_slice(&[STATUS_ERR]);
                 b.extend_from_slice(&(*code as i64).to_le_bytes());
@@ -238,6 +307,9 @@ impl Response {
                 })
             }
             RTAG_OK => Ok(Response::Ok),
+            RTAG_STALE_VIEW => Ok(Response::StaleView {
+                view: get_view(&mut buf)?,
+            }),
             t => Err(HvacError::Protocol(format!("unknown response tag {t}"))),
         }
     }
@@ -254,9 +326,17 @@ impl Response {
     /// `Ok(self)`. The remote errno survives in [`HvacError::Remote`], so a
     /// server-side `ENOENT` reaches the shim as `ENOENT`, and the failover
     /// path can tell an answered error (fatal) from silence (transient).
+    ///
+    /// [`Response::StaleView`] becomes [`HvacError::StaleView`] (retriable).
+    /// View-tracking callers intercept the response *before* this call to
+    /// keep the piggybacked view; dropping through here is still correct,
+    /// just costs one extra round trip after the view refreshes.
     pub fn into_result(self) -> Result<Response> {
         match self {
             Response::Err { code, message } => Err(HvacError::Remote { code, message }),
+            Response::StaleView { view } => Err(HvacError::StaleView {
+                current_epoch: view.epoch(),
+            }),
             other => Ok(other),
         }
     }
@@ -350,5 +430,53 @@ mod tests {
     fn into_result_passes_success_through() {
         assert!(Response::Ok.into_result().is_ok());
         assert!(Response::Stat { size: 1 }.into_result().is_ok());
+    }
+
+    #[test]
+    fn request_epoch_rides_the_wire() {
+        let req = Request::Read {
+            path: PathBuf::from("/gpfs/train/x.bin"),
+            offset: 8,
+            len: 64,
+        };
+        let enc = req.encode_at(7).unwrap();
+        let (epoch, decoded) = Request::decode_with_epoch(enc).unwrap();
+        assert_eq!(epoch, 7);
+        assert_eq!(decoded, req);
+        // The epoch-free entry points are the epoch-0 special case.
+        let (epoch, decoded) = Request::decode_with_epoch(req.encode().unwrap()).unwrap();
+        assert_eq!(epoch, 0);
+        assert_eq!(decoded, req);
+        assert_eq!(Request::decode(req.encode_at(99).unwrap()).unwrap(), req);
+    }
+
+    #[test]
+    fn stale_view_round_trips_with_the_piggybacked_view() {
+        let view = ClusterView::initial(4, 2)
+            .unwrap()
+            .with_node_added(hvac_types::NodeId(9))
+            .unwrap();
+        let resp = Response::StaleView { view: view.clone() };
+        let decoded = Response::decode(resp.encode()).unwrap();
+        assert_eq!(decoded, resp);
+        match decoded.into_result() {
+            Err(e @ HvacError::StaleView { current_epoch: 1 }) => {
+                assert!(e.is_retriable(), "stale view must be retriable");
+                assert_eq!(e.errno(), 11);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_view_is_a_protocol_error() {
+        let view = ClusterView::initial(3, 1).unwrap();
+        let enc = Response::StaleView { view }.encode();
+        for cut in 3..enc.len() - 1 {
+            assert!(
+                Response::decode(enc.slice(..cut)).is_err(),
+                "cut at {cut} must not decode"
+            );
+        }
     }
 }

@@ -15,6 +15,7 @@
 use crate::cache::CacheManager;
 use crate::metrics::ServerMetrics;
 use crate::protocol::{Request, Response};
+use crate::view::ViewHandle;
 use bytes::Bytes;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use hvac_hash::pathhash::hash_path;
@@ -22,7 +23,7 @@ use hvac_net::fabric::{Fabric, Reply, RpcHandler, ServerEndpoint};
 use hvac_pfs::FileStore;
 use hvac_storage::default_shard_count;
 use hvac_sync::{classes, OrderedMutex, OrderedMutexGuard};
-use hvac_types::{HvacError, Result};
+use hvac_types::{ClusterView, HvacError, Result};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::Ordering;
@@ -284,6 +285,9 @@ fn clone_error(e: &HvacError) -> HvacError {
             code: *code,
             message: message.clone(),
         },
+        HvacError::StaleView { current_epoch } => HvacError::StaleView {
+            current_epoch: *current_epoch,
+        },
         other => HvacError::Rpc(other.to_string()),
     }
 }
@@ -295,10 +299,19 @@ pub struct HvacServer {
     metrics: Arc<ServerMetrics>,
     mover: DataMover,
     options: HvacServerOptions,
+    /// The membership view this instance believes in. Requests carrying an
+    /// older epoch are bounced with [`Response::StaleView`] so the sender
+    /// can re-resolve ownership (the stale-view redirect protocol).
+    view: Arc<ViewHandle>,
 }
 
 impl HvacServer {
     /// Build a server instance over the node's cache and the shared PFS.
+    ///
+    /// The server starts on the solo epoch-0 view; a cluster harness (or
+    /// deployment agent) installs the real membership via
+    /// [`Self::install_view`]. Epoch-0 requests — the static-allocation
+    /// wire format — are always accepted.
     pub fn new(
         cache: Arc<CacheManager>,
         pfs: Arc<dyn FileStore>,
@@ -319,6 +332,7 @@ impl HvacServer {
             metrics,
             mover,
             options,
+            view: ViewHandle::new(ClusterView::initial(1, 1)?),
         }))
     }
 
@@ -330,6 +344,17 @@ impl HvacServer {
     /// The node cache shared with sibling instances.
     pub fn cache(&self) -> &Arc<CacheManager> {
         &self.cache
+    }
+
+    /// Install a (strictly newer) membership view. Returns whether the
+    /// view advanced; older or equal epochs are ignored.
+    pub fn install_view(&self, view: Arc<ClusterView>) -> bool {
+        self.view.install(view)
+    }
+
+    /// Snapshot of this instance's current membership view.
+    pub fn view(&self) -> Arc<ClusterView> {
+        self.view.snapshot()
     }
 
     /// Register this server on the fabric under `addr`.
@@ -518,8 +543,23 @@ impl HvacServer {
 
 impl RpcHandler for HvacServer {
     fn handle(&self, request: Bytes) -> Reply {
-        let (response, bulk) = match Request::decode(request) {
-            Ok(req) => self.handle_request(req),
+        let (response, bulk) = match Request::decode_with_epoch(request) {
+            // A sender on an *older* epoch may be addressing the wrong home
+            // — bounce it with the current view so it can re-resolve.
+            // Newer-epoch requests are served: this server just hasn't
+            // heard yet, and placement only has to be right at the sender.
+            Ok((req_epoch, _)) if req_epoch < self.view.epoch() => {
+                self.metrics
+                    .stale_view_redirects
+                    .fetch_add(1, Ordering::Relaxed);
+                (
+                    Response::StaleView {
+                        view: (*self.view.snapshot()).clone(),
+                    },
+                    None,
+                )
+            }
+            Ok((_, req)) => self.handle_request(req),
             Err(e) => (Response::from_error(&e), None),
         };
         Reply {

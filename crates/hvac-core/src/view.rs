@@ -1,0 +1,108 @@
+//! The process-local slot holding the current [`ClusterView`].
+//!
+//! Clients, servers, and the preload agent each own a [`ViewHandle`]:
+//! an atomically swappable `Arc<ClusterView>` plus a lock-free epoch
+//! mirror for the hot path. Install is **monotonic** — only a strictly
+//! newer epoch replaces the current view — so racing redirects from
+//! several servers converge on the newest membership regardless of
+//! delivery order.
+//!
+//! Locking: the slot is an `OrderedRwLock` in the `VIEW` class, which
+//! sits *outside* the fabric/server/store chain. Holders snapshot the
+//! `Arc` and drop the guard immediately; the guard is never held across
+//! an RPC or any inner lock.
+
+use hvac_sync::{classes, OrderedRwLock};
+use hvac_types::ClusterView;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared, swappable handle to the current membership view.
+#[derive(Debug)]
+pub struct ViewHandle {
+    /// Lock-free mirror of `view.epoch()` so staleness checks on the RPC
+    /// hot path never touch the lock.
+    epoch: AtomicU64,
+    view: OrderedRwLock<Arc<ClusterView>>,
+}
+
+impl ViewHandle {
+    /// Wrap an initial view.
+    pub fn new(view: ClusterView) -> Arc<Self> {
+        Arc::new(Self {
+            epoch: AtomicU64::new(view.epoch()),
+            view: OrderedRwLock::new(classes::VIEW, Arc::new(view)),
+        })
+    }
+
+    /// Current epoch (lock-free).
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Snapshot the current view. The lock is released before returning;
+    /// callers resolve placement against the snapshot, never the slot.
+    pub fn snapshot(&self) -> Arc<ClusterView> {
+        self.view.read().clone()
+    }
+
+    /// Install `next` if it is strictly newer than the current view.
+    /// Returns whether the swap happened. Equal or older epochs are
+    /// ignored, which makes redelivered/raced redirects harmless.
+    pub fn install(&self, next: Arc<ClusterView>) -> bool {
+        let mut slot = self.view.write();
+        if next.epoch() <= slot.epoch() {
+            return false;
+        }
+        self.epoch.store(next.epoch(), Ordering::Release);
+        *slot = next;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hvac_types::NodeId;
+
+    #[test]
+    fn install_is_monotonic() {
+        let v0 = ClusterView::initial(2, 1).unwrap();
+        let v1 = v0.with_node_added(NodeId(2)).unwrap();
+        let handle = ViewHandle::new(v0.clone());
+        assert_eq!(handle.epoch(), 0);
+
+        assert!(handle.install(Arc::new(v1.clone())));
+        assert_eq!(handle.epoch(), 1);
+        assert_eq!(handle.snapshot().n_servers(), 3);
+
+        // Re-installing the same or an older view is a no-op.
+        assert!(!handle.install(Arc::new(v1)));
+        assert!(!handle.install(Arc::new(v0)));
+        assert_eq!(handle.epoch(), 1);
+    }
+
+    #[test]
+    fn concurrent_installs_converge_on_newest() {
+        let v0 = ClusterView::initial(2, 1).unwrap();
+        let mut views = vec![v0.clone()];
+        for _ in 0..8 {
+            let last = views.last().unwrap();
+            views.push(last.with_node_added(last.next_node_id()).unwrap());
+        }
+        let handle = ViewHandle::new(v0);
+        let mut joins = Vec::new();
+        for v in views.iter().skip(1).cloned() {
+            let handle = handle.clone();
+            joins.push(std::thread::spawn(move || {
+                handle.install(Arc::new(v));
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(handle.epoch(), 8);
+        assert_eq!(handle.snapshot().n_servers(), 10);
+    }
+}

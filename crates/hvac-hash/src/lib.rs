@@ -26,8 +26,8 @@ pub mod topology;
 
 pub use pathhash::{hash_bytes, hash_path, mix64};
 pub use placement::{
-    make_placement, JumpPlacement, ModuloPlacement, Placement, RendezvousPlacement, RingPlacement,
-    Straw2Placement,
+    make_placement, moved_fraction, JumpPlacement, ModuloPlacement, Placement, RendezvousPlacement,
+    RingPlacement, Straw2Placement,
 };
 pub use stats::{DistributionStats, LoadCdf};
 pub use topology::{Topology, TopologyAware};

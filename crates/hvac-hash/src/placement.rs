@@ -9,14 +9,35 @@
 //! statistically independent replica ranks (straw2 additionally supports
 //! weighted servers, as CRUSH does).
 
+//! **View-aware placement.** The slot-based entry points above take a bare
+//! `n_servers` and predate elastic membership. [`Placement::home_in_view`] /
+//! [`Placement::replicas_in_view`] resolve against an epoch-versioned
+//! [`ClusterView`] instead. The default implementations map slots onto the
+//! view's canonical member list — correct, but full-churn when a *middle*
+//! member leaves (every later slot shifts). [`RendezvousPlacement`] and
+//! [`RingPlacement`] override them to hash each member's stable *identity*
+//! (`(node, instance)`), so one join/leave moves only ~`1/n` of keys in
+//! either direction; [`moved_fraction`] measures that churn empirically.
+
 use crate::pathhash::mix64;
 use hvac_sync::{classes, OrderedMutex};
-use hvac_types::{FileId, PlacementKind};
+use hvac_types::{ClusterView, FileId, PlacementKind, ServerId};
 use std::collections::HashMap;
 use std::sync::Arc;
 
 /// A materialized ring: sorted `(point, server)` pairs.
 type Ring = Arc<Vec<(u64, u32)>>;
+
+/// A materialized identity ring: sorted `(point, member)` pairs for one
+/// membership (keyed by [`ClusterView::membership_signature`]).
+type IdRing = Arc<Vec<(u64, ServerId)>>;
+
+/// Stable 64-bit identity of a server for view-aware hashing: survives
+/// other members joining or leaving, unlike a dense slot index.
+#[inline]
+fn identity_key(sid: ServerId) -> u64 {
+    (u64::from(sid.node.0) << 32) | u64::from(sid.instance)
+}
 
 /// A deterministic mapping from file identity to server index.
 ///
@@ -52,6 +73,44 @@ pub trait Placement: Send + Sync {
         }
         out
     }
+
+    /// Home server resolved through a membership [`ClusterView`].
+    ///
+    /// Default: slot-mapped onto the view's canonical member list. Correct
+    /// for any view, but a mid-list leave shifts every later slot (full
+    /// churn). Identity-hashing placements override this for bounded churn.
+    fn home_in_view(&self, file: FileId, view: &ClusterView) -> ServerId {
+        view.server_at(self.home(file, view.n_servers()))
+    }
+
+    /// Ordered, duplicate-free replica holders resolved through a
+    /// [`ClusterView`]; first entry is [`Placement::home_in_view`].
+    fn replicas_in_view(&self, file: FileId, view: &ClusterView, k: usize) -> Vec<ServerId> {
+        self.replicas(file, view.n_servers(), k)
+            .into_iter()
+            .map(|slot| view.server_at(slot))
+            .collect()
+    }
+}
+
+/// Fraction of sampled keys whose [`Placement::home_in_view`] differs
+/// between two views — the empirical churn of a membership change. A
+/// minimal-churn placement moves ~`removed+added / n` of keys; a slot-mapped
+/// one can move nearly all of them.
+pub fn moved_fraction(
+    placement: &dyn Placement,
+    old_view: &ClusterView,
+    new_view: &ClusterView,
+    samples: u64,
+) -> f64 {
+    let samples = samples.max(1);
+    let moved = (0..samples)
+        .filter(|&i| {
+            let f = FileId(mix64(i.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0x5eed));
+            placement.home_in_view(f, old_view) != placement.home_in_view(f, new_view)
+        })
+        .count();
+    moved as f64 / samples as f64
 }
 
 /// The paper's scheme: `hash(path) % n_servers`.
@@ -59,6 +118,11 @@ pub trait Placement: Send + Sync {
 /// Replicas are the cyclically-next servers, which keeps fail-over targets
 /// trivially computable (and, with node-major server enumeration, on
 /// *different nodes* whenever `instances_per_node == 1`).
+///
+/// **Full-churn under membership change** (documented, deliberate): modulo
+/// placement keeps the paper's launch-time semantics and inherits the
+/// slot-mapped view default, so a join or leave remaps `(n-1)/n` of all
+/// keys. Use `Ring`/`Rendezvous` when the allocation is elastic.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct ModuloPlacement;
 
@@ -124,6 +188,14 @@ fn hrw_weight(file: FileId, server: usize) -> u64 {
     mix64(file.0 ^ mix64(0x9e37_79b9_7f4a_7c15 ^ server as u64))
 }
 
+/// HRW weight over a stable member identity rather than a slot index: a
+/// member's weight for a file never changes as others come and go, which is
+/// exactly the rendezvous minimal-churn property.
+#[inline]
+fn hrw_weight_id(file: FileId, sid: ServerId) -> u64 {
+    mix64(file.0 ^ mix64(0x9e37_79b9_7f4a_7c15 ^ mix64(identity_key(sid))))
+}
+
 impl Placement for RendezvousPlacement {
     fn name(&self) -> &'static str {
         "rendezvous"
@@ -144,6 +216,26 @@ impl Placement for RendezvousPlacement {
         weighted.truncate(k);
         weighted.into_iter().map(|(_, s)| s).collect()
     }
+
+    fn home_in_view(&self, file: FileId, view: &ClusterView) -> ServerId {
+        view.servers()
+            .iter()
+            .copied()
+            .max_by_key(|&sid| hrw_weight_id(file, sid))
+            .unwrap_or_else(|| view.server_at(0))
+    }
+
+    fn replicas_in_view(&self, file: FileId, view: &ClusterView, k: usize) -> Vec<ServerId> {
+        let k = k.min(view.n_servers());
+        let mut weighted: Vec<(u64, ServerId)> = view
+            .servers()
+            .iter()
+            .map(|&sid| (hrw_weight_id(file, sid), sid))
+            .collect();
+        weighted.sort_unstable_by(|a, b| b.cmp(a));
+        weighted.truncate(k);
+        weighted.into_iter().map(|(_, sid)| sid).collect()
+    }
 }
 
 /// Consistent-hash ring with virtual nodes.
@@ -154,6 +246,9 @@ impl Placement for RendezvousPlacement {
 pub struct RingPlacement {
     vnodes_per_server: u32,
     rings: OrderedMutex<HashMap<usize, Ring>>,
+    // Identity rings for view-aware placement, one per distinct membership
+    // (keyed by membership signature, so epoch-only changes share a ring).
+    id_rings: OrderedMutex<HashMap<u64, IdRing>>,
 }
 
 impl Clone for RingPlacement {
@@ -169,6 +264,7 @@ impl RingPlacement {
         Self {
             vnodes_per_server: vnodes_per_server.max(1),
             rings: OrderedMutex::new(classes::HASH_RINGS, HashMap::new()),
+            id_rings: OrderedMutex::new(classes::HASH_RINGS, HashMap::new()),
         }
     }
 
@@ -182,6 +278,28 @@ impl RingPlacement {
                     for v in 0..self.vnodes_per_server {
                         let point = mix64(((s as u64) << 32) ^ v as u64 ^ 0xabcd_ef01);
                         ring.push((point, s));
+                    }
+                }
+                ring.sort_unstable();
+                Arc::new(ring)
+            })
+            .clone()
+    }
+
+    /// Identity ring for one membership: vnode points hash `(node, instance)`
+    /// rather than a slot index, so a member's arc of the ring is unaffected
+    /// by *other* members joining or leaving.
+    fn id_ring_for(&self, view: &ClusterView) -> IdRing {
+        let mut rings = self.id_rings.lock();
+        rings
+            .entry(view.membership_signature())
+            .or_insert_with(|| {
+                let mut ring =
+                    Vec::with_capacity(view.n_servers() * self.vnodes_per_server as usize);
+                for &sid in view.servers() {
+                    let base = mix64(identity_key(sid) ^ 0xabcd_ef01);
+                    for v in 0..self.vnodes_per_server {
+                        ring.push((mix64(base ^ u64::from(v)), sid));
                     }
                 }
                 ring.sort_unstable();
@@ -220,6 +338,30 @@ impl Placement for RingPlacement {
             let s = s as usize;
             if !out.contains(&s) {
                 out.push(s);
+                if out.len() == k {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    fn home_in_view(&self, file: FileId, view: &ClusterView) -> ServerId {
+        let ring = self.id_ring_for(view);
+        let idx = ring.partition_point(|&(p, _)| p < file.0);
+        let idx = if idx == ring.len() { 0 } else { idx };
+        ring[idx].1
+    }
+
+    fn replicas_in_view(&self, file: FileId, view: &ClusterView, k: usize) -> Vec<ServerId> {
+        let k = k.min(view.n_servers());
+        let ring = self.id_ring_for(view);
+        let start = ring.partition_point(|&(p, _)| p < file.0);
+        let mut out = Vec::with_capacity(k);
+        for off in 0..ring.len() {
+            let (_, sid) = ring[(start + off) % ring.len()];
+            if !out.contains(&sid) {
+                out.push(sid);
                 if out.len() == k {
                     break;
                 }

@@ -1,0 +1,123 @@
+//! Membership-churn properties of view-aware placement.
+//!
+//! The elastic-membership contract: for the identity-hashing placements
+//! (`Ring`, `Rendezvous`), a *single* node join or leave relocates at most
+//! ~`1/n + ε` of keys — only the keys that land on (or lose) the changed
+//! member move, everyone else's arc/weight is untouched. `Modulo` makes no
+//! such promise (documented full churn: a leave remaps almost everything).
+//! Replica sets must stay distinct and home-first across any view change.
+
+use hvac_hash::placement::moved_fraction;
+use hvac_hash::{hash_path, Placement, RendezvousPlacement, RingPlacement};
+use hvac_types::view::ClusterView;
+use hvac_types::NodeId;
+use proptest::prelude::*;
+
+const SAMPLES: u64 = 2_000;
+
+fn bounded_placements() -> Vec<Box<dyn Placement>> {
+    vec![
+        Box::new(RingPlacement::default()),
+        Box::new(RendezvousPlacement),
+    ]
+}
+
+/// Churn ceiling for one membership change among `n_after` live servers:
+/// the ideal is `1/n_after` (join) or `1/n_before` (leave); we allow 2× the
+/// ideal plus a flat sampling/vnode-variance allowance.
+fn churn_bound(n_smaller: usize) -> f64 {
+    2.0 / (n_smaller as f64 + 1.0) + 0.05
+}
+
+proptest! {
+    #[test]
+    fn single_join_moves_bounded_minority(n in 2usize..24) {
+        let old = ClusterView::initial(n, 1).expect("non-empty");
+        let new = old.with_node_added(old.next_node_id()).expect("fresh node");
+        for p in bounded_placements() {
+            let moved = moved_fraction(p.as_ref(), &old, &new, SAMPLES);
+            prop_assert!(
+                moved <= churn_bound(n),
+                "{}: join n={n} moved {moved:.3} > bound {:.3}",
+                p.name(),
+                churn_bound(n)
+            );
+            // And the join must actually rebalance: some keys adopt the
+            // new member (statistically certain at these sample counts).
+            prop_assert!(moved > 0.0, "{}: join moved nothing", p.name());
+        }
+    }
+
+    #[test]
+    fn single_leave_moves_bounded_minority(n in 3usize..24, victim in 0usize..24) {
+        let old = ClusterView::initial(n, 1).expect("non-empty");
+        let victim = NodeId((victim % n) as u32);
+        let new = old.with_node_removed(victim).expect("member");
+        for p in bounded_placements() {
+            let moved = moved_fraction(p.as_ref(), &old, &new, SAMPLES);
+            prop_assert!(
+                moved <= churn_bound(n - 1),
+                "{}: leave of {victim} from n={n} moved {moved:.3} > bound {:.3}",
+                p.name(),
+                churn_bound(n - 1)
+            );
+            // Every key homed on the victim must have moved somewhere.
+            for i in 0..SAMPLES {
+                let f = hash_path(format!("/gpfs/churn/{i}"));
+                let home = p.home_in_view(f, &new);
+                prop_assert!(home.node != victim, "{}: key still on removed node", p.name());
+            }
+        }
+    }
+
+    #[test]
+    fn modulo_mid_leave_is_full_churn(n in 4usize..16) {
+        // Documented behaviour, pinned so nobody mistakes modulo for a
+        // minimal-churn placement: removing a *middle* node shifts nearly
+        // every slot.
+        let p = hvac_hash::ModuloPlacement;
+        let old = ClusterView::initial(n, 1).expect("non-empty");
+        let new = old.with_node_removed(NodeId(1)).expect("member");
+        let moved = moved_fraction(&p, &old, &new, SAMPLES);
+        prop_assert!(
+            moved > 0.5,
+            "modulo mid-leave at n={n} moved only {moved:.3}; expected full churn"
+        );
+    }
+
+    #[test]
+    fn replicas_stay_distinct_and_home_first_across_views(
+        n in 2usize..12,
+        k in 1usize..5,
+        i in 0u64..10_000,
+    ) {
+        let f = hash_path(format!("/gpfs/replicas/{i}"));
+        let v0 = ClusterView::initial(n, 1).expect("non-empty");
+        let v1 = v0.with_node_added(v0.next_node_id()).expect("fresh node");
+        let v2 = v1.with_node_removed(NodeId(0)).expect("member");
+        for p in bounded_placements() {
+            for view in [&v0, &v1, &v2] {
+                let reps = p.replicas_in_view(f, view, k);
+                prop_assert_eq!(reps.len(), k.min(view.n_servers()), "{}", p.name());
+                prop_assert_eq!(reps[0], p.home_in_view(f, view), "{}", p.name());
+                let mut sorted = reps.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                prop_assert_eq!(sorted.len(), reps.len(), "{} duplicates", p.name());
+                for sid in &reps {
+                    prop_assert!(view.contains(*sid), "{} replica outside view", p.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn initial_view_matches_slot_placement(n in 1usize..32, i in 0u64..100_000) {
+        // At epoch 0 the view is the dense launch layout, so view-aware
+        // *slot-mapped* placements must agree exactly with the legacy API.
+        let f = hash_path(format!("/gpfs/compat/{i}"));
+        let view = ClusterView::initial(n, 1).expect("non-empty");
+        let p = hvac_hash::ModuloPlacement;
+        prop_assert_eq!(p.home_in_view(f, &view), view.server_at(p.home(f, n)));
+    }
+}

@@ -4,6 +4,12 @@
 //! thread, eviction) plus a descriptor table behind a synchronous API the C
 //! shim can call. It is also usable directly from Rust — the unit tests and
 //! the preload smoke test share this code with the interposed symbols.
+//!
+//! The embedded server is a **solo allocation**: its membership view is the
+//! epoch-0 single-server [`ClusterView`](hvac_types::ClusterView) and never
+//! changes, so the agent bypasses the wire (and thus the epoch prefix) and
+//! calls `handle_request` directly — epoch-0 requests are the static-launch
+//! format every server accepts forever.
 
 use hvac_core::cache::CacheManager;
 use hvac_core::eviction::make_policy;
@@ -111,6 +117,13 @@ impl LocalAgent {
     /// Whether this path should be intercepted.
     pub fn intercepts(&self, path: &Path) -> bool {
         self.matcher.matches(path)
+    }
+
+    /// The embedded server's membership view: always the solo epoch-0
+    /// layout (see the module docs for why the agent may skip the epoch
+    /// check).
+    pub fn view(&self) -> Arc<hvac_types::ClusterView> {
+        self.server.view()
     }
 
     /// Whether `fd` is one of ours.
@@ -312,6 +325,19 @@ mod tests {
         assert!(agent.lseek(fd, 0, 9).is_err());
         assert!(agent.lseek(fd, -1, 0).is_err());
         agent.close(fd).unwrap();
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn agent_runs_on_the_solo_epoch0_view() {
+        // The agent bypasses the wire and its epoch prefix; that is only
+        // sound while its server stays on the epoch-0 solo view, which can
+        // never bounce a request as stale.
+        let dir = temp_dataset("view", 1, 8);
+        let agent = LocalAgent::new(AgentConfig::new(&dir)).unwrap();
+        let view = agent.view();
+        assert_eq!(view.epoch(), 0);
+        assert_eq!(view.n_servers(), 1);
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -3,7 +3,7 @@
 //! The hierarchy, outermost first, is:
 //!
 //! ```text
-//! fabric  →  server  →  cache  →  store
+//! rebalancer  →  view  →  fabric  →  server  →  cache  →  store
 //! ```
 //!
 //! A thread may acquire classes left-to-right along this chain (skipping
@@ -12,7 +12,18 @@
 //! nest inside anything below them. The debug-build order checker in this
 //! crate turns any violation into an immediate panic naming the pair.
 
-/// RPC fabric endpoint registry (`hvac-net::fabric`). Outermost.
+/// Rebalancer worker handle (`hvac-core::rebalance`). Outermost of all:
+/// held only to spawn/join the migration worker, never while that worker's
+/// own locks are in scope on the same thread.
+pub const REBALANCER: &str = "core.rebalancer";
+
+/// Current [`ClusterView`] slot (`hvac-core::view`). Acquired before any
+/// fabric/server/store lock; holders snapshot the `Arc` and drop the guard
+/// immediately — the view guard is never held across an RPC.
+pub const VIEW: &str = "core.view";
+
+/// RPC fabric endpoint registry (`hvac-net::fabric`). Outermost of the
+/// original chain; nests inside `VIEW`/`REBALANCER` only.
 pub const FABRIC_ENDPOINTS: &str = "net.fabric.endpoints";
 
 /// Fabric server worker-thread list; held only briefly at spawn/join.

@@ -16,7 +16,7 @@
 //!    compiles away and the wrappers are passthroughs.
 //!
 //! The canonical class hierarchy for this workspace (outermost first) is
-//! `fabric → server → cache → store`; the class constants in [`classes`]
+//! `rebalancer → view → fabric → server → cache → store`; the class constants in [`classes`]
 //! document it. See DESIGN.md §"Concurrency invariants & lock hierarchy".
 //!
 //! ```

@@ -57,6 +57,15 @@ pub enum HvacError {
     /// The addressed server is marked down and no replica could serve the
     /// request.
     ServerDown(String),
+    /// The request carried a membership epoch older than the server's: the
+    /// sender's [`crate::ClusterView`] is stale. The reply piggybacks the
+    /// server's current view (decoded by the client before this error is
+    /// surfaced), so the caller swaps views, re-resolves ownership, and
+    /// retries — transient by construction.
+    StaleView {
+        /// Epoch the server is currently at.
+        current_epoch: u64,
+    },
     /// Configuration is internally inconsistent.
     InvalidConfig(String),
     /// Write access attempted through the read-only cache.
@@ -86,6 +95,9 @@ impl fmt::Display for HvacError {
                 "cache capacity exhausted: need {requested} B of {capacity} B"
             ),
             HvacError::ServerDown(s) => write!(f, "server down: {s}"),
+            HvacError::StaleView { current_epoch } => {
+                write!(f, "stale cluster view: server is at epoch {current_epoch}")
+            }
             HvacError::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
             HvacError::ReadOnly(p) => {
                 write!(
@@ -123,6 +135,7 @@ impl HvacError {
             HvacError::ReadOnly(_) => 30,              // EROFS
             HvacError::CapacityExhausted { .. } => 28, // ENOSPC
             HvacError::RpcTimeout { .. } => 110,       // ETIMEDOUT
+            HvacError::StaleView { .. } => 11,         // EAGAIN: retry with the new view
             HvacError::Remote { code, .. } => *code,
             HvacError::Io(e) => e.raw_os_error().unwrap_or(5),
             _ => 5, // EIO
@@ -133,14 +146,20 @@ impl HvacError {
     /// replica, or against the PFS directly) can plausibly succeed.
     ///
     /// Transient: the server never answered ([`HvacError::RpcTimeout`]),
-    /// refused the connection ([`HvacError::ServerDown`]), or the transport
-    /// itself failed ([`HvacError::Rpc`]). Everything the server *did*
-    /// answer — including error replies — is fatal: retrying a `NotFound`
-    /// or a protocol violation elsewhere returns the same answer.
+    /// refused the connection ([`HvacError::ServerDown`]), the transport
+    /// itself failed ([`HvacError::Rpc`]), or the request was rejected only
+    /// because the sender's membership view was stale
+    /// ([`HvacError::StaleView`] — retrying with the piggybacked new view
+    /// succeeds). Everything else the server *did* answer — including error
+    /// replies — is fatal: retrying a `NotFound` or a protocol violation
+    /// elsewhere returns the same answer.
     pub fn is_retriable(&self) -> bool {
         matches!(
             self,
-            HvacError::RpcTimeout { .. } | HvacError::ServerDown(_) | HvacError::Rpc(_)
+            HvacError::RpcTimeout { .. }
+                | HvacError::ServerDown(_)
+                | HvacError::Rpc(_)
+                | HvacError::StaleView { .. }
         )
     }
 }
@@ -190,6 +209,7 @@ mod tests {
             .errno(),
             110
         );
+        assert_eq!(HvacError::StaleView { current_epoch: 3 }.errno(), 11);
         // The remote errno survives instead of collapsing to EIO.
         assert_eq!(
             HvacError::Remote {
@@ -210,6 +230,7 @@ mod tests {
             },
             HvacError::ServerDown("n0/s0".into()),
             HvacError::Rpc("queue closed".into()),
+            HvacError::StaleView { current_epoch: 2 },
         ];
         for e in transient {
             assert!(e.is_retriable(), "{e} must be retriable");

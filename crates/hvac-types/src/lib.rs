@@ -16,6 +16,8 @@
 //! * [`error`] — the [`HvacError`] error type used across crate boundaries,
 //! * [`config`] — configuration structs for clusters, the GPFS model, local
 //!   devices and HVAC itself,
+//! * [`view`] — the epoch-versioned [`ClusterView`] membership snapshot that
+//!   every ownership decision resolves through,
 //! * [`summit`] — the calibration constants of the Summit supercomputer from
 //!   Table I and §IV of the paper.
 
@@ -25,6 +27,7 @@ pub mod ids;
 pub mod summit;
 pub mod time;
 pub mod units;
+pub mod view;
 
 pub use config::{
     ClusterConfig, EvictionPolicyKind, GpfsConfig, HvacConfig, NetworkConfig, NvmeConfig,
@@ -34,3 +37,4 @@ pub use error::{HvacError, Result};
 pub use ids::{ClientId, FileId, JobId, NodeId, Rank, ServerId};
 pub use time::SimTime;
 pub use units::{Bandwidth, ByteSize, GIB, KIB, MIB, TIB};
+pub use view::ClusterView;

@@ -1,0 +1,265 @@
+//! Epoch-versioned cluster membership view.
+//!
+//! HVAC computes a file's home server *algorithmically* — there is no
+//! metadata service to consult — so every party (client, server, preload
+//! agent) must agree on the set of live servers or they will disagree on
+//! ownership. [`ClusterView`] makes that agreement explicit: a monotonic
+//! **epoch** plus the ordered list of live [`ServerId`]s. The view is an
+//! immutable value; membership changes produce a *new* view with a bumped
+//! epoch via [`ClusterView::with_node_added`] / [`ClusterView::with_node_removed`].
+//!
+//! Wire protocol: requests carry the sender's epoch; a server holding a
+//! newer view answers `StaleView` and piggybacks its current view so the
+//! client can atomically swap and re-resolve. Placement implementations
+//! hash the stable *identity* of each member (see `hvac-hash`), so a
+//! single join/leave moves only the churn-bounded minority of files.
+
+use crate::error::{HvacError, Result};
+use crate::ids::{NodeId, ServerId};
+use std::fmt;
+
+/// An immutable, epoch-stamped snapshot of cluster membership.
+///
+/// Ordering of `servers` is canonical (sorted by `(node, instance)`): two
+/// views with the same epoch and members compare equal regardless of the
+/// order members were supplied in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterView {
+    epoch: u64,
+    servers: Vec<ServerId>,
+    instances_per_node: u32,
+}
+
+impl ClusterView {
+    /// Build a view from explicit parts. Rejects an empty member list and
+    /// duplicate members; sorts members into canonical order.
+    pub fn new(epoch: u64, mut servers: Vec<ServerId>, instances_per_node: u32) -> Result<Self> {
+        if servers.is_empty() {
+            return Err(HvacError::InvalidConfig(
+                "cluster view must contain at least one server".into(),
+            ));
+        }
+        servers.sort();
+        if servers.windows(2).any(|w| w[0] == w[1]) {
+            return Err(HvacError::InvalidConfig(
+                "cluster view contains duplicate server ids".into(),
+            ));
+        }
+        Ok(Self {
+            epoch,
+            servers,
+            instances_per_node: instances_per_node.max(1),
+        })
+    }
+
+    /// The launch-time view: epoch 0, servers `0..n_servers` laid out
+    /// densely across nodes exactly as [`ServerId::from_global_index`]
+    /// enumerates them. This matches the paper's static topology, so code
+    /// that never changes membership behaves identically to before.
+    pub fn initial(n_servers: usize, instances_per_node: u32) -> Result<Self> {
+        let ipn = instances_per_node.max(1);
+        let servers = (0..n_servers)
+            .map(|idx| ServerId::from_global_index(idx, ipn))
+            .collect();
+        Self::new(0, servers, ipn)
+    }
+
+    /// Membership epoch. Strictly increases on every membership change.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of live servers.
+    #[inline]
+    pub fn n_servers(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Live servers in canonical order.
+    #[inline]
+    pub fn servers(&self) -> &[ServerId] {
+        &self.servers
+    }
+
+    /// Server at a placement slot (slot indices are positions in the
+    /// canonical member list, *not* global indices).
+    #[inline]
+    pub fn server_at(&self, slot: usize) -> ServerId {
+        self.servers[slot % self.servers.len()]
+    }
+
+    /// Configured instances per node (used when growing the view).
+    #[inline]
+    pub fn instances_per_node(&self) -> u32 {
+        self.instances_per_node
+    }
+
+    /// Whether `sid` is a live member.
+    pub fn contains(&self, sid: ServerId) -> bool {
+        self.servers.binary_search(&sid).is_ok()
+    }
+
+    /// Fabric address of a member — the `Display` form of its id, which is
+    /// stable across view changes (identity, not slot, names the endpoint).
+    pub fn addr(&self, sid: ServerId) -> String {
+        sid.to_string()
+    }
+
+    /// Distinct node ids with at least one live server instance, ascending.
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        let mut nodes: Vec<NodeId> = self.servers.iter().map(|s| s.node).collect();
+        nodes.dedup();
+        nodes
+    }
+
+    /// Smallest node id not currently in the view — the id [`ClusterView`]
+    /// assigns to the next joining node.
+    pub fn next_node_id(&self) -> NodeId {
+        NodeId(self.servers.iter().map(|s| s.node.0 + 1).max().unwrap_or(0))
+    }
+
+    /// Successor view with `instances_per_node` fresh server instances on
+    /// `node`; epoch bumps by one. Rejects a node that already has members.
+    pub fn with_node_added(&self, node: NodeId) -> Result<Self> {
+        if self.servers.iter().any(|s| s.node == node) {
+            return Err(HvacError::InvalidConfig(format!(
+                "{node} is already a member of the view"
+            )));
+        }
+        let mut servers = self.servers.clone();
+        for inst in 0..self.instances_per_node {
+            servers.push(ServerId {
+                node,
+                instance: inst,
+            });
+        }
+        Self::new(self.epoch + 1, servers, self.instances_per_node)
+    }
+
+    /// Successor view with every server instance on `node` removed; epoch
+    /// bumps by one. Rejects unknown nodes and refuses to empty the view.
+    pub fn with_node_removed(&self, node: NodeId) -> Result<Self> {
+        if !self.servers.iter().any(|s| s.node == node) {
+            return Err(HvacError::InvalidConfig(format!(
+                "{node} is not a member of the view"
+            )));
+        }
+        let servers: Vec<ServerId> = self
+            .servers
+            .iter()
+            .copied()
+            .filter(|s| s.node != node)
+            .collect();
+        if servers.is_empty() {
+            return Err(HvacError::InvalidConfig(
+                "removing the last node would empty the view".into(),
+            ));
+        }
+        Self::new(self.epoch + 1, servers, self.instances_per_node)
+    }
+
+    /// Order-independent content signature (epoch excluded): two views with
+    /// the same membership share a signature. Used by `hvac-hash` to memoize
+    /// per-membership consistent-hash rings.
+    pub fn membership_signature(&self) -> u64 {
+        // FNV-1a over the canonical member list; collision here only costs a
+        // spurious ring rebuild, never wrong placement.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for s in &self.servers {
+            for part in [u64::from(s.node.0), u64::from(s.instance)] {
+                h ^= part.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        h
+    }
+}
+
+impl fmt::Display for ClusterView {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "view@{} [{} servers on {} nodes]",
+            self.epoch,
+            self.servers.len(),
+            self.node_ids().len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_matches_dense_layout() {
+        let v = ClusterView::initial(6, 2).unwrap();
+        assert_eq!(v.epoch(), 0);
+        assert_eq!(v.n_servers(), 6);
+        for idx in 0..6 {
+            assert_eq!(v.server_at(idx), ServerId::from_global_index(idx, 2));
+        }
+        assert_eq!(v.node_ids(), vec![NodeId(0), NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn empty_and_duplicate_views_rejected() {
+        assert!(ClusterView::new(0, vec![], 1).is_err());
+        let dup = vec![ServerId::new(0, 0), ServerId::new(0, 0)];
+        assert!(ClusterView::new(0, dup, 1).is_err());
+    }
+
+    #[test]
+    fn add_and_remove_bump_epoch() {
+        let v0 = ClusterView::initial(2, 1).unwrap();
+        let v1 = v0.with_node_added(NodeId(2)).unwrap();
+        assert_eq!(v1.epoch(), 1);
+        assert_eq!(v1.n_servers(), 3);
+        assert!(v1.contains(ServerId::new(2, 0)));
+        let v2 = v1.with_node_removed(NodeId(0)).unwrap();
+        assert_eq!(v2.epoch(), 2);
+        assert!(!v2.contains(ServerId::new(0, 0)));
+        assert_eq!(v2.n_servers(), 2);
+    }
+
+    #[test]
+    fn add_existing_and_remove_absent_rejected() {
+        let v = ClusterView::initial(2, 1).unwrap();
+        assert!(v.with_node_added(NodeId(0)).is_err());
+        assert!(v.with_node_removed(NodeId(7)).is_err());
+    }
+
+    #[test]
+    fn cannot_empty_the_view() {
+        let v = ClusterView::initial(1, 1).unwrap();
+        assert!(v.with_node_removed(NodeId(0)).is_err());
+    }
+
+    #[test]
+    fn next_node_id_skips_past_members() {
+        let v = ClusterView::initial(3, 1).unwrap();
+        assert_eq!(v.next_node_id(), NodeId(3));
+        let v = v.with_node_removed(NodeId(1)).unwrap();
+        // Holes are not reused: the max member still wins.
+        assert_eq!(v.next_node_id(), NodeId(3));
+    }
+
+    #[test]
+    fn membership_signature_ignores_epoch_and_order() {
+        let a = ClusterView::new(0, vec![ServerId::new(1, 0), ServerId::new(0, 0)], 1).unwrap();
+        let b = ClusterView::new(9, vec![ServerId::new(0, 0), ServerId::new(1, 0)], 1).unwrap();
+        assert_eq!(a.membership_signature(), b.membership_signature());
+        let c = ClusterView::new(0, vec![ServerId::new(0, 0)], 1).unwrap();
+        assert_ne!(a.membership_signature(), c.membership_signature());
+    }
+
+    #[test]
+    fn display_names_epoch_and_sizes() {
+        let v = ClusterView::initial(4, 2).unwrap();
+        let s = v.to_string();
+        assert!(s.contains("view@0"));
+        assert!(s.contains("4 servers"));
+        assert!(s.contains("2 nodes"));
+    }
+}

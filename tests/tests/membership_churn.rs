@@ -1,0 +1,184 @@
+//! Elastic membership under fire: 16 training ranks read a 4-node
+//! allocation byte-exact while a node is **removed mid-epoch**, and again
+//! after another node is **added** at the next epoch — with delay + drop
+//! fault injection armed on every endpoint the whole time.
+//!
+//! What this certifies: the stale-view redirect protocol (not timeouts, not
+//! PFS degradation) is how clients cross a view change. The retired node
+//! answers as a tombstone until every client has re-resolved, the
+//! background rebalancer migrates exactly the minority of files whose home
+//! moved, and the migration ledger balances between the per-server
+//! counters and the rebalance reports.
+
+use hvac_core::cluster::{Cluster, ClusterOptions};
+use hvac_net::FaultSpec;
+use hvac_pfs::MemStore;
+use hvac_types::{NodeId, PlacementKind, RetryPolicy};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+const NODES: u32 = 4;
+const CLIENTS_PER_NODE: u32 = 4;
+const RANKS: usize = (NODES * CLIENTS_PER_NODE) as usize;
+const N_FILES: u64 = 48;
+const FILE_SIZE: usize = 256;
+
+fn sample(i: u64) -> PathBuf {
+    PathBuf::from(format!("/gpfs/train/sample_{i:08}.bin"))
+}
+
+/// Small deadline so injected drops cost milliseconds; one extra attempt
+/// over the stripe harness so a 2 % drop rate cannot plausibly exhaust a
+/// replica ladder (that would degrade to the PFS, which this test forbids).
+fn churn_retry() -> RetryPolicy {
+    RetryPolicy {
+        rpc_timeout: Duration::from_millis(50),
+        max_attempts: 4,
+        backoff_base: Duration::from_millis(1),
+        breaker_threshold: 8,
+        breaker_cooldown: Duration::from_millis(200),
+        jitter_seed: 0x4348_5552, // "CHUR"
+    }
+}
+
+/// One full seeded-shuffled pass over the dataset for every rank, joined as
+/// a barrier. Asserts byte-exactness on every read.
+fn epoch_pass(clients: &[Arc<hvac_core::HvacClient>], tag: u64) {
+    let mut joins = Vec::new();
+    for (rank, client) in clients.iter().enumerate() {
+        let client = client.clone();
+        joins.push(std::thread::spawn(move || {
+            let mut order: Vec<u64> = (0..N_FILES).collect();
+            let mut rng = StdRng::seed_from_u64(0x5EED ^ ((rank as u64) << 16) ^ tag);
+            order.shuffle(&mut rng);
+            for i in order {
+                let data = client
+                    .read_file(&sample(i))
+                    .unwrap_or_else(|e| panic!("rank {rank} pass {tag} file {i}: {e}"));
+                assert_eq!(
+                    data,
+                    MemStore::sample_content(i, FILE_SIZE),
+                    "rank {rank} pass {tag}: corrupted bytes for file {i}"
+                );
+            }
+        }));
+    }
+    for j in joins {
+        j.join().unwrap();
+    }
+}
+
+#[test]
+fn membership_changes_under_faults_stay_byte_exact_and_redirect() {
+    let pfs = Arc::new(MemStore::new());
+    pfs.synthesize_dataset(Path::new("/gpfs/train"), N_FILES, |_| FILE_SIZE);
+    let mut cluster = Cluster::new(
+        pfs,
+        ClusterOptions::new(NODES, 1)
+            .dataset_dir("/gpfs/train")
+            .clients_per_node(CLIENTS_PER_NODE)
+            .placement(PlacementKind::Ring)
+            .retry_policy(churn_retry()),
+    )
+    .unwrap();
+    for (i, addr) in cluster.fabric().endpoint_names().into_iter().enumerate() {
+        cluster.fabric().fault_injector().set(
+            &addr,
+            FaultSpec {
+                delay_prob: 0.3,
+                delay: Duration::from_millis(1),
+                drop_prob: 0.02,
+                seed: 0xC0FF_EE00 ^ i as u64,
+                ..FaultSpec::default()
+            },
+        );
+    }
+    let clients: Vec<_> = (0..RANKS).map(|r| cluster.client(r).clone()).collect();
+
+    // Pass 0: warm the allocation-wide cache.
+    epoch_pass(&clients, 0);
+    assert_eq!(cluster.epoch(), 0);
+
+    // Pass 1: remove node 1 *mid-pass* while every rank is reading. The
+    // readers started on epoch 0; the tombstone bounces them to epoch 1.
+    let readers: Vec<_> = clients
+        .iter()
+        .enumerate()
+        .map(|(rank, client)| {
+            let client = client.clone();
+            std::thread::spawn(move || {
+                let mut order: Vec<u64> = (0..N_FILES).collect();
+                let mut rng = StdRng::seed_from_u64(0xD00D ^ (rank as u64) << 8);
+                order.shuffle(&mut rng);
+                for i in order {
+                    let data = client
+                        .read_file(&sample(i))
+                        .unwrap_or_else(|e| panic!("rank {rank} mid-churn file {i}: {e}"));
+                    assert_eq!(data, MemStore::sample_content(i, FILE_SIZE));
+                }
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(3));
+    cluster.remove_node(NodeId(1)).unwrap();
+    assert_eq!(cluster.epoch(), 1);
+    for j in readers {
+        j.join().unwrap();
+    }
+    let leave_report = cluster.wait_rebalance().expect("leave pass ran");
+    assert!(
+        leave_report.migrated_files > 0,
+        "the victim's files must be migrated: {leave_report:?}"
+    );
+
+    // Pass 2 (quiescent): add a node at the next epoch, let the rebalance
+    // finish, then read everything again.
+    let joiner = cluster.add_node().unwrap();
+    assert_eq!(joiner, NodeId(4));
+    assert_eq!(cluster.epoch(), 2);
+    let join_report = cluster.wait_rebalance().expect("join pass ran");
+    assert!(join_report.migrated_files > 0, "{join_report:?}");
+    epoch_pass(&clients, 2);
+
+    // Every client crossed both view changes via redirect, never via the
+    // PFS: zero degraded reads, and every view handle converged on epoch 2.
+    let mut refreshes = 0u64;
+    for (rank, client) in clients.iter().enumerate() {
+        let s = client.metrics().full_snapshot();
+        assert_eq!(s.degraded_reads, 0, "rank {rank} degraded: {s:?}");
+        assert_eq!(
+            client.view().epoch(),
+            2,
+            "rank {rank} stuck on a stale view"
+        );
+        refreshes += s.view_refreshes;
+    }
+    assert!(
+        refreshes >= RANKS as u64,
+        "every rank refreshed at least once"
+    );
+
+    // The ledgers balance: per-server migration counters sum to the two
+    // reports, redirects were actually served, and the faults really fired.
+    let agg = cluster.aggregate_metrics();
+    assert!(agg.stale_view_redirects >= RANKS as u64, "{agg:?}");
+    assert_eq!(
+        agg.migrated_files,
+        leave_report.migrated_files + join_report.migrated_files,
+        "{agg:?}"
+    );
+    assert_eq!(
+        agg.migrated_bytes,
+        leave_report.migrated_bytes + join_report.migrated_bytes,
+        "{agg:?}"
+    );
+    assert_eq!(agg.cache_hits + agg.cache_misses, agg.reads, "{agg:?}");
+    assert!(
+        cluster.fabric().fault_injector().injected() > 0,
+        "fault plan never fired"
+    );
+}

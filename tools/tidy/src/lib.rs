@@ -23,6 +23,12 @@
 //!    show evidence of the checked regime. The file list is pinned, so a
 //!    rename that silently drops a module from the check is itself an
 //!    error.
+//! 6. **View/rebalancer modules are hvac-sync-only** — the membership
+//!    machinery (epoch-versioned view handle, cache rebalancer) holds
+//!    locks across view swaps and background migration, so it is pinned
+//!    to the same regime as check 5: `hvac_sync` ordered primitives or
+//!    `std::sync::atomic` only, with the unordered blocking primitives
+//!    banned and the file list pinned against renames.
 //!
 //! The library form exists so the tier-1 suite can run the exact same
 //! checks in-process (`tidy::check_workspace`) without shelling out.
@@ -99,6 +105,7 @@ pub fn check_workspace_with(root: &Path, ratchet: &Ratchet) -> Report {
     let files = collect_sources(root);
     check_sync_primitives(&files, &mut report);
     check_stripe_modules(&files, &mut report);
+    check_view_modules(&files, &mut report);
     check_marker_macros(&files, &mut report);
     check_module_docs(&files, &mut report);
     check_unwrap_ratchet(&files, ratchet, &mut report);
@@ -201,15 +208,44 @@ const STRIPE_BANNED_TOKENS: &[&str] = &["Condvar", "Barrier", "OnceLock", "LazyL
 
 /// Check 5: stripe modules synchronize via hvac-sync or atomics only.
 fn check_stripe_modules(files: &[SourceFile], report: &mut Report) {
-    for module in STRIPE_MODULES {
+    check_pinned_modules(files, STRIPE_MODULES, "stripe", "STRIPE_MODULES", report);
+}
+
+/// The membership machinery held to check 6: the epoch-versioned view
+/// handle and the online rebalancer. Same pinning rule as `STRIPE_MODULES`
+/// — renames must update this list or tidy errors.
+const VIEW_MODULES: &[&str] = &[
+    "crates/hvac-core/src/view.rs",
+    "crates/hvac-core/src/rebalance.rs",
+];
+
+// Check 6: view/rebalancer modules synchronize via hvac-sync or atomics
+// only — they sit above every other lock class, so an unordered blocking
+// primitive there can deadlock the whole view-swap path.
+fn check_view_modules(files: &[SourceFile], report: &mut Report) {
+    check_pinned_modules(files, VIEW_MODULES, "view", "VIEW_MODULES", report);
+}
+
+/// Shared engine for checks 5 and 6: each pinned module must exist, must
+/// not name an unordered blocking primitive outside comments, and must show
+/// evidence of the checked regime (`hvac_sync` or `std::sync::atomic`).
+fn check_pinned_modules(
+    files: &[SourceFile],
+    modules: &[&str],
+    label: &str,
+    list_name: &str,
+    report: &mut Report,
+) {
+    for module in modules {
         let Some(file) = files.iter().find(|f| f.rel_path == Path::new(module)) else {
             report.errors.push(Violation {
                 path: PathBuf::from(module),
                 line: 0,
-                message: "stripe module is missing; if it was renamed, update \
-                          STRIPE_MODULES in tools/tidy so the hvac-sync-only \
-                          rule follows it"
-                    .into(),
+                message: format!(
+                    "{label} module is missing; if it was renamed, update \
+                     {list_name} in tools/tidy so the hvac-sync-only \
+                     rule follows it"
+                ),
             });
             continue;
         };
@@ -223,9 +259,10 @@ fn check_stripe_modules(files: &[SourceFile], report: &mut Report) {
                 report.errors.push(Violation {
                     path: file.rel_path.clone(),
                     line: idx,
-                    message: "unordered blocking primitive in a stripe module; \
-                              use hvac_sync ordered locks or std atomics"
-                        .into(),
+                    message: format!(
+                        "unordered blocking primitive in a {label} module; \
+                         use hvac_sync ordered locks or std atomics"
+                    ),
                 });
             }
         }
@@ -235,10 +272,11 @@ fn check_stripe_modules(files: &[SourceFile], report: &mut Report) {
             report.errors.push(Violation {
                 path: file.rel_path.clone(),
                 line: 0,
-                message: "stripe module shows no hvac_sync or std::sync::atomic \
-                          usage; striped state must be guarded by lock-order \
-                          checked primitives"
-                    .into(),
+                message: format!(
+                    "{label} module shows no hvac_sync or std::sync::atomic \
+                     usage; its state must be guarded by lock-order \
+                     checked primitives"
+                ),
             });
         }
     }
@@ -500,6 +538,62 @@ mod tests {
         ];
         let mut report = Report::default();
         check_stripe_modules(&files, &mut report);
+        assert_eq!(report.errors.len(), 1);
+        assert!(report.errors[0].message.contains("no hvac_sync"));
+    }
+
+    #[test]
+    fn view_modules_must_exist_and_stay_hvac_sync_only() {
+        // Both modules absent: two missing-module errors naming VIEW_MODULES.
+        let mut report = Report::default();
+        check_view_modules(&[], &mut report);
+        assert_eq!(report.errors.len(), 2);
+        assert!(report.errors[0].message.contains("VIEW_MODULES"));
+
+        // hvac_sync in one and bare std::sync::atomic in the other are both
+        // accepted evidence (the rebalancer uses only atomics).
+        let files = vec![
+            file(
+                "crates/hvac-core/src/view.rs",
+                "//! doc\nuse hvac_sync::OrderedRwLock;\n",
+            ),
+            file(
+                "crates/hvac-core/src/rebalance.rs",
+                "//! doc\nuse std::sync::atomic::Ordering;\n",
+            ),
+        ];
+        let mut report = Report::default();
+        check_view_modules(&files, &mut report);
+        assert!(report.is_clean(), "{:?}", report.errors);
+
+        // A OnceLock in a view module is flagged; in comments it is not.
+        let files = vec![
+            file(
+                "crates/hvac-core/src/view.rs",
+                "//! doc\nuse hvac_sync::OrderedRwLock;\n\
+                 use std::sync::OnceLock;\n// OnceLock in a comment is fine\n",
+            ),
+            file(
+                "crates/hvac-core/src/rebalance.rs",
+                "//! doc\nuse std::sync::atomic::Ordering;\n",
+            ),
+        ];
+        let mut report = Report::default();
+        check_view_modules(&files, &mut report);
+        assert_eq!(report.errors.len(), 1);
+        assert_eq!(report.errors[0].line, 3);
+        assert!(report.errors[0].message.contains("view module"));
+
+        // No evidence of the checked regime is flagged.
+        let files = vec![
+            file("crates/hvac-core/src/view.rs", "//! doc\nfn f() {}\n"),
+            file(
+                "crates/hvac-core/src/rebalance.rs",
+                "//! doc\nuse std::sync::atomic::Ordering;\n",
+            ),
+        ];
+        let mut report = Report::default();
+        check_view_modules(&files, &mut report);
         assert_eq!(report.errors.len(), 1);
         assert!(report.errors[0].message.contains("no hvac_sync"));
     }
