@@ -72,6 +72,7 @@ impl CacheManager {
         // concurrent inserts, so capacity race retries are bounded.
         loop {
             match self.store.insert(path, data.clone()) {
+                // lockgraph: acquires STORE_SHARD
                 Ok(()) => {
                     policy.on_insert(path);
                     return Ok(outcome);
@@ -86,7 +87,7 @@ impl CacheManager {
                         policy.on_remove(&victim);
                         continue;
                     }
-                    self.store.remove(&victim);
+                    self.store.remove(&victim); // lockgraph: acquires STORE_SHARD
                     policy.on_remove(&victim);
                     self.evictions.fetch_add(1, Ordering::Relaxed);
                     outcome.evicted.push(victim);
@@ -131,9 +132,10 @@ impl CacheManager {
     pub fn purge(&self) {
         let mut policy = self.policy.lock();
         for p in self.store.resident_paths() {
+            // lockgraph: acquires STORE_SHARD
             policy.on_remove(&p);
         }
-        self.store.purge();
+        self.store.purge(); // lockgraph: acquires STORE_SHARD
     }
 
     /// Files currently resident.

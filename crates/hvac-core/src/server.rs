@@ -105,7 +105,7 @@ impl InflightTable {
     /// Whether no copy is in flight anywhere (stripes inspected one at a
     /// time; the answer is advisory, which is all drain polling needs).
     fn is_empty(&self) -> bool {
-        self.stripes.iter().all(|s| s.lock().is_empty())
+        self.stripes.iter().all(|stripe| stripe.lock().is_empty())
     }
 }
 
@@ -113,6 +113,7 @@ impl InflightTable {
 /// dedup table.
 struct DataMover {
     queue_tx: Sender<CopyJob>,
+    // lockgraph: inflight -> SERVER_INFLIGHT_STRIPE
     inflight: Arc<InflightTable>,
     threads: OrderedMutex<Vec<JoinHandle<()>>>,
 }
@@ -193,6 +194,7 @@ impl DataMover {
         }
         let idx = self.inflight.stripe_of(path);
         let mut inflight = self.inflight.lock(idx, metrics);
+        // lockgraph: acquires STORE_SHARD
         if cache.contains(path) || inflight.contains_key(path) {
             return false;
         }
@@ -226,6 +228,7 @@ impl DataMover {
         {
             let mut inflight = self.inflight.lock(idx, metrics);
             // Re-check under the lock: the mover may have just finished.
+            // lockgraph: acquires STORE_SHARD
             if cache.contains(key) {
                 metrics.stripe_hit(idx);
                 return Ok(true);

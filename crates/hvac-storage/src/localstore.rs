@@ -281,7 +281,7 @@ impl LocalStore {
 
     /// Number of resident files.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.read().len()).sum()
+        self.shards.iter().map(|shard| shard.read().len()).sum()
     }
 
     /// Whether the store is empty.

@@ -3,14 +3,17 @@
 //! The hierarchy, outermost first, is:
 //!
 //! ```text
-//! rebalancer  →  view  →  fabric  →  server  →  cache  →  store
+//! rebalancer  →  view  →  fabric  →  server  →  cache  →  store  →  device
 //! ```
 //!
 //! A thread may acquire classes left-to-right along this chain (skipping
 //! levels is fine) but never right-to-left. Leaf classes — `CLIENT_FDS`,
-//! `AGENT_FDS`, `FABRIC_THREADS`, `SERVER_THREADS` — are not expected to
-//! nest inside anything below them. The debug-build order checker in this
-//! crate turns any violation into an immediate panic naming the pair.
+//! `CLIENT_HEALTH`, `AGENT_FDS`, `FABRIC_THREADS`, `SERVER_THREADS`,
+//! `HASH_RINGS` — are never held while acquiring any other class. The
+//! debug-build order checker in this crate turns any violation into an
+//! immediate panic naming the pair, and the static verifier in
+//! `tools/tidy` (`cargo run -p tidy -- lockgraph`) checks the same
+//! [`HIERARCHY`] table against the source tree without running anything.
 
 /// Rebalancer worker handle (`hvac-core::rebalance`). Outermost of all:
 /// held only to spawn/join the migration worker, never while that worker's
@@ -73,3 +76,142 @@ pub const AGENT_FDS: &str = "preload.agent.fds";
 /// Memoized consistent-hash rings (`hvac-hash::placement`). Leaf: held
 /// only while building/cloning a ring, with no other HVAC lock in scope.
 pub const HASH_RINGS: &str = "hash.placement.rings";
+
+/// The lock hierarchy as data: levels ordered outermost-first, each level
+/// listing the classes that live at it. A thread holding a class at level
+/// `i` may acquire a class at level `j` only if `i < j` (strictly inward;
+/// classes at the same level never nest — stripes and shards are
+/// interchangeable, so same-class re-entry is already a runtime error).
+///
+/// This table is the single source of truth consumed by both enforcement
+/// sides: the debug-build runtime checker validates observed acquisitions
+/// against it, and `tools/tidy`'s lockgraph pass validates the static
+/// acquisition edges extracted from source. Extending the hierarchy means
+/// adding the new `pub const` above *and* placing it in exactly one level
+/// here (or in [`LEAVES`]); the `hierarchy_covers_every_class` test and
+/// the tidy pass both fail on a class left unplaced.
+pub const HIERARCHY: &[(&str, &[&str])] = &[
+    ("rebalancer", &[REBALANCER]),
+    ("view", &[VIEW]),
+    ("fabric", &[FABRIC_ENDPOINTS, FABRIC_FAULTS]),
+    ("server", &[SERVER_INFLIGHT_STRIPE]),
+    ("cache", &[CACHE_POLICY]),
+    ("store", &[STORE_SHARD, PFS_FILES]),
+    ("device", &[STORE_DEVICE_QUEUE]),
+];
+
+/// Classes that never participate in nesting at all: acquired and released
+/// with no other HVAC lock held on the thread, in either direction. Any
+/// static or observed edge touching a leaf is a hierarchy violation.
+pub const LEAVES: &[&str] = &[
+    CLIENT_FDS,
+    CLIENT_HEALTH,
+    AGENT_FDS,
+    FABRIC_THREADS,
+    SERVER_THREADS,
+    HASH_RINGS,
+];
+
+/// Every canonical class label, in declaration order: the leveled chain
+/// from [`HIERARCHY`] followed by [`LEAVES`].
+pub fn all() -> Vec<&'static str> {
+    HIERARCHY
+        .iter()
+        .flat_map(|(_, classes)| classes.iter().copied())
+        .chain(LEAVES.iter().copied())
+        .collect()
+}
+
+/// Level index of `class` in [`HIERARCHY`] (0 = outermost), or `None` for
+/// leaves and unknown labels.
+pub fn level_of(class: &str) -> Option<usize> {
+    HIERARCHY
+        .iter()
+        .position(|(_, classes)| classes.contains(&class))
+}
+
+/// Whether `outer` may be held while acquiring `inner` under the declared
+/// hierarchy: both must be leveled (leaves never nest) and the levels must
+/// be strictly increasing.
+pub fn edge_allowed(outer: &str, inner: &str) -> bool {
+    match (level_of(outer), level_of(inner)) {
+        (Some(o), Some(i)) => o < i,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    /// The full list of `pub const` labels above, kept in one place so the
+    /// coverage test fails loudly when a new const is added without a
+    /// hierarchy placement.
+    const DECLARED: &[&str] = &[
+        REBALANCER,
+        VIEW,
+        FABRIC_ENDPOINTS,
+        FABRIC_THREADS,
+        FABRIC_FAULTS,
+        CLIENT_HEALTH,
+        SERVER_INFLIGHT_STRIPE,
+        SERVER_THREADS,
+        CACHE_POLICY,
+        STORE_SHARD,
+        STORE_DEVICE_QUEUE,
+        PFS_FILES,
+        CLIENT_FDS,
+        AGENT_FDS,
+        HASH_RINGS,
+    ];
+
+    #[test]
+    fn labels_unique_and_non_empty() {
+        let mut seen = BTreeSet::new();
+        for label in DECLARED {
+            assert!(!label.is_empty(), "empty class label");
+            assert!(
+                !label.starts_with("test.") && !label.starts_with("example."),
+                "canonical class {label} uses a reserved prefix"
+            );
+            assert!(seen.insert(*label), "duplicate class label {label}");
+        }
+    }
+
+    #[test]
+    fn hierarchy_covers_every_class() {
+        let placed: BTreeSet<&str> = all().into_iter().collect();
+        for label in DECLARED {
+            assert!(
+                placed.contains(label),
+                "class {label} is neither leveled in HIERARCHY nor listed in LEAVES"
+            );
+            let leveled = level_of(label).is_some();
+            let leaf = LEAVES.contains(label);
+            assert!(
+                leveled ^ leaf,
+                "class {label} must be in exactly one of HIERARCHY and LEAVES"
+            );
+        }
+        assert_eq!(
+            placed.len(),
+            DECLARED.len(),
+            "HIERARCHY/LEAVES mention a label not declared as a pub const"
+        );
+    }
+
+    #[test]
+    fn edge_rule_is_strictly_inward() {
+        assert!(edge_allowed(VIEW, STORE_SHARD));
+        assert!(edge_allowed(SERVER_INFLIGHT_STRIPE, CACHE_POLICY));
+        assert!(edge_allowed(CACHE_POLICY, STORE_SHARD));
+        assert!(!edge_allowed(STORE_SHARD, CACHE_POLICY));
+        assert!(!edge_allowed(STORE_SHARD, STORE_SHARD));
+        // Same level never nests.
+        assert!(!edge_allowed(STORE_SHARD, PFS_FILES));
+        // Leaves never nest in either direction.
+        assert!(!edge_allowed(CLIENT_FDS, STORE_SHARD));
+        assert!(!edge_allowed(VIEW, CLIENT_FDS));
+    }
+}

@@ -16,8 +16,9 @@
 //!    compiles away and the wrappers are passthroughs.
 //!
 //! The canonical class hierarchy for this workspace (outermost first) is
-//! `rebalancer → view → fabric → server → cache → store`; the class constants in [`classes`]
-//! document it. See DESIGN.md §"Concurrency invariants & lock hierarchy".
+//! `rebalancer → view → fabric → server → cache → store → device`; the
+//! [`classes::HIERARCHY`] table is the machine-readable source of truth.
+//! See DESIGN.md §"Concurrency invariants & lock hierarchy".
 //!
 //! ```
 //! use hvac_sync::OrderedMutex;
@@ -51,6 +52,38 @@ impl AcquireToken {
     }
 }
 
+/// Dump every `outer → inner` class-acquisition edge this process has
+/// observed so far, sorted. Debug builds only report real data; in release
+/// builds tracking is compiled out and the dump is always empty.
+///
+/// This is the runtime half of the lock-graph conformance check (see
+/// DESIGN.md §"Static lock-graph verification"): a workload runs, the
+/// observed edges are dumped, and the test asserts they are a subset of
+/// the static edge set `cargo run -p tidy -- lockgraph` extracts from
+/// source — any observed-but-not-static edge means the static model (or an
+/// annotation) is stale.
+///
+/// ```
+/// use hvac_sync::OrderedMutex;
+/// let outer = OrderedMutex::new("example.dump.outer", ());
+/// let inner = OrderedMutex::new("example.dump.inner", ());
+/// let _o = outer.lock();
+/// let _i = inner.lock();
+/// # #[cfg(debug_assertions)]
+/// assert!(hvac_sync::dump_observed_edges()
+///     .contains(&("example.dump.outer", "example.dump.inner")));
+/// ```
+#[cfg(debug_assertions)]
+pub fn dump_observed_edges() -> Vec<(&'static str, &'static str)> {
+    order::observed_edges()
+}
+
+/// Release builds compile the tracker out; the dump is always empty.
+#[cfg(not(debug_assertions))]
+pub fn dump_observed_edges() -> Vec<(&'static str, &'static str)> {
+    Vec::new()
+}
+
 /// A mutex whose acquisitions are checked against the global lock-order
 /// graph in debug builds and which recovers from poisoning in all builds.
 pub struct OrderedMutex<T: ?Sized> {
@@ -61,9 +94,12 @@ pub struct OrderedMutex<T: ?Sized> {
 impl<T> OrderedMutex<T> {
     /// Wrap `value` under the lock-order class `class`.
     ///
-    /// `class` names the lock's position in the hierarchy (e.g.
-    /// `"core.server.inflight"`), not the individual instance: all locks of
-    /// one class are interchangeable for ordering purposes.
+    /// `class` names the lock's position in the hierarchy, not the
+    /// individual instance: all locks of one class are interchangeable for
+    /// ordering purposes. First-party code must pass a [`classes`]
+    /// constant (the tidy lockgraph lint enforces this); tests and doc
+    /// examples use ad-hoc labels under the `test.` / `example.` prefixes,
+    /// e.g. `"example.counter"`.
     pub fn new(class: &'static str, value: T) -> Self {
         Self {
             class,

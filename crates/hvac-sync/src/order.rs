@@ -67,6 +67,21 @@ fn add_edge_checked(held: &'static str, acquiring: &'static str) {
     g.entry(held).or_default().insert(acquiring);
 }
 
+/// Snapshot of every `held → acquiring` edge the process has observed so
+/// far, sorted for stable output. This is the runtime half of the
+/// lock-graph conformance check: tests drive a workload, dump the edges,
+/// and assert they are a subset of the static graph extracted by
+/// `tools/tidy`'s lockgraph pass.
+pub(crate) fn observed_edges() -> Vec<(&'static str, &'static str)> {
+    let g = graph().lock().unwrap_or_else(|p| p.into_inner());
+    let mut edges: Vec<(&'static str, &'static str)> = g
+        .iter()
+        .flat_map(|(&from, tos)| tos.iter().map(move |&to| (from, to)))
+        .collect();
+    edges.sort_unstable();
+    edges
+}
+
 /// RAII record of one acquisition on this thread.
 #[derive(Debug)]
 pub(crate) struct AcquireToken {

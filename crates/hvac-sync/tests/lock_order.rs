@@ -15,8 +15,8 @@ use std::sync::Arc;
 #[test]
 #[cfg(debug_assertions)]
 fn inverted_pair_across_threads_is_detected() {
-    let a = Arc::new(OrderedMutex::new("it.inv.a", ()));
-    let b = Arc::new(OrderedMutex::new("it.inv.b", ()));
+    let a = Arc::new(OrderedMutex::new("test.it.inv.a", ()));
+    let b = Arc::new(OrderedMutex::new("test.it.inv.b", ()));
 
     // Establish a → b on one thread.
     {
@@ -41,16 +41,16 @@ fn inverted_pair_across_threads_is_detected() {
             .map(|s| s.to_string())
             .unwrap_or_default()
     });
-    assert!(msg.contains("it.inv.a"), "panic names class a: {msg}");
-    assert!(msg.contains("it.inv.b"), "panic names class b: {msg}");
+    assert!(msg.contains("test.it.inv.a"), "panic names class a: {msg}");
+    assert!(msg.contains("test.it.inv.b"), "panic names class b: {msg}");
 }
 
 /// RwLock read acquisitions participate in ordering exactly like writes.
 #[test]
 #[cfg(debug_assertions)]
 fn rwlock_reads_participate_in_cycle_detection() {
-    let a = Arc::new(OrderedRwLock::new("it.rwinv.a", ()));
-    let b = Arc::new(OrderedMutex::new("it.rwinv.b", ()));
+    let a = Arc::new(OrderedRwLock::new("test.it.rwinv.a", ()));
+    let b = Arc::new(OrderedMutex::new("test.it.rwinv.b", ()));
     {
         let (a, b) = (a.clone(), b.clone());
         std::thread::spawn(move || {
@@ -76,8 +76,8 @@ fn rwlock_reads_participate_in_cycle_detection() {
 /// ones — keep working.
 #[test]
 fn poison_recovery_keeps_ordered_nesting_usable() {
-    let outer = Arc::new(OrderedMutex::new("it.poison.outer", 0u32));
-    let inner = Arc::new(OrderedMutex::new("it.poison.inner", 0u32));
+    let outer = Arc::new(OrderedMutex::new("test.it.poison.outer", 0u32));
+    let inner = Arc::new(OrderedMutex::new("test.it.poison.inner", 0u32));
     let (o, i) = (outer.clone(), inner.clone());
     let _ = std::thread::spawn(move || {
         let _go = o.lock();
@@ -94,14 +94,14 @@ fn poison_recovery_keeps_ordered_nesting_usable() {
 }
 
 const PROP_CLASSES: [&str; 8] = [
-    "it.prop.l0",
-    "it.prop.l1",
-    "it.prop.l2",
-    "it.prop.l3",
-    "it.prop.l4",
-    "it.prop.l5",
-    "it.prop.l6",
-    "it.prop.l7",
+    "test.it.prop.l0",
+    "test.it.prop.l1",
+    "test.it.prop.l2",
+    "test.it.prop.l3",
+    "test.it.prop.l4",
+    "test.it.prop.l5",
+    "test.it.prop.l6",
+    "test.it.prop.l7",
 ];
 
 proptest! {

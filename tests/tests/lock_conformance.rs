@@ -1,0 +1,170 @@
+//! Lock-order conformance: observed ⊆ static ⊆ declared hierarchy.
+//!
+//! Drives a real cluster workload — byte-exact reads under delay/drop
+//! faults (cache misses, inflight coalescing, evictions), then membership
+//! churn with online rebalancing — and compares three lock graphs:
+//!
+//! 1. **Observed**: the class-acquisition edges the hvac-sync debug
+//!    tracker actually recorded while the workload ran
+//!    ([`hvac_sync::dump_observed_edges`]).
+//! 2. **Static**: the edges tidy's lockgraph scanner extracts from the
+//!    workspace sources ([`tidy::lockgraph::analyze_workspace`]).
+//! 3. **Declared**: [`hvac_sync::classes::HIERARCHY`].
+//!
+//! Every observed edge must be statically predicted (otherwise the
+//! scanner has a blind spot — fix an annotation, not this test), and the
+//! static graph must be hierarchy-clean. Coverage (fraction of static
+//! edges the workload exercised) is printed, written to
+//! `target/lockgraph/conformance.txt` for CI to archive, and ratcheted
+//! against `[lockgraph] min-edge-coverage-pct` in tools/tidy/ratchet.toml.
+
+#![cfg(debug_assertions)] // the runtime order tracker only records in debug builds
+
+use hvac_core::cluster::{Cluster, ClusterOptions};
+use hvac_net::FaultSpec;
+use hvac_pfs::MemStore;
+use hvac_sync::classes;
+use hvac_types::{NodeId, PlacementKind};
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+const NODES: u32 = 3;
+const CLIENTS_PER_NODE: u32 = 2;
+const RANKS: usize = (NODES * CLIENTS_PER_NODE) as usize;
+const N_FILES: u64 = 32;
+const FILE_SIZE: usize = 256;
+
+fn sample(i: u64) -> PathBuf {
+    PathBuf::from(format!("/gpfs/train/sample_{i:08}.bin"))
+}
+
+/// One pass over the dataset from every rank, all ranks in parallel.
+fn epoch_pass(clients: &[Arc<hvac_core::HvacClient>]) {
+    let joins: Vec<_> = clients
+        .iter()
+        .enumerate()
+        .map(|(rank, client)| {
+            let client = client.clone();
+            std::thread::spawn(move || {
+                for i in 0..N_FILES {
+                    let shifted = (i + rank as u64) % N_FILES;
+                    let data = client
+                        .read_file(&sample(shifted))
+                        .unwrap_or_else(|e| panic!("rank {rank} file {shifted}: {e}"));
+                    assert_eq!(data, MemStore::sample_content(shifted, FILE_SIZE));
+                }
+            })
+        })
+        .collect();
+    for j in joins {
+        j.join().unwrap();
+    }
+}
+
+#[test]
+fn observed_edges_are_statically_predicted_and_hierarchy_clean() {
+    // --- Drive the workload: faulted reads, then churn + rebalance. ---
+    let pfs = Arc::new(MemStore::new());
+    pfs.synthesize_dataset(Path::new("/gpfs/train"), N_FILES, |_| FILE_SIZE);
+    let mut cluster = Cluster::new(
+        pfs,
+        ClusterOptions::new(NODES, 2)
+            .dataset_dir("/gpfs/train")
+            .clients_per_node(CLIENTS_PER_NODE)
+            .placement(PlacementKind::Ring),
+    )
+    .unwrap();
+    for (i, addr) in cluster.fabric().endpoint_names().into_iter().enumerate() {
+        cluster.fabric().fault_injector().set(
+            &addr,
+            FaultSpec {
+                delay_prob: 0.2,
+                delay: Duration::from_millis(1),
+                seed: 0x10C_C0DE ^ i as u64,
+                ..FaultSpec::default()
+            },
+        );
+    }
+    let clients: Vec<_> = (0..RANKS).map(|r| cluster.client(r).clone()).collect();
+    epoch_pass(&clients); // cold: misses, inflight coalescing, inserts
+    epoch_pass(&clients); // warm: hits
+    cluster.remove_node(NodeId(1)).unwrap();
+    cluster.wait_rebalance().expect("leave rebalance");
+    cluster.add_node().unwrap();
+    cluster.wait_rebalance().expect("join rebalance");
+    epoch_pass(&clients);
+    drop(cluster);
+
+    // --- Observed: runtime edges between canonical classes only (unit
+    // tests elsewhere in this process would use test.* labels). ---
+    let canonical: BTreeSet<&str> = classes::all().into_iter().collect();
+    let observed: BTreeSet<(String, String)> = hvac_sync::dump_observed_edges()
+        .into_iter()
+        .filter(|(a, b)| canonical.contains(a) && canonical.contains(b))
+        .map(|(a, b)| (a.to_string(), b.to_string()))
+        .collect();
+    assert!(
+        !observed.is_empty(),
+        "workload recorded no nested acquisitions; the tracker or the workload is broken"
+    );
+
+    // --- Static: scan the live workspace sources. ---
+    let root = tidy::workspace_root();
+    let analysis = tidy::lockgraph::analyze_workspace(&root);
+    assert!(
+        analysis.violations.is_empty(),
+        "static lock graph must be hierarchy-clean: {:?}",
+        analysis.violations
+    );
+    let static_edges = analysis.edge_pairs();
+    for (outer, inner) in &static_edges {
+        assert!(
+            classes::edge_allowed(outer, inner),
+            "static edge {outer} -> {inner} contradicts classes::HIERARCHY"
+        );
+    }
+
+    // --- Conformance: observed ⊆ static, with coverage ratchet. ---
+    let unpredicted: Vec<_> = observed.difference(&static_edges).collect();
+    assert!(
+        unpredicted.is_empty(),
+        "runtime observed edges the static scanner missed (add a \
+         `// lockgraph: acquires <CONST>` annotation at the call site): \
+         {unpredicted:?}"
+    );
+    let exercised = static_edges.intersection(&observed).count();
+    let coverage_pct = 100 * exercised / static_edges.len().max(1);
+
+    let mut report = String::new();
+    report.push_str(&format!(
+        "lockgraph conformance: {exercised}/{} static edges observed ({coverage_pct}%)\n",
+        static_edges.len()
+    ));
+    for (outer, inner) in &static_edges {
+        let mark = if observed.contains(&(outer.clone(), inner.clone())) {
+            "observed"
+        } else {
+            "unexercised"
+        };
+        report.push_str(&format!("  {outer} -> {inner}: {mark}\n"));
+    }
+    print!("{report}");
+    let artifact_dir = root.join("target/lockgraph");
+    std::fs::create_dir_all(&artifact_dir).expect("create target/lockgraph");
+    std::fs::write(artifact_dir.join("conformance.txt"), &report).expect("write report");
+
+    let ratchet = tidy::Ratchet::load(&root.join("tools/tidy/ratchet.toml")).expect("ratchet");
+    let floor = ratchet
+        .lockgraph_floors
+        .get("min-edge-coverage-pct")
+        .copied()
+        .unwrap_or(0);
+    assert!(
+        coverage_pct >= floor,
+        "static-edge coverage {coverage_pct}% fell below the ratchet floor {floor}% \
+         (tools/tidy/ratchet.toml [lockgraph]); the workload stopped exercising a \
+         known nesting"
+    );
+}

@@ -29,6 +29,12 @@
 //!    to the same regime as check 5: `hvac_sync` ordered primitives or
 //!    `std::sync::atomic` only, with the unordered blocking primitives
 //!    banned and the file list pinned against renames.
+//! 7. **Static lock-graph verification** — see [`lockgraph`]: every lock
+//!    constructor must name a `hvac_sync::classes` constant, guard live
+//!    ranges are tracked to extract the static class-acquisition edge set
+//!    (checked against `classes::HIERARCHY`), and guards held across
+//!    blocking boundaries (RPC, recv, join, spawn, sleep) are rejected.
+//!    `cargo run -p tidy -- lockgraph` dumps the graph.
 //!
 //! The library form exists so the tier-1 suite can run the exact same
 //! checks in-process (`tidy::check_workspace`) without shelling out.
@@ -37,9 +43,10 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
 
+pub mod lockgraph;
 pub mod ratchet;
 
-mod scan;
+pub mod scan;
 
 pub use ratchet::Ratchet;
 pub use scan::{non_test_lines, SourceFile};
@@ -109,11 +116,14 @@ pub fn check_workspace_with(root: &Path, ratchet: &Ratchet) -> Report {
     check_marker_macros(&files, &mut report);
     check_module_docs(&files, &mut report);
     check_unwrap_ratchet(&files, ratchet, &mut report);
+    report.errors.extend(lockgraph::analyze(&files).violations);
     report
 }
 
 /// Gather all first-party `.rs` files, with contents, workspace-relative.
-fn collect_sources(root: &Path) -> Vec<SourceFile> {
+/// Skips `target/` and `vendor/` trees at any depth so generated and
+/// vendored code never reaches a check.
+pub fn collect_sources(root: &Path) -> Vec<SourceFile> {
     let mut files = Vec::new();
     for dir in SOURCE_ROOTS {
         walk(root, &root.join(dir), &mut files);
@@ -132,7 +142,7 @@ fn walk(root: &Path, dir: &Path, out: &mut Vec<SourceFile>) {
         let name = entry.file_name();
         let name = name.to_string_lossy();
         if path.is_dir() {
-            if name == "target" || name.starts_with('.') {
+            if name == "target" || name == "vendor" || name.starts_with('.') {
                 continue;
             }
             walk(root, &path, out);
@@ -658,5 +668,34 @@ mod tests {
         let mut report = Report::default();
         check_unwrap_ratchet(&files, &ratchet, &mut report);
         assert!(report.is_clean());
+    }
+
+    #[test]
+    fn collect_sources_skips_target_and_vendor() {
+        // Build a throwaway workspace shape on disk: one real source plus
+        // decoys under target/ and vendor/ at different depths.
+        let root = std::env::temp_dir().join(format!("tidy-skip-test-{}", std::process::id()));
+        let mk = |rel: &str, text: &str| {
+            let p = root.join(rel);
+            std::fs::create_dir_all(p.parent().expect("parent")).expect("mkdir");
+            std::fs::write(p, text).expect("write");
+        };
+        mk("crates/hvac-x/src/lib.rs", "//! doc\n");
+        mk("crates/hvac-x/target/debug/gen.rs", "fn generated() {}\n");
+        mk("crates/vendor/proptest/src/lib.rs", "fn vendored() {}\n");
+        mk("tools/t/src/main.rs", "//! doc\nfn main() {}\n");
+        mk("tools/t/vendor/dep.rs", "fn vendored() {}\n");
+        mk("target/release/build/out.rs", "fn generated() {}\n");
+        let files = collect_sources(&root);
+        let paths: Vec<_> = files
+            .iter()
+            .map(|f| f.rel_path.to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(
+            paths,
+            vec!["crates/hvac-x/src/lib.rs", "tools/t/src/main.rs"],
+            "target/ and vendor/ trees must never reach a check"
+        );
+        std::fs::remove_dir_all(&root).expect("cleanup");
     }
 }

@@ -1,9 +1,27 @@
 //! `cargo run -p tidy` — run the repo lints and exit non-zero on failure.
+//!
+//! `cargo run -p tidy -- lockgraph` dumps the static lock graph (declared
+//! hierarchy, per-class acquisition sites, extracted edges with witness
+//! file:line pairs) and exits non-zero if the lockgraph pass found
+//! violations. CI archives this dump next to the runtime-coverage report.
 
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let root = tidy::workspace_root();
+    if std::env::args().nth(1).as_deref() == Some("lockgraph") {
+        let analysis = tidy::lockgraph::analyze_workspace(&root);
+        print!("{}", tidy::lockgraph::render(&analysis));
+        return if analysis.violations.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            for v in &analysis.violations {
+                eprintln!("tidy error: {v}");
+            }
+            eprintln!("tidy: {} lockgraph error(s)", analysis.violations.len());
+            ExitCode::FAILURE
+        };
+    }
     let report = match tidy::check_workspace(&root) {
         Ok(r) => r,
         Err(e) => {

@@ -1,8 +1,9 @@
 //! Ratchet storage: per-crate caps that may only decrease over time.
 //!
-//! The on-disk format is a two-section TOML subset parsed by hand (tidy
-//! takes no dependencies): `[unwrap]` and `[expect]` tables of
-//! `crate-name = count` lines, `#` comments allowed.
+//! The on-disk format is a TOML subset parsed by hand (tidy takes no
+//! dependencies): `[unwrap]` and `[expect]` tables of
+//! `crate-name = count` lines, a `[lockgraph]` table of coverage floors,
+//! `#` comments allowed.
 
 use std::collections::BTreeMap;
 use std::path::Path;
@@ -14,6 +15,10 @@ pub struct Ratchet {
     pub unwrap_caps: BTreeMap<String, usize>,
     /// Max `.expect(` calls allowed per crate in non-test code.
     pub expect_caps: BTreeMap<String, usize>,
+    /// Lockgraph floors (may only increase): `min-edge-coverage-pct` is
+    /// the minimum percentage of static edges the conformance workload
+    /// must observe at runtime.
+    pub lockgraph_floors: BTreeMap<String, usize>,
 }
 
 impl Ratchet {
@@ -54,6 +59,9 @@ impl Ratchet {
                 "expect" => {
                     ratchet.expect_caps.insert(key, value);
                 }
+                "lockgraph" => {
+                    ratchet.lockgraph_floors.insert(key, value);
+                }
                 _ => {}
             }
         }
@@ -68,11 +76,13 @@ mod tests {
     #[test]
     fn parses_sections_and_comments() {
         let r = Ratchet::parse(
-            "# caps\n[unwrap]\nhvac-core = 3 # shrinking\n\"hvac-net\" = 0\n\n[expect]\nhvac-core = 1\n",
+            "# caps\n[unwrap]\nhvac-core = 3 # shrinking\n\"hvac-net\" = 0\n\n[expect]\nhvac-core = 1\n\
+             \n[lockgraph]\nmin-edge-coverage-pct = 100\n",
         );
         assert_eq!(r.unwrap_caps["hvac-core"], 3);
         assert_eq!(r.unwrap_caps["hvac-net"], 0);
         assert_eq!(r.expect_caps["hvac-core"], 1);
+        assert_eq!(r.lockgraph_floors["min-edge-coverage-pct"], 100);
     }
 
     #[test]
