@@ -102,6 +102,11 @@ struct OpenFile {
 struct ReplicaHealth {
     consecutive_failures: u32,
     open_until: Option<Instant>,
+    /// When this replica's breaker last tripped. Kept after the breaker
+    /// closes again: when *every* replica of a call is open, the ladder
+    /// force-probes the least-recently-tripped replica (the one that has
+    /// been cooling the longest, hence the most likely to have recovered).
+    tripped_at: Option<Instant>,
 }
 
 /// How many stale-view redirects one logical RPC will chase before giving
@@ -265,7 +270,9 @@ impl HvacClient {
         let h = health.entry(addr.to_string()).or_default();
         h.consecutive_failures += 1;
         if h.consecutive_failures >= policy.breaker_threshold && h.open_until.is_none() {
-            h.open_until = Some(Instant::now() + policy.breaker_cooldown);
+            let now = Instant::now();
+            h.open_until = Some(now + policy.breaker_cooldown);
+            h.tripped_at = Some(now);
             self.metrics.breaker_trips.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -312,26 +319,119 @@ impl HvacClient {
         }
     }
 
+    /// Race one hedged pair: fire `primary`, and if it has not answered
+    /// within the policy's hedge delay, fire a *single* backup request to
+    /// `backup` and take whichever answers first. Legs are bare one-shot
+    /// calls (no same-replica retries — the sequential ladder owns those);
+    /// health is recorded as each leg's outcome arrives, so a slow leg
+    /// still feeds the breaker. Returns `Some(Ok)` on the first success,
+    /// `Some(Err)` on an answered (fatal) error — the file's real status,
+    /// which hedging must not mask — and `None` when every fired leg
+    /// failed transiently, telling the caller to walk the ordinary ladder.
+    fn call_hedged(&self, primary: &str, backup: &str, encoded: &Bytes) -> Option<Result<Reply>> {
+        let policy = &self.options.retry;
+        let delay = policy.hedge_delay()?;
+        let timeout = policy.rpc_timeout;
+        let (tx, rx) = std::sync::mpsc::channel();
+        let spawn_leg = |addr: &str, is_backup: bool| {
+            let fabric = Arc::clone(&self.fabric);
+            let addr = addr.to_string();
+            let encoded = encoded.clone();
+            let tx = tx.clone();
+            std::thread::spawn(move || {
+                let result = fabric.call_with_deadline(&addr, encoded, timeout);
+                // A closed channel just means the other leg already won.
+                let _ = tx.send((is_backup, addr, result));
+            });
+        };
+        spawn_leg(primary, false);
+        let mut outstanding = 1u32;
+        let mut queue = Vec::new();
+        match rx.recv_timeout(delay) {
+            Ok(msg) => queue.push(msg),
+            Err(_) => {
+                // Primary is past the hedge delay: arm the backup and race.
+                self.metrics.hedges.fetch_add(1, Ordering::Relaxed);
+                spawn_leg(backup, true);
+                outstanding = 2;
+            }
+        }
+        loop {
+            let (is_backup, addr, result) = match queue.pop() {
+                Some(msg) => msg,
+                // Every leg is bounded by the deadline; the slack covers
+                // scheduler noise. A miss here means both legs wedged —
+                // hand the call back to the ladder.
+                None => rx.recv_timeout(timeout + delay).ok()?,
+            };
+            outstanding -= 1;
+            match result {
+                Ok(reply) => {
+                    self.record_success(&addr);
+                    if is_backup {
+                        self.metrics.hedge_wins.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return Some(Ok(reply));
+                }
+                Err(e) if e.is_retriable() => {
+                    if matches!(e, HvacError::RpcTimeout { .. }) {
+                        self.metrics.timeouts.fetch_add(1, Ordering::Relaxed);
+                    }
+                    self.record_failure(&addr);
+                    if outstanding == 0 {
+                        return None;
+                    }
+                }
+                Err(fatal) => {
+                    // An answered error from a live server is real status.
+                    self.record_success(&addr);
+                    return Some(Err(fatal));
+                }
+            }
+        }
+    }
+
     /// Issue one RPC over the replica ladder:
     ///
+    /// 0. with a hedge delay configured ([`RetryPolicy::hedge_delay`]) and
+    ///    at least two closed-breaker replicas, race a delayed backup
+    ///    against the primary ([`Self::call_hedged`]) and take the first
+    ///    success; open breakers are never hedged to, so hedging cannot
+    ///    double the load on a replica that is already tripping,
     /// 1. walk replicas home-first, skipping any whose breaker is open,
     /// 2. each attempted replica gets deadline + retry via
     ///    [`Self::call_one_replica`]; transient failure moves to the next
     ///    replica, a fatal error returns at once (a live server's `ENOENT`
     ///    must not be masked by a replica walk),
-    /// 3. if every attempted replica failed and there is no PFS fallback,
-    ///    probe the breaker-skipped ones after all — a skip is a latency
-    ///    optimization, never grounds for failing a read that a recovered
-    ///    server could still serve; with a fallback armed the caller
-    ///    degrades instead, which is just as correct and far cheaper than
-    ///    waiting out a wedged server's deadline (the half-open probe after
-    ///    `breaker_cooldown` restores cache service),
+    /// 3. if the walk attempted *nothing* — every replica's breaker is
+    ///    open — force-probe the skipped ones, least-recently-tripped
+    ///    first (the replica cooling the longest is the most likely to
+    ///    have recovered). This holds even with a PFS fallback armed
+    ///    (then one probe suffices before degrading): returning
+    ///    `ServerDown` without a single RPC would pin a fully recovered
+    ///    cluster onto the PFS for an entire cooldown. If something *was*
+    ///    attempted and failed, a fallback-armed caller degrades instead,
+    ///    which is just as correct and far cheaper than waiting out a
+    ///    wedged server's deadline; without a fallback, probe them all,
     /// 4. success on any replica other than the home counts as a failover.
     fn call_replicas(&self, addrs: &[String], encoded: &Bytes) -> Result<Reply> {
         if addrs.is_empty() {
             return Err(HvacError::InvalidConfig("empty replica set".into()));
         }
+        if self.options.retry.hedge_delay().is_some() && addrs.len() >= 2 {
+            let live: Vec<&String> = addrs
+                .iter()
+                .filter(|a| !self.breaker_open(a))
+                .take(2)
+                .collect();
+            if live.len() == 2 {
+                if let Some(outcome) = self.call_hedged(live[0], live[1], encoded) {
+                    return outcome;
+                }
+            }
+        }
         let mut skipped = Vec::new();
+        let mut attempted = false;
         let mut last_err = None;
         for addr in addrs {
             if self.breaker_open(addr) {
@@ -339,6 +439,7 @@ impl HvacClient {
                 skipped.push(addr);
                 continue;
             }
+            attempted = true;
             match self.call_one_replica(addr, encoded) {
                 Ok(reply) => {
                     if *addr != addrs[0] {
@@ -350,7 +451,15 @@ impl HvacClient {
                 Err(fatal) => return Err(fatal),
             }
         }
-        if self.pfs_fallback.is_some() {
+        if !attempted && !skipped.is_empty() {
+            {
+                let health = self.health.lock();
+                skipped.sort_by_key(|a| health.get(a.as_str()).and_then(|h| h.tripped_at));
+            }
+            if self.pfs_fallback.is_some() {
+                skipped.truncate(1);
+            }
+        } else if self.pfs_fallback.is_some() {
             skipped.clear();
         }
         for addr in skipped {
@@ -772,8 +881,12 @@ mod tests {
 
     type ServerSet = Vec<(Arc<HvacServer>, hvac_net::fabric::ServerEndpoint)>;
 
-    /// Three-node mini-allocation on one fabric.
-    fn setup2(replication: u32) -> (Arc<MemStore>, Arc<Fabric>, ServerSet, HvacClient) {
+    /// Three-node mini-allocation on one fabric, with a hook to tweak the
+    /// client options before the client is built.
+    fn setup_with(
+        replication: u32,
+        tweak: impl FnOnce(&mut HvacClientOptions),
+    ) -> (Arc<MemStore>, Arc<Fabric>, ServerSet, HvacClient) {
         let pfs = Arc::new(MemStore::new());
         pfs.synthesize_dataset(Path::new("/gpfs/set"), 24, |i| 64 + (i as usize % 5) * 16);
         let fabric = Arc::new(Fabric::new());
@@ -797,8 +910,14 @@ mod tests {
         }
         let mut opts = HvacClientOptions::new("/gpfs/set", 3, 1);
         opts.replication = replication;
+        tweak(&mut opts);
         let client = HvacClient::new(fabric.clone(), opts).unwrap();
         (pfs, fabric, servers, client)
+    }
+
+    /// Three-node mini-allocation with the default retry policy.
+    fn setup2(replication: u32) -> (Arc<MemStore>, Arc<Fabric>, ServerSet, HvacClient) {
+        setup_with(replication, |_| {})
     }
 
     fn sample(i: u32) -> PathBuf {
@@ -1044,6 +1163,85 @@ mod tests {
             s.degraded_reads as usize >= expected.len() / 16,
             "every chunk degraded individually: {s:?}"
         );
+    }
+
+    #[test]
+    fn open_breakers_are_probed_before_degrading_to_pfs() {
+        let (pfs, fabric, _servers, mut client) = setup_with(2, |o| {
+            o.retry.rpc_timeout = Duration::from_millis(50);
+            o.retry.max_attempts = 1;
+            o.retry.breaker_threshold = 2;
+            // Long enough that no half-open probe can rescue the old
+            // behaviour within the test.
+            o.retry.breaker_cooldown = Duration::from_secs(600);
+        });
+        client.set_pfs_fallback(pfs.clone());
+        let p = sample(6);
+        let expected = pfs.read_all(&p).unwrap();
+        let addrs = client.replica_addrs(&p);
+        assert_eq!(addrs.len(), 2);
+        for a in &addrs {
+            fabric.set_down(a, true);
+        }
+        // Trip both breakers; the job keeps running on PFS degradation.
+        for _ in 0..3 {
+            assert_eq!(client.read_file(&p).unwrap(), expected);
+        }
+        let s = client.metrics().full_snapshot();
+        assert!(s.breaker_trips >= 2, "both breakers tripped: {s:?}");
+        assert!(s.degraded_reads >= 1, "{s:?}");
+        let degraded_before = s.degraded_reads;
+        // Both servers recover while the breakers are still mid-cooldown.
+        // The ladder must force-probe a skipped replica instead of
+        // returning `ServerDown` without a single RPC — which would pin a
+        // fully recovered cluster onto the PFS for the whole cooldown.
+        for a in &addrs {
+            fabric.set_down(a, false);
+        }
+        assert_eq!(client.read_file(&p).unwrap(), expected);
+        let s = client.metrics().full_snapshot();
+        assert_eq!(
+            s.degraded_reads, degraded_before,
+            "the probe served the read from cache, not the PFS: {s:?}"
+        );
+    }
+
+    #[test]
+    fn hedged_read_races_a_slow_primary() {
+        let (pfs, fabric, _servers, client) = setup_with(2, |o| {
+            o.retry.rpc_timeout = Duration::from_millis(500);
+            o.retry.hedge_delay_percent = 4; // 20 ms
+        });
+        let p = sample(7);
+        let addrs = client.replica_addrs(&p);
+        assert_eq!(addrs.len(), 2);
+        // Warm pass: both endpoints healthy, no hedge should be needed.
+        let expected = client.read_file(&p).unwrap();
+        assert_eq!(expected, pfs.read_all(&p).unwrap());
+        // The primary now answers, but only after 10x the hedge delay.
+        fabric.fault_injector().set(
+            &addrs[0],
+            hvac_net::FaultSpec {
+                delay_prob: 1.0,
+                delay: Duration::from_millis(200),
+                seed: 0x4ED6,
+                ..hvac_net::FaultSpec::default()
+            },
+        );
+        let t0 = Instant::now();
+        assert_eq!(client.read_file(&p).unwrap(), expected);
+        // read_file is three RPCs (stat, read, close); each hedges after
+        // 20 ms and the backup answers immediately, so the whole thing
+        // finishes far below even one injected 200 ms delay.
+        assert!(
+            t0.elapsed() < Duration::from_millis(150),
+            "backup should win the race: took {:?}",
+            t0.elapsed()
+        );
+        let s = client.metrics().full_snapshot();
+        assert!(s.hedges >= 1, "hedge fired: {s:?}");
+        assert!(s.hedge_wins >= 1, "backup won at least once: {s:?}");
+        assert_eq!(s.degraded_reads, 0, "{s:?}");
     }
 
     #[test]

@@ -20,6 +20,7 @@ use crate::client::{HvacClient, HvacClientOptions};
 use crate::eviction::make_policy;
 use crate::metrics::ServerMetricsSnapshot;
 use crate::rebalance::{rebalance, RebalanceReport, RebalanceSource};
+use crate::repair::{audit_under_replicated, repair, RepairReport, RepairSource};
 use crate::server::{HvacServer, HvacServerOptions};
 use crate::view::ViewHandle;
 use hvac_hash::placement::{make_placement, Placement};
@@ -77,6 +78,11 @@ pub struct ClusterOptions {
     /// migrates files whose home moved. On by default; benchmarks disable
     /// it to measure the cold-restart baseline.
     pub rebalance: bool,
+    /// Whether [`Cluster::restart_node`] kicks a background anti-entropy
+    /// repair pass that re-clones under-replicated entries from surviving
+    /// holders. On by default; benchmarks disable it to measure the
+    /// organic-refault baseline.
+    pub repair: bool,
 }
 
 impl ClusterOptions {
@@ -100,6 +106,7 @@ impl ClusterOptions {
             bulk_chunk: hvac_net::BULK_CHUNK_SIZE,
             bulk_window: hvac_net::DEFAULT_PIPELINE_WINDOW,
             rebalance: true,
+            repair: true,
         }
     }
 
@@ -170,6 +177,12 @@ impl ClusterOptions {
         self
     }
 
+    /// Enable or disable the anti-entropy repair pass on node restarts.
+    pub fn repair(mut self, enabled: bool) -> Self {
+        self.repair = enabled;
+        self
+    }
+
     fn validate(&self) -> Result<()> {
         if self.nodes == 0 || self.instances_per_node == 0 || self.clients_per_node == 0 {
             return Err(HvacError::InvalidConfig(
@@ -220,10 +233,14 @@ pub struct Cluster {
     view: Arc<ViewHandle>,
     /// The same placement algorithm the clients use, for the rebalancer.
     placement: Arc<dyn Placement>,
-    /// The in-flight rebalance pass, if any. The `REBALANCER` class is
-    /// outermost in the lock hierarchy and guards only this spawn/join
-    /// slot — never the migration walk itself.
+    /// The in-flight rebalance pass, if any. The `REBALANCER` class guards
+    /// only this spawn/join slot — never the migration walk itself.
     rebalancer: OrderedMutex<Option<JoinHandle<RebalanceReport>>>,
+    /// The in-flight anti-entropy repair pass, if any. The `REPAIR` class
+    /// is outermost in the lock hierarchy (a repair pass may first need to
+    /// join a still-running rebalance) and guards only this spawn/join
+    /// slot — never the scrub walk itself.
+    repairer: OrderedMutex<Option<JoinHandle<RepairReport>>>,
     options: ClusterOptions,
 }
 
@@ -269,6 +286,7 @@ impl Cluster {
             view,
             placement: Arc::from(make_placement(options.placement)),
             rebalancer: OrderedMutex::new(classes::REBALANCER, None),
+            repairer: OrderedMutex::new(classes::REPAIR, None),
             options,
         })
     }
@@ -407,6 +425,97 @@ impl Cluster {
             Ok(report) => report,
             Err(payload) => std::panic::resume_unwind(payload),
         })
+    }
+
+    /// Crash-stop every server instance on `node`: the endpoints latch
+    /// down, queued copy jobs are disowned (generation bump), every
+    /// in-flight single-flight waiter is errored out, and the node's cache
+    /// is wiped — all before this returns, so there is no window where a
+    /// half-wiped node answers reads. Unlike [`Self::remove_node`] the
+    /// membership does **not** change: the node keeps its view slot and
+    /// its fabric address, exactly like a real machine rebooting.
+    pub fn crash_node(&self, node: u32) -> Result<()> {
+        let slot = self
+            .nodes
+            .iter()
+            .find(|s| s.node == NodeId(node))
+            .ok_or_else(|| HvacError::InvalidConfig(format!("node {node} is not provisioned")))?;
+        for ep in &slot.endpoints {
+            ep.set_down(true);
+        }
+        for server in &slot.servers {
+            server.crash();
+        }
+        Ok(())
+    }
+
+    /// Bring a crashed node back at the same endpoints, **empty**: clients
+    /// see a live server again, but everything it used to hold refaults
+    /// from the PFS on first access. When `options.repair` is on, a
+    /// background anti-entropy pass starts immediately and re-clones the
+    /// node's share of replicated files from surviving holders.
+    pub fn restart_node(&self, node: u32) -> Result<()> {
+        let slot = self
+            .nodes
+            .iter()
+            .find(|s| s.node == NodeId(node))
+            .ok_or_else(|| HvacError::InvalidConfig(format!("node {node} is not provisioned")))?;
+        for ep in &slot.endpoints {
+            ep.set_down(false);
+        }
+        if self.options.repair {
+            self.start_repair();
+        }
+        Ok(())
+    }
+
+    /// The live nodes as repair participants.
+    fn repair_sources(&self) -> Vec<RepairSource> {
+        self.nodes
+            .iter()
+            .map(|slot| RepairSource {
+                node: slot.node,
+                cache: slot.cache.clone(),
+                metrics: slot.servers[0].metrics().clone(),
+            })
+            .collect()
+    }
+
+    /// Kick a background anti-entropy repair pass over the live nodes. Any
+    /// previous repair pass is joined first, and so is any in-flight
+    /// rebalance — repairing mid-migration would double-copy files whose
+    /// home is about to move.
+    pub fn start_repair(&self) {
+        self.wait_repair();
+        self.wait_rebalance();
+        let sources = self.repair_sources();
+        let placement = self.placement.clone();
+        let view = self.view.snapshot();
+        let replication = self.options.replication as usize;
+        let handle =
+            std::thread::spawn(move || repair(&sources, placement.as_ref(), &view, replication));
+        *self.repairer.lock() = Some(handle);
+    }
+
+    /// Join the in-flight repair pass, returning its ledger (or `None` if
+    /// no pass is running).
+    pub fn wait_repair(&self) -> Option<RepairReport> {
+        let handle = self.repairer.lock().take();
+        handle.map(|h| match h.join() {
+            Ok(report) => report,
+            Err(payload) => std::panic::resume_unwind(payload),
+        })
+    }
+
+    /// Audit: expected-but-missing replica copies across the live nodes
+    /// under the current view. Zero means the allocation has converged.
+    pub fn under_replicated_count(&self) -> u64 {
+        audit_under_replicated(
+            &self.repair_sources(),
+            self.placement.as_ref(),
+            &self.view.snapshot(),
+            self.options.replication as usize,
+        )
     }
 
     /// The current membership view.
@@ -562,6 +671,7 @@ impl Cluster {
     /// with `ServerDown` afterwards — with the default `pfs_fallback`,
     /// reads then degrade to direct PFS access instead of erroring.
     pub fn shutdown(&mut self) {
+        self.wait_repair();
         self.wait_rebalance();
         for slot in self.nodes.iter().chain(self.retired.iter()) {
             for ep in &slot.endpoints {
@@ -880,6 +990,94 @@ mod tests {
         assert!(agg.stale_view_redirects > 0, "{agg:?}");
         assert_eq!(agg.migrated_files, report.migrated_files);
         assert_eq!(agg.migrated_bytes, report.migrated_bytes);
+    }
+
+    #[test]
+    fn node_down_mid_rebalance_does_not_wedge_the_pass() {
+        let pfs = dataset_pfs(48, 64);
+        let mut cluster = Cluster::new(
+            pfs,
+            ClusterOptions::new(4, 1)
+                .dataset_dir("/gpfs/train")
+                .placement(PlacementKind::Ring),
+        )
+        .unwrap();
+        for i in 0..48u64 {
+            cluster.client(0).read_file(&sample(i)).unwrap();
+        }
+        let joiner = cluster.add_node().unwrap();
+        // A node dies the instant the migration pass starts. The handoff
+        // is direct cache-to-cache (no RPC through the dead endpoints), so
+        // the join below must return promptly instead of wedging — the
+        // test harness timeout is the failure mode if it regresses.
+        cluster.set_node_down(1, true);
+        let report = cluster.wait_rebalance().expect("a pass ran");
+        assert!(report.migrated_files > 0, "{report:?}");
+        // The ledger still balances: per-server counters equal the report.
+        let agg = cluster.aggregate_metrics();
+        assert_eq!(agg.migrated_files, report.migrated_files, "{agg:?}");
+        assert_eq!(agg.migrated_bytes, report.migrated_bytes, "{agg:?}");
+        // And the dead node coming back does not disturb the result.
+        cluster.set_node_down(1, false);
+        let data = cluster.client(0).read_file(&sample(7)).unwrap();
+        assert_eq!(data, MemStore::sample_content(7, 64));
+        let _ = joiner;
+    }
+
+    #[test]
+    fn crash_restart_and_repair_reconverge_the_allocation() {
+        let pfs = dataset_pfs(32, 64);
+        let cluster = Cluster::new(
+            pfs.clone(),
+            ClusterOptions::new(4, 1)
+                .dataset_dir("/gpfs/train")
+                .placement(PlacementKind::Ring)
+                .replication(2),
+        )
+        .unwrap();
+        for i in 0..32u64 {
+            cluster.client(0).read_file(&sample(i)).unwrap();
+        }
+        // Organic warming leaves one copy per file (reads land on the
+        // home); the first scrub pass brings the allocation to full 2x.
+        assert!(cluster.under_replicated_count() > 0);
+        cluster.start_repair();
+        let seed_pass = cluster.wait_repair().expect("a pass ran");
+        assert!(seed_pass.files_repaired > 0, "{seed_pass:?}");
+        assert_eq!(cluster.under_replicated_count(), 0);
+
+        // Node 1 crash-stops: endpoints latch down, cache and in-flight
+        // state wiped. Reads still complete warm from surviving replicas.
+        cluster.crash_node(1).unwrap();
+        assert!(matches!(
+            cluster.crash_node(9),
+            Err(HvacError::InvalidConfig(_))
+        ));
+        let pfs_before = pfs.stats().snapshot().1;
+        for i in 0..32u64 {
+            let data = cluster.client(2).read_file(&sample(i)).unwrap();
+            assert_eq!(data, MemStore::sample_content(i, 64));
+        }
+        assert_eq!(
+            pfs.stats().snapshot().1,
+            pfs_before,
+            "survivor replicas served the whole epoch warm"
+        );
+        assert!(cluster.under_replicated_count() > 0);
+
+        // Restart brings the node back empty and (repair on by default)
+        // kicks the scrubber; convergence needs no client traffic.
+        cluster.restart_node(1).unwrap();
+        let report = cluster.wait_repair().expect("restart kicked a pass");
+        assert!(report.files_repaired > 0, "{report:?}");
+        assert_eq!(report.under_replicated_remaining, 0, "{report:?}");
+        assert_eq!(cluster.under_replicated_count(), 0);
+        let agg = cluster.aggregate_metrics();
+        assert_eq!(
+            agg.repaired_files,
+            seed_pass.files_repaired + report.files_repaired,
+            "donor-side ledger balances: {agg:?}"
+        );
     }
 
     #[test]

@@ -38,6 +38,8 @@
 //!   handle every client and server resolves ownership through,
 //! * [`rebalance`] — the background migrator that moves the minority of
 //!   cached files whose home changed across a view change,
+//! * [`repair`] — the anti-entropy scrubber that re-clones under-replicated
+//!   entries after a node crash-stops (hottest files first),
 //! * [`metrics`] — counters that make cache behaviour observable,
 //! * [`intercept`] — path classification shared with the `LD_PRELOAD` shim.
 //!
@@ -78,6 +80,7 @@ pub mod intercept;
 pub mod metrics;
 pub mod protocol;
 pub mod rebalance;
+pub mod repair;
 pub mod server;
 pub mod view;
 
@@ -87,5 +90,6 @@ pub use cluster::{Cluster, ClusterOptions};
 pub use eviction::{make_policy, EvictionPolicy};
 pub use metrics::{ClientMetrics, ServerMetrics};
 pub use rebalance::RebalanceReport;
+pub use repair::RepairReport;
 pub use server::{HvacServer, HvacServerOptions};
 pub use view::ViewHandle;

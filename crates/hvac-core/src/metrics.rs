@@ -61,6 +61,11 @@ pub struct ServerMetrics {
     pub migrated_files: AtomicU64,
     /// Bytes this server migrated to new homes during rebalancing.
     pub migrated_bytes: AtomicU64,
+    /// Files this server re-replicated to an under-replicated peer during
+    /// an anti-entropy repair pass (counted on the *source* holder).
+    pub repaired_files: AtomicU64,
+    /// Bytes this server copied to peers during repair passes.
+    pub repaired_bytes: AtomicU64,
     /// Per-stripe hit/miss/contention counters of the inflight table.
     /// Empty by default (`ServerMetrics::default()`); sized by
     /// [`ServerMetrics::with_stripes`] when the server spawns.
@@ -134,6 +139,10 @@ pub struct ServerMetricsSnapshot {
     pub migrated_files: u64,
     /// Bytes migrated away during rebalancing.
     pub migrated_bytes: u64,
+    /// Files re-replicated to peers during repair passes (source-side).
+    pub repaired_files: u64,
+    /// Bytes copied to peers during repair passes.
+    pub repaired_bytes: u64,
     /// Stripe-level hits summed over every stripe (the per-stripe vectors
     /// stay on [`ServerMetrics`]; the snapshot carries scalars so it stays
     /// `Copy` and merges cheaply).
@@ -165,6 +174,8 @@ impl ServerMetrics {
             stale_view_redirects: self.stale_view_redirects.load(Ordering::Relaxed),
             migrated_files: self.migrated_files.load(Ordering::Relaxed),
             migrated_bytes: self.migrated_bytes.load(Ordering::Relaxed),
+            repaired_files: self.repaired_files.load(Ordering::Relaxed),
+            repaired_bytes: self.repaired_bytes.load(Ordering::Relaxed),
             stripe_hits: self
                 .stripes
                 .iter()
@@ -203,6 +214,8 @@ impl ServerMetricsSnapshot {
         self.stale_view_redirects += other.stale_view_redirects;
         self.migrated_files += other.migrated_files;
         self.migrated_bytes += other.migrated_bytes;
+        self.repaired_files += other.repaired_files;
+        self.repaired_bytes += other.repaired_bytes;
         self.stripe_hits += other.stripe_hits;
         self.stripe_misses += other.stripe_misses;
         self.stripe_contention += other.stripe_contention;
@@ -248,6 +261,11 @@ pub struct ClientMetrics {
     /// Times this client swapped in a newer [`hvac_types::ClusterView`]
     /// after a `StaleView` redirect.
     pub view_refreshes: AtomicU64,
+    /// Hedged backup requests issued after the hedge delay expired with the
+    /// primary replica still silent.
+    pub hedges: AtomicU64,
+    /// Hedged calls where the backup replica answered first.
+    pub hedge_wins: AtomicU64,
 }
 
 /// A plain-old-data snapshot of [`ClientMetrics`].
@@ -277,6 +295,10 @@ pub struct ClientMetricsSnapshot {
     pub degraded_reads: u64,
     /// View swaps performed after `StaleView` redirects.
     pub view_refreshes: u64,
+    /// Hedged backup requests issued.
+    pub hedges: u64,
+    /// Hedged calls won by the backup replica.
+    pub hedge_wins: u64,
 }
 
 impl ClientMetrics {
@@ -310,6 +332,8 @@ impl ClientMetrics {
             breaker_skips: self.breaker_skips.load(Ordering::Relaxed),
             degraded_reads: self.degraded_reads.load(Ordering::Relaxed),
             view_refreshes: self.view_refreshes.load(Ordering::Relaxed),
+            hedges: self.hedges.load(Ordering::Relaxed),
+            hedge_wins: self.hedge_wins.load(Ordering::Relaxed),
         }
     }
 }
@@ -393,5 +417,25 @@ mod tests {
         assert_eq!(s.degraded_reads, 4);
         // The legacy tuple is unchanged by resilience traffic.
         assert_eq!(c.snapshot(), (0, 0, 0, 0, 0, 0));
+    }
+
+    #[test]
+    fn hedge_and_repair_counters_flow_through_snapshots() {
+        let c = ClientMetrics::default();
+        c.hedges.fetch_add(6, Ordering::Relaxed);
+        c.hedge_wins.fetch_add(2, Ordering::Relaxed);
+        let s = c.full_snapshot();
+        assert_eq!((s.hedges, s.hedge_wins), (6, 2));
+        assert_eq!(c.snapshot(), (0, 0, 0, 0, 0, 0));
+
+        let m = ServerMetrics::default();
+        m.repaired_files.fetch_add(3, Ordering::Relaxed);
+        m.repaired_bytes.fetch_add(768, Ordering::Relaxed);
+        let snap = m.snapshot();
+        assert_eq!((snap.repaired_files, snap.repaired_bytes), (3, 768));
+        let mut agg = ServerMetricsSnapshot::default();
+        agg.merge(&snap);
+        agg.merge(&snap);
+        assert_eq!((agg.repaired_files, agg.repaired_bytes), (6, 1536));
     }
 }

@@ -26,7 +26,7 @@ use hvac_sync::{classes, OrderedMutex, OrderedMutexGuard};
 use hvac_types::{ClusterView, HvacError, Result};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -58,6 +58,10 @@ struct CopyJob {
     key: PathBuf,
     /// `Some((offset, len))` restricts the copy to that byte range.
     range: Option<(u64, u64)>,
+    /// The mover generation this job was enqueued under; a crash-stop bumps
+    /// the generation, so stale jobs are discarded instead of resurrecting
+    /// pre-crash state into the wiped cache.
+    generation: u64,
 }
 
 type Waiters = HashMap<PathBuf, Vec<Sender<CopyResult>>>;
@@ -107,6 +111,23 @@ impl InflightTable {
     fn is_empty(&self) -> bool {
         self.stripes.iter().all(|stripe| stripe.lock().is_empty())
     }
+
+    /// Crash-stop: drain every stripe (strictly one at a time) and error
+    /// out all parked waiters with `ServerDown`. The sends happen with no
+    /// stripe lock held.
+    fn wipe(&self) {
+        let mut victims: Vec<Vec<Sender<CopyResult>>> = Vec::new();
+        for stripe in &self.stripes {
+            victims.extend(std::mem::take(&mut *stripe.lock()).into_values());
+        }
+        for senders in victims {
+            for w in senders {
+                let _ = w.send(Err(Arc::new(HvacError::ServerDown(
+                    "crash-stop: in-flight copy aborted".into(),
+                ))));
+            }
+        }
+    }
 }
 
 /// The data-mover machinery: FIFO queue + threads + striped in-flight
@@ -115,6 +136,8 @@ struct DataMover {
     queue_tx: Sender<CopyJob>,
     // lockgraph: inflight -> SERVER_INFLIGHT_STRIPE
     inflight: Arc<InflightTable>,
+    /// Bumped by a crash-stop; movers discard jobs from older generations.
+    generation: Arc<AtomicU64>,
     threads: OrderedMutex<Vec<JoinHandle<()>>>,
 }
 
@@ -128,6 +151,7 @@ impl DataMover {
     ) -> Result<Self> {
         let (queue_tx, queue_rx) = unbounded::<CopyJob>();
         let inflight = Arc::new(InflightTable::new(default_shard_count()));
+        let generation = Arc::new(AtomicU64::new(0));
         let mut threads = Vec::with_capacity(movers.max(1));
         for m in 0..movers.max(1) {
             let rx: Receiver<CopyJob> = queue_rx.clone();
@@ -135,10 +159,19 @@ impl DataMover {
             let pfs = pfs.clone();
             let metrics = metrics.clone();
             let inflight = inflight.clone();
+            let generation = generation.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("hvac-mover-{name}-{m}"))
                 .spawn(move || {
                     while let Ok(job) = rx.recv() {
+                        // A crash-stop wiped this job's waiters; executing
+                        // it would resurrect pre-crash state into the
+                        // freshly-emptied cache, so skip it entirely (any
+                        // post-crash request for the same key enqueued its
+                        // own job under the new generation).
+                        if job.generation != generation.load(Ordering::Relaxed) {
+                            continue;
+                        }
                         // Step ⑥ of §III-D: copy PFS -> node-local store.
                         let result: CopyResult = (|| {
                             let data = match job.range {
@@ -181,8 +214,16 @@ impl DataMover {
         Ok(Self {
             queue_tx,
             inflight,
+            generation,
             threads: OrderedMutex::new(classes::SERVER_THREADS, threads),
         })
+    }
+
+    /// Crash-stop: discard every queued copy job (by bumping the
+    /// generation) and error out all parked waiters.
+    fn crash(&self) {
+        self.generation.fetch_add(1, Ordering::Relaxed);
+        self.inflight.wipe();
     }
 
     /// Fire-and-forget staging: enqueue a copy of `path` unless it is
@@ -204,6 +245,7 @@ impl DataMover {
                 path: path.to_path_buf(),
                 key: path.to_path_buf(),
                 range: None,
+                generation: self.generation.load(Ordering::Relaxed),
             })
             .is_ok()
     }
@@ -247,6 +289,7 @@ impl DataMover {
                             path: path.to_path_buf(),
                             key: key.to_path_buf(),
                             range,
+                            generation: self.generation.load(Ordering::Relaxed),
                         })
                         .map_err(|_| HvacError::Rpc("data mover queue closed".into()))?;
                 }
@@ -347,6 +390,18 @@ impl HvacServer {
     /// The node cache shared with sibling instances.
     pub fn cache(&self) -> &Arc<CacheManager> {
         &self.cache
+    }
+
+    /// Crash-stop this instance's volatile state: queued copy jobs are
+    /// discarded, every parked waiter is errored out with `ServerDown`,
+    /// and the node cache is purged. The threads and endpoint survive —
+    /// a restarted server answers at the same address but `ENOENT`s
+    /// everything it used to own, which is the crash-stop model DESIGN.md
+    /// §6.1 describes (the harness-level wrapper is
+    /// `Cluster::crash_node`).
+    pub fn crash(&self) {
+        self.mover.crash();
+        self.cache.purge();
     }
 
     /// Install a (strictly newer) membership view. Returns whether the
@@ -779,6 +834,45 @@ mod tests {
         assert_eq!(resp, Response::Ok);
         assert_eq!(server.cache().resident_count(), 0);
         assert_eq!(server.metrics().snapshot().closes, 1);
+    }
+
+    #[test]
+    fn crash_wipes_cache_and_later_reads_refault() {
+        let (pfs, server) = setup(10_000);
+        for i in 0..4 {
+            server.handle_request(Request::Read {
+                path: sample(i),
+                offset: 0,
+                len: 100,
+            });
+        }
+        assert_eq!(server.cache().resident_count(), 4);
+        server.crash();
+        assert_eq!(
+            server.cache().resident_count(),
+            0,
+            "crash empties the cache"
+        );
+        // The instance is still alive: the same file is re-copied from the
+        // PFS and served byte-exact.
+        let expected = pfs.read_all(&sample(0)).unwrap();
+        let (resp, bulk) = server.handle_request(Request::Read {
+            path: sample(0),
+            offset: 0,
+            len: 100,
+        });
+        assert!(matches!(
+            resp,
+            Response::Data {
+                cache_hit: false,
+                ..
+            }
+        ));
+        assert_eq!(bulk.unwrap(), expected);
+        assert!(
+            server.metrics().snapshot().pfs_copies >= 5,
+            "the post-crash read re-faulted from the PFS"
+        );
     }
 
     #[test]

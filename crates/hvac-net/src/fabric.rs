@@ -211,7 +211,7 @@ impl Fabric {
         deadline: Duration,
     ) -> Result<Reply> {
         let start = Instant::now();
-        let tx = {
+        let (tx, down) = {
             let eps = self.endpoints.read();
             match eps.get(addr) {
                 None => {
@@ -223,7 +223,7 @@ impl Fabric {
                         self.stats.failed_calls.fetch_add(1, Ordering::Relaxed);
                         return Err(HvacError::ServerDown(addr.to_string()));
                     }
-                    slot.tx.clone()
+                    (slot.tx.clone(), slot.down.clone())
                 }
             }
         };
@@ -233,6 +233,15 @@ impl Fabric {
         let mut discard_reply = false;
         match self.faults.decide(addr) {
             FaultAction::None => {}
+            FaultAction::Crash => {
+                // Crash-stop: latch the endpoint down exactly as `set_down`
+                // would, so every later call fails fast until the harness
+                // revives the endpoint. The fabric only kills the transport;
+                // wiping the server's cached state is `Cluster::crash_node`.
+                down.store(true, Ordering::Relaxed);
+                self.stats.failed_calls.fetch_add(1, Ordering::Relaxed);
+                return Err(HvacError::ServerDown(format!("{addr} (crashed)")));
+            }
             FaultAction::Error => {
                 self.stats.failed_calls.fetch_add(1, Ordering::Relaxed);
                 return Err(HvacError::Rpc(format!("injected error reply from {addr}")));
@@ -637,6 +646,32 @@ mod tests {
             start.elapsed() < Duration::from_millis(100),
             "down endpoints fail fast even when a hang plan is installed"
         );
+    }
+
+    #[test]
+    fn injected_crash_latches_the_endpoint_down() {
+        use crate::fault::FaultSpec;
+        let fabric = Arc::new(Fabric::new());
+        let _ep = fabric.serve("doomed", 1, echo_handler()).unwrap();
+        fabric
+            .fault_injector()
+            .set("doomed", FaultSpec::always_crash(11));
+        let start = std::time::Instant::now();
+        let err = fabric.call("doomed", Bytes::from_static(b"x")).unwrap_err();
+        assert!(matches!(err, HvacError::ServerDown(_)), "{err}");
+        assert!(
+            start.elapsed() < Duration::from_millis(100),
+            "crashes fail fast"
+        );
+        // The crash persists: later calls fail on the liveness check without
+        // consuming further fault draws.
+        assert!(!fabric.is_up("doomed"));
+        assert!(fabric.call("doomed", Bytes::new()).is_err());
+        assert_eq!(fabric.fault_injector().injected_for("doomed"), 1);
+        // An explicit revive (restart) restores service once the plan is gone.
+        fabric.fault_injector().clear("doomed");
+        assert!(fabric.set_down("doomed", false));
+        assert!(fabric.call("doomed", Bytes::from_static(b"ok")).is_ok());
     }
 
     #[test]

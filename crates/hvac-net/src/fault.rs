@@ -1,7 +1,8 @@
 //! Deterministic fabric fault injection.
 //!
 //! A [`FaultInjector`] sits inside the [`crate::fabric::Fabric`] call path
-//! and perturbs RPCs to selected endpoints: drop the request before the
+//! and perturbs RPCs to selected endpoints: crash the endpoint (it latches
+//! down and every later call fails fast), drop the request before the
 //! server sees it, delay its delivery, hang the reply (the server handles
 //! the request but the caller never hears back), or answer with an injected
 //! error reply. All randomness is a per-endpoint splitmix64 stream seeded
@@ -19,11 +20,17 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 /// Per-endpoint fault probabilities. Independent draws are made in the
-/// order `drop → hang → error → delay`, one per incoming call; the first
-/// that fires wins (delay composes with nothing because it fires last and
-/// alone).
+/// order `crash → drop → hang → error → delay`, one per incoming call; the
+/// first that fires wins (delay composes with nothing because it fires
+/// last and alone). A draw whose probability is zero advances nothing, so
+/// arming a new fault kind never perturbs an existing seeded schedule.
 #[derive(Debug, Clone)]
 pub struct FaultSpec {
+    /// Probability the endpoint crash-stops on this call: the fabric
+    /// latches it down (as if by `set_down`) and the caller — and every
+    /// caller after it, until the endpoint is explicitly revived — fails
+    /// fast with `ServerDown`.
+    pub crash_prob: f64,
     /// Probability the request is dropped before reaching the server.
     pub drop_prob: f64,
     /// Probability the request is served but the reply never returns.
@@ -41,6 +48,7 @@ pub struct FaultSpec {
 impl Default for FaultSpec {
     fn default() -> Self {
         Self {
+            crash_prob: 0.0,
             drop_prob: 0.0,
             hang_prob: 0.0,
             error_prob: 0.0,
@@ -69,6 +77,15 @@ impl FaultSpec {
             ..Self::default()
         }
     }
+
+    /// A spec that crash-stops the endpoint on the first call it sees.
+    pub fn always_crash(seed: u64) -> Self {
+        Self {
+            crash_prob: 1.0,
+            seed,
+            ..Self::default()
+        }
+    }
 }
 
 /// What the injector decided for one call.
@@ -76,6 +93,9 @@ impl FaultSpec {
 pub enum FaultAction {
     /// Deliver the call untouched.
     None,
+    /// The endpoint crash-stops: the fabric latches it down and the caller
+    /// gets `ServerDown` immediately.
+    Crash,
     /// The request never reaches the server; the caller times out.
     Drop,
     /// The server handles the request but the reply is discarded; the
@@ -90,6 +110,7 @@ pub enum FaultAction {
 struct EndpointFaults {
     spec: FaultSpec,
     rng: AtomicU64,
+    fired: AtomicU64,
 }
 
 /// Registry of per-endpoint [`FaultSpec`]s plus fired-fault accounting.
@@ -125,7 +146,8 @@ impl FaultInjector {
     pub fn set(&self, addr: &str, spec: FaultSpec) {
         let mut plans = self.plans.write();
         let rng = AtomicU64::new(spec.seed);
-        plans.insert(addr.to_string(), EndpointFaults { spec, rng });
+        let fired = AtomicU64::new(0);
+        plans.insert(addr.to_string(), EndpointFaults { spec, rng, fired });
     }
 
     /// Remove the fault plan of `addr` (calls pass untouched again).
@@ -138,9 +160,19 @@ impl FaultInjector {
         self.plans.write().clear();
     }
 
-    /// Total faults fired (drops + hangs + errors + delays).
+    /// Total faults fired (crashes + drops + hangs + errors + delays).
     pub fn injected(&self) -> u64 {
         self.injected.load(Ordering::Relaxed)
+    }
+
+    /// Faults fired against one endpoint since its plan was installed
+    /// (`set` resets the count along with the stream). Zero for endpoints
+    /// with no plan.
+    pub fn injected_for(&self, addr: &str) -> u64 {
+        self.plans
+            .read()
+            .get(addr)
+            .map_or(0, |ep| ep.fired.load(Ordering::Relaxed))
     }
 
     /// Decide the fate of one call to `addr`, advancing the endpoint's
@@ -152,7 +184,9 @@ impl FaultInjector {
         };
         let action = {
             let s = &ep.spec;
-            if s.drop_prob > 0.0 && unit(splitmix64(&ep.rng)) < s.drop_prob {
+            if s.crash_prob > 0.0 && unit(splitmix64(&ep.rng)) < s.crash_prob {
+                FaultAction::Crash
+            } else if s.drop_prob > 0.0 && unit(splitmix64(&ep.rng)) < s.drop_prob {
                 FaultAction::Drop
             } else if s.hang_prob > 0.0 && unit(splitmix64(&ep.rng)) < s.hang_prob {
                 FaultAction::Hang
@@ -166,6 +200,7 @@ impl FaultInjector {
         };
         if action != FaultAction::None {
             self.injected.fetch_add(1, Ordering::Relaxed);
+            ep.fired.fetch_add(1, Ordering::Relaxed);
         }
         action
     }
@@ -265,5 +300,94 @@ mod tests {
         assert_eq!(inj.decide("a"), FaultAction::Hang);
         assert_eq!(inj.decide("b"), FaultAction::Drop);
         assert_eq!(inj.decide("c"), FaultAction::None);
+    }
+
+    /// Same seed + same call sequence ⇒ identical outcomes with every
+    /// fault kind armed at once, and every kind actually appears in the
+    /// schedule (so the determinism claim covers all five draws).
+    #[test]
+    fn same_seed_same_schedule_across_all_kinds() {
+        let spec = |seed: u64| FaultSpec {
+            crash_prob: 0.1,
+            drop_prob: 0.15,
+            hang_prob: 0.15,
+            error_prob: 0.2,
+            delay_prob: 0.3,
+            delay: Duration::from_millis(2),
+            seed,
+        };
+        let schedule = |seed: u64| -> Vec<FaultAction> {
+            let inj = FaultInjector::new();
+            inj.set("s", spec(seed));
+            (0..256).map(|_| inj.decide("s")).collect()
+        };
+        let a = schedule(0xFEED);
+        assert_eq!(a, schedule(0xFEED));
+        assert_ne!(a, schedule(0xFEED + 1));
+        for want in [
+            FaultAction::Crash,
+            FaultAction::Drop,
+            FaultAction::Hang,
+            FaultAction::Error,
+            FaultAction::Delay(Duration::from_millis(2)),
+            FaultAction::None,
+        ] {
+            assert!(a.contains(&want), "schedule never produced {want:?}");
+        }
+    }
+
+    /// Crash is drawn first: when both crash and drop are certain, crash
+    /// wins every call.
+    #[test]
+    fn crash_wins_the_draw_order() {
+        let inj = FaultInjector::new();
+        inj.set(
+            "s",
+            FaultSpec {
+                crash_prob: 1.0,
+                drop_prob: 1.0,
+                ..FaultSpec::default()
+            },
+        );
+        for _ in 0..16 {
+            assert_eq!(inj.decide("s"), FaultAction::Crash);
+        }
+    }
+
+    /// Per-address fired counts ledger: each endpoint counts exactly its
+    /// own faults, the global counter is their sum, unplanned addresses
+    /// read zero, and re-installing a plan resets the count.
+    #[test]
+    fn injected_counts_match_per_address() {
+        let inj = FaultInjector::new();
+        inj.set("a", FaultSpec::always_crash(1));
+        inj.set("b", FaultSpec::always_drop(2));
+        inj.set(
+            "c",
+            FaultSpec {
+                error_prob: 0.5,
+                seed: 3,
+                ..FaultSpec::default()
+            },
+        );
+        for _ in 0..20 {
+            inj.decide("a");
+            inj.decide("b");
+        }
+        let mut c_fired = 0;
+        for _ in 0..40 {
+            if inj.decide("c") != FaultAction::None {
+                c_fired += 1;
+            }
+        }
+        assert!(c_fired > 0 && c_fired < 40, "p=0.5 plan fired {c_fired}/40");
+        assert_eq!(inj.injected_for("a"), 20);
+        assert_eq!(inj.injected_for("b"), 20);
+        assert_eq!(inj.injected_for("c"), c_fired);
+        assert_eq!(inj.injected_for("nobody"), 0);
+        assert_eq!(inj.injected(), 40 + c_fired);
+        // Re-installing restarts both the stream and the ledger.
+        inj.set("a", FaultSpec::always_crash(1));
+        assert_eq!(inj.injected_for("a"), 0);
     }
 }

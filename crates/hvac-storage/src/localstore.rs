@@ -48,6 +48,10 @@ struct Entry {
     size: ByteSize,
     data: Option<Bytes>,   // Memory backing
     disk: Option<PathBuf>, // Directory backing
+    /// Whole-file reads served from this entry since it was inserted
+    /// (replacement resets it). The repair scrubber uses this as its
+    /// priority signal: hot files are re-replicated first.
+    hits: AtomicU64,
 }
 
 type ShardMap = HashMap<PathBuf, Entry>;
@@ -197,6 +201,7 @@ impl LocalStore {
                 size,
                 data: Some(data),
                 disk: None,
+                hits: AtomicU64::new(0),
             },
             Backing::Directory(root) => {
                 let seq = self.insert_seq.fetch_add(1, Ordering::Relaxed);
@@ -210,6 +215,7 @@ impl LocalStore {
                     size,
                     data: None,
                     disk: Some(disk),
+                    hits: AtomicU64::new(0),
                 }
             }
         };
@@ -223,6 +229,7 @@ impl LocalStore {
         let data = {
             let map = self.shards[shard].read();
             let entry = map.get(path)?;
+            entry.hits.fetch_add(1, Ordering::Relaxed);
             match (&entry.data, &entry.disk) {
                 (Some(d), _) => Some(d.clone()),
                 (None, Some(disk)) => fs::read(disk).ok().map(Bytes::from),
@@ -314,6 +321,30 @@ impl LocalStore {
         let mut out = Vec::new();
         for shard in &self.shards {
             out.extend(shard.read().keys().cloned());
+        }
+        out
+    }
+
+    /// Reads served from a resident entry since it was inserted (zero for
+    /// absent paths).
+    pub fn access_count(&self, path: &Path) -> u64 {
+        self.shards[self.shard_of(path)]
+            .read()
+            .get(path)
+            .map_or(0, |e| e.hits.load(Ordering::Relaxed))
+    }
+
+    /// Resident paths with their access counts (unordered); shards are
+    /// read strictly one at a time.
+    pub fn resident_with_access(&self) -> Vec<(PathBuf, u64)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            out.extend(
+                shard
+                    .read()
+                    .iter()
+                    .map(|(p, e)| (p.clone(), e.hits.load(Ordering::Relaxed))),
+            );
         }
         out
     }
@@ -430,6 +461,29 @@ mod tests {
         let mut paths = s.resident_paths();
         paths.sort();
         assert_eq!(paths, vec![PathBuf::from("/a"), PathBuf::from("/b")]);
+    }
+
+    #[test]
+    fn access_counts_track_reads_and_reset_on_replace() {
+        let s = mem(100);
+        let p = Path::new("/hot");
+        assert_eq!(s.access_count(p), 0, "absent paths read zero");
+        s.insert(p, Bytes::from_static(b"abc")).unwrap();
+        assert_eq!(s.access_count(p), 0);
+        s.get(p).unwrap();
+        s.read_at(p, 0, 1).unwrap(); // read_at goes through get
+        assert_eq!(s.access_count(p), 2);
+        s.insert(Path::new("/cold"), Bytes::from_static(b"z"))
+            .unwrap();
+        let mut counts = s.resident_with_access();
+        counts.sort();
+        assert_eq!(
+            counts,
+            vec![(PathBuf::from("/cold"), 0), (PathBuf::from("/hot"), 2)]
+        );
+        // Replacement is a new entry: the count restarts.
+        s.insert(p, Bytes::from_static(b"abcd")).unwrap();
+        assert_eq!(s.access_count(p), 0);
     }
 
     #[test]

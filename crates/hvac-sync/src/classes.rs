@@ -3,7 +3,7 @@
 //! The hierarchy, outermost first, is:
 //!
 //! ```text
-//! rebalancer  →  view  →  fabric  →  server  →  cache  →  store  →  device
+//! repair  →  rebalancer  →  view  →  fabric  →  server  →  cache  →  store  →  device
 //! ```
 //!
 //! A thread may acquire classes left-to-right along this chain (skipping
@@ -15,9 +15,16 @@
 //! `tools/tidy` (`cargo run -p tidy -- lockgraph`) checks the same
 //! [`HIERARCHY`] table against the source tree without running anything.
 
-/// Rebalancer worker handle (`hvac-core::rebalance`). Outermost of all:
-/// held only to spawn/join the migration worker, never while that worker's
-/// own locks are in scope on the same thread.
+/// Repair scrubber worker handle (`hvac-core::repair`). Outermost of all:
+/// held only to spawn/join the anti-entropy scrubber, never while that
+/// worker's own locks are in scope on the same thread. Sits outside
+/// `REBALANCER` because a repair pass may need to join a still-running
+/// rebalance pass first.
+pub const REPAIR: &str = "core.repair";
+
+/// Rebalancer worker handle (`hvac-core::rebalance`). Held only to
+/// spawn/join the migration worker, never while that worker's own locks
+/// are in scope on the same thread.
 pub const REBALANCER: &str = "core.rebalancer";
 
 /// Current [`ClusterView`] slot (`hvac-core::view`). Acquired before any
@@ -91,6 +98,7 @@ pub const HASH_RINGS: &str = "hash.placement.rings";
 /// here (or in [`LEAVES`]); the `hierarchy_covers_every_class` test and
 /// the tidy pass both fail on a class left unplaced.
 pub const HIERARCHY: &[(&str, &[&str])] = &[
+    ("repair", &[REPAIR]),
     ("rebalancer", &[REBALANCER]),
     ("view", &[VIEW]),
     ("fabric", &[FABRIC_ENDPOINTS, FABRIC_FAULTS]),
@@ -149,6 +157,7 @@ mod tests {
     /// coverage test fails loudly when a new const is added without a
     /// hierarchy placement.
     const DECLARED: &[&str] = &[
+        REPAIR,
         REBALANCER,
         VIEW,
         FABRIC_ENDPOINTS,
@@ -203,6 +212,9 @@ mod tests {
 
     #[test]
     fn edge_rule_is_strictly_inward() {
+        assert!(edge_allowed(REPAIR, REBALANCER));
+        assert!(edge_allowed(REPAIR, STORE_SHARD));
+        assert!(!edge_allowed(REBALANCER, REPAIR));
         assert!(edge_allowed(VIEW, STORE_SHARD));
         assert!(edge_allowed(SERVER_INFLIGHT_STRIPE, CACHE_POLICY));
         assert!(edge_allowed(CACHE_POLICY, STORE_SHARD));

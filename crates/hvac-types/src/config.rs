@@ -114,6 +114,13 @@ pub struct RetryPolicy {
     pub breaker_cooldown: Duration,
     /// Seed for the deterministic backoff jitter.
     pub jitter_seed: u64,
+    /// Hedged-read delay as a percentage of `rpc_timeout` (0 disables
+    /// hedging, the default). When a primary replica has not answered
+    /// after `rpc_timeout * hedge_delay_percent / 100`, the client issues
+    /// a backup request to the next closed-breaker replica and takes
+    /// whichever answers first; a tripped replica is never hedged to, so
+    /// hedging cannot double the load on a failing server.
+    pub hedge_delay_percent: u32,
 }
 
 impl Default for RetryPolicy {
@@ -125,7 +132,21 @@ impl Default for RetryPolicy {
             breaker_threshold: 3,
             breaker_cooldown: Duration::from_secs(2),
             jitter_seed: 0x4856_4143, // "HVAC"
+            hedge_delay_percent: 0,
         }
+    }
+}
+
+impl RetryPolicy {
+    /// The hedge delay this policy encodes: `None` when hedging is
+    /// disabled, otherwise the wait before the backup request is issued
+    /// (clamped to at most one full deadline).
+    pub fn hedge_delay(&self) -> Option<Duration> {
+        if self.hedge_delay_percent == 0 {
+            return None;
+        }
+        let pct = self.hedge_delay_percent.min(100);
+        Some(self.rpc_timeout.mul_f64(f64::from(pct) / 100.0))
     }
 }
 

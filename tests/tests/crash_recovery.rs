@@ -1,0 +1,250 @@
+//! Crash-stop recovery: 16 training ranks read a 4-node allocation
+//! byte-exact while a node **crash-stops mid-epoch** — its endpoints latch
+//! down and its cache, queued copy jobs, and in-flight single-flight
+//! waiters are wiped — and then **restarts empty** at the same endpoints
+//! while the ranks are still reading.
+//!
+//! What this certifies: replicated reads survive a crash with zero PFS
+//! degradation (the survivor replica serves them warm), the anti-entropy
+//! repair scrubber kicked by the restart re-clones the crashed node's
+//! share from surviving holders until nothing is under-replicated, and the
+//! first full epoch after convergence runs at a warm hit rate above the
+//! `[repair]` ratchet floor. Hedged reads get their own section: a slow
+//! (delay-faulted) primary is raced by a backup request to the next
+//! replica, and the backup wins without doubling load on tripped replicas.
+
+use hvac_core::cluster::{Cluster, ClusterOptions};
+use hvac_pfs::MemStore;
+use hvac_types::{PlacementKind, RetryPolicy};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+const NODES: u32 = 4;
+const CLIENTS_PER_NODE: u32 = 4;
+const RANKS: usize = (NODES * CLIENTS_PER_NODE) as usize;
+const N_FILES: u64 = 48;
+const FILE_SIZE: usize = 256;
+
+fn sample(i: u64) -> PathBuf {
+    PathBuf::from(format!("/gpfs/train/sample_{i:08}.bin"))
+}
+
+/// Small deadline so a crashed endpoint costs milliseconds; enough
+/// attempts that the failover ladder never degrades to the PFS (this test
+/// forbids degraded reads — the survivor replica must serve everything).
+fn crash_retry() -> RetryPolicy {
+    RetryPolicy {
+        rpc_timeout: Duration::from_millis(50),
+        max_attempts: 4,
+        backoff_base: Duration::from_millis(1),
+        breaker_threshold: 8,
+        breaker_cooldown: Duration::from_millis(200),
+        jitter_seed: 0x4352_5348, // "CRSH"
+        ..RetryPolicy::default()
+    }
+}
+
+/// The `[repair]` ratchet floors from tools/tidy/ratchet.toml.
+fn repair_floors() -> (u64, u64) {
+    let ratchet = tidy::Ratchet::load(&tidy::workspace_root().join("tools/tidy/ratchet.toml"))
+        .expect("ratchet");
+    let hit_floor = ratchet
+        .repair_floors
+        .get("min-warm-hit-rate-pct")
+        .copied()
+        .unwrap_or(0) as u64;
+    let max_under = ratchet
+        .repair_floors
+        .get("max-under-replicated-remaining")
+        .copied()
+        .unwrap_or(usize::MAX) as u64;
+    (hit_floor, max_under)
+}
+
+/// One full seeded-shuffled pass over the dataset for every rank, joined
+/// as a barrier. Asserts byte-exactness on every read.
+fn epoch_pass(clients: &[Arc<hvac_core::HvacClient>], tag: u64) {
+    let mut joins = Vec::new();
+    for (rank, client) in clients.iter().enumerate() {
+        let client = client.clone();
+        joins.push(std::thread::spawn(move || {
+            let mut order: Vec<u64> = (0..N_FILES).collect();
+            let mut rng = StdRng::seed_from_u64(0x5EED ^ ((rank as u64) << 16) ^ tag);
+            order.shuffle(&mut rng);
+            for i in order {
+                let data = client
+                    .read_file(&sample(i))
+                    .unwrap_or_else(|e| panic!("rank {rank} pass {tag} file {i}: {e}"));
+                assert_eq!(
+                    data,
+                    MemStore::sample_content(i, FILE_SIZE),
+                    "rank {rank} pass {tag}: corrupted bytes for file {i}"
+                );
+            }
+        }));
+    }
+    for j in joins {
+        j.join().unwrap();
+    }
+}
+
+#[test]
+fn crash_and_restart_mid_epoch_stay_byte_exact_and_repair_reconverges() {
+    let (hit_floor, max_under) = repair_floors();
+    let pfs = Arc::new(MemStore::new());
+    pfs.synthesize_dataset(Path::new("/gpfs/train"), N_FILES, |_| FILE_SIZE);
+    let cluster = Cluster::new(
+        pfs.clone(),
+        ClusterOptions::new(NODES, 1)
+            .dataset_dir("/gpfs/train")
+            .clients_per_node(CLIENTS_PER_NODE)
+            .placement(PlacementKind::Ring)
+            .replication(2)
+            .retry_policy(crash_retry()),
+    )
+    .unwrap();
+    let clients: Vec<_> = (0..RANKS).map(|r| cluster.client(r).clone()).collect();
+
+    // Pass 0: warm the allocation (one copy per file, on its home), then
+    // let the scrubber seed full 2x replication.
+    epoch_pass(&clients, 0);
+    cluster.start_repair();
+    let seed_pass = cluster.wait_repair().expect("seed pass ran");
+    assert!(seed_pass.files_repaired > 0, "{seed_pass:?}");
+    assert_eq!(cluster.under_replicated_count(), 0, "{seed_pass:?}");
+
+    // Pass 1: node 1 crash-stops *mid-pass* while every rank is reading —
+    // cache wiped, in-flight state disowned, endpoints down — and then
+    // restarts *empty* a few milliseconds later, still mid-pass.
+    let readers: Vec<_> = clients
+        .iter()
+        .enumerate()
+        .map(|(rank, client)| {
+            let client = client.clone();
+            std::thread::spawn(move || {
+                let mut order: Vec<u64> = (0..N_FILES).collect();
+                let mut rng = StdRng::seed_from_u64(0xD00D ^ (rank as u64) << 8);
+                order.shuffle(&mut rng);
+                for i in order {
+                    let data = client
+                        .read_file(&sample(i))
+                        .unwrap_or_else(|e| panic!("rank {rank} mid-crash file {i}: {e}"));
+                    assert_eq!(data, MemStore::sample_content(i, FILE_SIZE));
+                }
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(3));
+    cluster.crash_node(1).unwrap();
+    std::thread::sleep(Duration::from_millis(5));
+    cluster.restart_node(1).unwrap(); // kicks the scrubber (repair default-on)
+    for j in readers {
+        j.join().unwrap();
+    }
+
+    // The restart-kicked repair pass converges: the crashed node's share
+    // is re-cloned from survivors, within the ratchet's allowance.
+    let report = cluster.wait_repair().expect("restart kicked a repair pass");
+    assert!(report.files_repaired > 0, "{report:?}");
+    assert!(
+        report.under_replicated_remaining <= max_under,
+        "repair left {} slots open, ratchet allows {max_under}: {report:?}",
+        report.under_replicated_remaining
+    );
+    // A follow-up audit agrees nothing is missing (organic refaults during
+    // the pass can only add copies, never remove them).
+    assert_eq!(cluster.under_replicated_count(), 0);
+
+    // Pass 2: the first full epoch after convergence is warm again — the
+    // hit rate clears the `[repair]` ratchet floor.
+    let before = cluster.aggregate_metrics();
+    epoch_pass(&clients, 2);
+    let after = cluster.aggregate_metrics();
+    let reads = after.reads - before.reads;
+    let hits = after.cache_hits - before.cache_hits;
+    let hit_rate_pct = 100 * hits / reads.max(1);
+    assert!(
+        hit_rate_pct >= hit_floor,
+        "post-repair warm hit rate {hit_rate_pct}% fell below the ratchet floor \
+         {hit_floor}% (tools/tidy/ratchet.toml [repair]): {hits}/{reads}"
+    );
+
+    // Nothing ever degraded to the PFS: the survivor replica (pre-repair)
+    // and the re-cloned copies (post-repair) carried every read.
+    for (rank, client) in clients.iter().enumerate() {
+        let s = client.metrics().full_snapshot();
+        assert_eq!(s.degraded_reads, 0, "rank {rank} degraded: {s:?}");
+    }
+    // Ledgers balance: donor-side repair counters equal the two reports.
+    let agg = cluster.aggregate_metrics();
+    assert_eq!(
+        agg.repaired_files,
+        seed_pass.files_repaired + report.files_repaired,
+        "{agg:?}"
+    );
+    assert_eq!(
+        agg.repaired_bytes,
+        seed_pass.bytes_copied + report.bytes_copied,
+        "{agg:?}"
+    );
+    assert_eq!(agg.cache_hits + agg.cache_misses, agg.reads, "{agg:?}");
+}
+
+#[test]
+fn hedged_reads_win_against_a_delay_faulted_primary() {
+    let pfs = Arc::new(MemStore::new());
+    pfs.synthesize_dataset(Path::new("/gpfs/train"), N_FILES, |_| FILE_SIZE);
+    let cluster = Cluster::new(
+        pfs,
+        ClusterOptions::new(NODES, 1)
+            .dataset_dir("/gpfs/train")
+            .placement(PlacementKind::Ring)
+            .replication(2)
+            .retry_policy(RetryPolicy {
+                rpc_timeout: Duration::from_millis(200),
+                hedge_delay_percent: 5,   // hedge after 10 ms
+                jitter_seed: 0x4845_4447, // "HEDG"
+                ..RetryPolicy::default()
+            }),
+    )
+    .unwrap();
+    let client = cluster.client(0).clone();
+
+    // Pick a file and delay-fault its primary far past the hedge delay
+    // (but well inside the deadline, so without hedging the read would
+    // *succeed slowly* — this isolates hedging from failover).
+    let p = sample(0);
+    let addrs = client.replica_addrs(&p);
+    assert_eq!(addrs.len(), 2);
+    cluster.fabric().fault_injector().set(
+        &addrs[0],
+        hvac_net::FaultSpec {
+            delay_prob: 1.0,
+            delay: Duration::from_millis(60),
+            seed: 0x4845_4447,
+            ..hvac_net::FaultSpec::default()
+        },
+    );
+    for _ in 0..4 {
+        let data = client.read_file(&p).unwrap();
+        assert_eq!(data, MemStore::sample_content(0, FILE_SIZE));
+    }
+    let s = client.metrics().full_snapshot();
+    assert!(
+        s.hedges >= 1,
+        "hedges fired against the slow primary: {s:?}"
+    );
+    assert!(
+        s.hedge_wins >= 1,
+        "the backup replica won at least once: {s:?}"
+    );
+    assert_eq!(s.degraded_reads, 0, "{s:?}");
+    assert!(
+        cluster.fabric().fault_injector().injected_for(&addrs[0]) > 0,
+        "the delay plan really fired"
+    );
+}

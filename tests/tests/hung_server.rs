@@ -29,6 +29,7 @@ fn tight_retry() -> RetryPolicy {
         breaker_threshold: 2,
         breaker_cooldown: Duration::from_secs(10),
         jitter_seed: 0xDEAD_BEEF,
+        ..RetryPolicy::default()
     }
 }
 

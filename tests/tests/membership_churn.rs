@@ -42,6 +42,7 @@ fn churn_retry() -> RetryPolicy {
         breaker_threshold: 8,
         breaker_cooldown: Duration::from_millis(200),
         jitter_seed: 0x4348_5552, // "CHUR"
+        ..RetryPolicy::default()
     }
 }
 

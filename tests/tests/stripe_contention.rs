@@ -41,6 +41,7 @@ fn stress_retry() -> RetryPolicy {
         breaker_threshold: 5,
         breaker_cooldown: Duration::from_millis(200),
         jitter_seed: 0x57121BE5,
+        ..RetryPolicy::default()
     }
 }
 

@@ -222,11 +222,13 @@ fn check_stripe_modules(files: &[SourceFile], report: &mut Report) {
 }
 
 /// The membership machinery held to check 6: the epoch-versioned view
-/// handle and the online rebalancer. Same pinning rule as `STRIPE_MODULES`
-/// — renames must update this list or tidy errors.
+/// handle, the online rebalancer, and the anti-entropy repair scrubber.
+/// Same pinning rule as `STRIPE_MODULES` — renames must update this list
+/// or tidy errors.
 const VIEW_MODULES: &[&str] = &[
     "crates/hvac-core/src/view.rs",
     "crates/hvac-core/src/rebalance.rs",
+    "crates/hvac-core/src/repair.rs",
 ];
 
 // Check 6: view/rebalancer modules synchronize via hvac-sync or atomics
@@ -554,14 +556,15 @@ mod tests {
 
     #[test]
     fn view_modules_must_exist_and_stay_hvac_sync_only() {
-        // Both modules absent: two missing-module errors naming VIEW_MODULES.
+        // All modules absent: one missing-module error each, naming
+        // VIEW_MODULES.
         let mut report = Report::default();
         check_view_modules(&[], &mut report);
-        assert_eq!(report.errors.len(), 2);
+        assert_eq!(report.errors.len(), 3);
         assert!(report.errors[0].message.contains("VIEW_MODULES"));
 
-        // hvac_sync in one and bare std::sync::atomic in the other are both
-        // accepted evidence (the rebalancer uses only atomics).
+        // hvac_sync in one and bare std::sync::atomic in the others are both
+        // accepted evidence (the rebalancer and repairer use only atomics).
         let files = vec![
             file(
                 "crates/hvac-core/src/view.rs",
@@ -569,6 +572,10 @@ mod tests {
             ),
             file(
                 "crates/hvac-core/src/rebalance.rs",
+                "//! doc\nuse std::sync::atomic::Ordering;\n",
+            ),
+            file(
+                "crates/hvac-core/src/repair.rs",
                 "//! doc\nuse std::sync::atomic::Ordering;\n",
             ),
         ];
@@ -587,6 +594,10 @@ mod tests {
                 "crates/hvac-core/src/rebalance.rs",
                 "//! doc\nuse std::sync::atomic::Ordering;\n",
             ),
+            file(
+                "crates/hvac-core/src/repair.rs",
+                "//! doc\nuse std::sync::atomic::Ordering;\n",
+            ),
         ];
         let mut report = Report::default();
         check_view_modules(&files, &mut report);
@@ -599,6 +610,10 @@ mod tests {
             file("crates/hvac-core/src/view.rs", "//! doc\nfn f() {}\n"),
             file(
                 "crates/hvac-core/src/rebalance.rs",
+                "//! doc\nuse std::sync::atomic::Ordering;\n",
+            ),
+            file(
+                "crates/hvac-core/src/repair.rs",
                 "//! doc\nuse std::sync::atomic::Ordering;\n",
             ),
         ];

@@ -2,8 +2,8 @@
 //!
 //! The on-disk format is a TOML subset parsed by hand (tidy takes no
 //! dependencies): `[unwrap]` and `[expect]` tables of
-//! `crate-name = count` lines, a `[lockgraph]` table of coverage floors,
-//! `#` comments allowed.
+//! `crate-name = count` lines, `[lockgraph]` and `[repair]` tables of
+//! floors for the conformance workloads, `#` comments allowed.
 
 use std::collections::BTreeMap;
 use std::path::Path;
@@ -19,6 +19,11 @@ pub struct Ratchet {
     /// the minimum percentage of static edges the conformance workload
     /// must observe at runtime.
     pub lockgraph_floors: BTreeMap<String, usize>,
+    /// Crash-recovery floors (may only increase), consumed by the
+    /// crash-recovery test suite: `min-warm-hit-rate-pct` is the minimum
+    /// post-repair warm hit rate, `max-under-replicated-remaining` the
+    /// most open replica slots a converged pass may leave behind.
+    pub repair_floors: BTreeMap<String, usize>,
 }
 
 impl Ratchet {
@@ -62,6 +67,9 @@ impl Ratchet {
                 "lockgraph" => {
                     ratchet.lockgraph_floors.insert(key, value);
                 }
+                "repair" => {
+                    ratchet.repair_floors.insert(key, value);
+                }
                 _ => {}
             }
         }
@@ -77,12 +85,15 @@ mod tests {
     fn parses_sections_and_comments() {
         let r = Ratchet::parse(
             "# caps\n[unwrap]\nhvac-core = 3 # shrinking\n\"hvac-net\" = 0\n\n[expect]\nhvac-core = 1\n\
-             \n[lockgraph]\nmin-edge-coverage-pct = 100\n",
+             \n[lockgraph]\nmin-edge-coverage-pct = 100\n\
+             \n[repair]\nmin-warm-hit-rate-pct = 95\nmax-under-replicated-remaining = 0\n",
         );
         assert_eq!(r.unwrap_caps["hvac-core"], 3);
         assert_eq!(r.unwrap_caps["hvac-net"], 0);
         assert_eq!(r.expect_caps["hvac-core"], 1);
         assert_eq!(r.lockgraph_floors["min-edge-coverage-pct"], 100);
+        assert_eq!(r.repair_floors["min-warm-hit-rate-pct"], 95);
+        assert_eq!(r.repair_floors["max-under-replicated-remaining"], 0);
     }
 
     #[test]
