@@ -30,7 +30,7 @@ use hvac_storage::LocalStore;
 use hvac_sync::{classes, OrderedMutex};
 use hvac_types::{
     ByteSize, ClusterView, EvictionPolicyKind, HvacError, NodeId, PlacementKind, Result,
-    RetryPolicy, ServerId,
+    RetryPolicy, ServerId, TransportKind,
 };
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -83,6 +83,11 @@ pub struct ClusterOptions {
     /// holders. On by default; benchmarks disable it to measure the
     /// organic-refault baseline.
     pub repair: bool,
+    /// Transport behind the cluster's fabric: in-process loopback (the
+    /// default) or real sockets (TCP / Unix-domain). Defaults from the
+    /// `HVAC_TRANSPORT` environment variable so an unchanged test suite can
+    /// be rerun over real sockets by exporting `HVAC_TRANSPORT=tcp`.
+    pub transport: TransportKind,
 }
 
 impl ClusterOptions {
@@ -107,6 +112,7 @@ impl ClusterOptions {
             bulk_window: hvac_net::DEFAULT_PIPELINE_WINDOW,
             rebalance: true,
             repair: true,
+            transport: TransportKind::from_env(),
         }
     }
 
@@ -183,6 +189,12 @@ impl ClusterOptions {
         self
     }
 
+    /// Select the RPC transport (loopback queues or real sockets).
+    pub fn transport(mut self, kind: TransportKind) -> Self {
+        self.transport = kind;
+        self
+    }
+
     fn validate(&self) -> Result<()> {
         if self.nodes == 0 || self.instances_per_node == 0 || self.clients_per_node == 0 {
             return Err(HvacError::InvalidConfig(
@@ -248,7 +260,7 @@ impl Cluster {
     /// Provision the allocation: caches, servers, endpoints, clients.
     pub fn new(pfs: Arc<dyn FileStore>, options: ClusterOptions) -> Result<Self> {
         options.validate()?;
-        let fabric = Arc::new(Fabric::new());
+        let fabric = Arc::new(Fabric::for_transport(options.transport));
         let mut nodes = Vec::with_capacity(options.nodes as usize);
         for node in 0..options.nodes {
             nodes.push(Self::build_node(&fabric, &pfs, &options, NodeId(node))?);

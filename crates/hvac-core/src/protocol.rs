@@ -135,29 +135,29 @@ impl Request {
         match self {
             Request::Stat { path } => {
                 b.extend_from_slice(&[TAG_STAT]);
-                wire::put_str(&mut b, path_to_str(path)?);
+                wire::put_str(&mut b, path_to_str(path)?)?;
             }
             Request::Read { path, offset, len } => {
                 b.extend_from_slice(&[TAG_READ]);
-                wire::put_str(&mut b, path_to_str(path)?);
+                wire::put_str(&mut b, path_to_str(path)?)?;
                 b.extend_from_slice(&offset.to_le_bytes());
                 b.extend_from_slice(&len.to_le_bytes());
             }
             Request::Close { path } => {
                 b.extend_from_slice(&[TAG_CLOSE]);
-                wire::put_str(&mut b, path_to_str(path)?);
+                wire::put_str(&mut b, path_to_str(path)?)?;
             }
             Request::Purge => b.extend_from_slice(&[TAG_PURGE]),
             Request::Prefetch { paths } => {
                 b.extend_from_slice(&[TAG_PREFETCH]);
                 b.extend_from_slice(&(paths.len() as u32).to_le_bytes());
                 for p in paths {
-                    wire::put_str(&mut b, path_to_str(p)?);
+                    wire::put_str(&mut b, path_to_str(p)?)?;
                 }
             }
             Request::ReadSegment { path, offset, len } => {
                 b.extend_from_slice(&[TAG_READ_SEGMENT]);
-                wire::put_str(&mut b, path_to_str(path)?);
+                wire::put_str(&mut b, path_to_str(path)?)?;
                 b.extend_from_slice(&offset.to_le_bytes());
                 b.extend_from_slice(&len.to_le_bytes());
             }
@@ -279,7 +279,18 @@ impl Response {
             Response::Err { code, message } => {
                 b.extend_from_slice(&[STATUS_ERR]);
                 b.extend_from_slice(&(*code as i64).to_le_bytes());
-                wire::put_str(&mut b, message);
+                // An error reply must never itself fail to encode, so clamp
+                // the text (at a char boundary) far below the u32 wire
+                // prefix and write the prefix for the clamped body — never a
+                // prefix/body mismatch, unlike the old `len as u32` cast.
+                const MAX_ERR_MSG: usize = 64 * 1024;
+                let mut end = MAX_ERR_MSG.min(message.len());
+                while !message.is_char_boundary(end) {
+                    end -= 1;
+                }
+                let msg = &message.as_bytes()[..end];
+                b.extend_from_slice(&(msg.len() as u32).to_le_bytes());
+                b.extend_from_slice(msg);
             }
         }
         b.freeze()

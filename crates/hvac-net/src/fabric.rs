@@ -1,4 +1,4 @@
-//! The loopback fabric: an in-process stand-in for Mercury-over-InfiniBand.
+//! The RPC fabric: Mercury's programming model over a pluggable transport.
 //!
 //! A [`Fabric`] is a registry of named endpoints. Server endpoints own a
 //! request queue drained by worker threads (mirroring the HVAC server's RPC
@@ -6,19 +6,38 @@
 //! containing a small response header plus an optional bulk payload —
 //! Mercury's RPC/bulk split.
 //!
+//! Two backends implement that contract: the in-process **loopback** fabric
+//! (the default — queues and worker threads, no bytes leave the process)
+//! and the **socket** transport of [`crate::socket`] (TCP or Unix-domain
+//! streams with length-prefixed frames, per-destination connection pooling,
+//! and request-id multiplexing). The backend is chosen at construction
+//! ([`Fabric::new`] vs. [`Fabric::socket`]/[`Fabric::for_transport`]) and
+//! is invisible to callers.
+//!
 //! Fault injection comes in two flavours: `set_down` (a *dead* server —
 //! calls fail fast with `ServerDown`) and the seeded [`FaultInjector`]
 //! (a *misbehaving* server — requests dropped, delayed, hung, or answered
 //! with errors), which together exercise both halves of the paper's §III-H
-//! "node-local NVMe fails ⇒ failed training run" scenario. Calls carry a
-//! per-call deadline ([`Fabric::call_with_deadline`]); missing it returns a
-//! typed [`HvacError::RpcTimeout`] that the client's failover path matches.
+//! "node-local NVMe fails ⇒ failed training run" scenario. All fault
+//! decisions, liveness checks, deadline bookkeeping, and traffic accounting
+//! live in backend-independent code, so the injector (including Crash
+//! latching) behaves identically over loopback and real sockets. Calls
+//! carry a per-call deadline ([`Fabric::call_with_deadline`]); missing it
+//! returns a typed [`HvacError::RpcTimeout`] that the client's failover
+//! path matches.
+//!
+//! The stats ledger keeps one invariant: every call lands in exactly one of
+//! `rpcs` (answered) or `failed_calls` (any error), and `request_bytes`
+//! counts only requests actually delivered to a server queue or socket.
 
 use crate::fault::{FaultAction, FaultInjector};
+use crate::socket::{
+    CallClock, EndpointUri, ServerCore, SocketBackend, SocketConfig, SocketFamily,
+};
 use bytes::Bytes;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use hvac_sync::{classes, OrderedMutex, OrderedRwLock};
-use hvac_types::{HvacError, Result};
+use hvac_types::{HvacError, Result, TransportKind};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -89,9 +108,26 @@ impl FabricStats {
     }
 }
 
-/// The in-process interconnect: endpoint registry + traffic accounting.
+/// The transport behind a [`Fabric`]: in-process queues or real sockets.
+enum Backend {
+    Loopback {
+        endpoints: OrderedRwLock<HashMap<String, EndpointSlot>>,
+    },
+    Socket(SocketBackend),
+}
+
+impl Backend {
+    fn loopback() -> Self {
+        Backend::Loopback {
+            endpoints: OrderedRwLock::new(classes::FABRIC_ENDPOINTS, HashMap::new()),
+        }
+    }
+}
+
+/// The interconnect: endpoint registry + traffic accounting over a
+/// loopback or socket backend.
 pub struct Fabric {
-    endpoints: OrderedRwLock<HashMap<String, EndpointSlot>>,
+    backend: Backend,
     stats: FabricStats,
     call_timeout: Duration,
     faults: FaultInjector,
@@ -104,21 +140,85 @@ impl Default for Fabric {
 }
 
 impl Fabric {
-    /// A fabric with the default 30 s call timeout.
-    pub fn new() -> Self {
+    fn with_backend(backend: Backend) -> Self {
         Self {
-            endpoints: OrderedRwLock::new(classes::FABRIC_ENDPOINTS, HashMap::new()),
+            backend,
             stats: FabricStats::default(),
             call_timeout: Duration::from_secs(30),
             faults: FaultInjector::new(),
         }
     }
 
-    /// A fabric with a custom call timeout (tests use short ones).
+    /// A loopback fabric with the default 30 s call timeout.
+    pub fn new() -> Self {
+        Self::with_backend(Backend::loopback())
+    }
+
+    /// A loopback fabric with a custom call timeout (tests use short ones).
     pub fn with_timeout(call_timeout: Duration) -> Self {
         Self {
             call_timeout,
             ..Self::new()
+        }
+    }
+
+    /// A socket-backed fabric of the given family with default knobs.
+    pub fn socket(family: SocketFamily) -> Self {
+        Self::socket_with(SocketConfig {
+            family,
+            ..SocketConfig::default()
+        })
+    }
+
+    /// A socket-backed fabric with explicit [`SocketConfig`] knobs.
+    pub fn socket_with(config: SocketConfig) -> Self {
+        Self::with_backend(Backend::Socket(SocketBackend::new(config)))
+    }
+
+    /// A fabric for the given [`TransportKind`] (how `Cluster` and the
+    /// `hvac-server` binary pick their backend).
+    pub fn for_transport(kind: TransportKind) -> Self {
+        match kind {
+            TransportKind::Loopback => Self::new(),
+            TransportKind::Tcp => Self::socket(SocketFamily::Tcp),
+            TransportKind::Unix => Self::socket(SocketFamily::Unix),
+        }
+    }
+
+    /// A socket-backed fabric (TCP family by default) with every endpoint
+    /// named in the `HVAC_ENDPOINTS` environment variable pre-registered —
+    /// the cross-process client bootstrap path.
+    pub fn socket_from_env() -> Result<Self> {
+        let fabric = Self::socket(SocketFamily::Tcp);
+        for (name, uri) in crate::socket::endpoints_from_env()? {
+            fabric.register_endpoint(&name, &uri.to_string())?;
+        }
+        Ok(fabric)
+    }
+
+    /// Record the concrete socket address of a logical endpoint name
+    /// (`tcp:host:port` or `unix:/path`). Errors on a loopback fabric,
+    /// which has no remote endpoints to point at.
+    pub fn register_endpoint(&self, addr: &str, uri: &str) -> Result<()> {
+        match &self.backend {
+            Backend::Loopback { .. } => Err(HvacError::InvalidConfig(format!(
+                "cannot register remote endpoint {addr} on a loopback fabric"
+            ))),
+            Backend::Socket(sb) => {
+                sb.register_endpoint(addr, EndpointUri::parse(uri)?);
+                Ok(())
+            }
+        }
+    }
+
+    /// The concrete `tcp:`/`unix:` address a logical endpoint resolves to
+    /// (`None` for unknown endpoints and for loopback fabrics). Servers
+    /// bound to an ephemeral address use this to announce where they
+    /// actually listen.
+    pub fn endpoint_uri(&self, addr: &str) -> Option<String> {
+        match &self.backend {
+            Backend::Loopback { .. } => None,
+            Backend::Socket(sb) => sb.endpoint_uri(addr),
         }
     }
 
@@ -139,16 +239,39 @@ impl Fabric {
 
     /// Register a server endpoint under `addr` and spawn `workers` handler
     /// threads. Returns a handle that unregisters and joins on drop.
+    ///
+    /// `workers == 0` is a configuration error: a worker-less endpoint
+    /// would accept requests that can never be answered, so it is rejected
+    /// up front (mirroring the zero `bulk_chunk`/`bulk_window` treatment)
+    /// instead of being silently clamped to 1.
     pub fn serve(
         self: &Arc<Self>,
         addr: &str,
         workers: usize,
         handler: Arc<dyn RpcHandler>,
     ) -> Result<ServerEndpoint> {
+        if workers == 0 {
+            return Err(HvacError::InvalidConfig(format!(
+                "endpoint {addr}: RPC worker count must be positive (got 0)"
+            )));
+        }
+        let endpoints = match &self.backend {
+            Backend::Loopback { endpoints } => endpoints,
+            Backend::Socket(sb) => {
+                let (core, down) = sb.serve(addr, workers, handler)?;
+                return Ok(ServerEndpoint {
+                    fabric: self.clone(),
+                    addr: addr.to_string(),
+                    down,
+                    threads: OrderedMutex::new(classes::FABRIC_THREADS, Vec::new()),
+                    core: Some(core),
+                });
+            }
+        };
         let (tx, rx) = unbounded::<Incoming>();
         let down = Arc::new(AtomicBool::new(false));
         {
-            let mut eps = self.endpoints.write();
+            let mut eps = endpoints.write();
             if eps.contains_key(addr) {
                 return Err(HvacError::InvalidConfig(format!(
                     "endpoint {addr} already registered"
@@ -162,8 +285,8 @@ impl Fabric {
                 },
             );
         }
-        let mut threads = Vec::with_capacity(workers.max(1));
-        for w in 0..workers.max(1) {
+        let mut threads = Vec::with_capacity(workers);
+        for w in 0..workers {
             let rx: Receiver<Incoming> = rx.clone();
             let handler = handler.clone();
             let name = format!("hvac-rpc-{addr}-{w}");
@@ -192,6 +315,7 @@ impl Fabric {
             addr: addr.to_string(),
             down,
             threads: OrderedMutex::new(classes::FABRIC_THREADS, threads),
+            core: None,
         })
     }
 
@@ -204,138 +328,197 @@ impl Fabric {
     /// reply. A missed deadline is a typed [`HvacError::RpcTimeout`] — the
     /// caller cannot distinguish a hung server from a lost reply, and the
     /// error says exactly that much and no more.
+    ///
+    /// Ledger invariant: exactly one of `rpcs` (on success) or
+    /// `failed_calls` (on any error) is bumped per call, and
+    /// `request_bytes` counts only requests actually handed to a server
+    /// queue or written to a socket.
     pub fn call_with_deadline(
         &self,
         addr: &str,
         request: Bytes,
         deadline: Duration,
     ) -> Result<Reply> {
-        let start = Instant::now();
-        let (tx, down) = {
-            let eps = self.endpoints.read();
-            match eps.get(addr) {
-                None => {
-                    self.stats.failed_calls.fetch_add(1, Ordering::Relaxed);
-                    return Err(HvacError::ServerDown(format!("{addr} (not registered)")));
-                }
-                Some(slot) => {
-                    if slot.down.load(Ordering::Relaxed) {
-                        self.stats.failed_calls.fetch_add(1, Ordering::Relaxed);
-                        return Err(HvacError::ServerDown(addr.to_string()));
-                    }
-                    (slot.tx.clone(), slot.down.clone())
+        let result = self.call_inner(addr, request, deadline);
+        match &result {
+            Ok(reply) => {
+                self.stats.rpcs.fetch_add(1, Ordering::Relaxed);
+                self.stats
+                    .reply_bytes
+                    .fetch_add(reply.header.len() as u64, Ordering::Relaxed);
+                if let Some(b) = &reply.bulk {
+                    self.stats
+                        .bulk_bytes
+                        .fetch_add(b.len() as u64, Ordering::Relaxed);
                 }
             }
-        };
-        // Fault injection happens after the liveness check so `set_down`
-        // always wins, and before any bytes move so a dropped request
-        // really never reaches the server.
-        let mut discard_reply = false;
+            Err(_) => {
+                self.stats.failed_calls.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        result
+    }
+
+    /// Backend-independent fault prologue: decide this call's fate after
+    /// the liveness check (so `set_down` always wins) and before any bytes
+    /// move (so a dropped request really never reaches the server). Returns
+    /// whether the reply must be discarded (Hang).
+    fn apply_faults(
+        &self,
+        addr: &str,
+        down: &AtomicBool,
+        deadline: Duration,
+        start: Instant,
+    ) -> Result<bool> {
         match self.faults.decide(addr) {
-            FaultAction::None => {}
+            FaultAction::None => Ok(false),
             FaultAction::Crash => {
                 // Crash-stop: latch the endpoint down exactly as `set_down`
                 // would, so every later call fails fast until the harness
                 // revives the endpoint. The fabric only kills the transport;
                 // wiping the server's cached state is `Cluster::crash_node`.
                 down.store(true, Ordering::Relaxed);
-                self.stats.failed_calls.fetch_add(1, Ordering::Relaxed);
-                return Err(HvacError::ServerDown(format!("{addr} (crashed)")));
+                Err(HvacError::ServerDown(format!("{addr} (crashed)")))
             }
-            FaultAction::Error => {
-                self.stats.failed_calls.fetch_add(1, Ordering::Relaxed);
-                return Err(HvacError::Rpc(format!("injected error reply from {addr}")));
-            }
+            FaultAction::Error => Err(HvacError::Rpc(format!("injected error reply from {addr}"))),
             FaultAction::Drop => {
                 // The request vanished; the caller waits out its deadline.
                 std::thread::sleep(deadline);
-                self.stats.failed_calls.fetch_add(1, Ordering::Relaxed);
-                return Err(HvacError::RpcTimeout {
+                Err(HvacError::RpcTimeout {
                     addr: addr.to_string(),
                     elapsed: start.elapsed(),
-                });
+                })
             }
-            FaultAction::Hang => discard_reply = true,
+            FaultAction::Hang => Ok(true),
             FaultAction::Delay(d) => {
                 if d >= deadline {
                     std::thread::sleep(deadline);
-                    self.stats.failed_calls.fetch_add(1, Ordering::Relaxed);
                     return Err(HvacError::RpcTimeout {
                         addr: addr.to_string(),
                         elapsed: start.elapsed(),
                     });
                 }
                 std::thread::sleep(d);
+                Ok(false)
             }
         }
-        self.stats
-            .request_bytes
-            .fetch_add(request.len() as u64, Ordering::Relaxed);
+    }
+
+    fn call_inner(&self, addr: &str, request: Bytes, deadline: Duration) -> Result<Reply> {
+        let start = Instant::now();
+        let endpoints = match &self.backend {
+            Backend::Loopback { endpoints } => endpoints,
+            Backend::Socket(sb) => {
+                let Some((uri, down)) = sb.resolve(addr) else {
+                    return Err(HvacError::ServerDown(format!("{addr} (not registered)")));
+                };
+                if down.load(Ordering::Relaxed) {
+                    return Err(HvacError::ServerDown(addr.to_string()));
+                }
+                let discard_reply = self.apply_faults(addr, &down, deadline, start)?;
+                return sb.dispatch(
+                    addr,
+                    &uri,
+                    request,
+                    CallClock { deadline, start },
+                    discard_reply,
+                    &self.stats,
+                );
+            }
+        };
+        let (tx, down) = {
+            let eps = endpoints.read();
+            match eps.get(addr) {
+                None => {
+                    return Err(HvacError::ServerDown(format!("{addr} (not registered)")));
+                }
+                Some(slot) => {
+                    if slot.down.load(Ordering::Relaxed) {
+                        return Err(HvacError::ServerDown(addr.to_string()));
+                    }
+                    (slot.tx.clone(), slot.down.clone())
+                }
+            }
+        };
+        let discard_reply = self.apply_faults(addr, &down, deadline, start)?;
+        let request_len = request.len() as u64;
         let (reply_tx, reply_rx) = bounded::<Reply>(1);
+        // The request is counted only once it is actually in the queue: a
+        // closed queue (all workers dead) is a failed call that moved no
+        // bytes, not a delivered request.
         tx.send(Incoming { request, reply_tx })
             .map_err(|_| HvacError::ServerDown(format!("{addr} (queue closed)")))?;
+        self.stats
+            .request_bytes
+            .fetch_add(request_len, Ordering::Relaxed);
         if discard_reply {
             // Hung server: the handler runs, but the reply is dropped on the
             // floor. Waiting the full remaining deadline reproduces exactly
             // what the caller of a wedged endpoint experiences.
             std::thread::sleep(deadline.saturating_sub(start.elapsed()));
-            self.stats.failed_calls.fetch_add(1, Ordering::Relaxed);
             return Err(HvacError::RpcTimeout {
                 addr: addr.to_string(),
                 elapsed: start.elapsed(),
             });
         }
-        let reply = reply_rx
+        reply_rx
             .recv_timeout(deadline.saturating_sub(start.elapsed()))
-            .map_err(|_| {
-                self.stats.failed_calls.fetch_add(1, Ordering::Relaxed);
-                HvacError::RpcTimeout {
-                    addr: addr.to_string(),
-                    elapsed: start.elapsed(),
-                }
-            })?;
-        self.stats.rpcs.fetch_add(1, Ordering::Relaxed);
-        self.stats
-            .reply_bytes
-            .fetch_add(reply.header.len() as u64, Ordering::Relaxed);
-        if let Some(b) = &reply.bulk {
-            self.stats
-                .bulk_bytes
-                .fetch_add(b.len() as u64, Ordering::Relaxed);
-        }
-        Ok(reply)
+            .map_err(|_| HvacError::RpcTimeout {
+                addr: addr.to_string(),
+                elapsed: start.elapsed(),
+            })
     }
 
     /// Mark an endpoint up/down without unregistering it (fault injection).
     /// Returns false if the endpoint is unknown.
     pub fn set_down(&self, addr: &str, down: bool) -> bool {
-        let eps = self.endpoints.read();
-        match eps.get(addr) {
-            Some(slot) => {
-                slot.down.store(down, Ordering::Relaxed);
-                true
+        match &self.backend {
+            Backend::Loopback { endpoints } => {
+                let eps = endpoints.read();
+                match eps.get(addr) {
+                    Some(slot) => {
+                        slot.down.store(down, Ordering::Relaxed);
+                        true
+                    }
+                    None => false,
+                }
             }
-            None => false,
+            Backend::Socket(sb) => sb.set_down(addr, down),
         }
     }
 
     /// Whether an endpoint exists and is up.
     pub fn is_up(&self, addr: &str) -> bool {
-        let eps = self.endpoints.read();
-        eps.get(addr)
-            .map(|s| !s.down.load(Ordering::Relaxed))
-            .unwrap_or(false)
+        match &self.backend {
+            Backend::Loopback { endpoints } => {
+                let eps = endpoints.read();
+                eps.get(addr)
+                    .map(|s| !s.down.load(Ordering::Relaxed))
+                    .unwrap_or(false)
+            }
+            Backend::Socket(sb) => sb.is_up(addr),
+        }
     }
 
     /// Registered endpoint names (sorted, for reporting).
     pub fn endpoint_names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.endpoints.read().keys().cloned().collect();
-        names.sort();
-        names
+        match &self.backend {
+            Backend::Loopback { endpoints } => {
+                let mut names: Vec<String> = endpoints.read().keys().cloned().collect();
+                names.sort();
+                names
+            }
+            Backend::Socket(sb) => sb.endpoint_names(),
+        }
     }
 
     fn unregister(&self, addr: &str) {
-        self.endpoints.write().remove(addr);
+        match &self.backend {
+            Backend::Loopback { endpoints } => {
+                endpoints.write().remove(addr);
+            }
+            Backend::Socket(sb) => sb.unregister(addr),
+        }
     }
 }
 
@@ -346,6 +529,19 @@ pub struct ServerEndpoint {
     addr: String,
     down: Arc<AtomicBool>,
     threads: OrderedMutex<Vec<JoinHandle<()>>>,
+    /// Socket backends park their listener/worker machinery here; loopback
+    /// endpoints keep it `None`. Dropped (= stopped and joined) after the
+    /// address is unregistered.
+    core: Option<ServerCore>,
+}
+
+impl std::fmt::Debug for ServerEndpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerEndpoint")
+            .field("addr", &self.addr)
+            .field("down", &self.down.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
 }
 
 impl ServerEndpoint {
@@ -369,6 +565,9 @@ impl Drop for ServerEndpoint {
         for t in threads {
             let _ = t.join();
         }
+        // Socket machinery (listener, connection readers, workers) stops
+        // and joins here.
+        self.core.take();
     }
 }
 
@@ -406,6 +605,57 @@ mod tests {
         let err = fabric.call("nowhere", Bytes::new()).unwrap_err();
         assert!(matches!(err, HvacError::ServerDown(_)));
         assert_eq!(fabric.stats().snapshot().4, 1);
+    }
+
+    #[test]
+    fn zero_workers_is_invalid_config() {
+        let fabric = Arc::new(Fabric::new());
+        let err = fabric.serve("z", 0, echo_handler()).unwrap_err();
+        assert!(matches!(err, HvacError::InvalidConfig(_)), "{err}");
+        assert!(
+            fabric.endpoint_names().is_empty(),
+            "a rejected serve must not leave a registration behind"
+        );
+        // Same contract on the socket backend.
+        let fabric = Arc::new(Fabric::socket(crate::socket::SocketFamily::Tcp));
+        let err = fabric.serve("z", 0, echo_handler()).unwrap_err();
+        assert!(matches!(err, HvacError::InvalidConfig(_)), "{err}");
+        assert!(fabric.endpoint_names().is_empty());
+    }
+
+    #[test]
+    fn queue_closed_path_keeps_the_stats_ledger_consistent() {
+        // A lone worker that dies on its first request leaves the endpoint
+        // registered but its queue receiver-less: the next send fails on
+        // the "queue closed" path, which must count as a failed call that
+        // moved zero request bytes.
+        let fabric = Arc::new(Fabric::with_timeout(Duration::from_secs(5)));
+        let handler: Arc<dyn RpcHandler> = Arc::new(|_req: Bytes| -> Reply {
+            panic!("injected worker death");
+        });
+        let _ep = fabric.serve("dead", 1, handler).unwrap();
+        // Call 1: delivered (5 request bytes), then the worker panics and
+        // the caller errors out on the dropped reply slot.
+        assert!(fabric.call("dead", Bytes::from_static(b"first")).is_err());
+        // Give the unwind a moment to drop the worker's queue receiver.
+        std::thread::sleep(Duration::from_millis(100));
+        // Call 2: the queue is closed — ServerDown, no bytes moved.
+        let err = fabric
+            .call("dead", Bytes::from_static(b"xxxxx"))
+            .unwrap_err();
+        assert!(matches!(err, HvacError::ServerDown(_)), "{err}");
+
+        let (rpcs, req, _rep, _bulk, failed) = fabric.stats().snapshot();
+        assert_eq!(
+            rpcs + failed,
+            2,
+            "every call lands in exactly one ledger column"
+        );
+        assert_eq!((rpcs, failed), (0, 2));
+        assert_eq!(
+            req, 5,
+            "only the delivered request's bytes are counted, not the rejected one's"
+        );
     }
 
     #[test]
@@ -465,7 +715,7 @@ mod tests {
     #[test]
     fn panicking_handler_does_not_block_the_client() {
         let fabric = Arc::new(Fabric::with_timeout(Duration::from_secs(10)));
-        let handler: Arc<dyn RpcHandler> = Arc::new(|req: Bytes| {
+        let handler: Arc<dyn RpcHandler> = Arc::new(|req: Bytes| -> Reply {
             if req.is_empty() {
                 panic!("injected handler panic");
             }

@@ -1,0 +1,325 @@
+//! Length-prefixed framing for the socket transport.
+//!
+//! Every message on a stream socket is one *frame*:
+//!
+//! ```text
+//! [magic u32 LE = "HVAC"] [len u32 LE] [body: len bytes]
+//! ```
+//!
+//! The body reuses the existing `hvac-net::wire` conventions (little-endian
+//! integers, `u32` length prefixes) and comes in two shapes:
+//!
+//! * **request** — `[kind u8 = 1][req_id u64][deadline_ms u32][payload…]`.
+//!   `req_id` multiplexes concurrent in-flight calls on one connection;
+//!   `deadline_ms` carries the caller's remaining per-call budget so the
+//!   server can skip work whose client has certainly given up.
+//! * **reply** — `[kind u8 = 2][req_id u64][flags u8][hdr_len u32][header…]
+//!   [bulk…]`. Bit 0 of `flags` says whether a bulk payload follows the
+//!   header — the same header/bulk split the loopback [`Reply`] models
+//!   (Mercury's RPC-argument vs. bulk-transfer separation).
+//!
+//! The decoder is strictly *bounded-allocation*: the frame length is
+//! validated against both the magic and the configured `max_frame` cap
+//! **before** any buffer is sized from it, so truncated, oversized, or
+//! garbage input yields a typed [`HvacError::Protocol`] (or a clean
+//! end-of-stream `None`) — never a panic or an attacker-sized allocation.
+
+use crate::fabric::Reply;
+use bytes::{Buf, Bytes};
+use hvac_types::{HvacError, Result};
+use std::io::Read;
+
+/// Frame magic: `"HVAC"` in ASCII, read as a little-endian `u32`.
+pub const FRAME_MAGIC: u32 = u32::from_le_bytes(*b"HVAC");
+
+/// Default cap on one frame's body. Bulk replies are chunked well below
+/// this by the client's `bulk_chunk` (1 MiB by default), so the cap only
+/// guards against corrupt or hostile length prefixes.
+pub const DEFAULT_MAX_FRAME: usize = 64 << 20;
+
+const KIND_REQUEST: u8 = 1;
+const KIND_REPLY: u8 = 2;
+const FLAG_HAS_BULK: u8 = 1;
+
+/// A decoded request frame body.
+#[derive(Debug)]
+pub struct RequestFrame {
+    /// Connection-local id matching the reply to its caller.
+    pub req_id: u64,
+    /// Remaining per-call deadline at send time, in milliseconds
+    /// (saturated); lets the server drop work for long-gone callers.
+    pub deadline_ms: u32,
+    /// The opaque RPC payload (the protocol layer's encoded `Request`).
+    pub payload: Bytes,
+}
+
+/// A decoded reply frame body.
+#[derive(Debug)]
+pub struct ReplyFrame {
+    /// Id of the request this answers.
+    pub req_id: u64,
+    /// Header + optional bulk, exactly as the loopback fabric delivers it.
+    pub reply: Reply,
+}
+
+fn check_body_len(len: usize, max_frame: usize) -> Result<()> {
+    if len > max_frame || len > u32::MAX as usize {
+        return Err(HvacError::Protocol(format!(
+            "frame body of {len} bytes exceeds the {max_frame}-byte cap"
+        )));
+    }
+    Ok(())
+}
+
+/// Frame up an opaque body: magic, length, body.
+pub fn encode_frame(body: &[u8], max_frame: usize) -> Result<Vec<u8>> {
+    check_body_len(body.len(), max_frame)?;
+    let mut out = Vec::with_capacity(8 + body.len());
+    out.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(body);
+    Ok(out)
+}
+
+/// Encode a request frame (header + body) ready to write to a stream.
+pub fn encode_request(
+    req_id: u64,
+    deadline_ms: u32,
+    payload: &[u8],
+    max_frame: usize,
+) -> Result<Vec<u8>> {
+    let mut body = Vec::with_capacity(13 + payload.len());
+    body.push(KIND_REQUEST);
+    body.extend_from_slice(&req_id.to_le_bytes());
+    body.extend_from_slice(&deadline_ms.to_le_bytes());
+    body.extend_from_slice(payload);
+    encode_frame(&body, max_frame)
+}
+
+/// Encode a reply frame (header + body) ready to write to a stream.
+pub fn encode_reply(req_id: u64, reply: &Reply, max_frame: usize) -> Result<Vec<u8>> {
+    let bulk_len = reply.bulk.as_ref().map_or(0, Bytes::len);
+    let mut body = Vec::with_capacity(14 + reply.header.len() + bulk_len);
+    body.push(KIND_REPLY);
+    body.extend_from_slice(&req_id.to_le_bytes());
+    body.push(if reply.bulk.is_some() {
+        FLAG_HAS_BULK
+    } else {
+        0
+    });
+    let hdr_len = u32::try_from(reply.header.len()).map_err(|_| {
+        HvacError::Protocol(format!(
+            "reply header of {} bytes exceeds u32 wire prefix",
+            reply.header.len()
+        ))
+    })?;
+    body.extend_from_slice(&hdr_len.to_le_bytes());
+    body.extend_from_slice(&reply.header);
+    if let Some(b) = &reply.bulk {
+        body.extend_from_slice(b);
+    }
+    encode_frame(&body, max_frame)
+}
+
+/// Decode a request frame body (the bytes after the 8-byte frame header).
+pub fn decode_request(mut body: Bytes) -> Result<RequestFrame> {
+    let kind = crate::wire::get_u8(&mut body)?;
+    if kind != KIND_REQUEST {
+        return Err(HvacError::Protocol(format!(
+            "expected request frame (kind {KIND_REQUEST}), got kind {kind}"
+        )));
+    }
+    let req_id = crate::wire::get_u64(&mut body)?;
+    let deadline_ms = crate::wire::get_u32(&mut body)?;
+    Ok(RequestFrame {
+        req_id,
+        deadline_ms,
+        payload: body,
+    })
+}
+
+/// Decode a reply frame body (the bytes after the 8-byte frame header).
+pub fn decode_reply(mut body: Bytes) -> Result<ReplyFrame> {
+    let kind = crate::wire::get_u8(&mut body)?;
+    if kind != KIND_REPLY {
+        return Err(HvacError::Protocol(format!(
+            "expected reply frame (kind {KIND_REPLY}), got kind {kind}"
+        )));
+    }
+    let req_id = crate::wire::get_u64(&mut body)?;
+    let flags = crate::wire::get_u8(&mut body)?;
+    if flags & !FLAG_HAS_BULK != 0 {
+        return Err(HvacError::Protocol(format!(
+            "unknown reply flags {flags:#04x}"
+        )));
+    }
+    let hdr_len = crate::wire::get_u32(&mut body)? as usize;
+    if body.remaining() < hdr_len {
+        return Err(HvacError::Protocol(format!(
+            "truncated reply header: want {hdr_len}, have {}",
+            body.remaining()
+        )));
+    }
+    let header = body.split_to(hdr_len);
+    let bulk = if flags & FLAG_HAS_BULK != 0 {
+        Some(body)
+    } else if body.is_empty() {
+        None
+    } else {
+        return Err(HvacError::Protocol(format!(
+            "{} trailing bytes after bulk-less reply",
+            body.len()
+        )));
+    };
+    Ok(ReplyFrame {
+        req_id,
+        reply: Reply { header, bulk },
+    })
+}
+
+/// Read one frame body off a stream.
+///
+/// Returns `Ok(None)` on a clean end-of-stream *at a frame boundary* (the
+/// peer closed between messages); `Err(Protocol)` on a bad magic, an
+/// over-cap length, or a stream that ends mid-frame; and `Err(Io)` for
+/// transport-level failures. The body buffer is allocated only after the
+/// declared length passes both the magic check and the `max_frame` cap.
+pub fn read_frame<R: Read>(r: &mut R, max_frame: usize) -> Result<Option<Bytes>> {
+    let mut header = [0u8; 8];
+    let mut filled = 0usize;
+    while filled < header.len() {
+        let n = match r.read(&mut header[filled..]) {
+            Ok(n) => n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(map_read_err(e)),
+        };
+        if n == 0 {
+            if filled == 0 {
+                return Ok(None);
+            }
+            return Err(HvacError::Protocol(format!(
+                "stream ended {filled} bytes into a frame header"
+            )));
+        }
+        filled += n;
+    }
+    let magic = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
+    if magic != FRAME_MAGIC {
+        return Err(HvacError::Protocol(format!(
+            "bad frame magic {magic:#010x} (expected {FRAME_MAGIC:#010x})"
+        )));
+    }
+    let len = u32::from_le_bytes([header[4], header[5], header[6], header[7]]) as usize;
+    check_body_len(len, max_frame)?;
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            HvacError::Protocol(format!("stream ended inside a {len}-byte frame body"))
+        } else {
+            map_read_err(e)
+        }
+    })?;
+    Ok(Some(Bytes::from(body)))
+}
+
+fn map_read_err(e: std::io::Error) -> HvacError {
+    HvacError::Io(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn request_frame_round_trip() {
+        let frame = encode_request(42, 1500, b"payload", DEFAULT_MAX_FRAME).unwrap();
+        let body = read_frame(&mut Cursor::new(&frame), DEFAULT_MAX_FRAME)
+            .unwrap()
+            .unwrap();
+        let req = decode_request(body).unwrap();
+        assert_eq!(req.req_id, 42);
+        assert_eq!(req.deadline_ms, 1500);
+        assert_eq!(&req.payload[..], b"payload");
+    }
+
+    #[test]
+    fn reply_frame_round_trip_with_and_without_bulk() {
+        for bulk in [None, Some(Bytes::from(vec![7u8; 4096]))] {
+            let reply = Reply {
+                header: Bytes::from_static(b"hdr"),
+                bulk: bulk.clone(),
+            };
+            let frame = encode_reply(9, &reply, DEFAULT_MAX_FRAME).unwrap();
+            let body = read_frame(&mut Cursor::new(&frame), DEFAULT_MAX_FRAME)
+                .unwrap()
+                .unwrap();
+            let decoded = decode_reply(body).unwrap();
+            assert_eq!(decoded.req_id, 9);
+            assert_eq!(&decoded.reply.header[..], b"hdr");
+            assert_eq!(decoded.reply.bulk, bulk);
+        }
+    }
+
+    #[test]
+    fn clean_eof_is_none_midframe_eof_is_protocol() {
+        let frame = encode_request(1, 0, b"x", DEFAULT_MAX_FRAME).unwrap();
+        // Clean EOF at a boundary.
+        assert!(read_frame(&mut Cursor::new(&[][..]), DEFAULT_MAX_FRAME)
+            .unwrap()
+            .is_none());
+        // Every strict prefix of a valid frame is a Protocol error.
+        for cut in 1..frame.len() {
+            let err = read_frame(&mut Cursor::new(&frame[..cut]), DEFAULT_MAX_FRAME).unwrap_err();
+            assert!(
+                matches!(err, HvacError::Protocol(_)),
+                "cut={cut} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_oversized_length_are_typed_errors() {
+        let mut junk = encode_request(1, 0, b"x", DEFAULT_MAX_FRAME).unwrap();
+        junk[0] ^= 0xff;
+        assert!(matches!(
+            read_frame(&mut Cursor::new(&junk), DEFAULT_MAX_FRAME),
+            Err(HvacError::Protocol(_))
+        ));
+
+        // A hostile length prefix must be rejected before any allocation.
+        let mut hostile = Vec::new();
+        hostile.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
+        hostile.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut Cursor::new(&hostile), 1024),
+            Err(HvacError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_body_refuses_to_encode() {
+        let body = vec![0u8; 100];
+        assert!(encode_frame(&body, 99).is_err());
+        assert!(encode_frame(&body, 100).is_ok());
+    }
+
+    #[test]
+    fn wrong_kind_and_unknown_flags_are_rejected() {
+        let req = encode_request(5, 0, b"p", DEFAULT_MAX_FRAME).unwrap();
+        let body = read_frame(&mut Cursor::new(&req), DEFAULT_MAX_FRAME)
+            .unwrap()
+            .unwrap();
+        assert!(matches!(decode_reply(body), Err(HvacError::Protocol(_))));
+
+        let reply = Reply {
+            header: Bytes::from_static(b"h"),
+            bulk: None,
+        };
+        let rep = encode_reply(5, &reply, DEFAULT_MAX_FRAME).unwrap();
+        let body = read_frame(&mut Cursor::new(&rep), DEFAULT_MAX_FRAME)
+            .unwrap()
+            .unwrap();
+        assert!(matches!(decode_request(body), Err(HvacError::Protocol(_))));
+    }
+}

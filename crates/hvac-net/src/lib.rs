@@ -3,14 +3,20 @@
 //! The paper uses the Mercury communication library for RPC and bulk data
 //! transfer over Summit's InfiniBand (§III-C). This crate reproduces the
 //! programming model — registered request handlers, request/response RPCs,
-//! and separate *bulk* payloads for file data — over an in-process loopback
-//! fabric, which is the faithful substitution for a single-machine
-//! reproduction (see DESIGN.md §1):
+//! and separate *bulk* payloads for file data — over two interchangeable
+//! backends: an in-process loopback fabric (the faithful substitution for a
+//! single-machine reproduction, see DESIGN.md §1) and a real socket
+//! transport (TCP or Unix-domain) for multi-process deployments:
 //!
 //! * [`wire`] — a small, explicit binary codec over [`bytes`],
 //! * [`fabric`] — the [`Fabric`] registry of endpoints, server endpoints with
 //!   worker threads, fault injection (mark a server down), and traffic
-//!   accounting,
+//!   accounting, over either backend,
+//! * [`framing`] — length-prefixed socket frames with a bounded-allocation
+//!   decoder (truncated/oversized/garbage input → typed `Protocol` errors),
+//! * [`socket`] — the socket transport: endpoint resolution (config/env),
+//!   per-destination connection pooling with request-id multiplexing, and
+//!   the server accept/worker core,
 //! * [`client`] — the blocking [`RpcClient`] used by HVAC clients,
 //! * [`fault`] — the seeded [`FaultInjector`] (per-endpoint drop / delay /
 //!   hang / error-reply schedules) driving the hung-server tests,
@@ -19,14 +25,19 @@
 //! * [`pipeline`] — bounded-window pipelining of chunk fetches, so large
 //!   reads overlap their chunk RPCs the way Mercury overlaps RDMA gets.
 //!
-//! The fabric moves real bytes between real threads; latency and bandwidth of
-//! the modeled interconnect are accounted (for reporting) rather than slept.
+//! The loopback fabric moves real bytes between real threads; latency and
+//! bandwidth of the modeled interconnect are accounted (for reporting)
+//! rather than slept. The socket transport moves the same frames through
+//! the kernel, and the whole deadline/retry/breaker/hedge ladder above the
+//! fabric works unchanged on both.
 
 pub mod bulk;
 pub mod client;
 pub mod fabric;
 pub mod fault;
+pub mod framing;
 pub mod pipeline;
+pub mod socket;
 pub mod wire;
 
 pub use bulk::{chunk_bulk, reassemble_bulk, BULK_CHUNK_SIZE};
@@ -34,3 +45,6 @@ pub use client::RpcClient;
 pub use fabric::{Fabric, FabricStats, Reply, RpcHandler, ServerEndpoint};
 pub use fault::{FaultAction, FaultInjector, FaultSpec};
 pub use pipeline::{pipelined_fetch, DEFAULT_PIPELINE_WINDOW};
+pub use socket::{
+    endpoints_from_env, parse_endpoint_list, EndpointUri, SocketConfig, SocketFamily,
+};

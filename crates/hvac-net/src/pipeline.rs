@@ -68,9 +68,22 @@ where
                         if idx >= n_chunks {
                             break;
                         }
-                        let chunk_off = offset + (idx * chunk_size) as u64;
+                        // Widen before multiplying: `idx * chunk_size` in
+                        // usize can overflow on 32-bit targets even though
+                        // the byte range itself is valid, and `offset` lives
+                        // near u64::MAX for probing reads. Checked math turns
+                        // both into a typed error instead of a wrong offset.
+                        let chunk_off = (idx as u64)
+                            .checked_mul(chunk_size as u64)
+                            .and_then(|delta| offset.checked_add(delta))
+                            .ok_or_else(|| {
+                                HvacError::InvalidConfig(format!(
+                                    "chunk offset overflows u64: base {offset} + \
+                                     {idx} * {chunk_size}"
+                                ))
+                            });
                         let chunk_len = chunk_size.min(len - idx * chunk_size);
-                        let result = fetch(chunk_off, chunk_len);
+                        let result = chunk_off.and_then(|off| fetch(off, chunk_len));
                         if result.is_err() {
                             abort.store(true, Ordering::Relaxed);
                         }
@@ -172,6 +185,18 @@ mod tests {
             HvacError::Rpc(msg) => assert_eq!(msg, "chunk at 1024 failed"),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn chunk_offset_overflow_is_a_typed_error_not_a_wrap() {
+        // Base offset within one chunk of u64::MAX: the second chunk's
+        // offset overflows u64 and must surface as a typed error — wrapping
+        // would silently fetch from offset ~0 and return wrong bytes.
+        let err = pipelined_fetch(u64::MAX - 10, 1024, 64, 4, |_, len| {
+            Ok(Bytes::from(vec![0u8; len]))
+        })
+        .unwrap_err();
+        assert!(matches!(err, HvacError::InvalidConfig(_)), "got {err:?}");
     }
 
     #[test]

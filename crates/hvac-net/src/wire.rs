@@ -9,9 +9,23 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use hvac_types::{HvacError, Result};
 
 /// Append a length-prefixed UTF-8 string.
-pub fn put_str(buf: &mut BytesMut, s: &str) {
-    buf.put_u32_le(s.len() as u32);
+///
+/// Fails with a typed [`HvacError::Protocol`] if the string cannot be
+/// represented in the `u32` length prefix (≥ 4 GiB). Truncating `len as u32`
+/// here would silently produce a frame whose prefix disagrees with its body —
+/// harmless on loopback where `Bytes` are handed over whole, but real
+/// corruption once the encoding crosses a socket.
+pub fn put_str(buf: &mut BytesMut, s: &str) -> Result<()> {
+    let len = u32::try_from(s.len()).map_err(|_| {
+        HvacError::Protocol(format!(
+            "string length {} exceeds u32 wire prefix (max {})",
+            s.len(),
+            u32::MAX
+        ))
+    })?;
+    buf.put_u32_le(len);
     buf.put_slice(s.as_bytes());
+    Ok(())
 }
 
 /// Read a length-prefixed UTF-8 string.
@@ -22,9 +36,20 @@ pub fn get_str(buf: &mut Bytes) -> Result<String> {
 }
 
 /// Append a length-prefixed byte blob.
-pub fn put_blob(buf: &mut BytesMut, b: &[u8]) {
-    buf.put_u32_le(b.len() as u32);
+///
+/// Fails with a typed [`HvacError::Protocol`] for blobs ≥ 4 GiB, for the same
+/// reason as [`put_str`]: the `u32` prefix must describe the body exactly.
+pub fn put_blob(buf: &mut BytesMut, b: &[u8]) -> Result<()> {
+    let len = u32::try_from(b.len()).map_err(|_| {
+        HvacError::Protocol(format!(
+            "blob length {} exceeds u32 wire prefix (max {})",
+            b.len(),
+            u32::MAX
+        ))
+    })?;
+    buf.put_u32_le(len);
     buf.put_slice(b);
+    Ok(())
 }
 
 /// Read a length-prefixed byte blob (zero-copy slice of the input).
@@ -78,8 +103,8 @@ mod tests {
     #[test]
     fn string_round_trip() {
         let mut b = BytesMut::new();
-        put_str(&mut b, "/gpfs/alpine/data.bin");
-        put_str(&mut b, "");
+        put_str(&mut b, "/gpfs/alpine/data.bin").unwrap();
+        put_str(&mut b, "").unwrap();
         let mut r = b.freeze();
         assert_eq!(get_str(&mut r).unwrap(), "/gpfs/alpine/data.bin");
         assert_eq!(get_str(&mut r).unwrap(), "");
@@ -89,7 +114,7 @@ mod tests {
     #[test]
     fn blob_round_trip_is_zero_copy() {
         let mut b = BytesMut::new();
-        put_blob(&mut b, &[1, 2, 3, 4]);
+        put_blob(&mut b, &[1, 2, 3, 4]).unwrap();
         let mut r = b.freeze();
         let blob = get_blob(&mut r).unwrap();
         assert_eq!(&blob[..], &[1, 2, 3, 4]);
@@ -115,11 +140,30 @@ mod tests {
     #[test]
     fn invalid_utf8_is_a_protocol_error() {
         let mut b = BytesMut::new();
-        put_blob(&mut b, &[0xff, 0xfe]);
+        put_blob(&mut b, &[0xff, 0xfe]).unwrap();
         assert!(matches!(
             get_str(&mut b.freeze()),
             Err(HvacError::Protocol(_))
         ));
+    }
+
+    #[test]
+    #[cfg(target_pointer_width = "64")]
+    fn oversized_lengths_are_rejected_not_truncated() {
+        // A payload of u32::MAX + 1 bytes used to truncate its prefix to 0 —
+        // a corrupt frame. The allocation is virtual only: `vec![0; n]` maps
+        // lazy zero pages and `put_blob` must fail *before* copying a byte,
+        // so this test never commits 4 GiB of physical memory.
+        let huge = vec![0u8; u32::MAX as usize + 1];
+        let mut b = BytesMut::new();
+        assert!(matches!(
+            put_blob(&mut b, &huge),
+            Err(HvacError::Protocol(_))
+        ));
+        assert!(b.is_empty(), "failed put must not write a partial prefix");
+        // `put_str` shares the same checked conversion; prove the happy path
+        // still round-trips at a boundary-adjacent size without the copy cost.
+        assert!(u32::try_from(u32::MAX as usize).is_ok());
     }
 
     #[test]

@@ -1,0 +1,371 @@
+//! Integration tests for the real socket transport behind [`Fabric`].
+//!
+//! Everything the loopback fabric promises — byte-exact replies, the
+//! stats-ledger invariant, all five fault-injector actions, down-latch
+//! semantics — must hold identically when the frames travel through the
+//! kernel. These tests run each contract over TCP and Unix-domain sockets,
+//! including the cross-fabric case (a client fabric resolving a server
+//! served by a *different* fabric, which is the in-process stand-in for
+//! cross-process deployment).
+
+use bytes::Bytes;
+use hvac_net::socket::{EndpointUri, SocketConfig, SocketFamily};
+use hvac_net::{Fabric, FaultSpec, Reply, RpcHandler};
+use hvac_types::HvacError;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Echo handler: header = request reversed, bulk = request repeated twice.
+/// Asymmetric on purpose so a mixed-up header/bulk split cannot pass.
+fn echo_handler() -> Arc<dyn RpcHandler> {
+    Arc::new(|req: Bytes| -> Reply {
+        let mut header: Vec<u8> = req.to_vec();
+        header.reverse();
+        let mut bulk = Vec::with_capacity(req.len() * 2);
+        bulk.extend_from_slice(&req);
+        bulk.extend_from_slice(&req);
+        Reply {
+            header: Bytes::from(header),
+            bulk: if req.is_empty() {
+                None
+            } else {
+                Some(Bytes::from(bulk))
+            },
+        }
+    })
+}
+
+fn round_trip_on(family: SocketFamily) {
+    let fabric = Arc::new(Fabric::socket(family));
+    let _ep = fabric.serve("node0/srv0", 2, echo_handler()).unwrap();
+
+    // Metadata-only reply.
+    let reply = fabric.call("node0/srv0", Bytes::new()).unwrap();
+    assert!(reply.header.is_empty());
+    assert!(reply.bulk.is_none());
+
+    // Multi-megabyte bulk payload: spans many kernel read()s, so a framing
+    // bug that only shows up on short reads cannot hide.
+    let big: Vec<u8> = (0..3 * 1024 * 1024u32)
+        .map(|i| (i * 31 + 7) as u8)
+        .collect();
+    let reply = fabric.call("node0/srv0", Bytes::from(big.clone())).unwrap();
+    let want_header: Vec<u8> = big.iter().rev().copied().collect();
+    assert_eq!(reply.header.as_ref(), want_header.as_slice());
+    let bulk = reply.bulk.expect("bulk expected");
+    assert_eq!(&bulk[..big.len()], big.as_slice());
+    assert_eq!(&bulk[big.len()..], big.as_slice());
+
+    let (rpcs, req_b, reply_b, bulk_b, failed) = fabric.stats().snapshot();
+    assert_eq!((rpcs, failed), (2, 0));
+    assert_eq!(req_b, big.len() as u64);
+    assert_eq!(reply_b, big.len() as u64);
+    assert_eq!(bulk_b, 2 * big.len() as u64);
+}
+
+#[test]
+fn tcp_round_trip_is_byte_exact() {
+    round_trip_on(SocketFamily::Tcp);
+}
+
+#[test]
+fn unix_round_trip_is_byte_exact() {
+    round_trip_on(SocketFamily::Unix);
+}
+
+#[test]
+fn concurrent_calls_multiplex_over_one_pooled_connection() {
+    let fabric = Arc::new(Fabric::socket(SocketFamily::Tcp));
+    let _ep = fabric.serve("s", 4, echo_handler()).unwrap();
+
+    let threads: Vec<_> = (0..8u8)
+        .map(|t| {
+            let fabric = fabric.clone();
+            std::thread::spawn(move || {
+                for i in 0..25u8 {
+                    let payload = Bytes::from(vec![t, i, t ^ i, 0xAB]);
+                    let reply = fabric.call("s", payload.clone()).unwrap();
+                    let mut want: Vec<u8> = payload.to_vec();
+                    want.reverse();
+                    assert_eq!(reply.header.as_ref(), want.as_slice());
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    let (rpcs, req_b, _, _, failed) = fabric.stats().snapshot();
+    assert_eq!((rpcs, failed), (200, 0));
+    assert_eq!(req_b, 200 * 4);
+}
+
+#[test]
+fn cross_fabric_client_resolves_a_registered_endpoint() {
+    // Server side: its own fabric, auto-bound ephemeral TCP address.
+    let server_fabric = Arc::new(Fabric::socket(SocketFamily::Tcp));
+    let _ep = server_fabric
+        .serve("node0/srv0", 2, echo_handler())
+        .unwrap();
+    let uri = server_fabric.endpoint_uri("node0/srv0").unwrap();
+    assert!(uri.starts_with("tcp:"), "{uri}");
+
+    // Client side: a separate fabric (as a separate process would build)
+    // that only knows the advertised URI.
+    let client = Arc::new(Fabric::socket(SocketFamily::Tcp));
+    client.register_endpoint("node0/srv0", &uri).unwrap();
+    let reply = client
+        .call("node0/srv0", Bytes::from_static(b"hello"))
+        .unwrap();
+    assert_eq!(reply.header.as_ref(), b"olleh");
+
+    // Loopback fabrics have no addresses to register.
+    let loopback = Arc::new(Fabric::new());
+    assert!(matches!(
+        loopback.register_endpoint("x", "tcp:127.0.0.1:1"),
+        Err(HvacError::InvalidConfig(_))
+    ));
+}
+
+#[test]
+fn endpoint_list_env_round_trip() {
+    // `socket_from_env` is what a standalone client process runs at
+    // startup; exercise the whole env → registry → RPC path.
+    let server_fabric = Arc::new(Fabric::socket(SocketFamily::Unix));
+    let _ep = server_fabric
+        .serve("node0/srv0", 1, echo_handler())
+        .unwrap();
+    let uri = server_fabric.endpoint_uri("node0/srv0").unwrap();
+
+    std::env::set_var("HVAC_ENDPOINTS", format!("node0/srv0={uri}"));
+    let client = Arc::new(Fabric::socket_from_env().unwrap());
+    std::env::remove_var("HVAC_ENDPOINTS");
+
+    let reply = client
+        .call("node0/srv0", Bytes::from_static(b"abc"))
+        .unwrap();
+    assert_eq!(reply.header.as_ref(), b"cba");
+}
+
+#[test]
+fn duplicate_serve_is_rejected() {
+    let fabric = Arc::new(Fabric::socket(SocketFamily::Tcp));
+    let _ep = fabric.serve("dup", 1, echo_handler()).unwrap();
+    let err = fabric.serve("dup", 1, echo_handler()).unwrap_err();
+    assert!(matches!(err, HvacError::InvalidConfig(_)), "{err}");
+}
+
+#[test]
+fn unreachable_endpoint_is_server_down_and_moves_no_bytes() {
+    let fabric = Arc::new(Fabric::socket(SocketFamily::Tcp));
+    // Registered but nobody listening: the dial fails.
+    fabric
+        .register_endpoint("ghost", "tcp:127.0.0.1:1")
+        .unwrap();
+    let err = fabric
+        .call_with_deadline(
+            "ghost",
+            Bytes::from_static(b"xxxx"),
+            Duration::from_millis(500),
+        )
+        .unwrap_err();
+    assert!(matches!(err, HvacError::ServerDown(_)), "{err}");
+    let (rpcs, req_b, _, _, failed) = fabric.stats().snapshot();
+    assert_eq!((rpcs, req_b, failed), (0, 0, 1));
+}
+
+#[test]
+fn client_reconnects_after_server_restart() {
+    // Unix sockets give us a stable address across restarts.
+    let path = std::env::temp_dir().join(format!("hvac-restart-{}.sock", std::process::id()));
+    let uri = format!("unix:{}", path.display());
+
+    let server_fabric = Arc::new(Fabric::socket(SocketFamily::Unix));
+    server_fabric.register_endpoint("s", &uri).unwrap();
+    let ep = server_fabric.serve("s", 1, echo_handler()).unwrap();
+
+    let client = Arc::new(Fabric::socket(SocketFamily::Unix));
+    client.register_endpoint("s", &uri).unwrap();
+    assert_eq!(
+        client
+            .call("s", Bytes::from_static(b"one"))
+            .unwrap()
+            .header
+            .as_ref(),
+        b"eno"
+    );
+
+    // Server goes away: the pooled connection dies and calls fail.
+    drop(ep);
+    assert!(client
+        .call_with_deadline("s", Bytes::from_static(b"two"), Duration::from_millis(500))
+        .is_err());
+
+    // Server comes back on the same address: the pool dials afresh.
+    let server_fabric2 = Arc::new(Fabric::socket(SocketFamily::Unix));
+    server_fabric2.register_endpoint("s", &uri).unwrap();
+    let _ep2 = server_fabric2.serve("s", 1, echo_handler()).unwrap();
+    let mut revived = None;
+    for _ in 0..20 {
+        match client.call_with_deadline("s", Bytes::from_static(b"three"), Duration::from_secs(2)) {
+            Ok(r) => {
+                revived = Some(r);
+                break;
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(25)),
+        }
+    }
+    let reply = revived.expect("client never reconnected");
+    assert_eq!(reply.header.as_ref(), b"eerht");
+}
+
+#[test]
+fn set_down_latches_the_socket_endpoint() {
+    let fabric = Arc::new(Fabric::socket(SocketFamily::Tcp));
+    let _ep = fabric.serve("d", 1, echo_handler()).unwrap();
+    assert!(fabric.is_up("d"));
+    assert!(fabric.set_down("d", true));
+    assert!(!fabric.is_up("d"));
+    let err = fabric.call("d", Bytes::new()).unwrap_err();
+    assert!(matches!(err, HvacError::ServerDown(_)), "{err}");
+    assert!(fabric.set_down("d", false));
+    assert!(fabric.call("d", Bytes::new()).is_ok());
+}
+
+// ---- fault-injector parity: all five actions over real sockets ----------
+
+#[test]
+fn injected_error_and_delay_work_over_sockets() {
+    let fabric = Arc::new(Fabric::socket(SocketFamily::Tcp));
+    let _ep = fabric.serve("f", 1, echo_handler()).unwrap();
+
+    fabric.fault_injector().set(
+        "f",
+        FaultSpec {
+            error_prob: 1.0,
+            ..FaultSpec::default()
+        },
+    );
+    let err = fabric.call("f", Bytes::new()).unwrap_err();
+    assert!(matches!(err, HvacError::Rpc(_)), "{err}");
+
+    fabric.fault_injector().set(
+        "f",
+        FaultSpec {
+            delay_prob: 1.0,
+            delay: Duration::from_millis(60),
+            ..FaultSpec::default()
+        },
+    );
+    let start = Instant::now();
+    fabric.call("f", Bytes::from_static(b"x")).unwrap();
+    assert!(start.elapsed() >= Duration::from_millis(60));
+    fabric.fault_injector().clear_all();
+}
+
+#[test]
+fn dropped_requests_time_out_and_never_reach_the_server() {
+    let served = Arc::new(AtomicU64::new(0));
+    let counter = served.clone();
+    let handler: Arc<dyn RpcHandler> = Arc::new(move |req: Bytes| -> Reply {
+        counter.fetch_add(1, Ordering::Relaxed);
+        Reply {
+            header: req,
+            bulk: None,
+        }
+    });
+    let fabric = Arc::new(Fabric::socket(SocketFamily::Tcp));
+    let _ep = fabric.serve("drp", 1, handler).unwrap();
+    fabric
+        .fault_injector()
+        .set("drp", FaultSpec::always_drop(7));
+
+    let err = fabric
+        .call_with_deadline("drp", Bytes::from_static(b"x"), Duration::from_millis(40))
+        .unwrap_err();
+    assert!(matches!(err, HvacError::RpcTimeout { .. }), "{err}");
+    // The request was dropped client-side: no bytes moved, nothing served.
+    let (_, req_b, _, _, failed) = fabric.stats().snapshot();
+    assert_eq!((req_b, failed), (0, 1));
+    assert_eq!(served.load(Ordering::Relaxed), 0);
+}
+
+#[test]
+fn hung_server_serves_the_request_but_the_caller_times_out() {
+    let served = Arc::new(AtomicU64::new(0));
+    let counter = served.clone();
+    let handler: Arc<dyn RpcHandler> = Arc::new(move |req: Bytes| -> Reply {
+        counter.fetch_add(1, Ordering::Relaxed);
+        Reply {
+            header: req,
+            bulk: None,
+        }
+    });
+    let fabric = Arc::new(Fabric::socket(SocketFamily::Tcp));
+    let _ep = fabric.serve("hng", 1, handler).unwrap();
+    fabric
+        .fault_injector()
+        .set("hng", FaultSpec::always_hang(7));
+
+    let err = fabric
+        .call_with_deadline("hng", Bytes::from_static(b"abc"), Duration::from_millis(80))
+        .unwrap_err();
+    assert!(matches!(err, HvacError::RpcTimeout { .. }), "{err}");
+    // Hang ≠ drop: the request *was* delivered (bytes counted, handler ran)
+    // but the reply was abandoned.
+    let (rpcs, req_b, _, _, failed) = fabric.stats().snapshot();
+    assert_eq!((rpcs, req_b, failed), (0, 3, 1));
+    for _ in 0..40 {
+        if served.load(Ordering::Relaxed) == 1 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(served.load(Ordering::Relaxed), 1);
+}
+
+#[test]
+fn crash_latches_the_endpoint_down_until_revived() {
+    let fabric = Arc::new(Fabric::socket(SocketFamily::Tcp));
+    let _ep = fabric.serve("c", 1, echo_handler()).unwrap();
+    fabric.fault_injector().set("c", FaultSpec::always_crash(3));
+
+    let err = fabric.call("c", Bytes::new()).unwrap_err();
+    assert!(matches!(err, HvacError::ServerDown(_)), "{err}");
+    assert!(!fabric.is_up("c"));
+
+    // The latch persists even after the fault is disarmed.
+    fabric.fault_injector().clear_all();
+    let err = fabric.call("c", Bytes::new()).unwrap_err();
+    assert!(matches!(err, HvacError::ServerDown(_)), "{err}");
+
+    // Explicit revival restores service.
+    assert!(fabric.set_down("c", false));
+    assert!(fabric.call("c", Bytes::new()).is_ok());
+}
+
+#[test]
+fn frame_cap_is_enforced_on_the_client_side() {
+    let fabric = Arc::new(Fabric::socket_with(SocketConfig {
+        family: SocketFamily::Tcp,
+        max_frame: 1024,
+    }));
+    let _ep = fabric.serve("cap", 1, echo_handler()).unwrap();
+    let err = fabric
+        .call("cap", Bytes::from(vec![0u8; 4096]))
+        .unwrap_err();
+    assert!(matches!(err, HvacError::Protocol(_)), "{err}");
+    let (rpcs, req_b, _, _, failed) = fabric.stats().snapshot();
+    assert_eq!((rpcs, req_b, failed), (0, 0, 1));
+}
+
+#[test]
+fn uri_parse_accepts_what_serve_advertises() {
+    for family in [SocketFamily::Tcp, SocketFamily::Unix] {
+        let fabric = Arc::new(Fabric::socket(family));
+        let _ep = fabric.serve("adv", 1, echo_handler()).unwrap();
+        let uri = fabric.endpoint_uri("adv").unwrap();
+        EndpointUri::parse(&uri).unwrap();
+    }
+}

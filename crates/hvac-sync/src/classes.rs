@@ -9,7 +9,8 @@
 //! A thread may acquire classes left-to-right along this chain (skipping
 //! levels is fine) but never right-to-left. Leaf classes — `CLIENT_FDS`,
 //! `CLIENT_HEALTH`, `AGENT_FDS`, `FABRIC_THREADS`, `SERVER_THREADS`,
-//! `HASH_RINGS` — are never held while acquiring any other class. The
+//! `HASH_RINGS`, `NET_SOCKET_POOL`, `NET_SOCKET_CONN`,
+//! `NET_SOCKET_WRITER` — are never held while acquiring any other class. The
 //! debug-build order checker in this crate turns any violation into an
 //! immediate panic naming the pair, and the static verifier in
 //! `tools/tidy` (`cargo run -p tidy -- lockgraph`) checks the same
@@ -84,6 +85,21 @@ pub const AGENT_FDS: &str = "preload.agent.fds";
 /// only while building/cloning a ring, with no other HVAC lock in scope.
 pub const HASH_RINGS: &str = "hash.placement.rings";
 
+/// Socket-transport per-destination connection pool (`hvac-net::socket`).
+/// Leaf: looked up (or replaced) in a block of its own, dropped before the
+/// connection is dialled or any frame moves.
+pub const NET_SOCKET_POOL: &str = "net.socket.pool";
+
+/// Socket-transport per-connection state: the pending-reply demux table on
+/// the client side and the open-connection registry on the server side.
+/// Leaf: insert/remove only, never held across a read, write, or send.
+pub const NET_SOCKET_CONN: &str = "net.socket.conn";
+
+/// Socket-transport write half of one connection: serializes whole frames
+/// from concurrent callers. Leaf: held for exactly one frame write, with no
+/// other HVAC lock in scope.
+pub const NET_SOCKET_WRITER: &str = "net.socket.writer";
+
 /// The lock hierarchy as data: levels ordered outermost-first, each level
 /// listing the classes that live at it. A thread holding a class at level
 /// `i` may acquire a class at level `j` only if `i < j` (strictly inward;
@@ -118,6 +134,9 @@ pub const LEAVES: &[&str] = &[
     FABRIC_THREADS,
     SERVER_THREADS,
     HASH_RINGS,
+    NET_SOCKET_POOL,
+    NET_SOCKET_CONN,
+    NET_SOCKET_WRITER,
 ];
 
 /// Every canonical class label, in declaration order: the leveled chain
@@ -173,6 +192,9 @@ mod tests {
         CLIENT_FDS,
         AGENT_FDS,
         HASH_RINGS,
+        NET_SOCKET_POOL,
+        NET_SOCKET_CONN,
+        NET_SOCKET_WRITER,
     ];
 
     #[test]

@@ -28,6 +28,49 @@ pub enum PlacementKind {
     Straw2,
 }
 
+/// Which transport carries client↔server RPCs.
+///
+/// The paper's deployment speaks Mercury over InfiniBand; this reproduction
+/// offers an in-process loopback fabric (the default, used by unit tests and
+/// the simulator) and a real socket transport in TCP and Unix-domain
+/// flavours. The choice is made at `Cluster`/client construction and is
+/// invisible above the fabric: deadlines, retries, breakers, hedging and
+/// fault injection behave identically on every backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum TransportKind {
+    /// In-process queues and worker threads; no bytes leave the process.
+    #[default]
+    Loopback,
+    /// TCP sockets on 127.0.0.1 with length-prefixed frames.
+    Tcp,
+    /// Unix-domain stream sockets with the same framing.
+    Unix,
+}
+
+impl TransportKind {
+    /// Transport selected by the `HVAC_TRANSPORT` environment variable
+    /// (`"tcp"`, `"unix"`/`"uds"`, `"loopback"`), falling back to
+    /// [`TransportKind::Loopback`] when unset or unrecognized. This is how
+    /// CI reruns the integration tiers over real sockets without touching
+    /// the test code.
+    pub fn from_env() -> Self {
+        match std::env::var("HVAC_TRANSPORT") {
+            Ok(v) => Self::parse(&v).unwrap_or(TransportKind::Loopback),
+            Err(_) => TransportKind::Loopback,
+        }
+    }
+
+    /// Parse a transport name; `None` for unknown names.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "loopback" | "" => Some(TransportKind::Loopback),
+            "tcp" => Some(TransportKind::Tcp),
+            "unix" | "uds" => Some(TransportKind::Unix),
+            _ => None,
+        }
+    }
+}
+
 /// Cache eviction policy (paper §III-G: "Currently, HVAC is designed to
 /// perform eviction and replacement randomly").
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]

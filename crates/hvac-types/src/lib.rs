@@ -31,7 +31,7 @@ pub mod view;
 
 pub use config::{
     ClusterConfig, EvictionPolicyKind, GpfsConfig, HvacConfig, NetworkConfig, NvmeConfig,
-    PlacementKind, RetryPolicy,
+    PlacementKind, RetryPolicy, TransportKind,
 };
 pub use error::{HvacError, Result};
 pub use ids::{ClientId, FileId, JobId, NodeId, Rank, ServerId};

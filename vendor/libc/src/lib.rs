@@ -1,10 +1,11 @@
 //! Offline stand-in for the `libc` crate.
 //!
-//! Exposes only the x86_64 linux-gnu subset that `hvac-preload` needs:
-//! the C scalar type aliases, a handful of fcntl/stat constants, the
-//! `struct stat` layout, and extern declarations for `dlsym`,
-//! `__errno_location`, and `atexit` (resolved against the system libc at
-//! link time, exactly as the real crate does).
+//! Exposes only the x86_64 linux-gnu subset that `hvac-preload` and the
+//! `hvac-server` binary need: the C scalar type aliases, a handful of
+//! fcntl/stat constants, the `struct stat` layout, and extern declarations
+//! for `dlsym`, `__errno_location`, `atexit`, `signal`, and `kill`
+//! (resolved against the system libc at link time, exactly as the real
+//! crate does).
 
 #![allow(non_camel_case_types)]
 
@@ -44,6 +45,10 @@ pub type blksize_t = i64;
 pub type blkcnt_t = i64;
 /// `time_t`.
 pub type time_t = i64;
+/// `pid_t`.
+pub type pid_t = i32;
+/// Signal-handler function pointer as an address (`sighandler_t`).
+pub type sighandler_t = size_t;
 
 /// Mask selecting the access mode bits of `open(2)` flags.
 pub const O_ACCMODE: c_int = 0o3;
@@ -63,6 +68,10 @@ pub const RTLD_NEXT: *mut c_void = -1isize as *mut c_void;
 pub const EBADF: c_int = 9;
 /// errno: invalid argument.
 pub const EINVAL: c_int = 22;
+/// Signal: interactive interrupt (Ctrl-C).
+pub const SIGINT: c_int = 2;
+/// Signal: termination request.
+pub const SIGTERM: c_int = 15;
 
 /// `struct stat`, x86_64 linux-gnu layout.
 #[repr(C)]
@@ -111,6 +120,10 @@ extern "C" {
     pub fn __errno_location() -> *mut c_int;
     /// Register a function to run at process exit.
     pub fn atexit(cb: extern "C" fn()) -> c_int;
+    /// Install a signal handler (see `signal(2)`).
+    pub fn signal(signum: c_int, handler: sighandler_t) -> sighandler_t;
+    /// Send a signal to a process (see `kill(2)`).
+    pub fn kill(pid: pid_t, sig: c_int) -> c_int;
 }
 
 #[cfg(test)]
