@@ -86,8 +86,14 @@ fn main() {
             "table1" => figures::table1::run(quick),
             "fig3" => figures::fig3::run(quick),
             "fig4" => figures::fig4::run(quick),
-            "fig8" => figures::fig8::tables(sweep.as_ref().expect("sweep computed")),
-            "fig9" => figures::fig9::tables(sweep.as_ref().expect("sweep computed")),
+            "fig8" => match sweep.as_ref() {
+                Some(s) => figures::fig8::tables(s),
+                None => unreachable!("need_sweep covers the fig8 selection"),
+            },
+            "fig9" => match sweep.as_ref() {
+                Some(s) => figures::fig9::tables(s),
+                None => unreachable!("need_sweep covers the fig9 selection"),
+            },
             "fig10" => figures::fig10::run(quick),
             "fig11" => figures::fig11::run(quick),
             "fig12" => figures::fig12::run(quick),

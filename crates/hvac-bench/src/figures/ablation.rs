@@ -111,7 +111,7 @@ pub fn eviction_table(quick: bool) -> Table {
                 .cache_capacity(per_node_capacity)
                 .eviction(kind),
         )
-        .expect("cluster");
+        .unwrap_or_else(|e| panic!("ablation cluster construction failed: {e}"));
         let sampler = hvac_dl::DistributedSampler::new(n_files, 4, 99);
         for epoch in 0..epochs {
             for rank in 0..4u64 {
@@ -120,7 +120,7 @@ pub fn eviction_table(quick: bool) -> Table {
                     cluster
                         .client(rank as usize)
                         .read_file(Path::new(&path))
-                        .expect("read through cache");
+                        .unwrap_or_else(|e| panic!("cache read of {path} failed: {e}"));
                 }
             }
         }
@@ -381,7 +381,7 @@ pub fn latency_table(quick: bool) -> Table {
         simulate_training(backend.as_mut(), &cfg);
         let h = backend
             .latency_histogram()
-            .expect("all sim backends record latencies");
+            .unwrap_or_else(|| panic!("sim backend {} records no latencies", system.label()));
         t.push_row(vec![
             system.label(),
             h.quantile(0.5).to_string(),

@@ -25,7 +25,7 @@ pub fn run(quick: bool) -> Vec<Table> {
         (apps[0].clone(), 80u32, "fig10a"), // ResNet50 [BS=80]
         (apps[2].clone(), 8u32, "fig10b"),  // CosmoFlow
     ];
-    let max_epochs = *epoch_scales(quick).last().unwrap();
+    let max_epochs = epoch_scales(quick).last().copied().unwrap_or(2);
     let mut out = Vec::new();
     for (app, bs, id) in selected {
         let mut t = Table::new(

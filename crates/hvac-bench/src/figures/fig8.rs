@@ -102,7 +102,9 @@ pub fn tables(points: &[SweepPoint]) -> Vec<Table> {
                 let p = points
                     .iter()
                     .find(|p| &p.app == app && p.nodes == nodes && p.system == system)
-                    .expect("complete sweep");
+                    .unwrap_or_else(|| {
+                        panic!("sweep has no point for {app} @ {nodes} nodes ({system:?})")
+                    });
                 row.push(fmt_minutes(p.result.total_minutes()));
             }
             t.push_row(row);

@@ -13,7 +13,7 @@ fn minutes(points: &[SweepPoint], app: &str, nodes: u32, system: SystemKind) -> 
     points
         .iter()
         .find(|p| p.app == app && p.nodes == nodes && p.system == system)
-        .expect("complete sweep")
+        .unwrap_or_else(|| panic!("sweep has no point for {app} @ {nodes} nodes ({system:?})"))
         .result
         .total_minutes()
 }

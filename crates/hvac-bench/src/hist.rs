@@ -1,0 +1,153 @@
+//! Latency recording for the hot-path harness.
+//!
+//! [`LatencyHist`] collects per-operation durations and reports the
+//! percentiles the paper's latency plots use (p50 / p99 / p999). Samples are
+//! kept raw (nanoseconds) and sorted once at query time — the harness records
+//! a few hundred thousand reads at most, so exact order statistics are
+//! cheaper and more honest than a bucketed approximation.
+
+use std::time::Duration;
+
+/// Exact-sample latency histogram.
+#[derive(Debug, Default, Clone)]
+pub struct LatencyHist {
+    /// Recorded latencies in nanoseconds, unsorted until a percentile query.
+    samples: Vec<u64>,
+}
+
+/// The percentile triple every harness row reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Percentiles {
+    /// Median latency in nanoseconds.
+    pub p50: u64,
+    /// 99th-percentile latency in nanoseconds.
+    pub p99: u64,
+    /// 99.9th-percentile latency in nanoseconds.
+    pub p999: u64,
+}
+
+impl LatencyHist {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: Duration) {
+        let nanos = u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX);
+        self.samples.push(nanos);
+    }
+
+    /// Absorbs every sample from `other` (used to merge per-thread
+    /// histograms after a reader fan-out joins).
+    pub fn merge(&mut self, other: &LatencyHist) {
+        self.samples.extend_from_slice(&other.samples);
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The `q`-quantile (0.0 ..= 1.0) in nanoseconds via the
+    /// nearest-rank method; `None` when no samples were recorded.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let q = q.clamp(0.0, 1.0);
+        // Nearest-rank: ceil(q * n), 1-based; q = 0 maps to the minimum.
+        let n = sorted.len();
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        Some(sorted[rank - 1])
+    }
+
+    /// p50 / p99 / p999 in one pass; `None` when empty.
+    pub fn percentiles(&self) -> Option<Percentiles> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let n = sorted.len();
+        let pick = |q: f64| {
+            let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+            sorted[rank - 1]
+        };
+        Some(Percentiles {
+            p50: pick(0.50),
+            p99: pick(0.99),
+            p999: pick(0.999),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist_of(nanos: &[u64]) -> LatencyHist {
+        let mut h = LatencyHist::new();
+        for &n in nanos {
+            h.record(Duration::from_nanos(n));
+        }
+        h
+    }
+
+    #[test]
+    fn empty_histogram_has_no_percentiles() {
+        let h = LatencyHist::new();
+        assert!(h.is_empty());
+        assert_eq!(h.percentiles(), None);
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let h = hist_of(&[42]);
+        let p = h.percentiles().expect("one sample");
+        assert_eq!((p.p50, p.p99, p.p999), (42, 42, 42));
+    }
+
+    #[test]
+    fn nearest_rank_on_a_known_distribution() {
+        // 1..=1000: p50 = 500, p99 = 990, p999 = 999.
+        let samples: Vec<u64> = (1..=1000).collect();
+        let h = hist_of(&samples);
+        let p = h.percentiles().expect("samples");
+        assert_eq!((p.p50, p.p99, p.p999), (500, 990, 999));
+        assert_eq!(h.quantile(0.0), Some(1));
+        assert_eq!(h.quantile(1.0), Some(1000));
+    }
+
+    #[test]
+    fn percentiles_are_order_independent() {
+        let mut shuffled = vec![9, 1, 5, 3, 7, 2, 8, 4, 6, 10];
+        let sorted: Vec<u64> = {
+            let mut s = shuffled.clone();
+            s.sort_unstable();
+            s
+        };
+        shuffled.reverse();
+        assert_eq!(
+            hist_of(&shuffled).percentiles(),
+            hist_of(&sorted).percentiles()
+        );
+    }
+
+    #[test]
+    fn merge_combines_samples() {
+        let mut a = hist_of(&[1, 2, 3]);
+        let b = hist_of(&[4, 5]);
+        a.merge(&b);
+        assert_eq!(a.len(), 5);
+        assert_eq!(a.quantile(1.0), Some(5));
+    }
+}

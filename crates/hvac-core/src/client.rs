@@ -23,7 +23,11 @@ use bytes::Bytes;
 use hvac_hash::pathhash::{hash_path, mix64};
 use hvac_hash::placement::{make_placement, Placement};
 use hvac_net::fabric::{Fabric, Reply};
-use hvac_net::pipeline::pipelined_fetch;
+use hvac_net::pipeline::pipelined_fetch_pooled;
+use hvac_net::plan::{coalesce_plan, BatchItem, PlanEntry};
+use hvac_net::pool::BufferPool;
+use hvac_net::reassemble_bulk_pooled;
+use hvac_net::sq::{SqEntry, SqPool, SubmissionQueue};
 use hvac_pfs::FileStore;
 use hvac_sync::{classes, OrderedMutex};
 use hvac_types::{ClusterView, HvacError, PlacementKind, Result, RetryPolicy, ServerId};
@@ -54,6 +58,17 @@ pub struct HvacClientOptions {
     pub bulk_chunk: usize,
     /// How many chunk RPCs of one read are kept in flight at once.
     pub bulk_window: usize,
+    /// Use the zero-copy data plane: pooled reassembly buffers on the read
+    /// hot path, plus coalesced + batched segment reads
+    /// ([`HvacClient::read_file_segmented`]). `false` pins the legacy
+    /// one-RPC-per-segment path — the baseline the latency harness compares
+    /// against.
+    pub zero_copy: bool,
+    /// Adjacent same-home segments are merged into one read range of at most
+    /// this many bytes (0 disables coalescing).
+    pub coalesce_max: u64,
+    /// At most this many coalesced ranges ride in one batch RPC.
+    pub batch_max: usize,
 }
 
 impl HvacClientOptions {
@@ -72,6 +87,9 @@ impl HvacClientOptions {
             retry: RetryPolicy::default(),
             bulk_chunk: hvac_net::BULK_CHUNK_SIZE,
             bulk_window: hvac_net::DEFAULT_PIPELINE_WINDOW,
+            zero_copy: true,
+            coalesce_max: 1 << 20,
+            batch_max: 16,
         }
     }
 }
@@ -135,6 +153,13 @@ pub struct HvacClient {
     /// every replica is exhausted. `None` = error out instead (the pre-§III-H
     /// behaviour, and the only option for pure-RPC embeddings).
     pfs_fallback: Option<Arc<dyn FileStore>>,
+    /// Slab pool for zero-copy reassembly: pipelined chunk buffers and
+    /// batched-read assembly recycle slabs instead of allocating per read.
+    pool: BufferPool,
+    /// Persistent dispatch workers for batched segmented reads: every
+    /// [`SubmissionQueue`] this client builds shares them, so the hot path
+    /// never pays a per-read thread spawn.
+    sq: SqPool,
 }
 
 /// The fabric address of a server instance, by global index.
@@ -157,6 +182,9 @@ impl HvacClient {
         if options.bulk_window == 0 {
             return Err(HvacError::InvalidConfig("bulk_window must be >= 1".into()));
         }
+        if options.batch_max == 0 {
+            return Err(HvacError::InvalidConfig("batch_max must be >= 1".into()));
+        }
         let jitter_seed = options.retry.jitter_seed;
         let view = ViewHandle::new(ClusterView::initial(
             options.n_servers,
@@ -165,6 +193,7 @@ impl HvacClient {
         Ok(Self {
             placement: make_placement(options.placement),
             matcher: DatasetMatcher::new(&options.dataset_dir),
+            sq: SqPool::new(fabric.clone(), options.bulk_window)?,
             fabric,
             options,
             view,
@@ -174,6 +203,7 @@ impl HvacClient {
             health: OrderedMutex::new(classes::CLIENT_HEALTH, HashMap::new()),
             jitter_state: AtomicU64::new(jitter_seed),
             pfs_fallback: None,
+            pool: BufferPool::new(),
         })
     }
 
@@ -687,14 +717,18 @@ impl HvacClient {
 
     /// One logical read: reads that fit in `bulk_chunk` issue a single RPC;
     /// larger ones are pipelined as a bounded window of concurrent chunk
-    /// RPCs reassembled in offset order ([`pipelined_fetch`]).
+    /// RPCs reassembled in offset order ([`pipelined_fetch_pooled`]). With
+    /// `zero_copy` on, the reassembly buffer comes from (and returns to)
+    /// the client's slab pool instead of the allocator.
     fn read_path_at(&self, path: &Path, offset: u64, len: usize) -> Result<Bytes> {
-        let data = pipelined_fetch(
+        let pool = self.options.zero_copy.then_some(&self.pool);
+        let data = pipelined_fetch_pooled(
             offset,
             len,
             self.options.bulk_chunk,
             self.options.bulk_window,
             |chunk_off, chunk_len| self.fetch_chunk(path, chunk_off, chunk_len),
+            pool,
         )?;
         self.metrics.reads.fetch_add(1, Ordering::Relaxed);
         self.metrics
@@ -714,67 +748,241 @@ impl HvacClient {
         }
         let size = self.stat(path)?;
         self.metrics.opens.fetch_add(1, Ordering::Relaxed);
+        let data = if self.options.zero_copy {
+            self.read_segmented_batched(path, size, segment_size)?
+        } else {
+            self.read_segmented_sequential(path, size, segment_size)?
+        };
+        self.metrics.closes.fetch_add(1, Ordering::Relaxed);
+        Ok(data)
+    }
+
+    /// The legacy segmented read: one `ReadSegment` RPC per segment, issued
+    /// sequentially through the full retry/failover/degrade ladder.
+    fn read_segmented_sequential(
+        &self,
+        path: &Path,
+        size: u64,
+        segment_size: u64,
+    ) -> Result<Bytes> {
         let mut assembled = bytes::BytesMut::with_capacity(size as usize);
         let mut offset = 0u64;
         let mut seg_index = 0u64;
         while offset < size {
             let len = segment_size.min(size - offset);
-            let req = Request::ReadSegment {
-                path: path.to_path_buf(),
-                offset,
-                len,
-            };
-            // Each segment re-resolves its own home through the view, so a
-            // mid-file membership change redirects only later segments.
-            let reply = match self.call_with_view(&req, |view| {
-                self.segment_replica_addrs_in(view, path, seg_index)
-            }) {
-                Ok(r) => r,
-                Err(e) if self.should_degrade(&e) => {
-                    // Serve just this segment from the PFS; later segments
-                    // still try their own (distinct) home servers.
-                    let data = self.degraded_read(path, offset, len as usize)?;
-                    if data.len() as u64 != len {
-                        return Err(HvacError::Protocol(format!(
-                            "segment {seg_index} of {} returned {} bytes from the PFS, expected {len}",
-                            path.display(),
-                            data.len()
-                        )));
-                    }
-                    assembled.extend_from_slice(&data);
-                    offset += len;
-                    seg_index += 1;
-                    continue;
-                }
-                Err(e) => return Err(e),
-            };
-            match Response::decode(reply.header)?.into_result()? {
-                Response::Data { .. } => {
-                    let data = reply.bulk.unwrap_or_default();
-                    if data.len() as u64 != len {
-                        return Err(HvacError::Protocol(format!(
-                            "segment {seg_index} of {} returned {} bytes, expected {len}",
-                            path.display(),
-                            data.len()
-                        )));
-                    }
-                    self.metrics.reads.fetch_add(1, Ordering::Relaxed);
-                    self.metrics
-                        .bytes
-                        .fetch_add(data.len() as u64, Ordering::Relaxed);
-                    assembled.extend_from_slice(&data);
-                }
-                other => {
-                    return Err(HvacError::Protocol(format!(
-                        "unexpected segment reply: {other:?}"
-                    )))
-                }
-            }
+            let data = self.read_one_segment(path, seg_index, offset, len)?;
+            assembled.extend_from_slice(&data);
             offset += len;
             seg_index += 1;
         }
-        self.metrics.closes.fetch_add(1, Ordering::Relaxed);
         Ok(assembled.freeze())
+    }
+
+    /// One segment through the per-segment ladder: `call_with_view` with the
+    /// segment's own placement (each segment re-resolves its home, so a
+    /// mid-file membership change redirects only later segments), degrading
+    /// to direct PFS access for just this segment when every replica is
+    /// exhausted. Strict on length: a short segment is a protocol error.
+    fn read_one_segment(
+        &self,
+        path: &Path,
+        seg_index: u64,
+        offset: u64,
+        len: u64,
+    ) -> Result<Bytes> {
+        let req = Request::ReadSegment {
+            path: path.to_path_buf(),
+            offset,
+            len,
+        };
+        let reply = match self.call_with_view(&req, |view| {
+            self.segment_replica_addrs_in(view, path, seg_index)
+        }) {
+            Ok(r) => r,
+            Err(e) if self.should_degrade(&e) => {
+                // Serve just this segment from the PFS; later segments
+                // still try their own (distinct) home servers.
+                let data = self.degraded_read(path, offset, len as usize)?;
+                if data.len() as u64 != len {
+                    return Err(HvacError::Protocol(format!(
+                        "segment {seg_index} of {} returned {} bytes from the PFS, expected {len}",
+                        path.display(),
+                        data.len()
+                    )));
+                }
+                return Ok(data);
+            }
+            Err(e) => return Err(e),
+        };
+        match Response::decode(reply.header)?.into_result()? {
+            Response::Data { .. } => {
+                let data = reply.bulk.unwrap_or_default();
+                if data.len() as u64 != len {
+                    return Err(HvacError::Protocol(format!(
+                        "segment {seg_index} of {} returned {} bytes, expected {len}",
+                        path.display(),
+                        data.len()
+                    )));
+                }
+                self.metrics.reads.fetch_add(1, Ordering::Relaxed);
+                self.metrics
+                    .bytes
+                    .fetch_add(data.len() as u64, Ordering::Relaxed);
+                Ok(data)
+            }
+            other => Err(HvacError::Protocol(format!(
+                "unexpected segment reply: {other:?}"
+            ))),
+        }
+    }
+
+    /// The zero-copy segmented read: plan → batch → submit.
+    ///
+    /// [`coalesce_plan`] merges adjacent same-home segments into contiguous
+    /// ranges (≤ `coalesce_max`), ranges are grouped per destination into
+    /// batches of ≤ `batch_max`, and every batch ships as **one**
+    /// [`Request::Batch`] RPC through the [`SubmissionQueue`] (up to
+    /// `bulk_window` in flight). Batches are all-or-nothing on the server;
+    /// any failed, stale, or malformed batch reply is re-read segment by
+    /// segment through [`Self::read_one_segment`] — the full ladder — so the
+    /// fast path never weakens fault tolerance.
+    fn read_segmented_batched(&self, path: &Path, size: u64, segment_size: u64) -> Result<Bytes> {
+        let path_str = path.to_str().ok_or_else(|| {
+            HvacError::Protocol(format!("non-UTF-8 path not supported: {}", path.display()))
+        })?;
+        let view = self.view.snapshot();
+        let plan: Vec<PlanEntry<String>> =
+            coalesce_plan(0, size, segment_size, self.options.coalesce_max, |seg| {
+                self.segment_replica_addrs_in(&view, path, seg)
+                    .into_iter()
+                    .next()
+                    .unwrap_or_default()
+            });
+        // Group plan entries by destination (order preserved) into batches
+        // of at most `batch_max` ranges each.
+        let mut batches: Vec<(String, Vec<usize>)> = Vec::new();
+        let mut open: HashMap<String, usize> = HashMap::new();
+        for (i, entry) in plan.iter().enumerate() {
+            match open.get(&entry.dest) {
+                Some(&b) if batches[b].1.len() < self.options.batch_max => batches[b].1.push(i),
+                _ => {
+                    batches.push((entry.dest.clone(), vec![i]));
+                    open.insert(entry.dest.clone(), batches.len() - 1);
+                }
+            }
+        }
+        let mut sq = SubmissionQueue::with_pool(&self.sq);
+        for (b, (dest, idxs)) in batches.iter().enumerate() {
+            let items: Vec<BatchItem> = idxs
+                .iter()
+                .map(|&i| BatchItem {
+                    path: path_str.to_string(),
+                    offset: plan[i].offset,
+                    len: plan[i].len,
+                })
+                .collect();
+            sq.prep(SqEntry {
+                dest: dest.clone(),
+                payload: Request::Batch { items }.encode_at(view.epoch())?,
+                deadline: self.options.retry.rpc_timeout,
+                user_data: b as u64,
+            });
+            self.metrics.batch_rpcs.fetch_add(1, Ordering::Relaxed);
+        }
+        let mut slots: Vec<Option<Bytes>> = vec![None; plan.len()];
+        for c in sq.submit_and_wait() {
+            let (_, idxs) = &batches[c.user_data as usize];
+            let expected: Vec<u64> = idxs.iter().map(|&i| plan[i].len).collect();
+            match c
+                .result
+                .ok()
+                .and_then(|r| self.split_batch_reply(r, &expected))
+            {
+                Some(parts) => {
+                    for (&i, part) in idxs.iter().zip(parts) {
+                        self.metrics.reads.fetch_add(1, Ordering::Relaxed);
+                        self.metrics
+                            .bytes
+                            .fetch_add(part.len() as u64, Ordering::Relaxed);
+                        slots[i] = Some(part);
+                    }
+                }
+                None => {
+                    // The batch failed as a unit; re-read each of its ranges
+                    // segment by segment through the full ladder.
+                    self.metrics.batch_fallbacks.fetch_add(1, Ordering::Relaxed);
+                    for &i in idxs {
+                        slots[i] =
+                            Some(self.read_entry_by_segments(path, &plan[i], segment_size)?);
+                    }
+                }
+            }
+        }
+        let mut chunks = Vec::with_capacity(slots.len());
+        for slot in slots {
+            chunks.push(slot.ok_or_else(|| HvacError::Rpc("batch completion missing".into()))?);
+        }
+        // lockgraph: acquires NET_POOL
+        Ok(reassemble_bulk_pooled(&chunks, &self.pool))
+    }
+
+    /// Validate and split one batch reply into per-range payloads. Returns
+    /// `None` on anything other than a well-formed full answer — an error
+    /// reply, a stale view (installed here so the fallback re-resolves under
+    /// the newer epoch), a length mismatch — and the caller falls back.
+    fn split_batch_reply(&self, reply: Reply, expected: &[u64]) -> Option<Vec<Bytes>> {
+        match Response::decode(reply.header.clone()).ok()? {
+            Response::Batch { lens } => {
+                if lens.len() != expected.len() {
+                    return None;
+                }
+                let bulk = reply.bulk.unwrap_or_default();
+                let total: u64 = lens.iter().map(|&l| u64::from(l)).sum();
+                if bulk.len() as u64 != total {
+                    return None;
+                }
+                let mut parts = Vec::with_capacity(lens.len());
+                let mut at = 0usize;
+                for (j, &l) in lens.iter().enumerate() {
+                    if u64::from(l) != expected[j] {
+                        return None;
+                    }
+                    parts.push(bulk.slice(at..at + l as usize));
+                    at += l as usize;
+                }
+                Some(parts)
+            }
+            Response::StaleView { view } => {
+                self.metrics.view_refreshes.fetch_add(1, Ordering::Relaxed);
+                self.view.install(Arc::new(view));
+                None
+            }
+            _ => None,
+        }
+    }
+
+    /// Fallback for one coalesced range: read its segments individually
+    /// through [`Self::read_one_segment`] (retry, failover, hedging, PFS
+    /// degrade — everything the legacy path has) and reassemble from the
+    /// slab pool. Ranges planned from offset 0 start on segment boundaries,
+    /// so each piece is exactly the segment the legacy path would cache.
+    fn read_entry_by_segments(
+        &self,
+        path: &Path,
+        entry: &PlanEntry<String>,
+        segment_size: u64,
+    ) -> Result<Bytes> {
+        let mut chunks = Vec::new();
+        let mut at = entry.offset;
+        let end = entry.offset + entry.len;
+        while at < end {
+            let seg = at / segment_size;
+            let seg_end = (seg + 1).saturating_mul(segment_size).min(end);
+            chunks.push(self.read_one_segment(path, seg, at, seg_end - at)?);
+            at = seg_end;
+        }
+        // lockgraph: acquires NET_POOL
+        Ok(reassemble_bulk_pooled(&chunks, &self.pool))
     }
 
     /// Replica addresses of one segment of a path, home first, per the
@@ -1242,6 +1450,73 @@ mod tests {
         assert!(s.hedges >= 1, "hedge fired: {s:?}");
         assert!(s.hedge_wins >= 1, "backup won at least once: {s:?}");
         assert_eq!(s.degraded_reads, 0, "{s:?}");
+    }
+
+    #[test]
+    fn batched_segmented_read_is_byte_exact_and_batches() {
+        let (pfs, _f, servers, client) = setup2(1);
+        for i in 0..8 {
+            let p = sample(i);
+            let expected = pfs.read_all(&p).unwrap();
+            assert_eq!(client.read_file_segmented(&p, 16).unwrap(), expected);
+        }
+        let s = client.metrics().full_snapshot();
+        assert!(s.batch_rpcs >= 1, "batch RPCs issued: {s:?}");
+        assert_eq!(s.batch_fallbacks, 0, "healthy cluster never falls back");
+        let server_batches: u64 = servers
+            .iter()
+            .map(|(srv, _)| srv.metrics().snapshot().batch_rpcs)
+            .sum();
+        assert_eq!(server_batches, s.batch_rpcs, "ledger balances");
+    }
+
+    #[test]
+    fn zero_copy_and_legacy_segmented_reads_agree() {
+        let (pfs, fabric, _servers, zc_client) = setup2(1);
+        let mut legacy_opts = HvacClientOptions::new("/gpfs/set", 3, 1);
+        legacy_opts.zero_copy = false;
+        let legacy_client = HvacClient::new(fabric, legacy_opts).unwrap();
+        for i in 0..8 {
+            let p = sample(i);
+            let expected = pfs.read_all(&p).unwrap();
+            for seg in [7u64, 16, 64, 1024] {
+                let zc = zc_client.read_file_segmented(&p, seg).unwrap();
+                let legacy = legacy_client.read_file_segmented(&p, seg).unwrap();
+                assert_eq!(zc, expected, "zero-copy path, segment {seg}");
+                assert_eq!(legacy, expected, "legacy path, segment {seg}");
+            }
+        }
+        assert_eq!(
+            legacy_client.metrics().full_snapshot().batch_rpcs,
+            0,
+            "legacy arm never batches"
+        );
+    }
+
+    #[test]
+    fn failed_batch_falls_back_to_the_per_segment_ladder() {
+        let (pfs, fabric, _servers, mut client) = setup2(1);
+        client.set_pfs_fallback(pfs.clone());
+        let p = sample(3);
+        let expected = pfs.read_all(&p).unwrap();
+        // Down one server: any batch homed there fails as a unit, and its
+        // ranges are re-read segment by segment (degrading to the PFS for
+        // segments whose only replica is the dead server).
+        fabric.set_down(&server_addr(0, 1), true);
+        assert_eq!(client.read_file_segmented(&p, 16).unwrap(), expected);
+        let s = client.metrics().full_snapshot();
+        assert!(s.batch_fallbacks >= 1, "fallback counted: {s:?}");
+    }
+
+    #[test]
+    fn batch_max_of_zero_is_rejected() {
+        let fabric = Arc::new(Fabric::new());
+        let mut opts = HvacClientOptions::new("/d", 1, 1);
+        opts.batch_max = 0;
+        assert!(matches!(
+            HvacClient::new(fabric, opts),
+            Err(HvacError::InvalidConfig(_))
+        ));
     }
 
     #[test]

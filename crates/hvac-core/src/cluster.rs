@@ -74,6 +74,14 @@ pub struct ClusterOptions {
     pub bulk_chunk: usize,
     /// In-flight chunk RPC window per pipelined read.
     pub bulk_window: usize,
+    /// Zero-copy data plane for every client: pooled reassembly buffers
+    /// plus coalesced + batched segmented reads. Off = the legacy
+    /// one-RPC-per-segment baseline.
+    pub zero_copy: bool,
+    /// Per-client cap on a coalesced read range (0 disables coalescing).
+    pub coalesce_max: u64,
+    /// Per-client cap on ranges per batch RPC.
+    pub batch_max: usize,
     /// Whether a view change kicks a background cache-rebalance pass that
     /// migrates files whose home moved. On by default; benchmarks disable
     /// it to measure the cold-restart baseline.
@@ -110,6 +118,9 @@ impl ClusterOptions {
             pfs_fallback: true,
             bulk_chunk: hvac_net::BULK_CHUNK_SIZE,
             bulk_window: hvac_net::DEFAULT_PIPELINE_WINDOW,
+            zero_copy: true,
+            coalesce_max: 1 << 20,
+            batch_max: 16,
             rebalance: true,
             repair: true,
             transport: TransportKind::from_env(),
@@ -177,6 +188,22 @@ impl ClusterOptions {
         self
     }
 
+    /// Enable or disable the zero-copy data plane (pooled buffers,
+    /// coalesced + batched segmented reads). `false` pins the legacy path —
+    /// the baseline arm of the latency harness.
+    pub fn zero_copy(mut self, enabled: bool) -> Self {
+        self.zero_copy = enabled;
+        self
+    }
+
+    /// Set the coalescing cap (bytes per merged range; 0 disables) and the
+    /// batching cap (ranges per batch RPC).
+    pub fn coalesce_batch(mut self, coalesce_max: u64, batch_max: usize) -> Self {
+        self.coalesce_max = coalesce_max;
+        self.batch_max = batch_max;
+        self
+    }
+
     /// Enable or disable the background rebalance pass on view changes.
     pub fn rebalance(mut self, enabled: bool) -> Self {
         self.rebalance = enabled;
@@ -215,6 +242,9 @@ impl ClusterOptions {
         }
         if self.bulk_window == 0 {
             return Err(HvacError::InvalidConfig("bulk_window must be >= 1".into()));
+        }
+        if self.batch_max == 0 {
+            return Err(HvacError::InvalidConfig("batch_max must be >= 1".into()));
         }
         Ok(())
     }
@@ -281,6 +311,9 @@ impl Cluster {
                         retry: options.retry.clone(),
                         bulk_chunk: options.bulk_chunk,
                         bulk_window: options.bulk_window,
+                        zero_copy: options.zero_copy,
+                        coalesce_max: options.coalesce_max,
+                        batch_max: options.batch_max,
                     },
                 )?;
                 if options.pfs_fallback {

@@ -52,6 +52,9 @@ pub struct ServerMetrics {
     /// Reads that lost the ensure/read race to eviction on every retry and
     /// fell back to a PFS bypass read (cache thrashing under churn).
     pub eviction_races: AtomicU64,
+    /// Batch RPCs answered (each bundling several segment reads into one
+    /// frame; the per-item reads are still counted in `reads`).
+    pub batch_rpcs: AtomicU64,
     /// Requests rejected with `StaleView` because the sender's membership
     /// epoch was older than this server's (each one redirects the client to
     /// the current view).
@@ -133,6 +136,8 @@ pub struct ServerMetricsSnapshot {
     /// Reads that lost every ensure/read retry to eviction and were served
     /// via PFS bypass instead.
     pub eviction_races: u64,
+    /// Batch RPCs answered (per-item reads are still counted in `reads`).
+    pub batch_rpcs: u64,
     /// Requests rejected (and redirected) for carrying a stale view epoch.
     pub stale_view_redirects: u64,
     /// Files migrated away during rebalancing (source-side count).
@@ -171,6 +176,7 @@ impl ServerMetrics {
             prefetches: self.prefetches.load(Ordering::Relaxed),
             pfs_bypass_reads: self.pfs_bypass_reads.load(Ordering::Relaxed),
             eviction_races: self.eviction_races.load(Ordering::Relaxed),
+            batch_rpcs: self.batch_rpcs.load(Ordering::Relaxed),
             stale_view_redirects: self.stale_view_redirects.load(Ordering::Relaxed),
             migrated_files: self.migrated_files.load(Ordering::Relaxed),
             migrated_bytes: self.migrated_bytes.load(Ordering::Relaxed),
@@ -211,6 +217,7 @@ impl ServerMetricsSnapshot {
         self.prefetches += other.prefetches;
         self.pfs_bypass_reads += other.pfs_bypass_reads;
         self.eviction_races += other.eviction_races;
+        self.batch_rpcs += other.batch_rpcs;
         self.stale_view_redirects += other.stale_view_redirects;
         self.migrated_files += other.migrated_files;
         self.migrated_bytes += other.migrated_bytes;
@@ -266,6 +273,12 @@ pub struct ClientMetrics {
     pub hedges: AtomicU64,
     /// Hedged calls where the backup replica answered first.
     pub hedge_wins: AtomicU64,
+    /// Batch RPCs issued on the zero-copy read path (each bundling several
+    /// coalesced segment ranges for one destination).
+    pub batch_rpcs: AtomicU64,
+    /// Batches that failed (or returned malformed lengths) and were re-read
+    /// through the per-segment retry/failover ladder instead.
+    pub batch_fallbacks: AtomicU64,
 }
 
 /// A plain-old-data snapshot of [`ClientMetrics`].
@@ -299,6 +312,10 @@ pub struct ClientMetricsSnapshot {
     pub hedges: u64,
     /// Hedged calls won by the backup replica.
     pub hedge_wins: u64,
+    /// Batch RPCs issued on the zero-copy read path.
+    pub batch_rpcs: u64,
+    /// Batches re-read through the per-segment ladder after a failure.
+    pub batch_fallbacks: u64,
 }
 
 impl ClientMetrics {
@@ -334,6 +351,8 @@ impl ClientMetrics {
             view_refreshes: self.view_refreshes.load(Ordering::Relaxed),
             hedges: self.hedges.load(Ordering::Relaxed),
             hedge_wins: self.hedge_wins.load(Ordering::Relaxed),
+            batch_rpcs: self.batch_rpcs.load(Ordering::Relaxed),
+            batch_fallbacks: self.batch_fallbacks.load(Ordering::Relaxed),
         }
     }
 }

@@ -20,6 +20,7 @@
 //! as the paper's fixed allocation.
 
 use bytes::{Bytes, BytesMut};
+use hvac_net::plan::{decode_batch_items, encode_batch_items, BatchItem, MAX_BATCH_ITEMS};
 use hvac_net::wire;
 use hvac_types::{ClusterView, HvacError, Result, ServerId};
 use std::path::{Path, PathBuf};
@@ -30,6 +31,7 @@ const TAG_CLOSE: u8 = 3;
 const TAG_PURGE: u8 = 4;
 const TAG_PREFETCH: u8 = 5;
 const TAG_READ_SEGMENT: u8 = 6;
+const TAG_BATCH: u8 = 7;
 
 const STATUS_OK: u8 = 0;
 const STATUS_ERR: u8 = 1;
@@ -77,6 +79,17 @@ pub enum Request {
         /// Segment length.
         len: u64,
     },
+    /// Several segment reads homed on the receiving server, shipped as one
+    /// RPC (FanStore-style small-request batching). Each item is served
+    /// exactly like a [`Request::ReadSegment`]; the reply concatenates the
+    /// per-item payloads into one bulk buffer, delimited by
+    /// [`Response::Batch`] lengths. All-or-nothing: any item failing turns
+    /// the whole reply into [`Response::Err`], and the client falls back to
+    /// per-segment RPCs (which keep the full retry/failover ladder).
+    Batch {
+        /// The batched reads, in reply order.
+        items: Vec<BatchItem>,
+    },
 }
 
 /// A reply header (bulk data travels separately).
@@ -104,6 +117,13 @@ pub enum Response {
     StaleView {
         /// The server's current membership view.
         view: ClusterView,
+    },
+    /// Batched-read result: the RPC's bulk payload is the concatenation of
+    /// every item's data, and `lens[i]` is the byte length of item `i`'s
+    /// slice within it. Only produced when **every** item succeeded.
+    Batch {
+        /// Per-item payload lengths, in request order.
+        lens: Vec<u32>,
     },
     /// Failure, with an errno-style code and a message.
     Err {
@@ -161,6 +181,10 @@ impl Request {
                 b.extend_from_slice(&offset.to_le_bytes());
                 b.extend_from_slice(&len.to_le_bytes());
             }
+            Request::Batch { items } => {
+                b.extend_from_slice(&[TAG_BATCH]);
+                encode_batch_items(&mut b, items)?;
+            }
         }
         Ok(b.freeze())
     }
@@ -213,6 +237,10 @@ impl Request {
                 let len = wire::get_u64(buf)?;
                 Ok(Request::ReadSegment { path, offset, len })
             }
+            TAG_BATCH => Ok(Request::Batch {
+                // The item-count guard lives inside the codec.
+                items: decode_batch_items(buf)?,
+            }),
             t => Err(HvacError::Protocol(format!("unknown request tag {t}"))),
         }
     }
@@ -222,6 +250,7 @@ const RTAG_STAT: u8 = 1;
 const RTAG_DATA: u8 = 2;
 const RTAG_OK: u8 = 3;
 const RTAG_STALE_VIEW: u8 = 4;
+const RTAG_BATCH: u8 = 5;
 
 /// Append a [`ClusterView`] in wire form: epoch, instances-per-node, then
 /// the member list as `(node, instance)` pairs.
@@ -276,6 +305,13 @@ impl Response {
                 b.extend_from_slice(&[STATUS_OK, RTAG_STALE_VIEW]);
                 put_view(&mut b, view);
             }
+            Response::Batch { lens } => {
+                b.extend_from_slice(&[STATUS_OK, RTAG_BATCH]);
+                b.extend_from_slice(&(lens.len() as u32).to_le_bytes());
+                for len in lens {
+                    b.extend_from_slice(&len.to_le_bytes());
+                }
+            }
             Response::Err { code, message } => {
                 b.extend_from_slice(&[STATUS_ERR]);
                 b.extend_from_slice(&(*code as i64).to_le_bytes());
@@ -321,6 +357,19 @@ impl Response {
             RTAG_STALE_VIEW => Ok(Response::StaleView {
                 view: get_view(&mut buf)?,
             }),
+            RTAG_BATCH => {
+                let n = wire::get_u32(&mut buf)? as usize;
+                if n > MAX_BATCH_ITEMS {
+                    return Err(HvacError::Protocol(format!(
+                        "implausible batch reply of {n} items"
+                    )));
+                }
+                let mut lens = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    lens.push(wire::get_u32(&mut buf)?);
+                }
+                Ok(Response::Batch { lens })
+            }
             t => Err(HvacError::Protocol(format!("unknown response tag {t}"))),
         }
     }
@@ -381,6 +430,21 @@ mod tests {
                 offset: 16 << 20,
                 len: 16 << 20,
             },
+            Request::Batch { items: vec![] },
+            Request::Batch {
+                items: vec![
+                    BatchItem {
+                        path: "/gpfs/train/a.bin".into(),
+                        offset: 0,
+                        len: 4096,
+                    },
+                    BatchItem {
+                        path: "/gpfs/train/b.bin".into(),
+                        offset: 1 << 30,
+                        len: 7,
+                    },
+                ],
+            },
         ];
         for req in cases {
             let enc = req.encode().unwrap();
@@ -401,6 +465,10 @@ mod tests {
                 cache_hit: false,
             },
             Response::Ok,
+            Response::Batch { lens: vec![] },
+            Response::Batch {
+                lens: vec![0, 4096, u32::MAX],
+            },
             Response::Err {
                 code: 2,
                 message: "file not found: /x".into(),
@@ -435,6 +503,21 @@ mod tests {
             }
             other => panic!("unexpected: {other:?}"),
         }
+    }
+
+    #[test]
+    fn hostile_batch_counts_are_protocol_errors() {
+        // Request side: a forged u32::MAX item count after the tag.
+        let mut b = BytesMut::new();
+        b.extend_from_slice(&0u64.to_le_bytes());
+        b.extend_from_slice(&[TAG_BATCH]);
+        b.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(Request::decode(b.freeze()).is_err());
+        // Response side: a forged huge lens count.
+        let mut b = BytesMut::new();
+        b.extend_from_slice(&[STATUS_OK, RTAG_BATCH]);
+        b.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(Response::decode(b.freeze()).is_err());
     }
 
     #[test]

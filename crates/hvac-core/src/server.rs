@@ -20,6 +20,8 @@ use bytes::Bytes;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use hvac_hash::pathhash::hash_path;
 use hvac_net::fabric::{Fabric, Reply, RpcHandler, ServerEndpoint};
+use hvac_net::pool::BufferPool;
+use hvac_net::reassemble_bulk_pooled;
 use hvac_pfs::FileStore;
 use hvac_storage::default_shard_count;
 use hvac_sync::{classes, OrderedMutex, OrderedMutexGuard};
@@ -349,6 +351,9 @@ pub struct HvacServer {
     /// older epoch are bounced with [`Response::StaleView`] so the sender
     /// can re-resolve ownership (the stale-view redirect protocol).
     view: Arc<ViewHandle>,
+    /// Slab pool for batch-reply reassembly: the concatenated bulk buffer is
+    /// recycled instead of hitting the allocator once per batch RPC.
+    pool: BufferPool,
 }
 
 impl HvacServer {
@@ -379,6 +384,7 @@ impl HvacServer {
             mover,
             options,
             view: ViewHandle::new(ClusterView::initial(1, 1)?),
+            pool: BufferPool::new(),
         }))
     }
 
@@ -477,6 +483,34 @@ impl HvacServer {
                     }
                 }
                 (Response::Ok, None)
+            }
+            Request::Batch { items } => {
+                self.metrics.batch_rpcs.fetch_add(1, Ordering::Relaxed);
+                let mut lens = Vec::with_capacity(items.len());
+                let mut chunks = Vec::with_capacity(items.len());
+                for item in &items {
+                    match self.read_segment(Path::new(&item.path), item.offset, item.len) {
+                        Ok((_hit, data)) if data.len() <= u32::MAX as usize => {
+                            lens.push(data.len() as u32);
+                            chunks.push(data);
+                        }
+                        Ok(_) => {
+                            return (
+                                Response::from_error(&HvacError::Protocol(
+                                    "batch item payload exceeds the u32 length field".into(),
+                                )),
+                                None,
+                            )
+                        }
+                        // All-or-nothing: one failed item fails the batch;
+                        // the client re-reads every item through the
+                        // per-segment retry/failover ladder.
+                        Err(e) => return (Response::from_error(&e), None),
+                    }
+                }
+                // lockgraph: acquires NET_POOL
+                let bulk = reassemble_bulk_pooled(&chunks, &self.pool);
+                (Response::Batch { lens }, Some(bulk))
             }
         }
     }
@@ -897,6 +931,69 @@ mod tests {
             }
         ));
         assert_eq!(reply.bulk.unwrap().len(), 50);
+    }
+
+    #[test]
+    fn batch_reads_concatenate_in_item_order() {
+        use hvac_net::plan::BatchItem;
+        let (pfs, server) = setup(100_000);
+        let items = vec![
+            BatchItem {
+                path: sample(0).to_str().unwrap().into(),
+                offset: 0,
+                len: 40,
+            },
+            BatchItem {
+                path: sample(1).to_str().unwrap().into(),
+                offset: 10,
+                len: 30,
+            },
+            BatchItem {
+                path: sample(0).to_str().unwrap().into(),
+                offset: 60,
+                len: 40,
+            },
+        ];
+        let (resp, bulk) = server.handle_request(Request::Batch { items });
+        let lens = match resp {
+            Response::Batch { lens } => lens,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(lens, vec![40, 30, 40]);
+        let bulk = bulk.unwrap();
+        assert_eq!(bulk.len(), 110);
+        let a = pfs.read_all(&sample(0)).unwrap();
+        let b = pfs.read_all(&sample(1)).unwrap();
+        assert_eq!(bulk.slice(0..40), a.slice(0..40));
+        assert_eq!(bulk.slice(40..70), b.slice(10..40));
+        assert_eq!(bulk.slice(70..110), a.slice(60..100));
+        let snap = server.metrics().snapshot();
+        assert_eq!(snap.batch_rpcs, 1);
+        assert_eq!(snap.reads, 3, "each batch item counts as one read");
+    }
+
+    #[test]
+    fn batch_with_missing_item_fails_whole_batch() {
+        use hvac_net::plan::BatchItem;
+        let (_pfs, server) = setup(100_000);
+        let items = vec![
+            BatchItem {
+                path: sample(0).to_str().unwrap().into(),
+                offset: 0,
+                len: 10,
+            },
+            BatchItem {
+                path: "/data/absent".into(),
+                offset: 0,
+                len: 10,
+            },
+        ];
+        let (resp, bulk) = server.handle_request(Request::Batch { items });
+        match resp {
+            Response::Err { code, .. } => assert_eq!(code, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(bulk.is_none(), "all-or-nothing: no partial bulk");
     }
 
     #[test]

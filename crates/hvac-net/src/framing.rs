@@ -25,6 +25,7 @@
 //! end-of-stream `None`) — never a panic or an attacker-sized allocation.
 
 use crate::fabric::Reply;
+use crate::pool::BufferPool;
 use bytes::{Buf, Bytes};
 use hvac_types::{HvacError, Result};
 use std::io::Read;
@@ -98,27 +99,59 @@ pub fn encode_request(
 
 /// Encode a reply frame (header + body) ready to write to a stream.
 pub fn encode_reply(req_id: u64, reply: &Reply, max_frame: usize) -> Result<Vec<u8>> {
+    Ok(encode_reply_pooled(req_id, reply, max_frame, None)?.to_vec())
+}
+
+/// Encode a reply frame directly into one buffer — pooled when a
+/// [`BufferPool`] is supplied, plain otherwise. Unlike the legacy
+/// body-then-frame path this writes header, prefix, and bulk exactly once
+/// into a single allocation (reused across replies when pooled), which is
+/// the server's per-reply copy the zero-copy plane eliminates.
+pub fn encode_reply_pooled(
+    req_id: u64,
+    reply: &Reply,
+    max_frame: usize,
+    pool: Option<&BufferPool>,
+) -> Result<Bytes> {
     let bulk_len = reply.bulk.as_ref().map_or(0, Bytes::len);
-    let mut body = Vec::with_capacity(14 + reply.header.len() + bulk_len);
-    body.push(KIND_REPLY);
-    body.extend_from_slice(&req_id.to_le_bytes());
-    body.push(if reply.bulk.is_some() {
-        FLAG_HAS_BULK
-    } else {
-        0
-    });
     let hdr_len = u32::try_from(reply.header.len()).map_err(|_| {
         HvacError::Protocol(format!(
             "reply header of {} bytes exceeds u32 wire prefix",
             reply.header.len()
         ))
     })?;
-    body.extend_from_slice(&hdr_len.to_le_bytes());
-    body.extend_from_slice(&reply.header);
-    if let Some(b) = &reply.bulk {
-        body.extend_from_slice(b);
+    let body_len = 14 + reply.header.len() + bulk_len;
+    check_body_len(body_len, max_frame)?;
+    let total = 8 + body_len;
+    let fill = |out: &mut [u8]| {
+        out[0..4].copy_from_slice(&FRAME_MAGIC.to_le_bytes());
+        out[4..8].copy_from_slice(&(body_len as u32).to_le_bytes());
+        out[8] = KIND_REPLY;
+        out[9..17].copy_from_slice(&req_id.to_le_bytes());
+        out[17] = if reply.bulk.is_some() {
+            FLAG_HAS_BULK
+        } else {
+            0
+        };
+        out[18..22].copy_from_slice(&hdr_len.to_le_bytes());
+        let bulk_at = 22 + reply.header.len();
+        out[22..bulk_at].copy_from_slice(&reply.header);
+        if let Some(b) = &reply.bulk {
+            out[bulk_at..].copy_from_slice(b);
+        }
+    };
+    match pool {
+        Some(pool) => {
+            let mut buf = pool.acquire(total);
+            fill(&mut buf);
+            Ok(buf.freeze())
+        }
+        None => {
+            let mut out = vec![0u8; total];
+            fill(&mut out);
+            Ok(Bytes::from(out))
+        }
     }
-    encode_frame(&body, max_frame)
 }
 
 /// Decode a request frame body (the bytes after the 8-byte frame header).
@@ -185,6 +218,18 @@ pub fn decode_reply(mut body: Bytes) -> Result<ReplyFrame> {
 /// transport-level failures. The body buffer is allocated only after the
 /// declared length passes both the magic check and the `max_frame` cap.
 pub fn read_frame<R: Read>(r: &mut R, max_frame: usize) -> Result<Option<Bytes>> {
+    read_frame_pooled(r, max_frame, None)
+}
+
+/// [`read_frame`] with an optional [`BufferPool`]: the body lands in a
+/// pooled slab (no per-frame malloc + zero-fill) that returns to the pool
+/// when the last `Bytes` referencing the frame — the demuxed reply header,
+/// its bulk slice, or the request payload — is dropped.
+pub fn read_frame_pooled<R: Read>(
+    r: &mut R,
+    max_frame: usize,
+    pool: Option<&BufferPool>,
+) -> Result<Option<Bytes>> {
     let mut header = [0u8; 8];
     let mut filled = 0usize;
     while filled < header.len() {
@@ -211,15 +256,25 @@ pub fn read_frame<R: Read>(r: &mut R, max_frame: usize) -> Result<Option<Bytes>>
     }
     let len = u32::from_le_bytes([header[4], header[5], header[6], header[7]]) as usize;
     check_body_len(len, max_frame)?;
-    let mut body = vec![0u8; len];
-    r.read_exact(&mut body).map_err(|e| {
+    let map_body_err = |e: std::io::Error| {
         if e.kind() == std::io::ErrorKind::UnexpectedEof {
             HvacError::Protocol(format!("stream ended inside a {len}-byte frame body"))
         } else {
             map_read_err(e)
         }
-    })?;
-    Ok(Some(Bytes::from(body)))
+    };
+    match pool {
+        Some(pool) => {
+            let mut body = pool.acquire(len);
+            r.read_exact(&mut body).map_err(map_body_err)?;
+            Ok(Some(body.freeze()))
+        }
+        None => {
+            let mut body = vec![0u8; len];
+            r.read_exact(&mut body).map_err(map_body_err)?;
+            Ok(Some(Bytes::from(body)))
+        }
+    }
 }
 
 fn map_read_err(e: std::io::Error) -> HvacError {
@@ -295,6 +350,40 @@ mod tests {
             read_frame(&mut Cursor::new(&hostile), 1024),
             Err(HvacError::Protocol(_))
         ));
+    }
+
+    #[test]
+    fn pooled_read_and_encode_round_trip_and_quiesce() {
+        let pool = BufferPool::new();
+        let reply = Reply {
+            header: Bytes::from_static(b"hdr"),
+            bulk: Some(Bytes::from(vec![3u8; 8192])),
+        };
+        let frame = encode_reply_pooled(77, &reply, DEFAULT_MAX_FRAME, Some(&pool)).unwrap();
+        // The pooled encoding is byte-identical to the legacy Vec path.
+        assert_eq!(
+            &frame[..],
+            &encode_reply(77, &reply, DEFAULT_MAX_FRAME).unwrap()[..]
+        );
+        let body = read_frame_pooled(
+            &mut Cursor::new(frame.to_vec()),
+            DEFAULT_MAX_FRAME,
+            Some(&pool),
+        )
+        .unwrap()
+        .unwrap();
+        let decoded = decode_reply(body).unwrap();
+        assert_eq!(decoded.req_id, 77);
+        assert_eq!(&decoded.reply.header[..], b"hdr");
+        let bulk = decoded.reply.bulk.unwrap();
+        assert_eq!(bulk.len(), 8192);
+        // Header and bulk are zero-copy slices of one pooled frame slab;
+        // dropping the last of them returns the slab.
+        drop(frame);
+        drop(decoded.reply.header);
+        assert_eq!(pool.stats().in_flight(), 1, "bulk still pins the frame");
+        drop(bulk);
+        assert_eq!(pool.stats().in_flight(), 0);
     }
 
     #[test]

@@ -16,7 +16,8 @@ use bytes::Bytes;
 use hvac_types::{HvacError, Result};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
-use crate::bulk::reassemble_bulk;
+use crate::bulk::{reassemble_bulk, reassemble_bulk_pooled};
+use crate::pool::BufferPool;
 
 /// Default number of chunk RPCs kept in flight per bulk read.
 pub const DEFAULT_PIPELINE_WINDOW: usize = 4;
@@ -42,6 +43,26 @@ pub fn pipelined_fetch<F>(
     chunk_size: usize,
     window: usize,
     fetch: F,
+) -> Result<Bytes>
+where
+    F: Fn(u64, usize) -> Result<Bytes> + Sync,
+{
+    pipelined_fetch_pooled(offset, len, chunk_size, window, fetch, None)
+}
+
+/// [`pipelined_fetch`] with an optional [`BufferPool`]: the reassembled
+/// read lands in a pooled slab instead of a fresh per-read heap buffer, so
+/// back-to-back bulk reads recycle one slab per size class rather than
+/// paying an allocator (and, above the mmap threshold, a kernel
+/// page-zeroing) round trip each. Everything else — chunking, windowing,
+/// abort-on-first-error, offset-order reassembly — is identical.
+pub fn pipelined_fetch_pooled<F>(
+    offset: u64,
+    len: usize,
+    chunk_size: usize,
+    window: usize,
+    fetch: F,
+    pool: Option<&BufferPool>,
 ) -> Result<Bytes>
 where
     F: Fn(u64, usize) -> Result<Bytes> + Sync,
@@ -118,7 +139,10 @@ where
         return Err(e);
     }
     let parts: Vec<Bytes> = chunks.into_iter().map(Option::unwrap_or_default).collect();
-    Ok(reassemble_bulk(&parts))
+    Ok(match pool {
+        Some(pool) => reassemble_bulk_pooled(&parts, pool),
+        None => reassemble_bulk(&parts),
+    })
 }
 
 #[cfg(test)]
@@ -147,6 +171,19 @@ mod tests {
                 assert_eq!(out, data, "chunk={chunk} window={window}");
             }
         }
+    }
+
+    #[test]
+    fn pooled_pipeline_matches_unpooled_and_quiesces() {
+        let pool = BufferPool::new();
+        let data = Bytes::from((0..100_000u32).map(|x| x as u8).collect::<Vec<u8>>());
+        for _ in 0..3 {
+            let out = pipelined_fetch_pooled(0, data.len(), 4096, 4, mem_fetch(&data), Some(&pool))
+                .unwrap();
+            assert_eq!(out, data);
+        }
+        assert_eq!(pool.stats().in_flight(), 0);
+        assert!(pool.stats().pool_hits >= 2, "reads recycled the slab");
     }
 
     #[test]

@@ -25,10 +25,14 @@
 //! `NET_SOCKET_CONN`, `NET_SOCKET_WRITER`) are *leaves* of the `hvac-sync`
 //! hierarchy. Every guard here lives in its own block and is dropped before
 //! connecting, spawning, sending, or sleeping, so the socket path adds zero
-//! edges to the static lock graph.
+//! edges to the static lock graph. The buffer pool's internal `NET_POOL`
+//! free-list mutex is likewise only ever held inside `acquire`/release with
+//! no socket lock held, so pooled frame reads and reply encodes keep that
+//! property.
 
 use crate::fabric::{FabricStats, Reply, RpcHandler};
 use crate::framing;
+use crate::pool::BufferPool;
 use bytes::Bytes;
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use hvac_sync::{classes, OrderedMutex, OrderedRwLock};
@@ -59,6 +63,10 @@ pub struct SocketConfig {
     pub family: SocketFamily,
     /// Per-frame body cap enforced by every encoder and decoder.
     pub max_frame: usize,
+    /// Slab pool backing frame reads and reply encodes on this fabric;
+    /// `None` falls back to per-frame heap allocation (the legacy path,
+    /// kept for the zero-copy-off benchmark arm and differential tests).
+    pub pool: Option<BufferPool>,
 }
 
 impl Default for SocketConfig {
@@ -66,6 +74,7 @@ impl Default for SocketConfig {
         Self {
             family: SocketFamily::Tcp,
             max_frame: framing::DEFAULT_MAX_FRAME,
+            pool: Some(BufferPool::new()),
         }
     }
 }
@@ -365,10 +374,11 @@ impl SocketBackend {
             let rx: Receiver<ServerJob> = jobs_rx.clone();
             let handler = handler.clone();
             let max_frame = self.config.max_frame;
+            let pool = self.config.pool.clone();
             let name = format!("hvac-sock-{addr}-{w}");
             let spawned = std::thread::Builder::new()
                 .name(name)
-                .spawn(move || server_worker(rx, handler, max_frame));
+                .spawn(move || server_worker(rx, handler, max_frame, pool));
             match spawned {
                 Ok(h) => worker_handles.push(h),
                 Err(e) => {
@@ -390,9 +400,12 @@ impl SocketBackend {
             let conns = conns.clone();
             let readers = readers.clone();
             let max_frame = self.config.max_frame;
+            let pool = self.config.pool.clone();
             let spawned = std::thread::Builder::new()
                 .name(format!("hvac-sock-accept-{addr}"))
-                .spawn(move || accept_loop(listener, shutdown, jobs_tx, conns, readers, max_frame));
+                .spawn(move || {
+                    accept_loop(listener, shutdown, jobs_tx, conns, readers, max_frame, pool)
+                });
             match spawned {
                 Ok(h) => h,
                 Err(e) => {
@@ -488,7 +501,7 @@ impl SocketBackend {
                 return Ok(c.clone());
             }
         }
-        let fresh = Connection::connect(uri, self.config.max_frame)
+        let fresh = Connection::connect(uri, self.config.max_frame, self.config.pool.clone())
             .map(Arc::new)
             .map_err(|e| HvacError::ServerDown(format!("{addr} ({key}: {e})")))?;
         let winner = {
@@ -585,6 +598,7 @@ struct ServerJob {
     payload: Bytes,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn accept_loop(
     listener: Listener,
     shutdown: Arc<AtomicBool>,
@@ -592,6 +606,7 @@ fn accept_loop(
     conns: Arc<OrderedMutex<Vec<Stream>>>,
     readers: Arc<OrderedMutex<Vec<JoinHandle<()>>>>,
     max_frame: usize,
+    pool: Option<BufferPool>,
 ) {
     while !shutdown.load(Ordering::Relaxed) {
         match listener.accept() {
@@ -604,9 +619,10 @@ fn accept_loop(
                     conns.lock().push(keeper);
                 }
                 let jobs = jobs.clone();
+                let pool = pool.clone();
                 let spawned = std::thread::Builder::new()
                     .name("hvac-sock-conn".to_string())
-                    .spawn(move || conn_reader(stream, jobs, max_frame));
+                    .spawn(move || conn_reader(stream, jobs, max_frame, pool));
                 if let Ok(h) = spawned {
                     // lockgraph: readers -> FABRIC_THREADS
                     readers.lock().push(h);
@@ -620,13 +636,18 @@ fn accept_loop(
 /// Per-connection frame decoder: turns valid request frames into jobs for
 /// the worker pool; any protocol violation or I/O failure drops the whole
 /// connection (a desynced stream cannot be re-synchronized).
-fn conn_reader(stream: Stream, jobs: Sender<ServerJob>, max_frame: usize) {
+fn conn_reader(
+    stream: Stream,
+    jobs: Sender<ServerJob>,
+    max_frame: usize,
+    pool: Option<BufferPool>,
+) {
     let writer = match stream.try_clone() {
         Ok(w) => Arc::new(OrderedMutex::new(classes::NET_SOCKET_WRITER, w)),
         Err(_) => return,
     };
     let mut r = stream;
-    while let Ok(Some(body)) = framing::read_frame(&mut r, max_frame) {
+    while let Ok(Some(body)) = framing::read_frame_pooled(&mut r, max_frame, pool.as_ref()) {
         let req = match framing::decode_request(body) {
             Ok(req) => req,
             Err(_) => break,
@@ -645,7 +666,12 @@ fn conn_reader(stream: Stream, jobs: Sender<ServerJob>, max_frame: usize) {
     let _ = r.shutdown();
 }
 
-fn server_worker(jobs: Receiver<ServerJob>, handler: Arc<dyn RpcHandler>, max_frame: usize) {
+fn server_worker(
+    jobs: Receiver<ServerJob>,
+    handler: Arc<dyn RpcHandler>,
+    max_frame: usize,
+    pool: Option<BufferPool>,
+) {
     while let Ok(job) = jobs.recv() {
         // The wire deadline rode along for exactly this: a job that waited
         // in queue past its caller's whole budget has no one left to answer.
@@ -653,7 +679,12 @@ fn server_worker(jobs: Receiver<ServerJob>, handler: Arc<dyn RpcHandler>, max_fr
             continue;
         }
         let reply = handler.handle(job.payload);
-        if let Ok(frame) = framing::encode_reply(job.req_id, &reply, max_frame) {
+        // The encoded frame lives in a pooled slab (one copy of header +
+        // bulk straight into it); the slab returns to the pool as soon as
+        // the write below drops the frame.
+        if let Ok(frame) =
+            framing::encode_reply_pooled(job.req_id, &reply, max_frame, pool.as_ref())
+        {
             let mut w = job.writer.lock();
             let _ = w.write_all(&frame).and_then(|_| w.flush());
         }
@@ -709,6 +740,7 @@ struct ConnShared {
     next_id: AtomicU64,
     dead: AtomicBool,
     max_frame: usize,
+    pool: Option<BufferPool>,
 }
 
 /// One multiplexed client connection: a writer half shared by concurrent
@@ -720,7 +752,11 @@ struct Connection {
 }
 
 impl Connection {
-    fn connect(uri: &EndpointUri, max_frame: usize) -> std::io::Result<Connection> {
+    fn connect(
+        uri: &EndpointUri,
+        max_frame: usize,
+        pool: Option<BufferPool>,
+    ) -> std::io::Result<Connection> {
         let stream = Stream::connect(uri)?;
         let rstream = stream.try_clone()?;
         let shared = Arc::new(ConnShared {
@@ -729,6 +765,7 @@ impl Connection {
             next_id: AtomicU64::new(1),
             dead: AtomicBool::new(false),
             max_frame,
+            pool,
         });
         let for_reader = shared.clone();
         let handle = std::thread::Builder::new()
@@ -790,7 +827,9 @@ impl Drop for Connection {
 /// pending caller with a disconnect) on EOF, I/O failure, or the first
 /// protocol violation.
 fn client_reader(mut r: Stream, shared: Arc<ConnShared>) {
-    while let Ok(Some(body)) = framing::read_frame(&mut r, shared.max_frame) {
+    while let Ok(Some(body)) =
+        framing::read_frame_pooled(&mut r, shared.max_frame, shared.pool.as_ref())
+    {
         let rf = match framing::decode_reply(body) {
             Ok(rf) => rf,
             Err(_) => break,

@@ -350,6 +350,7 @@ fn frame_cap_is_enforced_on_the_client_side() {
     let fabric = Arc::new(Fabric::socket_with(SocketConfig {
         family: SocketFamily::Tcp,
         max_frame: 1024,
+        ..SocketConfig::default()
     }));
     let _ep = fabric.serve("cap", 1, echo_handler()).unwrap();
     let err = fabric

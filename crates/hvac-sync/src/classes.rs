@@ -3,7 +3,7 @@
 //! The hierarchy, outermost first, is:
 //!
 //! ```text
-//! repair  →  rebalancer  →  view  →  fabric  →  server  →  cache  →  store  →  device
+//! repair → rebalancer → view → fabric → server → cache → store → device → pool
 //! ```
 //!
 //! A thread may acquire classes left-to-right along this chain (skipping
@@ -100,6 +100,15 @@ pub const NET_SOCKET_CONN: &str = "net.socket.conn";
 /// other HVAC lock in scope.
 pub const NET_SOCKET_WRITER: &str = "net.socket.writer";
 
+/// One size class of the reference-counted buffer pool
+/// (`hvac-net::pool`): guards that class's slab free list for the push or
+/// pop only. Innermost of the whole hierarchy — the pool is consulted from
+/// arbitrarily deep in the read path (under a store shard during a
+/// directory-backed read, inside frame decode on a socket reader) and
+/// never acquires anything itself. All size classes share this label: a
+/// thread touches exactly one free list per acquire/release.
+pub const NET_POOL: &str = "net.pool.slab";
+
 /// The lock hierarchy as data: levels ordered outermost-first, each level
 /// listing the classes that live at it. A thread holding a class at level
 /// `i` may acquire a class at level `j` only if `i < j` (strictly inward;
@@ -122,6 +131,7 @@ pub const HIERARCHY: &[(&str, &[&str])] = &[
     ("cache", &[CACHE_POLICY]),
     ("store", &[STORE_SHARD, PFS_FILES]),
     ("device", &[STORE_DEVICE_QUEUE]),
+    ("pool", &[NET_POOL]),
 ];
 
 /// Classes that never participate in nesting at all: acquired and released
@@ -195,6 +205,7 @@ mod tests {
         NET_SOCKET_POOL,
         NET_SOCKET_CONN,
         NET_SOCKET_WRITER,
+        NET_POOL,
     ];
 
     #[test]
@@ -242,6 +253,11 @@ mod tests {
         assert!(edge_allowed(CACHE_POLICY, STORE_SHARD));
         assert!(!edge_allowed(STORE_SHARD, CACHE_POLICY));
         assert!(!edge_allowed(STORE_SHARD, STORE_SHARD));
+        // The buffer pool is innermost: reachable from under any leveled
+        // class, never the other way around.
+        assert!(edge_allowed(STORE_SHARD, NET_POOL));
+        assert!(edge_allowed(STORE_DEVICE_QUEUE, NET_POOL));
+        assert!(!edge_allowed(NET_POOL, STORE_SHARD));
         // Same level never nests.
         assert!(!edge_allowed(STORE_SHARD, PFS_FILES));
         // Leaves never nest in either direction.

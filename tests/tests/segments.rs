@@ -75,20 +75,33 @@ fn repeat_segmented_reads_hit_the_cache() {
     let p = Path::new("/gpfs/train/huge.h5");
     cluster.client(0).read_file_segmented(p, SEG).unwrap();
     let (_, pfs_reads_cold, pfs_bytes_cold) = pfs.stats().snapshot();
-    assert_eq!(pfs_reads_cold, 16, "one ranged PFS read per segment");
+    // The coalescer may merge adjacent same-home segments into one ranged
+    // read, so the cold pass costs *at most* one PFS read per segment —
+    // and with 16 segments over 4 nodes, strictly fewer than 16.
+    assert!(
+        pfs_reads_cold <= 16,
+        "at most one ranged PFS read per segment, got {pfs_reads_cold}"
+    );
+    assert!(pfs_reads_cold >= 4, "one read per node at minimum");
     assert_eq!(
         pfs_bytes_cold, BIG as u64,
-        "ranged reads fetch exactly the file"
+        "ranged reads fetch exactly the file, no re-fetch overlap"
     );
     cluster.client(1).read_file_segmented(p, SEG).unwrap();
     assert_eq!(
         pfs.stats().snapshot().1,
-        16,
+        pfs_reads_cold,
         "second pass never touches the PFS"
     );
     let agg = cluster.aggregate_metrics();
-    assert_eq!(agg.cache_hits, 16);
-    assert_eq!(agg.cache_misses, 16);
+    assert_eq!(
+        agg.cache_misses, pfs_reads_cold,
+        "every cold range was a cache miss"
+    );
+    assert_eq!(
+        agg.cache_hits, agg.cache_misses,
+        "the warm pass hit every range the cold pass populated"
+    );
 }
 
 #[test]

@@ -12,17 +12,47 @@ use std::hash::{Hash, Hasher};
 use std::ops::{Bound, Deref, RangeBounds};
 use std::sync::Arc;
 
+/// Backing storage of a [`Bytes`]: either a plain shared slice or an
+/// arbitrary owner whose `Drop` runs when the last clone goes away (the
+/// `from_owner` contract — buffer pools hook slab reclamation there).
+trait Storage: Send + Sync {
+    fn storage_slice(&self) -> &[u8];
+}
+
+struct OwnedStorage<T>(T);
+
+impl<T: AsRef<[u8]> + Send + Sync> Storage for OwnedStorage<T> {
+    fn storage_slice(&self) -> &[u8] {
+        self.0.as_ref()
+    }
+}
+
+#[derive(Clone)]
+enum Repr {
+    Slice(Arc<[u8]>),
+    Owner(Arc<dyn Storage>),
+}
+
+impl Repr {
+    fn as_slice(&self) -> &[u8] {
+        match self {
+            Repr::Slice(a) => a,
+            Repr::Owner(o) => o.storage_slice(),
+        }
+    }
+}
+
 /// A cheaply cloneable, contiguous, immutable slice of memory.
 #[derive(Clone)]
 pub struct Bytes {
-    buf: Arc<[u8]>,
+    buf: Repr,
     off: usize,
     len: usize,
 }
 
-fn empty_arc() -> Arc<[u8]> {
+fn empty_arc() -> Repr {
     static EMPTY: std::sync::OnceLock<Arc<[u8]>> = std::sync::OnceLock::new();
-    EMPTY.get_or_init(|| Arc::from(&[][..])).clone()
+    Repr::Slice(EMPTY.get_or_init(|| Arc::from(&[][..])).clone())
 }
 
 impl Bytes {
@@ -39,6 +69,22 @@ impl Bytes {
     /// real crate borrows, but callers only rely on value semantics).
     pub fn from_static(data: &'static [u8]) -> Self {
         Self::from(data.to_vec())
+    }
+
+    /// A `Bytes` that borrows its contents from `owner` without copying and
+    /// drops `owner` when the last clone goes away (the `bytes` ≥ 1.9
+    /// `from_owner` API). The owner's `Drop` is the reclamation hook:
+    /// `hvac-net`'s buffer pool returns its slab to the free list there.
+    pub fn from_owner<T>(owner: T) -> Self
+    where
+        T: AsRef<[u8]> + Send + Sync + 'static,
+    {
+        let len = owner.as_ref().len();
+        Self {
+            buf: Repr::Owner(Arc::new(OwnedStorage(owner))),
+            off: 0,
+            len,
+        }
     }
 
     /// Length in bytes.
@@ -86,7 +132,7 @@ impl Bytes {
     }
 
     fn as_slice(&self) -> &[u8] {
-        &self.buf[self.off..self.off + self.len]
+        &self.buf.as_slice()[self.off..self.off + self.len]
     }
 }
 
@@ -162,7 +208,7 @@ impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
         let len = v.len();
         Self {
-            buf: Arc::from(v.into_boxed_slice()),
+            buf: Repr::Slice(Arc::from(v.into_boxed_slice())),
             off: 0,
             len,
         }
@@ -355,6 +401,33 @@ mod tests {
         let head = b.split_to(2);
         assert_eq!(&head[..], &[1, 2]);
         assert_eq!(&b[..], &[3, 4]);
+    }
+
+    #[test]
+    fn from_owner_drops_owner_with_last_clone() {
+        struct Tracked(Vec<u8>, Arc<std::sync::atomic::AtomicBool>);
+        impl AsRef<[u8]> for Tracked {
+            fn as_ref(&self) -> &[u8] {
+                &self.0
+            }
+        }
+        impl Drop for Tracked {
+            fn drop(&mut self) {
+                self.1.store(true, std::sync::atomic::Ordering::SeqCst);
+            }
+        }
+        let dropped = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let b = Bytes::from_owner(Tracked(vec![9u8, 8, 7], dropped.clone()));
+        let s = b.slice(1..3);
+        assert_eq!(&s[..], &[8, 7]);
+        assert_eq!(s.as_ptr(), unsafe { b.as_ptr().add(1) }, "no copy");
+        drop(b);
+        assert!(
+            !dropped.load(std::sync::atomic::Ordering::SeqCst),
+            "a live slice keeps the owner alive"
+        );
+        drop(s);
+        assert!(dropped.load(std::sync::atomic::Ordering::SeqCst));
     }
 
     #[test]
