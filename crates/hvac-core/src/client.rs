@@ -890,8 +890,19 @@ impl HvacClient {
             self.metrics.batch_rpcs.fetch_add(1, Ordering::Relaxed);
         }
         let mut slots: Vec<Option<Bytes>> = vec![None; plan.len()];
-        for c in sq.submit_and_wait() {
-            let (_, idxs) = &batches[c.user_data as usize];
+        // Completions come back in submission order (slot `b` answers batch
+        // `b`), which holds even for sentinel completions from a lost or
+        // timed-out dispatch, whose `user_data` is u64::MAX rather than a
+        // batch index — never index `batches` by `user_data`.
+        for (b, c) in sq.submit_and_wait().into_iter().enumerate() {
+            let Some((_, idxs)) = batches.get(b) else {
+                break;
+            };
+            debug_assert!(
+                c.result.is_err() || c.user_data == b as u64,
+                "completion {b} tagged {}",
+                c.user_data
+            );
             let expected: Vec<u64> = idxs.iter().map(|&i| plan[i].len).collect();
             match c
                 .result
@@ -919,8 +930,17 @@ impl HvacClient {
             }
         }
         let mut chunks = Vec::with_capacity(slots.len());
-        for slot in slots {
-            chunks.push(slot.ok_or_else(|| HvacError::Rpc("batch completion missing".into()))?);
+        for (i, slot) in slots.into_iter().enumerate() {
+            match slot {
+                Some(part) => chunks.push(part),
+                None => {
+                    // No completion ever surfaced for this range's batch
+                    // (abandoned submit, lost worker); re-read it through
+                    // the full ladder rather than failing the whole read.
+                    self.metrics.batch_fallbacks.fetch_add(1, Ordering::Relaxed);
+                    chunks.push(self.read_entry_by_segments(path, &plan[i], segment_size)?);
+                }
+            }
         }
         // lockgraph: acquires NET_POOL
         Ok(reassemble_bulk_pooled(&chunks, &self.pool))

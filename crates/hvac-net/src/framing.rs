@@ -97,9 +97,48 @@ pub fn encode_request(
     encode_frame(&body, max_frame)
 }
 
-/// Encode a reply frame (header + body) ready to write to a stream.
+/// Validate a reply frame's sizes and return its total on-wire length.
+fn checked_reply_frame_len(reply: &Reply, max_frame: usize) -> Result<usize> {
+    if u32::try_from(reply.header.len()).is_err() {
+        return Err(HvacError::Protocol(format!(
+            "reply header of {} bytes exceeds u32 wire prefix",
+            reply.header.len()
+        )));
+    }
+    let bulk_len = reply.bulk.as_ref().map_or(0, Bytes::len);
+    let body_len = 14 + reply.header.len() + bulk_len;
+    check_body_len(body_len, max_frame)?;
+    Ok(8 + body_len)
+}
+
+/// Write one reply frame into `out`, whose length must be exactly the
+/// value returned by [`checked_reply_frame_len`].
+fn fill_reply_frame(out: &mut [u8], req_id: u64, reply: &Reply) {
+    let body_len = out.len() - 8;
+    out[0..4].copy_from_slice(&FRAME_MAGIC.to_le_bytes());
+    out[4..8].copy_from_slice(&(body_len as u32).to_le_bytes());
+    out[8] = KIND_REPLY;
+    out[9..17].copy_from_slice(&req_id.to_le_bytes());
+    out[17] = if reply.bulk.is_some() {
+        FLAG_HAS_BULK
+    } else {
+        0
+    };
+    out[18..22].copy_from_slice(&(reply.header.len() as u32).to_le_bytes());
+    let bulk_at = 22 + reply.header.len();
+    out[22..bulk_at].copy_from_slice(&reply.header);
+    if let Some(b) = &reply.bulk {
+        out[bulk_at..].copy_from_slice(b);
+    }
+}
+
+/// Encode a reply frame (header + body) ready to write to a stream, in a
+/// single allocation with no intermediate copies.
 pub fn encode_reply(req_id: u64, reply: &Reply, max_frame: usize) -> Result<Vec<u8>> {
-    Ok(encode_reply_pooled(req_id, reply, max_frame, None)?.to_vec())
+    let total = checked_reply_frame_len(reply, max_frame)?;
+    let mut out = vec![0u8; total];
+    fill_reply_frame(&mut out, req_id, reply);
+    Ok(out)
 }
 
 /// Encode a reply frame directly into one buffer — pooled when a
@@ -113,44 +152,14 @@ pub fn encode_reply_pooled(
     max_frame: usize,
     pool: Option<&BufferPool>,
 ) -> Result<Bytes> {
-    let bulk_len = reply.bulk.as_ref().map_or(0, Bytes::len);
-    let hdr_len = u32::try_from(reply.header.len()).map_err(|_| {
-        HvacError::Protocol(format!(
-            "reply header of {} bytes exceeds u32 wire prefix",
-            reply.header.len()
-        ))
-    })?;
-    let body_len = 14 + reply.header.len() + bulk_len;
-    check_body_len(body_len, max_frame)?;
-    let total = 8 + body_len;
-    let fill = |out: &mut [u8]| {
-        out[0..4].copy_from_slice(&FRAME_MAGIC.to_le_bytes());
-        out[4..8].copy_from_slice(&(body_len as u32).to_le_bytes());
-        out[8] = KIND_REPLY;
-        out[9..17].copy_from_slice(&req_id.to_le_bytes());
-        out[17] = if reply.bulk.is_some() {
-            FLAG_HAS_BULK
-        } else {
-            0
-        };
-        out[18..22].copy_from_slice(&hdr_len.to_le_bytes());
-        let bulk_at = 22 + reply.header.len();
-        out[22..bulk_at].copy_from_slice(&reply.header);
-        if let Some(b) = &reply.bulk {
-            out[bulk_at..].copy_from_slice(b);
-        }
-    };
     match pool {
         Some(pool) => {
+            let total = checked_reply_frame_len(reply, max_frame)?;
             let mut buf = pool.acquire(total);
-            fill(&mut buf);
+            fill_reply_frame(&mut buf, req_id, reply);
             Ok(buf.freeze())
         }
-        None => {
-            let mut out = vec![0u8; total];
-            fill(&mut out);
-            Ok(Bytes::from(out))
-        }
+        None => Ok(Bytes::from(encode_reply(req_id, reply, max_frame)?)),
     }
 }
 

@@ -92,9 +92,13 @@ pub struct PoolStats {
 impl PoolStats {
     /// Pooled slabs currently held by live buffers: acquires that have
     /// neither returned nor been freed on overflow. Zero means the pool is
-    /// quiescent — every slab it ever handed out has come home.
+    /// quiescent — every slab it ever handed out has come home. Saturating:
+    /// the counters are loaded independently, so a snapshot racing an
+    /// acquire-then-release can observe more returns than acquires and must
+    /// read as quiescent, not underflow.
     pub fn in_flight(&self) -> u64 {
-        self.acquires - self.returns - self.overflow_frees
+        self.acquires
+            .saturating_sub(self.returns.saturating_add(self.overflow_frees))
     }
 }
 

@@ -27,6 +27,7 @@
 use bytes::Bytes;
 use crossbeam::channel::{bounded, unbounded, Sender};
 use hvac_types::{HvacError, Result};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -72,6 +73,10 @@ struct Job {
 
 struct PoolInner {
     fabric: Arc<Fabric>,
+    /// Jobs dispatched to the channel and not yet completed (queued or
+    /// running). Shared with every worker; used to scale a submit's
+    /// overall recv bound by the backlog it queues behind.
+    outstanding: Arc<AtomicU64>,
     /// `Some` for the pool's whole life; taken in `Drop` to close the
     /// queue so workers drain and exit.
     tx: Option<Sender<Job>>,
@@ -102,10 +107,12 @@ impl SqPool {
     pub fn new(fabric: Arc<Fabric>, workers: usize) -> Result<Self> {
         let workers = workers.max(1);
         let (tx, rx) = unbounded::<Job>();
+        let outstanding = Arc::new(AtomicU64::new(0));
         let mut threads = Vec::with_capacity(workers);
         for w in 0..workers {
             let rx = rx.clone();
             let fabric = fabric.clone();
+            let outstanding = Arc::clone(&outstanding);
             let spawned = std::thread::Builder::new()
                 .name(format!("hvac-sq-{w}"))
                 .spawn(move || {
@@ -121,6 +128,7 @@ impl SqPool {
                                 result,
                             },
                         ));
+                        outstanding.fetch_sub(1, Ordering::Relaxed);
                     }
                 });
             match spawned {
@@ -139,6 +147,7 @@ impl SqPool {
         Ok(Self {
             inner: Arc::new(PoolInner {
                 fabric,
+                outstanding,
                 tx: Some(tx),
                 threads,
             }),
@@ -154,9 +163,31 @@ impl SqPool {
         // `tx` is `Some` for the pool's whole life (only `Drop` takes it),
         // and workers never hang up their receiver while it lives.
         if let Some(tx) = &self.inner.tx {
-            let _ = tx.send(job);
+            self.inner.outstanding.fetch_add(1, Ordering::Relaxed);
+            if tx.send(job).is_err() {
+                self.inner.outstanding.fetch_sub(1, Ordering::Relaxed);
+            }
         }
     }
+}
+
+/// Overall recv bound for one submit. Per-entry deadlines are enforced by
+/// the fabric once a job reaches a worker, but on a shared pool a job can
+/// first sit in the channel behind `backlog` earlier jobs (and behind this
+/// submit's own earlier entries) — queue wait a single `max_deadline + 5s`
+/// bound does not cover, which falsely abandoned whole batches under load.
+/// The pool drains at least `workers` jobs per `max_deadline` round, so
+/// `ceil((backlog + dispatched) / workers)` rounds plus slack covers the
+/// worst-case queueing; the bound still exists only to turn a lost worker
+/// into per-slot errors instead of a hang.
+fn overall_bound(max_deadline: Duration, dispatched: u64, backlog: u64, workers: u64) -> Duration {
+    let rounds = backlog
+        .saturating_add(dispatched)
+        .div_ceil(workers.max(1))
+        .max(1);
+    max_deadline
+        .saturating_mul(u32::try_from(rounds).unwrap_or(u32::MAX))
+        .saturating_add(Duration::from_secs(5))
 }
 
 /// A prepared queue of small RPCs drained concurrently on submit.
@@ -220,15 +251,16 @@ impl SubmissionQueue {
                 .collect();
         }
         let n = entries.len();
-        // Generous overall bound: every entry's own deadline is enforced by
-        // the fabric; this only guards against a lost worker, turning a
-        // would-be hang into per-slot errors.
-        let overall = entries
-            .iter()
-            .map(|e| e.deadline)
-            .max()
-            .unwrap_or_default()
-            .saturating_add(Duration::from_secs(5));
+        let max_deadline = entries.iter().map(|e| e.deadline).max().unwrap_or_default();
+        // Snapshot the pool backlog before dispatching: our n-1 dispatched
+        // jobs queue behind it, and the bound must absorb that wait.
+        let backlog = self.pool.inner.outstanding.load(Ordering::Relaxed);
+        let overall = overall_bound(
+            max_deadline,
+            (n - 1) as u64,
+            backlog,
+            self.pool.workers() as u64,
+        );
         let (done_tx, done_rx) = bounded::<(usize, Completion)>(n);
         let mut drained = entries.drain(..);
         let Some(first) = drained.next() else {
@@ -411,6 +443,23 @@ mod tests {
                 h.join().unwrap();
             }
         });
+    }
+
+    #[test]
+    fn overall_bound_scales_with_queue_rounds() {
+        let d = Duration::from_secs(1);
+        let slack = Duration::from_secs(5);
+        // Empty pool, everything fits in one round: one deadline + slack.
+        assert_eq!(overall_bound(d, 3, 0, 4), d + slack);
+        // 7 of our jobs + 9 backlogged jobs over 4 workers: 4 rounds.
+        assert_eq!(overall_bound(d, 7, 9, 4), 4 * d + slack);
+        // A busy shared pool must not shrink the bound below one round,
+        // and zero workers must not divide by zero.
+        assert_eq!(overall_bound(d, 0, 0, 4), d + slack);
+        assert_eq!(overall_bound(d, 1, 0, 0), d + slack);
+        // Absurd backlogs saturate instead of overflowing.
+        let huge = overall_bound(Duration::from_secs(3600), u64::MAX, u64::MAX, 1);
+        assert!(huge >= Duration::from_secs(3600));
     }
 
     #[test]
