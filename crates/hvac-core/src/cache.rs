@@ -12,7 +12,8 @@
 
 use crate::eviction::EvictionPolicy;
 use bytes::Bytes;
-use hvac_storage::LocalStore;
+use hvac_hash::pathhash::split_tenant_key;
+use hvac_storage::{LocalStore, TenantUsage};
 use hvac_sync::{classes, OrderedMutex};
 use hvac_types::{ByteSize, HvacError, Result};
 use std::path::{Path, PathBuf};
@@ -54,10 +55,16 @@ impl CacheManager {
 
     /// Insert `data` for `path`, evicting as needed.
     ///
+    /// Eviction is tenant-isolated: a tenant pushing past its own quota
+    /// evicts only its own keys (a tenant at quota can never displace a
+    /// neighbour's resident entries), while genuine global pressure shrinks
+    /// tenants in proportion to their quota share — the tenant furthest
+    /// over its share loses first.
+    ///
     /// Fails with [`HvacError::CapacityExhausted`] only when the file is
-    /// larger than the whole device — the paper's expectation is that real
-    /// datasets never outgrow the *aggregate* allocation capacity (§III-G),
-    /// but a single node can still churn.
+    /// larger than the whole device or the tenant's quota — the paper's
+    /// expectation is that real datasets never outgrow the *aggregate*
+    /// allocation capacity (§III-G), but a single node can still churn.
     pub fn insert(&self, path: &Path, data: Bytes) -> Result<InsertOutcome> {
         let size = ByteSize(data.len() as u64);
         if !self.store.can_ever_fit(size) {
@@ -66,11 +73,40 @@ impl CacheManager {
                 capacity: self.store.capacity().bytes(),
             });
         }
+        let job = split_tenant_key(path).0;
+        if let Some(q) = self.store.tenant_quota(job) {
+            if size.bytes() > q.bytes() {
+                return Err(HvacError::CapacityExhausted {
+                    requested: size.bytes(),
+                    capacity: q.bytes(),
+                });
+            }
+        }
         let mut policy = self.policy.lock();
         let mut outcome = InsertOutcome::default();
         // Evict until the insert fits. Holding the policy lock serializes
         // concurrent inserts, so capacity race retries are bounded.
         loop {
+            // Replacing `path` frees its old bytes first, so only the delta
+            // counts against the tenant's line.
+            let existing = self.store.size_of(path).unwrap_or(ByteSize::ZERO);
+            let incoming = ByteSize(size.bytes().saturating_sub(existing.bytes()));
+            if self.store.tenant_over_quota(job, incoming) {
+                // Quota pressure: the offending tenant pays for itself.
+                let own = |k: &Path| split_tenant_key(k).0 == job && k != path;
+                let victim = policy
+                    .victim_where(&own)
+                    .ok_or(HvacError::CapacityExhausted {
+                        requested: size.bytes(),
+                        capacity: self
+                            .store
+                            .tenant_quota(job)
+                            .unwrap_or_else(|| self.store.capacity())
+                            .bytes(),
+                    })?;
+                self.evict(&mut policy, &victim, &mut outcome);
+                continue;
+            }
             match self.store.insert(path, data.clone()) {
                 // lockgraph: acquires STORE_SHARD
                 Ok(()) => {
@@ -78,23 +114,67 @@ impl CacheManager {
                     return Ok(outcome);
                 }
                 Err(HvacError::CapacityExhausted { .. }) => {
-                    let victim = policy.victim().ok_or(HvacError::CapacityExhausted {
-                        requested: size.bytes(),
-                        capacity: self.store.capacity().bytes(),
-                    })?;
+                    let victim = self.pressure_victim(&mut policy, path).ok_or(
+                        HvacError::CapacityExhausted {
+                            requested: size.bytes(),
+                            capacity: self.store.capacity().bytes(),
+                        },
+                    )?;
                     // Never evict the path we are inserting (re-insert case).
                     if victim == path {
                         policy.on_remove(&victim);
                         continue;
                     }
-                    self.store.remove(&victim); // lockgraph: acquires STORE_SHARD
-                    policy.on_remove(&victim);
-                    self.evictions.fetch_add(1, Ordering::Relaxed);
-                    outcome.evicted.push(victim);
+                    self.evict(&mut policy, &victim, &mut outcome);
                 }
                 Err(other) => return Err(other),
             }
         }
+    }
+
+    /// Drop one victim from both the store and the policy, recording it.
+    fn evict(
+        &self,
+        policy: &mut Box<dyn EvictionPolicy>,
+        victim: &Path,
+        outcome: &mut InsertOutcome,
+    ) {
+        self.store.remove(victim); // lockgraph: acquires STORE_SHARD
+        policy.on_remove(victim);
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+        outcome.evicted.push(victim.to_path_buf());
+    }
+
+    /// Under global pressure, pick the next victim: tenants shrink in
+    /// proportion to their quota share, so the tenant furthest over its
+    /// share (unlimited tenants are measured against whole-device capacity)
+    /// loses first; the policy keeps its own preference order *within* the
+    /// chosen tenant. Falls back to the policy's unrestricted choice if no
+    /// per-tenant search yields a victim.
+    fn pressure_victim(
+        &self,
+        policy: &mut Box<dyn EvictionPolicy>,
+        inserting: &Path,
+    ) -> Option<PathBuf> {
+        let cap = self.store.capacity().bytes().max(1) as f64;
+        let share = |u: &TenantUsage| {
+            u.used.bytes() as f64 / u.quota.map_or(cap, |q| q.bytes().max(1) as f64)
+        };
+        let mut usage = self.store.tenant_usage();
+        usage.retain(|u| u.resident > 0);
+        usage.sort_by(|a, b| {
+            share(b)
+                .partial_cmp(&share(a))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        for u in &usage {
+            let job = u.job;
+            let in_tenant = |k: &Path| split_tenant_key(k).0 == job && k != inserting;
+            if let Some(v) = policy.victim_where(&in_tenant) {
+                return Some(v);
+            }
+        }
+        policy.victim()
     }
 
     /// Whether `path` is resident.
@@ -246,6 +326,62 @@ mod tests {
         m.insert(Path::new("/a"), blob(10, 2)).unwrap();
         assert_eq!(m.read_all(Path::new("/a")).unwrap()[0], 2);
         assert_eq!(m.resident_count(), 1);
+    }
+
+    #[test]
+    fn quota_pressure_evicts_only_the_offending_tenant() {
+        use hvac_hash::pathhash::tenant_key;
+        use hvac_types::JobId;
+        let m = mgr(100, Box::new(FifoPolicy::new()));
+        m.store().set_tenant_quota(JobId(1), Some(ByteSize(30)));
+        let k = |job: u64, name: &str| tenant_key(JobId(job), Path::new(name));
+        for i in 0..3 {
+            m.insert(&k(1, &format!("/f{i}")), blob(10, i as u8))
+                .unwrap();
+        }
+        m.insert(&k(2, "/g"), blob(10, 9)).unwrap();
+        m.insert(Path::new("/legacy"), blob(10, 8)).unwrap();
+        // Tenant 1 is at quota: one more insert evicts its own oldest file
+        // and nobody else's, even though the device has plenty of room.
+        let out = m.insert(&k(1, "/f3"), blob(10, 3)).unwrap();
+        assert_eq!(out.evicted, vec![k(1, "/f0")]);
+        assert!(m.contains(&k(2, "/g")));
+        assert!(m.contains(Path::new("/legacy")));
+        assert_eq!(m.store().tenant_used(JobId(1)), ByteSize(30));
+        // A single file larger than the quota can never fit.
+        let err = m.insert(&k(1, "/huge"), blob(31, 0)).unwrap_err();
+        assert!(matches!(
+            err,
+            HvacError::CapacityExhausted { capacity: 30, .. }
+        ));
+        // ... and nothing was evicted for the hopeless attempt.
+        assert_eq!(m.store().tenant_used(JobId(1)), ByteSize(30));
+    }
+
+    #[test]
+    fn global_pressure_shrinks_the_most_over_share_tenant() {
+        use hvac_hash::pathhash::tenant_key;
+        use hvac_types::JobId;
+        let m = mgr(100, Box::new(FifoPolicy::new()));
+        m.store().set_tenant_quota(JobId(1), Some(ByteSize(50)));
+        m.store().set_tenant_quota(JobId(2), Some(ByteSize(50)));
+        let k = |job: u64, name: &str| tenant_key(JobId(job), Path::new(name));
+        for i in 0..5 {
+            m.insert(&k(1, &format!("/a{i}")), blob(10, 1)).unwrap();
+        }
+        for i in 0..3 {
+            m.insert(&k(2, &format!("/b{i}")), blob(10, 2)).unwrap();
+        }
+        m.insert(Path::new("/l0"), blob(10, 3)).unwrap();
+        m.insert(Path::new("/l1"), blob(10, 3)).unwrap();
+        assert_eq!(m.store().used(), ByteSize(100), "device full");
+        // Job 2 is inside its own quota, so this is global pressure; job 1
+        // sits at 100% of its share (vs 60% and 20%) and pays first.
+        let out = m.insert(&k(2, "/b3"), blob(10, 2)).unwrap();
+        assert_eq!(out.evicted, vec![k(1, "/a0")]);
+        assert_eq!(m.store().tenant_used(JobId(1)), ByteSize(40));
+        assert_eq!(m.store().tenant_used(JobId(2)), ByteSize(40));
+        assert_eq!(m.store().tenant_used(JobId::DEFAULT), ByteSize(20));
     }
 
     #[test]

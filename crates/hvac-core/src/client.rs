@@ -20,7 +20,7 @@ use crate::metrics::ClientMetrics;
 use crate::protocol::{Request, Response};
 use crate::view::ViewHandle;
 use bytes::Bytes;
-use hvac_hash::pathhash::{hash_path, mix64};
+use hvac_hash::pathhash::{hash_job_path, mix64};
 use hvac_hash::placement::{make_placement, Placement};
 use hvac_net::fabric::{Fabric, Reply};
 use hvac_net::pipeline::pipelined_fetch_pooled;
@@ -30,7 +30,7 @@ use hvac_net::reassemble_bulk_pooled;
 use hvac_net::sq::{SqEntry, SqPool, SubmissionQueue};
 use hvac_pfs::FileStore;
 use hvac_sync::{classes, OrderedMutex};
-use hvac_types::{ClusterView, HvacError, PlacementKind, Result, RetryPolicy, ServerId};
+use hvac_types::{ClusterView, HvacError, JobId, PlacementKind, Result, RetryPolicy, ServerId};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -69,6 +69,11 @@ pub struct HvacClientOptions {
     pub coalesce_max: u64,
     /// At most this many coalesced ranges ride in one batch RPC.
     pub batch_max: usize,
+    /// Tenant identity stamped on every request this client issues. Job 0
+    /// (the default) is the legacy namespace: requests stay byte-identical
+    /// to pre-tenancy clients. A non-default job namespaces placement, the
+    /// server-side cache, and QoS accounting.
+    pub job_id: JobId,
 }
 
 impl HvacClientOptions {
@@ -90,6 +95,7 @@ impl HvacClientOptions {
             zero_copy: true,
             coalesce_max: 1 << 20,
             batch_max: 16,
+            job_id: JobId::from_env(),
         }
     }
 }
@@ -244,8 +250,10 @@ impl HvacClient {
     }
 
     /// Replica addresses of a path in an explicit view, home first.
+    /// Placement hashes `(job, path)`, so two tenants reading the same
+    /// dataset spread their (separately-cached) copies independently.
     fn replica_addrs_in(&self, view: &ClusterView, path: &Path) -> Vec<String> {
-        let fid = hash_path(path);
+        let fid = hash_job_path(self.options.job_id, path);
         self.placement
             .replicas_in_view(fid, view, self.options.replication as usize)
             .into_iter()
@@ -524,7 +532,7 @@ impl HvacClient {
         let mut hops = 0u32;
         loop {
             let view = self.view.snapshot();
-            let encoded = req.encode_at(view.epoch())?;
+            let encoded = req.encode_ctx(view.epoch(), self.options.job_id)?;
             let addrs = addrs_of(&view);
             let reply = self.call_replicas(&addrs, &encoded)?;
             match Response::decode(reply.header.clone())? {
@@ -883,7 +891,7 @@ impl HvacClient {
                 .collect();
             sq.prep(SqEntry {
                 dest: dest.clone(),
-                payload: Request::Batch { items }.encode_at(view.epoch())?,
+                payload: Request::Batch { items }.encode_ctx(view.epoch(), self.options.job_id)?,
                 deadline: self.options.retry.rpc_timeout,
                 user_data: b as u64,
             });
@@ -1019,7 +1027,7 @@ impl HvacClient {
         path: &Path,
         seg_index: u64,
     ) -> Vec<String> {
-        let fid = hash_path(path);
+        let fid = hash_job_path(self.options.job_id, path);
         let seg_fid =
             hvac_types::FileId(mix64(fid.0 ^ seg_index.wrapping_mul(0x9e37_79b9_7f4a_7c15)));
         self.placement
@@ -1062,7 +1070,9 @@ impl HvacClient {
                 let req = Request::Prefetch {
                     paths: batch.clone(),
                 };
-                let reply = self.fabric.call(&addr, req.encode_at(view.epoch())?)?;
+                let reply = self
+                    .fabric
+                    .call(&addr, req.encode_ctx(view.epoch(), self.options.job_id)?)?;
                 match Response::decode(reply.header)? {
                     Response::StaleView { view: next } => {
                         self.metrics.view_refreshes.fetch_add(1, Ordering::Relaxed);

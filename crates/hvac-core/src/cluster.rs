@@ -18,7 +18,8 @@
 use crate::cache::CacheManager;
 use crate::client::{HvacClient, HvacClientOptions};
 use crate::eviction::make_policy;
-use crate::metrics::ServerMetricsSnapshot;
+use crate::metrics::{ServerMetricsSnapshot, TenantServerSnapshot};
+use crate::qos::QosOptions;
 use crate::rebalance::{rebalance, RebalanceReport, RebalanceSource};
 use crate::repair::{audit_under_replicated, repair, RepairReport, RepairSource};
 use crate::server::{HvacServer, HvacServerOptions};
@@ -26,11 +27,11 @@ use crate::view::ViewHandle;
 use hvac_hash::placement::{make_placement, Placement};
 use hvac_net::fabric::{Fabric, ServerEndpoint};
 use hvac_pfs::FileStore;
-use hvac_storage::LocalStore;
+use hvac_storage::{DeviceModel, LocalStore};
 use hvac_sync::{classes, OrderedMutex};
 use hvac_types::{
-    ByteSize, ClusterView, EvictionPolicyKind, HvacError, NodeId, PlacementKind, Result,
-    RetryPolicy, ServerId, TransportKind,
+    ByteSize, ClusterView, EvictionPolicyKind, HvacError, JobId, JobWeights, NodeId, PlacementKind,
+    Result, RetryPolicy, ServerId, TransportKind,
 };
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -96,6 +97,24 @@ pub struct ClusterOptions {
     /// `HVAC_TRANSPORT` environment variable so an unchanged test suite can
     /// be rerun over real sockets by exporting `HVAC_TRANSPORT=tcp`.
     pub transport: TransportKind,
+    /// Tenant identity every client of this allocation encodes on the wire.
+    /// Defaults from `HVAC_JOB_ID` (absent/unparsable = job 0, the legacy
+    /// namespace), so a launcher can scope a whole training job without
+    /// touching its code.
+    pub job_id: JobId,
+    /// Per-tenant weighted-fair-share plan installed on every server
+    /// (admission control + device scheduling) and every node store
+    /// (capacity quotas). Empty (the default) keeps the single-tenant
+    /// behaviour: no quotas, no shedding.
+    pub job_weights: JobWeights,
+    /// Tuning of the per-server tenant scheduler (device-slot count, queue
+    /// depth cap, DRR quantum). Only consulted when `job_weights` is
+    /// non-empty.
+    pub qos: QosOptions,
+    /// Optional device service-time emulation armed on every node store —
+    /// how tests and benches create real device contention for the QoS
+    /// scheduler to arbitrate. `None` (the default) keeps reads instant.
+    pub device_model: Option<DeviceModel>,
 }
 
 impl ClusterOptions {
@@ -124,6 +143,10 @@ impl ClusterOptions {
             rebalance: true,
             repair: true,
             transport: TransportKind::from_env(),
+            job_id: JobId::from_env(),
+            job_weights: JobWeights::default(),
+            qos: QosOptions::default(),
+            device_model: None,
         }
     }
 
@@ -222,6 +245,30 @@ impl ClusterOptions {
         self
     }
 
+    /// Set the tenant identity of this allocation's clients.
+    pub fn job_id(mut self, job: JobId) -> Self {
+        self.job_id = job;
+        self
+    }
+
+    /// Install a per-tenant QoS/quota plan on every server and node store.
+    pub fn job_weights(mut self, weights: JobWeights) -> Self {
+        self.job_weights = weights;
+        self
+    }
+
+    /// Tune the tenant scheduler (inflight slots, queue cap, DRR quantum).
+    pub fn qos(mut self, qos: QosOptions) -> Self {
+        self.qos = qos;
+        self
+    }
+
+    /// Arm device service-time emulation on every node store.
+    pub fn device_model(mut self, model: DeviceModel) -> Self {
+        self.device_model = Some(model);
+        self
+    }
+
     fn validate(&self) -> Result<()> {
         if self.nodes == 0 || self.instances_per_node == 0 || self.clients_per_node == 0 {
             return Err(HvacError::InvalidConfig(
@@ -314,6 +361,7 @@ impl Cluster {
                         zero_copy: options.zero_copy,
                         coalesce_max: options.coalesce_max,
                         batch_max: options.batch_max,
+                        job_id: options.job_id,
                     },
                 )?;
                 if options.pfs_fallback {
@@ -344,8 +392,15 @@ impl Cluster {
         options: &ClusterOptions,
         node: NodeId,
     ) -> Result<NodeSlot> {
+        let mut store = LocalStore::in_memory(options.cache_capacity);
+        if let Some(model) = &options.device_model {
+            store.set_device_model(model.clone());
+        }
+        // Quota shares carve the node capacity per tenant before any byte
+        // lands, so eviction isolation holds from the first insert on.
+        store.set_tenant_quotas(&options.job_weights);
         let cache = Arc::new(CacheManager::new(
-            LocalStore::in_memory(options.cache_capacity),
+            store,
             make_policy(options.eviction, options.seed ^ u64::from(node.0)),
         ));
         let mut servers = Vec::new();
@@ -358,6 +413,8 @@ impl Cluster {
                 HvacServerOptions {
                     movers: options.movers_per_instance,
                     rpc_workers: options.rpc_workers,
+                    job_weights: options.job_weights.clone(),
+                    qos: options.qos,
                 },
                 &sid.to_string(),
             )?;
@@ -603,6 +660,35 @@ impl Cluster {
         &self.clients[rank]
     }
 
+    /// Build an extra client bound to tenant `job` against this
+    /// allocation's servers — how a second training job shares the same
+    /// node caches. The client mirrors every data-path option of the
+    /// built-in ranks; only the tenant identity differs.
+    pub fn client_for_job(&self, job: JobId) -> Result<Arc<HvacClient>> {
+        let options = &self.options;
+        let mut client = HvacClient::new(
+            self.fabric.clone(),
+            HvacClientOptions {
+                dataset_dir: options.dataset_dir.clone(),
+                placement: options.placement,
+                replication: options.replication,
+                n_servers: self.n_servers(),
+                instances_per_node: options.instances_per_node,
+                retry: options.retry.clone(),
+                bulk_chunk: options.bulk_chunk,
+                bulk_window: options.bulk_window,
+                zero_copy: options.zero_copy,
+                coalesce_max: options.coalesce_max,
+                batch_max: options.batch_max,
+                job_id: job,
+            },
+        )?;
+        if options.pfs_fallback {
+            client.set_pfs_fallback(self.pfs.clone());
+        }
+        Ok(Arc::new(client))
+    }
+
     /// A live server instance by global index (node-major over live nodes).
     pub fn server(&self, idx: usize) -> &Arc<HvacServer> {
         let mut remaining = idx;
@@ -637,6 +723,28 @@ impl Cluster {
             }
         }
         agg
+    }
+
+    /// Cluster-wide per-tenant server counters, merged across every live
+    /// and retired instance, sorted by job id.
+    pub fn tenant_metrics(&self) -> Vec<TenantServerSnapshot> {
+        let mut by_job: HashMap<u64, TenantServerSnapshot> = HashMap::new();
+        for slot in self.nodes.iter().chain(self.retired.iter()) {
+            for s in &slot.servers {
+                for row in s.metrics().tenants.snapshot() {
+                    by_job
+                        .entry(row.job)
+                        .or_insert(TenantServerSnapshot {
+                            job: row.job,
+                            ..Default::default()
+                        })
+                        .merge(&row);
+                }
+            }
+        }
+        let mut rows: Vec<TenantServerSnapshot> = by_job.into_values().collect();
+        rows.sort_by_key(|r| r.job);
+        rows
     }
 
     /// Resident file count per live node cache (Fig. 15's distribution,

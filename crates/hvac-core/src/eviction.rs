@@ -34,6 +34,16 @@ pub trait EvictionPolicy: Send {
     /// The chosen path stays tracked until `on_remove` is called.
     fn victim(&mut self) -> Option<PathBuf>;
 
+    /// [`victim`](Self::victim) restricted to files satisfying `eligible` —
+    /// the same preference order, applied to a sub-population. The cache
+    /// manager uses this to confine quota-driven eviction to one tenant's
+    /// keys. The default filters the unrestricted choice, which is only
+    /// right for policies that never evict anyway; real policies override
+    /// it with a genuine restricted search.
+    fn victim_where(&mut self, eligible: &dyn Fn(&Path) -> bool) -> Option<PathBuf> {
+        self.victim().filter(|p| eligible(p))
+    }
+
     /// Number of tracked files (for invariant checks).
     fn len(&self) -> usize;
 
@@ -109,6 +119,16 @@ impl EvictionPolicy for RandomPolicy {
         let idx = self.rng.gen_range(0..self.slab.paths.len());
         Some(self.slab.paths[idx].clone())
     }
+    fn victim_where(&mut self, eligible: &dyn Fn(&Path) -> bool) -> Option<PathBuf> {
+        let idxs: Vec<usize> = (0..self.slab.paths.len())
+            .filter(|&i| eligible(&self.slab.paths[i]))
+            .collect();
+        if idxs.is_empty() {
+            return None;
+        }
+        let pick = idxs[self.rng.gen_range(0..idxs.len())];
+        Some(self.slab.paths[pick].clone())
+    }
     fn len(&self) -> usize {
         self.slab.len()
     }
@@ -151,6 +171,20 @@ impl EvictionPolicy for FifoPolicy {
             self.order.pop_front();
         }
         None
+    }
+    fn victim_where(&mut self, eligible: &dyn Fn(&Path) -> bool) -> Option<PathBuf> {
+        // Oldest eligible entry; live-but-ineligible entries keep their
+        // queue positions (only true tombstones at the front are dropped).
+        while let Some(front) = self.order.front() {
+            if self.resident.contains_key(front) {
+                break;
+            }
+            self.order.pop_front();
+        }
+        self.order
+            .iter()
+            .find(|p| self.resident.contains_key(*p) && eligible(p))
+            .cloned()
     }
     fn len(&self) -> usize {
         self.resident.len()
@@ -199,6 +233,13 @@ impl EvictionPolicy for LruPolicy {
             .min_by_key(|(_, &t)| t)
             .map(|(p, _)| p.clone())
     }
+    fn victim_where(&mut self, eligible: &dyn Fn(&Path) -> bool) -> Option<PathBuf> {
+        self.last_use
+            .iter()
+            .filter(|(p, _)| eligible(p))
+            .min_by_key(|(_, &t)| t)
+            .map(|(p, _)| p.clone())
+    }
     fn len(&self) -> usize {
         self.last_use.len()
     }
@@ -238,6 +279,13 @@ impl EvictionPolicy for LfuPolicy {
     fn victim(&mut self) -> Option<PathBuf> {
         self.entries
             .iter()
+            .min_by_key(|(_, &(uses, t))| (uses, t))
+            .map(|(p, _)| p.clone())
+    }
+    fn victim_where(&mut self, eligible: &dyn Fn(&Path) -> bool) -> Option<PathBuf> {
+        self.entries
+            .iter()
+            .filter(|(p, _)| eligible(p))
             .min_by_key(|(_, &(uses, t))| (uses, t))
             .map(|(p, _)| p.clone())
     }
@@ -414,6 +462,46 @@ mod tests {
             assert_eq!(pol.len(), 0, "{}", pol.name());
             assert!(pol.victim().is_none(), "{}", pol.name());
         }
+    }
+
+    #[test]
+    fn victim_where_respects_the_restriction_and_the_order() {
+        for mut pol in all_policies() {
+            for i in 0..10 {
+                pol.on_insert(&p(&format!("/t{}/f{i}", i % 2)));
+            }
+            let only_t1 = |path: &Path| path.starts_with("/t1");
+            // Drain the restricted population: every victim matches, and the
+            // restriction never returns files outside it.
+            for _ in 0..5 {
+                let v = pol.victim_where(&only_t1).unwrap();
+                assert!(only_t1(&v), "{} chose {v:?}", pol.name());
+                pol.on_remove(&v);
+            }
+            assert!(pol.victim_where(&only_t1).is_none(), "{}", pol.name());
+            assert_eq!(pol.len(), 5, "{}: /t0 files untouched", pol.name());
+        }
+        // Order agreement: the restricted choice follows the policy's own
+        // preference, not just any eligible entry.
+        let mut fifo = FifoPolicy::new();
+        let mut lru = LruPolicy::new();
+        for n in ["/t0/a", "/t1/b", "/t1/c"] {
+            fifo.on_insert(&p(n));
+            lru.on_insert(&p(n));
+        }
+        lru.on_access(&p("/t1/b"));
+        assert_eq!(
+            fifo.victim_where(&|x| x.starts_with("/t1")).unwrap(),
+            p("/t1/b")
+        );
+        assert_eq!(
+            lru.victim_where(&|x| x.starts_with("/t1")).unwrap(),
+            p("/t1/c")
+        );
+        // MinIO still never evicts, restricted or not.
+        let mut pinned = MinIoPolicy::new();
+        pinned.on_insert(&p("/t1/x"));
+        assert!(pinned.victim_where(&|_| true).is_none());
     }
 
     #[test]

@@ -79,6 +79,7 @@ pub mod eviction;
 pub mod intercept;
 pub mod metrics;
 pub mod protocol;
+pub mod qos;
 pub mod rebalance;
 pub mod repair;
 pub mod server;
@@ -89,6 +90,7 @@ pub use client::{HvacClient, HvacClientOptions};
 pub use cluster::{Cluster, ClusterOptions};
 pub use eviction::{make_policy, EvictionPolicy};
 pub use metrics::{ClientMetrics, ServerMetrics};
+pub use qos::{Admit, QosOptions, TenantScheduler};
 pub use rebalance::RebalanceReport;
 pub use repair::RepairReport;
 pub use server::{HvacServer, HvacServerOptions};

@@ -20,6 +20,124 @@ pub struct StripeCounters {
     pub contention: AtomicU64,
 }
 
+/// Slots in a [`TenantTable`]. Plenty for any realistic number of
+/// co-scheduled jobs on one allocation; overflow tenants keep counting in
+/// the scalar totals but lose their per-tenant split.
+const TENANT_SLOTS: usize = 64;
+
+/// One tenant's row in the per-tenant counter split.
+#[derive(Debug)]
+pub struct TenantCounters {
+    /// Owning job id; `u64::MAX` marks a free slot (so a literal job id of
+    /// `u64::MAX` is the one tenant that cannot get its own row).
+    job: AtomicU64,
+    /// Reads admitted past QoS admission control.
+    pub admitted: AtomicU64,
+    /// Reads shed to the PFS degradation path by admission control.
+    pub shed: AtomicU64,
+    /// Read RPCs answered for this tenant.
+    pub reads: AtomicU64,
+    /// Bytes served to this tenant.
+    pub served_bytes: AtomicU64,
+}
+
+/// Lock-free per-tenant counter table: a fixed open-addressed slot array
+/// claimed by CAS on first touch, linear probing on collision. Counting
+/// stays wait-free on the read hot path; enumeration walks occupied slots.
+#[derive(Debug)]
+pub struct TenantTable {
+    slots: Vec<TenantCounters>,
+}
+
+impl Default for TenantTable {
+    fn default() -> Self {
+        Self {
+            slots: (0..TENANT_SLOTS)
+                .map(|_| TenantCounters {
+                    job: AtomicU64::new(u64::MAX),
+                    admitted: AtomicU64::new(0),
+                    shed: AtomicU64::new(0),
+                    reads: AtomicU64::new(0),
+                    served_bytes: AtomicU64::new(0),
+                })
+                .collect(),
+        }
+    }
+}
+
+impl TenantTable {
+    /// Find (or claim) the slot for `job`. `None` when the table is full —
+    /// the caller just drops the per-tenant split for that job.
+    pub fn slot(&self, job: u64) -> Option<&TenantCounters> {
+        if job == u64::MAX {
+            return None;
+        }
+        let n = self.slots.len();
+        let start = (job as usize) % n;
+        for i in 0..n {
+            let s = &self.slots[(start + i) % n];
+            let cur = s.job.load(Ordering::Relaxed);
+            if cur == job {
+                return Some(s);
+            }
+            if cur == u64::MAX {
+                match s
+                    .job
+                    .compare_exchange(u64::MAX, job, Ordering::Relaxed, Ordering::Relaxed)
+                {
+                    Ok(_) => return Some(s),
+                    Err(actual) if actual == job => return Some(s),
+                    Err(_) => continue,
+                }
+            }
+        }
+        None
+    }
+
+    /// Occupied rows as plain data, sorted by job id.
+    pub fn snapshot(&self) -> Vec<TenantServerSnapshot> {
+        let mut out: Vec<TenantServerSnapshot> = self
+            .slots
+            .iter()
+            .filter(|s| s.job.load(Ordering::Relaxed) != u64::MAX)
+            .map(|s| TenantServerSnapshot {
+                job: s.job.load(Ordering::Relaxed),
+                admitted: s.admitted.load(Ordering::Relaxed),
+                shed: s.shed.load(Ordering::Relaxed),
+                reads: s.reads.load(Ordering::Relaxed),
+                served_bytes: s.served_bytes.load(Ordering::Relaxed),
+            })
+            .collect();
+        out.sort_by_key(|t| t.job);
+        out
+    }
+}
+
+/// A plain-old-data row of one tenant's server-side counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantServerSnapshot {
+    /// Job id.
+    pub job: u64,
+    /// Reads admitted past QoS admission control.
+    pub admitted: u64,
+    /// Reads shed to the PFS degradation path.
+    pub shed: u64,
+    /// Read RPCs answered.
+    pub reads: u64,
+    /// Bytes served.
+    pub served_bytes: u64,
+}
+
+impl TenantServerSnapshot {
+    /// Merge another row of the *same* job into this one.
+    pub fn merge(&mut self, other: &TenantServerSnapshot) {
+        self.admitted += other.admitted;
+        self.shed += other.shed;
+        self.reads += other.reads;
+        self.served_bytes += other.served_bytes;
+    }
+}
+
 /// Counters kept by one HVAC server instance.
 #[derive(Debug, Default)]
 pub struct ServerMetrics {
@@ -69,10 +187,18 @@ pub struct ServerMetrics {
     pub repaired_files: AtomicU64,
     /// Bytes this server copied to peers during repair passes.
     pub repaired_bytes: AtomicU64,
+    /// Reads admitted past QoS admission control (counted even when QoS is
+    /// off — then everything is admitted).
+    pub tenant_admitted: AtomicU64,
+    /// Reads shed by admission control and served via the PFS degradation
+    /// path instead of the cache read path.
+    pub tenant_shed: AtomicU64,
     /// Per-stripe hit/miss/contention counters of the inflight table.
     /// Empty by default (`ServerMetrics::default()`); sized by
     /// [`ServerMetrics::with_stripes`] when the server spawns.
     pub stripes: Vec<StripeCounters>,
+    /// Per-tenant counter split (lock-free fixed slot table).
+    pub tenants: TenantTable,
 }
 
 impl ServerMetrics {
@@ -102,6 +228,30 @@ impl ServerMetrics {
     pub fn stripe_contended(&self, stripe: usize) {
         if let Some(s) = self.stripes.get(stripe) {
             s.contention.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Count one admitted read for `job` (scalar total + per-tenant row).
+    pub fn tenant_admit(&self, job: u64) {
+        self.tenant_admitted.fetch_add(1, Ordering::Relaxed);
+        if let Some(t) = self.tenants.slot(job) {
+            t.admitted.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Count one shed read for `job`.
+    pub fn tenant_shed(&self, job: u64) {
+        self.tenant_shed.fetch_add(1, Ordering::Relaxed);
+        if let Some(t) = self.tenants.slot(job) {
+            t.shed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Count one answered read of `bytes` bytes for `job`.
+    pub fn tenant_read(&self, job: u64, bytes: u64) {
+        if let Some(t) = self.tenants.slot(job) {
+            t.reads.fetch_add(1, Ordering::Relaxed);
+            t.served_bytes.fetch_add(bytes, Ordering::Relaxed);
         }
     }
 }
@@ -148,6 +298,10 @@ pub struct ServerMetricsSnapshot {
     pub repaired_files: u64,
     /// Bytes copied to peers during repair passes.
     pub repaired_bytes: u64,
+    /// Reads admitted past QoS admission control.
+    pub tenant_admitted: u64,
+    /// Reads shed by admission control to the PFS degradation path.
+    pub tenant_shed: u64,
     /// Stripe-level hits summed over every stripe (the per-stripe vectors
     /// stay on [`ServerMetrics`]; the snapshot carries scalars so it stays
     /// `Copy` and merges cheaply).
@@ -182,6 +336,8 @@ impl ServerMetrics {
             migrated_bytes: self.migrated_bytes.load(Ordering::Relaxed),
             repaired_files: self.repaired_files.load(Ordering::Relaxed),
             repaired_bytes: self.repaired_bytes.load(Ordering::Relaxed),
+            tenant_admitted: self.tenant_admitted.load(Ordering::Relaxed),
+            tenant_shed: self.tenant_shed.load(Ordering::Relaxed),
             stripe_hits: self
                 .stripes
                 .iter()
@@ -223,6 +379,8 @@ impl ServerMetricsSnapshot {
         self.migrated_bytes += other.migrated_bytes;
         self.repaired_files += other.repaired_files;
         self.repaired_bytes += other.repaired_bytes;
+        self.tenant_admitted += other.tenant_admitted;
+        self.tenant_shed += other.tenant_shed;
         self.stripe_hits += other.stripe_hits;
         self.stripe_misses += other.stripe_misses;
         self.stripe_contention += other.stripe_contention;
@@ -401,6 +559,66 @@ mod tests {
         let d = ServerMetrics::default();
         d.stripe_hit(0);
         assert_eq!(d.snapshot().stripe_hits, 0);
+    }
+
+    #[test]
+    fn tenant_counters_split_per_job_and_total_in_the_snapshot() {
+        let m = ServerMetrics::default();
+        m.tenant_admit(0);
+        m.tenant_admit(7);
+        m.tenant_admit(7);
+        m.tenant_shed(7);
+        m.tenant_read(7, 100);
+        m.tenant_read(0, 40);
+        let s = m.snapshot();
+        assert_eq!((s.tenant_admitted, s.tenant_shed), (3, 1));
+        let rows = m.tenants.snapshot();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(
+            (
+                rows[0].job,
+                rows[0].admitted,
+                rows[0].reads,
+                rows[0].served_bytes
+            ),
+            (0, 1, 1, 40)
+        );
+        assert_eq!(
+            (
+                rows[1].job,
+                rows[1].admitted,
+                rows[1].shed,
+                rows[1].served_bytes
+            ),
+            (7, 2, 1, 100)
+        );
+        let mut agg = rows[1];
+        agg.merge(&rows[1]);
+        assert_eq!((agg.admitted, agg.served_bytes), (4, 200));
+        // Snapshot merge carries the scalar totals.
+        let mut total = ServerMetricsSnapshot::default();
+        total.merge(&s);
+        total.merge(&s);
+        assert_eq!((total.tenant_admitted, total.tenant_shed), (6, 2));
+    }
+
+    #[test]
+    fn tenant_table_probes_past_collisions_and_survives_overflow() {
+        let t = TenantTable::default();
+        // 0 and 64 collide on the same start slot; probing separates them.
+        assert!(t.slot(0).is_some());
+        assert!(t.slot(64).is_some());
+        t.slot(64).unwrap().reads.fetch_add(1, Ordering::Relaxed);
+        assert_eq!(t.slot(0).unwrap().reads.load(Ordering::Relaxed), 0);
+        // The sentinel job id cannot be tracked; everything else up to the
+        // table size can, and overflow degrades to None, not a panic.
+        assert!(t.slot(u64::MAX).is_none());
+        // 0 and 64 already hold two of the 64 slots; 62 more jobs fill it.
+        for job in 1..63 {
+            assert!(t.slot(job).is_some(), "job {job}");
+        }
+        assert!(t.slot(1000).is_none(), "table full");
+        assert_eq!(t.snapshot().len(), 64);
     }
 
     #[test]

@@ -22,8 +22,15 @@
 use bytes::{Bytes, BytesMut};
 use hvac_net::plan::{decode_batch_items, encode_batch_items, BatchItem, MAX_BATCH_ITEMS};
 use hvac_net::wire;
-use hvac_types::{ClusterView, HvacError, Result, ServerId};
+use hvac_types::{ClusterView, HvacError, JobId, Result, ServerId};
 use std::path::{Path, PathBuf};
+
+/// High bit of the epoch prefix: set when a job id follows the epoch.
+/// Tenant identity rides the wire exactly like membership epochs do — job 0
+/// (the default namespace) encodes byte-identically to the pre-tenancy
+/// format, and a set flag means "one more u64: the sender's job". Epochs are
+/// monotonically-bumped small integers, so the bit is otherwise never set.
+pub const JOB_FLAG: u64 = 1 << 63;
 
 const TAG_STAT: u8 = 1;
 const TAG_READ: u8 = 2;
@@ -35,6 +42,11 @@ const TAG_BATCH: u8 = 7;
 
 const STATUS_OK: u8 = 0;
 const STATUS_ERR: u8 = 1;
+// Tenant-echoing variants: same layout as OK/ERR with a u64 job id spliced
+// in right after the status byte. Only produced for non-default jobs, so
+// job-0 replies stay byte-identical to the legacy format.
+const STATUS_OK_JOB: u8 = 2;
+const STATUS_ERR_JOB: u8 = 3;
 
 /// A request from an HVAC client to a server instance.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -149,9 +161,27 @@ impl Request {
     }
 
     /// Encode to wire bytes, prefixing the sender's view `epoch`.
+    /// Equivalent to `encode_ctx(epoch, JobId::DEFAULT)`.
     pub fn encode_at(&self, epoch: u64) -> Result<Bytes> {
-        let mut b = BytesMut::with_capacity(72);
-        b.extend_from_slice(&epoch.to_le_bytes());
+        self.encode_ctx(epoch, JobId::DEFAULT)
+    }
+
+    /// Encode to wire bytes, prefixing the sender's view `epoch` and tenant
+    /// identity. Job 0 produces the legacy byte layout (no job field, clear
+    /// [`JOB_FLAG`]); any other job sets the flag and appends its id.
+    pub fn encode_ctx(&self, epoch: u64, job: JobId) -> Result<Bytes> {
+        if epoch & JOB_FLAG != 0 {
+            return Err(HvacError::Protocol(format!(
+                "epoch {epoch:#x} collides with the job flag"
+            )));
+        }
+        let mut b = BytesMut::with_capacity(80);
+        if job.is_default() {
+            b.extend_from_slice(&epoch.to_le_bytes());
+        } else {
+            b.extend_from_slice(&(epoch | JOB_FLAG).to_le_bytes());
+            b.extend_from_slice(&job.0.to_le_bytes());
+        }
         match self {
             Request::Stat { path } => {
                 b.extend_from_slice(&[TAG_STAT]);
@@ -196,10 +226,24 @@ impl Request {
     }
 
     /// Decode from wire bytes, returning the sender's view epoch alongside
-    /// the request.
-    pub fn decode_with_epoch(mut buf: Bytes) -> Result<(u64, Request)> {
-        let epoch = wire::get_u64(&mut buf)?;
-        Ok((epoch, Self::decode_body(&mut buf)?))
+    /// the request (tenant identity discarded — legacy callers).
+    pub fn decode_with_epoch(buf: Bytes) -> Result<(u64, Request)> {
+        let (epoch, _, req) = Self::decode_with_ctx(buf)?;
+        Ok((epoch, req))
+    }
+
+    /// Decode from wire bytes, returning the sender's view epoch and tenant
+    /// identity alongside the request. A legacy frame (clear [`JOB_FLAG`])
+    /// decodes as job 0, so pre-tenancy clients work against tenant-aware
+    /// servers unchanged.
+    pub fn decode_with_ctx(mut buf: Bytes) -> Result<(u64, JobId, Request)> {
+        let prefix = wire::get_u64(&mut buf)?;
+        let (epoch, job) = if prefix & JOB_FLAG != 0 {
+            (prefix & !JOB_FLAG, JobId(wire::get_u64(&mut buf)?))
+        } else {
+            (prefix, JobId::DEFAULT)
+        };
+        Ok((epoch, job, Self::decode_body(&mut buf)?))
     }
 
     fn decode_body(buf: &mut Bytes) -> Result<Request> {
@@ -284,36 +328,60 @@ fn get_view(buf: &mut Bytes) -> Result<ClusterView> {
 }
 
 impl Response {
-    /// Encode to wire bytes.
+    /// Encode to wire bytes in the legacy (default-namespace) layout.
+    /// Equivalent to `encode_for(JobId::DEFAULT)`.
     pub fn encode(&self) -> Bytes {
-        let mut b = BytesMut::with_capacity(32);
+        self.encode_for(JobId::DEFAULT)
+    }
+
+    /// Encode to wire bytes, echoing the request's tenant identity. Job 0
+    /// produces the legacy byte layout; any other job uses the job-carrying
+    /// status bytes so the sender can verify the echo.
+    pub fn encode_for(&self, job: JobId) -> Bytes {
+        let mut b = BytesMut::with_capacity(40);
+        let (ok, err) = if job.is_default() {
+            (vec![STATUS_OK], vec![STATUS_ERR])
+        } else {
+            let mut ok = vec![STATUS_OK_JOB];
+            ok.extend_from_slice(&job.0.to_le_bytes());
+            let mut err = vec![STATUS_ERR_JOB];
+            err.extend_from_slice(&job.0.to_le_bytes());
+            (ok, err)
+        };
         match self {
             Response::Stat { size } => {
-                b.extend_from_slice(&[STATUS_OK, RTAG_STAT]);
+                b.extend_from_slice(&ok);
+                b.extend_from_slice(&[RTAG_STAT]);
                 b.extend_from_slice(&size.to_le_bytes());
             }
             Response::Data {
                 total_size,
                 cache_hit,
             } => {
-                b.extend_from_slice(&[STATUS_OK, RTAG_DATA]);
+                b.extend_from_slice(&ok);
+                b.extend_from_slice(&[RTAG_DATA]);
                 b.extend_from_slice(&total_size.to_le_bytes());
                 b.extend_from_slice(&[u8::from(*cache_hit)]);
             }
-            Response::Ok => b.extend_from_slice(&[STATUS_OK, RTAG_OK]),
+            Response::Ok => {
+                b.extend_from_slice(&ok);
+                b.extend_from_slice(&[RTAG_OK]);
+            }
             Response::StaleView { view } => {
-                b.extend_from_slice(&[STATUS_OK, RTAG_STALE_VIEW]);
+                b.extend_from_slice(&ok);
+                b.extend_from_slice(&[RTAG_STALE_VIEW]);
                 put_view(&mut b, view);
             }
             Response::Batch { lens } => {
-                b.extend_from_slice(&[STATUS_OK, RTAG_BATCH]);
+                b.extend_from_slice(&ok);
+                b.extend_from_slice(&[RTAG_BATCH]);
                 b.extend_from_slice(&(lens.len() as u32).to_le_bytes());
                 for len in lens {
                     b.extend_from_slice(&len.to_le_bytes());
                 }
             }
             Response::Err { code, message } => {
-                b.extend_from_slice(&[STATUS_ERR]);
+                b.extend_from_slice(&err);
                 b.extend_from_slice(&(*code as i64).to_le_bytes());
                 // An error reply must never itself fail to encode, so clamp
                 // the text (at a char boundary) far below the u32 wire
@@ -332,10 +400,25 @@ impl Response {
         b.freeze()
     }
 
-    /// Decode from wire bytes.
-    pub fn decode(mut buf: Bytes) -> Result<Response> {
+    /// Decode from wire bytes, discarding any echoed tenant identity.
+    pub fn decode(buf: Bytes) -> Result<Response> {
+        Ok(Self::decode_with_job(buf)?.1)
+    }
+
+    /// Decode from wire bytes, returning the echoed tenant identity
+    /// alongside the response. A legacy reply decodes as job 0.
+    pub fn decode_with_job(mut buf: Bytes) -> Result<(JobId, Response)> {
         let status = wire::get_u8(&mut buf)?;
-        if status == STATUS_ERR {
+        let job = match status {
+            STATUS_OK_JOB | STATUS_ERR_JOB => JobId(wire::get_u64(&mut buf)?),
+            STATUS_OK | STATUS_ERR => JobId::DEFAULT,
+            s => return Err(HvacError::Protocol(format!("unknown reply status {s}"))),
+        };
+        Ok((job, Self::decode_tail(status, buf)?))
+    }
+
+    fn decode_tail(status: u8, mut buf: Bytes) -> Result<Response> {
+        if status == STATUS_ERR || status == STATUS_ERR_JOB {
             let code = wire::get_i64(&mut buf)? as i32;
             let message = wire::get_str(&mut buf)?;
             return Ok(Response::Err { code, message });
@@ -542,6 +625,68 @@ mod tests {
         assert_eq!(epoch, 0);
         assert_eq!(decoded, req);
         assert_eq!(Request::decode(req.encode_at(99).unwrap()).unwrap(), req);
+    }
+
+    #[test]
+    fn job_id_rides_the_wire_and_job0_is_byte_identical_to_legacy() {
+        let req = Request::Read {
+            path: PathBuf::from("/gpfs/train/x.bin"),
+            offset: 8,
+            len: 64,
+        };
+        // Job 0 encodes byte-identically to the pre-tenancy format.
+        assert_eq!(
+            req.encode_ctx(7, JobId::DEFAULT).unwrap(),
+            req.encode_at(7).unwrap()
+        );
+        // A tenant-stamped request round-trips epoch, job and body.
+        let enc = req.encode_ctx(7, JobId(42)).unwrap();
+        let (epoch, job, decoded) = Request::decode_with_ctx(enc.clone()).unwrap();
+        assert_eq!((epoch, job), (7, JobId(42)));
+        assert_eq!(decoded, req);
+        // Legacy decode entry points see the same epoch and request.
+        let (epoch, decoded) = Request::decode_with_epoch(enc).unwrap();
+        assert_eq!(epoch, 7);
+        assert_eq!(decoded, req);
+        // A legacy frame decodes as job 0 on a tenant-aware decoder.
+        let (epoch, job, decoded) = Request::decode_with_ctx(req.encode_at(7).unwrap()).unwrap();
+        assert_eq!((epoch, job), (7, JobId::DEFAULT));
+        assert_eq!(decoded, req);
+        // An epoch colliding with the flag is refused at encode time.
+        assert!(req.encode_ctx(JOB_FLAG, JobId(1)).is_err());
+    }
+
+    #[test]
+    fn responses_echo_the_job_and_job0_stays_legacy() {
+        let cases = vec![
+            Response::Stat { size: 42 },
+            Response::Data {
+                total_size: 9,
+                cache_hit: true,
+            },
+            Response::Ok,
+            Response::Batch { lens: vec![1, 2] },
+            Response::Err {
+                code: 2,
+                message: "nope".into(),
+            },
+        ];
+        for resp in cases {
+            // Job 0 = the legacy bytes.
+            assert_eq!(resp.encode_for(JobId::DEFAULT), resp.encode());
+            // Tenant echo round-trips; legacy decode still sees the body.
+            let enc = resp.encode_for(JobId(7));
+            let (job, decoded) = Response::decode_with_job(enc.clone()).unwrap();
+            assert_eq!(job, JobId(7));
+            assert_eq!(decoded, resp);
+            assert_eq!(Response::decode(enc).unwrap(), resp);
+            // A legacy reply decodes as job 0 on a tenant-aware decoder.
+            let (job, decoded) = Response::decode_with_job(resp.encode()).unwrap();
+            assert_eq!(job, JobId::DEFAULT);
+            assert_eq!(decoded, resp);
+        }
+        // An unknown status byte is a protocol error.
+        assert!(Response::decode(Bytes::from_static(&[9, 1])).is_err());
     }
 
     #[test]

@@ -15,17 +15,18 @@
 use crate::cache::CacheManager;
 use crate::metrics::ServerMetrics;
 use crate::protocol::{Request, Response};
+use crate::qos::{Admit, QosOptions, TenantScheduler};
 use crate::view::ViewHandle;
 use bytes::Bytes;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
-use hvac_hash::pathhash::hash_path;
+use hvac_hash::pathhash::{hash_path, tenant_key};
 use hvac_net::fabric::{Fabric, Reply, RpcHandler, ServerEndpoint};
 use hvac_net::pool::BufferPool;
 use hvac_net::reassemble_bulk_pooled;
 use hvac_pfs::FileStore;
 use hvac_storage::default_shard_count;
 use hvac_sync::{classes, OrderedMutex, OrderedMutexGuard};
-use hvac_types::{ClusterView, HvacError, Result};
+use hvac_types::{ClusterView, HvacError, JobId, JobWeights, Result};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -39,6 +40,12 @@ pub struct HvacServerOptions {
     pub movers: usize,
     /// RPC handler threads.
     pub rpc_workers: usize,
+    /// Per-tenant weighted-fair-share plan. Empty (the default) disables
+    /// QoS entirely: every read is admitted immediately and nothing is
+    /// shed, which is the single-tenant behaviour of earlier versions.
+    pub job_weights: JobWeights,
+    /// Scheduler tuning (only consulted when `job_weights` is non-empty).
+    pub qos: QosOptions,
 }
 
 impl Default for HvacServerOptions {
@@ -46,6 +53,8 @@ impl Default for HvacServerOptions {
         Self {
             movers: 1,
             rpc_workers: 4,
+            job_weights: JobWeights::default(),
+            qos: QosOptions::default(),
         }
     }
 }
@@ -228,24 +237,31 @@ impl DataMover {
         self.inflight.wipe();
     }
 
-    /// Fire-and-forget staging: enqueue a copy of `path` unless it is
-    /// resident or already in flight (used by the §IV-C prefetch extension).
-    /// Returns whether a new copy job was enqueued.
-    fn request_copy(&self, cache: &CacheManager, metrics: &ServerMetrics, path: &Path) -> bool {
-        if cache.contains(path) {
+    /// Fire-and-forget staging: enqueue a copy of `path` (cached under
+    /// `key`, which namespaces it by tenant) unless it is resident or
+    /// already in flight (used by the §IV-C prefetch extension). Returns
+    /// whether a new copy job was enqueued.
+    fn request_copy(
+        &self,
+        cache: &CacheManager,
+        metrics: &ServerMetrics,
+        path: &Path,
+        key: &Path,
+    ) -> bool {
+        if cache.contains(key) {
             return false;
         }
-        let idx = self.inflight.stripe_of(path);
+        let idx = self.inflight.stripe_of(key);
         let mut inflight = self.inflight.lock(idx, metrics);
         // lockgraph: acquires STORE_SHARD
-        if cache.contains(path) || inflight.contains_key(path) {
+        if cache.contains(key) || inflight.contains_key(key) {
             return false;
         }
-        inflight.insert(path.to_path_buf(), Vec::new());
+        inflight.insert(key.to_path_buf(), Vec::new());
         self.queue_tx
             .send(CopyJob {
                 path: path.to_path_buf(),
-                key: path.to_path_buf(),
+                key: key.to_path_buf(),
                 range: None,
                 generation: self.generation.load(Ordering::Relaxed),
             })
@@ -354,6 +370,9 @@ pub struct HvacServer {
     /// Slab pool for batch-reply reassembly: the concatenated bulk buffer is
     /// recycled instead of hitting the allocator once per batch RPC.
     pool: BufferPool,
+    /// Weighted-fair admission over the device read path. Pass-through when
+    /// no weights plan is configured.
+    sched: TenantScheduler,
 }
 
 impl HvacServer {
@@ -377,6 +396,7 @@ impl HvacServer {
             options.movers,
             name,
         )?;
+        let sched = TenantScheduler::with_options(options.job_weights.clone(), options.qos);
         Ok(Arc::new(Self {
             cache,
             pfs,
@@ -385,6 +405,7 @@ impl HvacServer {
             options,
             view: ViewHandle::new(ClusterView::initial(1, 1)?),
             pool: BufferPool::new(),
+            sched,
         }))
     }
 
@@ -427,13 +448,21 @@ impl HvacServer {
         fabric.serve(addr, self.options.rpc_workers, this)
     }
 
-    /// Handle one decoded request (also callable without a fabric, which the
-    /// unit tests and the LD_PRELOAD single-process mode use).
+    /// Handle one decoded request under the default (legacy) tenant — the
+    /// entry point unit tests and the LD_PRELOAD single-process mode use.
     pub fn handle_request(&self, req: Request) -> (Response, Option<Bytes>) {
+        self.handle_request_for(JobId::DEFAULT, req)
+    }
+
+    /// Handle one decoded request on behalf of tenant `job`. Cache entries
+    /// (and in-flight dedup slots) are keyed under the tenant namespace, so
+    /// two jobs never share bytes or eviction fate; PFS operations always
+    /// use the raw application path.
+    pub fn handle_request_for(&self, job: JobId, req: Request) -> (Response, Option<Bytes>) {
         match req {
             Request::Stat { path } => {
                 self.metrics.stats_ops.fetch_add(1, Ordering::Relaxed);
-                let size = match self.cache.size_of(&path) {
+                let size = match self.cache.size_of(&tenant_key(job, &path)) {
                     Some(sz) => Ok(sz.bytes()),
                     None => self.pfs.open_meta(&path).map(|m| m.size),
                 };
@@ -442,7 +471,7 @@ impl HvacServer {
                     Err(e) => (Response::from_error(&e), None),
                 }
             }
-            Request::Read { path, offset, len } => match self.read(&path, offset, len) {
+            Request::Read { path, offset, len } => match self.read(job, &path, offset, len) {
                 Ok((total_size, cache_hit, data)) => (
                     Response::Data {
                         total_size,
@@ -463,7 +492,7 @@ impl HvacServer {
                 (Response::Ok, None)
             }
             Request::ReadSegment { path, offset, len } => {
-                match self.read_segment(&path, offset, len) {
+                match self.read_segment(job, &path, offset, len) {
                     Ok((cache_hit, data)) => (
                         Response::Data {
                             // total_size of the *segment*; the client tracks
@@ -478,7 +507,11 @@ impl HvacServer {
             }
             Request::Prefetch { paths } => {
                 for path in &paths {
-                    if self.mover.request_copy(&self.cache, &self.metrics, path) {
+                    let key = tenant_key(job, path);
+                    if self
+                        .mover
+                        .request_copy(&self.cache, &self.metrics, path, &key)
+                    {
                         self.metrics.prefetches.fetch_add(1, Ordering::Relaxed);
                     }
                 }
@@ -489,7 +522,7 @@ impl HvacServer {
                 let mut lens = Vec::with_capacity(items.len());
                 let mut chunks = Vec::with_capacity(items.len());
                 for item in &items {
-                    match self.read_segment(Path::new(&item.path), item.offset, item.len) {
+                    match self.read_segment(job, Path::new(&item.path), item.offset, item.len) {
                         Ok((_hit, data)) if data.len() <= u32::MAX as usize => {
                             lens.push(data.len() as u32);
                             chunks.push(data);
@@ -527,11 +560,41 @@ impl HvacServer {
         }
     }
 
+    /// Weighted-fair admission for one device read of `cost` bytes on
+    /// behalf of `job`. `None` means the read was shed: it must be served
+    /// via the PFS-bypass ladder instead of touching the cache/device path.
+    /// The returned grant is RAII — dropping it frees the device slot.
+    fn admit(&self, job: JobId, cost: u64) -> Option<crate::qos::AdmitGrant<'_>> {
+        match self.sched.admit(job, cost) {
+            Admit::Granted(grant) => {
+                self.metrics.tenant_admit(job.0);
+                Some(grant)
+            }
+            Admit::Shed => {
+                self.metrics.tenant_shed(job.0);
+                None
+            }
+        }
+    }
+
     /// Segment-granular read (§III-E alternative): cache and serve only the
-    /// requested byte range, keyed separately from whole-file entries.
-    fn read_segment(&self, path: &Path, offset: u64, len: u64) -> Result<(bool, Bytes)> {
+    /// requested byte range, keyed separately from whole-file entries (and
+    /// per tenant).
+    fn read_segment(
+        &self,
+        job: JobId,
+        path: &Path,
+        offset: u64,
+        len: u64,
+    ) -> Result<(bool, Bytes)> {
         self.metrics.reads.fetch_add(1, Ordering::Relaxed);
-        let key = segment_key(path, offset, len);
+        let Some(_grant) = self.admit(job, len) else {
+            // Over-limit tenant: degrade to the PFS ladder (§III-G) rather
+            // than queueing behind well-behaved tenants' device reads.
+            let (_, hit, data) = self.pfs_bypass_read(job, path, offset, len)?;
+            return Ok((hit, data));
+        };
+        let key = segment_key(&tenant_key(job, path), offset, len);
         for _ in 0..4 {
             let was_hit = match self.mover.ensure_cached(
                 &self.cache,
@@ -542,7 +605,7 @@ impl HvacServer {
             ) {
                 Ok(hit) => hit,
                 Err(HvacError::CapacityExhausted { .. }) => {
-                    let (_, hit, data) = self.pfs_bypass_read(path, offset, len)?;
+                    let (_, hit, data) = self.pfs_bypass_read(job, path, offset, len)?;
                     return Ok((hit, data));
                 }
                 Err(other) => return Err(other),
@@ -557,6 +620,7 @@ impl HvacServer {
                     self.metrics
                         .served_bytes
                         .fetch_add(data.len() as u64, Ordering::Relaxed);
+                    self.metrics.tenant_read(job.0, data.len() as u64);
                     return Ok((was_hit, data));
                 }
                 None => continue, // evicted between ensure and read
@@ -567,15 +631,22 @@ impl HvacServer {
         // not dead — and count the event honestly instead of guessing a
         // hit/miss classification.
         self.metrics.eviction_races.fetch_add(1, Ordering::Relaxed);
-        let (_, hit, data) = self.pfs_bypass_read(path, offset, len)?;
+        let (_, hit, data) = self.pfs_bypass_read(job, path, offset, len)?;
         Ok((hit, data))
     }
 
     /// Serve a read straight from the PFS without caching — the fallback
     /// when the cache refuses admission (file larger than the device, or a
-    /// pinned MinIO-style cache that is full). CoorDL semantics: un-admitted
-    /// files are still served, just not accelerated.
-    fn pfs_bypass_read(&self, path: &Path, offset: u64, len: u64) -> Result<(u64, bool, Bytes)> {
+    /// pinned MinIO-style cache that is full) and the destination of shed
+    /// over-limit tenants. CoorDL semantics: un-admitted files are still
+    /// served, just not accelerated.
+    fn pfs_bypass_read(
+        &self,
+        job: JobId,
+        path: &Path,
+        offset: u64,
+        len: u64,
+    ) -> Result<(u64, bool, Bytes)> {
         let total_size = self.pfs.open_meta(path)?.size;
         let data = self.pfs.read_at(path, offset, len as usize)?;
         self.metrics
@@ -585,11 +656,16 @@ impl HvacServer {
         self.metrics
             .served_bytes
             .fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.metrics.tenant_read(job.0, data.len() as u64);
         Ok((total_size, false, data))
     }
 
-    fn read(&self, path: &Path, offset: u64, len: u64) -> Result<(u64, bool, Bytes)> {
+    fn read(&self, job: JobId, path: &Path, offset: u64, len: u64) -> Result<(u64, bool, Bytes)> {
         self.metrics.reads.fetch_add(1, Ordering::Relaxed);
+        let Some(_grant) = self.admit(job, len) else {
+            return self.pfs_bypass_read(job, path, offset, len);
+        };
+        let key = tenant_key(job, path);
         // A freshly-cached file can in principle be evicted before we read
         // it back under heavy churn; retry the ensure+read pair a few times.
         let mut cache_hit = true;
@@ -597,20 +673,20 @@ impl HvacServer {
             let was_hit =
                 match self
                     .mover
-                    .ensure_cached(&self.cache, &self.metrics, path, path, None)
+                    .ensure_cached(&self.cache, &self.metrics, path, &key, None)
                 {
                     Ok(hit) => hit,
                     Err(HvacError::CapacityExhausted { .. }) => {
-                        return self.pfs_bypass_read(path, offset, len);
+                        return self.pfs_bypass_read(job, path, offset, len);
                     }
                     Err(other) => return Err(other),
                 };
             cache_hit &= was_hit;
-            let total_size = match self.cache.size_of(path) {
+            let total_size = match self.cache.size_of(&key) {
                 Some(sz) => sz.bytes(),
                 None => continue, // evicted already; refetch
             };
-            match self.cache.read_at(path, offset, len as usize) {
+            match self.cache.read_at(&key, offset, len as usize) {
                 Some(data) => {
                     if cache_hit {
                         self.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
@@ -620,6 +696,7 @@ impl HvacServer {
                     self.metrics
                         .served_bytes
                         .fetch_add(data.len() as u64, Ordering::Relaxed);
+                    self.metrics.tenant_read(job.0, data.len() as u64);
                     return Ok((total_size, cache_hit, data));
                 }
                 None => continue,
@@ -629,18 +706,20 @@ impl HvacServer {
         // PFS bypass read so the client still gets its bytes, and record
         // the thrash event in its own counter.
         self.metrics.eviction_races.fetch_add(1, Ordering::Relaxed);
-        self.pfs_bypass_read(path, offset, len)
+        self.pfs_bypass_read(job, path, offset, len)
     }
 }
 
 impl RpcHandler for HvacServer {
     fn handle(&self, request: Bytes) -> Reply {
-        let (response, bulk) = match Request::decode_with_epoch(request) {
+        let mut job = JobId::DEFAULT;
+        let (response, bulk) = match Request::decode_with_ctx(request) {
             // A sender on an *older* epoch may be addressing the wrong home
             // — bounce it with the current view so it can re-resolve.
             // Newer-epoch requests are served: this server just hasn't
             // heard yet, and placement only has to be right at the sender.
-            Ok((req_epoch, _)) if req_epoch < self.view.epoch() => {
+            Ok((req_epoch, req_job, _)) if req_epoch < self.view.epoch() => {
+                job = req_job;
                 self.metrics
                     .stale_view_redirects
                     .fetch_add(1, Ordering::Relaxed);
@@ -651,11 +730,16 @@ impl RpcHandler for HvacServer {
                     None,
                 )
             }
-            Ok((_, req)) => self.handle_request(req),
+            Ok((_, req_job, req)) => {
+                job = req_job;
+                self.handle_request_for(req_job, req)
+            }
             Err(e) => (Response::from_error(&e), None),
         };
         Reply {
-            header: response.encode(),
+            // Echo the sender's job id so the response status byte stays
+            // byte-identical to older versions for the default tenant.
+            header: response.encode_for(job),
             bulk,
         }
     }

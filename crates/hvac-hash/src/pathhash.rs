@@ -6,8 +6,13 @@
 //! FNV-1a alone fails (b) — sequential filenames produce clustered hashes —
 //! so we pass the FNV state through a SplitMix64-style avalanche finalizer.
 
-use hvac_types::FileId;
-use std::path::Path;
+use hvac_types::{FileId, JobId};
+use std::path::{Path, PathBuf};
+
+/// Reserved prefix under which non-default tenants' keys are namespaced.
+/// Real dataset paths never start with it (it is not a plausible PFS mount),
+/// so tenant keys and legacy keys can share one key space without colliding.
+pub const TENANT_PREFIX: &str = "/.hvac-tenants";
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -38,6 +43,54 @@ pub fn hash_bytes(bytes: &[u8]) -> u64 {
 #[inline]
 pub fn hash_path<P: AsRef<Path>>(path: P) -> FileId {
     FileId(hash_bytes(path.as_ref().as_os_str().as_encoded_bytes()))
+}
+
+/// Namespace a path under a tenant. Job 0 (the legacy/default namespace)
+/// leaves the path untouched, so pre-tenancy cache contents, placement and
+/// wire traffic stay byte-identical; any other job prefixes the path with
+/// `TENANT_PREFIX/<job>` — one key space, no collisions, and everything
+/// downstream (placement, storage shards, rebalance, repair) keys on the
+/// namespaced form without knowing tenants exist.
+pub fn tenant_key(job: JobId, path: &Path) -> PathBuf {
+    if job.is_default() {
+        return path.to_path_buf();
+    }
+    let mut key = PathBuf::from(format!("{TENANT_PREFIX}/{}", job.0));
+    match path.strip_prefix("/") {
+        Ok(rel) => key.push(rel),
+        Err(_) => key.push(path),
+    }
+    key
+}
+
+/// Inverse of [`tenant_key`]: recover `(job, raw path)` from a store key.
+/// Keys outside the reserved prefix belong to the default namespace.
+pub fn split_tenant_key(key: &Path) -> (JobId, PathBuf) {
+    let Ok(rest) = key.strip_prefix(TENANT_PREFIX) else {
+        return (JobId::DEFAULT, key.to_path_buf());
+    };
+    let mut comps = rest.components();
+    let job = comps
+        .next()
+        .and_then(|c| c.as_os_str().to_str())
+        .and_then(|s| s.parse::<u64>().ok());
+    match job {
+        Some(j) if j != 0 => (JobId(j), PathBuf::from("/").join(comps.as_path())),
+        // A malformed or job-0 prefix is not one we ever generate; treat the
+        // whole key as a default-namespace path rather than guessing.
+        _ => (JobId::DEFAULT, key.to_path_buf()),
+    }
+}
+
+/// Placement hash of a `(job, path)` pair: the [`FileId`] of the tenant key,
+/// so namespaces never collide and per-tenant churn is independent.
+#[inline]
+pub fn hash_job_path(job: JobId, path: &Path) -> FileId {
+    if job.is_default() {
+        hash_path(path)
+    } else {
+        hash_path(tenant_key(job, path))
+    }
 }
 
 #[cfg(test)]
@@ -82,6 +135,40 @@ mod tests {
         for (s, &c) in counts.iter().enumerate() {
             let dev = (c as f64 - ideal).abs() / ideal;
             assert!(dev < 0.15, "server {s} holds {c} files, ideal {ideal}");
+        }
+    }
+
+    #[test]
+    fn tenant_keys_round_trip_and_keep_job0_identity() {
+        let p = Path::new("/gpfs/set/sample_0001.bin");
+        // Job 0 is the identity: key, hash and wire form all match legacy.
+        assert_eq!(tenant_key(JobId(0), p), p);
+        assert_eq!(hash_job_path(JobId(0), p), hash_path(p));
+        assert_eq!(split_tenant_key(p), (JobId(0), p.to_path_buf()));
+
+        for job in [1u64, 7, u64::MAX] {
+            let key = tenant_key(JobId(job), p);
+            assert!(key.starts_with(TENANT_PREFIX), "{key:?}");
+            assert_ne!(key, p);
+            assert_eq!(split_tenant_key(&key), (JobId(job), p.to_path_buf()));
+            assert_eq!(hash_job_path(JobId(job), p), hash_path(&key));
+        }
+        // Distinct jobs never collide on the same path.
+        assert_ne!(tenant_key(JobId(1), p), tenant_key(JobId(2), p));
+        assert_ne!(hash_job_path(JobId(1), p), hash_job_path(JobId(2), p));
+    }
+
+    #[test]
+    fn malformed_tenant_prefixes_fall_back_to_default_namespace() {
+        for key in [
+            "/.hvac-tenants",
+            "/.hvac-tenants/",
+            "/.hvac-tenants/notanumber/x",
+            "/.hvac-tenants/0/x",
+        ] {
+            let (job, path) = split_tenant_key(Path::new(key));
+            assert_eq!(job, JobId::DEFAULT, "{key}");
+            assert_eq!(path, PathBuf::from(key), "{key}");
         }
     }
 

@@ -40,6 +40,11 @@ pub const DEFAULT_MAX_FRAME: usize = 64 << 20;
 
 const KIND_REQUEST: u8 = 1;
 const KIND_REPLY: u8 = 2;
+/// Tenant-stamped request: same layout as [`KIND_REQUEST`] with a u64 job
+/// id spliced in after the deadline. Legacy (kind-1) frames decode as job 0,
+/// and job-0 senders keep emitting kind 1, so the two framings interoperate
+/// in both directions.
+const KIND_REQUEST_JOB: u8 = 3;
 const FLAG_HAS_BULK: u8 = 1;
 
 /// A decoded request frame body.
@@ -50,6 +55,9 @@ pub struct RequestFrame {
     /// Remaining per-call deadline at send time, in milliseconds
     /// (saturated); lets the server drop work for long-gone callers.
     pub deadline_ms: u32,
+    /// Sender's tenant identity (0 = the legacy/default namespace; always 0
+    /// for kind-1 frames).
+    pub job: u64,
     /// The opaque RPC payload (the protocol layer's encoded `Request`).
     pub payload: Bytes,
 }
@@ -83,16 +91,37 @@ pub fn encode_frame(body: &[u8], max_frame: usize) -> Result<Vec<u8>> {
 }
 
 /// Encode a request frame (header + body) ready to write to a stream.
+/// Equivalent to [`encode_request_job`] with job 0 (the legacy framing).
 pub fn encode_request(
     req_id: u64,
     deadline_ms: u32,
     payload: &[u8],
     max_frame: usize,
 ) -> Result<Vec<u8>> {
-    let mut body = Vec::with_capacity(13 + payload.len());
-    body.push(KIND_REQUEST);
+    encode_request_job(req_id, deadline_ms, 0, payload, max_frame)
+}
+
+/// Encode a request frame carrying the sender's tenant identity. Job 0
+/// emits the legacy kind-1 layout byte-for-byte; any other job emits a
+/// kind-3 frame with the id after the deadline.
+pub fn encode_request_job(
+    req_id: u64,
+    deadline_ms: u32,
+    job: u64,
+    payload: &[u8],
+    max_frame: usize,
+) -> Result<Vec<u8>> {
+    let mut body = Vec::with_capacity(21 + payload.len());
+    body.push(if job == 0 {
+        KIND_REQUEST
+    } else {
+        KIND_REQUEST_JOB
+    });
     body.extend_from_slice(&req_id.to_le_bytes());
     body.extend_from_slice(&deadline_ms.to_le_bytes());
+    if job != 0 {
+        body.extend_from_slice(&job.to_le_bytes());
+    }
     body.extend_from_slice(payload);
     encode_frame(&body, max_frame)
 }
@@ -164,18 +193,26 @@ pub fn encode_reply_pooled(
 }
 
 /// Decode a request frame body (the bytes after the 8-byte frame header).
+/// Accepts both the legacy kind-1 layout (job 0) and the tenant-stamped
+/// kind-3 layout.
 pub fn decode_request(mut body: Bytes) -> Result<RequestFrame> {
     let kind = crate::wire::get_u8(&mut body)?;
-    if kind != KIND_REQUEST {
+    if kind != KIND_REQUEST && kind != KIND_REQUEST_JOB {
         return Err(HvacError::Protocol(format!(
-            "expected request frame (kind {KIND_REQUEST}), got kind {kind}"
+            "expected request frame (kind {KIND_REQUEST} or {KIND_REQUEST_JOB}), got kind {kind}"
         )));
     }
     let req_id = crate::wire::get_u64(&mut body)?;
     let deadline_ms = crate::wire::get_u32(&mut body)?;
+    let job = if kind == KIND_REQUEST_JOB {
+        crate::wire::get_u64(&mut body)?
+    } else {
+        0
+    };
     Ok(RequestFrame {
         req_id,
         deadline_ms,
+        job,
         payload: body,
     })
 }
@@ -304,6 +341,33 @@ mod tests {
         let req = decode_request(body).unwrap();
         assert_eq!(req.req_id, 42);
         assert_eq!(req.deadline_ms, 1500);
+        assert_eq!(&req.payload[..], b"payload");
+    }
+
+    #[test]
+    fn cross_version_framing_legacy_and_tenant_stamped_interoperate() {
+        // Old sender → new decoder: a legacy kind-1 frame decodes as job 0.
+        let legacy = encode_request(42, 1500, b"payload", DEFAULT_MAX_FRAME).unwrap();
+        let body = read_frame(&mut Cursor::new(&legacy), DEFAULT_MAX_FRAME)
+            .unwrap()
+            .unwrap();
+        let req = decode_request(body).unwrap();
+        assert_eq!((req.req_id, req.deadline_ms, req.job), (42, 1500, 0));
+        assert_eq!(&req.payload[..], b"payload");
+
+        // New sender with job 0 → old decoder: byte-identical to legacy, so
+        // a pre-tenancy peer parses it unchanged.
+        let job0 = encode_request_job(42, 1500, 0, b"payload", DEFAULT_MAX_FRAME).unwrap();
+        assert_eq!(job0, legacy, "job 0 must stay on the legacy wire format");
+
+        // New sender with a real tenant → new decoder: job rides the frame.
+        let stamped = encode_request_job(42, 1500, 7, b"payload", DEFAULT_MAX_FRAME).unwrap();
+        assert_ne!(stamped, legacy);
+        let body = read_frame(&mut Cursor::new(&stamped), DEFAULT_MAX_FRAME)
+            .unwrap()
+            .unwrap();
+        let req = decode_request(body).unwrap();
+        assert_eq!((req.req_id, req.deadline_ms, req.job), (42, 1500, 7));
         assert_eq!(&req.payload[..], b"payload");
     }
 

@@ -16,6 +16,13 @@
 //! | `--capacity-mib N` | `HVAC_CACHE_MIB`   | `1024`         |
 //! | `--workers N`      | `HVAC_RPC_WORKERS` | `4`            |
 //! | `--movers N`       | `HVAC_MOVERS`      | `1`            |
+//! | `--job-weights S`  | `HVAC_JOB_WEIGHTS` | *(empty: QoS off)* |
+//!
+//! `--job-weights` takes a per-tenant fair-share plan in the
+//! `job=weight[@quota]` grammar, e.g. `--job-weights 1=4,2=1@0.25`: job 1
+//! gets 4× the device share of job 2, and job 2's cache quota is capped at
+//! 25% of capacity. Zero or negative weights, quotas outside (0, 1], and
+//! duplicate jobs are configuration errors (exit code 2).
 //!
 //! On startup the server prints one machine-readable line to stdout —
 //! `HVAC_LISTEN <name> <uri>` — announcing the *actual* bound address
@@ -28,7 +35,7 @@ use hvac_net::socket::{EndpointUri, SocketConfig, SocketFamily};
 use hvac_net::Fabric;
 use hvac_pfs::DirStore;
 use hvac_storage::LocalStore;
-use hvac_types::{ByteSize, EvictionPolicyKind, HvacError, Result};
+use hvac_types::{ByteSize, EvictionPolicyKind, HvacError, JobWeights, Result};
 use std::io::Write;
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -52,6 +59,7 @@ struct ServerConfig {
     capacity_mib: u64,
     workers: usize,
     movers: usize,
+    job_weights: JobWeights,
 }
 
 /// One `--flag value` / env / default lookup.
@@ -76,7 +84,7 @@ fn parse_config(argv: &[String]) -> Result<ServerConfig> {
     while let Some(a) = it.next() {
         if !a.starts_with("--") {
             return Err(HvacError::InvalidConfig(format!(
-                "unexpected argument {a:?} (flags are --name --listen --root --capacity-mib --workers --movers)"
+                "unexpected argument {a:?} (flags are --name --listen --root --capacity-mib --workers --movers --job-weights)"
             )));
         }
         let Some(v) = it.next() else {
@@ -91,6 +99,7 @@ fn parse_config(argv: &[String]) -> Result<ServerConfig> {
         "--capacity-mib",
         "--workers",
         "--movers",
+        "--job-weights",
     ];
     if let Some((f, _)) = args.iter().find(|(f, _)| !known.contains(&f.as_str())) {
         return Err(HvacError::InvalidConfig(format!("unknown flag {f}")));
@@ -122,6 +131,12 @@ fn parse_config(argv: &[String]) -> Result<ServerConfig> {
         Some(raw) => parse_num("--movers", raw)? as usize,
         None => 1,
     };
+    // Reject malformed plans (zero/negative weights, quotas outside (0, 1],
+    // duplicate jobs) here so they exit 2 like every other config error.
+    let job_weights = match setting(&args, "--job-weights", "HVAC_JOB_WEIGHTS", None)? {
+        Some(raw) => JobWeights::parse(&raw)?,
+        None => JobWeights::default(),
+    };
     Ok(ServerConfig {
         name,
         listen,
@@ -129,6 +144,7 @@ fn parse_config(argv: &[String]) -> Result<ServerConfig> {
         capacity_mib,
         workers,
         movers,
+        job_weights,
     })
 }
 
@@ -146,6 +162,7 @@ fn run(config: ServerConfig) -> Result<()> {
 
     let pfs = Arc::new(DirStore::new(&config.root)?);
     let store = LocalStore::in_memory(ByteSize::mib(config.capacity_mib));
+    store.set_tenant_quotas(&config.job_weights);
     let cache = Arc::new(CacheManager::new(
         store,
         make_policy(EvictionPolicyKind::Random, 0x4856_4143),
@@ -156,6 +173,8 @@ fn run(config: ServerConfig) -> Result<()> {
         HvacServerOptions {
             movers: config.movers,
             rpc_workers: config.workers,
+            job_weights: config.job_weights.clone(),
+            qos: Default::default(),
         },
         &config.name,
     )?;
@@ -172,8 +191,17 @@ fn run(config: ServerConfig) -> Result<()> {
         let _ = out.flush();
     }
     eprintln!(
-        "hvac-server: {} serving {} at {advertised} ({} MiB cache, {} workers, {} movers)",
-        config.name, config.root, config.capacity_mib, config.workers, config.movers
+        "hvac-server: {} serving {} at {advertised} ({} MiB cache, {} workers, {} movers, QoS {})",
+        config.name,
+        config.root,
+        config.capacity_mib,
+        config.workers,
+        config.movers,
+        if config.job_weights.is_empty() {
+            "off".to_string()
+        } else {
+            format!("{} tenants", config.job_weights.shares.len())
+        }
     );
 
     // SAFETY: `on_signal` only performs a relaxed atomic store, which is
@@ -232,6 +260,31 @@ mod tests {
         assert!(parse_config(&argv(&["--root", "/x", "--bogus", "1"])).is_err());
         assert!(parse_config(&argv(&["--root", "/x", "--workers", "lots"])).is_err());
         assert!(parse_config(&argv(&["stray"])).is_err());
+    }
+
+    #[test]
+    fn job_weights_flag_parses_a_plan() {
+        let c = parse_config(&argv(&["--root", "/x"])).unwrap();
+        assert!(c.job_weights.is_empty(), "no flag = QoS off");
+        let c = parse_config(&argv(&["--root", "/x", "--job-weights", "1=4,2=1@0.25"])).unwrap();
+        assert_eq!(c.job_weights.shares.len(), 2);
+        assert_eq!(c.job_weights.weight_of(1), 4.0);
+        assert_eq!(c.job_weights.quota_frac_of(2), Some(0.25));
+    }
+
+    #[test]
+    fn bad_job_weights_are_config_errors() {
+        // Exit-2 regression: zero and negative weights, out-of-range
+        // quotas, duplicate jobs, and junk must all fail parse_config —
+        // main() maps that to exit code 2.
+        for bad in [
+            "1=0", "1=-2", "1=nan", "1=1@0", "1=1@1.5", "1=1,1=2", "garbage", "=3",
+        ] {
+            assert!(
+                parse_config(&argv(&["--root", "/x", "--job-weights", bad])).is_err(),
+                "{bad:?} should be rejected"
+            );
+        }
     }
 
     #[test]

@@ -20,4 +20,4 @@ pub mod localstore;
 
 pub use capacity::CapacityGauge;
 pub use device::DeviceModel;
-pub use localstore::{default_shard_count, Backing, LocalStore};
+pub use localstore::{default_shard_count, Backing, LocalStore, TenantUsage};

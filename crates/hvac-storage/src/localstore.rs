@@ -21,17 +21,28 @@
 //! `STORE_DEVICE_QUEUE`, strictly innermost) for the modeled service time,
 //! so reads serialize within a shard and overlap across shards exactly like
 //! queue-per-LUN hardware.
+//!
+//! **Multi-tenancy.** Keys under `hvac_hash::pathhash::TENANT_PREFIX` belong
+//! to a non-default tenant (job); everything else is the legacy/default
+//! namespace (job 0). The store keeps per-tenant used/resident/hit/miss
+//! accounting and optional per-tenant byte quotas: an insert must reserve
+//! its bytes against the tenant's quota *and* the global capacity, so one
+//! over-quota tenant fails fast without disturbing its neighbours. The
+//! tenant table sits behind a `STORE_TENANT` lock, but the counters are
+//! shared `Arc`ed relaxed atomics, so the read path never takes it — and
+//! the default namespace reaches its slot without any lock at all.
 
 use crate::device::DeviceModel;
 use bytes::Bytes;
-use hvac_hash::pathhash::hash_path;
+use hvac_hash::pathhash::{hash_path, split_tenant_key, TENANT_PREFIX};
 use hvac_net::pool::BufferPool;
 use hvac_sync::{classes, OrderedMutex, OrderedRwLock};
-use hvac_types::{ByteSize, HvacError, Result};
+use hvac_types::{ByteSize, HvacError, JobId, JobWeights, Result};
 use std::collections::HashMap;
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Where the cached bytes physically live.
 #[derive(Debug, Clone)]
@@ -56,6 +67,79 @@ struct Entry {
 }
 
 type ShardMap = HashMap<PathBuf, Entry>;
+
+/// Live per-tenant accounting. Counters are relaxed atomics reached through
+/// a shared `Arc`, so the hot read path bumps them without any store lock;
+/// the reserve CAS makes the per-tenant quota check-and-add atomic exactly
+/// like the store-wide one.
+#[derive(Debug)]
+struct TenantStat {
+    used: AtomicU64,
+    resident: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    /// Byte quota; `u64::MAX` means unlimited.
+    quota: AtomicU64,
+}
+
+impl Default for TenantStat {
+    fn default() -> Self {
+        Self {
+            used: AtomicU64::new(0),
+            resident: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            quota: AtomicU64::new(u64::MAX),
+        }
+    }
+}
+
+impl TenantStat {
+    fn try_reserve(&self, size: ByteSize) -> bool {
+        let quota = self.quota.load(Ordering::Relaxed);
+        self.used
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |used| {
+                used.checked_add(size.bytes()).filter(|&u| u <= quota)
+            })
+            .is_ok()
+    }
+
+    fn release(&self, size: ByteSize) {
+        self.used.fetch_sub(size.bytes(), Ordering::Relaxed);
+    }
+
+    /// Release one resident entry's accounting (bytes and the entry count).
+    fn drop_entry(&self, size: ByteSize) {
+        self.release(size);
+        self.resident.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self, job: JobId) -> TenantUsage {
+        TenantUsage {
+            job,
+            used: ByteSize(self.used.load(Ordering::Relaxed)),
+            resident: self.resident.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            quota: match self.quota.load(Ordering::Relaxed) {
+                u64::MAX => None,
+                q => Some(ByteSize(q)),
+            },
+        }
+    }
+}
+
+/// A point-in-time view of one tenant's footprint in this store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantUsage {
+    pub job: JobId,
+    pub used: ByteSize,
+    pub resident: u64,
+    pub hits: u64,
+    pub misses: u64,
+    /// Configured byte quota, if any.
+    pub quota: Option<ByteSize>,
+}
 
 /// Optional simulated-device service: one queue mutex per shard, so service
 /// times serialize within a shard and overlap across shards.
@@ -86,6 +170,12 @@ pub struct LocalStore {
     /// invariant rides on RMW atomicity, not on cross-location ordering).
     used: AtomicU64,
     insert_seq: AtomicU64,
+    /// Per-tenant accounting slots, keyed by job id. Guards only slot
+    /// creation, quota updates and enumeration — never held across a shard
+    /// lock acquisition; counters travel out as `Arc`s.
+    tenants: OrderedRwLock<HashMap<u64, Arc<TenantStat>>>,
+    /// The default namespace's slot, reachable without taking `tenants`.
+    default_tenant: Arc<TenantStat>,
     device: Option<DeviceService>,
     /// Slab pool for Directory-backed reads: disk bytes land in a recycled
     /// slab instead of a fresh `Vec` per read. `None` (the default, and the
@@ -132,6 +222,8 @@ impl LocalStore {
             capacity,
             used: AtomicU64::new(0),
             insert_seq: AtomicU64::new(0),
+            tenants: OrderedRwLock::new(classes::STORE_TENANT, HashMap::new()),
+            default_tenant: Arc::new(TenantStat::default()),
             device: None,
             pool: None,
         }
@@ -182,6 +274,97 @@ impl LocalStore {
         self.used.fetch_sub(size.bytes(), Ordering::Relaxed);
     }
 
+    /// Get-or-create the accounting slot for a job.
+    fn tenant(&self, job: JobId) -> Arc<TenantStat> {
+        if job.is_default() {
+            return self.default_tenant.clone();
+        }
+        if let Some(t) = self.tenants.read().get(&job.0) {
+            return t.clone();
+        }
+        self.tenants.write().entry(job.0).or_default().clone()
+    }
+
+    /// Look up a slot without creating it.
+    fn tenant_peek(&self, job: JobId) -> Option<Arc<TenantStat>> {
+        if job.is_default() {
+            return Some(self.default_tenant.clone());
+        }
+        self.tenants.read().get(&job.0).cloned()
+    }
+
+    /// The accounting slot a store key belongs to. Keys outside the reserved
+    /// tenant prefix — every legacy key — resolve without taking any lock.
+    fn tenant_for_key(&self, key: &Path) -> Arc<TenantStat> {
+        if !key.starts_with(TENANT_PREFIX) {
+            return self.default_tenant.clone();
+        }
+        self.tenant(split_tenant_key(key).0)
+    }
+
+    /// Set (or clear, with `None`) a tenant's byte quota. Quotas bound new
+    /// reservations only; bytes already resident are never dropped here —
+    /// shrinking below current use just makes further inserts fail until
+    /// the cache manager evicts the tenant back under its line.
+    pub fn set_tenant_quota(&self, job: JobId, quota: Option<ByteSize>) {
+        self.tenant(job)
+            .quota
+            .store(quota.map_or(u64::MAX, |q| q.bytes()), Ordering::Relaxed);
+    }
+
+    /// Apply a [`JobWeights`] plan: every listed share gets
+    /// `quota_frac × capacity` bytes (explicit `@frac`, or its proportional
+    /// weight share by default). Unlisted jobs stay unlimited.
+    pub fn set_tenant_quotas(&self, weights: &JobWeights) {
+        for share in &weights.shares {
+            if let Some(frac) = weights.quota_frac_of(share.job) {
+                let bytes = (self.capacity.bytes() as f64 * frac).floor() as u64;
+                self.set_tenant_quota(JobId(share.job), Some(ByteSize(bytes)));
+            }
+        }
+    }
+
+    /// Bytes a tenant currently has resident.
+    pub fn tenant_used(&self, job: JobId) -> ByteSize {
+        ByteSize(
+            self.tenant_peek(job)
+                .map_or(0, |t| t.used.load(Ordering::Relaxed)),
+        )
+    }
+
+    /// A tenant's configured quota, if any.
+    pub fn tenant_quota(&self, job: JobId) -> Option<ByteSize> {
+        let t = self.tenant_peek(job)?;
+        match t.quota.load(Ordering::Relaxed) {
+            u64::MAX => None,
+            q => Some(ByteSize(q)),
+        }
+    }
+
+    /// Whether landing `incoming` more bytes would push `job` past its
+    /// quota (always `false` for unlimited tenants). The cache manager uses
+    /// this to keep quota-driven eviction inside the offending tenant.
+    pub fn tenant_over_quota(&self, job: JobId, incoming: ByteSize) -> bool {
+        let Some(t) = self.tenant_peek(job) else {
+            return false;
+        };
+        let quota = t.quota.load(Ordering::Relaxed);
+        quota != u64::MAX && t.used.load(Ordering::Relaxed) + incoming.bytes() > quota
+    }
+
+    /// Per-tenant usage snapshots (default namespace first, then by job id).
+    pub fn tenant_usage(&self) -> Vec<TenantUsage> {
+        let mut out = vec![self.default_tenant.snapshot(JobId::DEFAULT)];
+        out.extend(
+            self.tenants
+                .read()
+                .iter()
+                .map(|(job, t)| t.snapshot(JobId(*job))),
+        );
+        out.sort_by_key(|u| u.job.0);
+        out
+    }
+
     /// Hold the shard's device queue for the modeled service time of one
     /// read of `size` bytes (no-op unless a [`DeviceModel`] is armed).
     fn service_read(&self, shard: usize, size: ByteSize) {
@@ -194,22 +377,68 @@ impl LocalStore {
         }
     }
 
+    /// Put a displaced old copy back after a failed replacement. If a
+    /// concurrent insert claimed the path while we were failing, the newer
+    /// copy wins and the old one is dropped with its accounting (outside the
+    /// shard guard — STORE_TENANT accounting never runs under STORE_SHARD).
+    fn restore_entry(&self, shard: usize, path: &Path, old: Entry) {
+        use std::collections::hash_map::Entry as Slot;
+        let displaced = match self.shards[shard].write().entry(path.to_path_buf()) {
+            Slot::Vacant(slot) => {
+                slot.insert(old);
+                None
+            }
+            Slot::Occupied(_) => Some(old),
+        };
+        if let Some(old) = displaced {
+            self.delete_backing(&old);
+            self.release(old.size);
+            self.tenant_for_key(path).drop_entry(old.size);
+        }
+    }
+
     /// Insert a file. Fails with [`HvacError::CapacityExhausted`] if it does
-    /// not fit (the caller should evict and retry). Replacing an existing
-    /// path first releases its old accounting.
+    /// not fit globally *or* would push its tenant past a configured quota
+    /// (the caller should evict and retry; the cache manager keeps
+    /// quota-driven eviction inside the offending tenant). Replacing an
+    /// existing path reserves only the *growth* over the resident copy, and
+    /// a rejected insert leaves the resident copy exactly as it was.
     pub fn insert(&self, path: &Path, data: Bytes) -> Result<()> {
         let size = ByteSize(data.len() as u64);
         let shard = self.shard_of(path);
-        let mut map = self.shards[shard].write();
-        if let Some(old) = map.remove(path) {
-            self.delete_backing(&old);
-            self.release(old.size);
-        }
-        if !self.try_reserve(size) {
-            return Err(HvacError::CapacityExhausted {
-                requested: size.bytes(),
-                capacity: self.capacity.bytes(),
-            });
+        let tenant = self.tenant_for_key(path);
+        // Pull any old copy out of the map but keep its bytes accounted
+        // until the replacement commits: a failed reservation restores it
+        // untouched instead of clobbering resident data. The shard guard is
+        // released between the critical sections — STORE_TENANT accounting
+        // must never run under STORE_SHARD.
+        let old = self.shards[shard].write().remove(path);
+        let old_size = old.as_ref().map_or(0, |e| e.size.bytes());
+        // A shrinking (or same-size) replacement always has headroom; only
+        // reserve when the entry grows, so it still succeeds for a tenant
+        // whose quota was lowered below its current use.
+        let growth = ByteSize(size.bytes().saturating_sub(old_size));
+        if growth.bytes() > 0 {
+            let quota = tenant.quota.load(Ordering::Relaxed);
+            if !tenant.try_reserve(growth) {
+                if let Some(old) = old {
+                    self.restore_entry(shard, path, old);
+                }
+                return Err(HvacError::CapacityExhausted {
+                    requested: size.bytes(),
+                    capacity: quota,
+                });
+            }
+            if !self.try_reserve(growth) {
+                tenant.release(growth);
+                if let Some(old) = old {
+                    self.restore_entry(shard, path, old);
+                }
+                return Err(HvacError::CapacityExhausted {
+                    requested: size.bytes(),
+                    capacity: self.capacity.bytes(),
+                });
+            }
         }
         let entry = match &self.backing {
             Backing::Memory => Entry {
@@ -222,8 +451,12 @@ impl LocalStore {
                 let seq = self.insert_seq.fetch_add(1, Ordering::Relaxed);
                 let disk = root.join(format!("obj_{seq:016x}"));
                 if let Err(e) = fs::write(&disk, &data) {
-                    // Roll the reservation back: the bytes never landed.
-                    self.release(size);
+                    // Roll the growth back: the bytes never landed.
+                    self.release(growth);
+                    tenant.release(growth);
+                    if let Some(old) = old {
+                        self.restore_entry(shard, path, old);
+                    }
                     return Err(HvacError::Io(e));
                 }
                 Entry {
@@ -234,7 +467,26 @@ impl LocalStore {
                 }
             }
         };
-        map.insert(path.to_path_buf(), entry);
+        // Commit: only now is the old copy's surplus released, so the
+        // budgets never dip below what is actually resident.
+        if let Some(old) = old {
+            self.delete_backing(&old);
+            let shrink = ByteSize(old_size.saturating_sub(size.bytes()));
+            if shrink.bytes() > 0 {
+                self.release(shrink);
+                tenant.release(shrink);
+            }
+        } else {
+            tenant.resident.fetch_add(1, Ordering::Relaxed);
+        }
+        let raced = self.shards[shard].write().insert(path.to_path_buf(), entry);
+        if let Some(raced) = raced {
+            // A concurrent insert of the same path landed between our two
+            // shard critical sections; the newer copy wins, drop the other.
+            self.delete_backing(&raced);
+            self.release(raced.size);
+            tenant.drop_entry(raced.size);
+        }
         Ok(())
     }
 
@@ -252,19 +504,26 @@ impl LocalStore {
     /// Fetch a whole cached file, or `None` on a miss.
     pub fn get(&self, path: &Path) -> Option<Bytes> {
         let shard = self.shard_of(path);
+        let tenant = self.tenant_for_key(path);
         let data = {
             let map = self.shards[shard].read();
-            let entry = map.get(path)?;
-            entry.hits.fetch_add(1, Ordering::Relaxed);
-            match (&entry.data, &entry.disk) {
-                (Some(d), _) => Some(d.clone()),
-                (None, Some(disk)) => match &self.pool {
-                    Some(pool) => Self::read_disk_pooled(disk, entry.size, pool),
-                    None => fs::read(disk).ok().map(Bytes::from),
-                },
-                _ => None,
-            }
-        }?;
+            map.get(path).and_then(|entry| {
+                entry.hits.fetch_add(1, Ordering::Relaxed);
+                match (&entry.data, &entry.disk) {
+                    (Some(d), _) => Some(d.clone()),
+                    (None, Some(disk)) => match &self.pool {
+                        Some(pool) => Self::read_disk_pooled(disk, entry.size, pool),
+                        None => fs::read(disk).ok().map(Bytes::from),
+                    },
+                    _ => None,
+                }
+            })
+        };
+        let Some(data) = data else {
+            tenant.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        };
+        tenant.hits.fetch_add(1, Ordering::Relaxed);
         self.service_read(shard, ByteSize(data.len() as u64));
         Some(data)
     }
@@ -284,12 +543,13 @@ impl LocalStore {
     /// Remove a cached file; returns the bytes freed (zero if absent).
     pub fn remove(&self, path: &Path) -> ByteSize {
         let shard = self.shard_of(path);
-        let mut map = self.shards[shard].write();
-        match map.remove(path) {
+        let removed = self.shards[shard].write().remove(path);
+        match removed {
             Some(e) => {
                 let sz = e.size;
                 self.delete_backing(&e);
                 self.release(sz);
+                self.tenant_for_key(path).drop_entry(sz);
                 sz
             }
             None => ByteSize::ZERO,
@@ -384,9 +644,10 @@ impl LocalStore {
     pub fn purge(&self) {
         for shard in &self.shards {
             let entries = std::mem::take(&mut *shard.write());
-            for e in entries.values() {
+            for (key, e) in &entries {
                 self.delete_backing(e);
                 self.release(e.size);
+                self.tenant_for_key(key).drop_entry(e.size);
             }
         }
     }
@@ -536,6 +797,77 @@ mod tests {
         // Replacement is a new entry: the count restarts.
         s.insert(p, Bytes::from_static(b"abcd")).unwrap();
         assert_eq!(s.access_count(p), 0);
+    }
+
+    #[test]
+    fn tenant_accounting_tracks_namespaced_keys() {
+        use hvac_hash::pathhash::tenant_key;
+        let s = mem(1000);
+        let raw = Path::new("/gpfs/data/x.bin");
+        let k1 = tenant_key(JobId(1), raw);
+        let k2 = tenant_key(JobId(2), raw);
+        s.insert(raw, Bytes::from(vec![0u8; 10])).unwrap();
+        s.insert(&k1, Bytes::from(vec![1u8; 20])).unwrap();
+        s.insert(&k2, Bytes::from(vec![2u8; 30])).unwrap();
+        assert_eq!(s.tenant_used(JobId::DEFAULT), ByteSize(10));
+        assert_eq!(s.tenant_used(JobId(1)), ByteSize(20));
+        assert_eq!(s.tenant_used(JobId(2)), ByteSize(30));
+        assert_eq!(s.used(), ByteSize(60), "global accounting still balances");
+
+        s.get(&k1).unwrap();
+        s.get(&k1).unwrap();
+        assert!(s.get(&tenant_key(JobId(1), Path::new("/absent"))).is_none());
+        let usage = s.tenant_usage();
+        assert_eq!(
+            usage.iter().map(|u| u.job.0).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        let t1 = usage[1];
+        assert_eq!((t1.resident, t1.hits, t1.misses), (1, 2, 1));
+
+        // Replacement and removal release the right tenant's bytes.
+        s.insert(&k1, Bytes::from(vec![1u8; 5])).unwrap();
+        assert_eq!(s.tenant_used(JobId(1)), ByteSize(5));
+        s.remove(&k2);
+        assert_eq!(s.tenant_used(JobId(2)), ByteSize::ZERO);
+        s.purge();
+        for u in s.tenant_usage() {
+            assert_eq!(u.used, ByteSize::ZERO, "job {}", u.job.0);
+            assert_eq!(u.resident, 0, "job {}", u.job.0);
+        }
+        assert_eq!(s.used(), ByteSize::ZERO);
+    }
+
+    #[test]
+    fn tenant_quota_is_enforced_independently_of_global_capacity() {
+        use hvac_hash::pathhash::tenant_key;
+        let s = mem(1000);
+        s.set_tenant_quota(JobId(1), Some(ByteSize(25)));
+        assert_eq!(s.tenant_quota(JobId(1)), Some(ByteSize(25)));
+        assert_eq!(s.tenant_quota(JobId(2)), None);
+        let k = |job, name: &str| tenant_key(JobId(job), Path::new(name));
+        s.insert(&k(1, "/a"), Bytes::from(vec![0u8; 20])).unwrap();
+        assert!(s.tenant_over_quota(JobId(1), ByteSize(10)));
+        assert!(!s.tenant_over_quota(JobId(1), ByteSize(5)));
+        assert!(!s.tenant_over_quota(JobId(2), ByteSize(900)));
+        // Global capacity has plenty of room; the tenant quota still trips.
+        let err = s
+            .insert(&k(1, "/b"), Bytes::from(vec![0u8; 10]))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            HvacError::CapacityExhausted { capacity: 25, .. }
+        ));
+        // Another tenant and the default namespace are unaffected.
+        s.insert(&k(2, "/b"), Bytes::from(vec![0u8; 10])).unwrap();
+        s.insert(Path::new("/b"), Bytes::from(vec![0u8; 10]))
+            .unwrap();
+        // Quotas derived from a weights plan: job 1 gets 40% of capacity.
+        let weights = JobWeights::parse("1=1@0.4,2=1").unwrap();
+        s.set_tenant_quotas(&weights);
+        assert_eq!(s.tenant_quota(JobId(1)), Some(ByteSize(400)));
+        assert_eq!(s.tenant_quota(JobId(2)), Some(ByteSize(500)));
+        s.insert(&k(1, "/b"), Bytes::from(vec![0u8; 10])).unwrap();
     }
 
     #[test]

@@ -1,0 +1,185 @@
+//! Property tests: per-tenant quota isolation is airtight under churn.
+//!
+//! Tenants share one capacity-accounted store but must never share fate:
+//! a tenant slamming into its quota gets `CapacityExhausted` without a
+//! single byte of any *other* tenant being touched, and the per-tenant
+//! ledgers always sum to the store's global accounting — sequentially and
+//! under concurrent multi-tenant churn.
+
+use bytes::Bytes;
+use hvac_hash::pathhash::tenant_key;
+use hvac_storage::LocalStore;
+use hvac_types::{ByteSize, JobId};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert { path: u8, len: u8 },
+    Remove { path: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // Weighted 3:1 insert/remove via a selector byte.
+    (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(sel, path, len)| match sel % 4 {
+        0..=2 => Op::Insert {
+            path: path % 16,
+            len: len.max(1),
+        },
+        _ => Op::Remove { path: path % 16 },
+    })
+}
+
+fn key_of(job: u64, idx: u8) -> PathBuf {
+    tenant_key(
+        JobId(job),
+        &PathBuf::from(format!("/gpfs/props/sample_{idx:04}.bin")),
+    )
+}
+
+fn content(job: u64, idx: u8, len: u8) -> Bytes {
+    Bytes::from(
+        (0..len)
+            .map(|i| i.wrapping_mul(31) ^ idx ^ (job as u8))
+            .collect::<Vec<u8>>(),
+    )
+}
+
+/// Per-tenant used bytes must always sum to the global gauge, and each
+/// tenant must respect its own quota.
+fn assert_ledger_balances(store: &LocalStore) {
+    let rows = store.tenant_usage();
+    let total: u64 = rows.iter().map(|r| r.used.bytes()).sum();
+    assert_eq!(
+        total,
+        store.used().bytes(),
+        "tenant ledgers must sum to the global gauge: {rows:?}"
+    );
+    for row in &rows {
+        if let Some(quota) = row.quota {
+            assert!(
+                row.used <= quota,
+                "tenant {} over quota: {row:?}",
+                row.job.0
+            );
+        }
+    }
+}
+
+proptest! {
+    /// Sequential churn: two quota'd tenants interleave arbitrary
+    /// insert/remove streams. The victim tenant's resident set only ever
+    /// changes through its *own* ops — the aggressor exhausting its quota
+    /// never disturbs it — and the ledgers balance after every op.
+    #[test]
+    fn quota_rejections_never_touch_the_other_tenant(
+        ops_a in proptest::collection::vec(op_strategy(), 1..48),
+        ops_b in proptest::collection::vec(op_strategy(), 1..48),
+    ) {
+        let store = LocalStore::in_memory(ByteSize(4096));
+        store.set_tenant_quota(JobId(1), Some(ByteSize(1024)));
+        store.set_tenant_quota(JobId(2), Some(ByteSize(1024)));
+
+        // Interleave the two tenants' streams one op at a time.
+        let mut resident: std::collections::HashMap<PathBuf, Bytes> = Default::default();
+        let longest = ops_a.len().max(ops_b.len());
+        for i in 0..longest {
+            for (job, ops) in [(1u64, &ops_a), (2u64, &ops_b)] {
+                let Some(op) = ops.get(i) else { continue };
+                match op {
+                    Op::Insert { path, len } => {
+                        let key = key_of(job, *path);
+                        let data = content(job, *path, *len);
+                        if store.insert(&key, data.clone()).is_ok() {
+                            resident.insert(key, data);
+                        }
+                        // On failure the model keeps the previous entry —
+                        // a rejected insert must not clobber anything.
+                    }
+                    Op::Remove { path } => {
+                        let key = key_of(job, *path);
+                        store.remove(&key);
+                        resident.remove(&key);
+                    }
+                }
+                assert_ledger_balances(&store);
+            }
+        }
+
+        // Every model entry — both tenants' — is resident and byte-exact.
+        for (key, data) in &resident {
+            prop_assert_eq!(
+                store.get(key),
+                Some(data.clone()),
+                "{} disturbed by the other tenant's churn",
+                key.display()
+            );
+        }
+        prop_assert_eq!(store.len(), resident.len());
+        prop_assert!(store.tenant_used(JobId(1)) <= ByteSize(1024));
+        prop_assert!(store.tenant_used(JobId(2)) <= ByteSize(1024));
+    }
+
+    /// Concurrent churn: one thread per tenant hammers its own namespace.
+    /// Threads never touch each other's keys, so any cross-tenant damage
+    /// can only come from broken shared accounting. Afterwards the pinned
+    /// victim entries (inserted up-front, never removed) are still resident
+    /// byte-exact and the ledgers balance.
+    #[test]
+    fn concurrent_multi_tenant_churn_preserves_isolation(
+        seeds in proptest::collection::vec(any::<u64>(), 3),
+    ) {
+        let store = Arc::new(LocalStore::in_memory(ByteSize(64 * 1024)));
+        // Victim (job 9) fills half its quota and then goes idle.
+        store.set_tenant_quota(JobId(9), Some(ByteSize(4096)));
+        let mut pinned = Vec::new();
+        for idx in 0..8u8 {
+            let key = key_of(9, idx);
+            let data = content(9, idx, 255);
+            store.insert(&key, data.clone()).unwrap();
+            pinned.push((key, data));
+        }
+
+        // Aggressors (jobs 1..=3) churn way past their quotas in parallel.
+        let mut joins = Vec::new();
+        for (t, seed) in seeds.iter().enumerate() {
+            let job = t as u64 + 1;
+            let store = store.clone();
+            let mut state = *seed | 1;
+            joins.push(std::thread::spawn(move || {
+                store.set_tenant_quota(JobId(job), Some(ByteSize(2048)));
+                for _ in 0..256 {
+                    // xorshift64 churn driver.
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    let idx = (state >> 8) as u8 % 16;
+                    if state % 4 == 0 {
+                        store.remove(&key_of(job, idx));
+                    } else {
+                        let len = (state >> 16) as u8 | 1;
+                        let _ = store.insert(&key_of(job, idx), content(job, idx, len));
+                    }
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+
+        for (key, data) in &pinned {
+            prop_assert_eq!(
+                store.get(key),
+                Some(data.clone()),
+                "victim entry {} lost under aggressor churn",
+                key.display()
+            );
+        }
+        assert_ledger_balances(&store);
+        prop_assert_eq!(store.tenant_used(JobId(9)), ByteSize(8 * 255));
+        for job in 1..=3u64 {
+            prop_assert!(store.tenant_used(JobId(job)) <= ByteSize(2048));
+        }
+    }
+}

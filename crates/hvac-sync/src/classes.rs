@@ -3,7 +3,7 @@
 //! The hierarchy, outermost first, is:
 //!
 //! ```text
-//! repair → rebalancer → view → fabric → server → cache → store → device → pool
+//! repair → rebalancer → view → fabric → sched → server → cache → tenant → store → device → pool
 //! ```
 //!
 //! A thread may acquire classes left-to-right along this chain (skipping
@@ -48,6 +48,13 @@ pub const FABRIC_FAULTS: &str = "net.fabric.faults";
 /// is always dropped before any RPC is issued.
 pub const CLIENT_HEALTH: &str = "core.client.health";
 
+/// Per-tenant weighted-fair scheduler state (`hvac-core::qos`): the deficit
+/// round-robin queues and inflight counters of one server's admission gate.
+/// Sits between the fabric and the server level — an RPC worker takes it on
+/// the way into the read path, before any inflight stripe; the guard is
+/// always dropped before blocking on a grant channel.
+pub const SERVER_SCHED: &str = "core.server.sched";
+
 /// One stripe of the data-mover in-flight table (`hvac-core::server`).
 /// All stripes share this class: stripes of one table are interchangeable
 /// for ordering purposes, and a thread never holds two stripes at once.
@@ -59,6 +66,12 @@ pub const SERVER_THREADS: &str = "core.server.threads";
 /// Eviction policy state (`hvac-core::cache`). Nests inside server locks,
 /// outside store locks.
 pub const CACHE_POLICY: &str = "core.cache.policy";
+
+/// Per-tenant byte accounting and quota table of the node-local store
+/// (`hvac-storage::localstore`). Acquired on the way into an insert/remove,
+/// strictly *before* the affected [`STORE_SHARD`] guard (cache → tenant →
+/// store); never taken while a shard guard is held.
+pub const STORE_TENANT: &str = "storage.localstore.tenant";
 
 /// One shard of the node-local store's striped entry map
 /// (`hvac-storage::localstore`). Shard selection is by path hash, so a
@@ -127,8 +140,10 @@ pub const HIERARCHY: &[(&str, &[&str])] = &[
     ("rebalancer", &[REBALANCER]),
     ("view", &[VIEW]),
     ("fabric", &[FABRIC_ENDPOINTS, FABRIC_FAULTS]),
+    ("sched", &[SERVER_SCHED]),
     ("server", &[SERVER_INFLIGHT_STRIPE]),
     ("cache", &[CACHE_POLICY]),
+    ("tenant", &[STORE_TENANT]),
     ("store", &[STORE_SHARD, PFS_FILES]),
     ("device", &[STORE_DEVICE_QUEUE]),
     ("pool", &[NET_POOL]),
@@ -193,9 +208,11 @@ mod tests {
         FABRIC_THREADS,
         FABRIC_FAULTS,
         CLIENT_HEALTH,
+        SERVER_SCHED,
         SERVER_INFLIGHT_STRIPE,
         SERVER_THREADS,
         CACHE_POLICY,
+        STORE_TENANT,
         STORE_SHARD,
         STORE_DEVICE_QUEUE,
         PFS_FILES,
@@ -251,6 +268,14 @@ mod tests {
         assert!(edge_allowed(VIEW, STORE_SHARD));
         assert!(edge_allowed(SERVER_INFLIGHT_STRIPE, CACHE_POLICY));
         assert!(edge_allowed(CACHE_POLICY, STORE_SHARD));
+        // The admission gate is taken before any read-path lock; the tenant
+        // quota table nests between the policy and the shards.
+        assert!(edge_allowed(SERVER_SCHED, SERVER_INFLIGHT_STRIPE));
+        assert!(edge_allowed(SERVER_SCHED, STORE_SHARD));
+        assert!(!edge_allowed(SERVER_INFLIGHT_STRIPE, SERVER_SCHED));
+        assert!(edge_allowed(CACHE_POLICY, STORE_TENANT));
+        assert!(edge_allowed(STORE_TENANT, STORE_SHARD));
+        assert!(!edge_allowed(STORE_SHARD, STORE_TENANT));
         assert!(!edge_allowed(STORE_SHARD, CACHE_POLICY));
         assert!(!edge_allowed(STORE_SHARD, STORE_SHARD));
         // The buffer pool is innermost: reachable from under any leveled

@@ -130,6 +130,127 @@ impl Default for HvacConfig {
     }
 }
 
+/// One tenant's share of a server: a weighted-fair scheduling weight and an
+/// optional capacity-quota fraction. Parsed from `--job-weights` /
+/// `HVAC_JOB_WEIGHTS` and threaded into the server's admission gate and the
+/// store's per-tenant quota table.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JobShare {
+    /// Tenant the share applies to (job 0 = the legacy/default namespace).
+    pub job: u64,
+    /// Deficit-round-robin weight; must be > 0.
+    pub weight: f64,
+    /// Fraction of the store capacity this tenant may hold, in `(0, 1]`.
+    /// `None` = proportional to this tenant's weight share.
+    pub quota_frac: Option<f64>,
+}
+
+/// Per-tenant QoS plan: the parsed form of `--job-weights`. An empty plan
+/// means QoS is off — every tenant is admitted immediately and no quota is
+/// enforced, which is exactly the pre-tenancy behaviour.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct JobWeights {
+    /// One entry per configured tenant, in configuration order.
+    pub shares: Vec<JobShare>,
+}
+
+impl JobWeights {
+    /// Parse the `--job-weights` grammar: comma-separated
+    /// `job=weight[@quota_frac]` entries, e.g. `1=4@0.5,2=1`. Zero or
+    /// negative weights, quota fractions outside `(0, 1]`, duplicate jobs
+    /// and malformed entries are configuration errors.
+    pub fn parse(s: &str) -> crate::Result<Self> {
+        use crate::HvacError::InvalidConfig;
+        let mut shares: Vec<JobShare> = Vec::new();
+        for entry in s.split(',').map(str::trim).filter(|e| !e.is_empty()) {
+            let (job_s, rest) = entry.split_once('=').ok_or_else(|| {
+                InvalidConfig(format!(
+                    "job-weights entry `{entry}`: expected job=weight[@quota]"
+                ))
+            })?;
+            let job: u64 = job_s.trim().parse().map_err(|_| {
+                InvalidConfig(format!("job-weights entry `{entry}`: bad job id `{job_s}`"))
+            })?;
+            let (weight_s, quota_s) = match rest.split_once('@') {
+                Some((w, q)) => (w, Some(q)),
+                None => (rest, None),
+            };
+            let weight: f64 = weight_s.trim().parse().map_err(|_| {
+                InvalidConfig(format!(
+                    "job-weights entry `{entry}`: bad weight `{weight_s}`"
+                ))
+            })?;
+            if !weight.is_finite() || weight <= 0.0 {
+                return Err(InvalidConfig(format!(
+                    "job-weights entry `{entry}`: weight must be > 0, got {weight}"
+                )));
+            }
+            let quota_frac = match quota_s {
+                Some(q) => {
+                    let f: f64 = q.trim().parse().map_err(|_| {
+                        InvalidConfig(format!(
+                            "job-weights entry `{entry}`: bad quota fraction `{q}`"
+                        ))
+                    })?;
+                    if !f.is_finite() || f <= 0.0 || f > 1.0 {
+                        return Err(InvalidConfig(format!(
+                            "job-weights entry `{entry}`: quota fraction must be in (0, 1], got {f}"
+                        )));
+                    }
+                    Some(f)
+                }
+                None => None,
+            };
+            if shares.iter().any(|sh| sh.job == job) {
+                return Err(InvalidConfig(format!(
+                    "job-weights: job {job} configured twice"
+                )));
+            }
+            shares.push(JobShare {
+                job,
+                weight,
+                quota_frac,
+            });
+        }
+        Ok(Self { shares })
+    }
+
+    /// Plan from the `HVAC_JOB_WEIGHTS` environment variable; `Ok(empty)`
+    /// when unset, `Err` when set but malformed.
+    pub fn from_env() -> crate::Result<Self> {
+        match std::env::var("HVAC_JOB_WEIGHTS") {
+            Ok(v) => Self::parse(&v),
+            Err(_) => Ok(Self::default()),
+        }
+    }
+
+    /// Whether the plan configures nothing (QoS off).
+    pub fn is_empty(&self) -> bool {
+        self.shares.is_empty()
+    }
+
+    /// DRR weight of a tenant: its configured weight, or 1.0 for tenants
+    /// the plan does not mention.
+    pub fn weight_of(&self, job: u64) -> f64 {
+        self.shares
+            .iter()
+            .find(|sh| sh.job == job)
+            .map_or(1.0, |sh| sh.weight)
+    }
+
+    /// Capacity-quota fraction of a tenant: the explicit fraction, else the
+    /// tenant's weight share of all configured weights, else `None` (no
+    /// quota) for unconfigured tenants.
+    pub fn quota_frac_of(&self, job: u64) -> Option<f64> {
+        let share = self.shares.iter().find(|sh| sh.job == job)?;
+        if let Some(f) = share.quota_frac {
+            return Some(f);
+        }
+        let total: f64 = self.shares.iter().map(|sh| sh.weight).sum();
+        (total > 0.0).then(|| share.weight / total)
+    }
+}
+
 /// Client-side failure-handling budget: per-call deadlines, bounded retry
 /// with exponential backoff + seeded jitter, and the consecutive-failure
 /// circuit breaker that proactively skips a wedged replica.
@@ -451,6 +572,44 @@ mod tests {
             ..ClusterConfig::default()
         };
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn job_weights_parse_happy_paths() {
+        let w = JobWeights::parse("1=4@0.5, 2=1").unwrap();
+        assert_eq!(w.shares.len(), 2);
+        assert_eq!(w.weight_of(1), 4.0);
+        assert_eq!(w.weight_of(2), 1.0);
+        assert_eq!(w.weight_of(99), 1.0, "unlisted tenants get unit weight");
+        assert_eq!(w.quota_frac_of(1), Some(0.5), "explicit quota wins");
+        assert_eq!(w.quota_frac_of(2), Some(1.0 / 5.0), "proportional default");
+        assert_eq!(w.quota_frac_of(99), None, "unlisted tenants are unquoted");
+        assert!(JobWeights::parse("").unwrap().is_empty());
+        assert!(JobWeights::parse("  ,  ").unwrap().is_empty());
+    }
+
+    #[test]
+    fn job_weights_reject_bad_entries() {
+        for bad in [
+            "1",        // no weight
+            "1=0",      // zero weight
+            "1=-2",     // negative weight
+            "1=nan",    // non-finite
+            "x=1",      // bad job id
+            "1=1@0",    // zero quota
+            "1=1@1.5",  // quota > 1
+            "1=1@-0.1", // negative quota
+            "1=1,1=2",  // duplicate job
+            "1=1@oops", // unparsable quota
+        ] {
+            assert!(
+                matches!(
+                    JobWeights::parse(bad),
+                    Err(crate::HvacError::InvalidConfig(_))
+                ),
+                "`{bad}` should be a config error"
+            );
+        }
     }
 
     #[test]

@@ -112,6 +112,28 @@ impl fmt::Display for FileId {
 )]
 pub struct JobId(pub u64);
 
+impl JobId {
+    /// The legacy/default namespace: what every pre-tenancy client encodes
+    /// and every server accepts. Mirrors epoch 0 of the membership protocol.
+    pub const DEFAULT: JobId = JobId(0);
+
+    /// Job selected by the `HVAC_JOB_ID` environment variable, falling back
+    /// to [`JobId::DEFAULT`] when unset or unparsable. This is how a
+    /// launcher scopes a whole training job without touching its code.
+    pub fn from_env() -> Self {
+        match std::env::var("HVAC_JOB_ID") {
+            Ok(v) => JobId(v.trim().parse().unwrap_or(0)),
+            Err(_) => JobId::DEFAULT,
+        }
+    }
+
+    /// Whether this is the legacy/default namespace.
+    #[inline]
+    pub fn is_default(self) -> bool {
+        self.0 == 0
+    }
+}
+
 impl fmt::Display for JobId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "job{}", self.0)
@@ -173,6 +195,13 @@ mod tests {
         assert_eq!(Rank(2).to_string(), "rank2");
         assert_eq!(JobId(7).to_string(), "job7");
         assert_eq!(FileId(0xdead_beef).to_string(), "file#00000000deadbeef");
+    }
+
+    #[test]
+    fn job_default_is_the_legacy_namespace() {
+        assert_eq!(JobId::default(), JobId::DEFAULT);
+        assert!(JobId(0).is_default());
+        assert!(!JobId(7).is_default());
     }
 
     #[test]

@@ -30,8 +30,8 @@ pub mod units;
 pub mod view;
 
 pub use config::{
-    ClusterConfig, EvictionPolicyKind, GpfsConfig, HvacConfig, NetworkConfig, NvmeConfig,
-    PlacementKind, RetryPolicy, TransportKind,
+    ClusterConfig, EvictionPolicyKind, GpfsConfig, HvacConfig, JobShare, JobWeights, NetworkConfig,
+    NvmeConfig, PlacementKind, RetryPolicy, TransportKind,
 };
 pub use error::{HvacError, Result};
 pub use ids::{ClientId, FileId, JobId, NodeId, Rank, ServerId};
